@@ -1,0 +1,23 @@
+// Reproduces paper Figure 7. See DESIGN.md Sec. 6 for the experiment
+// index and EXPERIMENTS.md for the paper-vs-measured shape discussion.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "stcomp/exp/figures.h"
+#include "stcomp/sim/paper_dataset.h"
+
+int main() {
+  stcomp::PaperDatasetConfig config;
+  const std::vector<stcomp::Trajectory> dataset =
+      stcomp::GeneratePaperDataset(config);
+  const stcomp::Result<std::string> rendered =
+      stcomp::RenderFigure7(dataset);
+  if (!rendered.ok()) {
+    std::fprintf(stderr, "figure 7 failed: %s\n",
+                 rendered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", rendered->c_str());
+  return 0;
+}

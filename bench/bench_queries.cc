@@ -1,0 +1,86 @@
+// Store query benchmark: box queries via linear scan (TrajectoryStore's
+// baseline) vs the uniform grid index, across fleet sizes — the database-
+// side payoff of keeping trajectories compressed AND indexed.
+
+#include <chrono>
+#include <cstdio>
+
+#include "stcomp/algo/time_ratio.h"
+#include "stcomp/common/check.h"
+#include "stcomp/common/strings.h"
+#include "stcomp/exp/table.h"
+#include "stcomp/sim/paper_dataset.h"
+#include "stcomp/store/grid_index.h"
+
+namespace {
+
+template <typename F>
+double TimeUs(const F& run, int repetitions) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < repetitions; ++r) {
+    run();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(stop - start).count() /
+         repetitions;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Store box queries: linear scan vs 500 m grid index (fleet of "
+      "compressed trajectories; 100 random 2x2 km boxes per row)\n\n");
+  stcomp::Table table({"objects", "points", "scan_us", "grid_us", "speedup"});
+  for (size_t fleet : {10u, 40u, 160u}) {
+    stcomp::PaperDatasetConfig config;
+    config.num_trajectories = fleet;
+    const std::vector<stcomp::Trajectory> dataset =
+        stcomp::GeneratePaperDataset(config);
+    stcomp::TrajectoryStore store;
+    stcomp::GridIndex index(500.0);
+    size_t total_points = 0;
+    for (size_t object = 0; object < dataset.size(); ++object) {
+      const stcomp::Trajectory compressed = dataset[object].Subset(
+          stcomp::algo::TdTr(dataset[object], 30.0));
+      STCOMP_CHECK_OK(store.Insert(dataset[object].name(), compressed));
+      for (const stcomp::TimedPoint& point : compressed.points()) {
+        index.Insert(static_cast<int64_t>(object), point.position);
+      }
+      total_points += compressed.size();
+    }
+    stcomp::Rng rng(9);
+    std::vector<stcomp::BoundingBox> boxes;
+    for (int q = 0; q < 100; ++q) {
+      const stcomp::Vec2 corner{rng.NextUniform(0.0, 20000.0),
+                                rng.NextUniform(0.0, 20000.0)};
+      boxes.push_back({corner, corner + stcomp::Vec2{2000.0, 2000.0}});
+    }
+    size_t scan_hits = 0;
+    size_t grid_hits = 0;
+    const double scan_us = TimeUs(
+        [&] {
+          scan_hits = 0;
+          for (const auto& box : boxes) {
+            scan_hits += store.ObjectsInBox(box).size();
+          }
+        },
+        5);
+    const double grid_us = TimeUs(
+        [&] {
+          grid_hits = 0;
+          for (const auto& box : boxes) {
+            grid_hits += index.QueryBox(box).size();
+          }
+        },
+        5);
+    STCOMP_CHECK(scan_hits == grid_hits);
+    table.AddRow({stcomp::StrFormat("%zu", fleet),
+                  stcomp::StrFormat("%zu", total_points),
+                  stcomp::StrFormat("%.0f", scan_us),
+                  stcomp::StrFormat("%.0f", grid_us),
+                  stcomp::StrFormat("%.1fx", scan_us / grid_us)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces the Sec. 1 storage motivation (raw <t,x,y> stream volumes)
+// and reports the store codec sizes on the experiment dataset.
+
+#include <cstdio>
+
+#include "stcomp/exp/figures.h"
+#include "stcomp/sim/paper_dataset.h"
+
+int main() {
+  stcomp::PaperDatasetConfig config;
+  const std::vector<stcomp::Trajectory> dataset =
+      stcomp::GeneratePaperDataset(config);
+  const stcomp::Result<std::string> rendered =
+      stcomp::RenderStorageTable(dataset);
+  if (!rendered.ok()) {
+    std::fprintf(stderr, "storage table failed: %s\n",
+                 rendered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", rendered->c_str());
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces paper Table 2: statistics of the trajectory dataset.
+// The dataset itself is the documented substitution (DESIGN.md Sec. 5):
+// 10 synthetic car trips in place of the paper's 10 real GPS traces.
+
+#include <cstdio>
+
+#include "stcomp/exp/figures.h"
+#include "stcomp/sim/paper_dataset.h"
+
+int main() {
+  stcomp::PaperDatasetConfig config;
+  const std::vector<stcomp::Trajectory> dataset =
+      stcomp::GeneratePaperDataset(config);
+  std::printf("%s\n", stcomp::RenderTable2(dataset).c_str());
+  return 0;
+}

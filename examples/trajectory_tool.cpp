@@ -1,0 +1,132 @@
+// stcomp command-line tool: compress trajectory files.
+//
+//   trajectory_tool --algorithm=td-tr --epsilon=30 in.csv out.csv
+//   trajectory_tool --list
+//
+// Input format by extension: .csv (t,x,y or t,lat,lon), .gpx, .plt
+// (Geolife), .nmea/.log (RMC sentences). Output: .csv, .gpx or .nmea. The evaluation summary goes to stderr
+// so stdout stays clean for piping.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "stcomp/algo/registry.h"
+#include "stcomp/common/flags.h"
+#include "stcomp/common/strings.h"
+#include "stcomp/error/evaluation.h"
+#include "stcomp/gps/csv.h"
+#include "stcomp/gps/gpx.h"
+#include "stcomp/gps/nmea.h"
+#include "stcomp/gps/plt.h"
+
+namespace {
+
+stcomp::Result<stcomp::Trajectory> ReadAny(const std::string& path) {
+  const std::string lower = stcomp::AsciiLower(path);
+  if (stcomp::EndsWith(lower, ".gpx")) {
+    STCOMP_ASSIGN_OR_RETURN(const stcomp::GpxTrack track,
+                            stcomp::ReadGpxFile(path));
+    return track.trajectory;
+  }
+  if (stcomp::EndsWith(lower, ".plt")) {
+    return stcomp::ReadPltFile(path);
+  }
+  if (stcomp::EndsWith(lower, ".nmea") || stcomp::EndsWith(lower, ".log")) {
+    return stcomp::ReadNmeaFile(path, nullptr);
+  }
+  return stcomp::ReadCsvTrajectoryFile(path);
+}
+
+stcomp::Status WriteAny(const stcomp::Trajectory& trajectory,
+                        const std::string& path) {
+  const std::string lower = stcomp::AsciiLower(path);
+  if (stcomp::EndsWith(lower, ".gpx")) {
+    // Positions are in a local metric frame; anchor the output at a
+    // neutral origin so the file is at least well-formed GPX.
+    return stcomp::WriteGpxFile(trajectory, {52.22, 6.89}, path);
+  }
+  if (stcomp::EndsWith(lower, ".nmea") || stcomp::EndsWith(lower, ".log")) {
+    std::ofstream file(path);
+    if (!file) {
+      return stcomp::IoError("cannot open " + path + " for writing");
+    }
+    file << stcomp::WriteNmea(trajectory, {52.22, 6.89});
+    return stcomp::Status::Ok();
+  }
+  return stcomp::WriteCsvTrajectoryFile(trajectory, path);
+}
+
+int Run(int argc, char** argv) {
+  std::string algorithm = "td-tr";
+  double epsilon = 30.0;
+  double speed_threshold = 10.0;
+  bool list = false;
+  stcomp::FlagParser flags(
+      "compress a trajectory file (CSV/GPX/PLT in, CSV/GPX out)");
+  flags.AddString("algorithm", &algorithm, "compression algorithm name");
+  flags.AddDouble("epsilon", &epsilon, "distance threshold in metres");
+  flags.AddDouble("speed-threshold", &speed_threshold,
+                  "speed threshold in m/s (sp algorithms)");
+  flags.AddBool("list", &list, "list available algorithms and exit");
+  if (const stcomp::Status status = flags.Parse(argc, argv); !status.ok()) {
+    if (status.code() == stcomp::StatusCode::kFailedPrecondition) {
+      return 0;
+    }
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.UsageString().c_str());
+    return 1;
+  }
+  if (list) {
+    for (const stcomp::algo::AlgorithmInfo& info :
+         stcomp::algo::AllAlgorithms()) {
+      std::printf("%-14s %s%s\n", info.name.c_str(),
+                  info.description.c_str(), info.online ? " [online]" : "");
+    }
+    return 0;
+  }
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr, "usage: trajectory_tool [flags] <input> <output>\n%s",
+                 flags.UsageString().c_str());
+    return 1;
+  }
+
+  const stcomp::Result<stcomp::Trajectory> input =
+      ReadAny(flags.positional()[0]);
+  if (!input.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 input.status().ToString().c_str());
+    return 1;
+  }
+  const stcomp::Result<const stcomp::algo::AlgorithmInfo*> info =
+      stcomp::algo::FindAlgorithm(algorithm);
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  stcomp::algo::AlgorithmParams params;
+  params.epsilon_m = epsilon;
+  params.speed_threshold_mps = speed_threshold;
+  const stcomp::algo::IndexList kept = (*info)->run(*input, params);
+  const stcomp::Result<stcomp::Evaluation> eval =
+      stcomp::Evaluate(*input, kept);
+  if (const stcomp::Status status =
+          WriteAny(input->Subset(kept), flags.positional()[1]);
+      !status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (eval.ok()) {
+    std::fprintf(stderr,
+                 "%s: %zu -> %zu points (%.1f%% compression), mean sync "
+                 "error %.2f m, max %.2f m\n",
+                 algorithm.c_str(), eval->original_points, eval->kept_points,
+                 eval->compression_percent, eval->sync_error_mean_m,
+                 eval->sync_error_max_m);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,160 @@
+#include "stcomp/algo/bottom_up.h"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "stcomp/common/check.h"
+#include "stcomp/core/interpolation.h"
+
+namespace stcomp::algo {
+
+namespace {
+
+// Shared greedy engine. Runs removals in increasing cost order and stops
+// when `should_stop(next_cost, kept_count)` says so.
+class BottomUpEngine {
+ public:
+  BottomUpEngine(const Trajectory& trajectory, BottomUpMetric metric)
+      : trajectory_(trajectory),
+        metric_(metric),
+        n_(static_cast<int>(trajectory.size())),
+        prev_(static_cast<size_t>(n_)),
+        next_(static_cast<size_t>(n_)),
+        generation_(static_cast<size_t>(n_), 0),
+        alive_(static_cast<size_t>(n_), true) {
+    for (int i = 0; i < n_; ++i) {
+      prev_[static_cast<size_t>(i)] = i - 1;
+      next_[static_cast<size_t>(i)] = i + 1 < n_ ? i + 1 : -1;
+    }
+    for (int i = 1; i + 1 < n_; ++i) {
+      Push(i);
+    }
+    kept_count_ = n_;
+  }
+
+  // Removes points while `may_remove(cost, kept_count)` allows. Returns the
+  // surviving indices.
+  template <typename Predicate>
+  IndexList Run(const Predicate& may_remove) {
+    while (!queue_.empty()) {
+      const Entry top = queue_.top();
+      queue_.pop();
+      if (!alive_[static_cast<size_t>(top.index)] ||
+          top.generation != generation_[static_cast<size_t>(top.index)]) {
+        continue;  // Stale entry.
+      }
+      if (!may_remove(top.cost, kept_count_)) {
+        break;
+      }
+      Remove(top.index);
+    }
+    IndexList kept;
+    kept.reserve(static_cast<size_t>(kept_count_));
+    for (int i = 0; i != -1 && i < n_; i = next_[static_cast<size_t>(i)]) {
+      kept.push_back(i);
+      if (next_[static_cast<size_t>(i)] == -1) {
+        break;
+      }
+    }
+    return kept;
+  }
+
+ private:
+  struct Entry {
+    double cost;
+    int index;
+    int generation;
+    bool operator>(const Entry& other) const {
+      if (cost != other.cost) {
+        return cost > other.cost;
+      }
+      return index > other.index;  // Deterministic tie-break: lowest index.
+    }
+  };
+
+  // Cost of removing the (alive, interior) point `b`: the worst distance of
+  // any currently-dead-or-alive interior point of (prev(b), next(b)) from
+  // the merged approximation.
+  double RemovalCost(int b) const {
+    const int a = prev_[static_cast<size_t>(b)];
+    const int c = next_[static_cast<size_t>(b)];
+    STCOMP_DCHECK(a >= 0 && c >= 0);
+    double worst = 0.0;
+    for (int i = a + 1; i < c; ++i) {
+      double d = 0.0;
+      if (metric_ == BottomUpMetric::kPerpendicular) {
+        d = PointToSegmentDistance(
+            trajectory_[static_cast<size_t>(i)].position,
+            trajectory_[static_cast<size_t>(a)].position,
+            trajectory_[static_cast<size_t>(c)].position);
+      } else {
+        d = SynchronizedDistance(trajectory_[static_cast<size_t>(a)],
+                                 trajectory_[static_cast<size_t>(c)],
+                                 trajectory_[static_cast<size_t>(i)]);
+      }
+      worst = std::max(worst, d);
+    }
+    return worst;
+  }
+
+  void Push(int index) {
+    queue_.push(Entry{RemovalCost(index), index,
+                      generation_[static_cast<size_t>(index)]});
+  }
+
+  void Remove(int b) {
+    const int a = prev_[static_cast<size_t>(b)];
+    const int c = next_[static_cast<size_t>(b)];
+    alive_[static_cast<size_t>(b)] = false;
+    next_[static_cast<size_t>(a)] = c;
+    prev_[static_cast<size_t>(c)] = a;
+    --kept_count_;
+    // Refresh the neighbours' costs (their merge ranges grew).
+    if (a > 0) {
+      ++generation_[static_cast<size_t>(a)];
+      Push(a);
+    }
+    if (c < n_ - 1) {
+      ++generation_[static_cast<size_t>(c)];
+      Push(c);
+    }
+  }
+
+  const Trajectory& trajectory_;
+  const BottomUpMetric metric_;
+  const int n_;
+  std::vector<int> prev_;
+  std::vector<int> next_;
+  std::vector<int> generation_;
+  std::vector<bool> alive_;
+  int kept_count_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+};
+
+}  // namespace
+
+IndexList BottomUp(const Trajectory& trajectory, double epsilon,
+                   BottomUpMetric metric) {
+  STCOMP_CHECK(epsilon >= 0.0);
+  if (trajectory.size() <= 2) {
+    return KeepAll(trajectory);
+  }
+  BottomUpEngine engine(trajectory, metric);
+  return engine.Run(
+      [epsilon](double cost, int /*kept*/) { return cost <= epsilon; });
+}
+
+IndexList BottomUpMaxPoints(const Trajectory& trajectory, int max_points,
+                            BottomUpMetric metric) {
+  STCOMP_CHECK(max_points >= 2);
+  if (static_cast<int>(trajectory.size()) <= max_points) {
+    return KeepAll(trajectory);
+  }
+  BottomUpEngine engine(trajectory, metric);
+  return engine.Run([max_points](double /*cost*/, int kept) {
+    return kept > max_points;
+  });
+}
+
+}  // namespace stcomp::algo

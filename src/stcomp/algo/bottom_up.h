@@ -1,0 +1,35 @@
+// Bottom-up compression (paper Sec. 2 taxonomy, [Keogh et al. 2001]):
+// start from the finest representation and greedily remove the point whose
+// removal hurts least, until the halting condition would be violated.
+// A batch algorithm; on short series it typically beats the windowed
+// heuristics on the error/compression trade-off.
+
+#ifndef STCOMP_ALGO_BOTTOM_UP_H_
+#define STCOMP_ALGO_BOTTOM_UP_H_
+
+#include "stcomp/algo/compression.h"
+
+namespace stcomp::algo {
+
+// The per-point cost measure used when evaluating a merge.
+enum class BottomUpMetric {
+  // Spatial distance from each interior point to the merged segment.
+  kPerpendicular,
+  // Synchronized (time-ratio) distance — the spatiotemporal variant.
+  kSynchronized,
+};
+
+// Removes points while the cheapest removal keeps every affected interior
+// point within `epsilon` of the merged segment.
+// Precondition (checked): epsilon >= 0.
+IndexList BottomUp(const Trajectory& trajectory, double epsilon,
+                   BottomUpMetric metric);
+
+// Same greedy order, but halts when `max_points` kept points remain
+// (endpoints always kept). Precondition (checked): max_points >= 2.
+IndexList BottomUpMaxPoints(const Trajectory& trajectory, int max_points,
+                            BottomUpMetric metric);
+
+}  // namespace stcomp::algo
+
+#endif  // STCOMP_ALGO_BOTTOM_UP_H_

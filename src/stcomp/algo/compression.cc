@@ -1,0 +1,38 @@
+#include "stcomp/algo/compression.h"
+
+#include <numeric>
+
+namespace stcomp::algo {
+
+IndexList KeepAll(const Trajectory& trajectory) {
+  IndexList all(trajectory.size());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+bool IsValidIndexList(const Trajectory& trajectory, const IndexList& kept) {
+  if (trajectory.empty()) {
+    return kept.empty();
+  }
+  if (kept.empty() || kept.front() != 0 ||
+      kept.back() != static_cast<int>(trajectory.size()) - 1) {
+    return false;
+  }
+  for (size_t i = 1; i < kept.size(); ++i) {
+    if (kept[i] <= kept[i - 1]) {
+      return false;
+    }
+  }
+  return kept.back() < static_cast<int>(trajectory.size());
+}
+
+double CompressionPercent(size_t original_points, size_t kept_points) {
+  if (original_points == 0) {
+    return 0.0;
+  }
+  return (1.0 - static_cast<double>(kept_points) /
+                    static_cast<double>(original_points)) *
+         100.0;
+}
+
+}  // namespace stcomp::algo

@@ -1,0 +1,35 @@
+// Shared conventions for all compression algorithms.
+//
+// Every algorithm maps a Trajectory to the list of *kept* original indices,
+// always sorted ascending and always including the first and the last index
+// (for trajectories with >= 1 point). The approximation trajectory is then
+// `trajectory.Subset(kept)`; error/compression accounting is uniform across
+// algorithms (see error/evaluation.h).
+
+#ifndef STCOMP_ALGO_COMPRESSION_H_
+#define STCOMP_ALGO_COMPRESSION_H_
+
+#include <vector>
+
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp::algo {
+
+// Indices into Trajectory::points() retained by a compression run.
+using IndexList = std::vector<int>;
+
+// The trivial result: keep everything.
+IndexList KeepAll(const Trajectory& trajectory);
+
+// Returns true iff `kept` is sorted strictly ascending, within range, and
+// contains the endpoints (vacuously true for empty trajectories). Used by
+// tests and debug checks.
+bool IsValidIndexList(const Trajectory& trajectory, const IndexList& kept);
+
+// Compression rate in percent: (1 - kept/original) * 100; 0 when the
+// trajectory has < 1 point.
+double CompressionPercent(size_t original_points, size_t kept_points);
+
+}  // namespace stcomp::algo
+
+#endif  // STCOMP_ALGO_COMPRESSION_H_

@@ -1,0 +1,151 @@
+#include "stcomp/algo/douglas_peucker.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp::algo {
+
+namespace {
+
+// Index of the interior point of (first, last) maximising `distance`,
+// lowest index on ties, together with that maximum. Requires last >
+// first + 1.
+std::pair<int, double> FarthestInteriorPoint(const Trajectory& trajectory,
+                                             int first, int last,
+                                             const SplitDistanceFn& distance) {
+  int best_index = first + 1;
+  double best_distance = -1.0;
+  for (int i = first + 1; i < last; ++i) {
+    const double d = distance(trajectory, first, last, i);
+    if (d > best_distance) {
+      best_distance = d;
+      best_index = i;
+    }
+  }
+  return {best_index, best_distance};
+}
+
+}  // namespace
+
+double PerpendicularSplitDistance(const Trajectory& trajectory, int first,
+                                  int last, int i) {
+  return PointToLineDistance(trajectory[static_cast<size_t>(i)].position,
+                             trajectory[static_cast<size_t>(first)].position,
+                             trajectory[static_cast<size_t>(last)].position);
+}
+
+IndexList TopDown(const Trajectory& trajectory, double epsilon,
+                  const SplitDistanceFn& distance) {
+  STCOMP_CHECK(epsilon >= 0.0);
+  const int n = static_cast<int>(trajectory.size());
+  if (n <= 2) {
+    return KeepAll(trajectory);
+  }
+  std::vector<bool> keep(static_cast<size_t>(n), false);
+  keep[0] = true;
+  keep[static_cast<size_t>(n) - 1] = true;
+
+  // Explicit stack instead of recursion: GPS traces can be long and
+  // adversarial splits would otherwise risk stack exhaustion.
+  std::vector<std::pair<int, int>> stack;
+  stack.emplace_back(0, n - 1);
+  while (!stack.empty()) {
+    const auto [first, last] = stack.back();
+    stack.pop_back();
+    if (last - first < 2) {
+      continue;
+    }
+    const auto [split, max_distance] =
+        FarthestInteriorPoint(trajectory, first, last, distance);
+    if (max_distance > epsilon) {
+      keep[static_cast<size_t>(split)] = true;
+      // Push the right half first so the left half is processed first;
+      // order does not affect the result, only reproducibility of traces.
+      stack.emplace_back(split, last);
+      stack.emplace_back(first, split);
+    }
+  }
+
+  IndexList kept;
+  for (int i = 0; i < n; ++i) {
+    if (keep[static_cast<size_t>(i)]) {
+      kept.push_back(i);
+    }
+  }
+  return kept;
+}
+
+IndexList DouglasPeucker(const Trajectory& trajectory, double epsilon_m) {
+  return TopDown(trajectory, epsilon_m, PerpendicularSplitDistance);
+}
+
+IndexList TopDownMaxPoints(const Trajectory& trajectory, int max_points,
+                           const SplitDistanceFn& distance) {
+  STCOMP_CHECK(max_points >= 2);
+  const int n = static_cast<int>(trajectory.size());
+  if (n <= 2 || n <= max_points) {
+    return KeepAll(trajectory);
+  }
+
+  // Best-first refinement: repeatedly split the pending range with the
+  // globally largest deviation until the point budget is exhausted.
+  struct Range {
+    double max_distance;
+    int first;
+    int last;
+    int split;
+    bool operator<(const Range& other) const {
+      // std::priority_queue is a max-heap; ties break to the earlier range
+      // for deterministic output.
+      if (max_distance != other.max_distance) {
+        return max_distance < other.max_distance;
+      }
+      return first > other.first;
+    }
+  };
+
+  auto make_range = [&trajectory, &distance](int first, int last) {
+    const auto [split, max_distance] =
+        FarthestInteriorPoint(trajectory, first, last, distance);
+    return Range{max_distance, first, last, split};
+  };
+
+  std::priority_queue<Range> queue;
+  queue.push(make_range(0, n - 1));
+  std::vector<bool> keep(static_cast<size_t>(n), false);
+  keep[0] = true;
+  keep[static_cast<size_t>(n) - 1] = true;
+  int kept_count = 2;
+  while (kept_count < max_points && !queue.empty()) {
+    const Range range = queue.top();
+    queue.pop();
+    keep[static_cast<size_t>(range.split)] = true;
+    ++kept_count;
+    if (range.split - range.first >= 2) {
+      queue.push(make_range(range.first, range.split));
+    }
+    if (range.last - range.split >= 2) {
+      queue.push(make_range(range.split, range.last));
+    }
+  }
+
+  IndexList kept;
+  kept.reserve(static_cast<size_t>(kept_count));
+  for (int i = 0; i < n; ++i) {
+    if (keep[static_cast<size_t>(i)]) {
+      kept.push_back(i);
+    }
+  }
+  return kept;
+}
+
+IndexList DouglasPeuckerMaxPoints(const Trajectory& trajectory,
+                                  int max_points) {
+  return TopDownMaxPoints(trajectory, max_points, PerpendicularSplitDistance);
+}
+
+}  // namespace stcomp::algo

@@ -1,0 +1,49 @@
+// The Douglas-Peucker top-down algorithm (paper Sec. 2.1, [Douglas &
+// Peucker 1973]) plus the generic top-down skeleton reused by the
+// spatiotemporal TD-TR algorithm (time_ratio.h).
+
+#ifndef STCOMP_ALGO_DOUGLAS_PEUCKER_H_
+#define STCOMP_ALGO_DOUGLAS_PEUCKER_H_
+
+#include <functional>
+
+#include "stcomp/algo/compression.h"
+
+namespace stcomp::algo {
+
+// Distance of interior point `i` from the candidate approximation of the
+// range (first, last): perpendicular distance for classic DP, synchronized
+// (time-ratio) distance for TD-TR.
+using SplitDistanceFn =
+    std::function<double(const Trajectory&, int first, int last, int i)>;
+
+// Perpendicular distance from point `i` to the line through points `first`
+// and `last` (the classic DP criterion; the paper's NDP).
+double PerpendicularSplitDistance(const Trajectory& trajectory, int first,
+                                  int last, int i);
+
+// Generic top-down recursion: splits (iteratively, with an explicit stack)
+// at the interior point of maximum `distance` whenever that maximum exceeds
+// `epsilon`; ties break to the lowest index. Keeps both endpoints.
+// Precondition (checked): epsilon >= 0.
+IndexList TopDown(const Trajectory& trajectory, double epsilon,
+                  const SplitDistanceFn& distance);
+
+// Classic Douglas-Peucker with perpendicular-distance threshold `epsilon_m`
+// ("NDP" in the paper's experiments).
+IndexList DouglasPeucker(const Trajectory& trajectory, double epsilon_m);
+
+// Best-first top-down refinement halting on output size instead of a
+// distance threshold (paper Sec. 2, halting condition "the number of data
+// points exceeds a user-defined value"). Always keeps the two endpoints,
+// so the effective minimum is 2. Precondition (checked): max_points >= 2.
+IndexList TopDownMaxPoints(const Trajectory& trajectory, int max_points,
+                           const SplitDistanceFn& distance);
+
+// The classic perpendicular-distance instance of TopDownMaxPoints.
+IndexList DouglasPeuckerMaxPoints(const Trajectory& trajectory,
+                                  int max_points);
+
+}  // namespace stcomp::algo
+
+#endif  // STCOMP_ALGO_DOUGLAS_PEUCKER_H_

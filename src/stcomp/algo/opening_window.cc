@@ -1,0 +1,74 @@
+#include "stcomp/algo/opening_window.h"
+
+#include "stcomp/common/check.h"
+#include "stcomp/core/interpolation.h"
+
+namespace stcomp::algo {
+
+double PerpendicularWindowDistance(const Trajectory& trajectory, int anchor,
+                                   int float_index, int i) {
+  return PointToLineDistance(
+      trajectory[static_cast<size_t>(i)].position,
+      trajectory[static_cast<size_t>(anchor)].position,
+      trajectory[static_cast<size_t>(float_index)].position);
+}
+
+double SynchronizedWindowDistance(const Trajectory& trajectory, int anchor,
+                                  int float_index, int i) {
+  return SynchronizedDistance(trajectory[static_cast<size_t>(anchor)],
+                              trajectory[static_cast<size_t>(float_index)],
+                              trajectory[static_cast<size_t>(i)]);
+}
+
+IndexList OpeningWindow(const Trajectory& trajectory, double epsilon,
+                        BreakPolicy policy, const WindowDistanceFn& distance) {
+  STCOMP_CHECK(epsilon >= 0.0);
+  const int n = static_cast<int>(trajectory.size());
+  if (n <= 2) {
+    return KeepAll(trajectory);
+  }
+  IndexList kept;
+  kept.push_back(0);
+  int anchor = 0;
+  int float_index = anchor + 2;
+  while (float_index < n) {
+    // Find the first interior violation of the current window. All interior
+    // points must be re-examined whenever the float moves: for the
+    // synchronized distance the approximation of *every* interior point
+    // depends on the float (this is what makes the family O(N^2)).
+    int violation = -1;
+    for (int i = anchor + 1; i < float_index; ++i) {
+      if (distance(trajectory, anchor, float_index, i) > epsilon) {
+        violation = i;
+        break;
+      }
+    }
+    if (violation < 0) {
+      ++float_index;
+      continue;
+    }
+    const int cut =
+        policy == BreakPolicy::kNormal ? violation : float_index - 1;
+    // Both choices are > anchor: violation >= anchor + 1 and
+    // float_index - 1 >= anchor + 1.
+    kept.push_back(cut);
+    anchor = cut;
+    float_index = anchor + 2;
+  }
+  if (kept.back() != n - 1) {
+    kept.push_back(n - 1);
+  }
+  return kept;
+}
+
+IndexList Nopw(const Trajectory& trajectory, double epsilon_m) {
+  return OpeningWindow(trajectory, epsilon_m, BreakPolicy::kNormal,
+                       PerpendicularWindowDistance);
+}
+
+IndexList Bopw(const Trajectory& trajectory, double epsilon_m) {
+  return OpeningWindow(trajectory, epsilon_m, BreakPolicy::kBefore,
+                       PerpendicularWindowDistance);
+}
+
+}  // namespace stcomp::algo

@@ -1,0 +1,55 @@
+// Opening-window algorithms (paper Sec. 2.2): anchor a segment start,
+// grow the float until a threshold violation, cut, repeat. Parameterised
+// over the per-point distance measure (perpendicular for the classic
+// NOPW/BOPW, synchronized time-ratio distance for OPW-TR) and over the
+// break policy.
+
+#ifndef STCOMP_ALGO_OPENING_WINDOW_H_
+#define STCOMP_ALGO_OPENING_WINDOW_H_
+
+#include <functional>
+
+#include "stcomp/algo/compression.h"
+
+namespace stcomp::algo {
+
+// Where to cut when the window [anchor, float] first violates the
+// threshold at interior point v (paper Figs. 2 and 3):
+enum class BreakPolicy {
+  // Cut at v, the point causing the violation ("Normal Opening Window").
+  kNormal,
+  // Cut at float-1, the last float for which the window was still valid
+  // ("Before Opening Window"). See DESIGN.md on the paper's Fig. 3 reading.
+  kBefore,
+};
+
+// Distance of interior point `i` from the candidate window segment
+// (anchor, float_index).
+using WindowDistanceFn =
+    std::function<double(const Trajectory&, int anchor, int float_index,
+                         int i)>;
+
+// Perpendicular distance from point `i` to the line through the window
+// endpoints — the classic opening-window criterion.
+double PerpendicularWindowDistance(const Trajectory& trajectory, int anchor,
+                                   int float_index, int i);
+
+// Synchronized (time-ratio) distance of point `i` from the window segment
+// (paper Eqs. 1-2) — the OPW-TR criterion.
+double SynchronizedWindowDistance(const Trajectory& trajectory, int anchor,
+                                  int float_index, int i);
+
+// Generic opening window. A window is violated when any interior distance
+// exceeds `epsilon` (strictly). The final point is always kept (the
+// countermeasure for the "may lose the last few data points" issue the
+// paper notes). Precondition (checked): epsilon >= 0.
+IndexList OpeningWindow(const Trajectory& trajectory, double epsilon,
+                        BreakPolicy policy, const WindowDistanceFn& distance);
+
+// Classic spatial variants (perpendicular distance).
+IndexList Nopw(const Trajectory& trajectory, double epsilon_m);
+IndexList Bopw(const Trajectory& trajectory, double epsilon_m);
+
+}  // namespace stcomp::algo
+
+#endif  // STCOMP_ALGO_OPENING_WINDOW_H_

@@ -1,0 +1,162 @@
+#include "stcomp/algo/registry.h"
+
+#include "stcomp/algo/angular.h"
+#include "stcomp/algo/bottom_up.h"
+#include "stcomp/algo/douglas_peucker.h"
+#include "stcomp/algo/opening_window.h"
+#include "stcomp/algo/path_hull.h"
+#include "stcomp/algo/perpendicular.h"
+#include "stcomp/algo/radial_distance.h"
+#include "stcomp/algo/sampling.h"
+#include "stcomp/algo/reumann_witkam.h"
+#include "stcomp/algo/sliding_window.h"
+#include "stcomp/algo/spatiotemporal.h"
+#include "stcomp/algo/squish.h"
+#include "stcomp/algo/time_ratio.h"
+#include "stcomp/algo/visvalingam.h"
+
+namespace stcomp::algo {
+
+namespace {
+
+std::vector<AlgorithmInfo> MakeRegistry() {
+  std::vector<AlgorithmInfo> algorithms;
+  algorithms.push_back(
+      {"uniform", "keep every i-th point [Tobler]", true, false,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return UniformSampling(t, p.keep_every);
+       }});
+  algorithms.push_back(
+      {"temporal", "keep one point per time bucket", true, true,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return TemporalSampling(t, p.interval_s);
+       }});
+  algorithms.push_back(
+      {"radial", "drop neighbours closer than epsilon", true, false,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return RadialDistance(t, p.epsilon_m);
+       }});
+  algorithms.push_back(
+      {"perpendicular", "Jenks three-point perpendicular test", true, false,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return PerpendicularDistance(t, p.epsilon_m);
+       }});
+  algorithms.push_back(
+      {"angular", "Jenks heading-change test", true, false,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return AngularChange(t, p.min_heading_change_rad);
+       }});
+  algorithms.push_back(
+      {"reumann-witkam", "strip-based single pass [Reumann-Witkam]", true,
+       false,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return ReumannWitkam(t, p.epsilon_m);
+       }});
+  algorithms.push_back(
+      {"visvalingam", "least-effective-area removal (batch)", false, false,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         // Treat epsilon as a length scale: area threshold eps^2 / 2.
+         return Visvalingam(t, 0.5 * p.epsilon_m * p.epsilon_m);
+       }});
+  algorithms.push_back(
+      {"ndp", "Douglas-Peucker, perpendicular distance (batch)", false, false,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return DouglasPeucker(t, p.epsilon_m);
+       }});
+  algorithms.push_back(
+      {"ndp-hull", "Douglas-Peucker via convex-hull farthest queries", false,
+       false,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return DouglasPeuckerHull(t, p.epsilon_m);
+       }});
+  algorithms.push_back(
+      {"sliding", "capped opening window, perpendicular", true, false,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return SlidingWindow(t, p.epsilon_m, p.max_window);
+       }});
+  algorithms.push_back(
+      {"bottom-up", "greedy cheapest-removal (batch), perpendicular", false,
+       false,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return BottomUp(t, p.epsilon_m, BottomUpMetric::kPerpendicular);
+       }});
+  algorithms.push_back(
+      {"nopw", "opening window, break at violating point", true, false,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return Nopw(t, p.epsilon_m);
+       }});
+  algorithms.push_back(
+      {"bopw", "opening window, break before the float", true, false,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return Bopw(t, p.epsilon_m);
+       }});
+  algorithms.push_back(
+      {"td-tr", "top-down time-ratio (paper Sec. 3.2, batch)", false, true,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return TdTr(t, p.epsilon_m);
+       }});
+  algorithms.push_back(
+      {"opw-tr", "opening-window time-ratio (paper Sec. 3.2)", true, true,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return OpwTr(t, p.epsilon_m);
+       }});
+  algorithms.push_back(
+      {"opw-sp", "opening-window spatiotemporal, SED + speed (paper SPT)",
+       true, true,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return OpwSp(t, p.epsilon_m, p.speed_threshold_mps);
+       }});
+  algorithms.push_back(
+      {"td-sp", "top-down spatiotemporal, SED + speed (batch)", false, true,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return TdSp(t, p.epsilon_m, p.speed_threshold_mps);
+       }});
+  algorithms.push_back(
+      {"bottom-up-tr", "greedy cheapest-removal, synchronized distance",
+       false, true,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return BottomUp(t, p.epsilon_m, BottomUpMetric::kSynchronized);
+       }});
+  algorithms.push_back(
+      {"visvalingam-tr", "least 3-D (x, y, v*t) area removal", false, true,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return VisvalingamTr(t, 0.5 * p.epsilon_m * p.epsilon_m,
+                              /*time_weight_mps=*/10.0);
+       }});
+  algorithms.push_back(
+      {"squish-e", "SQUISH-E: priority-queue SED, error-bounded [Muckell]",
+       true, true,
+       [](const Trajectory& t, const AlgorithmParams& p) {
+         return SquishE(t, p.epsilon_m);
+       }});
+  return algorithms;
+}
+
+}  // namespace
+
+const std::vector<AlgorithmInfo>& AllAlgorithms() {
+  // Function-local static: initialised on first use, never destroyed order
+  // problems (registry lives for the program's lifetime).
+  static const std::vector<AlgorithmInfo>* const kRegistry =
+      new std::vector<AlgorithmInfo>(MakeRegistry());
+  return *kRegistry;
+}
+
+Result<const AlgorithmInfo*> FindAlgorithm(std::string_view name) {
+  for (const AlgorithmInfo& info : AllAlgorithms()) {
+    if (info.name == name) {
+      return &info;
+    }
+  }
+  std::string known;
+  for (const AlgorithmInfo& info : AllAlgorithms()) {
+    if (!known.empty()) {
+      known += ", ";
+    }
+    known += info.name;
+  }
+  return NotFoundError("unknown algorithm '" + std::string(name) +
+                       "'; known: " + known);
+}
+
+}  // namespace stcomp::algo

@@ -1,0 +1,54 @@
+// A uniform, name-addressable view over every compression algorithm, used
+// by the experiment harness, examples and CLI tools.
+
+#ifndef STCOMP_ALGO_REGISTRY_H_
+#define STCOMP_ALGO_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stcomp/algo/compression.h"
+#include "stcomp/common/result.h"
+
+namespace stcomp::algo {
+
+// Union of the tunables across all algorithms; each algorithm reads only
+// the fields it documents.
+struct AlgorithmParams {
+  // Distance threshold (metres): every algorithm with a distance criterion.
+  double epsilon_m = 50.0;
+  // Speed-difference threshold (m/s): OPW-SP, TD-SP.
+  double speed_threshold_mps = 15.0;
+  // Keep every i-th point: uniform sampling.
+  int keep_every = 2;
+  // Time bucket (seconds): temporal sampling.
+  double interval_s = 30.0;
+  // Minimum heading change (radians): angular change.
+  double min_heading_change_rad = 0.1;
+  // Window cap (points): sliding window.
+  int max_window = 32;
+};
+
+using AlgorithmFn =
+    std::function<IndexList(const Trajectory&, const AlgorithmParams&)>;
+
+struct AlgorithmInfo {
+  std::string name;         // Stable identifier, e.g. "td-tr".
+  std::string description;  // One line for --help output.
+  bool online;              // Usable on unbounded streams.
+  bool spatiotemporal;      // Uses the temporal dimension in its criterion.
+  AlgorithmFn run;
+};
+
+// All registered algorithms, in presentation order (spatial baselines
+// first, then the paper's spatiotemporal contributions).
+const std::vector<AlgorithmInfo>& AllAlgorithms();
+
+// Lookup by name; kNotFound lists valid names in the message.
+Result<const AlgorithmInfo*> FindAlgorithm(std::string_view name);
+
+}  // namespace stcomp::algo
+
+#endif  // STCOMP_ALGO_REGISTRY_H_

@@ -1,0 +1,45 @@
+#include "stcomp/algo/sampling.h"
+
+#include "stcomp/common/check.h"
+
+namespace stcomp::algo {
+
+IndexList UniformSampling(const Trajectory& trajectory, int keep_every) {
+  STCOMP_CHECK(keep_every >= 1);
+  const int n = static_cast<int>(trajectory.size());
+  IndexList kept;
+  for (int i = 0; i < n; i += keep_every) {
+    kept.push_back(i);
+  }
+  if (!kept.empty() && kept.back() != n - 1) {
+    kept.push_back(n - 1);
+  }
+  return kept;
+}
+
+IndexList TemporalSampling(const Trajectory& trajectory, double interval_s) {
+  STCOMP_CHECK(interval_s > 0.0);
+  const int n = static_cast<int>(trajectory.size());
+  IndexList kept;
+  if (n == 0) {
+    return kept;
+  }
+  kept.push_back(0);
+  double next_bucket = trajectory[0].t + interval_s;
+  for (int i = 1; i < n - 1; ++i) {
+    if (trajectory[static_cast<size_t>(i)].t >= next_bucket) {
+      kept.push_back(i);
+      // Advance to the bucket containing this sample, so long gaps do not
+      // force a burst of kept points afterwards.
+      while (next_bucket <= trajectory[static_cast<size_t>(i)].t) {
+        next_bucket += interval_s;
+      }
+    }
+  }
+  if (n > 1) {
+    kept.push_back(n - 1);
+  }
+  return kept;
+}
+
+}  // namespace stcomp::algo

@@ -1,0 +1,64 @@
+#include "stcomp/algo/sliding_window.h"
+
+#include "stcomp/common/check.h"
+
+namespace stcomp::algo {
+
+namespace {
+
+IndexList SlidingWindowImpl(const Trajectory& trajectory, double epsilon,
+                            int max_window, const WindowDistanceFn& distance) {
+  STCOMP_CHECK(epsilon >= 0.0);
+  STCOMP_CHECK(max_window >= 2);
+  const int n = static_cast<int>(trajectory.size());
+  if (n <= 2) {
+    return KeepAll(trajectory);
+  }
+  IndexList kept;
+  kept.push_back(0);
+  int anchor = 0;
+  int float_index = anchor + 2;
+  while (float_index < n) {
+    int violation = -1;
+    for (int i = anchor + 1; i < float_index; ++i) {
+      if (distance(trajectory, anchor, float_index, i) > epsilon) {
+        violation = i;
+        break;
+      }
+    }
+    if (violation >= 0) {
+      kept.push_back(violation);
+      anchor = violation;
+      float_index = anchor + 2;
+      continue;
+    }
+    if (float_index - anchor >= max_window) {
+      // Window cap reached without violation: commit the segment.
+      kept.push_back(float_index);
+      anchor = float_index;
+      float_index = anchor + 2;
+      continue;
+    }
+    ++float_index;
+  }
+  if (kept.back() != n - 1) {
+    kept.push_back(n - 1);
+  }
+  return kept;
+}
+
+}  // namespace
+
+IndexList SlidingWindow(const Trajectory& trajectory, double epsilon_m,
+                        int max_window) {
+  return SlidingWindowImpl(trajectory, epsilon_m, max_window,
+                           PerpendicularWindowDistance);
+}
+
+IndexList SlidingWindowTr(const Trajectory& trajectory, double epsilon_m,
+                          int max_window) {
+  return SlidingWindowImpl(trajectory, epsilon_m, max_window,
+                           SynchronizedWindowDistance);
+}
+
+}  // namespace stcomp::algo

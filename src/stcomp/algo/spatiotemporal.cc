@@ -1,0 +1,121 @@
+#include "stcomp/algo/spatiotemporal.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "stcomp/common/check.h"
+#include "stcomp/core/interpolation.h"
+
+namespace stcomp::algo {
+
+double SpeedJump(const Trajectory& trajectory, int i) {
+  STCOMP_CHECK(i > 0 && static_cast<size_t>(i) + 1 < trajectory.size());
+  const double before = trajectory.SegmentSpeed(static_cast<size_t>(i) - 1);
+  const double after = trajectory.SegmentSpeed(static_cast<size_t>(i));
+  return std::abs(after - before);
+}
+
+IndexList OpwSp(const Trajectory& trajectory, double max_dist_error_m,
+                double max_speed_error_mps) {
+  STCOMP_CHECK(max_dist_error_m >= 0.0);
+  STCOMP_CHECK(max_speed_error_mps >= 0.0);
+  const int n = static_cast<int>(trajectory.size());
+  if (n <= 2) {
+    return KeepAll(trajectory);
+  }
+  // Iterative form of the paper's recursive SPT procedure: the recursion
+  // SPT(s[i..]) after a violation at i is exactly "cut at i, re-anchor".
+  IndexList kept;
+  kept.push_back(0);
+  int anchor = 0;
+  int float_index = anchor + 2;
+  while (float_index < n) {
+    int violation = -1;
+    for (int i = anchor + 1; i < float_index; ++i) {
+      const double sed =
+          SynchronizedDistance(trajectory[static_cast<size_t>(anchor)],
+                               trajectory[static_cast<size_t>(float_index)],
+                               trajectory[static_cast<size_t>(i)]);
+      if (sed > max_dist_error_m ||
+          SpeedJump(trajectory, i) > max_speed_error_mps) {
+        violation = i;
+        break;
+      }
+    }
+    if (violation < 0) {
+      ++float_index;
+      continue;
+    }
+    kept.push_back(violation);
+    anchor = violation;
+    float_index = anchor + 2;
+  }
+  if (kept.back() != n - 1) {
+    kept.push_back(n - 1);
+  }
+  return kept;
+}
+
+IndexList TdSp(const Trajectory& trajectory, double max_dist_error_m,
+               double max_speed_error_mps) {
+  STCOMP_CHECK(max_dist_error_m >= 0.0);
+  STCOMP_CHECK(max_speed_error_mps >= 0.0);
+  const int n = static_cast<int>(trajectory.size());
+  if (n <= 2) {
+    return KeepAll(trajectory);
+  }
+  std::vector<bool> keep(static_cast<size_t>(n), false);
+  keep[0] = true;
+  keep[static_cast<size_t>(n) - 1] = true;
+  std::vector<std::pair<int, int>> stack;
+  stack.emplace_back(0, n - 1);
+  while (!stack.empty()) {
+    const auto [first, last] = stack.back();
+    stack.pop_back();
+    if (last - first < 2) {
+      continue;
+    }
+    int max_sed_index = first + 1;
+    double max_sed = -1.0;
+    int max_jump_index = -1;
+    double max_jump = -1.0;
+    for (int i = first + 1; i < last; ++i) {
+      const double sed =
+          SynchronizedDistance(trajectory[static_cast<size_t>(first)],
+                               trajectory[static_cast<size_t>(last)],
+                               trajectory[static_cast<size_t>(i)]);
+      if (sed > max_sed) {
+        max_sed = sed;
+        max_sed_index = i;
+      }
+      // The speed jump needs a predecessor and successor sample in the full
+      // trajectory; interior points of any range always have both.
+      const double jump = SpeedJump(trajectory, i);
+      if (jump > max_jump) {
+        max_jump = jump;
+        max_jump_index = i;
+      }
+    }
+    int split = -1;
+    if (max_sed > max_dist_error_m) {
+      split = max_sed_index;
+    } else if (max_jump > max_speed_error_mps) {
+      split = max_jump_index;
+    }
+    if (split >= 0) {
+      keep[static_cast<size_t>(split)] = true;
+      stack.emplace_back(split, last);
+      stack.emplace_back(first, split);
+    }
+  }
+  IndexList kept;
+  for (int i = 0; i < n; ++i) {
+    if (keep[static_cast<size_t>(i)]) {
+      kept.push_back(i);
+    }
+  }
+  return kept;
+}
+
+}  // namespace stcomp::algo

@@ -1,0 +1,156 @@
+#include "stcomp/algo/squish.h"
+
+#include <limits>
+
+#include "stcomp/common/check.h"
+#include "stcomp/core/interpolation.h"
+
+namespace stcomp::algo {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+}  // namespace
+
+SquishBuffer::SquishBuffer(size_t capacity, double mu)
+    : capacity_(capacity), mu_(mu) {
+  STCOMP_CHECK(capacity_ == 0 || capacity_ >= 2);
+  STCOMP_CHECK(mu_ >= 0.0);
+}
+
+double SquishBuffer::SedPriority(const Node& node) const {
+  if (node.prev < 0 || node.next < 0) {
+    return kInfinity;  // Endpoints are never removed.
+  }
+  const Node& before = nodes_[static_cast<size_t>(node.prev)];
+  const Node& after = nodes_[static_cast<size_t>(node.next)];
+  return node.carry +
+         SynchronizedDistance(before.point, after.point, node.point);
+}
+
+void SquishBuffer::Reprioritise(int node_id) {
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  queue_.erase({node.priority, node_id});
+  node.priority = SedPriority(node);
+  queue_.insert({node.priority, node_id});
+}
+
+void SquishBuffer::RemoveCheapest() {
+  STCOMP_DCHECK(!queue_.empty());
+  const auto [priority, node_id] = *queue_.begin();
+  queue_.erase(queue_.begin());
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  STCOMP_DCHECK(node.alive && node.prev >= 0 && node.next >= 0);
+  node.alive = false;
+  --nodes_alive_;
+  Node& before = nodes_[static_cast<size_t>(node.prev)];
+  Node& after = nodes_[static_cast<size_t>(node.next)];
+  before.next = node.next;
+  after.prev = node.prev;
+  // Propagate the removal's error estimate so neighbours account for the
+  // points they now also approximate.
+  before.carry = std::max(before.carry, node.priority);
+  after.carry = std::max(after.carry, node.priority);
+  free_ids_.push_back(node_id);
+  if (before.prev >= 0) {
+    Reprioritise(node.prev);
+  }
+  if (after.next >= 0) {
+    Reprioritise(node.next);
+  }
+}
+
+bool SquishBuffer::ShouldRemove() const {
+  if (nodes_alive_ <= 2 || queue_.empty()) {
+    return false;
+  }
+  const double cheapest = queue_.begin()->first;
+  if (cheapest == kInfinity) {
+    return false;
+  }
+  if (capacity_ != 0 && nodes_alive_ > capacity_) {
+    return true;
+  }
+  // Error-driven mode: shrink opportunistically while within budget.
+  return capacity_ == 0 && cheapest <= mu_;
+}
+
+void SquishBuffer::Push(int original_index, const TimedPoint& point) {
+  int node_id;
+  if (!free_ids_.empty()) {
+    node_id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    node_id = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& node = nodes_[static_cast<size_t>(node_id)];
+  node.point = point;
+  node.original_index = original_index;
+  node.priority = kInfinity;
+  node.carry = 0.0;
+  node.prev = tail_;
+  node.next = -1;
+  node.alive = true;
+  ++nodes_alive_;
+  if (tail_ >= 0) {
+    nodes_[static_cast<size_t>(tail_)].next = node_id;
+  } else {
+    head_ = node_id;
+  }
+  const int previous_tail = tail_;
+  tail_ = node_id;
+  queue_.insert({kInfinity, node_id});
+  // The former tail now has both neighbours; give it a real priority.
+  if (previous_tail >= 0 &&
+      nodes_[static_cast<size_t>(previous_tail)].prev >= 0) {
+    Reprioritise(previous_tail);
+  }
+  while (ShouldRemove()) {
+    RemoveCheapest();
+  }
+}
+
+IndexList SquishBuffer::Finalize() const {
+  IndexList kept;
+  for (int id = head_; id >= 0;
+       id = nodes_[static_cast<size_t>(id)].next) {
+    kept.push_back(nodes_[static_cast<size_t>(id)].original_index);
+  }
+  return kept;
+}
+
+std::vector<std::pair<int, TimedPoint>> SquishBuffer::FinalizePoints() const {
+  std::vector<std::pair<int, TimedPoint>> kept;
+  for (int id = head_; id >= 0;
+       id = nodes_[static_cast<size_t>(id)].next) {
+    const Node& node = nodes_[static_cast<size_t>(id)];
+    kept.emplace_back(node.original_index, node.point);
+  }
+  return kept;
+}
+
+IndexList Squish(const Trajectory& trajectory, size_t buffer_capacity) {
+  STCOMP_CHECK(buffer_capacity >= 2);
+  if (trajectory.size() <= 2) {
+    return KeepAll(trajectory);
+  }
+  SquishBuffer buffer(buffer_capacity, 0.0);
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    buffer.Push(static_cast<int>(i), trajectory[i]);
+  }
+  return buffer.Finalize();
+}
+
+IndexList SquishE(const Trajectory& trajectory, double mu_m) {
+  STCOMP_CHECK(mu_m >= 0.0);
+  if (trajectory.size() <= 2) {
+    return KeepAll(trajectory);
+  }
+  SquishBuffer buffer(0, mu_m);
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    buffer.Push(static_cast<int>(i), trajectory[i]);
+  }
+  return buffer.Finalize();
+}
+
+}  // namespace stcomp::algo

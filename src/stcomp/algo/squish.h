@@ -1,0 +1,85 @@
+// SQUISH and SQUISH-E (Muckell et al., "Compression of trajectory data: a
+// comprehensive evaluation and new approach", GeoInformatica 2014): online
+// compression built directly on the paper's synchronized Euclidean
+// distance. A priority queue holds the buffered points; a point's priority
+// estimates the maximum SED error its removal would introduce, and
+// removals propagate their priority to the neighbours so errors cannot
+// silently accumulate.
+//
+// Two halting modes:
+//   Squish      — bounded buffer (compression-ratio driven, O(beta) memory)
+//   SquishE     — bounded error estimate (remove while min priority <= mu)
+//
+// Included as the canonical follow-on to the paper's OPW-TR: same error
+// notion, better compression/error trade-off at bounded memory.
+
+#ifndef STCOMP_ALGO_SQUISH_H_
+#define STCOMP_ALGO_SQUISH_H_
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "stcomp/algo/compression.h"
+
+namespace stcomp::algo {
+
+// The incremental engine, also used by stream/squish_stream.h. Feed points
+// in time order with their original indices; Finalize() returns the kept
+// indices in order.
+class SquishBuffer {
+ public:
+  // capacity == 0 means unbounded (error-driven mode only).
+  // mu is the error-estimate bound; removals stop when the cheapest
+  // removal's priority exceeds mu. capacity and mu may be combined.
+  SquishBuffer(size_t capacity, double mu);
+
+  void Push(int original_index, const TimedPoint& point);
+
+  // Number of currently buffered points.
+  size_t size() const { return nodes_alive_; }
+
+  // Kept original indices (ascending). The buffer remains usable.
+  IndexList Finalize() const;
+
+  // Kept points with their original indices (for streaming adapters).
+  std::vector<std::pair<int, TimedPoint>> FinalizePoints() const;
+
+ private:
+  struct Node {
+    TimedPoint point;
+    int original_index;
+    double priority;  // Removal-error estimate (infinity for endpoints).
+    double carry;     // Max priority inherited from removed neighbours.
+    int prev;
+    int next;
+    bool alive;
+  };
+
+  double SedPriority(const Node& node) const;
+  void Reprioritise(int node_id);
+  void RemoveCheapest();
+  bool ShouldRemove() const;
+
+  const size_t capacity_;
+  const double mu_;
+  std::vector<Node> nodes_;
+  std::vector<int> free_ids_;  // Recycled slots: memory stays O(capacity).
+  size_t nodes_alive_ = 0;
+  // Orders (priority, node id); rebuilt entries replace stale ones.
+  std::set<std::pair<double, int>> queue_;
+  int head_ = -1;
+  int tail_ = -1;
+};
+
+// Buffer-bound SQUISH: keeps at most `buffer_capacity` points (>= 2,
+// checked). The endpoints always survive.
+IndexList Squish(const Trajectory& trajectory, size_t buffer_capacity);
+
+// Error-bound SQUISH-E(mu): removes points while the cheapest removal's
+// SED-error estimate stays <= mu_m. Precondition (checked): mu_m >= 0.
+IndexList SquishE(const Trajectory& trajectory, double mu_m);
+
+}  // namespace stcomp::algo
+
+#endif  // STCOMP_ALGO_SQUISH_H_

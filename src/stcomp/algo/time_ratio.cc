@@ -1,0 +1,29 @@
+#include "stcomp/algo/time_ratio.h"
+
+#include "stcomp/algo/douglas_peucker.h"
+#include "stcomp/algo/opening_window.h"
+#include "stcomp/core/interpolation.h"
+
+namespace stcomp::algo {
+
+double SynchronizedSplitDistance(const Trajectory& trajectory, int first,
+                                 int last, int i) {
+  return SynchronizedDistance(trajectory[static_cast<size_t>(first)],
+                              trajectory[static_cast<size_t>(last)],
+                              trajectory[static_cast<size_t>(i)]);
+}
+
+IndexList TdTr(const Trajectory& trajectory, double epsilon_m) {
+  return TopDown(trajectory, epsilon_m, SynchronizedSplitDistance);
+}
+
+IndexList TdTrMaxPoints(const Trajectory& trajectory, int max_points) {
+  return TopDownMaxPoints(trajectory, max_points, SynchronizedSplitDistance);
+}
+
+IndexList OpwTr(const Trajectory& trajectory, double epsilon_m) {
+  return OpeningWindow(trajectory, epsilon_m, BreakPolicy::kNormal,
+                       SynchronizedWindowDistance);
+}
+
+}  // namespace stcomp::algo

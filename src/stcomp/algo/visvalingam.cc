@@ -1,0 +1,183 @@
+#include "stcomp/algo/visvalingam.h"
+
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp::algo {
+
+namespace {
+
+// Greedy least-area removal over a doubly-linked list with a lazily
+// invalidated heap (same engine shape as bottom_up.cc, but the cost is a
+// property of the removed point's triangle, not of the merged range).
+class VisvalingamEngine {
+ public:
+  using AreaFn = double (*)(const Trajectory&, int a, int b, int c,
+                            double weight);
+
+  VisvalingamEngine(const Trajectory& trajectory, AreaFn area, double weight)
+      : trajectory_(trajectory),
+        area_(area),
+        weight_(weight),
+        n_(static_cast<int>(trajectory.size())),
+        prev_(static_cast<size_t>(n_)),
+        next_(static_cast<size_t>(n_)),
+        generation_(static_cast<size_t>(n_), 0),
+        alive_(static_cast<size_t>(n_), true) {
+    for (int i = 0; i < n_; ++i) {
+      prev_[static_cast<size_t>(i)] = i - 1;
+      next_[static_cast<size_t>(i)] = i + 1 < n_ ? i + 1 : -1;
+    }
+    for (int i = 1; i + 1 < n_; ++i) {
+      Push(i);
+    }
+    kept_count_ = n_;
+  }
+
+  template <typename Predicate>
+  IndexList Run(const Predicate& may_remove) {
+    // Visvalingam detail: a removal can *reduce* a neighbour's area below
+    // an already-removed one's; the standard fix is to clamp each removal
+    // cost to be non-decreasing so the removal order is globally
+    // consistent.
+    double floor_area = 0.0;
+    while (!queue_.empty()) {
+      const Entry top = queue_.top();
+      queue_.pop();
+      if (!alive_[static_cast<size_t>(top.index)] ||
+          top.generation != generation_[static_cast<size_t>(top.index)]) {
+        continue;
+      }
+      const double effective = std::max(top.area, floor_area);
+      if (!may_remove(effective, kept_count_)) {
+        break;
+      }
+      floor_area = effective;
+      Remove(top.index);
+    }
+    IndexList kept;
+    kept.reserve(static_cast<size_t>(kept_count_));
+    for (int i = 0; i != -1 && i < n_; i = next_[static_cast<size_t>(i)]) {
+      kept.push_back(i);
+      if (next_[static_cast<size_t>(i)] == -1) {
+        break;
+      }
+    }
+    return kept;
+  }
+
+ private:
+  struct Entry {
+    double area;
+    int index;
+    int generation;
+    bool operator>(const Entry& other) const {
+      if (area != other.area) {
+        return area > other.area;
+      }
+      return index > other.index;
+    }
+  };
+
+  void Push(int index) {
+    const int a = prev_[static_cast<size_t>(index)];
+    const int c = next_[static_cast<size_t>(index)];
+    queue_.push(Entry{area_(trajectory_, a, index, c, weight_), index,
+                      generation_[static_cast<size_t>(index)]});
+  }
+
+  void Remove(int b) {
+    const int a = prev_[static_cast<size_t>(b)];
+    const int c = next_[static_cast<size_t>(b)];
+    alive_[static_cast<size_t>(b)] = false;
+    next_[static_cast<size_t>(a)] = c;
+    prev_[static_cast<size_t>(c)] = a;
+    --kept_count_;
+    if (a > 0) {
+      ++generation_[static_cast<size_t>(a)];
+      Push(a);
+    }
+    if (c < n_ - 1) {
+      ++generation_[static_cast<size_t>(c)];
+      Push(c);
+    }
+  }
+
+  const Trajectory& trajectory_;
+  const AreaFn area_;
+  const double weight_;
+  const int n_;
+  std::vector<int> prev_;
+  std::vector<int> next_;
+  std::vector<int> generation_;
+  std::vector<bool> alive_;
+  int kept_count_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+};
+
+double SpatialArea(const Trajectory& t, int a, int b, int c,
+                   double /*weight*/) {
+  const Vec2 pa = t[static_cast<size_t>(a)].position;
+  const Vec2 pb = t[static_cast<size_t>(b)].position;
+  const Vec2 pc = t[static_cast<size_t>(c)].position;
+  return 0.5 * std::abs((pb - pa).Cross(pc - pa));
+}
+
+double SpatiotemporalArea(const Trajectory& t, int a, int b, int c,
+                          double weight) {
+  // Triangle area in (x, y, weight * time) space.
+  const TimedPoint& qa = t[static_cast<size_t>(a)];
+  const TimedPoint& qb = t[static_cast<size_t>(b)];
+  const TimedPoint& qc = t[static_cast<size_t>(c)];
+  const double e1x = qb.position.x - qa.position.x;
+  const double e1y = qb.position.y - qa.position.y;
+  const double e1t = weight * (qb.t - qa.t);
+  const double e2x = qc.position.x - qa.position.x;
+  const double e2y = qc.position.y - qa.position.y;
+  const double e2t = weight * (qc.t - qa.t);
+  const double cx = e1y * e2t - e1t * e2y;
+  const double cy = e1t * e2x - e1x * e2t;
+  const double cz = e1x * e2y - e1y * e2x;
+  return 0.5 * std::sqrt(cx * cx + cy * cy + cz * cz);
+}
+
+}  // namespace
+
+IndexList Visvalingam(const Trajectory& trajectory, double min_area_m2) {
+  STCOMP_CHECK(min_area_m2 >= 0.0);
+  if (trajectory.size() <= 2) {
+    return KeepAll(trajectory);
+  }
+  VisvalingamEngine engine(trajectory, SpatialArea, 0.0);
+  return engine.Run([min_area_m2](double area, int /*kept*/) {
+    return area < min_area_m2;
+  });
+}
+
+IndexList VisvalingamMaxPoints(const Trajectory& trajectory, int max_points) {
+  STCOMP_CHECK(max_points >= 2);
+  if (static_cast<int>(trajectory.size()) <= max_points) {
+    return KeepAll(trajectory);
+  }
+  VisvalingamEngine engine(trajectory, SpatialArea, 0.0);
+  return engine.Run(
+      [max_points](double /*area*/, int kept) { return kept > max_points; });
+}
+
+IndexList VisvalingamTr(const Trajectory& trajectory, double min_area_m2,
+                        double time_weight_mps) {
+  STCOMP_CHECK(min_area_m2 >= 0.0);
+  STCOMP_CHECK(time_weight_mps >= 0.0);
+  if (trajectory.size() <= 2) {
+    return KeepAll(trajectory);
+  }
+  VisvalingamEngine engine(trajectory, SpatiotemporalArea, time_weight_mps);
+  return engine.Run([min_area_m2](double area, int /*kept*/) {
+    return area < min_area_m2;
+  });
+}
+
+}  // namespace stcomp::algo

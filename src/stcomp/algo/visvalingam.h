@@ -1,0 +1,34 @@
+// Visvalingam-Whyatt simplification: repeatedly remove the point whose
+// triangle with its neighbours has the least "effective area". A classic
+// line-generalization baseline complementing the distance-based ones in
+// the paper's Sec. 2 taxonomy (bottom-up category), plus a spatiotemporal
+// variant whose area is measured in (time-scaled) space so that dwelling
+// points survive.
+
+#ifndef STCOMP_ALGO_VISVALINGAM_H_
+#define STCOMP_ALGO_VISVALINGAM_H_
+
+#include "stcomp/algo/compression.h"
+
+namespace stcomp::algo {
+
+// Removes points while the smallest effective triangle area is below
+// `min_area_m2`. Precondition (checked): min_area_m2 >= 0.
+IndexList Visvalingam(const Trajectory& trajectory, double min_area_m2);
+
+// Halts when `max_points` remain instead (endpoints always kept).
+// Precondition (checked): max_points >= 2.
+IndexList VisvalingamMaxPoints(const Trajectory& trajectory, int max_points);
+
+// Spatiotemporal variant: the triangle is taken in the 3-D space
+// (x, y, w*t) with w = `time_weight_mps` converting seconds to metres (a
+// characteristic speed). Its area is zero exactly when the three samples
+// describe constant-velocity motion (zero synchronized deviation), so
+// points that deviate only temporally — dwells — survive, unlike in the
+// plain spatial variant. Preconditions (checked): both arguments >= 0.
+IndexList VisvalingamTr(const Trajectory& trajectory, double min_area_m2,
+                        double time_weight_mps);
+
+}  // namespace stcomp::algo
+
+#endif  // STCOMP_ALGO_VISVALINGAM_H_

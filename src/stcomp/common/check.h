@@ -1,0 +1,47 @@
+// Invariant-checking macros. STCOMP_CHECK* are always on (they guard
+// library invariants whose violation would otherwise corrupt results);
+// STCOMP_DCHECK* compile away in NDEBUG builds.
+
+#ifndef STCOMP_COMMON_CHECK_H_
+#define STCOMP_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+
+namespace stcomp::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::cerr << file << ":" << line << ": STCOMP_CHECK failed: " << condition
+            << std::endl;
+  std::abort();
+}
+
+}  // namespace stcomp::internal
+
+#define STCOMP_CHECK(condition)                                       \
+  do {                                                                \
+    if (!(condition)) {                                               \
+      ::stcomp::internal::CheckFailed(__FILE__, __LINE__, #condition); \
+    }                                                                 \
+  } while (false)
+
+#define STCOMP_CHECK_OK(expr)                                              \
+  do {                                                                     \
+    const ::stcomp::Status stcomp_check_status_ = (expr);                  \
+    if (!stcomp_check_status_.ok()) {                                      \
+      std::cerr << __FILE__ << ":" << __LINE__ << ": STCOMP_CHECK_OK failed: " \
+                << stcomp_check_status_.ToString() << std::endl;           \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define STCOMP_DCHECK(condition) \
+  do {                           \
+  } while (false)
+#else
+#define STCOMP_DCHECK(condition) STCOMP_CHECK(condition)
+#endif
+
+#endif  // STCOMP_COMMON_CHECK_H_

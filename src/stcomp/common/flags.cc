@@ -1,0 +1,119 @@
+#include "stcomp/common/flags.h"
+
+#include <iostream>
+
+#include "stcomp/common/strings.h"
+
+namespace stcomp {
+
+FlagParser::FlagParser(std::string_view program_doc)
+    : program_doc_(program_doc) {}
+
+void FlagParser::AddDouble(std::string_view name, double* value,
+                           std::string_view doc) {
+  flags_.push_back(Flag{std::string(name), Type::kDouble, value,
+                        std::string(doc), StrFormat("%g", *value)});
+}
+
+void FlagParser::AddInt(std::string_view name, int* value,
+                        std::string_view doc) {
+  flags_.push_back(Flag{std::string(name), Type::kInt, value, std::string(doc),
+                        StrFormat("%d", *value)});
+}
+
+void FlagParser::AddBool(std::string_view name, bool* value,
+                         std::string_view doc) {
+  flags_.push_back(Flag{std::string(name), Type::kBool, value,
+                        std::string(doc), *value ? "true" : "false"});
+}
+
+void FlagParser::AddString(std::string_view name, std::string* value,
+                           std::string_view doc) {
+  flags_.push_back(
+      Flag{std::string(name), Type::kString, value, std::string(doc), *value});
+}
+
+const FlagParser::Flag* FlagParser::Find(std::string_view name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) {
+      return &flag;
+    }
+  }
+  return nullptr;
+}
+
+Status FlagParser::SetFlag(const Flag& flag, std::string_view value_text) {
+  switch (flag.type) {
+    case Type::kDouble: {
+      STCOMP_ASSIGN_OR_RETURN(*static_cast<double*>(flag.target),
+                              ParseDouble(value_text));
+      return Status::Ok();
+    }
+    case Type::kInt: {
+      STCOMP_ASSIGN_OR_RETURN(long long parsed, ParseInt(value_text));
+      *static_cast<int*>(flag.target) = static_cast<int>(parsed);
+      return Status::Ok();
+    }
+    case Type::kBool: {
+      std::string lower = AsciiLower(value_text);
+      if (lower == "true" || lower == "1" || lower == "yes" || lower.empty()) {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (lower == "false" || lower == "0" || lower == "no") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return InvalidArgumentError("bad boolean value for --" + flag.name);
+      }
+      return Status::Ok();
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = std::string(value_text);
+      return Status::Ok();
+  }
+  return InternalError("unreachable flag type");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(std::string(arg));
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    if (body == "help") {
+      std::cout << UsageString();
+      return FailedPreconditionError("help requested");
+    }
+    size_t eq = body.find('=');
+    std::string_view name = eq == std::string_view::npos ? body : body.substr(0, eq);
+    const Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return InvalidArgumentError("unknown flag --" + std::string(name));
+    }
+    std::string_view value_text;
+    if (eq != std::string_view::npos) {
+      value_text = body.substr(eq + 1);
+    } else if (flag->type == Type::kBool) {
+      value_text = "true";
+    } else {
+      if (i + 1 >= argc) {
+        return InvalidArgumentError("flag --" + std::string(name) +
+                                    " needs a value");
+      }
+      value_text = argv[++i];
+    }
+    STCOMP_RETURN_IF_ERROR(SetFlag(*flag, value_text));
+  }
+  return Status::Ok();
+}
+
+std::string FlagParser::UsageString() const {
+  std::string usage = program_doc_ + "\n\nFlags:\n";
+  for (const Flag& flag : flags_) {
+    usage += StrFormat("  --%-24s %s (default: %s)\n", flag.name.c_str(),
+                       flag.doc.c_str(), flag.default_repr.c_str());
+  }
+  return usage;
+}
+
+}  // namespace stcomp

@@ -1,0 +1,58 @@
+// A tiny command-line flag parser for the bench and example binaries.
+// Supports --name=value and --name value forms plus `--help` generation.
+// Deliberately minimal: the library itself never parses flags.
+
+#ifndef STCOMP_COMMON_FLAGS_H_
+#define STCOMP_COMMON_FLAGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stcomp/common/status.h"
+
+namespace stcomp {
+
+class FlagParser {
+ public:
+  // `program_doc` is printed at the top of --help output.
+  explicit FlagParser(std::string_view program_doc);
+
+  // Registration. Pointers must outlive Parse(). Defaults are taken from the
+  // current pointee values.
+  void AddDouble(std::string_view name, double* value, std::string_view doc);
+  void AddInt(std::string_view name, int* value, std::string_view doc);
+  void AddBool(std::string_view name, bool* value, std::string_view doc);
+  void AddString(std::string_view name, std::string* value,
+                 std::string_view doc);
+
+  // Parses argv. On `--help`, prints usage and returns a status with code
+  // kFailedPrecondition (callers exit 0). Unknown flags are errors.
+  // Non-flag arguments are collected into positional().
+  Status Parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string UsageString() const;
+
+ private:
+  enum class Type { kDouble, kInt, kBool, kString };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string doc;
+    std::string default_repr;
+  };
+
+  Status SetFlag(const Flag& flag, std::string_view value_text);
+  const Flag* Find(std::string_view name) const;
+
+  std::string program_doc_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_COMMON_FLAGS_H_

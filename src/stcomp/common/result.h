@@ -1,0 +1,89 @@
+// Result<T>: value-or-Status, the return type of fallible functions that
+// produce a value. Mirrors the usual StatusOr<T> shape.
+
+#ifndef STCOMP_COMMON_RESULT_H_
+#define STCOMP_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "stcomp/common/status.h"
+
+namespace stcomp {
+
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return SomeError(...);`
+  // both work, matching StatusOr conventions.
+  Result(const T& value) : value_(value) {}                // NOLINT
+  Result(T&& value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {     // NOLINT
+    if (status_.ok()) {
+      // An OK status without a value is a programming error; fail loudly.
+      std::cerr << "Result<T> constructed from OK Status without a value\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok(). Aborts otherwise.
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::cerr << "Result<T>::value() on error: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is set.
+};
+
+}  // namespace stcomp
+
+// Assigns the value of a Result expression to `lhs`, or propagates the
+// error. `lhs` may include a declaration: STCOMP_ASSIGN_OR_RETURN(auto x, F())
+#define STCOMP_ASSIGN_OR_RETURN(lhs, expr)                        \
+  STCOMP_ASSIGN_OR_RETURN_IMPL_(                                  \
+      STCOMP_RESULT_CONCAT_(stcomp_result_, __LINE__), lhs, expr)
+
+#define STCOMP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+#define STCOMP_RESULT_CONCAT_INNER_(a, b) a##b
+#define STCOMP_RESULT_CONCAT_(a, b) STCOMP_RESULT_CONCAT_INNER_(a, b)
+
+#endif  // STCOMP_COMMON_RESULT_H_

@@ -1,0 +1,97 @@
+// Error handling for stcomp.
+//
+// The library does not use C++ exceptions. Fallible operations return a
+// Status (or a Result<T>, see result.h). Status is a cheap value type: the
+// OK state carries no allocation.
+
+#ifndef STCOMP_COMMON_STATUS_H_
+#define STCOMP_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace stcomp {
+
+// Canonical error space, modelled after the usual RPC canonical codes but
+// trimmed to what a storage/algorithm library needs.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kDataLoss = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+  kIoError = 9,
+};
+
+// Human-readable name of a code ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+// A Status is either OK or an (error code, message) pair.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string_view message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+  std::string_view message() const {
+    return rep_ == nullptr ? std::string_view() : std::string_view(rep_->message);
+  }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr represents OK; errors allocate.
+  std::unique_ptr<Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience factories.
+Status InvalidArgumentError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status OutOfRangeError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status DataLossError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+Status InternalError(std::string_view message);
+Status IoError(std::string_view message);
+
+}  // namespace stcomp
+
+// Propagates a non-OK status to the caller.
+#define STCOMP_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::stcomp::Status stcomp_status_macro_ = (expr);   \
+    if (!stcomp_status_macro_.ok()) {                 \
+      return stcomp_status_macro_;                    \
+    }                                                 \
+  } while (false)
+
+#endif  // STCOMP_COMMON_STATUS_H_

@@ -1,0 +1,114 @@
+#include "stcomp/common/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace stcomp {
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  std::string_view stripped = StripWhitespace(text);
+  if (stripped.empty()) {
+    return InvalidArgumentError("empty string is not a number");
+  }
+  std::string buffer(stripped);
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size() || errno == ERANGE ||
+      std::isnan(value)) {
+    return InvalidArgumentError("cannot parse '" + buffer + "' as double");
+  }
+  return value;
+}
+
+Result<long long> ParseInt(std::string_view text) {
+  std::string_view stripped = StripWhitespace(text);
+  if (stripped.empty()) {
+    return InvalidArgumentError("empty string is not an integer");
+  }
+  std::string buffer(stripped);
+  char* end = nullptr;
+  errno = 0;
+  long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (end != buffer.c_str() + buffer.size() || errno == ERANGE) {
+    return InvalidArgumentError("cannot parse '" + buffer + "' as integer");
+  }
+  return value;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string AsciiLower(std::string_view text) {
+  std::string result(text);
+  for (char& c : result) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return result;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string result;
+  if (needed > 0) {
+    result.resize(static_cast<size_t>(needed));
+    std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return result;
+}
+
+std::string FormatHms(double seconds) {
+  long long total = static_cast<long long>(std::llround(seconds));
+  long long h = total / 3600;
+  long long m = (total % 3600) / 60;
+  long long s = total % 60;
+  return StrFormat("%02lld:%02lld:%02lld", h, m, s);
+}
+
+}  // namespace stcomp

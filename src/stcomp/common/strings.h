@@ -1,0 +1,40 @@
+// Small string helpers used across the library (parsing CSV/GPX, printing
+// tables). Kept minimal and dependency-free.
+
+#ifndef STCOMP_COMMON_STRINGS_H_
+#define STCOMP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stcomp/common/result.h"
+
+namespace stcomp {
+
+// Splits `text` on `sep`, keeping empty fields. Splitting "" yields {""}.
+std::vector<std::string_view> Split(std::string_view text, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Whole-string numeric parsing (leading/trailing whitespace tolerated).
+Result<double> ParseDouble(std::string_view text);
+Result<long long> ParseInt(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Lowercases ASCII letters.
+std::string AsciiLower(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Formats a duration in seconds as "HH:MM:SS".
+std::string FormatHms(double seconds);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_COMMON_STRINGS_H_

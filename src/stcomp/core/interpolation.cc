@@ -1,0 +1,30 @@
+#include "stcomp/core/interpolation.h"
+
+#include "stcomp/common/check.h"
+
+namespace stcomp {
+
+Vec2 InterpolatePosition(const TimedPoint& start, const TimedPoint& end,
+                         double t) {
+  STCOMP_DCHECK(start.t <= t && t <= end.t);
+  const double dt = end.t - start.t;
+  if (dt <= 0.0) {
+    return start.position;
+  }
+  const double u = (t - start.t) / dt;
+  return Lerp(start.position, end.position, u);
+}
+
+Vec2 TimeRatioPosition(const TimedPoint& anchor, const TimedPoint& probe_end,
+                       const TimedPoint& point) {
+  // delta_e = t_e - t_s, delta_i = t_i - t_s (paper's notation).
+  return InterpolatePosition(anchor, probe_end, point.t);
+}
+
+double SynchronizedDistance(const TimedPoint& anchor,
+                            const TimedPoint& probe_end,
+                            const TimedPoint& point) {
+  return Distance(point.position, TimeRatioPosition(anchor, probe_end, point));
+}
+
+}  // namespace stcomp

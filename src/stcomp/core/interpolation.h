@@ -1,0 +1,32 @@
+// Temporal interpolation and the paper's time-ratio distance
+// (synchronized Euclidean distance, SED). Paper Sec. 3.2, Eqs. 1-2.
+
+#ifndef STCOMP_CORE_INTERPOLATION_H_
+#define STCOMP_CORE_INTERPOLATION_H_
+
+#include "stcomp/core/trajectory.h"
+#include "stcomp/geom/geometry.h"
+
+namespace stcomp {
+
+// Position at time `t` on the linear motion from `start` to `end`.
+// Precondition (checked): start.t <= t <= end.t and start.t < end.t
+// (if start.t == end.t, returns start.position).
+Vec2 InterpolatePosition(const TimedPoint& start, const TimedPoint& end,
+                         double t);
+
+// The paper's approximated position P'_i (Eqs. 1-2): where the object would
+// be at `point.t` if it travelled the straight segment from `anchor` to
+// `probe_end` at the time-ratio schedule.
+Vec2 TimeRatioPosition(const TimedPoint& anchor, const TimedPoint& probe_end,
+                       const TimedPoint& point);
+
+// Synchronized Euclidean distance: |P_i - P'_i|. This is the discard
+// criterion of the TR/SP algorithm classes (paper Sec. 3.2).
+double SynchronizedDistance(const TimedPoint& anchor,
+                            const TimedPoint& probe_end,
+                            const TimedPoint& point);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_CORE_INTERPOLATION_H_

@@ -1,0 +1,123 @@
+#include "stcomp/core/kinematics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp {
+
+std::vector<SegmentKinematics> ComputeSegmentKinematics(
+    const Trajectory& trajectory) {
+  std::vector<SegmentKinematics> segments;
+  if (trajectory.size() < 2) {
+    return segments;
+  }
+  segments.reserve(trajectory.size() - 1);
+  for (size_t i = 0; i + 1 < trajectory.size(); ++i) {
+    SegmentKinematics segment;
+    segment.start_t = trajectory[i].t;
+    segment.duration_s = trajectory[i + 1].t - trajectory[i].t;
+    segment.speed_mps = trajectory.SegmentSpeed(i);
+    segment.heading_rad =
+        Heading(trajectory[i].position, trajectory[i + 1].position);
+    segments.push_back(segment);
+  }
+  return segments;
+}
+
+std::vector<double> ComputeAccelerations(const Trajectory& trajectory) {
+  std::vector<double> accelerations;
+  if (trajectory.size() < 3) {
+    return accelerations;
+  }
+  accelerations.reserve(trajectory.size() - 2);
+  for (size_t i = 1; i + 1 < trajectory.size(); ++i) {
+    const double v_before = trajectory.SegmentSpeed(i - 1);
+    const double v_after = trajectory.SegmentSpeed(i);
+    const double dt_before = trajectory[i].t - trajectory[i - 1].t;
+    const double dt_after = trajectory[i + 1].t - trajectory[i].t;
+    accelerations.push_back((v_after - v_before) /
+                            (0.5 * (dt_before + dt_after)));
+  }
+  return accelerations;
+}
+
+std::vector<Dwell> DetectDwells(const Trajectory& trajectory,
+                                double max_speed_mps, double min_duration_s) {
+  STCOMP_CHECK(max_speed_mps >= 0.0);
+  STCOMP_CHECK(min_duration_s >= 0.0);
+  std::vector<Dwell> dwells;
+  if (trajectory.size() < 2) {
+    return dwells;
+  }
+  size_t run_start = 0;
+  bool in_run = false;
+  const auto close_run = [&](size_t run_end /* inclusive sample index */) {
+    // Run covers samples [run_start, run_end].
+    const double duration =
+        trajectory[run_end].t - trajectory[run_start].t;
+    if (duration >= min_duration_s) {
+      Dwell dwell;
+      dwell.start_t = trajectory[run_start].t;
+      dwell.end_t = trajectory[run_end].t;
+      dwell.num_points = run_end - run_start + 1;
+      Vec2 sum{0.0, 0.0};
+      for (size_t k = run_start; k <= run_end; ++k) {
+        sum += trajectory[k].position;
+      }
+      dwell.centroid = sum / static_cast<double>(dwell.num_points);
+      dwells.push_back(dwell);
+    }
+  };
+  for (size_t i = 0; i + 1 < trajectory.size(); ++i) {
+    const bool slow = trajectory.SegmentSpeed(i) <= max_speed_mps;
+    if (slow && !in_run) {
+      in_run = true;
+      run_start = i;
+    } else if (!slow && in_run) {
+      in_run = false;
+      close_run(i);
+    }
+  }
+  if (in_run) {
+    close_run(trajectory.size() - 1);
+  }
+  return dwells;
+}
+
+SpeedProfile ComputeSpeedProfile(const Trajectory& trajectory,
+                                 double stop_cutoff_mps) {
+  STCOMP_CHECK(stop_cutoff_mps >= 0.0);
+  SpeedProfile profile;
+  if (trajectory.size() < 2) {
+    return profile;
+  }
+  profile.min_mps = std::numeric_limits<double>::infinity();
+  double total_time = 0.0;
+  double weighted_speed = 0.0;
+  double moving_time = 0.0;
+  double moving_weighted_speed = 0.0;
+  double stopped_time = 0.0;
+  for (size_t i = 0; i + 1 < trajectory.size(); ++i) {
+    const double dt = trajectory[i + 1].t - trajectory[i].t;
+    const double v = trajectory.SegmentSpeed(i);
+    profile.min_mps = std::min(profile.min_mps, v);
+    profile.max_mps = std::max(profile.max_mps, v);
+    total_time += dt;
+    weighted_speed += v * dt;
+    if (v > stop_cutoff_mps) {
+      moving_time += dt;
+      moving_weighted_speed += v * dt;
+    } else {
+      stopped_time += dt;
+    }
+  }
+  profile.mean_mps = weighted_speed / total_time;
+  profile.moving_mean_mps =
+      moving_time > 0.0 ? moving_weighted_speed / moving_time : 0.0;
+  profile.stopped_fraction = stopped_time / total_time;
+  return profile;
+}
+
+}  // namespace stcomp

@@ -1,0 +1,60 @@
+// Derived kinematics over trajectories: speed/acceleration/heading
+// profiles and dwell (stop) detection. These are the "understanding of
+// moving object behaviour" tools the paper's conclusion says threshold
+// selection needs — and the commuter analyses in examples/ use them.
+
+#ifndef STCOMP_CORE_KINEMATICS_H_
+#define STCOMP_CORE_KINEMATICS_H_
+
+#include <vector>
+
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+// Per-segment derived quantities (size() - 1 entries).
+struct SegmentKinematics {
+  double start_t = 0.0;
+  double duration_s = 0.0;
+  double speed_mps = 0.0;
+  double heading_rad = 0.0;  // atan2 convention; 0 when stationary.
+};
+
+std::vector<SegmentKinematics> ComputeSegmentKinematics(
+    const Trajectory& trajectory);
+
+// Derived accelerations between consecutive segments (size() - 2 entries):
+// (v_i - v_{i-1}) / ((dt_i + dt_{i-1}) / 2).
+std::vector<double> ComputeAccelerations(const Trajectory& trajectory);
+
+// A maximal time interval during which every derived segment speed stays
+// below `max_speed_mps`.
+struct Dwell {
+  double start_t = 0.0;
+  double end_t = 0.0;
+  Vec2 centroid;       // Mean of the covered sample positions.
+  size_t num_points = 0;  // Samples covered (>= 2).
+  double duration_s() const { return end_t - start_t; }
+};
+
+// Finds dwells of at least `min_duration_s`. Preconditions (checked):
+// max_speed_mps >= 0, min_duration_s >= 0.
+std::vector<Dwell> DetectDwells(const Trajectory& trajectory,
+                                double max_speed_mps, double min_duration_s);
+
+// Speed distribution summary used for threshold tuning.
+struct SpeedProfile {
+  double min_mps = 0.0;
+  double max_mps = 0.0;
+  double mean_mps = 0.0;       // Time-weighted over segments.
+  double moving_mean_mps = 0.0;  // Same, over segments above the cutoff.
+  double stopped_fraction = 0.0;  // Time below the cutoff / total.
+};
+
+// Precondition (checked): stop_cutoff_mps >= 0. Zeroes for < 2 points.
+SpeedProfile ComputeSpeedProfile(const Trajectory& trajectory,
+                                 double stop_cutoff_mps);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_CORE_KINEMATICS_H_

@@ -1,0 +1,93 @@
+#include "stcomp/core/spline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp {
+
+CubicTrajectory::CubicTrajectory(const Trajectory* trajectory)
+    : trajectory_(trajectory) {}
+
+Result<CubicTrajectory> CubicTrajectory::Create(const Trajectory* trajectory) {
+  STCOMP_CHECK(trajectory != nullptr);
+  if (trajectory->size() < 2) {
+    return InvalidArgumentError("cubic interpolation needs >= 2 points");
+  }
+  return CubicTrajectory(trajectory);
+}
+
+Vec2 CubicTrajectory::Tangent(size_t i) const {
+  const auto& points = trajectory_->points();
+  const size_t n = points.size();
+  if (i == 0) {
+    return (points[1].position - points[0].position) /
+           (points[1].t - points[0].t);
+  }
+  if (i == n - 1) {
+    return (points[n - 1].position - points[n - 2].position) /
+           (points[n - 1].t - points[n - 2].t);
+  }
+  // Central difference over the actual (possibly irregular) timestamps.
+  return (points[i + 1].position - points[i - 1].position) /
+         (points[i + 1].t - points[i - 1].t);
+}
+
+Result<Vec2> CubicTrajectory::PositionAt(double t) const {
+  const auto& points = trajectory_->points();
+  if (t < points.front().t || t > points.back().t) {
+    return OutOfRangeError("time outside trajectory interval");
+  }
+  const auto it = std::lower_bound(
+      points.begin(), points.end(), t,
+      [](const TimedPoint& point, double value) { return point.t < value; });
+  if (it->t == t) {
+    return it->position;
+  }
+  const size_t k = static_cast<size_t>(it - points.begin());
+  const TimedPoint& p0 = points[k - 1];
+  const TimedPoint& p1 = points[k];
+  const double h = p1.t - p0.t;
+  const double u = (t - p0.t) / h;
+  const Vec2 m0 = Tangent(k - 1) * h;  // Scale tangents to the unit interval.
+  const Vec2 m1 = Tangent(k) * h;
+  const double u2 = u * u;
+  const double u3 = u2 * u;
+  // Hermite basis.
+  const double h00 = 2.0 * u3 - 3.0 * u2 + 1.0;
+  const double h10 = u3 - 2.0 * u2 + u;
+  const double h01 = -2.0 * u3 + 3.0 * u2;
+  const double h11 = u3 - u2;
+  return p0.position * h00 + m0 * h10 + p1.position * h01 + m1 * h11;
+}
+
+Result<Vec2> CubicTrajectory::VelocityAt(double t) const {
+  const auto& points = trajectory_->points();
+  if (t < points.front().t || t > points.back().t) {
+    return OutOfRangeError("time outside trajectory interval");
+  }
+  auto it = std::lower_bound(
+      points.begin(), points.end(), t,
+      [](const TimedPoint& point, double value) { return point.t < value; });
+  size_t k = static_cast<size_t>(it - points.begin());
+  if (it->t == t) {
+    // At a knot (including the first), the tangent itself is the velocity.
+    return Tangent(k);
+  }
+  const TimedPoint& p0 = points[k - 1];
+  const TimedPoint& p1 = points[k];
+  const double h = p1.t - p0.t;
+  const double u = (t - p0.t) / h;
+  const Vec2 m0 = Tangent(k - 1) * h;
+  const Vec2 m1 = Tangent(k) * h;
+  const double u2 = u * u;
+  const double d00 = 6.0 * u2 - 6.0 * u;
+  const double d10 = 3.0 * u2 - 4.0 * u + 1.0;
+  const double d01 = -6.0 * u2 + 6.0 * u;
+  const double d11 = 3.0 * u2 - 2.0 * u;
+  // d/dt = (d/du) / h.
+  return (p0.position * d00 + m0 * d10 + p1.position * d01 + m1 * d11) / h;
+}
+
+}  // namespace stcomp

@@ -1,0 +1,41 @@
+// Cubic Hermite (Catmull-Rom) trajectory interpolation — the paper's
+// future-work item: "other, more advanced, interpolation techniques and
+// consequently other error notions can be defined" (Sec. 5).
+//
+// The spline passes through every sample; tangents are finite differences
+// over the *timestamps*, so irregular sampling is handled and the
+// interpolant is C1 in time. At the end points it degrades to one-sided
+// differences. With two samples it reduces to linear interpolation.
+
+#ifndef STCOMP_CORE_SPLINE_H_
+#define STCOMP_CORE_SPLINE_H_
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+class CubicTrajectory {
+ public:
+  // Keeps a reference: `trajectory` must outlive this object and have
+  // >= 2 points (else kInvalidArgument).
+  static Result<CubicTrajectory> Create(const Trajectory* trajectory);
+
+  // Interpolated position; kOutOfRange outside the time interval.
+  Result<Vec2> PositionAt(double t) const;
+
+  // Interpolated velocity (the C1 derivative), m/s.
+  Result<Vec2> VelocityAt(double t) const;
+
+ private:
+  explicit CubicTrajectory(const Trajectory* trajectory);
+
+  // Finite-difference tangent (velocity) at sample i.
+  Vec2 Tangent(size_t i) const;
+
+  const Trajectory* trajectory_;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_CORE_SPLINE_H_

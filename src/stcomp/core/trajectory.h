@@ -1,0 +1,114 @@
+// The trajectory model: a moving point object's history as a finite series
+// of time-stamped positions, interpreted as a piecewise-linear path
+// (paper Sec. 2, "positional time series").
+
+#ifndef STCOMP_CORE_TRAJECTORY_H_
+#define STCOMP_CORE_TRAJECTORY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stcomp/common/result.h"
+#include "stcomp/geom/geometry.h"
+
+namespace stcomp {
+
+// One sample <t, x, y>: the object was at `position` (metres, local frame)
+// at time `t` (seconds; any epoch, only differences matter).
+struct TimedPoint {
+  double t = 0.0;
+  Vec2 position;
+
+  TimedPoint() = default;
+  TimedPoint(double t_in, Vec2 position_in) : t(t_in), position(position_in) {}
+  TimedPoint(double t_in, double x, double y)
+      : t(t_in), position(x, y) {}
+
+  friend bool operator==(const TimedPoint& a, const TimedPoint& b) {
+    return a.t == b.t && a.position == b.position;
+  }
+};
+
+// A trajectory: samples in strictly increasing time order.
+//
+// Invariant: for all consecutive samples i, points()[i].t < points()[i+1].t.
+// The invariant is established at construction (FromPoints validates or
+// sorts) and preserved by all mutators.
+class Trajectory {
+ public:
+  // An empty trajectory.
+  Trajectory() = default;
+
+  // Validates strict time monotonicity; fails with kInvalidArgument if
+  // violated (use FromUnordered to sort + deduplicate instead).
+  static Result<Trajectory> FromPoints(std::vector<TimedPoint> points);
+
+  // Sorts by time and drops samples with duplicate timestamps (keeping the
+  // first). Never fails.
+  static Trajectory FromUnordered(std::vector<TimedPoint> points);
+
+  Trajectory(const Trajectory&) = default;
+  Trajectory& operator=(const Trajectory&) = default;
+  Trajectory(Trajectory&&) noexcept = default;
+  Trajectory& operator=(Trajectory&&) noexcept = default;
+
+  const std::vector<TimedPoint>& points() const { return points_; }
+  const TimedPoint& operator[](size_t i) const { return points_[i]; }
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  const TimedPoint& front() const { return points_.front(); }
+  const TimedPoint& back() const { return points_.back(); }
+
+  // Appends a sample; fails with kInvalidArgument unless
+  // point.t > back().t (or the trajectory is empty).
+  Status Append(const TimedPoint& point);
+
+  // Total duration in seconds (0 for <2 points).
+  double Duration() const;
+
+  // Travelled path length in metres (sum of segment lengths).
+  double Length() const;
+
+  // Straight-line distance between first and last sample.
+  double Displacement() const;
+
+  // Length / Duration, in m/s (0 if duration is 0).
+  double AverageSpeed() const;
+
+  // Object position at time `t`, linearly interpolated between the
+  // enclosing samples. Fails with kOutOfRange outside [front().t, back().t].
+  Result<Vec2> PositionAt(double t) const;
+
+  // The sub-trajectory with original indices [first, last], inclusive.
+  // Precondition (checked): first <= last < size().
+  Trajectory Slice(size_t first, size_t last) const;
+
+  // Builds the approximation trajectory from a sorted list of original
+  // indices. Precondition (checked): indices strictly increasing & in range.
+  Trajectory Subset(const std::vector<int>& kept_indices) const;
+
+  // Derived speed on segment i -> i+1 in m/s (paper Sec. 3.3: "speed values
+  // derived from timestamps and positions"). Precondition: i+1 < size().
+  double SegmentSpeed(size_t i) const;
+
+  // All derived segment speeds (size() - 1 values; empty for <2 points).
+  std::vector<double> SegmentSpeeds() const;
+
+  // Optional label used by datasets and the store ("trace-3", ...).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  friend bool operator==(const Trajectory& a, const Trajectory& b) {
+    return a.points_ == b.points_;
+  }
+
+ private:
+  std::vector<TimedPoint> points_;
+  std::string name_;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_CORE_TRAJECTORY_H_

@@ -1,0 +1,63 @@
+#include "stcomp/core/trajectory_stats.h"
+
+#include <cmath>
+
+namespace stcomp {
+
+TrajectoryStats ComputeStats(const Trajectory& trajectory) {
+  TrajectoryStats stats;
+  stats.duration_s = trajectory.Duration();
+  stats.length_m = trajectory.Length();
+  stats.displacement_m = trajectory.Displacement();
+  stats.avg_speed_mps = trajectory.AverageSpeed();
+  stats.num_points = trajectory.size();
+  return stats;
+}
+
+MeanSd ComputeMeanSd(const std::vector<double>& values) {
+  MeanSd result;
+  if (values.empty()) {
+    return result;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  result.mean = sum / static_cast<double>(values.size());
+  if (values.size() < 2) {
+    return result;
+  }
+  double sq = 0.0;
+  for (double v : values) {
+    const double d = v - result.mean;
+    sq += d * d;
+  }
+  result.sd = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  return result;
+}
+
+DatasetStats ComputeDatasetStats(const std::vector<Trajectory>& dataset) {
+  std::vector<double> durations, speeds, lengths, displacements, counts;
+  durations.reserve(dataset.size());
+  speeds.reserve(dataset.size());
+  lengths.reserve(dataset.size());
+  displacements.reserve(dataset.size());
+  counts.reserve(dataset.size());
+  for (const Trajectory& trajectory : dataset) {
+    const TrajectoryStats stats = ComputeStats(trajectory);
+    durations.push_back(stats.duration_s);
+    speeds.push_back(stats.avg_speed_mps);
+    lengths.push_back(stats.length_m);
+    displacements.push_back(stats.displacement_m);
+    counts.push_back(static_cast<double>(stats.num_points));
+  }
+  DatasetStats stats;
+  stats.duration_s = ComputeMeanSd(durations);
+  stats.avg_speed_mps = ComputeMeanSd(speeds);
+  stats.length_m = ComputeMeanSd(lengths);
+  stats.displacement_m = ComputeMeanSd(displacements);
+  stats.num_points = ComputeMeanSd(counts);
+  return stats;
+}
+
+}  // namespace stcomp

@@ -1,0 +1,47 @@
+// Summary statistics over single trajectories and datasets — the columns of
+// the paper's Table 2 (duration, speed, length, displacement, # of points).
+
+#ifndef STCOMP_CORE_TRAJECTORY_STATS_H_
+#define STCOMP_CORE_TRAJECTORY_STATS_H_
+
+#include <vector>
+
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+// Per-trajectory summary.
+struct TrajectoryStats {
+  double duration_s = 0.0;       // back().t - front().t
+  double avg_speed_mps = 0.0;    // length / duration
+  double length_m = 0.0;         // travelled path length
+  double displacement_m = 0.0;   // start-to-end straight-line distance
+  size_t num_points = 0;
+};
+
+TrajectoryStats ComputeStats(const Trajectory& trajectory);
+
+// Mean / standard deviation of a sample (population sd with the n-1
+// divisor, matching how small GPS datasets are conventionally reported;
+// n<2 yields sd 0).
+struct MeanSd {
+  double mean = 0.0;
+  double sd = 0.0;
+};
+
+MeanSd ComputeMeanSd(const std::vector<double>& values);
+
+// Aggregate over a dataset: mean and sd per Table 2 statistic.
+struct DatasetStats {
+  MeanSd duration_s;
+  MeanSd avg_speed_mps;
+  MeanSd length_m;
+  MeanSd displacement_m;
+  MeanSd num_points;
+};
+
+DatasetStats ComputeDatasetStats(const std::vector<Trajectory>& dataset);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_CORE_TRAJECTORY_STATS_H_

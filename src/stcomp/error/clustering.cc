@@ -1,0 +1,177 @@
+#include "stcomp/error/clustering.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp {
+
+Result<std::vector<double>> PairwiseDistances(
+    const std::vector<Trajectory>& dataset,
+    const TrajectoryDistanceFn& distance) {
+  const size_t n = dataset.size();
+  std::vector<double> matrix(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      STCOMP_ASSIGN_OR_RETURN(const double d,
+                              distance(dataset[i], dataset[j]));
+      matrix[i * n + j] = d;
+      matrix[j * n + i] = d;
+    }
+  }
+  return matrix;
+}
+
+namespace {
+
+// Assignment + cost for a fixed medoid set.
+double Assign(const std::vector<double>& matrix, size_t n,
+              const std::vector<int>& medoids, std::vector<int>* assignment) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int cluster = 0;
+    for (size_t m = 0; m < medoids.size(); ++m) {
+      const double d = matrix[i * n + static_cast<size_t>(medoids[m])];
+      if (d < best) {
+        best = d;
+        cluster = static_cast<int>(m);
+      }
+    }
+    (*assignment)[i] = cluster;
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<ClusteringResult> KMedoids(const std::vector<Trajectory>& dataset,
+                                  size_t k,
+                                  const TrajectoryDistanceFn& distance,
+                                  int max_iterations) {
+  const size_t n = dataset.size();
+  if (k < 1 || k > n) {
+    return InvalidArgumentError("k must be in [1, dataset size]");
+  }
+  STCOMP_ASSIGN_OR_RETURN(const std::vector<double> matrix,
+                          PairwiseDistances(dataset, distance));
+
+  ClusteringResult result;
+  // Deterministic init: the most central trajectory first, then
+  // farthest-first.
+  {
+    size_t most_central = 0;
+    double best_sum = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        sum += matrix[i * n + j];
+      }
+      if (sum < best_sum) {
+        best_sum = sum;
+        most_central = i;
+      }
+    }
+    result.medoids.push_back(static_cast<int>(most_central));
+    while (result.medoids.size() < k) {
+      size_t farthest = 0;
+      double farthest_distance = -1.0;
+      for (size_t i = 0; i < n; ++i) {
+        double nearest = std::numeric_limits<double>::infinity();
+        for (int m : result.medoids) {
+          nearest = std::min(nearest, matrix[i * n + static_cast<size_t>(m)]);
+        }
+        if (nearest > farthest_distance) {
+          farthest_distance = nearest;
+          farthest = i;
+        }
+      }
+      result.medoids.push_back(static_cast<int>(farthest));
+    }
+  }
+
+  result.assignment.assign(n, 0);
+  result.total_cost = Assign(matrix, n, result.medoids, &result.assignment);
+  // PAM swap refinement: try replacing each medoid with each non-medoid,
+  // keep the best improving swap per iteration.
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    double best_cost = result.total_cost;
+    int best_medoid_slot = -1;
+    int best_candidate = -1;
+    std::vector<int> scratch_assignment(n, 0);
+    for (size_t slot = 0; slot < result.medoids.size(); ++slot) {
+      for (size_t candidate = 0; candidate < n; ++candidate) {
+        if (std::find(result.medoids.begin(), result.medoids.end(),
+                      static_cast<int>(candidate)) != result.medoids.end()) {
+          continue;
+        }
+        std::vector<int> trial = result.medoids;
+        trial[slot] = static_cast<int>(candidate);
+        const double cost = Assign(matrix, n, trial, &scratch_assignment);
+        if (cost + 1e-12 < best_cost) {
+          best_cost = cost;
+          best_medoid_slot = static_cast<int>(slot);
+          best_candidate = static_cast<int>(candidate);
+        }
+      }
+    }
+    if (best_medoid_slot < 0) {
+      break;  // Converged.
+    }
+    result.medoids[static_cast<size_t>(best_medoid_slot)] = best_candidate;
+    result.total_cost =
+        Assign(matrix, n, result.medoids, &result.assignment);
+    result.iterations = iteration + 1;
+  }
+  return result;
+}
+
+double SilhouetteScore(const std::vector<double>& distance_matrix, size_t n,
+                       const std::vector<int>& assignment) {
+  STCOMP_CHECK(distance_matrix.size() == n * n);
+  STCOMP_CHECK(assignment.size() == n);
+  int num_clusters = 0;
+  for (int cluster : assignment) {
+    num_clusters = std::max(num_clusters, cluster + 1);
+  }
+  std::vector<int> cluster_sizes(static_cast<size_t>(num_clusters), 0);
+  for (int cluster : assignment) {
+    ++cluster_sizes[static_cast<size_t>(cluster)];
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const int own = assignment[i];
+    if (cluster_sizes[static_cast<size_t>(own)] <= 1) {
+      continue;  // Silhouette defined as 0 for singletons.
+    }
+    // a = mean distance to own cluster, b = min mean distance to another.
+    std::vector<double> sums(static_cast<size_t>(num_clusters), 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        continue;
+      }
+      sums[static_cast<size_t>(assignment[j])] += distance_matrix[i * n + j];
+    }
+    const double a =
+        sums[static_cast<size_t>(own)] /
+        static_cast<double>(cluster_sizes[static_cast<size_t>(own)] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (int cluster = 0; cluster < num_clusters; ++cluster) {
+      if (cluster == own ||
+          cluster_sizes[static_cast<size_t>(cluster)] == 0) {
+        continue;
+      }
+      b = std::min(b, sums[static_cast<size_t>(cluster)] /
+                          static_cast<double>(
+                              cluster_sizes[static_cast<size_t>(cluster)]));
+    }
+    if (std::isfinite(b)) {
+      total += (b - a) / std::max(a, b);
+    }
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace stcomp

@@ -1,0 +1,56 @@
+// Trajectory clustering on top of the similarity measures — the paper's
+// future-work direction "we plan to look into the issue of moving objects
+// of different nature": grouping trips by shape lets per-cluster
+// compression thresholds be tuned (see examples/threshold_tuning).
+//
+// K-medoids (PAM-style swap refinement) over a caller-chosen trajectory
+// distance. Medoids, not means: trajectory space has no averaging, and
+// medoids keep every cluster representative an actual trip.
+
+#ifndef STCOMP_ERROR_CLUSTERING_H_
+#define STCOMP_ERROR_CLUSTERING_H_
+
+#include <functional>
+#include <vector>
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+using TrajectoryDistanceFn =
+    std::function<Result<double>(const Trajectory&, const Trajectory&)>;
+
+struct ClusteringResult {
+  std::vector<int> medoids;       // Indices into the input dataset (size k).
+  std::vector<int> assignment;    // Cluster id per input trajectory.
+  double total_cost = 0.0;        // Sum of member-to-medoid distances.
+  int iterations = 0;
+};
+
+// Clusters `dataset` into `k` groups under `distance`. Deterministic:
+// initial medoids are chosen greedily (farthest-first from the most
+// central trajectory), then improved by PAM swaps until convergence or
+// `max_iterations`. Fails (kInvalidArgument) if k < 1 or k > dataset size,
+// or if any pairwise distance computation fails.
+Result<ClusteringResult> KMedoids(const std::vector<Trajectory>& dataset,
+                                  size_t k,
+                                  const TrajectoryDistanceFn& distance,
+                                  int max_iterations = 50);
+
+// Pairwise distance matrix (row-major, n*n) under `distance`; exposed for
+// analyses that need it alongside the clustering.
+Result<std::vector<double>> PairwiseDistances(
+    const std::vector<Trajectory>& dataset,
+    const TrajectoryDistanceFn& distance);
+
+// Mean silhouette score of a clustering (in [-1, 1], higher = better
+// separated); the standard internal quality measure, usable to pick k.
+// Precondition (checked): assignment/matrix sizes consistent; clusters
+// with a single member contribute silhouette 0.
+double SilhouetteScore(const std::vector<double>& distance_matrix, size_t n,
+                       const std::vector<int>& assignment);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_ERROR_CLUSTERING_H_

@@ -1,0 +1,36 @@
+#include "stcomp/error/cubic_error.h"
+
+#include "stcomp/core/spline.h"
+#include "stcomp/error/integration.h"
+
+namespace stcomp {
+
+Result<double> CubicSynchronousError(const Trajectory& original,
+                                     const Trajectory& approximation,
+                                     double tolerance) {
+  if (original.size() < 2 || approximation.size() < 2) {
+    return InvalidArgumentError("need >= 2 points in both trajectories");
+  }
+  if (original.front().t != approximation.front().t ||
+      original.back().t != approximation.back().t) {
+    return InvalidArgumentError(
+        "trajectories must cover the same time interval");
+  }
+  STCOMP_ASSIGN_OR_RETURN(const CubicTrajectory cubic,
+                          CubicTrajectory::Create(&original));
+  // Integrate piecewise between consecutive original knots (the integrand
+  // has kinks at approximation knots, which are a subset of these for
+  // compression output; adaptive refinement handles the general case).
+  double weighted_sum = 0.0;
+  for (size_t i = 0; i + 1 < original.size(); ++i) {
+    weighted_sum += AdaptiveSimpson(
+        [&](double t) {
+          return Distance(cubic.PositionAt(t).value(),
+                          approximation.PositionAt(t).value());
+        },
+        original[i].t, original[i + 1].t, tolerance);
+  }
+  return weighted_sum / original.Duration();
+}
+
+}  // namespace stcomp

@@ -1,0 +1,23 @@
+// The "other error notion" the paper's future work anticipates (Sec. 5):
+// synchronous error measured against a cubic (Catmull-Rom) reconstruction
+// of the original trajectory instead of the piecewise-linear one.
+
+#ifndef STCOMP_ERROR_CUBIC_ERROR_H_
+#define STCOMP_ERROR_CUBIC_ERROR_H_
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+// Time-weighted average distance between the cubic reconstruction of
+// `original` and the linear reconstruction of `approximation`, by adaptive
+// quadrature (`tolerance` is the absolute per-knot-interval tolerance).
+// Requirements as SynchronousError: same time interval, >= 2 points each.
+Result<double> CubicSynchronousError(const Trajectory& original,
+                                     const Trajectory& approximation,
+                                     double tolerance);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_ERROR_CUBIC_ERROR_H_

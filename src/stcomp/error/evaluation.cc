@@ -1,0 +1,34 @@
+#include "stcomp/error/evaluation.h"
+
+#include "stcomp/common/check.h"
+#include "stcomp/error/spatial_error.h"
+#include "stcomp/error/synchronous_error.h"
+
+namespace stcomp {
+
+Result<Evaluation> Evaluate(const Trajectory& original,
+                            const algo::IndexList& kept) {
+  if (!algo::IsValidIndexList(original, kept)) {
+    return InvalidArgumentError("kept indices are not a valid index list");
+  }
+  Evaluation evaluation;
+  evaluation.original_points = original.size();
+  evaluation.kept_points = kept.size();
+  evaluation.compression_percent =
+      algo::CompressionPercent(original.size(), kept.size());
+  if (original.size() < 2) {
+    return evaluation;
+  }
+  const Trajectory approximation = original.Subset(kept);
+  STCOMP_ASSIGN_OR_RETURN(evaluation.sync_error_mean_m,
+                          SynchronousError(original, approximation));
+  STCOMP_ASSIGN_OR_RETURN(evaluation.sync_error_max_m,
+                          MaxSynchronousError(original, approximation));
+  evaluation.perp_error_mean_m = MeanPerpendicularError(original, kept);
+  evaluation.perp_error_max_m = MaxPerpendicularError(original, kept);
+  STCOMP_ASSIGN_OR_RETURN(evaluation.area_error_m,
+                          AreaError(original, approximation));
+  return evaluation;
+}
+
+}  // namespace stcomp

@@ -1,0 +1,36 @@
+// One-call evaluation of a compression run: compression rate plus every
+// error notion, as used by the experiment harness for the paper's figures.
+
+#ifndef STCOMP_ERROR_EVALUATION_H_
+#define STCOMP_ERROR_EVALUATION_H_
+
+#include "stcomp/algo/compression.h"
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+struct Evaluation {
+  size_t original_points = 0;
+  size_t kept_points = 0;
+  double compression_percent = 0.0;
+
+  // Paper Sec. 4.2 notion (the headline metric of all figures).
+  double sync_error_mean_m = 0.0;
+  double sync_error_max_m = 0.0;
+
+  // Spatial notions (Sec. 4.1), for comparison.
+  double perp_error_mean_m = 0.0;
+  double perp_error_max_m = 0.0;
+  double area_error_m = 0.0;
+};
+
+// Evaluates keeping `kept` of `original`. Preconditions (checked):
+// valid index list; original needs >= 2 points for the error integrals
+// (with < 2 points all errors are 0).
+Result<Evaluation> Evaluate(const Trajectory& original,
+                            const algo::IndexList& kept);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_ERROR_EVALUATION_H_

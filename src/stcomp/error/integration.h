@@ -1,0 +1,19 @@
+// Adaptive Simpson quadrature, used to cross-check the closed-form error
+// integrals (error/synchronous_error.h) and in tests.
+
+#ifndef STCOMP_ERROR_INTEGRATION_H_
+#define STCOMP_ERROR_INTEGRATION_H_
+
+#include <functional>
+
+namespace stcomp {
+
+// Integrates `f` over [a, b] to absolute tolerance `tolerance` with
+// recursive Simpson refinement (depth-capped; the cap is generous enough
+// for the piecewise-smooth integrands used here).
+double AdaptiveSimpson(const std::function<double(double)>& f, double a,
+                       double b, double tolerance);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_ERROR_INTEGRATION_H_

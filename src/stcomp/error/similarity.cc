@@ -1,0 +1,123 @@
+#include "stcomp/error/similarity.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace stcomp {
+
+namespace {
+
+Status CheckNonEmpty(const Trajectory& a, const Trajectory& b) {
+  if (a.empty() || b.empty()) {
+    return InvalidArgumentError("similarity needs non-empty trajectories");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<double> DiscreteFrechetDistance(const Trajectory& a,
+                                       const Trajectory& b) {
+  STCOMP_RETURN_IF_ERROR(CheckNonEmpty(a, b));
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // Rolling rows: ca[i][j] = max(d(i,j), min(ca[i-1][j], ca[i][j-1],
+  // ca[i-1][j-1])).
+  std::vector<double> previous(m);
+  std::vector<double> current(m);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double d = Distance(a[i].position, b[j].position);
+      if (i == 0 && j == 0) {
+        current[j] = d;
+      } else if (i == 0) {
+        current[j] = std::max(current[j - 1], d);
+      } else if (j == 0) {
+        current[j] = std::max(previous[j], d);
+      } else {
+        current[j] = std::max(
+            std::min({previous[j], current[j - 1], previous[j - 1]}), d);
+      }
+    }
+    std::swap(previous, current);
+  }
+  return previous[m - 1];
+}
+
+Result<double> DtwDistance(const Trajectory& a, const Trajectory& b) {
+  STCOMP_RETURN_IF_ERROR(CheckNonEmpty(a, b));
+  const size_t n = a.size();
+  const size_t m = b.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  struct Cell {
+    double cost;
+    int steps;
+  };
+  std::vector<Cell> previous(m, {kInf, 0});
+  std::vector<Cell> current(m, {kInf, 0});
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double d = Distance(a[i].position, b[j].position);
+      Cell best{kInf, 0};
+      if (i == 0 && j == 0) {
+        best = {0.0, 0};
+      } else {
+        if (i > 0 && previous[j].cost < best.cost) {
+          best = previous[j];
+        }
+        if (j > 0 && current[j - 1].cost < best.cost) {
+          best = current[j - 1];
+        }
+        if (i > 0 && j > 0 && previous[j - 1].cost < best.cost) {
+          best = previous[j - 1];
+        }
+      }
+      current[j] = {best.cost + d, best.steps + 1};
+    }
+    std::swap(previous, current);
+  }
+  const Cell& final_cell = previous[m - 1];
+  return final_cell.cost / static_cast<double>(final_cell.steps);
+}
+
+Result<double> TimeShiftedMaxDistance(const Trajectory& a,
+                                      const Trajectory& b,
+                                      double time_offset_s) {
+  STCOMP_RETURN_IF_ERROR(CheckNonEmpty(a, b));
+  if (a.size() < 2 || b.size() < 2) {
+    return InvalidArgumentError("need >= 2 points in both trajectories");
+  }
+  const double lo = std::max(a.front().t, b.front().t + time_offset_s);
+  const double hi = std::min(a.back().t, b.back().t + time_offset_s);
+  if (lo >= hi) {
+    return InvalidArgumentError("shifted time intervals do not overlap");
+  }
+  // The distance between two piecewise-linear motions is piecewise convex;
+  // its maximum is attained at a breakpoint of either trajectory (or the
+  // interval ends).
+  double worst = 0.0;
+  const auto probe = [&](double t) {
+    const Result<Vec2> pa = a.PositionAt(t);
+    const Result<Vec2> pb = b.PositionAt(t - time_offset_s);
+    if (pa.ok() && pb.ok()) {
+      worst = std::max(worst, Distance(*pa, *pb));
+    }
+  };
+  probe(lo);
+  probe(hi);
+  for (const TimedPoint& point : a.points()) {
+    if (point.t > lo && point.t < hi) {
+      probe(point.t);
+    }
+  }
+  for (const TimedPoint& point : b.points()) {
+    const double t = point.t + time_offset_s;
+    if (t > lo && t < hi) {
+      probe(t);
+    }
+  }
+  return worst;
+}
+
+}  // namespace stcomp

@@ -1,0 +1,38 @@
+// Trajectory similarity measures, complementing the synchronous error for
+// analysis tasks (cf. the paper's reference [18], Nanni, "Distances for
+// spatio-temporal clustering"): discrete Fréchet distance and dynamic time
+// warping over sample positions. Both are order-preserving alignment
+// measures; unlike the synchronous error they do not require matching
+// time intervals, which makes them the right tool for comparing *different
+// objects'* trajectories rather than an original with its approximation.
+
+#ifndef STCOMP_ERROR_SIMILARITY_H_
+#define STCOMP_ERROR_SIMILARITY_H_
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+// Discrete Fréchet distance (the classic coupling measure, Eiter &
+// Mannila): the smallest leash length allowing two walkers to traverse
+// both point sequences monotonically. O(n*m) time and memory.
+// Fails (kInvalidArgument) on empty inputs.
+Result<double> DiscreteFrechetDistance(const Trajectory& a,
+                                       const Trajectory& b);
+
+// Dynamic time warping with Euclidean point costs; returns the *average*
+// cost per alignment step (sum / path length), so values are comparable
+// across lengths. O(n*m). Fails (kInvalidArgument) on empty inputs.
+Result<double> DtwDistance(const Trajectory& a, const Trajectory& b);
+
+// Maximum over the common time interval of the synchronized distance after
+// shifting `b` by `time_offset_s` — a helper for "same route, different
+// departure" analyses. Fails if the shifted intervals do not overlap.
+Result<double> TimeShiftedMaxDistance(const Trajectory& a,
+                                      const Trajectory& b,
+                                      double time_offset_s);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_ERROR_SIMILARITY_H_

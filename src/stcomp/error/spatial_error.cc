@@ -1,0 +1,126 @@
+#include "stcomp/error/spatial_error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stcomp/common/check.h"
+#include "stcomp/core/interpolation.h"
+#include "stcomp/error/synchronous_error.h"
+
+namespace stcomp {
+
+namespace {
+
+// Applies `visit(point_index, segment_first, segment_last)` to every
+// discarded original point with its covering approximation segment.
+template <typename Visitor>
+void ForEachDiscarded(const Trajectory& original, const algo::IndexList& kept,
+                      const Visitor& visit) {
+  STCOMP_CHECK(algo::IsValidIndexList(original, kept));
+  for (size_t s = 1; s < kept.size(); ++s) {
+    const int first = kept[s - 1];
+    const int last = kept[s];
+    for (int i = first + 1; i < last; ++i) {
+      visit(i, first, last);
+    }
+  }
+}
+
+}  // namespace
+
+double MeanPerpendicularError(const Trajectory& original,
+                              const algo::IndexList& kept) {
+  double sum = 0.0;
+  size_t count = 0;
+  ForEachDiscarded(original, kept, [&](int i, int first, int last) {
+    sum += PointToSegmentDistance(
+        original[static_cast<size_t>(i)].position,
+        original[static_cast<size_t>(first)].position,
+        original[static_cast<size_t>(last)].position);
+    ++count;
+  });
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double MaxPerpendicularError(const Trajectory& original,
+                             const algo::IndexList& kept) {
+  double worst = 0.0;
+  ForEachDiscarded(original, kept, [&](int i, int first, int last) {
+    worst = std::max(
+        worst, PointToSegmentDistance(
+                   original[static_cast<size_t>(i)].position,
+                   original[static_cast<size_t>(first)].position,
+                   original[static_cast<size_t>(last)].position));
+  });
+  return worst;
+}
+
+Result<double> AreaError(const Trajectory& original,
+                         const Trajectory& approximation) {
+  if (original.size() < 2 || approximation.size() < 2) {
+    return InvalidArgumentError("area error needs >= 2 points in both");
+  }
+  if (original.front().t != approximation.front().t ||
+      original.back().t != approximation.back().t) {
+    return InvalidArgumentError(
+        "trajectories must cover the same time interval");
+  }
+  // Walk the approximation segment by segment; within one approximation
+  // segment, cut at original vertices. On each piece both motions are
+  // linear, so the signed perpendicular offset to the approximation's
+  // carrier line is linear in time and the average of its absolute value
+  // is exact (AverageLinearAbs). Degenerate (zero-length) approximation
+  // segments fall back to the distance-to-point average (AverageLinearNorm).
+  double weighted_sum = 0.0;
+  size_t original_segment = 0;
+  const auto& opoints = original.points();
+  for (size_t s = 0; s + 1 < approximation.size(); ++s) {
+    const TimedPoint& a0 = approximation[s];
+    const TimedPoint& a1 = approximation[s + 1];
+    const Vec2 carrier = a1.position - a0.position;
+    const double carrier_len = carrier.Norm();
+    double t0 = a0.t;
+    Vec2 p0;
+    {
+      while (original_segment + 2 < opoints.size() &&
+             opoints[original_segment + 1].t < t0) {
+        ++original_segment;
+      }
+      p0 = InterpolatePosition(opoints[original_segment],
+                               opoints[original_segment + 1], t0);
+    }
+    while (t0 < a1.t) {
+      while (original_segment + 2 < opoints.size() &&
+             opoints[original_segment + 1].t <= t0) {
+        ++original_segment;
+      }
+      const double t1 = std::min(a1.t, opoints[original_segment + 1].t);
+      const Vec2 p1 = InterpolatePosition(opoints[original_segment],
+                                          opoints[original_segment + 1], t1);
+      double piece_average;
+      if (carrier_len == 0.0) {
+        piece_average =
+            AverageLinearNorm(p0 - a0.position, p1 - a0.position);
+      } else {
+        const double s0 = carrier.Cross(p0 - a0.position) / carrier_len;
+        const double s1 = carrier.Cross(p1 - a0.position) / carrier_len;
+        piece_average = AverageLinearAbs(s0, s1);
+      }
+      weighted_sum += (t1 - t0) * piece_average;
+      t0 = t1;
+      p0 = p1;
+      if (t1 == opoints[original_segment + 1].t &&
+          original_segment + 2 < opoints.size()) {
+        ++original_segment;
+      }
+    }
+  }
+  const double duration = original.Duration();
+  if (duration <= 0.0) {
+    return 0.0;
+  }
+  return weighted_sum / duration;
+}
+
+}  // namespace stcomp

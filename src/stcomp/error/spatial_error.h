@@ -1,0 +1,35 @@
+// Spatial (time-ignorant) error notions used by classic line
+// generalization (paper Sec. 4.1): per-point perpendicular distances and
+// the sampling-rate-insensitive area notion of Fig. 5a.
+
+#ifndef STCOMP_ERROR_SPATIAL_ERROR_H_
+#define STCOMP_ERROR_SPATIAL_ERROR_H_
+
+#include "stcomp/algo/compression.h"
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+// Mean spatial distance from each *discarded* original point to the
+// approximation segment covering its timestamp (0 when nothing was
+// discarded). Precondition (checked): `kept` is a valid index list for
+// `original` (see algo::IsValidIndexList).
+double MeanPerpendicularError(const Trajectory& original,
+                              const algo::IndexList& kept);
+
+// Max over discarded points of the same distance.
+double MaxPerpendicularError(const Trajectory& original,
+                             const algo::IndexList& kept);
+
+// Fig. 5a error: the time-weighted average perpendicular distance from the
+// moving original point to the *line* carrying the active approximation
+// segment — the limit of "sum of perpendicular distance chords" for
+// progressively finer sampling. Computed in closed form. Requirements as
+// SynchronousError (same time interval, >= 2 points each).
+Result<double> AreaError(const Trajectory& original,
+                         const Trajectory& approximation);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_ERROR_SPATIAL_ERROR_H_

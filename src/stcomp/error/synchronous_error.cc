@@ -1,0 +1,202 @@
+#include "stcomp/error/synchronous_error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stcomp/common/check.h"
+#include "stcomp/core/interpolation.h"
+#include "stcomp/error/integration.h"
+
+namespace stcomp {
+
+namespace {
+
+// Walks a trajectory's segments in nondecreasing query-time order; O(n + q)
+// for q monotone queries instead of O(q log n) binary searches.
+class SegmentCursor {
+ public:
+  explicit SegmentCursor(const Trajectory& trajectory)
+      : trajectory_(trajectory) {}
+
+  // Position at `t`; `t` must be within the trajectory interval and
+  // queries must be nondecreasing.
+  Vec2 At(double t) {
+    const auto& points = trajectory_.points();
+    STCOMP_DCHECK(t >= points.front().t && t <= points.back().t);
+    while (segment_ + 2 < points.size() && points[segment_ + 1].t < t) {
+      ++segment_;
+    }
+    return InterpolatePosition(points[segment_], points[segment_ + 1], t);
+  }
+
+ private:
+  const Trajectory& trajectory_;
+  size_t segment_ = 0;
+};
+
+Status CheckComparable(const Trajectory& original,
+                       const Trajectory& approximation) {
+  if (original.size() < 2 || approximation.size() < 2) {
+    return InvalidArgumentError(
+        "synchronous error needs >= 2 points in both trajectories");
+  }
+  if (original.front().t != approximation.front().t ||
+      original.back().t != approximation.back().t) {
+    return InvalidArgumentError(
+        "trajectories must cover the same time interval");
+  }
+  return Status::Ok();
+}
+
+// Union of the two trajectories' vertex timestamps (both sorted).
+std::vector<double> UnionTimeGrid(const Trajectory& original,
+                                  const Trajectory& approximation) {
+  std::vector<double> grid;
+  grid.reserve(original.size() + approximation.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < original.size() || j < approximation.size()) {
+    double t;
+    if (j >= approximation.size() ||
+        (i < original.size() && original[i].t <= approximation[j].t)) {
+      t = original[i].t;
+      ++i;
+      if (j < approximation.size() && approximation[j].t == t) {
+        ++j;
+      }
+    } else {
+      t = approximation[j].t;
+      ++j;
+    }
+    if (grid.empty() || t > grid.back()) {
+      grid.push_back(t);
+    }
+  }
+  return grid;
+}
+
+}  // namespace
+
+double AverageLinearAbs(double s0, double s1) {
+  if ((s0 >= 0.0) == (s1 >= 0.0)) {
+    // No sign change: |linear| is linear.
+    return 0.5 * (std::abs(s0) + std::abs(s1));
+  }
+  // Crosses zero at u0 = s0 / (s0 - s1); two triangles.
+  const double u0 = s0 / (s0 - s1);
+  return 0.5 * (u0 * std::abs(s0) + (1.0 - u0) * std::abs(s1));
+}
+
+double AverageLinearNorm(Vec2 d0, Vec2 d1) {
+  const Vec2 g = d1 - d0;
+  const double a = g.SquaredNorm();
+  const double c = d0.SquaredNorm();
+  const double c_end = d1.SquaredNorm();
+  const double scale = std::max({a, c, c_end});
+  if (scale == 0.0) {
+    return 0.0;
+  }
+  // Paper case c1 = 0: the approximation is a translated copy of the
+  // original segment; the distance is constant. We use a relative cutoff:
+  // below it the norm varies by < ~1e-6 relative and the endpoint average
+  // is exact to that order (avoids catastrophic cancellation in the general
+  // branch).
+  if (a <= 1e-12 * scale) {
+    return 0.5 * (std::sqrt(c) + std::sqrt(c_end));
+  }
+  const double b = 2.0 * d0.Dot(g);
+  // Discriminant of the quadratic under the root; mathematically >= 0
+  // (Cauchy-Schwarz), clamp rounding noise.
+  const double disc = std::max(0.0, 4.0 * a * c - b * b);
+  if (disc <= 1e-24 * (4.0 * a * c + b * b) || disc == 0.0) {
+    // Paper case c2^2 - 4 c1 c3 = 0 (shared start point, shared end point,
+    // or parallel chords): |d(u)| = sqrt(a) * |u - u0|.
+    const double u0 = -b / (2.0 * a);
+    double integral;  // of |u - u0| over [0, 1]
+    if (u0 <= 0.0) {
+      integral = 0.5 - u0;
+    } else if (u0 >= 1.0) {
+      integral = u0 - 0.5;
+    } else {
+      integral = 0.5 * (u0 * u0 + (1.0 - u0) * (1.0 - u0));
+    }
+    return std::sqrt(a) * integral;
+  }
+  // General case: F(u) = (2au+b)/(4a) * sqrt(q(u))
+  //                      + disc/(8 a^{3/2}) * asinh((2au+b)/sqrt(disc)).
+  const double sqrt_a = std::sqrt(a);
+  const auto antiderivative = [&](double u, double q) {
+    const double lin = 2.0 * a * u + b;
+    return lin / (4.0 * a) * std::sqrt(q) +
+           disc / (8.0 * a * sqrt_a) * std::asinh(lin / std::sqrt(disc));
+  };
+  return antiderivative(1.0, c_end) - antiderivative(0.0, c);
+}
+
+Result<double> SynchronousError(const Trajectory& original,
+                                const Trajectory& approximation) {
+  STCOMP_RETURN_IF_ERROR(CheckComparable(original, approximation));
+  const std::vector<double> grid = UnionTimeGrid(original, approximation);
+  SegmentCursor original_cursor(original);
+  SegmentCursor approximation_cursor(approximation);
+  // Evaluate both trajectories once per grid vertex; each interval then
+  // contributes its closed-form average times its duration (paper Eq. 3's
+  // time weighting).
+  double weighted_sum = 0.0;
+  Vec2 previous_delta = original_cursor.At(grid.front()) -
+                        approximation_cursor.At(grid.front());
+  for (size_t k = 1; k < grid.size(); ++k) {
+    const Vec2 delta =
+        original_cursor.At(grid[k]) - approximation_cursor.At(grid[k]);
+    weighted_sum +=
+        (grid[k] - grid[k - 1]) * AverageLinearNorm(previous_delta, delta);
+    previous_delta = delta;
+  }
+  const double duration = grid.back() - grid.front();
+  if (duration <= 0.0) {
+    return 0.0;
+  }
+  return weighted_sum / duration;
+}
+
+Result<double> SynchronousErrorNumeric(const Trajectory& original,
+                                       const Trajectory& approximation,
+                                       double tolerance) {
+  STCOMP_RETURN_IF_ERROR(CheckComparable(original, approximation));
+  const std::vector<double> grid = UnionTimeGrid(original, approximation);
+  double weighted_sum = 0.0;
+  for (size_t k = 1; k < grid.size(); ++k) {
+    // Fresh cursors per interval keep the lambda's queries monotone even
+    // though Simpson revisits interior times in non-monotone order; use
+    // PositionAt (binary search) instead.
+    const auto distance_at = [&](double t) {
+      const Vec2 p = original.PositionAt(t).value();
+      const Vec2 q = approximation.PositionAt(t).value();
+      return Distance(p, q);
+    };
+    weighted_sum +=
+        AdaptiveSimpson(distance_at, grid[k - 1], grid[k], tolerance);
+  }
+  const double duration = grid.back() - grid.front();
+  if (duration <= 0.0) {
+    return 0.0;
+  }
+  return weighted_sum / duration;
+}
+
+Result<double> MaxSynchronousError(const Trajectory& original,
+                                   const Trajectory& approximation) {
+  STCOMP_RETURN_IF_ERROR(CheckComparable(original, approximation));
+  const std::vector<double> grid = UnionTimeGrid(original, approximation);
+  SegmentCursor original_cursor(original);
+  SegmentCursor approximation_cursor(approximation);
+  double worst = 0.0;
+  for (double t : grid) {
+    worst = std::max(
+        worst, Distance(original_cursor.At(t), approximation_cursor.At(t)));
+  }
+  return worst;
+}
+
+}  // namespace stcomp

@@ -1,0 +1,50 @@
+// The paper's spatiotemporal error notion (Sec. 4.2): the time-weighted
+// average distance between two objects travelling *synchronously*, one
+// along the original trajectory p and one along the approximation a.
+//
+// On any interval where both paths are linear, the difference vector is
+// linear in t and the average of its norm has a closed form — the paper's
+// case analysis (constant offset / zero discriminant / general asinh case).
+// Because the approximation's vertex times are a subset of the original's,
+// the union time grid gives exactly those intervals.
+
+#ifndef STCOMP_ERROR_SYNCHRONOUS_ERROR_H_
+#define STCOMP_ERROR_SYNCHRONOUS_ERROR_H_
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+// Average of |d0 + u*(d1 - d0)| for u uniform on [0, 1] — the closed-form
+// building block (paper Eq. 5's solution, normalised to a unit interval).
+// Exposed for tests and for the area error (spatial_error.h).
+double AverageLinearNorm(Vec2 d0, Vec2 d1);
+
+// Average of |s0 + u*(s1 - s0)| for u uniform on [0, 1], scalars (used for
+// the signed perpendicular chord in the area error).
+double AverageLinearAbs(double s0, double s1);
+
+// α(p, a), paper Eq. 3: time-weighted average synchronous distance over the
+// common time interval. Requirements (else kInvalidArgument): both
+// trajectories have >= 2 points and identical start/end timestamps.
+Result<double> SynchronousError(const Trajectory& original,
+                                const Trajectory& approximation);
+
+// Same quantity via adaptive Simpson on each union-grid interval; used by
+// tests/ablation to validate the closed form. `tolerance` is absolute, per
+// interval, on the time-integrated distance.
+Result<double> SynchronousErrorNumeric(const Trajectory& original,
+                                       const Trajectory& approximation,
+                                       double tolerance);
+
+// Maximum synchronous distance over the common interval. Because the
+// distance is convex on each union-grid interval, the maximum is attained
+// at a grid vertex, so this is exact. Same requirements as
+// SynchronousError.
+Result<double> MaxSynchronousError(const Trajectory& original,
+                                   const Trajectory& approximation);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_ERROR_SYNCHRONOUS_ERROR_H_

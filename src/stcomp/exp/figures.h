@@ -1,0 +1,41 @@
+// Drivers reproducing each table and figure of the paper's evaluation
+// (Sec. 4). Each renders the same rows/series the paper plots, as a text
+// table; the bench binaries are thin wrappers around these. See
+// EXPERIMENTS.md for paper-vs-measured shape checks.
+
+#ifndef STCOMP_EXP_FIGURES_H_
+#define STCOMP_EXP_FIGURES_H_
+
+#include <string>
+#include <vector>
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+// Table 2: dataset statistics, paper values vs. the synthetic dataset.
+std::string RenderTable2(const std::vector<Trajectory>& dataset);
+
+// Fig. 7: NDP vs TD-TR — compression % and synchronous error per threshold.
+Result<std::string> RenderFigure7(const std::vector<Trajectory>& dataset);
+
+// Fig. 8: BOPW vs NOPW.
+Result<std::string> RenderFigure8(const std::vector<Trajectory>& dataset);
+
+// Fig. 9: NOPW vs OPW-TR.
+Result<std::string> RenderFigure9(const std::vector<Trajectory>& dataset);
+
+// Fig. 10: OPW-TR vs TD-SP(5) vs OPW-SP(5/15/25) — error and compression
+// as functions of the distance threshold.
+Result<std::string> RenderFigure10(const std::vector<Trajectory>& dataset);
+
+// Fig. 11: error vs compression for NDP, TD-TR, NOPW, OPW-TR, OPW-SP(5/15/25).
+Result<std::string> RenderFigure11(const std::vector<Trajectory>& dataset);
+
+// Sec. 1 motivation: storage volume per codec and after compression.
+Result<std::string> RenderStorageTable(const std::vector<Trajectory>& dataset);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_EXP_FIGURES_H_

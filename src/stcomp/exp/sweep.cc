@@ -1,0 +1,60 @@
+#include "stcomp/exp/sweep.h"
+
+namespace stcomp {
+
+std::vector<double> PaperThresholds() {
+  std::vector<double> thresholds;
+  for (double epsilon = 30.0; epsilon <= 100.0; epsilon += 5.0) {
+    thresholds.push_back(epsilon);
+  }
+  return thresholds;
+}
+
+std::vector<double> PaperSpeedThresholds() { return {5.0, 15.0, 25.0}; }
+
+Result<SweepPoint> EvaluateAveraged(const std::vector<Trajectory>& dataset,
+                                    const algo::AlgorithmInfo& algorithm,
+                                    const algo::AlgorithmParams& params) {
+  if (dataset.empty()) {
+    return InvalidArgumentError("empty dataset");
+  }
+  SweepPoint point;
+  point.epsilon_m = params.epsilon_m;
+  point.speed_threshold_mps = params.speed_threshold_mps;
+  for (const Trajectory& trajectory : dataset) {
+    const algo::IndexList kept = algorithm.run(trajectory, params);
+    STCOMP_ASSIGN_OR_RETURN(const Evaluation evaluation,
+                            Evaluate(trajectory, kept));
+    point.compression_percent += evaluation.compression_percent;
+    point.sync_error_mean_m += evaluation.sync_error_mean_m;
+    point.sync_error_max_m += evaluation.sync_error_max_m;
+    point.perp_error_mean_m += evaluation.perp_error_mean_m;
+    point.area_error_m += evaluation.area_error_m;
+  }
+  const double n = static_cast<double>(dataset.size());
+  point.compression_percent /= n;
+  point.sync_error_mean_m /= n;
+  point.sync_error_max_m /= n;
+  point.perp_error_mean_m /= n;
+  point.area_error_m /= n;
+  return point;
+}
+
+Result<std::vector<SweepPoint>> SweepThresholds(
+    const std::vector<Trajectory>& dataset, std::string_view name,
+    const algo::AlgorithmParams& base, const std::vector<double>& thresholds) {
+  STCOMP_ASSIGN_OR_RETURN(const algo::AlgorithmInfo* algorithm,
+                          algo::FindAlgorithm(name));
+  std::vector<SweepPoint> points;
+  points.reserve(thresholds.size());
+  for (double epsilon : thresholds) {
+    algo::AlgorithmParams params = base;
+    params.epsilon_m = epsilon;
+    STCOMP_ASSIGN_OR_RETURN(const SweepPoint point,
+                            EvaluateAveraged(dataset, *algorithm, params));
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace stcomp

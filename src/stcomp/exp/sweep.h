@@ -1,0 +1,50 @@
+// Parameter sweeps: run one algorithm over a dataset at a sequence of
+// thresholds and average the evaluation metrics — the exact procedure
+// behind every figure in the paper's Sec. 4 ("fifteen different spatial
+// threshold values ranging from 30 to 100 m ... averages over ten
+// trajectories").
+
+#ifndef STCOMP_EXP_SWEEP_H_
+#define STCOMP_EXP_SWEEP_H_
+
+#include <string_view>
+#include <vector>
+
+#include "stcomp/algo/registry.h"
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+#include "stcomp/error/evaluation.h"
+
+namespace stcomp {
+
+// Dataset-averaged metrics at one parameter setting.
+struct SweepPoint {
+  double epsilon_m = 0.0;
+  double speed_threshold_mps = 0.0;
+  double compression_percent = 0.0;
+  double sync_error_mean_m = 0.0;
+  double sync_error_max_m = 0.0;
+  double perp_error_mean_m = 0.0;
+  double area_error_m = 0.0;
+};
+
+// The paper's threshold grid: 30, 35, ..., 100 m (15 values).
+std::vector<double> PaperThresholds();
+
+// The paper's speed-difference thresholds: 5, 15, 25 m/s.
+std::vector<double> PaperSpeedThresholds();
+
+// Averages Evaluate() over `dataset` for one algorithm + parameter set.
+Result<SweepPoint> EvaluateAveraged(const std::vector<Trajectory>& dataset,
+                                    const algo::AlgorithmInfo& algorithm,
+                                    const algo::AlgorithmParams& params);
+
+// Runs EvaluateAveraged for every epsilon in `thresholds` (other params
+// from `base`). `name` is looked up in the registry.
+Result<std::vector<SweepPoint>> SweepThresholds(
+    const std::vector<Trajectory>& dataset, std::string_view name,
+    const algo::AlgorithmParams& base, const std::vector<double>& thresholds);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_EXP_SWEEP_H_

@@ -1,0 +1,69 @@
+#include "stcomp/exp/table.h"
+
+#include <algorithm>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  STCOMP_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out += "  ";
+      }
+      out.append(widths[c] - row[c].size(), ' ');
+      out += row[c];
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out += ',';
+      }
+      out += row[c];
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out;
+}
+
+}  // namespace stcomp

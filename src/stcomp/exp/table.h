@@ -1,0 +1,33 @@
+// Fixed-width text tables for the experiment binaries (and CSV export for
+// plotting).
+
+#ifndef STCOMP_EXP_TABLE_H_
+#define STCOMP_EXP_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace stcomp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Cell count must match the header count (checked).
+  void AddRow(std::vector<std::string> cells);
+
+  // Right-aligned fixed-width rendering with a header underline.
+  std::string ToString() const;
+
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_EXP_TABLE_H_

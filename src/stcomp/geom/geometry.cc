@@ -1,0 +1,58 @@
+#include "stcomp/geom/geometry.h"
+
+#include <algorithm>
+
+namespace stcomp {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+double PointToLineDistance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len = ab.Norm();
+  if (len == 0.0) {
+    return Distance(p, a);
+  }
+  return std::abs(ab.Cross(p - a)) / len;
+}
+
+double ProjectOntoSegment(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double denom = ab.SquaredNorm();
+  if (denom == 0.0) {
+    return 0.0;
+  }
+  return std::clamp((p - a).Dot(ab) / denom, 0.0, 1.0);
+}
+
+double PointToSegmentDistance(Vec2 p, Vec2 a, Vec2 b) {
+  const double u = ProjectOntoSegment(p, a, b);
+  return Distance(p, Lerp(a, b, u));
+}
+
+double InteriorAngle(Vec2 a, Vec2 b, Vec2 c) {
+  const Vec2 u = a - b;
+  const Vec2 v = c - b;
+  const double nu = u.Norm();
+  const double nv = v.Norm();
+  if (nu == 0.0 || nv == 0.0) {
+    return kPi;
+  }
+  const double cosine = std::clamp(u.Dot(v) / (nu * nv), -1.0, 1.0);
+  return std::acos(cosine);
+}
+
+double HeadingChange(Vec2 a, Vec2 b, Vec2 c) {
+  return kPi - InteriorAngle(a, b, c);
+}
+
+double Heading(Vec2 a, Vec2 b) {
+  const Vec2 d = b - a;
+  if (d.x == 0.0 && d.y == 0.0) {
+    return 0.0;
+  }
+  return std::atan2(d.y, d.x);
+}
+
+}  // namespace stcomp

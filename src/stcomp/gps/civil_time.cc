@@ -1,0 +1,29 @@
+#include "stcomp/gps/civil_time.h"
+
+namespace stcomp {
+
+long long DaysFromCivil(long long year, unsigned month, unsigned day) {
+  year -= month <= 2;
+  const long long era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<long long>(doe) - 719468;
+}
+
+void CivilFromDays(long long days, long long* year, unsigned* month,
+                   unsigned* day) {
+  days += 719468;
+  const long long era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const long long y = static_cast<long long>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *day = doy - (153 * mp + 2) / 5 + 1;
+  *month = mp + (mp < 10 ? 3 : -9);
+  *year = y + (*month <= 2);
+}
+
+}  // namespace stcomp

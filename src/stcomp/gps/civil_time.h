@@ -1,0 +1,18 @@
+// Proleptic-Gregorian civil date <-> day-count conversions (Howard
+// Hinnant's algorithms), shared by the GPX and NMEA timestamp parsers.
+
+#ifndef STCOMP_GPS_CIVIL_TIME_H_
+#define STCOMP_GPS_CIVIL_TIME_H_
+
+namespace stcomp {
+
+// Days since the Unix epoch (1970-01-01) for a civil date.
+long long DaysFromCivil(long long year, unsigned month, unsigned day);
+
+// Inverse of DaysFromCivil.
+void CivilFromDays(long long days, long long* year, unsigned* month,
+                   unsigned* day);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_GPS_CIVIL_TIME_H_

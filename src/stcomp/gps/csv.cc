@@ -1,0 +1,113 @@
+#include "stcomp/gps/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "stcomp/common/strings.h"
+#include "stcomp/gps/projection.h"
+
+namespace stcomp {
+
+namespace {
+
+enum class CsvSchema { kProjected, kGeographic };
+
+Result<CsvSchema> DetectSchema(std::string_view header) {
+  const std::string lower = AsciiLower(StripWhitespace(header));
+  if (lower == "t,x,y") {
+    return CsvSchema::kProjected;
+  }
+  if (lower == "t,lat,lon" || lower == "time,lat,lon") {
+    return CsvSchema::kGeographic;
+  }
+  return InvalidArgumentError("unrecognised CSV header '" +
+                              std::string(header) +
+                              "' (expected t,x,y or t,lat,lon)");
+}
+
+}  // namespace
+
+Result<Trajectory> ParseCsvTrajectory(std::string_view text) {
+  std::vector<std::string_view> lines = Split(text, '\n');
+  size_t line_number = 0;
+  CsvSchema schema = CsvSchema::kProjected;
+  bool have_header = false;
+  std::vector<TimedPoint> raw;
+  std::vector<LatLon> fixes;  // Parallel to raw for geographic schema.
+  for (std::string_view line : lines) {
+    ++line_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') {
+      continue;
+    }
+    if (!have_header) {
+      STCOMP_ASSIGN_OR_RETURN(schema, DetectSchema(stripped));
+      have_header = true;
+      continue;
+    }
+    const std::vector<std::string_view> fields = Split(stripped, ',');
+    if (fields.size() != 3) {
+      return InvalidArgumentError(
+          StrFormat("CSV line %zu: expected 3 fields, got %zu", line_number,
+                    fields.size()));
+    }
+    STCOMP_ASSIGN_OR_RETURN(const double t, ParseDouble(fields[0]));
+    STCOMP_ASSIGN_OR_RETURN(const double a, ParseDouble(fields[1]));
+    STCOMP_ASSIGN_OR_RETURN(const double b, ParseDouble(fields[2]));
+    if (schema == CsvSchema::kProjected) {
+      raw.emplace_back(t, a, b);
+    } else {
+      raw.emplace_back(t, 0.0, 0.0);
+      fixes.push_back(LatLon{a, b});
+    }
+  }
+  if (!have_header) {
+    return InvalidArgumentError("CSV has no header line");
+  }
+  if (schema == CsvSchema::kGeographic && !fixes.empty()) {
+    STCOMP_ASSIGN_OR_RETURN(const LocalEnuProjection projection,
+                            LocalEnuProjection::Create(fixes.front()));
+    for (size_t i = 0; i < raw.size(); ++i) {
+      raw[i].position = projection.Forward(fixes[i]);
+    }
+  }
+  return Trajectory::FromPoints(std::move(raw));
+}
+
+std::string WriteCsvTrajectory(const Trajectory& trajectory) {
+  std::string out = "t,x,y\n";
+  for (const TimedPoint& point : trajectory.points()) {
+    out += StrFormat("%.17g,%.17g,%.17g\n", point.t, point.position.x,
+                     point.position.y);
+  }
+  return out;
+}
+
+Result<Trajectory> ReadCsvTrajectoryFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  STCOMP_ASSIGN_OR_RETURN(Trajectory trajectory,
+                          ParseCsvTrajectory(buffer.str()));
+  trajectory.set_name(path);
+  return trajectory;
+}
+
+Status WriteCsvTrajectoryFile(const Trajectory& trajectory,
+                              const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return IoError("cannot open " + path + " for writing");
+  }
+  file << WriteCsvTrajectory(trajectory);
+  if (!file) {
+    return IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace stcomp

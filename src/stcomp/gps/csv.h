@@ -1,0 +1,32 @@
+// CSV trajectory I/O. Two schemas are accepted, detected from the header:
+//   t,x,y         — seconds and projected metres (the library's own dump)
+//   t,lat,lon     — seconds and WGS84 degrees (projected to a local frame
+//                   anchored at the first fix)
+// Lines starting with '#' and blank lines are skipped.
+
+#ifndef STCOMP_GPS_CSV_H_
+#define STCOMP_GPS_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+// Parses CSV text into a trajectory (sorted by time; duplicate timestamps
+// rejected with kInvalidArgument).
+Result<Trajectory> ParseCsvTrajectory(std::string_view text);
+
+// Serialises as "t,x,y" with full double precision.
+std::string WriteCsvTrajectory(const Trajectory& trajectory);
+
+// File wrappers.
+Result<Trajectory> ReadCsvTrajectoryFile(const std::string& path);
+Status WriteCsvTrajectoryFile(const Trajectory& trajectory,
+                              const std::string& path);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_GPS_CSV_H_

@@ -1,0 +1,197 @@
+#include "stcomp/gps/gpx.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "stcomp/common/strings.h"
+#include "stcomp/gps/civil_time.h"
+#include "stcomp/gps/xml_scanner.h"
+
+namespace stcomp {
+
+Result<double> ParseIso8601(std::string_view text) {
+  const std::string_view stripped = StripWhitespace(text);
+  // Minimal shape: YYYY-MM-DDThh:mm:ss[.fff][Z|+hh:mm|-hh:mm]
+  if (stripped.size() < 19 || stripped[4] != '-' || stripped[7] != '-' ||
+      (stripped[10] != 'T' && stripped[10] != ' ') || stripped[13] != ':' ||
+      stripped[16] != ':') {
+    return InvalidArgumentError("bad ISO 8601 timestamp '" +
+                                std::string(stripped) + "'");
+  }
+  STCOMP_ASSIGN_OR_RETURN(const long long year, ParseInt(stripped.substr(0, 4)));
+  STCOMP_ASSIGN_OR_RETURN(const long long month,
+                          ParseInt(stripped.substr(5, 2)));
+  STCOMP_ASSIGN_OR_RETURN(const long long day, ParseInt(stripped.substr(8, 2)));
+  STCOMP_ASSIGN_OR_RETURN(const long long hour,
+                          ParseInt(stripped.substr(11, 2)));
+  STCOMP_ASSIGN_OR_RETURN(const long long minute,
+                          ParseInt(stripped.substr(14, 2)));
+  STCOMP_ASSIGN_OR_RETURN(const long long second,
+                          ParseInt(stripped.substr(17, 2)));
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 ||
+      minute > 59 || second > 60) {
+    return InvalidArgumentError("out-of-range ISO 8601 field in '" +
+                                std::string(stripped) + "'");
+  }
+  double fraction = 0.0;
+  size_t pos = 19;
+  if (pos < stripped.size() && stripped[pos] == '.') {
+    size_t end = pos + 1;
+    while (end < stripped.size() &&
+           std::isdigit(static_cast<unsigned char>(stripped[end]))) {
+      ++end;
+    }
+    STCOMP_ASSIGN_OR_RETURN(fraction,
+                            ParseDouble("0" + std::string(stripped.substr(
+                                                  pos, end - pos))));
+    pos = end;
+  }
+  long long offset_seconds = 0;
+  if (pos < stripped.size()) {
+    const std::string_view zone = stripped.substr(pos);
+    if (zone == "Z" || zone == "z") {
+      offset_seconds = 0;
+    } else if ((zone[0] == '+' || zone[0] == '-') && zone.size() == 6 &&
+               zone[3] == ':') {
+      STCOMP_ASSIGN_OR_RETURN(const long long oh, ParseInt(zone.substr(1, 2)));
+      STCOMP_ASSIGN_OR_RETURN(const long long om, ParseInt(zone.substr(4, 2)));
+      offset_seconds = (oh * 3600 + om * 60) * (zone[0] == '+' ? 1 : -1);
+    } else {
+      return InvalidArgumentError("bad ISO 8601 zone suffix '" +
+                                  std::string(zone) + "'");
+    }
+  }
+  const long long days =
+      DaysFromCivil(year, static_cast<unsigned>(month),
+                    static_cast<unsigned>(day));
+  return static_cast<double>(days * 86400 + hour * 3600 + minute * 60 +
+                             second - offset_seconds) +
+         fraction;
+}
+
+std::string FormatIso8601(double unix_seconds, int decimals) {
+  const long long total = static_cast<long long>(std::floor(unix_seconds));
+  const double fraction = unix_seconds - static_cast<double>(total);
+  long long days = total / 86400;
+  long long rem = total % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  long long year;
+  unsigned month, day;
+  CivilFromDays(days, &year, &month, &day);
+  std::string out =
+      StrFormat("%04lld-%02u-%02uT%02lld:%02lld:%02lld", year, month, day,
+                rem / 3600, (rem % 3600) / 60, rem % 60);
+  if (decimals > 0) {
+    // "0.1234" -> ".1234". Clamp below 1 - 10^-decimals so printf rounding
+    // can never carry into the integer second.
+    const double clamped =
+        std::min(fraction, 1.0 - std::pow(10.0, -decimals));
+    const std::string frac = StrFormat("%.*f", decimals, clamped);
+    out += frac.substr(1);
+  }
+  out += 'Z';
+  return out;
+}
+
+Result<GpxTrack> ParseGpx(std::string_view document) {
+  STCOMP_ASSIGN_OR_RETURN(const std::unique_ptr<XmlElement> root,
+                          ParseXml(document));
+  if (root->name != "gpx") {
+    return InvalidArgumentError("root element is <" + root->name +
+                                ">, not <gpx>");
+  }
+  std::vector<TimedPoint> raw;
+  std::vector<LatLon> fixes;
+  for (const XmlElement* trk : root->FindChildren("trk")) {
+    for (const XmlElement* trkseg : trk->FindChildren("trkseg")) {
+      for (const XmlElement* trkpt : trkseg->FindChildren("trkpt")) {
+        const std::string* lat = trkpt->FindAttribute("lat");
+        const std::string* lon = trkpt->FindAttribute("lon");
+        if (lat == nullptr || lon == nullptr) {
+          return InvalidArgumentError("<trkpt> without lat/lon");
+        }
+        const XmlElement* time = trkpt->FindChild("time");
+        if (time == nullptr) {
+          return InvalidArgumentError(
+              "<trkpt> without <time>; trajectories need timestamps");
+        }
+        STCOMP_ASSIGN_OR_RETURN(const double lat_deg, ParseDouble(*lat));
+        STCOMP_ASSIGN_OR_RETURN(const double lon_deg, ParseDouble(*lon));
+        STCOMP_ASSIGN_OR_RETURN(const double t, ParseIso8601(time->text));
+        raw.emplace_back(t, 0.0, 0.0);
+        fixes.push_back(LatLon{lat_deg, lon_deg});
+      }
+    }
+  }
+  if (raw.empty()) {
+    return InvalidArgumentError("GPX document contains no track points");
+  }
+  STCOMP_ASSIGN_OR_RETURN(const LocalEnuProjection projection,
+                          LocalEnuProjection::Create(fixes.front()));
+  for (size_t i = 0; i < raw.size(); ++i) {
+    raw[i].position = projection.Forward(fixes[i]);
+  }
+  GpxTrack track;
+  track.origin = fixes.front();
+  STCOMP_ASSIGN_OR_RETURN(track.trajectory,
+                          Trajectory::FromPoints(std::move(raw)));
+  const XmlElement* trk = root->FindChild("trk");
+  if (trk != nullptr) {
+    const XmlElement* trk_name = trk->FindChild("name");
+    if (trk_name != nullptr) {
+      track.trajectory.set_name(trk_name->text);
+    }
+  }
+  return track;
+}
+
+std::string WriteGpx(const Trajectory& trajectory, LatLon origin) {
+  const Result<LocalEnuProjection> projection =
+      LocalEnuProjection::Create(origin);
+  std::string out =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<gpx version=\"1.1\" creator=\"stcomp\" "
+      "xmlns=\"http://www.topografix.com/GPX/1/1\">\n  <trk>\n";
+  if (!trajectory.name().empty()) {
+    out += "    <name>" + XmlEscape(trajectory.name()) + "</name>\n";
+  }
+  out += "    <trkseg>\n";
+  for (const TimedPoint& point : trajectory.points()) {
+    const LatLon fix = projection.value().Inverse(point.position);
+    out += StrFormat(
+        "      <trkpt lat=\"%.8f\" lon=\"%.8f\"><time>%s</time></trkpt>\n",
+        fix.lat_deg, fix.lon_deg, FormatIso8601(point.t, 3).c_str());
+  }
+  out += "    </trkseg>\n  </trk>\n</gpx>\n";
+  return out;
+}
+
+Result<GpxTrack> ReadGpxFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseGpx(buffer.str());
+}
+
+Status WriteGpxFile(const Trajectory& trajectory, LatLon origin,
+                    const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return IoError("cannot open " + path + " for writing");
+  }
+  file << WriteGpx(trajectory, origin);
+  if (!file) {
+    return IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace stcomp

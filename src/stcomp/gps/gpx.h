@@ -1,0 +1,45 @@
+// GPX 1.1 track I/O (the de-facto interchange format for consumer GPS
+// traces). Reading concatenates all <trkseg> segments of all <trk> tracks;
+// timestamps come from <time> children in ISO 8601 UTC.
+
+#ifndef STCOMP_GPS_GPX_H_
+#define STCOMP_GPS_GPX_H_
+
+#include <string>
+#include <string_view>
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+#include "stcomp/gps/projection.h"
+
+namespace stcomp {
+
+// Seconds since the Unix epoch for an ISO 8601 UTC timestamp
+// ("2004-03-14T09:26:53Z" or with fractional seconds / "+00:00" suffix).
+Result<double> ParseIso8601(std::string_view text);
+
+// Formats seconds since the Unix epoch as "YYYY-MM-DDThh:mm:ssZ", with
+// `decimals` fractional-second digits (0-9) when non-zero. Valid for
+// years 1-9999.
+std::string FormatIso8601(double unix_seconds, int decimals = 0);
+
+// Parses a GPX document. Fixes are projected into a local ENU frame
+// anchored at the first track point; the anchor is returned so callers can
+// round-trip. Track points without <time> are rejected.
+struct GpxTrack {
+  Trajectory trajectory;
+  LatLon origin;  // Anchor of the local frame.
+};
+Result<GpxTrack> ParseGpx(std::string_view document);
+
+// Emits a single-track GPX 1.1 document; positions are unprojected through
+// `origin`. Timestamps are interpreted as Unix seconds.
+std::string WriteGpx(const Trajectory& trajectory, LatLon origin);
+
+Result<GpxTrack> ReadGpxFile(const std::string& path);
+Status WriteGpxFile(const Trajectory& trajectory, LatLon origin,
+                    const std::string& path);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_GPS_GPX_H_

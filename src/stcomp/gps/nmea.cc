@@ -1,0 +1,212 @@
+#include "stcomp/gps/nmea.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "stcomp/common/strings.h"
+#include "stcomp/gps/civil_time.h"
+
+namespace stcomp {
+
+namespace {
+
+constexpr double kKnotsToMps = 0.514444;
+
+// "ddmm.mmmm" + hemisphere -> signed degrees.
+Result<double> ParseNmeaAngle(std::string_view text, std::string_view hemi,
+                              int degree_digits) {
+  if (static_cast<int>(text.size()) < degree_digits + 2) {
+    return InvalidArgumentError("NMEA coordinate field too short");
+  }
+  STCOMP_ASSIGN_OR_RETURN(
+      const long long degrees,
+      ParseInt(text.substr(0, static_cast<size_t>(degree_digits))));
+  STCOMP_ASSIGN_OR_RETURN(
+      const double minutes,
+      ParseDouble(text.substr(static_cast<size_t>(degree_digits))));
+  double value = static_cast<double>(degrees) + minutes / 60.0;
+  if (hemi == "S" || hemi == "W") {
+    value = -value;
+  } else if (hemi != "N" && hemi != "E") {
+    return InvalidArgumentError("bad NMEA hemisphere");
+  }
+  return value;
+}
+
+// hhmmss(.sss) + ddmmyy -> Unix seconds.
+Result<double> ParseNmeaDateTime(std::string_view time_text,
+                                 std::string_view date_text) {
+  if (time_text.size() < 6 || date_text.size() != 6) {
+    return InvalidArgumentError("bad NMEA time/date field");
+  }
+  STCOMP_ASSIGN_OR_RETURN(const long long hh, ParseInt(time_text.substr(0, 2)));
+  STCOMP_ASSIGN_OR_RETURN(const long long mm, ParseInt(time_text.substr(2, 2)));
+  STCOMP_ASSIGN_OR_RETURN(const double ss, ParseDouble(time_text.substr(4)));
+  STCOMP_ASSIGN_OR_RETURN(const long long day, ParseInt(date_text.substr(0, 2)));
+  STCOMP_ASSIGN_OR_RETURN(const long long month,
+                          ParseInt(date_text.substr(2, 2)));
+  STCOMP_ASSIGN_OR_RETURN(const long long yy, ParseInt(date_text.substr(4, 2)));
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hh > 23 || mm > 59 ||
+      ss >= 61.0) {
+    return InvalidArgumentError("out-of-range NMEA time/date");
+  }
+  // NMEA two-digit years: the GPS era convention (>= 80 -> 19xx).
+  const long long year = yy >= 80 ? 1900 + yy : 2000 + yy;
+  const long long days = DaysFromCivil(year, static_cast<unsigned>(month),
+                                       static_cast<unsigned>(day));
+  return static_cast<double>(days * 86400 + hh * 3600 + mm * 60) + ss;
+}
+
+}  // namespace
+
+uint8_t NmeaChecksum(std::string_view payload) {
+  uint8_t checksum = 0;
+  for (char c : payload) {
+    checksum = static_cast<uint8_t>(checksum ^ static_cast<uint8_t>(c));
+  }
+  return checksum;
+}
+
+Result<RmcFix> ParseRmcSentence(std::string_view sentence) {
+  std::string_view body = StripWhitespace(sentence);
+  if (body.empty() || body.front() != '$') {
+    return InvalidArgumentError("NMEA sentence must start with '$'");
+  }
+  body.remove_prefix(1);
+  const size_t star = body.rfind('*');
+  if (star == std::string_view::npos || body.size() - star != 3) {
+    return InvalidArgumentError("NMEA sentence missing '*hh' checksum");
+  }
+  const std::string_view payload = body.substr(0, star);
+  const std::string checksum_text(body.substr(star + 1));
+  const long long stated = std::strtoll(checksum_text.c_str(), nullptr, 16);
+  if (NmeaChecksum(payload) != static_cast<uint8_t>(stated)) {
+    return DataLossError("NMEA checksum mismatch");
+  }
+  const std::vector<std::string_view> fields = Split(payload, ',');
+  // Talker id (GP/GN/GL...) + "RMC".
+  if (fields.empty() || fields[0].size() < 5 ||
+      fields[0].substr(fields[0].size() - 3) != "RMC") {
+    return NotFoundError("not an RMC sentence");
+  }
+  if (fields.size() < 10) {
+    return InvalidArgumentError("RMC sentence has too few fields");
+  }
+  RmcFix fix;
+  fix.valid = fields[2] == "A";
+  STCOMP_ASSIGN_OR_RETURN(fix.unix_time_s,
+                          ParseNmeaDateTime(fields[1], fields[9]));
+  STCOMP_ASSIGN_OR_RETURN(fix.position.lat_deg,
+                          ParseNmeaAngle(fields[3], fields[4], 2));
+  STCOMP_ASSIGN_OR_RETURN(fix.position.lon_deg,
+                          ParseNmeaAngle(fields[5], fields[6], 3));
+  if (!fields[7].empty()) {
+    STCOMP_ASSIGN_OR_RETURN(const double knots, ParseDouble(fields[7]));
+    fix.speed_mps = knots * kKnotsToMps;
+  }
+  if (!fields[8].empty()) {
+    STCOMP_ASSIGN_OR_RETURN(fix.course_deg, ParseDouble(fields[8]));
+  }
+  return fix;
+}
+
+Result<Trajectory> ParseNmea(std::string_view text, LatLon* origin) {
+  std::vector<TimedPoint> raw;
+  std::vector<LatLon> fixes;
+  for (std::string_view line : Split(text, '\n')) {
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) {
+      continue;
+    }
+    const Result<RmcFix> fix = ParseRmcSentence(stripped);
+    if (!fix.ok()) {
+      if (fix.status().code() == StatusCode::kDataLoss) {
+        return fix.status();  // Corruption is an error, other sentences not.
+      }
+      continue;
+    }
+    if (!fix->valid) {
+      continue;
+    }
+    if (!raw.empty() && fix->unix_time_s <= raw.back().t) {
+      continue;  // Receivers occasionally repeat a second; drop.
+    }
+    raw.emplace_back(fix->unix_time_s, 0.0, 0.0);
+    fixes.push_back(fix->position);
+  }
+  if (raw.empty()) {
+    return InvalidArgumentError("no valid RMC fixes in NMEA input");
+  }
+  STCOMP_ASSIGN_OR_RETURN(const LocalEnuProjection projection,
+                          LocalEnuProjection::Create(fixes.front()));
+  for (size_t i = 0; i < raw.size(); ++i) {
+    raw[i].position = projection.Forward(fixes[i]);
+  }
+  if (origin != nullptr) {
+    *origin = fixes.front();
+  }
+  return Trajectory::FromPoints(std::move(raw));
+}
+
+std::string WriteNmea(const Trajectory& trajectory, LatLon origin) {
+  const LocalEnuProjection projection =
+      LocalEnuProjection::Create(origin).value();
+  std::string out;
+  const auto& points = trajectory.points();
+  for (size_t i = 0; i < points.size(); ++i) {
+    const LatLon fix = projection.Inverse(points[i].position);
+    const long long total = static_cast<long long>(std::floor(points[i].t));
+    const double fraction = points[i].t - static_cast<double>(total);
+    long long days = total / 86400;
+    long long rem = total % 86400;
+    if (rem < 0) {
+      rem += 86400;
+      --days;
+    }
+    long long year;
+    unsigned month, day;
+    CivilFromDays(days, &year, &month, &day);
+    // Derived speed/course from the next segment (receivers report ground
+    // speed; we reconstruct it from the motion).
+    double speed_knots = 0.0;
+    double course_deg = 0.0;
+    if (i + 1 < points.size()) {
+      const double dt = points[i + 1].t - points[i].t;
+      const Vec2 d = points[i + 1].position - points[i].position;
+      speed_knots = d.Norm() / dt / kKnotsToMps;
+      // Compass course: clockwise from north.
+      course_deg = std::fmod(
+          90.0 - Heading(points[i].position, points[i + 1].position) * 180.0 /
+                     3.14159265358979323846 + 360.0,
+          360.0);
+    }
+    const double abs_lat = std::abs(fix.lat_deg);
+    const double abs_lon = std::abs(fix.lon_deg);
+    const int lat_deg = static_cast<int>(abs_lat);
+    const int lon_deg = static_cast<int>(abs_lon);
+    const std::string payload = StrFormat(
+        "GPRMC,%02lld%02lld%06.3f,A,%02d%07.4f,%c,%03d%07.4f,%c,%.2f,%.1f,"
+        "%02u%02u%02lld,,",
+        rem / 3600, (rem % 3600) / 60,
+        static_cast<double>(rem % 60) + fraction, lat_deg,
+        (abs_lat - lat_deg) * 60.0, fix.lat_deg >= 0 ? 'N' : 'S', lon_deg,
+        (abs_lon - lon_deg) * 60.0, fix.lon_deg >= 0 ? 'E' : 'W', speed_knots,
+        course_deg, day, month, year % 100);
+    out += StrFormat("$%s*%02X\r\n", payload.c_str(), NmeaChecksum(payload));
+  }
+  return out;
+}
+
+Result<Trajectory> ReadNmeaFile(const std::string& path, LatLon* origin) {
+  std::ifstream file(path);
+  if (!file) {
+    return IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseNmea(buffer.str(), origin);
+}
+
+}  // namespace stcomp

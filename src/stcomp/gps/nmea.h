@@ -1,0 +1,51 @@
+// NMEA 0183 support: the sentence protocol GPS receivers actually emit.
+// We parse the RMC (recommended minimum) sentence, which carries the fix
+// time, date, position and ground speed, and validate the checksum. The
+// writer emits RMC so hardware-in-the-loop tests can replay trajectories
+// into NMEA consumers.
+
+#ifndef STCOMP_GPS_NMEA_H_
+#define STCOMP_GPS_NMEA_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+#include "stcomp/gps/projection.h"
+
+namespace stcomp {
+
+// One decoded $..RMC sentence.
+struct RmcFix {
+  double unix_time_s = 0.0;
+  LatLon position;
+  bool valid = false;               // Status field 'A' (active) vs 'V'.
+  double speed_mps = 0.0;           // From knots.
+  double course_deg = 0.0;          // True course, degrees.
+};
+
+// XOR checksum over the payload between '$' and '*'.
+uint8_t NmeaChecksum(std::string_view payload);
+
+// Parses one RMC sentence ("$GPRMC,...*hh"). Fails with kInvalidArgument
+// on malformed input and kDataLoss on checksum mismatch. Non-RMC sentences
+// fail with kNotFound so stream readers can skip them cheaply.
+Result<RmcFix> ParseRmcSentence(std::string_view sentence);
+
+// Parses a whole NMEA log: keeps valid RMC fixes, skips other sentences,
+// fails only if no usable fix is found. Fixes are projected into a local
+// ENU frame anchored at the first fix; `origin` (optional out) receives
+// the anchor.
+Result<Trajectory> ParseNmea(std::string_view text, LatLon* origin);
+
+// Emits one RMC sentence per trajectory point (positions unprojected
+// through `origin`; timestamps interpreted as Unix seconds).
+std::string WriteNmea(const Trajectory& trajectory, LatLon origin);
+
+Result<Trajectory> ReadNmeaFile(const std::string& path, LatLon* origin);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_GPS_NMEA_H_

@@ -1,0 +1,67 @@
+#include "stcomp/gps/plt.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "stcomp/common/strings.h"
+#include "stcomp/gps/projection.h"
+
+namespace stcomp {
+
+Result<Trajectory> ParsePlt(std::string_view text) {
+  const std::vector<std::string_view> lines = Split(text, '\n');
+  std::vector<TimedPoint> raw;
+  std::vector<LatLon> fixes;
+  size_t data_lines_seen = 0;
+  size_t line_number = 0;
+  for (std::string_view line : lines) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) {
+      continue;
+    }
+    if (line_number <= 6) {
+      continue;  // Fixed-size preamble.
+    }
+    const std::vector<std::string_view> fields = Split(stripped, ',');
+    if (fields.size() < 5) {
+      return InvalidArgumentError(
+          StrFormat("PLT line %zu: expected >= 5 fields", line_number));
+    }
+    STCOMP_ASSIGN_OR_RETURN(const double lat, ParseDouble(fields[0]));
+    STCOMP_ASSIGN_OR_RETURN(const double lon, ParseDouble(fields[1]));
+    STCOMP_ASSIGN_OR_RETURN(const double days, ParseDouble(fields[4]));
+    const double t = days * 86400.0;
+    ++data_lines_seen;
+    if (!raw.empty() && t <= raw.back().t) {
+      continue;  // Drop out-of-order fixes rather than failing whole files.
+    }
+    raw.emplace_back(t, 0.0, 0.0);
+    fixes.push_back(LatLon{lat, lon});
+  }
+  if (raw.empty()) {
+    return InvalidArgumentError("PLT file contains no fixes");
+  }
+  STCOMP_ASSIGN_OR_RETURN(const LocalEnuProjection projection,
+                          LocalEnuProjection::Create(fixes.front()));
+  for (size_t i = 0; i < raw.size(); ++i) {
+    raw[i].position = projection.Forward(fixes[i]);
+  }
+  (void)data_lines_seen;
+  return Trajectory::FromPoints(std::move(raw));
+}
+
+Result<Trajectory> ReadPltFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  STCOMP_ASSIGN_OR_RETURN(Trajectory trajectory, ParsePlt(buffer.str()));
+  trajectory.set_name(path);
+  return trajectory;
+}
+
+}  // namespace stcomp

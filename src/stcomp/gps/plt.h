@@ -1,0 +1,28 @@
+// Reader for the Geolife .plt trace format (Microsoft Research Geolife GPS
+// trajectory dataset): six header lines, then
+//   lat,lon,0,altitude_ft,days_since_1899-12-30,date,time
+// per fix. A common public source of real traces for trajectory
+// compression experiments.
+
+#ifndef STCOMP_GPS_PLT_H_
+#define STCOMP_GPS_PLT_H_
+
+#include <string>
+#include <string_view>
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+// Parses .plt text; fixes are projected into a local ENU frame anchored at
+// the first fix. Timestamps are the fractional-day field converted to
+// seconds (epoch 1899-12-30, the format's own convention). Fixes with
+// non-increasing timestamps are dropped (the dataset contains a few).
+Result<Trajectory> ParsePlt(std::string_view text);
+
+Result<Trajectory> ReadPltFile(const std::string& path);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_GPS_PLT_H_

@@ -1,0 +1,159 @@
+#include "stcomp/gps/projection.h"
+
+#include <cmath>
+
+namespace stcomp {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kDegToRad = kPi / 180.0;
+constexpr double kRadToDeg = 180.0 / kPi;
+constexpr double kMercatorScale = 0.9996;  // UTM k0.
+
+// First eccentricity squared of the WGS84 ellipsoid.
+constexpr double E2() {
+  return kWgs84Flattening * (2.0 - kWgs84Flattening);
+}
+
+// Meridional arc length from the equator to latitude `lat_rad` (Snyder
+// eq. 3-21).
+double MeridionalArc(double lat_rad) {
+  const double e2 = E2();
+  const double e4 = e2 * e2;
+  const double e6 = e4 * e2;
+  return kWgs84SemiMajorAxisM *
+         ((1.0 - e2 / 4.0 - 3.0 * e4 / 64.0 - 5.0 * e6 / 256.0) * lat_rad -
+          (3.0 * e2 / 8.0 + 3.0 * e4 / 32.0 + 45.0 * e6 / 1024.0) *
+              std::sin(2.0 * lat_rad) +
+          (15.0 * e4 / 256.0 + 45.0 * e6 / 1024.0) * std::sin(4.0 * lat_rad) -
+          (35.0 * e6 / 3072.0) * std::sin(6.0 * lat_rad));
+}
+
+}  // namespace
+
+Result<LocalEnuProjection> LocalEnuProjection::Create(LatLon origin) {
+  if (std::abs(origin.lat_deg) > 89.9 || std::abs(origin.lon_deg) > 180.0) {
+    return InvalidArgumentError("origin out of range for local projection");
+  }
+  const double lat_rad = origin.lat_deg * kDegToRad;
+  const double e2 = E2();
+  const double sin_lat = std::sin(lat_rad);
+  const double w2 = 1.0 - e2 * sin_lat * sin_lat;
+  // Meridional and prime-vertical radii of curvature at the origin.
+  const double meridional_radius =
+      kWgs84SemiMajorAxisM * (1.0 - e2) / (w2 * std::sqrt(w2));
+  const double prime_vertical_radius = kWgs84SemiMajorAxisM / std::sqrt(w2);
+  const double metres_per_deg_lat = meridional_radius * kDegToRad;
+  const double metres_per_deg_lon =
+      prime_vertical_radius * std::cos(lat_rad) * kDegToRad;
+  return LocalEnuProjection(origin, metres_per_deg_lat, metres_per_deg_lon);
+}
+
+Vec2 LocalEnuProjection::Forward(LatLon fix) const {
+  return {(fix.lon_deg - origin_.lon_deg) * metres_per_deg_lon_,
+          (fix.lat_deg - origin_.lat_deg) * metres_per_deg_lat_};
+}
+
+LatLon LocalEnuProjection::Inverse(Vec2 position) const {
+  return {origin_.lat_deg + position.y / metres_per_deg_lat_,
+          origin_.lon_deg + position.x / metres_per_deg_lon_};
+}
+
+TransverseMercator::TransverseMercator(double central_meridian_deg)
+    : central_meridian_rad_(central_meridian_deg * kDegToRad) {}
+
+Vec2 TransverseMercator::Forward(LatLon fix) const {
+  const double e2 = E2();
+  const double ep2 = e2 / (1.0 - e2);
+  const double lat = fix.lat_deg * kDegToRad;
+  const double lon = fix.lon_deg * kDegToRad;
+  const double sin_lat = std::sin(lat);
+  const double cos_lat = std::cos(lat);
+  const double n = kWgs84SemiMajorAxisM / std::sqrt(1.0 - e2 * sin_lat * sin_lat);
+  const double t = (sin_lat / cos_lat) * (sin_lat / cos_lat);
+  const double c = ep2 * cos_lat * cos_lat;
+  const double a = (lon - central_meridian_rad_) * cos_lat;
+  const double a2 = a * a;
+  const double a3 = a2 * a;
+  const double a4 = a2 * a2;
+  const double a5 = a4 * a;
+  const double a6 = a4 * a2;
+  const double m = MeridionalArc(lat);
+  const double x =
+      kMercatorScale * n *
+      (a + (1.0 - t + c) * a3 / 6.0 +
+       (5.0 - 18.0 * t + t * t + 72.0 * c - 58.0 * ep2) * a5 / 120.0);
+  const double y =
+      kMercatorScale *
+      (m + n * (sin_lat / cos_lat) *
+               (a2 / 2.0 + (5.0 - t + 9.0 * c + 4.0 * c * c) * a4 / 24.0 +
+                (61.0 - 58.0 * t + t * t + 600.0 * c - 330.0 * ep2) * a6 /
+                    720.0));
+  return {x, y};
+}
+
+LatLon TransverseMercator::Inverse(Vec2 position) const {
+  const double e2 = E2();
+  const double ep2 = e2 / (1.0 - e2);
+  const double m = position.y / kMercatorScale;
+  const double mu =
+      m / (kWgs84SemiMajorAxisM *
+           (1.0 - e2 / 4.0 - 3.0 * e2 * e2 / 64.0 - 5.0 * e2 * e2 * e2 / 256.0));
+  const double e1 =
+      (1.0 - std::sqrt(1.0 - e2)) / (1.0 + std::sqrt(1.0 - e2));
+  const double e1_2 = e1 * e1;
+  const double e1_3 = e1_2 * e1;
+  const double e1_4 = e1_2 * e1_2;
+  // Footpoint latitude (Snyder eq. 3-26).
+  const double phi1 =
+      mu + (3.0 * e1 / 2.0 - 27.0 * e1_3 / 32.0) * std::sin(2.0 * mu) +
+      (21.0 * e1_2 / 16.0 - 55.0 * e1_4 / 32.0) * std::sin(4.0 * mu) +
+      (151.0 * e1_3 / 96.0) * std::sin(6.0 * mu) +
+      (1097.0 * e1_4 / 512.0) * std::sin(8.0 * mu);
+  const double sin_phi1 = std::sin(phi1);
+  const double cos_phi1 = std::cos(phi1);
+  const double tan_phi1 = sin_phi1 / cos_phi1;
+  const double c1 = ep2 * cos_phi1 * cos_phi1;
+  const double t1 = tan_phi1 * tan_phi1;
+  const double w2 = 1.0 - e2 * sin_phi1 * sin_phi1;
+  const double n1 = kWgs84SemiMajorAxisM / std::sqrt(w2);
+  const double r1 = kWgs84SemiMajorAxisM * (1.0 - e2) / (w2 * std::sqrt(w2));
+  const double d = position.x / (n1 * kMercatorScale);
+  const double d2 = d * d;
+  const double d3 = d2 * d;
+  const double d4 = d2 * d2;
+  const double d5 = d4 * d;
+  const double d6 = d4 * d2;
+  const double lat =
+      phi1 -
+      (n1 * tan_phi1 / r1) *
+          (d2 / 2.0 -
+           (5.0 + 3.0 * t1 + 10.0 * c1 - 4.0 * c1 * c1 - 9.0 * ep2) * d4 /
+               24.0 +
+           (61.0 + 90.0 * t1 + 298.0 * c1 + 45.0 * t1 * t1 - 252.0 * ep2 -
+            3.0 * c1 * c1) *
+               d6 / 720.0);
+  const double lon =
+      central_meridian_rad_ +
+      (d - (1.0 + 2.0 * t1 + c1) * d3 / 6.0 +
+       (5.0 - 2.0 * c1 + 28.0 * t1 - 3.0 * c1 * c1 + 8.0 * ep2 +
+        24.0 * t1 * t1) *
+           d5 / 120.0) /
+          cos_phi1;
+  return {lat * kRadToDeg, lon * kRadToDeg};
+}
+
+double HaversineDistance(LatLon a, LatLon b) {
+  constexpr double kMeanEarthRadiusM = 6371008.8;
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s = std::sin(dlat / 2.0);
+  const double t = std::sin(dlon / 2.0);
+  const double h = s * s + std::cos(lat1) * std::cos(lat2) * t * t;
+  return 2.0 * kMeanEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+}  // namespace stcomp

@@ -1,0 +1,74 @@
+// Geodetic support: turning WGS84 latitude/longitude fixes into the local
+// planar metre coordinates the compression algorithms operate on.
+//
+// Two projections are provided:
+//  - LocalEnuProjection: equirectangular local tangent approximation, exact
+//    enough (< 1e-4 relative) for trip-scale extents (tens of km) and very
+//    fast; this is the library default.
+//  - TransverseMercator: the standard Gauss-Krueger series (UTM-style),
+//    accurate over whole zones; used to validate the local projection.
+
+#ifndef STCOMP_GPS_PROJECTION_H_
+#define STCOMP_GPS_PROJECTION_H_
+
+#include "stcomp/common/result.h"
+#include "stcomp/geom/geometry.h"
+
+namespace stcomp {
+
+// A WGS84 fix, degrees.
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+// WGS84 ellipsoid constants.
+inline constexpr double kWgs84SemiMajorAxisM = 6378137.0;
+inline constexpr double kWgs84Flattening = 1.0 / 298.257223563;
+
+// Equirectangular east/north-up frame anchored at `origin`.
+class LocalEnuProjection {
+ public:
+  // Fails with kInvalidArgument for |lat| > 89.9 deg (metric blows up) or
+  // out-of-range coordinates.
+  static Result<LocalEnuProjection> Create(LatLon origin);
+
+  // East/north offsets in metres from the origin.
+  Vec2 Forward(LatLon fix) const;
+  LatLon Inverse(Vec2 position) const;
+
+  LatLon origin() const { return origin_; }
+
+ private:
+  LocalEnuProjection(LatLon origin, double metres_per_deg_lat,
+                     double metres_per_deg_lon)
+      : origin_(origin),
+        metres_per_deg_lat_(metres_per_deg_lat),
+        metres_per_deg_lon_(metres_per_deg_lon) {}
+
+  LatLon origin_;
+  double metres_per_deg_lat_;
+  double metres_per_deg_lon_;
+};
+
+// Transverse Mercator about `central_meridian_deg` (k0 = 0.9996, UTM
+// convention; no false easting/northing so the output is comparable with
+// the local frame).
+class TransverseMercator {
+ public:
+  explicit TransverseMercator(double central_meridian_deg);
+
+  Vec2 Forward(LatLon fix) const;
+  LatLon Inverse(Vec2 position) const;
+
+ private:
+  double central_meridian_rad_;
+};
+
+// Great-circle (haversine, spherical mean radius) distance in metres;
+// reference measure for projection tests.
+double HaversineDistance(LatLon a, LatLon b);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_GPS_PROJECTION_H_

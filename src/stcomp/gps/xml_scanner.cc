@@ -1,0 +1,284 @@
+#include "stcomp/gps/xml_scanner.h"
+
+#include <cctype>
+
+#include "stcomp/common/strings.h"
+
+namespace stcomp {
+
+namespace {
+
+// Hand-rolled recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view document) : input_(document) {}
+
+  Result<std::unique_ptr<XmlElement>> ParseDocument() {
+    SkipProlog();
+    if (!SkipTo('<')) {
+      return InvalidArgumentError("XML: no root element");
+    }
+    STCOMP_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root, ParseElement());
+    return root;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Match(std::string_view token) {
+    if (input_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  // Positions the cursor at the next `c`, returning false at EOF.
+  bool SkipTo(char c) {
+    while (!AtEnd() && Peek() != c) {
+      ++pos_;
+    }
+    return !AtEnd();
+  }
+
+  void SkipProlog() {
+    while (true) {
+      SkipWhitespace();
+      if (Match("<?")) {
+        while (!AtEnd() && !Match("?>")) {
+          ++pos_;
+        }
+      } else if (Match("<!--")) {
+        while (!AtEnd() && !Match("-->")) {
+          ++pos_;
+        }
+      } else if (Match("<!")) {  // DOCTYPE etc.
+        while (!AtEnd() && Peek() != '>') {
+          ++pos_;
+        }
+        if (!AtEnd()) {
+          ++pos_;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == ':' || c == '.';
+  }
+
+  std::string ParseName() {
+    const size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      ++pos_;
+    }
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  static std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      const std::string_view rest = raw.substr(i);
+      if (StartsWith(rest, "&amp;")) {
+        out += '&';
+        i += 4;
+      } else if (StartsWith(rest, "&lt;")) {
+        out += '<';
+        i += 3;
+      } else if (StartsWith(rest, "&gt;")) {
+        out += '>';
+        i += 3;
+      } else if (StartsWith(rest, "&quot;")) {
+        out += '"';
+        i += 5;
+      } else if (StartsWith(rest, "&apos;")) {
+        out += '\'';
+        i += 5;
+      } else {
+        out += raw[i];  // Unknown entity: keep verbatim.
+      }
+    }
+    return out;
+  }
+
+  Result<std::pair<std::string, std::string>> ParseAttribute() {
+    const std::string name = ParseName();
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '=') {
+      return InvalidArgumentError("XML: attribute without '='");
+    }
+    ++pos_;
+    SkipWhitespace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return InvalidArgumentError("XML: attribute value must be quoted");
+    }
+    const char quote = Peek();
+    ++pos_;
+    const size_t start = pos_;
+    if (!SkipTo(quote)) {
+      return InvalidArgumentError("XML: unterminated attribute value");
+    }
+    std::string value = DecodeEntities(input_.substr(start, pos_ - start));
+    ++pos_;  // Closing quote.
+    return std::make_pair(name, std::move(value));
+  }
+
+  // Cursor sits on '<' of the start tag.
+  Result<std::unique_ptr<XmlElement>> ParseElement() {
+    if (depth_ > 256) {
+      return InvalidArgumentError("XML: nesting too deep");
+    }
+    ++pos_;  // '<'
+    auto element = std::make_unique<XmlElement>();
+    element->name = ParseName();
+    if (element->name.empty()) {
+      return InvalidArgumentError("XML: empty element name");
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) {
+        return InvalidArgumentError("XML: unterminated start tag <" +
+                                    element->name);
+      }
+      if (Match("/>")) {
+        return element;
+      }
+      if (Peek() == '>') {
+        ++pos_;
+        break;
+      }
+      STCOMP_ASSIGN_OR_RETURN(auto attribute, ParseAttribute());
+      element->attributes.push_back(std::move(attribute));
+    }
+    // Content.
+    while (true) {
+      const size_t text_start = pos_;
+      if (!SkipTo('<')) {
+        return InvalidArgumentError("XML: unterminated element <" +
+                                    element->name);
+      }
+      element->text +=
+          DecodeEntities(input_.substr(text_start, pos_ - text_start));
+      if (Match("<!--")) {
+        while (!AtEnd() && !Match("-->")) {
+          ++pos_;
+        }
+        continue;
+      }
+      if (Match("<![CDATA[")) {
+        const size_t cdata_start = pos_;
+        while (!AtEnd() && !Match("]]>")) {
+          ++pos_;
+        }
+        element->text += input_.substr(cdata_start, pos_ - 3 - cdata_start);
+        continue;
+      }
+      if (input_.substr(pos_, 2) == "</") {
+        pos_ += 2;
+        const std::string closing = ParseName();
+        if (closing != element->name) {
+          return InvalidArgumentError("XML: mismatched </" + closing +
+                                      "> for <" + element->name + ">");
+        }
+        SkipWhitespace();
+        if (AtEnd() || Peek() != '>') {
+          return InvalidArgumentError("XML: malformed end tag");
+        }
+        ++pos_;
+        // Surrounding whitespace in mixed content is never significant for
+        // our use; trim it.
+        element->text = std::string(StripWhitespace(element->text));
+        return element;
+      }
+      ++depth_;
+      STCOMP_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> child,
+                              ParseElement());
+      --depth_;
+      element->children.push_back(std::move(child));
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const std::string* XmlElement::FindAttribute(
+    std::string_view attribute_name) const {
+  for (const auto& [attr_name, attr_value] : attributes) {
+    if (attr_name == attribute_name) {
+      return &attr_value;
+    }
+  }
+  return nullptr;
+}
+
+const XmlElement* XmlElement::FindChild(std::string_view child_name) const {
+  for (const auto& child : children) {
+    if (child->name == child_name) {
+      return child.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::FindChildren(
+    std::string_view child_name) const {
+  std::vector<const XmlElement*> matches;
+  for (const auto& child : children) {
+    if (child->name == child_name) {
+      matches.push_back(child.get());
+    }
+  }
+  return matches;
+}
+
+Result<std::unique_ptr<XmlElement>> ParseXml(std::string_view document) {
+  Parser parser(document);
+  return parser.ParseDocument();
+}
+
+std::string XmlEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace stcomp

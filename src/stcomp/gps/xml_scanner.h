@@ -1,0 +1,42 @@
+// A minimal, dependency-free XML reader — just enough for well-formed GPX
+// documents: elements, attributes, character data, comments, declarations
+// and CDATA. No namespaces resolution (prefixes are kept verbatim), no
+// DTD/entities beyond the five predefined ones.
+
+#ifndef STCOMP_GPS_XML_SCANNER_H_
+#define STCOMP_GPS_XML_SCANNER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stcomp/common/result.h"
+
+namespace stcomp {
+
+struct XmlElement {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<XmlElement>> children;
+  // Concatenated character data directly inside this element.
+  std::string text;
+
+  // First attribute value by name, or nullptr.
+  const std::string* FindAttribute(std::string_view attribute_name) const;
+  // First child element by name, or nullptr.
+  const XmlElement* FindChild(std::string_view child_name) const;
+  // All child elements by name.
+  std::vector<const XmlElement*> FindChildren(std::string_view child_name)
+      const;
+};
+
+// Parses a whole document; returns its root element.
+Result<std::unique_ptr<XmlElement>> ParseXml(std::string_view document);
+
+// Escapes &, <, >, ", ' for emission.
+std::string XmlEscape(std::string_view text);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_GPS_XML_SCANNER_H_

@@ -1,0 +1,38 @@
+#include "stcomp/sim/gps_noise.h"
+
+#include <cmath>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp {
+
+Trajectory AddGpsNoise(const Trajectory& trajectory,
+                       const GpsNoiseConfig& config, Rng* rng) {
+  STCOMP_CHECK(rng != nullptr);
+  STCOMP_CHECK(config.sigma_m >= 0.0 && config.correlation_time_s > 0.0);
+  std::vector<TimedPoint> noisy;
+  noisy.reserve(trajectory.size());
+  Vec2 bias{0.0, 0.0};
+  double previous_t = 0.0;
+  bool first = true;
+  for (const TimedPoint& point : trajectory.points()) {
+    if (first) {
+      bias = {config.sigma_m * rng->NextGaussian(),
+              config.sigma_m * rng->NextGaussian()};
+      first = false;
+    } else {
+      const double dt = point.t - previous_t;
+      const double rho = std::exp(-dt / config.correlation_time_s);
+      const double innovation = config.sigma_m * std::sqrt(1.0 - rho * rho);
+      bias = {rho * bias.x + innovation * rng->NextGaussian(),
+              rho * bias.y + innovation * rng->NextGaussian()};
+    }
+    previous_t = point.t;
+    noisy.emplace_back(point.t, point.position + bias);
+  }
+  Trajectory result = Trajectory::FromUnordered(std::move(noisy));
+  result.set_name(trajectory.name());
+  return result;
+}
+
+}  // namespace stcomp

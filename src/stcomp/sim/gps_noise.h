@@ -1,0 +1,26 @@
+// GPS measurement noise. Consumer GPS error is strongly autocorrelated
+// (multipath/atmospheric bias drifts over tens of seconds), which a plain
+// iid Gaussian misses; we use a first-order Gauss-Markov process per axis.
+
+#ifndef STCOMP_SIM_GPS_NOISE_H_
+#define STCOMP_SIM_GPS_NOISE_H_
+
+#include "stcomp/core/trajectory.h"
+#include "stcomp/sim/random.h"
+
+namespace stcomp {
+
+struct GpsNoiseConfig {
+  double sigma_m = 4.0;              // Stationary per-axis std deviation.
+  double correlation_time_s = 25.0;  // Gauss-Markov time constant.
+};
+
+// Adds correlated noise to every sample of `trajectory`, honouring the
+// actual sample spacing (the autocorrelation between consecutive samples is
+// exp(-dt/tau)). Deterministic in `rng`.
+Trajectory AddGpsNoise(const Trajectory& trajectory,
+                       const GpsNoiseConfig& config, Rng* rng);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_SIM_GPS_NOISE_H_

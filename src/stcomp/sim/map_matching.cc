@@ -1,0 +1,234 @@
+#include "stcomp/sim/map_matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Candidate {
+  int edge_index;
+  Vec2 snapped;
+  double offset_m;    // Along the edge from edge.from.
+  double distance_m;  // Fix to edge.
+};
+
+// Memoised single-source shortest *distances* (metres) over the network.
+class DistanceOracle {
+ public:
+  explicit DistanceOracle(const RoadNetwork& network) : network_(network) {}
+
+  double NodeDistance(int from, int to) {
+    const std::vector<double>& table = TableFor(from);
+    return table[static_cast<size_t>(to)];
+  }
+
+ private:
+  const std::vector<double>& TableFor(int source) {
+    auto it = cache_.find(source);
+    if (it != cache_.end()) {
+      return it->second;
+    }
+    std::vector<double> distance(network_.nodes().size(), kInf);
+    using Entry = std::pair<double, int>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+    distance[static_cast<size_t>(source)] = 0.0;
+    queue.emplace(0.0, source);
+    while (!queue.empty()) {
+      const auto [d, node] = queue.top();
+      queue.pop();
+      if (d > distance[static_cast<size_t>(node)]) {
+        continue;
+      }
+      for (int edge_index : network_.AdjacentEdges(node)) {
+        const RoadEdge& edge =
+            network_.edges()[static_cast<size_t>(edge_index)];
+        const int other = edge.from == node ? edge.to : edge.from;
+        const double next = d + edge.length_m;
+        if (next < distance[static_cast<size_t>(other)]) {
+          distance[static_cast<size_t>(other)] = next;
+          queue.emplace(next, other);
+        }
+      }
+    }
+    return cache_.emplace(source, std::move(distance)).first->second;
+  }
+
+  const RoadNetwork& network_;
+  std::map<int, std::vector<double>> cache_;
+};
+
+std::vector<Candidate> FindCandidates(const RoadNetwork& network, Vec2 fix,
+                                      const MapMatchConfig& config) {
+  std::vector<Candidate> candidates;
+  for (size_t e = 0; e < network.edges().size(); ++e) {
+    const RoadEdge& edge = network.edges()[e];
+    const Vec2 a = network.nodes()[static_cast<size_t>(edge.from)].position;
+    const Vec2 b = network.nodes()[static_cast<size_t>(edge.to)].position;
+    // Cheap bounding reject before the exact projection.
+    const double slack = config.candidate_radius_m;
+    if (fix.x < std::min(a.x, b.x) - slack ||
+        fix.x > std::max(a.x, b.x) + slack ||
+        fix.y < std::min(a.y, b.y) - slack ||
+        fix.y > std::max(a.y, b.y) + slack) {
+      continue;
+    }
+    const double u = ProjectOntoSegment(fix, a, b);
+    const Vec2 snapped = Lerp(a, b, u);
+    const double d = Distance(fix, snapped);
+    if (d <= config.candidate_radius_m) {
+      candidates.push_back(
+          {static_cast<int>(e), snapped, u * edge.length_m, d});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& lhs, const Candidate& rhs) {
+              return lhs.distance_m < rhs.distance_m;
+            });
+  if (candidates.size() > config.max_candidates_per_fix) {
+    candidates.resize(config.max_candidates_per_fix);
+  }
+  return candidates;
+}
+
+// On-network distance between two candidate projections.
+double NetworkDistance(const RoadNetwork& network, DistanceOracle* oracle,
+                       const Candidate& from, const Candidate& to) {
+  if (from.edge_index == to.edge_index) {
+    return std::abs(to.offset_m - from.offset_m);
+  }
+  const RoadEdge& edge_a =
+      network.edges()[static_cast<size_t>(from.edge_index)];
+  const RoadEdge& edge_b = network.edges()[static_cast<size_t>(to.edge_index)];
+  // Leave edge A via either endpoint, enter edge B via either endpoint.
+  const double exit_cost[2] = {from.offset_m,
+                               edge_a.length_m - from.offset_m};
+  const int exit_node[2] = {edge_a.from, edge_a.to};
+  const double enter_cost[2] = {to.offset_m, edge_b.length_m - to.offset_m};
+  const int enter_node[2] = {edge_b.from, edge_b.to};
+  double best = kInf;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      const double via =
+          exit_cost[i] + oracle->NodeDistance(exit_node[i], enter_node[j]) +
+          enter_cost[j];
+      best = std::min(best, via);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<MapMatchResult> MatchToNetwork(const RoadNetwork& network,
+                                      const Trajectory& trajectory,
+                                      const MapMatchConfig& config) {
+  STCOMP_CHECK(config.candidate_radius_m > 0.0 && config.gps_sigma_m > 0.0);
+  if (trajectory.empty()) {
+    return InvalidArgumentError("cannot match an empty trajectory");
+  }
+  if (network.edges().empty()) {
+    return InvalidArgumentError("cannot match onto an empty network");
+  }
+  // Candidate sets per fix.
+  std::vector<std::vector<Candidate>> levels;
+  levels.reserve(trajectory.size());
+  for (const TimedPoint& point : trajectory.points()) {
+    std::vector<Candidate> candidates =
+        FindCandidates(network, point.position, config);
+    if (candidates.empty()) {
+      return NotFoundError(
+          "a fix has no road edge within the candidate radius");
+    }
+    levels.push_back(std::move(candidates));
+  }
+
+  // Viterbi over negative log-likelihood costs.
+  DistanceOracle oracle(network);
+  const double inv_two_sigma_sq =
+      1.0 / (2.0 * config.gps_sigma_m * config.gps_sigma_m);
+  std::vector<std::vector<double>> cost(levels.size());
+  std::vector<std::vector<int>> parent(levels.size());
+  for (size_t i = 0; i < levels.size(); ++i) {
+    cost[i].assign(levels[i].size(), kInf);
+    parent[i].assign(levels[i].size(), -1);
+  }
+  for (size_t c = 0; c < levels[0].size(); ++c) {
+    cost[0][c] =
+        levels[0][c].distance_m * levels[0][c].distance_m * inv_two_sigma_sq;
+  }
+  for (size_t i = 1; i < levels.size(); ++i) {
+    const double straight = Distance(trajectory[i - 1].position,
+                                     trajectory[i].position);
+    for (size_t c = 0; c < levels[i].size(); ++c) {
+      const Candidate& candidate = levels[i][c];
+      const double emission =
+          candidate.distance_m * candidate.distance_m * inv_two_sigma_sq;
+      for (size_t p = 0; p < levels[i - 1].size(); ++p) {
+        if (cost[i - 1][p] == kInf) {
+          continue;
+        }
+        const double network_distance =
+            NetworkDistance(network, &oracle, levels[i - 1][p], candidate);
+        const double transition =
+            config.transition_weight * std::abs(network_distance - straight);
+        const double total = cost[i - 1][p] + transition + emission;
+        if (total < cost[i][c]) {
+          cost[i][c] = total;
+          parent[i][c] = static_cast<int>(p);
+        }
+      }
+    }
+  }
+
+  // Backtrack from the cheapest final state.
+  const size_t last = levels.size() - 1;
+  size_t best_final = 0;
+  for (size_t c = 1; c < levels[last].size(); ++c) {
+    if (cost[last][c] < cost[last][best_final]) {
+      best_final = c;
+    }
+  }
+  if (cost[last][best_final] == kInf) {
+    return NotFoundError("no connected matching path through candidates");
+  }
+  std::vector<size_t> chosen(levels.size());
+  chosen[last] = best_final;
+  for (size_t i = last; i > 0; --i) {
+    chosen[i - 1] = static_cast<size_t>(parent[i][chosen[i]]);
+  }
+
+  MapMatchResult result;
+  result.points.reserve(levels.size());
+  std::vector<TimedPoint> snapped_points;
+  snapped_points.reserve(levels.size());
+  double residual_sum = 0.0;
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const Candidate& candidate = levels[i][chosen[i]];
+    MatchedPoint matched;
+    matched.t = trajectory[i].t;
+    matched.edge_index = candidate.edge_index;
+    matched.snapped = candidate.snapped;
+    matched.offset_m = candidate.offset_m;
+    matched.distance_m = candidate.distance_m;
+    residual_sum += candidate.distance_m;
+    result.points.push_back(matched);
+    snapped_points.emplace_back(matched.t, matched.snapped);
+  }
+  result.mean_residual_m =
+      residual_sum / static_cast<double>(levels.size());
+  STCOMP_ASSIGN_OR_RETURN(result.snapped,
+                          Trajectory::FromPoints(std::move(snapped_points)));
+  result.snapped.set_name(trajectory.name());
+  return result;
+}
+
+}  // namespace stcomp

@@ -1,0 +1,61 @@
+// Map matching: snapping noisy GPS fixes onto the road network — the
+// infrastructure-constrained view of movement the paper highlights
+// ("object movement appears to be restricted to an underlying
+// transportation infrastructure", Sec. 2). A compact HMM matcher in the
+// spirit of Newson & Krumm (2009):
+//
+//  - candidates: for each fix, edges whose projected point lies within
+//    `candidate_radius_m`;
+//  - emission: Gaussian in the fix-to-edge distance (sigma = GPS noise);
+//  - transition: penalises the mismatch between the straight-line movement
+//    of consecutive fixes and the on-network movement between their
+//    candidate projections. Network distances are evaluated on the edge
+//    graph with memoised Dijkstra runs.
+//
+// Viterbi over that chain yields the most likely edge sequence and the
+// snapped trajectory.
+
+#ifndef STCOMP_SIM_MAP_MATCHING_H_
+#define STCOMP_SIM_MAP_MATCHING_H_
+
+#include <vector>
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+#include "stcomp/sim/road_network.h"
+
+namespace stcomp {
+
+struct MapMatchConfig {
+  double candidate_radius_m = 60.0;
+  double gps_sigma_m = 10.0;
+  // Weight of the |network distance - straight distance| mismatch term,
+  // per metre of mismatch (Newson-Krumm's beta, inverted).
+  double transition_weight = 0.1;
+  size_t max_candidates_per_fix = 8;
+};
+
+struct MatchedPoint {
+  double t = 0.0;
+  int edge_index = -1;      // Edge of RoadNetwork::edges().
+  Vec2 snapped;             // Projection of the fix onto that edge.
+  double offset_m = 0.0;    // Distance from edge.from along the edge.
+  double distance_m = 0.0;  // Fix-to-edge distance (the residual).
+};
+
+struct MapMatchResult {
+  std::vector<MatchedPoint> points;  // One per input fix.
+  Trajectory snapped;                // Same timestamps, snapped positions.
+  double mean_residual_m = 0.0;
+};
+
+// Fails with kNotFound when some fix has no candidate edge within the
+// radius (increase the radius or check the frame), kInvalidArgument for
+// empty inputs.
+Result<MapMatchResult> MatchToNetwork(const RoadNetwork& network,
+                                      const Trajectory& trajectory,
+                                      const MapMatchConfig& config);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_SIM_MAP_MATCHING_H_

@@ -1,0 +1,48 @@
+// The experiment dataset: 10 synthetic car trips standing in for the
+// paper's 10 real GPS trajectories (urban + rural, Table 2). The mix of
+// trip lengths and driver profiles is chosen so the aggregate statistics
+// land near the paper's reported means and standard deviations; run
+// bench_table2 for the side-by-side comparison.
+
+#ifndef STCOMP_SIM_PAPER_DATASET_H_
+#define STCOMP_SIM_PAPER_DATASET_H_
+
+#include <vector>
+
+#include "stcomp/core/trajectory.h"
+#include "stcomp/sim/gps_noise.h"
+#include "stcomp/sim/road_network.h"
+#include "stcomp/sim/trip_generator.h"
+
+namespace stcomp {
+
+struct PaperDatasetConfig {
+  uint64_t seed = 42;
+  size_t num_trajectories = 10;
+  double sample_interval_s = 10.0;
+  bool add_noise = true;
+  GpsNoiseConfig noise;
+};
+
+// Generates the dataset deterministically from the seed. Trajectories are
+// named "trace-0" .. "trace-9".
+std::vector<Trajectory> GeneratePaperDataset(const PaperDatasetConfig& config);
+
+// Reference values from the paper's Table 2 (converted to SI units) for
+// reporting alongside generated statistics.
+struct Table2Reference {
+  double duration_mean_s = 32.0 * 60.0 + 16.0;      // 00:32:16
+  double duration_sd_s = 14.0 * 60.0 + 33.0;        // 00:14:33
+  double speed_mean_mps = 40.85 / 3.6;
+  double speed_sd_mps = 12.63 / 3.6;
+  double length_mean_m = 19950.0;
+  double length_sd_m = 12840.0;
+  double displacement_mean_m = 10580.0;
+  double displacement_sd_m = 8970.0;
+  double num_points_mean = 200.0;
+  double num_points_sd = 100.9;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_SIM_PAPER_DATASET_H_

@@ -1,0 +1,44 @@
+// Deterministic random generation for simulation and tests: SplitMix64 for
+// seeding, xoshiro256++ as the engine, plus the handful of distributions
+// the simulator needs. std::mt19937 + std::*_distribution are avoided
+// because their output is not portable across standard library
+// implementations; experiment outputs must be bit-reproducible.
+
+#ifndef STCOMP_SIM_RANDOM_H_
+#define STCOMP_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace stcomp {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform on [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform on [0, bound). Precondition (checked): bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform on [0, 1).
+  double NextDouble();
+
+  // Uniform on [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  // Standard normal (Marsaglia polar method).
+  double NextGaussian();
+
+  // Bernoulli with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_[4];
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_SIM_RANDOM_H_

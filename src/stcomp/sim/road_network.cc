@@ -1,0 +1,175 @@
+#include "stcomp/sim/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp {
+
+namespace {
+
+struct DijkstraResult {
+  std::vector<double> time_s;        // Infinity where unreachable.
+  std::vector<double> distance_m;    // Path length along the chosen tree.
+  std::vector<int> parent_edge;     // -1 at the source / unreachable.
+};
+
+DijkstraResult RunDijkstra(const RoadNetwork& network, int source) {
+  const size_t n = network.nodes().size();
+  DijkstraResult result;
+  result.time_s.assign(n, std::numeric_limits<double>::infinity());
+  result.distance_m.assign(n, 0.0);
+  result.parent_edge.assign(n, -1);
+  using Entry = std::pair<double, int>;  // (time, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  result.time_s[static_cast<size_t>(source)] = 0.0;
+  queue.emplace(0.0, source);
+  while (!queue.empty()) {
+    const auto [time, node] = queue.top();
+    queue.pop();
+    if (time > result.time_s[static_cast<size_t>(node)]) {
+      continue;
+    }
+    for (int edge_index : network.AdjacentEdges(node)) {
+      const RoadEdge& edge = network.edges()[static_cast<size_t>(edge_index)];
+      const int other = edge.from == node ? edge.to : edge.from;
+      const double next_time = time + edge.length_m / edge.speed_limit_mps;
+      if (next_time < result.time_s[static_cast<size_t>(other)]) {
+        result.time_s[static_cast<size_t>(other)] = next_time;
+        result.distance_m[static_cast<size_t>(other)] =
+            result.distance_m[static_cast<size_t>(node)] + edge.length_m;
+        result.parent_edge[static_cast<size_t>(other)] = edge_index;
+        queue.emplace(next_time, other);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> ExtractPath(const RoadNetwork& network,
+                             const DijkstraResult& tree, int source,
+                             int destination) {
+  std::vector<int> path;
+  int node = destination;
+  while (node != source) {
+    path.push_back(node);
+    const int edge_index = tree.parent_edge[static_cast<size_t>(node)];
+    STCOMP_CHECK(edge_index >= 0);
+    const RoadEdge& edge = network.edges()[static_cast<size_t>(edge_index)];
+    node = edge.from == node ? edge.to : edge.from;
+  }
+  path.push_back(source);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+RoadNetwork RoadNetwork::Generate(const RoadNetworkConfig& config,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  RoadNetwork network;
+  const int w = config.grid_width;
+  const int h = config.grid_height;
+  STCOMP_CHECK(w >= 2 && h >= 2);
+  network.nodes_.reserve(static_cast<size_t>(w) * static_cast<size_t>(h));
+  for (int row = 0; row < h; ++row) {
+    for (int col = 0; col < w; ++col) {
+      RoadNode node;
+      const double jitter = config.jitter_fraction * config.spacing_m;
+      node.position = {col * config.spacing_m +
+                           rng.NextUniform(-jitter, jitter),
+                       row * config.spacing_m +
+                           rng.NextUniform(-jitter, jitter)};
+      node.has_traffic_light = rng.NextBool(config.traffic_light_probability);
+      network.nodes_.push_back(node);
+    }
+  }
+  const auto node_index = [w](int col, int row) { return row * w + col; };
+  const auto add_edge = [&](int from, int to, bool arterial) {
+    if (!arterial && !rng.NextBool(config.edge_keep_probability)) {
+      return;
+    }
+    RoadEdge edge;
+    edge.from = from;
+    edge.to = to;
+    edge.length_m = Distance(network.nodes_[static_cast<size_t>(from)].position,
+                             network.nodes_[static_cast<size_t>(to)].position);
+    edge.speed_limit_mps =
+        arterial ? rng.NextUniform(config.arterial_min_speed_mps,
+                                   config.arterial_max_speed_mps)
+                 : rng.NextUniform(config.min_speed_mps,
+                                   config.max_speed_mps);
+    network.edges_.push_back(edge);
+  };
+  for (int row = 0; row < h; ++row) {
+    for (int col = 0; col < w; ++col) {
+      // Arterial roads run along every `arterial_every`-th grid line; they
+      // are never removed, which keeps the network connected in practice.
+      if (col + 1 < w) {
+        const bool arterial =
+            config.arterial_every > 0 && row % config.arterial_every == 0;
+        add_edge(node_index(col, row), node_index(col + 1, row), arterial);
+      }
+      if (row + 1 < h) {
+        const bool arterial =
+            config.arterial_every > 0 && col % config.arterial_every == 0;
+        add_edge(node_index(col, row), node_index(col, row + 1), arterial);
+      }
+    }
+  }
+  network.adjacency_.assign(network.nodes_.size(), {});
+  for (size_t e = 0; e < network.edges_.size(); ++e) {
+    network.adjacency_[static_cast<size_t>(network.edges_[e].from)].push_back(
+        static_cast<int>(e));
+    network.adjacency_[static_cast<size_t>(network.edges_[e].to)].push_back(
+        static_cast<int>(e));
+  }
+  return network;
+}
+
+Result<std::vector<int>> RoadNetwork::RouteWithLength(
+    int from, double target_length_m, const RouteBias* bias) const {
+  STCOMP_CHECK(from >= 0 && static_cast<size_t>(from) < nodes_.size());
+  const DijkstraResult tree = RunDijkstra(*this, from);
+  int best = -1;
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (size_t node = 0; node < nodes_.size(); ++node) {
+    if (static_cast<int>(node) == from ||
+        !std::isfinite(tree.time_s[node])) {
+      continue;
+    }
+    double gap = std::abs(tree.distance_m[node] - target_length_m) /
+                 std::max(target_length_m, 1.0);
+    if (bias != nullptr) {
+      const double displacement =
+          Distance(nodes_[node].position, bias->anchor);
+      gap += std::abs(displacement - bias->target_displacement_m) /
+             std::max(bias->target_displacement_m, 1.0);
+    }
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = static_cast<int>(node);
+    }
+  }
+  if (best < 0) {
+    return NotFoundError("no node reachable from route start");
+  }
+  return ExtractPath(*this, tree, from, best);
+}
+
+Result<std::vector<int>> RoadNetwork::Route(int from, int to) const {
+  STCOMP_CHECK(from >= 0 && static_cast<size_t>(from) < nodes_.size());
+  STCOMP_CHECK(to >= 0 && static_cast<size_t>(to) < nodes_.size());
+  const DijkstraResult tree = RunDijkstra(*this, from);
+  if (!std::isfinite(tree.time_s[static_cast<size_t>(to)])) {
+    return NotFoundError("destination unreachable");
+  }
+  return ExtractPath(*this, tree, from, to);
+}
+
+}  // namespace stcomp

@@ -1,0 +1,92 @@
+// A synthetic road network: a jittered grid graph with per-edge speed
+// limits and signalised intersections. Routes for the trip generator are
+// found with Dijkstra over travel time.
+//
+// This substitutes for the real Enschede road network underlying the
+// paper's GPS traces; what matters for the experiments is that routes have
+// straight stretches, turns, and signal stops — the features that create
+// time-varying speed over spatially simple geometry.
+
+#ifndef STCOMP_SIM_ROAD_NETWORK_H_
+#define STCOMP_SIM_ROAD_NETWORK_H_
+
+#include <vector>
+
+#include "stcomp/common/result.h"
+#include "stcomp/geom/geometry.h"
+#include "stcomp/sim/random.h"
+
+namespace stcomp {
+
+struct RoadNode {
+  Vec2 position;
+  bool has_traffic_light = false;
+};
+
+struct RoadEdge {
+  int from = 0;
+  int to = 0;
+  double length_m = 0.0;
+  double speed_limit_mps = 13.9;
+};
+
+struct RoadNetworkConfig {
+  int grid_width = 24;
+  int grid_height = 24;
+  double spacing_m = 400.0;        // Block size.
+  double jitter_fraction = 0.25;   // Node displacement, fraction of spacing.
+  double edge_keep_probability = 0.92;  // Some blocks have no through road.
+  double traffic_light_probability = 0.35;
+  // Speed limits are drawn uniformly from [min, max]; arterials (every
+  // `arterial_every`-th grid line) get the boosted range instead.
+  double min_speed_mps = 11.1;   // 40 km/h
+  double max_speed_mps = 13.9;   // 50 km/h
+  int arterial_every = 6;
+  double arterial_min_speed_mps = 19.4;  // 70 km/h
+  double arterial_max_speed_mps = 25.0;  // 90 km/h
+};
+
+class RoadNetwork {
+ public:
+  // Builds the network; guaranteed connected on its largest component
+  // (Generate retries edge removal until the component spans >= 90% of
+  // nodes). Deterministic in `seed`.
+  static RoadNetwork Generate(const RoadNetworkConfig& config, uint64_t seed);
+
+  const std::vector<RoadNode>& nodes() const { return nodes_; }
+  const std::vector<RoadEdge>& edges() const { return edges_; }
+  // Edge indices incident to `node`.
+  const std::vector<int>& AdjacentEdges(int node) const {
+    return adjacency_[static_cast<size_t>(node)];
+  }
+
+  // Optional destination-selection bias for RouteWithLength: prefer
+  // destinations whose straight-line distance to `anchor` is close to
+  // `target_displacement_m`. Used by the trip generator to shape the
+  // displacement/length ratio of multi-leg trips.
+  struct RouteBias {
+    Vec2 anchor;
+    double target_displacement_m = 0.0;
+  };
+
+  // Node sequence of the (travel-time) shortest path whose length is
+  // closest to `target_length_m`, starting from `from`: Dijkstra expands
+  // fully, then the best-matching reachable destination is picked (with
+  // `bias`, the score mixes length match and displacement match equally).
+  // Fails with kNotFound if `from` is isolated.
+  Result<std::vector<int>> RouteWithLength(int from, double target_length_m,
+                                           const RouteBias* bias = nullptr)
+      const;
+
+  // Travel-time shortest path between two nodes (kNotFound if unreachable).
+  Result<std::vector<int>> Route(int from, int to) const;
+
+ private:
+  std::vector<RoadNode> nodes_;
+  std::vector<RoadEdge> edges_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_SIM_ROAD_NETWORK_H_

@@ -1,0 +1,237 @@
+#include "stcomp/sim/trip_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// One leg of the flattened route.
+struct Leg {
+  Vec2 from;
+  Vec2 to;
+  double length_m;
+  double speed_limit_mps;
+  // Target speed when *entering* the next leg (turn/stop constraint at the
+  // waypoint ending this leg); 0 for a stop.
+  double exit_speed_mps;
+  // Dwell time at the waypoint ending this leg (red light), 0 if none.
+  double dwell_s;
+};
+
+// Comfortable speed through a turn of heading change `theta` (radians).
+// Straight-through keeps full speed; a U-turn crawls.
+double TurnSpeed(double theta, double lateral_accel) {
+  // Approximate the turn as an arc of radius r ~ lane_offset / (1 -
+  // cos(theta/2)); rather than model lanes we use a smooth empirical map
+  // calibrated to urban driving: ~14 m/s at 20 deg, ~5 m/s at 90 deg,
+  // ~2.5 m/s at 180 deg.
+  const double sharpness = theta / kPi;  // 0..1
+  const double v = 16.0 * std::pow(1.0 - sharpness, 2.0) + 2.5;
+  // Lateral-acceleration cap for gentle curves.
+  const double r = 30.0 / std::max(0.05, sharpness);
+  return std::min(v, std::sqrt(lateral_accel * r));
+}
+
+// Looks ahead over upcoming constraints and returns the maximum speed
+// permitted *now* such that every future target speed remains reachable
+// with the configured deceleration.
+double AllowedSpeed(const std::vector<Leg>& legs, size_t current_leg,
+                    double position_in_leg, double decel) {
+  const Leg& leg = legs[current_leg];
+  double allowed = leg.speed_limit_mps;
+  double distance = leg.length_m - position_in_leg;
+  for (size_t j = current_leg; j < legs.size(); ++j) {
+    const Leg& constraint_leg = legs[j];
+    const double target = constraint_leg.exit_speed_mps;
+    // v^2 <= target^2 + 2 a d
+    const double limit =
+        std::sqrt(target * target + 2.0 * decel * std::max(0.0, distance));
+    allowed = std::min(allowed, limit);
+    if (j + 1 < legs.size()) {
+      allowed = std::min(
+          allowed, std::sqrt(legs[j + 1].speed_limit_mps *
+                                 legs[j + 1].speed_limit_mps +
+                             2.0 * decel * std::max(0.0, distance)));
+      distance += legs[j + 1].length_m;
+    }
+    // Once the accumulated distance exceeds the worst braking distance
+    // from any speed we could hold, further constraints cannot bind.
+    if (distance > allowed * allowed / (2.0 * decel) + 50.0) {
+      break;
+    }
+  }
+  return allowed;
+}
+
+const RoadEdge* FindEdge(const RoadNetwork& network, int a, int b) {
+  for (int edge_index : network.AdjacentEdges(a)) {
+    const RoadEdge& edge = network.edges()[static_cast<size_t>(edge_index)];
+    if ((edge.from == a && edge.to == b) ||
+        (edge.from == b && edge.to == a)) {
+      return &edge;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<Trajectory> GenerateTrip(const RoadNetwork& network,
+                                const TripConfig& config, int start_node,
+                                Rng* rng) {
+  STCOMP_CHECK(rng != nullptr);
+  STCOMP_CHECK(config.sample_interval_s > 0.0 &&
+               config.integration_step_s > 0.0);
+  if (network.nodes().empty()) {
+    return NotFoundError("empty road network");
+  }
+  if (start_node < 0) {
+    // Uniform over nodes with at least one incident edge.
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      const int candidate =
+          static_cast<int>(rng->NextBelow(network.nodes().size()));
+      if (!network.AdjacentEdges(candidate).empty()) {
+        start_node = candidate;
+        break;
+      }
+    }
+    if (start_node < 0) {
+      return NotFoundError("road network has no connected node");
+    }
+  }
+  STCOMP_CHECK(config.num_legs >= 1);
+  // Chain legs: each leg routes from the previous endpoint towards a
+  // length-matched destination; RouteWithLength picks the best-matching
+  // node, and the rng-free Dijkstra keeps the chain deterministic.
+  std::vector<int> route;
+  int leg_start = start_node;
+  const double leg_length = config.target_length_m / config.num_legs;
+  const Vec2 trip_origin =
+      network.nodes()[static_cast<size_t>(start_node)].position;
+  for (int leg = 0; leg < config.num_legs; ++leg) {
+    // All legs after the first steer towards the configured end-to-end
+    // displacement so trips wind without doubling straight back.
+    RoadNetwork::RouteBias bias;
+    bias.anchor = trip_origin;
+    bias.target_displacement_m = config.displacement_fraction *
+                                 config.target_length_m *
+                                 (leg + 1.0) / config.num_legs;
+    const bool use_bias = leg > 0;
+    STCOMP_ASSIGN_OR_RETURN(
+        const std::vector<int> leg_route,
+        network.RouteWithLength(leg_start, leg_length,
+                                use_bias ? &bias : nullptr));
+    // Skip the shared junction node when concatenating.
+    route.insert(route.end(),
+                 leg_route.begin() + (route.empty() ? 0 : 1),
+                 leg_route.end());
+    leg_start = leg_route.back();
+  }
+  if (route.size() < 2) {
+    return NotFoundError("route degenerate");
+  }
+
+  // Flatten to legs with exit constraints.
+  std::vector<Leg> legs;
+  legs.reserve(route.size() - 1);
+  for (size_t k = 0; k + 1 < route.size(); ++k) {
+    const RoadEdge* edge = FindEdge(network, route[k], route[k + 1]);
+    STCOMP_CHECK(edge != nullptr);
+    Leg leg;
+    leg.from = network.nodes()[static_cast<size_t>(route[k])].position;
+    leg.to = network.nodes()[static_cast<size_t>(route[k + 1])].position;
+    leg.length_m = edge->length_m;
+    leg.speed_limit_mps = edge->speed_limit_mps * config.speed_factor;
+    leg.exit_speed_mps = leg.speed_limit_mps;
+    leg.dwell_s = 0.0;
+    legs.push_back(leg);
+  }
+  for (size_t k = 0; k + 1 < legs.size(); ++k) {
+    const int node = route[k + 1];
+    const double theta = HeadingChange(legs[k].from, legs[k].to,
+                                       legs[k + 1].to);
+    legs[k].exit_speed_mps = std::min(
+        legs[k].exit_speed_mps, TurnSpeed(theta, config.lateral_accel_mps2));
+    if (network.nodes()[static_cast<size_t>(node)].has_traffic_light &&
+        rng->NextBool(config.stop_probability)) {
+      legs[k].exit_speed_mps = 0.0;
+      legs[k].dwell_s = rng->NextUniform(config.min_stop_s, config.max_stop_s);
+    }
+  }
+  legs.back().exit_speed_mps = 0.0;  // Park at the destination.
+
+  // March the vehicle.
+  std::vector<TimedPoint> samples;
+  double t = config.start_time_s;
+  double next_sample_t = t;
+  double v = 0.0;
+  size_t leg_index = 0;
+  double s = 0.0;  // Distance into the current leg.
+  const double dt = config.integration_step_s;
+  const auto position_now = [&]() {
+    const Leg& leg = legs[leg_index];
+    const double u = leg.length_m > 0.0 ? s / leg.length_m : 0.0;
+    return Lerp(leg.from, leg.to, std::min(1.0, u));
+  };
+  const auto maybe_sample = [&]() {
+    while (next_sample_t <= t) {
+      samples.emplace_back(next_sample_t, position_now());
+      next_sample_t += config.sample_interval_s;
+    }
+  };
+  maybe_sample();
+  // Hard cap: no trip runs longer than 6 hours (guards against a malformed
+  // config ever stalling the simulation).
+  const double t_limit = config.start_time_s + 6.0 * 3600.0;
+  while (leg_index < legs.size() && t < t_limit) {
+    const Leg& leg = legs[leg_index];
+    const double allowed =
+        AllowedSpeed(legs, leg_index, s, config.decel_mps2);
+    if (v < allowed) {
+      v = std::min(v + config.accel_mps2 * dt, allowed);
+    } else {
+      v = std::max(allowed, v - config.decel_mps2 * dt);
+    }
+    // Guarantee progress even when the braking envelope saturates to ~0
+    // before the waypoint (numerical floor).
+    s += std::max(v, 0.05) * dt;
+    t += dt;
+    if (s >= leg.length_m) {
+      v = std::min(v, leg.exit_speed_mps);
+      if (leg.dwell_s > 0.0) {
+        // Red light: dwell at the node, emitting stationary samples.
+        const double resume_t = t + leg.dwell_s;
+        s = leg.length_m;
+        maybe_sample();
+        while (next_sample_t <= resume_t) {
+          samples.emplace_back(next_sample_t, position_now());
+          next_sample_t += config.sample_interval_s;
+        }
+        t = resume_t;
+        v = 0.0;
+      }
+      s -= leg.length_m;
+      ++leg_index;
+      if (leg_index >= legs.size()) {
+        break;
+      }
+    }
+    maybe_sample();
+  }
+  // Final fix at the destination.
+  const Vec2 destination = legs.back().to;
+  if (samples.empty() || samples.back().t < t) {
+    samples.emplace_back(t, destination);
+  }
+  Trajectory trajectory = Trajectory::FromUnordered(std::move(samples));
+  return trajectory;
+}
+
+}  // namespace stcomp

@@ -1,0 +1,54 @@
+// Kinematic car-trip simulation over a road network, producing the
+// ground-truth trajectory a GPS receiver would sample. The driver model
+// accelerates towards speed limits, brakes for turns and signal stops, and
+// waits at red lights — yielding the speed variation over spatially simple
+// geometry that distinguishes spatiotemporal from spatial compression.
+
+#ifndef STCOMP_SIM_TRIP_GENERATOR_H_
+#define STCOMP_SIM_TRIP_GENERATOR_H_
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+#include "stcomp/sim/road_network.h"
+
+namespace stcomp {
+
+struct TripConfig {
+  double target_length_m = 20000.0;
+  double sample_interval_s = 10.0;   // GPS fix rate (the paper's example).
+  double start_time_s = 0.0;
+  // Trips are routed as a chain of legs (start -> via -> ... -> end), each
+  // of length target_length_m / num_legs. More legs make the route wind,
+  // lowering the displacement/length ratio towards what real commutes show
+  // (paper Table 2: ~0.53). Precondition (checked): >= 1.
+  int num_legs = 2;
+  // Target ratio of end-to-end displacement to travelled length; the final
+  // leg's destination is biased towards it. Only meaningful with
+  // num_legs >= 2.
+  double displacement_fraction = 0.55;
+
+  // Driver model.
+  double accel_mps2 = 1.3;
+  double decel_mps2 = 1.9;
+  double speed_factor = 1.0;         // Multiplier on edge limits.
+  double lateral_accel_mps2 = 2.5;   // Comfort bound in turns.
+
+  // Signalised intersections.
+  double stop_probability = 0.5;     // P(red) at a light.
+  double min_stop_s = 5.0;
+  double max_stop_s = 45.0;
+
+  // Internal integration step; samples are drawn from this fine trace.
+  double integration_step_s = 0.25;
+};
+
+// Simulates a trip starting at `start_node` (chosen uniformly among
+// connected nodes when < 0). The returned trajectory is noise-free ground
+// truth; see gps_noise.h. Fails (kNotFound) only on a degenerate network.
+Result<Trajectory> GenerateTrip(const RoadNetwork& network,
+                                const TripConfig& config, int start_node,
+                                Rng* rng);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_SIM_TRIP_GENERATOR_H_

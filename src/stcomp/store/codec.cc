@@ -1,0 +1,95 @@
+#include "stcomp/store/codec.h"
+
+#include <cmath>
+
+#include "stcomp/store/varint.h"
+
+namespace stcomp {
+
+namespace {
+
+Result<int64_t> Quantise(double value, double quantum) {
+  const double scaled = std::round(value / quantum);
+  if (!(std::abs(scaled) < 9.0e18)) {
+    return OutOfRangeError("value too large for quantised encoding");
+  }
+  return static_cast<int64_t>(scaled);
+}
+
+}  // namespace
+
+Status EncodePoints(const Trajectory& trajectory, Codec codec,
+                    std::string* out) {
+  switch (codec) {
+    case Codec::kRaw:
+      for (const TimedPoint& point : trajectory.points()) {
+        PutDouble(point.t, out);
+        PutDouble(point.position.x, out);
+        PutDouble(point.position.y, out);
+      }
+      return Status::Ok();
+    case Codec::kDelta: {
+      int64_t previous_t = 0;
+      int64_t previous_x = 0;
+      int64_t previous_y = 0;
+      for (const TimedPoint& point : trajectory.points()) {
+        STCOMP_ASSIGN_OR_RETURN(const int64_t t,
+                                Quantise(point.t, kTimeQuantumS));
+        STCOMP_ASSIGN_OR_RETURN(const int64_t x,
+                                Quantise(point.position.x, kCoordQuantumM));
+        STCOMP_ASSIGN_OR_RETURN(const int64_t y,
+                                Quantise(point.position.y, kCoordQuantumM));
+        PutSignedVarint(t - previous_t, out);
+        PutSignedVarint(x - previous_x, out);
+        PutSignedVarint(y - previous_y, out);
+        previous_t = t;
+        previous_x = x;
+        previous_y = y;
+      }
+      return Status::Ok();
+    }
+  }
+  return InternalError("unknown codec");
+}
+
+Result<std::vector<TimedPoint>> DecodePoints(std::string_view* input,
+                                             Codec codec, size_t count) {
+  std::vector<TimedPoint> points;
+  points.reserve(count);
+  switch (codec) {
+    case Codec::kRaw:
+      for (size_t i = 0; i < count; ++i) {
+        STCOMP_ASSIGN_OR_RETURN(const double t, GetDouble(input));
+        STCOMP_ASSIGN_OR_RETURN(const double x, GetDouble(input));
+        STCOMP_ASSIGN_OR_RETURN(const double y, GetDouble(input));
+        points.emplace_back(t, x, y);
+      }
+      return points;
+    case Codec::kDelta: {
+      int64_t t = 0;
+      int64_t x = 0;
+      int64_t y = 0;
+      for (size_t i = 0; i < count; ++i) {
+        STCOMP_ASSIGN_OR_RETURN(const int64_t dt, GetSignedVarint(input));
+        STCOMP_ASSIGN_OR_RETURN(const int64_t dx, GetSignedVarint(input));
+        STCOMP_ASSIGN_OR_RETURN(const int64_t dy, GetSignedVarint(input));
+        t += dt;
+        x += dx;
+        y += dy;
+        points.emplace_back(static_cast<double>(t) * kTimeQuantumS,
+                            static_cast<double>(x) * kCoordQuantumM,
+                            static_cast<double>(y) * kCoordQuantumM);
+      }
+      return points;
+    }
+  }
+  return InternalError("unknown codec");
+}
+
+Result<size_t> EncodedSize(const Trajectory& trajectory, Codec codec) {
+  std::string buffer;
+  STCOMP_RETURN_IF_ERROR(EncodePoints(trajectory, codec, &buffer));
+  return buffer.size();
+}
+
+}  // namespace stcomp

@@ -1,0 +1,48 @@
+// Trajectory point codecs. Two encodings:
+//
+//  kRaw   — 24 bytes/point (3 little-endian doubles); bit-exact.
+//  kDelta — timestamps quantised to milliseconds and coordinates to
+//           centimetres, then delta + zigzag + varint coded. Real GPS
+//           streams compress to ~4-7 bytes/point because consecutive
+//           deltas are small and regular. Quantisation error is bounded by
+//           0.5 ms / 0.5 cm — far below sensor noise.
+//
+// These codecs quantify the storage story of the paper's introduction
+// (raw <t, x, y> streams at 10 s sampling) and give the store its on-disk
+// format; see bench_storage.
+
+#ifndef STCOMP_STORE_CODEC_H_
+#define STCOMP_STORE_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+enum class Codec : uint8_t {
+  kRaw = 0,
+  kDelta = 1,
+};
+
+inline constexpr double kTimeQuantumS = 1e-3;   // 1 ms
+inline constexpr double kCoordQuantumM = 1e-2;  // 1 cm
+
+// Appends the encoded points to `out` (the caller frames point count and
+// codec id; see serialization.h). Fails with kOutOfRange if a quantised
+// value does not fit an int64 (never for terrestrial data).
+Status EncodePoints(const Trajectory& trajectory, Codec codec,
+                    std::string* out);
+
+// Decodes exactly `count` points from the front of `*input`, advancing it.
+Result<std::vector<TimedPoint>> DecodePoints(std::string_view* input,
+                                             Codec codec, size_t count);
+
+// Encoded payload size in bytes (convenience for accounting).
+Result<size_t> EncodedSize(const Trajectory& trajectory, Codec codec);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_STORE_CODEC_H_

@@ -1,0 +1,110 @@
+#include "stcomp/store/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp {
+
+GridIndex::GridIndex(double cell_size_m) : cell_size_m_(cell_size_m) {
+  STCOMP_CHECK(cell_size_m_ > 0.0);
+}
+
+GridIndex::CellKey GridIndex::KeyFor(Vec2 position) const {
+  return {static_cast<int64_t>(std::floor(position.x / cell_size_m_)),
+          static_cast<int64_t>(std::floor(position.y / cell_size_m_))};
+}
+
+void GridIndex::Insert(int64_t item, Vec2 position) {
+  cells_[KeyFor(position)].entries.emplace_back(position, item);
+  ++total_entries_;
+}
+
+std::vector<int64_t> GridIndex::QueryBox(const BoundingBox& box) const {
+  std::vector<int64_t> hits;
+  const CellKey lo = KeyFor(box.min);
+  const CellKey hi = KeyFor(box.max);
+  for (int64_t cx = lo.first; cx <= hi.first; ++cx) {
+    // Range-scan the row within the ordered map instead of probing every
+    // (cx, cy) pair: sparse rows cost only their occupied cells.
+    const auto begin = cells_.lower_bound({cx, lo.second});
+    const auto end = cells_.upper_bound({cx, hi.second});
+    for (auto it = begin; it != end; ++it) {
+      for (const auto& [position, item] : it->second.entries) {
+        if (box.Contains(position)) {
+          hits.push_back(item);
+        }
+      }
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  return hits;
+}
+
+Result<int64_t> GridIndex::Nearest(Vec2 query) const {
+  if (total_entries_ == 0) {
+    return NotFoundError("grid index is empty");
+  }
+  const CellKey centre = KeyFor(query);
+  double best_distance = std::numeric_limits<double>::infinity();
+  int64_t best_item = 0;
+  bool found = false;
+  // Expand square rings until one past the ring where a hit was found
+  // (a closer point can still hide in the next ring's corner cells).
+  for (int64_t ring = 0;; ++ring) {
+    bool ring_has_cells = false;
+    for (int64_t cx = centre.first - ring; cx <= centre.first + ring; ++cx) {
+      for (int64_t cy = centre.second - ring; cy <= centre.second + ring;
+           ++cy) {
+        if (std::max(std::abs(cx - centre.first),
+                     std::abs(cy - centre.second)) != ring) {
+          continue;  // Interior already visited on earlier rings.
+        }
+        const auto it = cells_.find({cx, cy});
+        if (it == cells_.end()) {
+          continue;
+        }
+        ring_has_cells = true;
+        for (const auto& [position, item] : it->second.entries) {
+          const double d = Distance(position, query);
+          if (d < best_distance ||
+              (d == best_distance && found && item < best_item)) {
+            best_distance = d;
+            best_item = item;
+            found = true;
+          }
+        }
+      }
+    }
+    if (found && best_distance <= static_cast<double>(ring) * cell_size_m_) {
+      // No unvisited cell can contain anything closer.
+      break;
+    }
+    // Termination for sparse grids: once the ring radius exceeds the
+    // span of all cells plus the query offset, stop.
+    if (!ring_has_cells && ring > 0 && found) {
+      break;
+    }
+    if (ring > 1 &&
+        static_cast<size_t>(ring) > cells_.size() + 2 && !found) {
+      // Pathological spread: fall back to a full scan.
+      for (const auto& [key, cell] : cells_) {
+        for (const auto& [position, item] : cell.entries) {
+          const double d = Distance(position, query);
+          if (d < best_distance) {
+            best_distance = d;
+            best_item = item;
+            found = true;
+          }
+        }
+      }
+      break;
+    }
+  }
+  return best_item;
+}
+
+}  // namespace stcomp

@@ -1,0 +1,51 @@
+// A uniform-grid spatial index over point samples: the classic cheap
+// accelerator for box and nearest queries on moving-object stores (fits
+// trajectory data well because samples are spread along paths rather than
+// clustered). Items are caller-defined integer handles; one item may have
+// many positions (all samples of a trajectory).
+
+#ifndef STCOMP_STORE_GRID_INDEX_H_
+#define STCOMP_STORE_GRID_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "stcomp/common/result.h"
+#include "stcomp/geom/geometry.h"
+#include "stcomp/store/trajectory_store.h"
+
+namespace stcomp {
+
+class GridIndex {
+ public:
+  // Precondition (checked): cell_size_m > 0.
+  explicit GridIndex(double cell_size_m);
+
+  void Insert(int64_t item, Vec2 position);
+  size_t size() const { return total_entries_; }
+
+  // Items with at least one inserted position inside `box`, ascending,
+  // deduplicated. Touches only the covered cells.
+  std::vector<int64_t> QueryBox(const BoundingBox& box) const;
+
+  // Item owning the position closest to `query` (ties to the lower item
+  // id). Expanding-ring search. kNotFound when the index is empty.
+  Result<int64_t> Nearest(Vec2 query) const;
+
+ private:
+  struct Cell {
+    std::vector<std::pair<Vec2, int64_t>> entries;
+  };
+  using CellKey = std::pair<int64_t, int64_t>;
+
+  CellKey KeyFor(Vec2 position) const;
+
+  const double cell_size_m_;
+  std::map<CellKey, Cell> cells_;
+  size_t total_entries_ = 0;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_STORE_GRID_INDEX_H_

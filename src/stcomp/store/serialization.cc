@@ -1,0 +1,130 @@
+#include "stcomp/store/serialization.h"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+
+#include "stcomp/store/varint.h"
+
+namespace stcomp {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'T', 'C', 'T'};
+constexpr uint8_t kVersion = 1;
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xedb88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<uint8_t>(c)) & 0xffu];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+Result<std::string> SerializeTrajectory(const Trajectory& trajectory,
+                                        Codec codec) {
+  std::string out(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(codec));
+  PutVarint(trajectory.name().size(), &out);
+  out += trajectory.name();
+  PutVarint(trajectory.size(), &out);
+  STCOMP_RETURN_IF_ERROR(EncodePoints(trajectory, codec, &out));
+  const uint32_t crc = Crc32(out);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+  return out;
+}
+
+Result<Trajectory> DeserializeTrajectory(std::string_view* input) {
+  const std::string_view frame_start = *input;
+  if (input->size() < 6) {
+    return DataLossError("trajectory frame truncated");
+  }
+  if (input->substr(0, 4) != std::string_view(kMagic, 4)) {
+    return DataLossError("bad magic; not a trajectory frame");
+  }
+  input->remove_prefix(4);
+  const uint8_t version = static_cast<uint8_t>((*input)[0]);
+  const uint8_t codec_byte = static_cast<uint8_t>((*input)[1]);
+  input->remove_prefix(2);
+  if (version != kVersion) {
+    return DataLossError("unsupported trajectory frame version");
+  }
+  if (codec_byte > static_cast<uint8_t>(Codec::kDelta)) {
+    return DataLossError("unknown codec id");
+  }
+  const Codec codec = static_cast<Codec>(codec_byte);
+  STCOMP_ASSIGN_OR_RETURN(const uint64_t name_size, GetVarint(input));
+  if (input->size() < name_size) {
+    return DataLossError("trajectory frame truncated in name");
+  }
+  std::string name(input->substr(0, name_size));
+  input->remove_prefix(name_size);
+  STCOMP_ASSIGN_OR_RETURN(const uint64_t count, GetVarint(input));
+  STCOMP_ASSIGN_OR_RETURN(std::vector<TimedPoint> points,
+                          DecodePoints(input, codec, count));
+  if (input->size() < 4) {
+    return DataLossError("trajectory frame truncated before CRC");
+  }
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(static_cast<uint8_t>((*input)[i]))
+                  << (8 * i);
+  }
+  const size_t frame_size =
+      static_cast<size_t>(input->data() - frame_start.data());
+  input->remove_prefix(4);
+  if (Crc32(frame_start.substr(0, frame_size)) != stored_crc) {
+    return DataLossError("trajectory frame CRC mismatch");
+  }
+  STCOMP_ASSIGN_OR_RETURN(Trajectory trajectory,
+                          Trajectory::FromPoints(std::move(points)));
+  trajectory.set_name(std::move(name));
+  return trajectory;
+}
+
+Status WriteTrajectoryFile(const Trajectory& trajectory, Codec codec,
+                           const std::string& path) {
+  STCOMP_ASSIGN_OR_RETURN(const std::string frame,
+                          SerializeTrajectory(trajectory, codec));
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return IoError("cannot open " + path + " for writing");
+  }
+  file.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  if (!file) {
+    return IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Trajectory> ReadTrajectoryFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string content = buffer.str();
+  std::string_view cursor = content;
+  return DeserializeTrajectory(&cursor);
+}
+
+}  // namespace stcomp

@@ -1,0 +1,37 @@
+// Framed binary serialisation of trajectories:
+//
+//   magic "STCT" | version u8 | codec u8 | name len varint | name bytes
+//   | point count varint | payload | crc32 (4 bytes, LE, over everything
+//   before it)
+//
+// The CRC turns silent truncation/corruption into kDataLoss.
+
+#ifndef STCOMP_STORE_SERIALIZATION_H_
+#define STCOMP_STORE_SERIALIZATION_H_
+
+#include <string>
+#include <string_view>
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+#include "stcomp/store/codec.h"
+
+namespace stcomp {
+
+// CRC-32 (IEEE 802.3 polynomial, reflected).
+uint32_t Crc32(std::string_view data);
+
+Result<std::string> SerializeTrajectory(const Trajectory& trajectory,
+                                        Codec codec);
+
+// Parses one framed trajectory from the front of `*input`, advancing it
+// (multiple frames may be concatenated in one buffer/file).
+Result<Trajectory> DeserializeTrajectory(std::string_view* input);
+
+Status WriteTrajectoryFile(const Trajectory& trajectory, Codec codec,
+                           const std::string& path);
+Result<Trajectory> ReadTrajectoryFile(const std::string& path);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_STORE_SERIALIZATION_H_

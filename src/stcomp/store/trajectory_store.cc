@@ -1,0 +1,211 @@
+#include "stcomp/store/trajectory_store.h"
+
+#include <algorithm>
+
+#include "stcomp/common/check.h"
+#include "stcomp/core/interpolation.h"
+#include "stcomp/store/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace stcomp {
+
+Status TrajectoryStore::EncodeInto(const Trajectory& trajectory,
+                                   Entry* entry) const {
+  entry->encoded.clear();
+  STCOMP_RETURN_IF_ERROR(EncodePoints(trajectory, codec_, &entry->encoded));
+  entry->num_points = trajectory.size();
+  entry->name = trajectory.name();
+  entry->decoded = trajectory;
+  return Status::Ok();
+}
+
+Status TrajectoryStore::Insert(const std::string& object_id,
+                               const Trajectory& trajectory) {
+  if (entries_.contains(object_id)) {
+    return AlreadyExistsError("object '" + object_id + "' already stored");
+  }
+  Entry entry;
+  STCOMP_RETURN_IF_ERROR(EncodeInto(trajectory, &entry));
+  entries_.emplace(object_id, std::move(entry));
+  return Status::Ok();
+}
+
+Status TrajectoryStore::Append(const std::string& object_id,
+                               const TimedPoint& point) {
+  auto it = entries_.find(object_id);
+  if (it == entries_.end()) {
+    Trajectory fresh;
+    STCOMP_RETURN_IF_ERROR(fresh.Append(point));
+    fresh.set_name(object_id);
+    Entry entry;
+    STCOMP_RETURN_IF_ERROR(EncodeInto(fresh, &entry));
+    entries_.emplace(object_id, std::move(entry));
+    return Status::Ok();
+  }
+  Entry& entry = it->second;
+  STCOMP_RETURN_IF_ERROR(entry.decoded.Append(point));
+  // Delta codec appends are incremental: only the new point's deltas are
+  // encoded, so live tracking is O(1) per fix.
+  const Trajectory& decoded = entry.decoded;
+  const size_t n = decoded.size();
+  if (codec_ == Codec::kDelta && n >= 2) {
+    Trajectory tail;
+    // Re-encode the delta of the final point against its predecessor by
+    // encoding the two-point suffix and dropping the first point's bytes.
+    STCOMP_CHECK_OK(tail.Append(decoded[n - 2]));
+    STCOMP_CHECK_OK(tail.Append(decoded[n - 1]));
+    std::string suffix;
+    STCOMP_RETURN_IF_ERROR(EncodePoints(tail, codec_, &suffix));
+    std::string first_only;
+    Trajectory head;
+    STCOMP_CHECK_OK(head.Append(decoded[n - 2]));
+    STCOMP_RETURN_IF_ERROR(EncodePoints(head, codec_, &first_only));
+    entry.encoded += suffix.substr(first_only.size());
+    entry.num_points = n;
+    return Status::Ok();
+  }
+  return EncodeInto(decoded, &entry);
+}
+
+Result<Trajectory> TrajectoryStore::Get(const std::string& object_id) const {
+  const auto it = entries_.find(object_id);
+  if (it == entries_.end()) {
+    return NotFoundError("object '" + object_id + "' not in store");
+  }
+  std::string_view cursor = it->second.encoded;
+  STCOMP_ASSIGN_OR_RETURN(
+      std::vector<TimedPoint> points,
+      DecodePoints(&cursor, codec_, it->second.num_points));
+  STCOMP_ASSIGN_OR_RETURN(Trajectory trajectory,
+                          Trajectory::FromPoints(std::move(points)));
+  trajectory.set_name(it->second.name.empty() ? object_id : it->second.name);
+  return trajectory;
+}
+
+Status TrajectoryStore::Remove(const std::string& object_id) {
+  if (entries_.erase(object_id) == 0) {
+    return NotFoundError("object '" + object_id + "' not in store");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> TrajectoryStore::ObjectIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Result<Vec2> TrajectoryStore::PositionAt(const std::string& object_id,
+                                         double t) const {
+  const auto it = entries_.find(object_id);
+  if (it == entries_.end()) {
+    return NotFoundError("object '" + object_id + "' not in store");
+  }
+  return it->second.decoded.PositionAt(t);
+}
+
+Result<Trajectory> TrajectoryStore::TimeSlice(const std::string& object_id,
+                                              double t0, double t1) const {
+  STCOMP_CHECK(t0 <= t1);
+  const auto it = entries_.find(object_id);
+  if (it == entries_.end()) {
+    return NotFoundError("object '" + object_id + "' not in store");
+  }
+  const Trajectory& decoded = it->second.decoded;
+  if (decoded.empty() || t1 < decoded.front().t || t0 > decoded.back().t) {
+    return OutOfRangeError("time slice does not overlap the trajectory");
+  }
+  const double lo = std::max(t0, decoded.front().t);
+  const double hi = std::min(t1, decoded.back().t);
+  Trajectory slice;
+  slice.set_name(decoded.name());
+  if (lo == hi) {
+    STCOMP_ASSIGN_OR_RETURN(const Vec2 at, decoded.PositionAt(lo));
+    STCOMP_CHECK_OK(slice.Append(TimedPoint(lo, at)));
+    return slice;
+  }
+  STCOMP_ASSIGN_OR_RETURN(const Vec2 start, decoded.PositionAt(lo));
+  STCOMP_CHECK_OK(slice.Append(TimedPoint(lo, start)));
+  for (const TimedPoint& point : decoded.points()) {
+    if (point.t > lo && point.t < hi) {
+      STCOMP_CHECK_OK(slice.Append(point));
+    }
+  }
+  STCOMP_ASSIGN_OR_RETURN(const Vec2 end, decoded.PositionAt(hi));
+  STCOMP_CHECK_OK(slice.Append(TimedPoint(hi, end)));
+  return slice;
+}
+
+std::vector<std::string> TrajectoryStore::ObjectsInBox(
+    const BoundingBox& box) const {
+  std::vector<std::string> hits;
+  for (const auto& [id, entry] : entries_) {
+    for (const TimedPoint& point : entry.decoded.points()) {
+      if (box.Contains(point.position)) {
+        hits.push_back(id);
+        break;
+      }
+    }
+  }
+  return hits;
+}
+
+Status TrajectoryStore::SaveToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return IoError("cannot open " + path + " for writing");
+  }
+  for (const auto& [id, entry] : entries_) {
+    Trajectory named = entry.decoded;
+    named.set_name(id);
+    STCOMP_ASSIGN_OR_RETURN(const std::string frame,
+                            SerializeTrajectory(named, codec_));
+    file.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  }
+  if (!file) {
+    return IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+Status TrajectoryStore::LoadFromFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string content = buffer.str();
+  std::string_view cursor = content;
+  std::map<std::string, Entry> loaded;
+  while (!cursor.empty()) {
+    STCOMP_ASSIGN_OR_RETURN(const Trajectory trajectory,
+                            DeserializeTrajectory(&cursor));
+    if (trajectory.name().empty()) {
+      return DataLossError("stored trajectory frame without an object id");
+    }
+    Entry entry;
+    STCOMP_RETURN_IF_ERROR(EncodeInto(trajectory, &entry));
+    if (!loaded.emplace(trajectory.name(), std::move(entry)).second) {
+      return DataLossError("duplicate object id '" + trajectory.name() +
+                           "' in store file");
+    }
+  }
+  entries_ = std::move(loaded);
+  return Status::Ok();
+}
+
+size_t TrajectoryStore::StorageBytes() const {
+  size_t total = 0;
+  for (const auto& [id, entry] : entries_) {
+    total += entry.encoded.size();
+  }
+  return total;
+}
+
+}  // namespace stcomp

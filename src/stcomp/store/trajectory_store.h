@@ -1,0 +1,84 @@
+// An in-memory moving-object trajectory store — the database-side substrate
+// the paper's introduction motivates (storage of <t, x, y> streams for
+// fleets of objects). Trajectories are held delta-encoded; queries decode
+// on demand. Supports per-object append (the live-tracking path), time-
+// interval slicing with interpolated boundary positions, bounding-box
+// search and storage accounting.
+
+#ifndef STCOMP_STORE_TRAJECTORY_STORE_H_
+#define STCOMP_STORE_TRAJECTORY_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+#include "stcomp/store/codec.h"
+
+namespace stcomp {
+
+struct BoundingBox {
+  Vec2 min;
+  Vec2 max;
+  bool Contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+};
+
+class TrajectoryStore {
+ public:
+  explicit TrajectoryStore(Codec codec = Codec::kDelta) : codec_(codec) {}
+
+  // Inserts a whole trajectory under `object_id`; kAlreadyExists if the id
+  // is taken.
+  Status Insert(const std::string& object_id, const Trajectory& trajectory);
+
+  // Appends one fix to an object, creating it if missing. The fix must be
+  // after the object's last timestamp.
+  Status Append(const std::string& object_id, const TimedPoint& point);
+
+  Result<Trajectory> Get(const std::string& object_id) const;
+  Status Remove(const std::string& object_id);
+  std::vector<std::string> ObjectIds() const;
+  size_t object_count() const { return entries_.size(); }
+
+  // Object position at time t (kOutOfRange outside its interval).
+  Result<Vec2> PositionAt(const std::string& object_id, double t) const;
+
+  // The object's movement during [t0, t1] clipped to its interval, with
+  // interpolated boundary points; kNotFound for unknown ids, kOutOfRange
+  // for empty overlap. Precondition (checked): t0 <= t1.
+  Result<Trajectory> TimeSlice(const std::string& object_id, double t0,
+                               double t1) const;
+
+  // Ids of objects that enter `box` at any sample point.
+  std::vector<std::string> ObjectsInBox(const BoundingBox& box) const;
+
+  // Total encoded payload bytes across objects (the store's memory story).
+  size_t StorageBytes() const;
+
+  // Persists every object as a concatenation of CRC-framed trajectory
+  // records (serialization.h); Load replaces the store's contents with the
+  // file's. Object ids are the stored trajectory names.
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  struct Entry {
+    std::string encoded;   // EncodePoints payload.
+    size_t num_points = 0;
+    std::string name;
+    // Decode cache for the append path (kept in sync with `encoded`).
+    Trajectory decoded;
+  };
+
+  Status EncodeInto(const Trajectory& trajectory, Entry* entry) const;
+
+  Codec codec_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_STORE_TRAJECTORY_STORE_H_

@@ -1,0 +1,39 @@
+// LEB128 varint and zigzag primitives for the trajectory codec.
+
+#ifndef STCOMP_STORE_VARINT_H_
+#define STCOMP_STORE_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "stcomp/common/result.h"
+
+namespace stcomp {
+
+// Appends `value` to `out` as base-128 varint (1-10 bytes).
+void PutVarint(uint64_t value, std::string* out);
+
+// Reads a varint from the front of `*input`, advancing it.
+// Fails with kDataLoss on truncation or overlong (> 10 byte) encodings.
+Result<uint64_t> GetVarint(std::string_view* input);
+
+// Zigzag mapping so small-magnitude signed deltas stay short.
+constexpr uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+constexpr int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+void PutSignedVarint(int64_t value, std::string* out);
+Result<int64_t> GetSignedVarint(std::string_view* input);
+
+// Fixed-width little-endian doubles (for the raw codec).
+void PutDouble(double value, std::string* out);
+Result<double> GetDouble(std::string_view* input);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_STORE_VARINT_H_

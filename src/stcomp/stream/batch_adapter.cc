@@ -1,0 +1,33 @@
+#include "stcomp/stream/batch_adapter.h"
+
+#include <utility>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp {
+
+BatchAdapter::BatchAdapter(algo::AlgorithmFn algorithm,
+                           algo::AlgorithmParams params, std::string name)
+    : algorithm_(std::move(algorithm)),
+      params_(params),
+      name_(std::move(name)) {
+  STCOMP_CHECK(algorithm_ != nullptr);
+}
+
+Status BatchAdapter::Push(const TimedPoint& point,
+                          std::vector<TimedPoint>* out) {
+  STCOMP_CHECK(out != nullptr);
+  STCOMP_CHECK(!finished_);
+  return buffer_.Append(point);
+}
+
+void BatchAdapter::Finish(std::vector<TimedPoint>* out) {
+  STCOMP_CHECK(out != nullptr);
+  finished_ = true;
+  const algo::IndexList kept = algorithm_(buffer_, params_);
+  for (int index : kept) {
+    out->push_back(buffer_[static_cast<size_t>(index)]);
+  }
+}
+
+}  // namespace stcomp

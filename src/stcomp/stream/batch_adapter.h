@@ -1,0 +1,37 @@
+// Adapter exposing any batch algorithm through the OnlineCompressor
+// interface by buffering the entire stream and deciding at Finish(). Used
+// to run batch algorithms (TD-TR, Douglas-Peucker, bottom-up) in streaming
+// pipelines and to benchmark the memory gap between batch and true online
+// operation.
+
+#ifndef STCOMP_STREAM_BATCH_ADAPTER_H_
+#define STCOMP_STREAM_BATCH_ADAPTER_H_
+
+#include <string>
+
+#include "stcomp/algo/registry.h"
+#include "stcomp/stream/online_compressor.h"
+
+namespace stcomp {
+
+class BatchAdapter final : public OnlineCompressor {
+ public:
+  BatchAdapter(algo::AlgorithmFn algorithm, algo::AlgorithmParams params,
+               std::string name);
+
+  Status Push(const TimedPoint& point, std::vector<TimedPoint>* out) override;
+  void Finish(std::vector<TimedPoint>* out) override;
+  size_t buffered_points() const override { return buffer_.size(); }
+  std::string_view name() const override { return name_; }
+
+ private:
+  const algo::AlgorithmFn algorithm_;
+  const algo::AlgorithmParams params_;
+  const std::string name_;
+  Trajectory buffer_;
+  bool finished_ = false;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_STREAM_BATCH_ADAPTER_H_

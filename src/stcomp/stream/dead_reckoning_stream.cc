@@ -1,0 +1,57 @@
+#include "stcomp/stream/dead_reckoning_stream.h"
+
+#include "stcomp/common/check.h"
+#include "stcomp/common/strings.h"
+
+namespace stcomp {
+
+DeadReckoningStream::DeadReckoningStream(double epsilon_m)
+    : epsilon_m_(epsilon_m) {
+  STCOMP_CHECK(epsilon_m_ >= 0.0);
+}
+
+Status DeadReckoningStream::Push(const TimedPoint& point,
+                                 std::vector<TimedPoint>* out) {
+  STCOMP_CHECK(out != nullptr);
+  STCOMP_CHECK(!finished_);
+  if (last_committed_.has_value() && point.t <= pending_.value_or(
+                                                    *last_committed_).t) {
+    return InvalidArgumentError(
+        StrFormat("stream timestamps must increase at t=%f", point.t));
+  }
+  if (!last_committed_.has_value()) {
+    last_committed_ = point;
+    out->push_back(point);
+    return Status::Ok();
+  }
+  if (!velocity_mps_.has_value()) {
+    // First fix after a commit calibrates the velocity estimate.
+    const double dt = point.t - last_committed_->t;
+    velocity_mps_ = (point.position - last_committed_->position) / dt;
+    pending_ = point;
+    return Status::Ok();
+  }
+  const double dt = point.t - last_committed_->t;
+  const Vec2 predicted = last_committed_->position + *velocity_mps_ * dt;
+  if (Distance(predicted, point.position) > epsilon_m_) {
+    // Prediction broke: commit this fix and re-calibrate from it.
+    last_committed_ = point;
+    velocity_mps_.reset();
+    pending_.reset();
+    out->push_back(point);
+  } else {
+    pending_ = point;
+  }
+  return Status::Ok();
+}
+
+void DeadReckoningStream::Finish(std::vector<TimedPoint>* out) {
+  STCOMP_CHECK(out != nullptr);
+  finished_ = true;
+  if (pending_.has_value()) {
+    out->push_back(*pending_);  // Preserve the final fix.
+    pending_.reset();
+  }
+}
+
+}  // namespace stcomp

@@ -1,0 +1,37 @@
+// Dead-reckoning online compression: an extension baseline beyond the
+// paper. The receiver keeps the last committed fix plus a velocity estimate
+// and commits a new fix only when the constant-velocity prediction drifts
+// more than epsilon from the observed position. O(1) memory and time per
+// fix — the cheapest online policy with a per-point guarantee against the
+// *prediction*, commonly used in moving-object database update protocols.
+
+#ifndef STCOMP_STREAM_DEAD_RECKONING_STREAM_H_
+#define STCOMP_STREAM_DEAD_RECKONING_STREAM_H_
+
+#include <optional>
+
+#include "stcomp/stream/online_compressor.h"
+
+namespace stcomp {
+
+class DeadReckoningStream final : public OnlineCompressor {
+ public:
+  explicit DeadReckoningStream(double epsilon_m);
+
+  Status Push(const TimedPoint& point, std::vector<TimedPoint>* out) override;
+  void Finish(std::vector<TimedPoint>* out) override;
+  size_t buffered_points() const override { return pending_ ? 1 : 0; }
+  std::string_view name() const override { return "dead-reckoning"; }
+
+ private:
+  const double epsilon_m_;
+  std::optional<TimedPoint> last_committed_;
+  std::optional<Vec2> velocity_mps_;
+  // The most recent pushed-but-uncommitted fix (flushed by Finish).
+  std::optional<TimedPoint> pending_;
+  bool finished_ = false;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_STREAM_DEAD_RECKONING_STREAM_H_

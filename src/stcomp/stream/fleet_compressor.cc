@@ -1,0 +1,65 @@
+#include "stcomp/stream/fleet_compressor.h"
+
+#include <utility>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp {
+
+FleetCompressor::FleetCompressor(
+    std::function<std::unique_ptr<OnlineCompressor>()> factory,
+    TrajectoryStore* store)
+    : factory_(std::move(factory)), store_(store) {
+  STCOMP_CHECK(factory_ != nullptr);
+  STCOMP_CHECK(store_ != nullptr);
+}
+
+Status FleetCompressor::Drain(const std::string& object_id,
+                              std::vector<TimedPoint>* committed) {
+  for (const TimedPoint& point : *committed) {
+    STCOMP_RETURN_IF_ERROR(store_->Append(object_id, point));
+    ++fixes_out_;
+  }
+  committed->clear();
+  return Status::Ok();
+}
+
+Status FleetCompressor::Push(const std::string& object_id,
+                             const TimedPoint& fix) {
+  auto it = compressors_.find(object_id);
+  if (it == compressors_.end()) {
+    it = compressors_.emplace(object_id, factory_()).first;
+  }
+  ++fixes_in_;
+  std::vector<TimedPoint> committed;
+  STCOMP_RETURN_IF_ERROR(it->second->Push(fix, &committed));
+  return Drain(object_id, &committed);
+}
+
+Status FleetCompressor::FinishObject(const std::string& object_id) {
+  const auto it = compressors_.find(object_id);
+  if (it == compressors_.end()) {
+    return NotFoundError("no active stream for object '" + object_id + "'");
+  }
+  std::vector<TimedPoint> committed;
+  it->second->Finish(&committed);
+  compressors_.erase(it);
+  return Drain(object_id, &committed);
+}
+
+Status FleetCompressor::FinishAll() {
+  while (!compressors_.empty()) {
+    STCOMP_RETURN_IF_ERROR(FinishObject(compressors_.begin()->first));
+  }
+  return Status::Ok();
+}
+
+size_t FleetCompressor::buffered_points() const {
+  size_t total = 0;
+  for (const auto& [id, compressor] : compressors_) {
+    total += compressor->buffered_points();
+  }
+  return total;
+}
+
+}  // namespace stcomp

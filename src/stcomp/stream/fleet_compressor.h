@@ -1,0 +1,61 @@
+// Multi-object online compression: routes an interleaved fix stream
+// (object id, fix) to one OnlineCompressor per object and appends each
+// object's committed points to a TrajectoryStore — the full server-side
+// ingestion path the paper's introduction motivates (many devices, one
+// database, compress on arrival).
+
+#ifndef STCOMP_STREAM_FLEET_COMPRESSOR_H_
+#define STCOMP_STREAM_FLEET_COMPRESSOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "stcomp/store/trajectory_store.h"
+#include "stcomp/stream/online_compressor.h"
+
+namespace stcomp {
+
+class FleetCompressor {
+ public:
+  // `factory` builds a fresh compressor for every new object id; `store`
+  // receives committed points (must outlive the FleetCompressor).
+  FleetCompressor(
+      std::function<std::unique_ptr<OnlineCompressor>()> factory,
+      TrajectoryStore* store);
+
+  // Feeds one fix for `object_id`; commits flow into the store.
+  // kInvalidArgument for out-of-order fixes of the same object.
+  Status Push(const std::string& object_id, const TimedPoint& fix);
+
+  // Ends one object's stream (flushes its tail, removes its compressor).
+  // kNotFound for unknown ids.
+  Status FinishObject(const std::string& object_id);
+
+  // Ends all remaining streams.
+  Status FinishAll();
+
+  size_t active_objects() const { return compressors_.size(); }
+
+  // Total fixes pushed and committed across all objects so far: the live
+  // compression dashboard the ingestion path exposes.
+  size_t fixes_in() const { return fixes_in_; }
+  size_t fixes_out() const { return fixes_out_; }
+  // Points currently buffered across all objects (working memory).
+  size_t buffered_points() const;
+
+ private:
+  Status Drain(const std::string& object_id,
+               std::vector<TimedPoint>* committed);
+
+  std::function<std::unique_ptr<OnlineCompressor>()> factory_;
+  TrajectoryStore* store_;
+  std::map<std::string, std::unique_ptr<OnlineCompressor>> compressors_;
+  size_t fixes_in_ = 0;
+  size_t fixes_out_ = 0;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_STREAM_FLEET_COMPRESSOR_H_

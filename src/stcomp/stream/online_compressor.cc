@@ -1,0 +1,21 @@
+#include "stcomp/stream/online_compressor.h"
+
+#include "stcomp/common/check.h"
+
+namespace stcomp {
+
+Result<Trajectory> CompressStream(const Trajectory& trajectory,
+                                  OnlineCompressor* compressor) {
+  STCOMP_CHECK(compressor != nullptr);
+  std::vector<TimedPoint> committed;
+  for (const TimedPoint& point : trajectory.points()) {
+    STCOMP_RETURN_IF_ERROR(compressor->Push(point, &committed));
+  }
+  compressor->Finish(&committed);
+  STCOMP_ASSIGN_OR_RETURN(Trajectory compressed,
+                          Trajectory::FromPoints(std::move(committed)));
+  compressed.set_name(trajectory.name());
+  return compressed;
+}
+
+}  // namespace stcomp

@@ -1,0 +1,119 @@
+#include "stcomp/stream/opening_window_stream.h"
+
+#include <cmath>
+
+#include "stcomp/common/check.h"
+#include "stcomp/common/strings.h"
+#include "stcomp/core/interpolation.h"
+
+namespace stcomp {
+
+OpeningWindowStream::OpeningWindowStream(double epsilon_m,
+                                         algo::BreakPolicy policy,
+                                         StreamCriterion criterion,
+                                         double speed_threshold_mps)
+    : epsilon_m_(epsilon_m),
+      policy_(policy),
+      criterion_(criterion),
+      speed_threshold_mps_(speed_threshold_mps) {
+  STCOMP_CHECK(epsilon_m_ >= 0.0);
+  STCOMP_CHECK(speed_threshold_mps_ >= 0.0);
+  switch (criterion) {
+    case StreamCriterion::kPerpendicular:
+      name_ = policy == algo::BreakPolicy::kNormal ? "nopw-stream"
+                                                   : "bopw-stream";
+      break;
+    case StreamCriterion::kSynchronized:
+      name_ = "opw-tr-stream";
+      break;
+    case StreamCriterion::kSpatiotemporal:
+      name_ = "opw-sp-stream";
+      break;
+  }
+}
+
+void OpeningWindowStream::Settle(std::vector<TimedPoint>* out) {
+  // Replays float positions exactly as the batch loop would: all float
+  // positions before window_.size()-1 were validated by earlier pushes, so
+  // only the newest float needs checking — unless a cut shrinks the window,
+  // after which every float position of the replayed tail is re-examined.
+  bool need_full_replay = false;
+  while (true) {
+    const size_t size = window_.size();
+    if (size < 3) {
+      return;
+    }
+    const size_t first_float = need_full_replay ? 2 : size - 1;
+    bool cut_made = false;
+    for (size_t f = first_float; f < size && !cut_made; ++f) {
+      // Violation scan for the window (anchor = 0, float = f).
+      const TimedPoint float_point = window_[f];
+      for (size_t i = 1; i < f; ++i) {
+        bool violated;
+        if (criterion_ == StreamCriterion::kPerpendicular) {
+          violated = PointToLineDistance(window_[i].position,
+                                         window_.front().position,
+                                         float_point.position) > epsilon_m_;
+        } else {
+          violated = SynchronizedDistance(window_.front(), float_point,
+                                          window_[i]) > epsilon_m_;
+          if (!violated && criterion_ == StreamCriterion::kSpatiotemporal) {
+            const TimedPoint& before = window_[i - 1];
+            const TimedPoint& point = window_[i];
+            const TimedPoint& after = window_[i + 1];
+            const double v_before = Distance(point.position, before.position) /
+                                    (point.t - before.t);
+            const double v_after = Distance(after.position, point.position) /
+                                   (after.t - point.t);
+            violated = std::abs(v_after - v_before) > speed_threshold_mps_;
+          }
+        }
+        if (violated) {
+          const size_t cut = policy_ == algo::BreakPolicy::kNormal ? i : f - 1;
+          out->push_back(window_[cut]);
+          window_.erase(window_.begin(),
+                        window_.begin() + static_cast<ptrdiff_t>(cut));
+          cut_made = true;
+          break;
+        }
+      }
+    }
+    if (!cut_made) {
+      return;
+    }
+    need_full_replay = true;
+  }
+}
+
+Status OpeningWindowStream::Push(const TimedPoint& point,
+                                 std::vector<TimedPoint>* out) {
+  STCOMP_CHECK(out != nullptr);
+  STCOMP_CHECK(!finished_);
+  if (any_pushed_ && point.t <= last_time_) {
+    return InvalidArgumentError(
+        StrFormat("stream timestamps must increase (%f after %f)", point.t,
+                  last_time_));
+  }
+  last_time_ = point.t;
+  if (!any_pushed_) {
+    any_pushed_ = true;
+    out->push_back(point);  // The first fix is always kept.
+    window_.push_back(point);
+    return Status::Ok();
+  }
+  window_.push_back(point);
+  Settle(out);
+  return Status::Ok();
+}
+
+void OpeningWindowStream::Finish(std::vector<TimedPoint>* out) {
+  STCOMP_CHECK(out != nullptr);
+  finished_ = true;
+  // Keep the final fix unless it is the anchor itself (already emitted).
+  if (window_.size() >= 2) {
+    out->push_back(window_.back());
+  }
+  window_.clear();
+}
+
+}  // namespace stcomp

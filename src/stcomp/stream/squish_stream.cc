@@ -1,0 +1,44 @@
+#include "stcomp/stream/squish_stream.h"
+
+#include "stcomp/common/check.h"
+#include "stcomp/common/strings.h"
+
+namespace stcomp {
+
+SquishStream::SquishStream(size_t capacity, double mu_m)
+    : buffer_(capacity, mu_m) {
+  name_ = capacity == 0 ? StrFormat("squish-e(%.0fm)", mu_m)
+                        : StrFormat("squish(%zu)", capacity);
+}
+
+Status SquishStream::Push(const TimedPoint& point,
+                          std::vector<TimedPoint>* out) {
+  STCOMP_CHECK(out != nullptr);
+  STCOMP_CHECK(!finished_);
+  if (any_pushed_ && point.t <= last_time_) {
+    return InvalidArgumentError(
+        StrFormat("stream timestamps must increase at t=%f", point.t));
+  }
+  last_time_ = point.t;
+  buffer_.Push(next_index_++, point);
+  if (!any_pushed_) {
+    any_pushed_ = true;
+    out->push_back(point);  // The first fix always survives SQUISH.
+  }
+  return Status::Ok();
+}
+
+void SquishStream::Finish(std::vector<TimedPoint>* out) {
+  STCOMP_CHECK(out != nullptr);
+  finished_ = true;
+  bool first = true;
+  for (const auto& [index, point] : buffer_.FinalizePoints()) {
+    if (first) {
+      first = false;  // Already emitted at the initial Push.
+      continue;
+    }
+    out->push_back(point);
+  }
+}
+
+}  // namespace stcomp

@@ -1,0 +1,39 @@
+// SQUISH as an OnlineCompressor. SQUISH holds its working set in a
+// priority buffer and may still remove a buffered point later, so nothing
+// except the very first fix can be committed before Finish(); the value of
+// the adapter is the *bounded memory*: with capacity beta, at most beta
+// points are ever buffered regardless of stream length.
+
+#ifndef STCOMP_STREAM_SQUISH_STREAM_H_
+#define STCOMP_STREAM_SQUISH_STREAM_H_
+
+#include <string>
+
+#include "stcomp/algo/squish.h"
+#include "stcomp/stream/online_compressor.h"
+
+namespace stcomp {
+
+class SquishStream final : public OnlineCompressor {
+ public:
+  // capacity == 0: error-driven (SQUISH-E(mu), unbounded buffer);
+  // otherwise at most `capacity` points are buffered.
+  SquishStream(size_t capacity, double mu_m);
+
+  Status Push(const TimedPoint& point, std::vector<TimedPoint>* out) override;
+  void Finish(std::vector<TimedPoint>* out) override;
+  size_t buffered_points() const override { return buffer_.size(); }
+  std::string_view name() const override { return name_; }
+
+ private:
+  algo::SquishBuffer buffer_;
+  std::string name_;
+  int next_index_ = 0;
+  double last_time_ = 0.0;
+  bool any_pushed_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_STREAM_SQUISH_STREAM_H_

@@ -1,0 +1,107 @@
+// Registry-wide property sweeps: invariants every compression algorithm
+// must satisfy on every input, parameterised over (algorithm x input
+// shape x threshold).
+
+#include <gtest/gtest.h>
+
+#include "stcomp/algo/registry.h"
+#include "stcomp/error/evaluation.h"
+#include "test_util.h"
+
+namespace stcomp::algo {
+namespace {
+
+struct PropertyCase {
+  std::string algorithm;
+  std::string shape;
+  uint64_t seed;
+  double epsilon;
+};
+
+void PrintTo(const PropertyCase& param, std::ostream* os) {
+  *os << param.algorithm << "/" << param.shape << "/seed" << param.seed
+      << "/eps" << param.epsilon;
+}
+
+Trajectory MakeShape(const std::string& shape, uint64_t seed) {
+  if (shape == "walk") {
+    return testutil::RandomWalk(120, seed);
+  }
+  if (shape == "monotone") {
+    return testutil::MonotoneWalk(120, seed);
+  }
+  if (shape == "line") {
+    return testutil::Line(120, 10.0, 11.0, 3.0);
+  }
+  if (shape == "stop") {
+    return testutil::LineWithStop(40, 20, 40);
+  }
+  STCOMP_CHECK(false);
+  return {};
+}
+
+class AlgorithmProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(AlgorithmProperty, OutputIsValidIndexList) {
+  const PropertyCase& param = GetParam();
+  const Trajectory trajectory = MakeShape(param.shape, param.seed);
+  const AlgorithmInfo* info = FindAlgorithm(param.algorithm).value();
+  AlgorithmParams params;
+  params.epsilon_m = param.epsilon;
+  const IndexList kept = info->run(trajectory, params);
+  EXPECT_TRUE(IsValidIndexList(trajectory, kept));
+}
+
+TEST_P(AlgorithmProperty, OutputIsDeterministic) {
+  const PropertyCase& param = GetParam();
+  const Trajectory trajectory = MakeShape(param.shape, param.seed);
+  const AlgorithmInfo* info = FindAlgorithm(param.algorithm).value();
+  AlgorithmParams params;
+  params.epsilon_m = param.epsilon;
+  EXPECT_EQ(info->run(trajectory, params), info->run(trajectory, params));
+}
+
+TEST_P(AlgorithmProperty, EvaluationSucceedsAndErrorsAreFinite) {
+  const PropertyCase& param = GetParam();
+  const Trajectory trajectory = MakeShape(param.shape, param.seed);
+  const AlgorithmInfo* info = FindAlgorithm(param.algorithm).value();
+  AlgorithmParams params;
+  params.epsilon_m = param.epsilon;
+  const Result<Evaluation> eval =
+      Evaluate(trajectory, info->run(trajectory, params));
+  ASSERT_TRUE(eval.ok());
+  EXPECT_GE(eval->compression_percent, 0.0);
+  EXPECT_LT(eval->compression_percent, 100.0);
+  EXPECT_GE(eval->sync_error_mean_m, 0.0);
+  EXPECT_LE(eval->sync_error_mean_m, eval->sync_error_max_m + 1e-9);
+  EXPECT_GE(eval->perp_error_max_m, eval->perp_error_mean_m - 1e-9);
+}
+
+std::vector<PropertyCase> AllCases() {
+  std::vector<PropertyCase> cases;
+  for (const AlgorithmInfo& info : AllAlgorithms()) {
+    for (const char* shape : {"walk", "monotone", "line", "stop"}) {
+      for (double epsilon : {15.0, 60.0}) {
+        cases.push_back({info.name, shape, 7, epsilon});
+      }
+    }
+  }
+  return cases;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  std::string name = info.param.algorithm + "_" + info.param.shape + "_" +
+                     std::to_string(static_cast<int>(info.param.epsilon));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AlgorithmProperty,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace stcomp::algo

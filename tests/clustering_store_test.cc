@@ -1,0 +1,144 @@
+#include <cmath>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "stcomp/error/clustering.h"
+#include "stcomp/error/similarity.h"
+#include "stcomp/store/trajectory_store.h"
+#include "test_util.h"
+
+namespace stcomp {
+namespace {
+
+using testutil::Line;
+using testutil::RandomWalk;
+
+// Two well-separated families of trips: eastbound fast, northbound slow.
+std::vector<Trajectory> TwoFamilies(int per_family) {
+  std::vector<Trajectory> dataset;
+  for (int i = 0; i < per_family; ++i) {
+    dataset.push_back(Line(20, 10.0, 12.0, 0.2 * i, 0.0, 50.0 * i));
+  }
+  for (int i = 0; i < per_family; ++i) {
+    dataset.push_back(Line(20, 10.0, 0.2 * i, 8.0, 5000.0, 50.0 * i));
+  }
+  return dataset;
+}
+
+TrajectoryDistanceFn Dtw() {
+  return [](const Trajectory& a, const Trajectory& b) {
+    return DtwDistance(a, b);
+  };
+}
+
+TEST(KMedoidsTest, SeparatesTwoFamilies) {
+  const std::vector<Trajectory> dataset = TwoFamilies(4);
+  const ClusteringResult clusters = KMedoids(dataset, 2, Dtw()).value();
+  ASSERT_EQ(clusters.medoids.size(), 2u);
+  // All eastbound trips share a label; all northbound share the other.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(clusters.assignment[static_cast<size_t>(i)],
+              clusters.assignment[0]);
+    EXPECT_EQ(clusters.assignment[static_cast<size_t>(4 + i)],
+              clusters.assignment[4]);
+  }
+  EXPECT_NE(clusters.assignment[0], clusters.assignment[4]);
+}
+
+TEST(KMedoidsTest, KOneGroupsEverything) {
+  const std::vector<Trajectory> dataset = TwoFamilies(3);
+  const ClusteringResult clusters = KMedoids(dataset, 1, Dtw()).value();
+  for (int label : clusters.assignment) {
+    EXPECT_EQ(label, 0);
+  }
+}
+
+TEST(KMedoidsTest, KEqualsNHasZeroCost) {
+  const std::vector<Trajectory> dataset = TwoFamilies(2);
+  const ClusteringResult clusters =
+      KMedoids(dataset, dataset.size(), Dtw()).value();
+  EXPECT_NEAR(clusters.total_cost, 0.0, 1e-9);
+}
+
+TEST(KMedoidsTest, RejectsBadK) {
+  const std::vector<Trajectory> dataset = TwoFamilies(2);
+  EXPECT_FALSE(KMedoids(dataset, 0, Dtw()).ok());
+  EXPECT_FALSE(KMedoids(dataset, dataset.size() + 1, Dtw()).ok());
+}
+
+TEST(KMedoidsTest, DeterministicAcrossRuns) {
+  std::vector<Trajectory> dataset;
+  for (uint64_t seed = 0; seed < 9; ++seed) {
+    dataset.push_back(RandomWalk(40, seed));
+  }
+  const ClusteringResult a = KMedoids(dataset, 3, Dtw()).value();
+  const ClusteringResult b = KMedoids(dataset, 3, Dtw()).value();
+  EXPECT_EQ(a.medoids, b.medoids);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(SilhouetteTest, WellSeparatedScoresHigh) {
+  const std::vector<Trajectory> dataset = TwoFamilies(4);
+  const std::vector<double> matrix =
+      PairwiseDistances(dataset, Dtw()).value();
+  const ClusteringResult good = KMedoids(dataset, 2, Dtw()).value();
+  const double good_score =
+      SilhouetteScore(matrix, dataset.size(), good.assignment);
+  EXPECT_GT(good_score, 0.6);
+  // A deliberately bad split scores worse.
+  std::vector<int> bad(dataset.size());
+  for (size_t i = 0; i < bad.size(); ++i) {
+    bad[i] = static_cast<int>(i % 2);
+  }
+  EXPECT_LT(SilhouetteScore(matrix, dataset.size(), bad), good_score);
+}
+
+TEST(StoreFileTest, SaveLoadRoundTrip) {
+  TrajectoryStore store(Codec::kRaw);
+  for (uint64_t object = 0; object < 5; ++object) {
+    Trajectory trajectory = RandomWalk(30, 50 + object);
+    ASSERT_TRUE(
+        store.Insert("veh-" + std::to_string(object), trajectory).ok());
+  }
+  const std::string path = ::testing::TempDir() + "/stcomp_store_file.bin";
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+
+  TrajectoryStore loaded(Codec::kRaw);
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(loaded.object_count(), store.object_count());
+  for (const std::string& id : store.ObjectIds()) {
+    EXPECT_EQ(loaded.Get(id).value().points(),
+              store.Get(id).value().points());
+  }
+}
+
+TEST(StoreFileTest, LoadReplacesContents) {
+  TrajectoryStore a(Codec::kRaw);
+  ASSERT_TRUE(a.Insert("x", RandomWalk(10, 1)).ok());
+  const std::string path = ::testing::TempDir() + "/stcomp_store_file2.bin";
+  ASSERT_TRUE(a.SaveToFile(path).ok());
+  TrajectoryStore b(Codec::kRaw);
+  ASSERT_TRUE(b.Insert("y", RandomWalk(10, 2)).ok());
+  ASSERT_TRUE(b.LoadFromFile(path).ok());
+  EXPECT_TRUE(b.Get("x").ok());
+  EXPECT_FALSE(b.Get("y").ok());
+}
+
+TEST(StoreFileTest, CorruptFileRejected) {
+  TrajectoryStore store(Codec::kDelta);
+  ASSERT_TRUE(store.Insert("x", RandomWalk(20, 3)).ok());
+  const std::string path = ::testing::TempDir() + "/stcomp_store_file3.bin";
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+  // Append garbage: the trailing frame must fail to parse.
+  {
+    std::ofstream file(path, std::ios::binary | std::ios::app);
+    file << "garbage tail";
+  }
+  TrajectoryStore loaded(Codec::kDelta);
+  EXPECT_FALSE(loaded.LoadFromFile(path).ok());
+  EXPECT_FALSE(loaded.LoadFromFile("/nonexistent/store.bin").ok());
+}
+
+}  // namespace
+}  // namespace stcomp

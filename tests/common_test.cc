@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "stcomp/common/flags.h"
+#include "stcomp/common/result.h"
+#include "stcomp/common/status.h"
+#include "stcomp/common/strings.h"
+
+namespace stcomp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = InvalidArgumentError("bad epsilon");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad epsilon");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad epsilon");
+}
+
+TEST(StatusTest, CopyPreservesValue) {
+  Status status = NotFoundError("x");
+  Status copy = status;
+  EXPECT_EQ(copy, status);
+  copy = Status::Ok();
+  EXPECT_TRUE(copy.ok());
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(StatusTest, AllFactoriesProduceTheirCode) {
+  EXPECT_EQ(InvalidArgumentError("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRangeError("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(DataLossError("").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(UnimplementedError("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
+  EXPECT_EQ(IoError("").code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "DATA_LOSS");
+}
+
+Result<int> ParsePositive(int value) {
+  if (value <= 0) {
+    return InvalidArgumentError("not positive");
+  }
+  return value;
+}
+
+Result<int> DoubleIfPositive(int value) {
+  STCOMP_ASSIGN_OR_RETURN(const int checked, ParsePositive(value));
+  return checked * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = ParsePositive(-1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(DoubleIfPositive(21).value(), 42);
+  EXPECT_FALSE(DoubleIfPositive(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(5);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(StringsTest, SplitBasics) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringsTest, SplitEmptyYieldsOneField) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringsTest, ParseDoubleAccepts) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -2e3 ").value(), -2000.0);
+}
+
+TEST(StringsTest, ParseDoubleRejects) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("12x").ok());
+  EXPECT_FALSE(ParseDouble("nan").ok());
+}
+
+TEST(StringsTest, ParseIntAcceptsAndRejects) {
+  EXPECT_EQ(ParseInt("-17").value(), -17);
+  EXPECT_FALSE(ParseInt("3.5").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("trajectory", "traj"));
+  EXPECT_FALSE(StartsWith("tra", "traj"));
+  EXPECT_TRUE(EndsWith("file.gpx", ".gpx"));
+  EXPECT_FALSE(EndsWith("x", ".gpx"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "ok"), "7-ok");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+TEST(StringsTest, FormatHms) {
+  EXPECT_EQ(FormatHms(0), "00:00:00");
+  EXPECT_EQ(FormatHms(32 * 60 + 16), "00:32:16");
+  EXPECT_EQ(FormatHms(3 * 3600 + 59), "03:00:59");
+}
+
+TEST(FlagsTest, ParsesAllTypes) {
+  double d = 1.0;
+  int i = 2;
+  bool b = false;
+  std::string s = "x";
+  FlagParser parser("test");
+  parser.AddDouble("eps", &d, "epsilon");
+  parser.AddInt("count", &i, "count");
+  parser.AddBool("verbose", &b, "verbosity");
+  parser.AddString("name", &s, "name");
+  const char* argv[] = {"prog", "--eps=42.5", "--count", "9", "--verbose",
+                        "--name=abc", "positional"};
+  ASSERT_TRUE(parser.Parse(7, const_cast<char**>(argv)).ok());
+  EXPECT_DOUBLE_EQ(d, 42.5);
+  EXPECT_EQ(i, 9);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(s, "abc");
+  ASSERT_EQ(parser.positional().size(), 1u);
+  EXPECT_EQ(parser.positional()[0], "positional");
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  FlagParser parser("test");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_EQ(parser.Parse(2, const_cast<char**>(argv)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, RejectsMissingValue) {
+  int i = 0;
+  FlagParser parser("test");
+  parser.AddInt("count", &i, "");
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(parser.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, BoolFalseForms) {
+  bool b = true;
+  FlagParser parser("test");
+  parser.AddBool("flag", &b, "");
+  const char* argv[] = {"prog", "--flag=false"};
+  ASSERT_TRUE(parser.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_FALSE(b);
+}
+
+TEST(FlagsTest, HelpReturnsFailedPrecondition) {
+  FlagParser parser("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_EQ(parser.Parse(2, const_cast<char**>(argv)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace stcomp

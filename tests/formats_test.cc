@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "stcomp/gps/csv.h"
+#include "stcomp/gps/gpx.h"
+#include "stcomp/gps/plt.h"
+#include "stcomp/gps/xml_scanner.h"
+#include "test_util.h"
+
+namespace stcomp {
+namespace {
+
+using testutil::Traj;
+
+TEST(XmlTest, ParsesElementsAttributesText) {
+  const auto root = ParseXml(
+      "<?xml version=\"1.0\"?>\n"
+      "<a x=\"1\" y='two'><b>hello</b><b>world</b><c/></a>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->name, "a");
+  EXPECT_EQ(*(*root)->FindAttribute("x"), "1");
+  EXPECT_EQ(*(*root)->FindAttribute("y"), "two");
+  EXPECT_EQ((*root)->FindAttribute("z"), nullptr);
+  ASSERT_NE((*root)->FindChild("b"), nullptr);
+  EXPECT_EQ((*root)->FindChild("b")->text, "hello");
+  EXPECT_EQ((*root)->FindChildren("b").size(), 2u);
+  EXPECT_NE((*root)->FindChild("c"), nullptr);
+}
+
+TEST(XmlTest, EntitiesAndCdataAndComments) {
+  const auto root = ParseXml(
+      "<r a=\"&lt;&amp;&gt;\"><!-- note --><t>x &amp; y</t>"
+      "<d><![CDATA[1 < 2]]></d></r>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*(*root)->FindAttribute("a"), "<&>");
+  EXPECT_EQ((*root)->FindChild("t")->text, "x & y");
+  EXPECT_EQ((*root)->FindChild("d")->text, "1 < 2");
+}
+
+TEST(XmlTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a").ok());
+  EXPECT_FALSE(ParseXml("<a x=1></a>").ok());
+}
+
+TEST(XmlTest, Escape) {
+  EXPECT_EQ(XmlEscape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+TEST(CsvTest, ProjectedSchemaRoundTrip) {
+  Trajectory trajectory =
+      Traj({{0, 1.5, -2.5}, {10, 100.25, 50.125}, {20.5, -3, 4}});
+  const std::string text = WriteCsvTrajectory(trajectory);
+  const Trajectory parsed = ParseCsvTrajectory(text).value();
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed.points(), trajectory.points());
+}
+
+TEST(CsvTest, GeographicSchemaProjectsLocally) {
+  const std::string text =
+      "t,lat,lon\n"
+      "0,52.2200,6.8900\n"
+      "10,52.2210,6.8900\n";
+  const Trajectory parsed = ParseCsvTrajectory(text).value();
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_NEAR(parsed[0].position.x, 0.0, 1e-9);
+  // 0.001 degrees of latitude is ~111 m north.
+  EXPECT_NEAR(parsed[1].position.y, 111.0, 1.0);
+}
+
+TEST(CsvTest, SkipsCommentsAndBlanks) {
+  const std::string text =
+      "# produced by a unit test\n\nt,x,y\n0,0,0\n# interior comment\n1,1,1\n";
+  EXPECT_EQ(ParseCsvTrajectory(text).value().size(), 2u);
+}
+
+TEST(CsvTest, Rejections) {
+  EXPECT_FALSE(ParseCsvTrajectory("").ok());
+  EXPECT_FALSE(ParseCsvTrajectory("a,b,c\n1,2,3\n").ok());
+  EXPECT_FALSE(ParseCsvTrajectory("t,x,y\n1,2\n").ok());
+  EXPECT_FALSE(ParseCsvTrajectory("t,x,y\n1,2,zz\n").ok());
+  // Duplicate timestamps violate the trajectory invariant.
+  EXPECT_FALSE(ParseCsvTrajectory("t,x,y\n1,0,0\n1,1,1\n").ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const Trajectory trajectory = Traj({{0, 0, 0}, {1, 2, 3}});
+  const std::string path = ::testing::TempDir() + "/stcomp_csv_test.csv";
+  ASSERT_TRUE(WriteCsvTrajectoryFile(trajectory, path).ok());
+  const Trajectory parsed = ReadCsvTrajectoryFile(path).value();
+  EXPECT_EQ(parsed.points(), trajectory.points());
+  EXPECT_FALSE(ReadCsvTrajectoryFile("/nonexistent/x.csv").ok());
+}
+
+TEST(Iso8601Test, ParseAndFormat) {
+  EXPECT_DOUBLE_EQ(ParseIso8601("1970-01-01T00:00:00Z").value(), 0.0);
+  EXPECT_DOUBLE_EQ(ParseIso8601("1970-01-02T00:00:00Z").value(), 86400.0);
+  EXPECT_DOUBLE_EQ(ParseIso8601("2004-03-14T09:26:53Z").value(),
+                   1079256413.0);
+  EXPECT_DOUBLE_EQ(ParseIso8601("2004-03-14T09:26:53.25Z").value(),
+                   1079256413.25);
+  EXPECT_DOUBLE_EQ(ParseIso8601("2004-03-14T10:26:53+01:00").value(),
+                   1079256413.0);
+  EXPECT_EQ(FormatIso8601(1079256413.0), "2004-03-14T09:26:53Z");
+  EXPECT_EQ(FormatIso8601(0.0), "1970-01-01T00:00:00Z");
+}
+
+TEST(Iso8601Test, FractionalFormatting) {
+  EXPECT_EQ(FormatIso8601(1079256413.25, 3), "2004-03-14T09:26:53.250Z");
+  // Round trips to millisecond precision.
+  EXPECT_NEAR(ParseIso8601(FormatIso8601(880.1235, 3)).value(), 880.1235,
+              5.01e-4);
+  // Rounding never carries into the integer second.
+  EXPECT_EQ(FormatIso8601(0.9999, 3), "1970-01-01T00:00:00.999Z");
+}
+
+TEST(Iso8601Test, RoundTripsAcrossEpochs) {
+  for (double t : {-86400.0, 0.0, 951782400.0, 1079256413.0, 4102444800.0}) {
+    EXPECT_DOUBLE_EQ(ParseIso8601(FormatIso8601(t)).value(), t);
+  }
+}
+
+TEST(Iso8601Test, Rejections) {
+  EXPECT_FALSE(ParseIso8601("").ok());
+  EXPECT_FALSE(ParseIso8601("2004-03-14").ok());
+  EXPECT_FALSE(ParseIso8601("2004-13-14T00:00:00Z").ok());
+  EXPECT_FALSE(ParseIso8601("2004-03-14T09:26:53Q").ok());
+}
+
+TEST(GpxTest, ParseMinimalDocument) {
+  const std::string document =
+      "<?xml version=\"1.0\"?>\n"
+      "<gpx version=\"1.1\"><trk><name>ride</name><trkseg>"
+      "<trkpt lat=\"52.2200\" lon=\"6.8900\">"
+      "<time>2004-03-14T09:00:00Z</time></trkpt>"
+      "<trkpt lat=\"52.2210\" lon=\"6.8900\">"
+      "<time>2004-03-14T09:00:10Z</time></trkpt>"
+      "</trkseg></trk></gpx>";
+  const GpxTrack track = ParseGpx(document).value();
+  ASSERT_EQ(track.trajectory.size(), 2u);
+  EXPECT_EQ(track.trajectory.name(), "ride");
+  EXPECT_DOUBLE_EQ(track.trajectory[1].t - track.trajectory[0].t, 10.0);
+  EXPECT_NEAR(track.trajectory[1].position.y, 111.0, 1.0);
+  EXPECT_DOUBLE_EQ(track.origin.lat_deg, 52.22);
+}
+
+TEST(GpxTest, RejectsTrackPointWithoutTime) {
+  const std::string document =
+      "<gpx><trk><trkseg><trkpt lat=\"1\" lon=\"2\"/>"
+      "</trkseg></trk></gpx>";
+  EXPECT_FALSE(ParseGpx(document).ok());
+}
+
+TEST(GpxTest, RejectsNonGpxRootAndEmpty) {
+  EXPECT_FALSE(ParseGpx("<kml></kml>").ok());
+  EXPECT_FALSE(ParseGpx("<gpx></gpx>").ok());
+}
+
+TEST(GpxTest, WriteParseRoundTrip) {
+  Trajectory trajectory =
+      Traj({{1079256413.0, 0, 0}, {1079256423.0, 500, -250}});
+  trajectory.set_name("test & ride");
+  const LatLon origin{52.22, 6.89};
+  const std::string document = WriteGpx(trajectory, origin);
+  const GpxTrack parsed = ParseGpx(document).value();
+  ASSERT_EQ(parsed.trajectory.size(), 2u);
+  EXPECT_EQ(parsed.trajectory.name(), "test & ride");
+  EXPECT_DOUBLE_EQ(parsed.trajectory[0].t, trajectory[0].t);
+  // Projection + 8-decimal lat/lon round-trip: centimetre-level agreement.
+  EXPECT_NEAR(parsed.trajectory[1].position.x, 500.0, 0.05);
+  EXPECT_NEAR(parsed.trajectory[1].position.y, -250.0, 0.05);
+}
+
+TEST(GpxTest, FileRoundTrip) {
+  const Trajectory trajectory = Traj({{0, 0, 0}, {10, 100, 100}});
+  const std::string path = ::testing::TempDir() + "/stcomp_gpx_test.gpx";
+  ASSERT_TRUE(WriteGpxFile(trajectory, {52.22, 6.89}, path).ok());
+  EXPECT_EQ(ReadGpxFile(path).value().trajectory.size(), 2u);
+}
+
+TEST(PltTest, ParsesGeolifeFormat) {
+  // 6 preamble lines, then lat,lon,0,alt_ft,days,date,time.
+  const std::string text =
+      "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n"
+      "0,2,255,My Track,0,0,2,8421376\n0\n"
+      "39.906631,116.385564,0,492,39882.0,2009-03-10,00:00:00\n"
+      "39.906725,116.385672,0,492,39882.000115740741,2009-03-10,00:00:10\n";
+  const Trajectory trajectory = ParsePlt(text).value();
+  ASSERT_EQ(trajectory.size(), 2u);
+  EXPECT_NEAR(trajectory[1].t - trajectory[0].t, 10.0, 1e-3);
+  EXPECT_NEAR(trajectory[0].position.x, 0.0, 1e-9);
+  EXPECT_GT(trajectory[1].position.y, 0.0);
+}
+
+TEST(PltTest, DropsOutOfOrderFixes) {
+  const std::string text =
+      "h\nh\nh\nh\nh\nh\n"
+      "39.9,116.3,0,0,39882.0,d,t\n"
+      "39.9,116.3,0,0,39881.9,d,t\n"   // Goes backwards: dropped.
+      "39.9,116.3,0,0,39882.1,d,t\n";
+  EXPECT_EQ(ParsePlt(text).value().size(), 2u);
+}
+
+TEST(PltTest, RejectsGarbage) {
+  EXPECT_FALSE(ParsePlt("").ok());
+  EXPECT_FALSE(
+      ParsePlt("h\nh\nh\nh\nh\nh\nnot,a,number,0,xx,d,t\n").ok());
+}
+
+}  // namespace
+}  // namespace stcomp

@@ -1,0 +1,99 @@
+#include "stcomp/geom/geometry.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace stcomp {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Vec2(1.5, -0.5));
+}
+
+TEST(Vec2Test, DotCrossNorm) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(a.Dot({1.0, 0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Vec2(1.0, 0.0).Cross({0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Vec2(0.0, 1.0).Cross({1.0, 0.0}), -1.0);
+}
+
+TEST(GeometryTest, DistanceSymmetric) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({3, 4}, {0, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 1}, {2, 2}), 2.0);
+}
+
+TEST(PointToLineTest, PerpendicularOffset) {
+  // Horizontal line y = 0; point at height 7.
+  EXPECT_DOUBLE_EQ(PointToLineDistance({5, 7}, {0, 0}, {10, 0}), 7.0);
+  // Distance to the infinite line ignores being beyond the segment ends.
+  EXPECT_DOUBLE_EQ(PointToLineDistance({-100, 7}, {0, 0}, {10, 0}), 7.0);
+}
+
+TEST(PointToLineTest, DegenerateLineFallsBackToPointDistance) {
+  EXPECT_DOUBLE_EQ(PointToLineDistance({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(PointToSegmentTest, InteriorProjection) {
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance({5, 7}, {0, 0}, {10, 0}), 7.0);
+}
+
+TEST(PointToSegmentTest, ClampsToEndpoints) {
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance({-3, 4}, {0, 0}, {10, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance({13, 4}, {0, 0}, {10, 0}), 5.0);
+}
+
+TEST(PointToSegmentTest, DegenerateSegment) {
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance({3, 4}, {1, 1}, {1, 1}),
+                   Distance({3, 4}, {1, 1}));
+}
+
+TEST(ProjectOntoSegmentTest, Parameters) {
+  EXPECT_DOUBLE_EQ(ProjectOntoSegment({5, 3}, {0, 0}, {10, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(ProjectOntoSegment({-5, 3}, {0, 0}, {10, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ProjectOntoSegment({15, 3}, {0, 0}, {10, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(ProjectOntoSegment({5, 3}, {2, 2}, {2, 2}), 0.0);
+}
+
+TEST(AngleTest, InteriorAngleStraightAndRightAndReversal) {
+  EXPECT_NEAR(InteriorAngle({0, 0}, {1, 0}, {2, 0}), kPi, 1e-12);
+  EXPECT_NEAR(InteriorAngle({0, 0}, {1, 0}, {1, 1}), kPi / 2, 1e-12);
+  EXPECT_NEAR(InteriorAngle({0, 0}, {1, 0}, {0, 0}), 0.0, 1e-12);
+}
+
+TEST(AngleTest, DegenerateArmTreatedAsStraight) {
+  EXPECT_NEAR(InteriorAngle({1, 0}, {1, 0}, {2, 0}), kPi, 1e-12);
+}
+
+TEST(AngleTest, HeadingChangeComplements) {
+  EXPECT_NEAR(HeadingChange({0, 0}, {1, 0}, {2, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(HeadingChange({0, 0}, {1, 0}, {1, 1}), kPi / 2, 1e-12);
+  EXPECT_NEAR(HeadingChange({0, 0}, {1, 0}, {0, 0}), kPi, 1e-12);
+}
+
+TEST(AngleTest, Heading) {
+  EXPECT_NEAR(Heading({0, 0}, {1, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(Heading({0, 0}, {0, 1}), kPi / 2, 1e-12);
+  EXPECT_NEAR(Heading({0, 0}, {-1, 0}), kPi, 1e-12);
+  EXPECT_DOUBLE_EQ(Heading({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(LerpTest, Endpoints) {
+  EXPECT_EQ(Lerp({0, 0}, {10, 20}, 0.0), Vec2(0, 0));
+  EXPECT_EQ(Lerp({0, 0}, {10, 20}, 1.0), Vec2(10, 20));
+  EXPECT_EQ(Lerp({0, 0}, {10, 20}, 0.25), Vec2(2.5, 5.0));
+}
+
+}  // namespace
+}  // namespace stcomp

@@ -1,0 +1,123 @@
+#include "stcomp/store/grid_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "stcomp/sim/random.h"
+#include "test_util.h"
+
+namespace stcomp {
+namespace {
+
+TEST(GridIndexTest, EmptyIndex) {
+  GridIndex index(100.0);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.QueryBox({{0, 0}, {1000, 1000}}).empty());
+  EXPECT_FALSE(index.Nearest({0, 0}).ok());
+}
+
+TEST(GridIndexTest, BoxQueryFindsAndExcludes) {
+  GridIndex index(50.0);
+  index.Insert(1, {10, 10});
+  index.Insert(2, {500, 500});
+  index.Insert(3, {-75, 30});
+  const auto hits = index.QueryBox({{-100, 0}, {100, 100}});
+  EXPECT_EQ(hits, (std::vector<int64_t>{1, 3}));
+}
+
+TEST(GridIndexTest, BoxQueryDeduplicatesItems) {
+  GridIndex index(50.0);
+  for (int k = 0; k < 10; ++k) {
+    index.Insert(7, {k * 10.0, 0.0});
+  }
+  const auto hits = index.QueryBox({{-5, -5}, {200, 5}});
+  EXPECT_EQ(hits, (std::vector<int64_t>{7}));
+}
+
+TEST(GridIndexTest, BoundaryPointsIncluded) {
+  GridIndex index(10.0);
+  index.Insert(1, {100.0, 100.0});
+  EXPECT_EQ(index.QueryBox({{100.0, 100.0}, {100.0, 100.0}}).size(), 1u);
+  EXPECT_EQ(index.QueryBox({{0.0, 0.0}, {100.0, 100.0}}).size(), 1u);
+}
+
+TEST(GridIndexTest, NegativeCoordinates) {
+  GridIndex index(25.0);
+  index.Insert(1, {-1000.5, -2000.5});
+  index.Insert(2, {1000.5, 2000.5});
+  EXPECT_EQ(index.QueryBox({{-1100, -2100}, {-900, -1900}}),
+            (std::vector<int64_t>{1}));
+  EXPECT_EQ(index.Nearest({-990, -1990}).value(), 1);
+}
+
+TEST(GridIndexTest, NearestMatchesLinearScan) {
+  Rng rng(42);
+  GridIndex index(80.0);
+  std::vector<std::pair<Vec2, int64_t>> reference;
+  for (int64_t item = 0; item < 200; ++item) {
+    const Vec2 position{rng.NextUniform(-3000, 3000),
+                        rng.NextUniform(-3000, 3000)};
+    index.Insert(item, position);
+    reference.emplace_back(position, item);
+  }
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vec2 query{rng.NextUniform(-3500, 3500),
+                     rng.NextUniform(-3500, 3500)};
+    double best = 1e300;
+    int64_t expected = -1;
+    for (const auto& [position, item] : reference) {
+      const double d = Distance(position, query);
+      if (d < best) {
+        best = d;
+        expected = item;
+      }
+    }
+    EXPECT_EQ(index.Nearest(query).value(), expected) << "trial " << trial;
+  }
+}
+
+TEST(GridIndexTest, NearestAcrossSparseCells) {
+  GridIndex index(10.0);
+  index.Insert(5, {0.0, 0.0});
+  index.Insert(6, {10000.0, 0.0});
+  // Query far from both; many empty rings in between.
+  EXPECT_EQ(index.Nearest({4000.0, 0.0}).value(), 5);
+  EXPECT_EQ(index.Nearest({6000.0, 0.0}).value(), 6);
+}
+
+TEST(GridIndexTest, IndexedStoreQueryMatchesLinearStoreQuery) {
+  // Cross-check GridIndex against TrajectoryStore::ObjectsInBox.
+  TrajectoryStore store(Codec::kRaw);
+  GridIndex index(200.0);
+  Rng rng(7);
+  std::vector<std::string> ids;
+  for (int object = 0; object < 12; ++object) {
+    const Trajectory trajectory =
+        testutil::RandomWalk(40, 100 + static_cast<uint64_t>(object));
+    const std::string id = "obj-" + std::to_string(object);
+    ASSERT_TRUE(store.Insert(id, trajectory).ok());
+    ids.push_back(id);
+    for (const TimedPoint& point : trajectory.points()) {
+      index.Insert(object, point.position);
+    }
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 corner{rng.NextUniform(-500, 1500),
+                      rng.NextUniform(-1500, 500)};
+    const BoundingBox box{corner, corner + Vec2{800.0, 800.0}};
+    std::vector<std::string> via_store = store.ObjectsInBox(box);
+    std::vector<std::string> via_index;
+    for (int64_t item : index.QueryBox(box)) {
+      via_index.push_back(ids[static_cast<size_t>(item)]);
+    }
+    // The store orders ids lexicographically, the index numerically;
+    // compare as sets.
+    std::sort(via_store.begin(), via_store.end());
+    std::sort(via_index.begin(), via_index.end());
+    EXPECT_EQ(via_store, via_index) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace stcomp

@@ -1,0 +1,103 @@
+#include "stcomp/core/kinematics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace stcomp {
+namespace {
+
+using testutil::Line;
+using testutil::LineWithStop;
+using testutil::Traj;
+
+TEST(SegmentKinematicsTest, ConstantMotion) {
+  const Trajectory trajectory = Line(5, 10.0, 3.0, 4.0);
+  const auto segments = ComputeSegmentKinematics(trajectory);
+  ASSERT_EQ(segments.size(), 4u);
+  for (const SegmentKinematics& segment : segments) {
+    EXPECT_DOUBLE_EQ(segment.duration_s, 10.0);
+    EXPECT_DOUBLE_EQ(segment.speed_mps, 5.0);
+    EXPECT_NEAR(segment.heading_rad, std::atan2(4.0, 3.0), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(segments[2].start_t, 20.0);
+}
+
+TEST(SegmentKinematicsTest, TinyInputs) {
+  Trajectory empty;
+  EXPECT_TRUE(ComputeSegmentKinematics(empty).empty());
+  EXPECT_TRUE(ComputeSegmentKinematics(Traj({{0, 0, 0}})).empty());
+}
+
+TEST(AccelerationTest, SpeedStep) {
+  // 10 m/s for two segments, then 20 m/s: one non-zero acceleration at the
+  // step, (20-10)/10 = 1 m/s^2.
+  const Trajectory trajectory = Traj(
+      {{0, 0, 0}, {10, 100, 0}, {20, 200, 0}, {30, 400, 0}, {40, 600, 0}});
+  const auto accelerations = ComputeAccelerations(trajectory);
+  ASSERT_EQ(accelerations.size(), 3u);
+  EXPECT_DOUBLE_EQ(accelerations[0], 0.0);
+  EXPECT_DOUBLE_EQ(accelerations[1], 1.0);
+  EXPECT_DOUBLE_EQ(accelerations[2], 0.0);
+}
+
+TEST(DwellTest, FindsTheStop) {
+  // 10 moving samples, 8 stopped, 10 moving (10 s apart).
+  const Trajectory trajectory = LineWithStop(10, 8, 10);
+  const auto dwells = DetectDwells(trajectory, 0.5, 30.0);
+  ASSERT_EQ(dwells.size(), 1u);
+  EXPECT_GE(dwells[0].duration_s(), 70.0);
+  EXPECT_GE(dwells[0].num_points, 8u);
+  // The stop is at x = 10 * 10s * 15 m/s = 1500 m.
+  EXPECT_NEAR(dwells[0].centroid.x, 1500.0, 1e-9);
+  EXPECT_NEAR(dwells[0].centroid.y, 0.0, 1e-9);
+}
+
+TEST(DwellTest, MinDurationFilters) {
+  const Trajectory trajectory = LineWithStop(10, 3, 10);  // ~30 s stop.
+  EXPECT_EQ(DetectDwells(trajectory, 0.5, 10.0).size(), 1u);
+  EXPECT_EQ(DetectDwells(trajectory, 0.5, 500.0).size(), 0u);
+}
+
+TEST(DwellTest, NoDwellOnConstantMotion) {
+  const Trajectory trajectory = Line(20, 10.0, 10.0, 0.0);
+  EXPECT_TRUE(DetectDwells(trajectory, 0.5, 10.0).empty());
+}
+
+TEST(DwellTest, DwellAtTrajectoryEnd) {
+  // Motion then a final stop that runs to the end.
+  std::vector<TimedPoint> points;
+  for (int i = 0; i < 5; ++i) {
+    points.emplace_back(i * 10.0, i * 100.0, 0.0);
+  }
+  for (int i = 0; i < 5; ++i) {
+    points.emplace_back(50.0 + i * 10.0, 400.0, 0.0);
+  }
+  const Trajectory trajectory = Traj(std::move(points));
+  const auto dwells = DetectDwells(trajectory, 0.5, 20.0);
+  ASSERT_EQ(dwells.size(), 1u);
+  EXPECT_DOUBLE_EQ(dwells[0].end_t, 90.0);
+}
+
+TEST(SpeedProfileTest, MixedMotion) {
+  const Trajectory trajectory = LineWithStop(10, 10, 10);
+  const SpeedProfile profile = ComputeSpeedProfile(trajectory, 0.5);
+  EXPECT_DOUBLE_EQ(profile.min_mps, 0.0);
+  EXPECT_DOUBLE_EQ(profile.max_mps, 15.0);
+  EXPECT_NEAR(profile.moving_mean_mps, 15.0, 1e-9);
+  // 31 points -> 30 segments; the 9 within-stop segments plus the one
+  // into the resume point are stationary.
+  EXPECT_NEAR(profile.stopped_fraction, 10.0 / 30.0, 1e-9);
+  EXPECT_NEAR(profile.mean_mps, 15.0 * 20.0 / 30.0, 1e-9);
+}
+
+TEST(SpeedProfileTest, TinyInput) {
+  const SpeedProfile profile = ComputeSpeedProfile(Traj({{0, 0, 0}}), 0.5);
+  EXPECT_DOUBLE_EQ(profile.mean_mps, 0.0);
+  EXPECT_DOUBLE_EQ(profile.stopped_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace stcomp

@@ -1,0 +1,150 @@
+#include "stcomp/sim/map_matching.h"
+
+#include <gtest/gtest.h>
+
+#include "stcomp/sim/gps_noise.h"
+#include "stcomp/sim/trip_generator.h"
+#include "test_util.h"
+
+namespace stcomp {
+namespace {
+
+RoadNetwork TestNetwork(uint64_t seed = 3) {
+  RoadNetworkConfig config;
+  config.grid_width = 12;
+  config.grid_height = 12;
+  config.spacing_m = 400.0;
+  return RoadNetwork::Generate(config, seed);
+}
+
+// A trip over the network, with and without noise.
+struct TripFixture {
+  Trajectory clean;
+  Trajectory noisy;
+};
+
+TripFixture MakeTrip(const RoadNetwork& network, uint64_t seed) {
+  Rng rng(seed);
+  TripConfig config;
+  config.target_length_m = 4000.0;
+  TripFixture fixture;
+  fixture.clean = GenerateTrip(network, config, -1, &rng).value();
+  GpsNoiseConfig noise;
+  noise.sigma_m = 8.0;
+  fixture.noisy = AddGpsNoise(fixture.clean, noise, &rng);
+  return fixture;
+}
+
+TEST(MapMatchTest, CleanTripSnapsAlmostPerfectly) {
+  const RoadNetwork network = TestNetwork();
+  const TripFixture trip = MakeTrip(network, 11);
+  const MapMatchResult result =
+      MatchToNetwork(network, trip.clean, MapMatchConfig{}).value();
+  ASSERT_EQ(result.points.size(), trip.clean.size());
+  // Clean samples lie on edges: residuals ~ 0.
+  EXPECT_LT(result.mean_residual_m, 0.5);
+}
+
+TEST(MapMatchTest, NoisyTripResidualNearNoiseSigma) {
+  const RoadNetwork network = TestNetwork();
+  const TripFixture trip = MakeTrip(network, 13);
+  MapMatchConfig config;
+  config.gps_sigma_m = 8.0;
+  const MapMatchResult result =
+      MatchToNetwork(network, trip.noisy, config).value();
+  // The matcher cannot remove the along-road component of the noise, but
+  // the cross-road residual it *does* remove should leave the mean
+  // snapped-vs-fix distance in the order of sigma.
+  EXPECT_GT(result.mean_residual_m, 1.0);
+  EXPECT_LT(result.mean_residual_m, 20.0);
+}
+
+TEST(MapMatchTest, SnappingRecoversTheCleanPath) {
+  const RoadNetwork network = TestNetwork();
+  const TripFixture trip = MakeTrip(network, 17);
+  MapMatchConfig config;
+  config.gps_sigma_m = 8.0;
+  const MapMatchResult result =
+      MatchToNetwork(network, trip.noisy, config).value();
+  // Snapped positions should be closer to the clean ground truth than the
+  // noisy input was, on average.
+  double noisy_error = 0.0;
+  double snapped_error = 0.0;
+  for (size_t i = 0; i < trip.clean.size(); ++i) {
+    noisy_error += Distance(trip.noisy[i].position, trip.clean[i].position);
+    snapped_error +=
+        Distance(result.snapped[i].position, trip.clean[i].position);
+  }
+  EXPECT_LT(snapped_error, noisy_error);
+}
+
+TEST(MapMatchTest, MatchedPointsAreConsistent) {
+  const RoadNetwork network = TestNetwork();
+  const TripFixture trip = MakeTrip(network, 19);
+  const MapMatchResult result =
+      MatchToNetwork(network, trip.noisy, MapMatchConfig{}).value();
+  for (size_t i = 0; i < result.points.size(); ++i) {
+    const MatchedPoint& matched = result.points[i];
+    ASSERT_GE(matched.edge_index, 0);
+    ASSERT_LT(static_cast<size_t>(matched.edge_index),
+              network.edges().size());
+    const RoadEdge& edge =
+        network.edges()[static_cast<size_t>(matched.edge_index)];
+    EXPECT_GE(matched.offset_m, -1e-9);
+    EXPECT_LE(matched.offset_m, edge.length_m + 1e-9);
+    // The snapped point is on the edge segment.
+    const Vec2 a = network.nodes()[static_cast<size_t>(edge.from)].position;
+    const Vec2 b = network.nodes()[static_cast<size_t>(edge.to)].position;
+    EXPECT_LT(PointToSegmentDistance(matched.snapped, a, b), 1e-6);
+    // Residual matches the reported distance.
+    EXPECT_NEAR(Distance(trip.noisy[i].position, matched.snapped),
+                matched.distance_m, 1e-9);
+  }
+}
+
+TEST(MapMatchTest, FailsWhenFixIsOffTheMap) {
+  const RoadNetwork network = TestNetwork();
+  const Trajectory far_away =
+      testutil::Traj({{0, 1e7, 1e7}, {10, 1e7 + 50, 1e7}});
+  MapMatchConfig config;
+  const auto result = MatchToNetwork(network, far_away, config);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MapMatchTest, RejectsEmptyInputs) {
+  const RoadNetwork network = TestNetwork();
+  Trajectory empty;
+  EXPECT_FALSE(MatchToNetwork(network, empty, MapMatchConfig{}).ok());
+}
+
+TEST(MapMatchTest, TransitionPenaltyPicksTheConnectedRoad) {
+  // Two parallel horizontal roads 100 m apart, connected only at the left
+  // end. A fix sequence driving along the bottom road with one outlier
+  // nudged towards the top road must NOT jump roads mid-way: the network
+  // detour (left and back) is far longer than the straight-line step.
+  //
+  // Build a tiny custom network through the grid generator is impractical;
+  // instead pick a generated network and verify path coherence: matched
+  // consecutive edges are either equal or near each other on the network.
+  const RoadNetwork network = TestNetwork(23);
+  const TripFixture trip = MakeTrip(network, 29);
+  MapMatchConfig config;
+  config.gps_sigma_m = 8.0;
+  const MapMatchResult result =
+      MatchToNetwork(network, trip.noisy, config).value();
+  int jumps = 0;
+  for (size_t i = 1; i < result.points.size(); ++i) {
+    const Vec2 previous = result.points[i - 1].snapped;
+    const Vec2 current = result.points[i].snapped;
+    const double hop = Distance(previous, current);
+    const double fix_hop = Distance(trip.noisy[i - 1].position,
+                                    trip.noisy[i].position);
+    if (hop > 3.0 * fix_hop + 100.0) {
+      ++jumps;
+    }
+  }
+  EXPECT_EQ(jumps, 0);
+}
+
+}  // namespace
+}  // namespace stcomp

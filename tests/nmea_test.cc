@@ -1,0 +1,124 @@
+#include "stcomp/gps/nmea.h"
+
+#include "stcomp/common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace stcomp {
+namespace {
+
+// A canonical RMC sentence (the classic example fix near Genoa).
+constexpr char kRmc[] =
+    "$GPRMC,225446,A,4916.45,N,12311.12,W,000.5,054.7,191194,020.3,E*68";
+
+TEST(NmeaChecksumTest, KnownVectors) {
+  // XOR of "GPRMC,..." payload must match the stated *68.
+  const std::string_view sentence(kRmc);
+  const std::string_view payload =
+      sentence.substr(1, sentence.size() - 4);
+  EXPECT_EQ(NmeaChecksum(payload), 0x68);
+  EXPECT_EQ(NmeaChecksum(""), 0);
+}
+
+TEST(RmcParseTest, DecodesCanonicalSentence) {
+  const RmcFix fix = ParseRmcSentence(kRmc).value();
+  EXPECT_TRUE(fix.valid);
+  EXPECT_NEAR(fix.position.lat_deg, 49.0 + 16.45 / 60.0, 1e-9);
+  EXPECT_NEAR(fix.position.lon_deg, -(123.0 + 11.12 / 60.0), 1e-9);
+  EXPECT_NEAR(fix.speed_mps, 0.5 * 0.514444, 1e-9);
+  EXPECT_NEAR(fix.course_deg, 54.7, 1e-9);
+  // 1994-11-19 22:54:46 UTC.
+  EXPECT_DOUBLE_EQ(fix.unix_time_s, 785285686.0);
+}
+
+TEST(RmcParseTest, RejectsBadChecksum) {
+  std::string corrupted(kRmc);
+  corrupted[corrupted.size() - 1] = '9';
+  EXPECT_EQ(ParseRmcSentence(corrupted).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(RmcParseTest, NonRmcIsNotFound) {
+  // A GGA sentence with a correct checksum.
+  const std::string payload =
+      "GPGGA,225446,4916.45,N,12311.12,W,1,08,0.9,545.4,M,46.9,M,,";
+  char buffer[8];
+  std::snprintf(buffer, sizeof(buffer), "*%02X",
+                NmeaChecksum(payload));
+  const std::string sentence = "$" + payload + buffer;
+  EXPECT_EQ(ParseRmcSentence(sentence).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RmcParseTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseRmcSentence("").ok());
+  EXPECT_FALSE(ParseRmcSentence("GPRMC no dollar").ok());
+  EXPECT_FALSE(ParseRmcSentence("$GPRMC,225446,A*00").ok());
+}
+
+TEST(NmeaLogTest, ParsesMixedLogSkippingOtherSentences) {
+  const Trajectory source = testutil::Line(5, 10.0, 12.0, 3.0, 0.0, 0.0);
+  const LatLon origin{52.22, 6.89};
+  std::string log = WriteNmea(source, origin);
+  // Interleave a non-RMC sentence (with a valid checksum): it must be
+  // skipped, not fatal.
+  const std::string gsv_payload = "GPGSV,3,1,11,03,03,111,00";
+  log = "$" + gsv_payload +
+        StrFormat("*%02X\n", NmeaChecksum(gsv_payload)) + log;
+  LatLon parsed_origin;
+  const Trajectory parsed = ParseNmea(log, &parsed_origin).value();
+  ASSERT_EQ(parsed.size(), source.size());
+  EXPECT_NEAR(parsed_origin.lat_deg, origin.lat_deg, 1e-6);
+}
+
+TEST(NmeaLogTest, RoundTripPreservesGeometry) {
+  const Trajectory source = testutil::RandomWalk(40, 3);
+  const LatLon origin{52.22, 6.89};
+  const std::string log = WriteNmea(source, origin);
+  const Trajectory parsed = ParseNmea(log, nullptr).value();
+  ASSERT_EQ(parsed.size(), source.size());
+  for (size_t i = 0; i < source.size(); ++i) {
+    // RMC time has 1 ms resolution and minutes carry 4 decimals
+    // (~0.2 m); compare within those quanta. Positions are relative to
+    // the first fix in both frames.
+    EXPECT_NEAR(parsed[i].t - parsed[0].t, source[i].t - source[0].t, 2e-3);
+    const Vec2 source_offset = source[i].position - source[0].position;
+    const Vec2 parsed_offset = parsed[i].position - parsed[0].position;
+    EXPECT_NEAR(parsed_offset.x, source_offset.x, 0.5);
+    EXPECT_NEAR(parsed_offset.y, source_offset.y, 0.5);
+  }
+}
+
+TEST(NmeaLogTest, CorruptionIsFatalEmptyIsInvalid) {
+  const Trajectory source = testutil::Line(3, 10.0, 5.0, 0.0);
+  std::string log = WriteNmea(source, {52.22, 6.89});
+  log[10] = static_cast<char>(log[10] ^ 0x01);  // Flip a payload bit.
+  EXPECT_EQ(ParseNmea(log, nullptr).status().code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(ParseNmea("", nullptr).ok());
+  // Only non-RMC sentences: no usable fix.
+  const std::string gsv_payload = "GPGSV,3,1,11,03,03,111,00";
+  const std::string gsv_only =
+      "$" + gsv_payload + StrFormat("*%02X\n", NmeaChecksum(gsv_payload));
+  EXPECT_EQ(ParseNmea(gsv_only, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NmeaLogTest, WriterEmitsValidChecksums) {
+  const Trajectory source = testutil::Line(4, 10.0, 8.0, 1.0);
+  const std::string log = WriteNmea(source, {52.22, 6.89});
+  int sentences = 0;
+  for (std::string_view line : Split(log, '\n')) {
+    line = StripWhitespace(line);
+    if (line.empty()) {
+      continue;
+    }
+    EXPECT_TRUE(ParseRmcSentence(line).ok()) << line;
+    ++sentences;
+  }
+  EXPECT_EQ(sentences, 4);
+}
+
+}  // namespace
+}  // namespace stcomp

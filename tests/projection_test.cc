@@ -1,0 +1,113 @@
+#include "stcomp/gps/projection.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stcomp/sim/random.h"
+
+namespace stcomp {
+namespace {
+
+// Enschede, the paper's data-collection area.
+constexpr LatLon kEnschede{52.22, 6.89};
+
+TEST(LocalEnuTest, OriginMapsToZero) {
+  const LocalEnuProjection projection =
+      LocalEnuProjection::Create(kEnschede).value();
+  const Vec2 at_origin = projection.Forward(kEnschede);
+  EXPECT_NEAR(at_origin.x, 0.0, 1e-9);
+  EXPECT_NEAR(at_origin.y, 0.0, 1e-9);
+}
+
+TEST(LocalEnuTest, RoundTrip) {
+  const LocalEnuProjection projection =
+      LocalEnuProjection::Create(kEnschede).value();
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const LatLon fix{kEnschede.lat_deg + rng.NextUniform(-0.2, 0.2),
+                     kEnschede.lon_deg + rng.NextUniform(-0.3, 0.3)};
+    const LatLon back = projection.Inverse(projection.Forward(fix));
+    EXPECT_NEAR(back.lat_deg, fix.lat_deg, 1e-12);
+    EXPECT_NEAR(back.lon_deg, fix.lon_deg, 1e-12);
+  }
+}
+
+TEST(LocalEnuTest, DistancesMatchHaversineAtTripScale) {
+  const LocalEnuProjection projection =
+      LocalEnuProjection::Create(kEnschede).value();
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    // Points within ~20 km of the origin.
+    const LatLon a{kEnschede.lat_deg + rng.NextUniform(-0.1, 0.1),
+                   kEnschede.lon_deg + rng.NextUniform(-0.15, 0.15)};
+    const LatLon b{kEnschede.lat_deg + rng.NextUniform(-0.1, 0.1),
+                   kEnschede.lon_deg + rng.NextUniform(-0.15, 0.15)};
+    const double projected = Distance(projection.Forward(a),
+                                      projection.Forward(b));
+    const double great_circle = HaversineDistance(a, b);
+    // Haversine uses a sphere, the projection the ellipsoid: agree to ~0.5%.
+    EXPECT_NEAR(projected, great_circle, 0.005 * great_circle + 0.5);
+  }
+}
+
+TEST(LocalEnuTest, NorthIsPositiveYEastIsPositiveX) {
+  const LocalEnuProjection projection =
+      LocalEnuProjection::Create(kEnschede).value();
+  EXPECT_GT(projection.Forward({kEnschede.lat_deg + 0.01,
+                                kEnschede.lon_deg}).y, 0.0);
+  EXPECT_GT(projection.Forward({kEnschede.lat_deg,
+                                kEnschede.lon_deg + 0.01}).x, 0.0);
+}
+
+TEST(LocalEnuTest, RejectsPolarOrigins) {
+  EXPECT_FALSE(LocalEnuProjection::Create({89.95, 0.0}).ok());
+  EXPECT_FALSE(LocalEnuProjection::Create({0.0, 200.0}).ok());
+}
+
+TEST(TransverseMercatorTest, CentralMeridianMapsToZeroEasting) {
+  const TransverseMercator projection(7.0);
+  const Vec2 on_meridian = projection.Forward({52.0, 7.0});
+  EXPECT_NEAR(on_meridian.x, 0.0, 1e-6);
+  EXPECT_GT(on_meridian.y, 5.7e6);  // ~52 degrees of meridional arc.
+}
+
+TEST(TransverseMercatorTest, RoundTrip) {
+  const TransverseMercator projection(7.0);
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const LatLon fix{rng.NextUniform(-70.0, 70.0),
+                     7.0 + rng.NextUniform(-2.5, 2.5)};
+    const LatLon back = projection.Inverse(projection.Forward(fix));
+    EXPECT_NEAR(back.lat_deg, fix.lat_deg, 1e-8);
+    EXPECT_NEAR(back.lon_deg, fix.lon_deg, 1e-8);
+  }
+}
+
+TEST(TransverseMercatorTest, AgreesWithLocalEnuNearOrigin) {
+  const TransverseMercator tm(kEnschede.lon_deg);
+  const LocalEnuProjection enu =
+      LocalEnuProjection::Create(kEnschede).value();
+  const Vec2 tm_origin = tm.Forward(kEnschede);
+  Rng rng(23);
+  for (int i = 0; i < 30; ++i) {
+    const LatLon fix{kEnschede.lat_deg + rng.NextUniform(-0.05, 0.05),
+                     kEnschede.lon_deg + rng.NextUniform(-0.08, 0.08)};
+    const Vec2 via_tm = tm.Forward(fix) - tm_origin;
+    const Vec2 via_enu = enu.Forward(fix);
+    // Within ~10 km of the origin both frames agree to metres; the TM
+    // scale factor 0.9996 alone contributes up to ~0.04% (~5 m).
+    EXPECT_NEAR(via_tm.x, via_enu.x, 8.0);
+    EXPECT_NEAR(via_tm.y, via_enu.y, 8.0);
+  }
+}
+
+TEST(HaversineTest, KnownDistance) {
+  // Enschede to Amsterdam is ~140 km.
+  const double d = HaversineDistance({52.22, 6.89}, {52.37, 4.90});
+  EXPECT_NEAR(d, 140000.0, 8000.0);
+  EXPECT_DOUBLE_EQ(HaversineDistance(kEnschede, kEnschede), 0.0);
+}
+
+}  // namespace
+}  // namespace stcomp

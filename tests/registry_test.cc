@@ -1,0 +1,93 @@
+#include "stcomp/algo/registry.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace stcomp::algo {
+namespace {
+
+TEST(RegistryTest, ContainsThePaperAlgorithms) {
+  const std::set<std::string> expected = {"ndp",    "nopw",  "bopw",
+                                          "td-tr",  "opw-tr", "opw-sp",
+                                          "td-sp"};
+  std::set<std::string> names;
+  for (const AlgorithmInfo& info : AllAlgorithms()) {
+    names.insert(info.name);
+  }
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(names.contains(name)) << name;
+  }
+}
+
+TEST(RegistryTest, NamesAreUniqueAndDescribed) {
+  std::set<std::string> names;
+  for (const AlgorithmInfo& info : AllAlgorithms()) {
+    EXPECT_TRUE(names.insert(info.name).second) << info.name;
+    EXPECT_FALSE(info.description.empty()) << info.name;
+    EXPECT_NE(info.run, nullptr);
+  }
+}
+
+TEST(RegistryTest, FindByName) {
+  const AlgorithmInfo* info = FindAlgorithm("td-tr").value();
+  EXPECT_EQ(info->name, "td-tr");
+  EXPECT_TRUE(info->spatiotemporal);
+  EXPECT_FALSE(info->online);
+  const AlgorithmInfo* opw = FindAlgorithm("opw-tr").value();
+  EXPECT_TRUE(opw->online);
+}
+
+TEST(RegistryTest, UnknownNameListsAlternatives) {
+  const auto result = FindAlgorithm("bogus");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("td-tr"), std::string::npos);
+}
+
+TEST(RegistryTest, EveryAlgorithmProducesValidOutput) {
+  const Trajectory trajectory = testutil::RandomWalk(80, 42);
+  AlgorithmParams params;
+  params.epsilon_m = 30.0;
+  for (const AlgorithmInfo& info : AllAlgorithms()) {
+    const IndexList kept = info.run(trajectory, params);
+    EXPECT_TRUE(IsValidIndexList(trajectory, kept)) << info.name;
+    EXPECT_GE(kept.size(), 2u) << info.name;
+  }
+}
+
+TEST(RegistryTest, EveryAlgorithmHandlesTinyInputs) {
+  const Trajectory two = testutil::Traj({{0, 0, 0}, {1, 5, 5}});
+  AlgorithmParams params;
+  for (const AlgorithmInfo& info : AllAlgorithms()) {
+    const IndexList kept = info.run(two, params);
+    EXPECT_EQ(kept, (IndexList{0, 1})) << info.name;
+  }
+}
+
+TEST(RegistryTest, SpatiotemporalFlagMatchesBehaviour) {
+  // Spatially-invisible stop: only algorithms flagged spatiotemporal react
+  // (uniform/temporal sampling excepted — they ignore geometry entirely).
+  const Trajectory trajectory = testutil::LineWithStop(10, 10, 10);
+  AlgorithmParams params;
+  params.epsilon_m = 10.0;
+  params.speed_threshold_mps = 5.0;
+  for (const AlgorithmInfo& info : AllAlgorithms()) {
+    if (info.name == "uniform" || info.name == "temporal" ||
+        info.name == "radial") {
+      // Pure-sampling baselines ignore the path geometry altogether.
+      continue;
+    }
+    const IndexList kept = info.run(trajectory, params);
+    if (info.spatiotemporal) {
+      EXPECT_GT(kept.size(), 2u) << info.name;
+    } else {
+      EXPECT_EQ(kept.size(), 2u) << info.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stcomp::algo

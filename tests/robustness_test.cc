@@ -1,0 +1,139 @@
+// Parser robustness sweeps: random and mutated inputs must produce error
+// Statuses, never crashes, hangs, or silent garbage. (The library is
+// exception-free; every parser's failure path is a Status code.)
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "stcomp/gps/csv.h"
+#include "stcomp/gps/gpx.h"
+#include "stcomp/gps/nmea.h"
+#include "stcomp/gps/plt.h"
+#include "stcomp/gps/xml_scanner.h"
+#include "stcomp/sim/random.h"
+#include "stcomp/store/serialization.h"
+#include "test_util.h"
+
+namespace stcomp {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t length, bool printable) {
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    if (printable) {
+      out.push_back(static_cast<char>(32 + rng->NextBelow(95)));
+    } else {
+      out.push_back(static_cast<char>(rng->NextBelow(256)));
+    }
+  }
+  return out;
+}
+
+// Flip a few random bytes of a valid document.
+std::string Mutate(std::string document, Rng* rng, int flips) {
+  for (int i = 0; i < flips && !document.empty(); ++i) {
+    const size_t at = rng->NextBelow(document.size());
+    document[at] = static_cast<char>(rng->NextBelow(256));
+  }
+  return document;
+}
+
+TEST(RobustnessTest, RandomGarbageIntoEveryParser) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const bool printable = trial % 2 == 0;
+    const std::string garbage =
+        RandomBytes(&rng, 1 + rng.NextBelow(300), printable);
+    // None of these may crash; all must return a Status.
+    (void)ParseCsvTrajectory(garbage);
+    (void)ParseGpx(garbage);
+    (void)ParseXml(garbage);
+    (void)ParsePlt(garbage);
+    (void)ParseNmea(garbage, nullptr);
+    (void)ParseRmcSentence(garbage);
+    std::string_view cursor = garbage;
+    (void)DeserializeTrajectory(&cursor);
+    (void)ParseIso8601(garbage);
+  }
+}
+
+TEST(RobustnessTest, MutatedCsvNeverCrashes) {
+  Rng rng(2);
+  const std::string valid =
+      WriteCsvTrajectory(testutil::RandomWalk(30, 3));
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto result =
+        ParseCsvTrajectory(Mutate(valid, &rng, 1 + trial % 4));
+    parsed_ok += result.ok();
+  }
+  // Some single-byte mutations keep the file valid; most must not.
+  EXPECT_LT(parsed_ok, 200);
+}
+
+TEST(RobustnessTest, MutatedGpxNeverCrashes) {
+  Rng rng(3);
+  const std::string valid =
+      WriteGpx(testutil::RandomWalk(20, 4), {52.22, 6.89});
+  for (int trial = 0; trial < 200; ++trial) {
+    (void)ParseGpx(Mutate(valid, &rng, 1 + trial % 6));
+  }
+}
+
+TEST(RobustnessTest, MutatedNmeaNeverAcceptsCorruptPayloads) {
+  Rng rng(4);
+  const std::string valid =
+      WriteNmea(testutil::RandomWalk(10, 5), {52.22, 6.89});
+  int accepted = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = Mutate(valid, &rng, 1);
+    const auto result = ParseNmea(mutated, nullptr);
+    accepted += result.ok() && mutated != valid;
+  }
+  // The XOR checksum catches all single-byte payload flips; the only
+  // accepted mutants are those that only touched line endings or flipped
+  // bytes in ways that keep sentences individually consistent (e.g. a
+  // mutation inside an ignored trailing field) — allow a small number.
+  EXPECT_LT(accepted, 40);
+}
+
+TEST(RobustnessTest, MutatedFramesDetected) {
+  Rng rng(5);
+  const std::string frame =
+      SerializeTrajectory(testutil::RandomWalk(40, 6), Codec::kDelta).value();
+  int accepted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = Mutate(frame, &rng, 1);
+    std::string_view cursor = mutated;
+    const auto result = DeserializeTrajectory(&cursor);
+    accepted += result.ok() && mutated != frame;
+  }
+  // CRC-32 catches every single-byte corruption.
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(RobustnessTest, TruncatedFramesDetected) {
+  const std::string frame =
+      SerializeTrajectory(testutil::RandomWalk(25, 7), Codec::kRaw).value();
+  for (size_t length = 0; length < frame.size(); length += 7) {
+    std::string_view cursor(frame.data(), length);
+    EXPECT_FALSE(DeserializeTrajectory(&cursor).ok()) << "len=" << length;
+  }
+}
+
+TEST(RobustnessTest, DeeplyNestedXmlRejectedNotOverflowed) {
+  std::string document;
+  for (int i = 0; i < 5000; ++i) {
+    document += "<a>";
+  }
+  document += "x";
+  for (int i = 0; i < 5000; ++i) {
+    document += "</a>";
+  }
+  EXPECT_FALSE(ParseXml(document).ok());  // Depth-capped, no stack overflow.
+}
+
+}  // namespace
+}  // namespace stcomp

@@ -1,0 +1,258 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stcomp/core/trajectory_stats.h"
+#include "stcomp/sim/gps_noise.h"
+#include "stcomp/sim/paper_dataset.h"
+#include "stcomp/sim/random.h"
+#include "stcomp/sim/road_network.h"
+#include "stcomp/sim/trip_generator.h"
+#include "test_util.h"
+
+namespace stcomp {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.NextUint64() == b.NextUint64();
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.NextUniform(-5.0, 5.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 5.0);
+    EXPECT_LT(rng.NextBelow(7), 7u);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.NextBool(0.3);
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RoadNetworkTest, GeneratesExpectedShape) {
+  RoadNetworkConfig config;
+  config.grid_width = 10;
+  config.grid_height = 8;
+  const RoadNetwork network = RoadNetwork::Generate(config, 1);
+  EXPECT_EQ(network.nodes().size(), 80u);
+  EXPECT_GT(network.edges().size(), 100u);
+  for (const RoadEdge& edge : network.edges()) {
+    EXPECT_GT(edge.length_m, 0.0);
+    EXPECT_GT(edge.speed_limit_mps, 0.0);
+  }
+}
+
+TEST(RoadNetworkTest, DeterministicInSeed) {
+  RoadNetworkConfig config;
+  const RoadNetwork a = RoadNetwork::Generate(config, 9);
+  const RoadNetwork b = RoadNetwork::Generate(config, 9);
+  ASSERT_EQ(a.edges().size(), b.edges().size());
+  EXPECT_EQ(a.nodes()[5].position, b.nodes()[5].position);
+}
+
+TEST(RoadNetworkTest, RouteConnectsEndpoints) {
+  RoadNetworkConfig config;
+  config.grid_width = 12;
+  config.grid_height = 12;
+  const RoadNetwork network = RoadNetwork::Generate(config, 2);
+  const auto route = network.Route(0, 143);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->front(), 0);
+  EXPECT_EQ(route->back(), 143);
+  // Consecutive route nodes share an edge.
+  for (size_t i = 0; i + 1 < route->size(); ++i) {
+    bool connected = false;
+    for (int e : network.AdjacentEdges((*route)[i])) {
+      const RoadEdge& edge = network.edges()[static_cast<size_t>(e)];
+      connected |= edge.from == (*route)[i + 1] || edge.to == (*route)[i + 1];
+    }
+    EXPECT_TRUE(connected) << "hop " << i;
+  }
+}
+
+TEST(RoadNetworkTest, RouteWithLengthApproximatesTarget) {
+  RoadNetworkConfig config;
+  config.grid_width = 24;
+  config.grid_height = 24;
+  const RoadNetwork network = RoadNetwork::Generate(config, 3);
+  const auto route = network.RouteWithLength(24 * 12 + 12, 5000.0);
+  ASSERT_TRUE(route.ok());
+  double length = 0.0;
+  for (size_t i = 0; i + 1 < route->size(); ++i) {
+    length += Distance(
+        network.nodes()[static_cast<size_t>((*route)[i])].position,
+        network.nodes()[static_cast<size_t>((*route)[i + 1])].position);
+  }
+  EXPECT_NEAR(length, 5000.0, 1500.0);
+}
+
+TEST(GpsNoiseTest, PreservesTimestampsAndCount) {
+  const Trajectory clean = testutil::Line(50, 10.0, 10.0, 0.0);
+  Rng rng(11);
+  const Trajectory noisy = AddGpsNoise(clean, GpsNoiseConfig{}, &rng);
+  ASSERT_EQ(noisy.size(), clean.size());
+  for (size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_DOUBLE_EQ(noisy[i].t, clean[i].t);
+  }
+}
+
+TEST(GpsNoiseTest, NoiseMagnitudeMatchesSigma) {
+  const Trajectory clean = testutil::Line(5000, 10.0, 0.0, 0.0);
+  GpsNoiseConfig config;
+  config.sigma_m = 4.0;
+  Rng rng(13);
+  const Trajectory noisy = AddGpsNoise(clean, config, &rng);
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < clean.size(); ++i) {
+    sum_sq += SquaredDistance(noisy[i].position, clean[i].position);
+  }
+  // E[|noise|^2] = 2 sigma^2 (two axes).
+  EXPECT_NEAR(sum_sq / static_cast<double>(clean.size()),
+              2.0 * config.sigma_m * config.sigma_m, 4.0);
+}
+
+TEST(GpsNoiseTest, NoiseIsAutocorrelated) {
+  const Trajectory clean = testutil::Line(5000, 10.0, 0.0, 0.0);
+  GpsNoiseConfig config;
+  config.sigma_m = 4.0;
+  config.correlation_time_s = 25.0;
+  Rng rng(17);
+  const Trajectory noisy = AddGpsNoise(clean, config, &rng);
+  // Lag-1 autocorrelation of the x-axis noise should be near
+  // exp(-10/25) ~ 0.67, far from iid's 0.
+  double c0 = 0.0;
+  double c1 = 0.0;
+  for (size_t i = 0; i + 1 < clean.size(); ++i) {
+    const double a = noisy[i].position.x - clean[i].position.x;
+    const double b = noisy[i + 1].position.x - clean[i + 1].position.x;
+    c0 += a * a;
+    c1 += a * b;
+  }
+  EXPECT_NEAR(c1 / c0, std::exp(-10.0 / 25.0), 0.08);
+}
+
+TEST(TripGeneratorTest, ProducesDrivableTrajectory) {
+  RoadNetworkConfig network_config;
+  const RoadNetwork network = RoadNetwork::Generate(network_config, 21);
+  TripConfig config;
+  config.target_length_m = 8000.0;
+  Rng rng(23);
+  const Trajectory trip = GenerateTrip(network, config, -1, &rng).value();
+  ASSERT_GE(trip.size(), 10u);
+  // 10-second sampling.
+  for (size_t i = 1; i < trip.size() - 1; ++i) {
+    EXPECT_NEAR(trip[i].t - trip[i - 1].t, 10.0, 1e-9);
+  }
+  // No physically absurd speeds (limits max ~25 m/s * factor).
+  for (double v : trip.SegmentSpeeds()) {
+    EXPECT_LE(v, 40.0);
+  }
+  // Roughly the requested length.
+  EXPECT_NEAR(trip.Length(), 8000.0, 4000.0);
+}
+
+TEST(TripGeneratorTest, DeterministicGivenSeedAndStart) {
+  RoadNetworkConfig network_config;
+  const RoadNetwork network = RoadNetwork::Generate(network_config, 25);
+  TripConfig config;
+  Rng rng_a(31);
+  Rng rng_b(31);
+  const Trajectory a = GenerateTrip(network, config, 10, &rng_a).value();
+  const Trajectory b = GenerateTrip(network, config, 10, &rng_b).value();
+  EXPECT_EQ(a.points(), b.points());
+}
+
+TEST(TripGeneratorTest, ContainsSpeedVariation) {
+  RoadNetworkConfig network_config;
+  const RoadNetwork network = RoadNetwork::Generate(network_config, 27);
+  TripConfig config;
+  config.target_length_m = 15000.0;
+  config.stop_probability = 0.8;
+  Rng rng(33);
+  const Trajectory trip = GenerateTrip(network, config, -1, &rng).value();
+  const std::vector<double> speeds = trip.SegmentSpeeds();
+  const double fastest = *std::max_element(speeds.begin(), speeds.end());
+  const double slowest = *std::min_element(speeds.begin(), speeds.end());
+  EXPECT_GT(fastest, 10.0);
+  EXPECT_LT(slowest, 2.0);  // Stops produce near-zero segments.
+}
+
+TEST(PaperDatasetTest, TenNamedTrajectories) {
+  PaperDatasetConfig config;
+  const std::vector<Trajectory> dataset = GeneratePaperDataset(config);
+  ASSERT_EQ(dataset.size(), 10u);
+  EXPECT_EQ(dataset[0].name(), "trace-0");
+  EXPECT_EQ(dataset[9].name(), "trace-9");
+  for (const Trajectory& trajectory : dataset) {
+    EXPECT_GE(trajectory.size(), 30u);
+  }
+}
+
+TEST(PaperDatasetTest, DeterministicInSeed) {
+  PaperDatasetConfig config;
+  const auto a = GeneratePaperDataset(config);
+  const auto b = GeneratePaperDataset(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].points(), b[i].points()) << "trace " << i;
+  }
+}
+
+TEST(PaperDatasetTest, StatisticsLandNearTable2) {
+  PaperDatasetConfig config;
+  const DatasetStats stats = ComputeDatasetStats(GeneratePaperDataset(config));
+  const Table2Reference reference;
+  // Shape-level agreement: within ~40% of the paper's means.
+  EXPECT_NEAR(stats.duration_s.mean, reference.duration_mean_s,
+              0.4 * reference.duration_mean_s);
+  EXPECT_NEAR(stats.avg_speed_mps.mean, reference.speed_mean_mps,
+              0.4 * reference.speed_mean_mps);
+  EXPECT_NEAR(stats.length_m.mean, reference.length_mean_m,
+              0.4 * reference.length_mean_m);
+  EXPECT_NEAR(stats.num_points.mean, reference.num_points_mean,
+              0.4 * reference.num_points_mean);
+  // And the spread is substantial, as in the paper.
+  EXPECT_GT(stats.length_m.sd, 0.3 * stats.length_m.mean);
+}
+
+}  // namespace
+}  // namespace stcomp

@@ -1,0 +1,192 @@
+#include "stcomp/core/trajectory.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stcomp/core/interpolation.h"
+#include "stcomp/core/trajectory_stats.h"
+#include "test_util.h"
+
+namespace stcomp {
+namespace {
+
+using testutil::Line;
+using testutil::Traj;
+
+TEST(TrajectoryTest, FromPointsValid) {
+  const auto result =
+      Trajectory::FromPoints({{0.0, 0.0, 0.0}, {1.0, 1.0, 0.0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(TrajectoryTest, FromPointsRejectsNonMonotone) {
+  EXPECT_FALSE(
+      Trajectory::FromPoints({{1.0, 0.0, 0.0}, {1.0, 1.0, 0.0}}).ok());
+  EXPECT_FALSE(
+      Trajectory::FromPoints({{2.0, 0.0, 0.0}, {1.0, 1.0, 0.0}}).ok());
+}
+
+TEST(TrajectoryTest, FromUnorderedSortsAndDeduplicates) {
+  const Trajectory trajectory = Trajectory::FromUnordered(
+      {{3.0, 3.0, 0.0}, {1.0, 1.0, 0.0}, {3.0, 9.0, 0.0}, {2.0, 2.0, 0.0}});
+  ASSERT_EQ(trajectory.size(), 3u);
+  EXPECT_DOUBLE_EQ(trajectory[0].t, 1.0);
+  EXPECT_DOUBLE_EQ(trajectory[2].t, 3.0);
+  // First occurrence wins on duplicate timestamps.
+  EXPECT_DOUBLE_EQ(trajectory[2].position.x, 3.0);
+}
+
+TEST(TrajectoryTest, AppendEnforcesOrder) {
+  Trajectory trajectory;
+  EXPECT_TRUE(trajectory.Append({0.0, 0.0, 0.0}).ok());
+  EXPECT_TRUE(trajectory.Append({1.0, 1.0, 1.0}).ok());
+  EXPECT_FALSE(trajectory.Append({1.0, 2.0, 2.0}).ok());
+  EXPECT_FALSE(trajectory.Append({0.5, 2.0, 2.0}).ok());
+  EXPECT_EQ(trajectory.size(), 2u);
+}
+
+TEST(TrajectoryTest, DurationLengthDisplacement) {
+  // Out 300 m east in 30 s, back 300 m west in 30 s.
+  const Trajectory trajectory =
+      Traj({{0, 0, 0}, {30, 300, 0}, {60, 0, 0}});
+  EXPECT_DOUBLE_EQ(trajectory.Duration(), 60.0);
+  EXPECT_DOUBLE_EQ(trajectory.Length(), 600.0);
+  EXPECT_DOUBLE_EQ(trajectory.Displacement(), 0.0);
+  EXPECT_DOUBLE_EQ(trajectory.AverageSpeed(), 10.0);
+}
+
+TEST(TrajectoryTest, EmptyAndSingletonEdgeCases) {
+  Trajectory empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.Duration(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Length(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.AverageSpeed(), 0.0);
+  EXPECT_FALSE(empty.PositionAt(0.0).ok());
+
+  const Trajectory single = Traj({{5.0, 1.0, 2.0}});
+  EXPECT_DOUBLE_EQ(single.Duration(), 0.0);
+  EXPECT_DOUBLE_EQ(single.Displacement(), 0.0);
+  EXPECT_EQ(single.PositionAt(5.0).value(), Vec2(1.0, 2.0));
+}
+
+TEST(TrajectoryTest, PositionAtInterpolatesLinearly) {
+  const Trajectory trajectory = Traj({{0, 0, 0}, {10, 100, 50}});
+  EXPECT_EQ(trajectory.PositionAt(0.0).value(), Vec2(0, 0));
+  EXPECT_EQ(trajectory.PositionAt(10.0).value(), Vec2(100, 50));
+  EXPECT_EQ(trajectory.PositionAt(2.5).value(), Vec2(25, 12.5));
+}
+
+TEST(TrajectoryTest, PositionAtHitsSamplesExactly) {
+  const Trajectory trajectory = Traj({{0, 0, 0}, {10, 7, 7}, {20, 0, 0}});
+  EXPECT_EQ(trajectory.PositionAt(10.0).value(), Vec2(7, 7));
+}
+
+TEST(TrajectoryTest, PositionAtOutOfRange) {
+  const Trajectory trajectory = Traj({{0, 0, 0}, {10, 1, 1}});
+  EXPECT_EQ(trajectory.PositionAt(-0.1).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(trajectory.PositionAt(10.1).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(TrajectoryTest, SliceInclusive) {
+  const Trajectory trajectory = Line(10, 1.0, 1.0, 0.0);
+  const Trajectory slice = trajectory.Slice(2, 5);
+  ASSERT_EQ(slice.size(), 4u);
+  EXPECT_DOUBLE_EQ(slice.front().t, 2.0);
+  EXPECT_DOUBLE_EQ(slice.back().t, 5.0);
+}
+
+TEST(TrajectoryTest, SubsetPicksIndices) {
+  const Trajectory trajectory = Line(10, 1.0, 2.0, 0.0);
+  const Trajectory subset = trajectory.Subset({0, 4, 9});
+  ASSERT_EQ(subset.size(), 3u);
+  EXPECT_DOUBLE_EQ(subset[1].t, 4.0);
+  EXPECT_DOUBLE_EQ(subset[1].position.x, 8.0);
+}
+
+TEST(TrajectoryTest, SegmentSpeeds) {
+  const Trajectory trajectory = Traj({{0, 0, 0}, {10, 100, 0}, {20, 100, 0}});
+  EXPECT_DOUBLE_EQ(trajectory.SegmentSpeed(0), 10.0);
+  EXPECT_DOUBLE_EQ(trajectory.SegmentSpeed(1), 0.0);
+  const auto speeds = trajectory.SegmentSpeeds();
+  ASSERT_EQ(speeds.size(), 2u);
+  EXPECT_DOUBLE_EQ(speeds[0], 10.0);
+}
+
+TEST(TrajectoryTest, NamePropagatesThroughSliceAndSubset) {
+  Trajectory trajectory = Line(5, 1.0, 1.0, 0.0);
+  trajectory.set_name("trip");
+  EXPECT_EQ(trajectory.Slice(0, 2).name(), "trip");
+  EXPECT_EQ(trajectory.Subset({0, 4}).name(), "trip");
+}
+
+TEST(InterpolationTest, InterpolatePositionBasics) {
+  const TimedPoint a{0.0, 0.0, 0.0};
+  const TimedPoint b{10.0, 100.0, -40.0};
+  EXPECT_EQ(InterpolatePosition(a, b, 0.0), Vec2(0, 0));
+  EXPECT_EQ(InterpolatePosition(a, b, 10.0), Vec2(100, -40));
+  EXPECT_EQ(InterpolatePosition(a, b, 5.0), Vec2(50, -20));
+}
+
+TEST(InterpolationTest, TimeRatioPositionMatchesPaperFormula) {
+  // Paper Eqs. 1-2 with delta_i / delta_e = 3/10.
+  const TimedPoint anchor{100.0, 10.0, 20.0};
+  const TimedPoint probe{110.0, 30.0, 60.0};
+  const TimedPoint point{103.0, 0.0, 0.0};
+  const Vec2 approx = TimeRatioPosition(anchor, probe, point);
+  EXPECT_DOUBLE_EQ(approx.x, 10.0 + 0.3 * 20.0);
+  EXPECT_DOUBLE_EQ(approx.y, 20.0 + 0.3 * 40.0);
+}
+
+TEST(InterpolationTest, SynchronizedDistanceZeroWhenOnSchedule) {
+  const TimedPoint anchor{0.0, 0.0, 0.0};
+  const TimedPoint probe{10.0, 100.0, 0.0};
+  const TimedPoint on{4.0, 40.0, 0.0};
+  EXPECT_DOUBLE_EQ(SynchronizedDistance(anchor, probe, on), 0.0);
+}
+
+TEST(InterpolationTest, SynchronizedDistanceSeesTemporalDeviation) {
+  // The point lies ON the segment spatially, but is reached too early:
+  // perpendicular distance would be 0, SED is not (the paper's key point).
+  const TimedPoint anchor{0.0, 0.0, 0.0};
+  const TimedPoint probe{10.0, 100.0, 0.0};
+  const TimedPoint early{2.0, 80.0, 0.0};
+  EXPECT_DOUBLE_EQ(SynchronizedDistance(anchor, probe, early), 60.0);
+}
+
+TEST(StatsTest, ComputeStatsMatchesTrajectory) {
+  const Trajectory trajectory = Line(11, 10.0, 5.0, 0.0);  // 100 s, 500 m.
+  const TrajectoryStats stats = ComputeStats(trajectory);
+  EXPECT_DOUBLE_EQ(stats.duration_s, 100.0);
+  EXPECT_DOUBLE_EQ(stats.length_m, 500.0);
+  EXPECT_DOUBLE_EQ(stats.displacement_m, 500.0);
+  EXPECT_DOUBLE_EQ(stats.avg_speed_mps, 5.0);
+  EXPECT_EQ(stats.num_points, 11u);
+}
+
+TEST(StatsTest, MeanSd) {
+  const MeanSd stats = ComputeMeanSd({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_NEAR(stats.sd, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, MeanSdEdgeCases) {
+  EXPECT_DOUBLE_EQ(ComputeMeanSd({}).mean, 0.0);
+  EXPECT_DOUBLE_EQ(ComputeMeanSd({3.0}).mean, 3.0);
+  EXPECT_DOUBLE_EQ(ComputeMeanSd({3.0}).sd, 0.0);
+}
+
+TEST(StatsTest, DatasetStatsAggregates) {
+  const std::vector<Trajectory> dataset = {Line(11, 10.0, 5.0, 0.0),
+                                           Line(21, 10.0, 10.0, 0.0)};
+  const DatasetStats stats = ComputeDatasetStats(dataset);
+  EXPECT_DOUBLE_EQ(stats.num_points.mean, 16.0);
+  EXPECT_DOUBLE_EQ(stats.duration_s.mean, 150.0);
+  EXPECT_DOUBLE_EQ(stats.avg_speed_mps.mean, 7.5);
+}
+
+}  // namespace
+}  // namespace stcomp
