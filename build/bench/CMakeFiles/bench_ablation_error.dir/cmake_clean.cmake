@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_error.dir/bench_ablation_error.cc.o"
+  "CMakeFiles/bench_ablation_error.dir/bench_ablation_error.cc.o.d"
+  "bench_ablation_error"
+  "bench_ablation_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

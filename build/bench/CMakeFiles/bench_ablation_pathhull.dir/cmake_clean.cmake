@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pathhull.dir/bench_ablation_pathhull.cc.o"
+  "CMakeFiles/bench_ablation_pathhull.dir/bench_ablation_pathhull.cc.o.d"
+  "bench_ablation_pathhull"
+  "bench_ablation_pathhull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pathhull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figs1to3.dir/bench_figs1to3.cc.o"
+  "CMakeFiles/bench_figs1to3.dir/bench_figs1to3.cc.o.d"
+  "bench_figs1to3"
+  "bench_figs1to3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figs1to3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

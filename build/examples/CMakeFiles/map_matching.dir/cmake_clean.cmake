@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_matching.dir/map_matching.cpp.o"
+  "CMakeFiles/map_matching.dir/map_matching.cpp.o.d"
+  "map_matching"
+  "map_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

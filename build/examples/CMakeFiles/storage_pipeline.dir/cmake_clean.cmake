@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_pipeline.dir/storage_pipeline.cpp.o"
+  "CMakeFiles/storage_pipeline.dir/storage_pipeline.cpp.o.d"
+  "storage_pipeline"
+  "storage_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

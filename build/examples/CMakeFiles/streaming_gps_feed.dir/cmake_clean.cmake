@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_gps_feed.dir/streaming_gps_feed.cpp.o"
+  "CMakeFiles/streaming_gps_feed.dir/streaming_gps_feed.cpp.o.d"
+  "streaming_gps_feed"
+  "streaming_gps_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_gps_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

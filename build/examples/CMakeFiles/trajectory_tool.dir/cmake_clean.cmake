@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_tool.dir/trajectory_tool.cpp.o"
+  "CMakeFiles/trajectory_tool.dir/trajectory_tool.cpp.o.d"
+  "trajectory_tool"
+  "trajectory_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stcomp/algo/angular.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/angular.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/angular.cc.o.d"
+  "/root/repo/src/stcomp/algo/bottom_up.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/bottom_up.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/bottom_up.cc.o.d"
+  "/root/repo/src/stcomp/algo/compression.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/compression.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/compression.cc.o.d"
+  "/root/repo/src/stcomp/algo/douglas_peucker.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/douglas_peucker.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/douglas_peucker.cc.o.d"
+  "/root/repo/src/stcomp/algo/opening_window.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/opening_window.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/opening_window.cc.o.d"
+  "/root/repo/src/stcomp/algo/path_hull.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/path_hull.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/path_hull.cc.o.d"
+  "/root/repo/src/stcomp/algo/perpendicular.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/perpendicular.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/perpendicular.cc.o.d"
+  "/root/repo/src/stcomp/algo/radial_distance.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/radial_distance.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/radial_distance.cc.o.d"
+  "/root/repo/src/stcomp/algo/registry.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/registry.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/registry.cc.o.d"
+  "/root/repo/src/stcomp/algo/reumann_witkam.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/reumann_witkam.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/reumann_witkam.cc.o.d"
+  "/root/repo/src/stcomp/algo/sampling.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/sampling.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/sampling.cc.o.d"
+  "/root/repo/src/stcomp/algo/sliding_window.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/sliding_window.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/sliding_window.cc.o.d"
+  "/root/repo/src/stcomp/algo/spatiotemporal.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/spatiotemporal.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/spatiotemporal.cc.o.d"
+  "/root/repo/src/stcomp/algo/squish.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/squish.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/squish.cc.o.d"
+  "/root/repo/src/stcomp/algo/time_ratio.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/time_ratio.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/time_ratio.cc.o.d"
+  "/root/repo/src/stcomp/algo/visvalingam.cc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/visvalingam.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_algo.dir/algo/visvalingam.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

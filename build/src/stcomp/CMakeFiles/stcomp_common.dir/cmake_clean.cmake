@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcomp_common.dir/common/flags.cc.o"
+  "CMakeFiles/stcomp_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/stcomp_common.dir/common/status.cc.o"
+  "CMakeFiles/stcomp_common.dir/common/status.cc.o.d"
+  "CMakeFiles/stcomp_common.dir/common/strings.cc.o"
+  "CMakeFiles/stcomp_common.dir/common/strings.cc.o.d"
+  "libstcomp_common.a"
+  "libstcomp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcomp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

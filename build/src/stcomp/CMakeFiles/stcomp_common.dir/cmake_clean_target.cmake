@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstcomp_common.a"
+)

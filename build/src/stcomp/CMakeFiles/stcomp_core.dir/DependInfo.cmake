@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stcomp/core/interpolation.cc" "src/stcomp/CMakeFiles/stcomp_core.dir/core/interpolation.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_core.dir/core/interpolation.cc.o.d"
+  "/root/repo/src/stcomp/core/kinematics.cc" "src/stcomp/CMakeFiles/stcomp_core.dir/core/kinematics.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_core.dir/core/kinematics.cc.o.d"
+  "/root/repo/src/stcomp/core/spline.cc" "src/stcomp/CMakeFiles/stcomp_core.dir/core/spline.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_core.dir/core/spline.cc.o.d"
+  "/root/repo/src/stcomp/core/trajectory.cc" "src/stcomp/CMakeFiles/stcomp_core.dir/core/trajectory.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_core.dir/core/trajectory.cc.o.d"
+  "/root/repo/src/stcomp/core/trajectory_stats.cc" "src/stcomp/CMakeFiles/stcomp_core.dir/core/trajectory_stats.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_core.dir/core/trajectory_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcomp_core.dir/core/interpolation.cc.o"
+  "CMakeFiles/stcomp_core.dir/core/interpolation.cc.o.d"
+  "CMakeFiles/stcomp_core.dir/core/kinematics.cc.o"
+  "CMakeFiles/stcomp_core.dir/core/kinematics.cc.o.d"
+  "CMakeFiles/stcomp_core.dir/core/spline.cc.o"
+  "CMakeFiles/stcomp_core.dir/core/spline.cc.o.d"
+  "CMakeFiles/stcomp_core.dir/core/trajectory.cc.o"
+  "CMakeFiles/stcomp_core.dir/core/trajectory.cc.o.d"
+  "CMakeFiles/stcomp_core.dir/core/trajectory_stats.cc.o"
+  "CMakeFiles/stcomp_core.dir/core/trajectory_stats.cc.o.d"
+  "libstcomp_core.a"
+  "libstcomp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcomp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stcomp/error/clustering.cc" "src/stcomp/CMakeFiles/stcomp_error.dir/error/clustering.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_error.dir/error/clustering.cc.o.d"
+  "/root/repo/src/stcomp/error/cubic_error.cc" "src/stcomp/CMakeFiles/stcomp_error.dir/error/cubic_error.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_error.dir/error/cubic_error.cc.o.d"
+  "/root/repo/src/stcomp/error/evaluation.cc" "src/stcomp/CMakeFiles/stcomp_error.dir/error/evaluation.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_error.dir/error/evaluation.cc.o.d"
+  "/root/repo/src/stcomp/error/integration.cc" "src/stcomp/CMakeFiles/stcomp_error.dir/error/integration.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_error.dir/error/integration.cc.o.d"
+  "/root/repo/src/stcomp/error/similarity.cc" "src/stcomp/CMakeFiles/stcomp_error.dir/error/similarity.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_error.dir/error/similarity.cc.o.d"
+  "/root/repo/src/stcomp/error/spatial_error.cc" "src/stcomp/CMakeFiles/stcomp_error.dir/error/spatial_error.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_error.dir/error/spatial_error.cc.o.d"
+  "/root/repo/src/stcomp/error/synchronous_error.cc" "src/stcomp/CMakeFiles/stcomp_error.dir/error/synchronous_error.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_error.dir/error/synchronous_error.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

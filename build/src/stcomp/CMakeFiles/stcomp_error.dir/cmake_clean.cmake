@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcomp_error.dir/error/clustering.cc.o"
+  "CMakeFiles/stcomp_error.dir/error/clustering.cc.o.d"
+  "CMakeFiles/stcomp_error.dir/error/cubic_error.cc.o"
+  "CMakeFiles/stcomp_error.dir/error/cubic_error.cc.o.d"
+  "CMakeFiles/stcomp_error.dir/error/evaluation.cc.o"
+  "CMakeFiles/stcomp_error.dir/error/evaluation.cc.o.d"
+  "CMakeFiles/stcomp_error.dir/error/integration.cc.o"
+  "CMakeFiles/stcomp_error.dir/error/integration.cc.o.d"
+  "CMakeFiles/stcomp_error.dir/error/similarity.cc.o"
+  "CMakeFiles/stcomp_error.dir/error/similarity.cc.o.d"
+  "CMakeFiles/stcomp_error.dir/error/spatial_error.cc.o"
+  "CMakeFiles/stcomp_error.dir/error/spatial_error.cc.o.d"
+  "CMakeFiles/stcomp_error.dir/error/synchronous_error.cc.o"
+  "CMakeFiles/stcomp_error.dir/error/synchronous_error.cc.o.d"
+  "libstcomp_error.a"
+  "libstcomp_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcomp_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcomp_exp.dir/exp/figures.cc.o"
+  "CMakeFiles/stcomp_exp.dir/exp/figures.cc.o.d"
+  "CMakeFiles/stcomp_exp.dir/exp/sweep.cc.o"
+  "CMakeFiles/stcomp_exp.dir/exp/sweep.cc.o.d"
+  "CMakeFiles/stcomp_exp.dir/exp/table.cc.o"
+  "CMakeFiles/stcomp_exp.dir/exp/table.cc.o.d"
+  "libstcomp_exp.a"
+  "libstcomp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcomp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcomp_geom.dir/geom/geometry.cc.o"
+  "CMakeFiles/stcomp_geom.dir/geom/geometry.cc.o.d"
+  "libstcomp_geom.a"
+  "libstcomp_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcomp_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

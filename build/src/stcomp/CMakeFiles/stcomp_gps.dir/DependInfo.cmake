@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stcomp/gps/civil_time.cc" "src/stcomp/CMakeFiles/stcomp_gps.dir/gps/civil_time.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_gps.dir/gps/civil_time.cc.o.d"
+  "/root/repo/src/stcomp/gps/csv.cc" "src/stcomp/CMakeFiles/stcomp_gps.dir/gps/csv.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_gps.dir/gps/csv.cc.o.d"
+  "/root/repo/src/stcomp/gps/gpx.cc" "src/stcomp/CMakeFiles/stcomp_gps.dir/gps/gpx.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_gps.dir/gps/gpx.cc.o.d"
+  "/root/repo/src/stcomp/gps/nmea.cc" "src/stcomp/CMakeFiles/stcomp_gps.dir/gps/nmea.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_gps.dir/gps/nmea.cc.o.d"
+  "/root/repo/src/stcomp/gps/plt.cc" "src/stcomp/CMakeFiles/stcomp_gps.dir/gps/plt.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_gps.dir/gps/plt.cc.o.d"
+  "/root/repo/src/stcomp/gps/projection.cc" "src/stcomp/CMakeFiles/stcomp_gps.dir/gps/projection.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_gps.dir/gps/projection.cc.o.d"
+  "/root/repo/src/stcomp/gps/xml_scanner.cc" "src/stcomp/CMakeFiles/stcomp_gps.dir/gps/xml_scanner.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_gps.dir/gps/xml_scanner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

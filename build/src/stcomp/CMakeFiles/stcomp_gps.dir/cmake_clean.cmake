@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcomp_gps.dir/gps/civil_time.cc.o"
+  "CMakeFiles/stcomp_gps.dir/gps/civil_time.cc.o.d"
+  "CMakeFiles/stcomp_gps.dir/gps/csv.cc.o"
+  "CMakeFiles/stcomp_gps.dir/gps/csv.cc.o.d"
+  "CMakeFiles/stcomp_gps.dir/gps/gpx.cc.o"
+  "CMakeFiles/stcomp_gps.dir/gps/gpx.cc.o.d"
+  "CMakeFiles/stcomp_gps.dir/gps/nmea.cc.o"
+  "CMakeFiles/stcomp_gps.dir/gps/nmea.cc.o.d"
+  "CMakeFiles/stcomp_gps.dir/gps/plt.cc.o"
+  "CMakeFiles/stcomp_gps.dir/gps/plt.cc.o.d"
+  "CMakeFiles/stcomp_gps.dir/gps/projection.cc.o"
+  "CMakeFiles/stcomp_gps.dir/gps/projection.cc.o.d"
+  "CMakeFiles/stcomp_gps.dir/gps/xml_scanner.cc.o"
+  "CMakeFiles/stcomp_gps.dir/gps/xml_scanner.cc.o.d"
+  "libstcomp_gps.a"
+  "libstcomp_gps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcomp_gps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/stcomp/CMakeFiles/stcomp_gps.dir/gps/civil_time.cc.o: \
+ /root/repo/src/stcomp/gps/civil_time.cc /usr/include/stdc-predef.h \
+ /root/repo/src/stcomp/gps/civil_time.h

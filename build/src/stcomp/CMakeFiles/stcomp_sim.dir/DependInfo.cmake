@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stcomp/sim/gps_noise.cc" "src/stcomp/CMakeFiles/stcomp_sim.dir/sim/gps_noise.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_sim.dir/sim/gps_noise.cc.o.d"
+  "/root/repo/src/stcomp/sim/map_matching.cc" "src/stcomp/CMakeFiles/stcomp_sim.dir/sim/map_matching.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_sim.dir/sim/map_matching.cc.o.d"
+  "/root/repo/src/stcomp/sim/paper_dataset.cc" "src/stcomp/CMakeFiles/stcomp_sim.dir/sim/paper_dataset.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_sim.dir/sim/paper_dataset.cc.o.d"
+  "/root/repo/src/stcomp/sim/random.cc" "src/stcomp/CMakeFiles/stcomp_sim.dir/sim/random.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_sim.dir/sim/random.cc.o.d"
+  "/root/repo/src/stcomp/sim/road_network.cc" "src/stcomp/CMakeFiles/stcomp_sim.dir/sim/road_network.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_sim.dir/sim/road_network.cc.o.d"
+  "/root/repo/src/stcomp/sim/trip_generator.cc" "src/stcomp/CMakeFiles/stcomp_sim.dir/sim/trip_generator.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_sim.dir/sim/trip_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcomp_sim.dir/sim/gps_noise.cc.o"
+  "CMakeFiles/stcomp_sim.dir/sim/gps_noise.cc.o.d"
+  "CMakeFiles/stcomp_sim.dir/sim/map_matching.cc.o"
+  "CMakeFiles/stcomp_sim.dir/sim/map_matching.cc.o.d"
+  "CMakeFiles/stcomp_sim.dir/sim/paper_dataset.cc.o"
+  "CMakeFiles/stcomp_sim.dir/sim/paper_dataset.cc.o.d"
+  "CMakeFiles/stcomp_sim.dir/sim/random.cc.o"
+  "CMakeFiles/stcomp_sim.dir/sim/random.cc.o.d"
+  "CMakeFiles/stcomp_sim.dir/sim/road_network.cc.o"
+  "CMakeFiles/stcomp_sim.dir/sim/road_network.cc.o.d"
+  "CMakeFiles/stcomp_sim.dir/sim/trip_generator.cc.o"
+  "CMakeFiles/stcomp_sim.dir/sim/trip_generator.cc.o.d"
+  "libstcomp_sim.a"
+  "libstcomp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcomp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

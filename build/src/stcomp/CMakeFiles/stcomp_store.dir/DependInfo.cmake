@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stcomp/store/codec.cc" "src/stcomp/CMakeFiles/stcomp_store.dir/store/codec.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_store.dir/store/codec.cc.o.d"
+  "/root/repo/src/stcomp/store/grid_index.cc" "src/stcomp/CMakeFiles/stcomp_store.dir/store/grid_index.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_store.dir/store/grid_index.cc.o.d"
+  "/root/repo/src/stcomp/store/serialization.cc" "src/stcomp/CMakeFiles/stcomp_store.dir/store/serialization.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_store.dir/store/serialization.cc.o.d"
+  "/root/repo/src/stcomp/store/trajectory_store.cc" "src/stcomp/CMakeFiles/stcomp_store.dir/store/trajectory_store.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_store.dir/store/trajectory_store.cc.o.d"
+  "/root/repo/src/stcomp/store/varint.cc" "src/stcomp/CMakeFiles/stcomp_store.dir/store/varint.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_store.dir/store/varint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcomp_store.dir/store/codec.cc.o"
+  "CMakeFiles/stcomp_store.dir/store/codec.cc.o.d"
+  "CMakeFiles/stcomp_store.dir/store/grid_index.cc.o"
+  "CMakeFiles/stcomp_store.dir/store/grid_index.cc.o.d"
+  "CMakeFiles/stcomp_store.dir/store/serialization.cc.o"
+  "CMakeFiles/stcomp_store.dir/store/serialization.cc.o.d"
+  "CMakeFiles/stcomp_store.dir/store/trajectory_store.cc.o"
+  "CMakeFiles/stcomp_store.dir/store/trajectory_store.cc.o.d"
+  "CMakeFiles/stcomp_store.dir/store/varint.cc.o"
+  "CMakeFiles/stcomp_store.dir/store/varint.cc.o.d"
+  "libstcomp_store.a"
+  "libstcomp_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcomp_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

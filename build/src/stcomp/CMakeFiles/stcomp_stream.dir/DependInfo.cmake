@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stcomp/stream/batch_adapter.cc" "src/stcomp/CMakeFiles/stcomp_stream.dir/stream/batch_adapter.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_stream.dir/stream/batch_adapter.cc.o.d"
+  "/root/repo/src/stcomp/stream/dead_reckoning_stream.cc" "src/stcomp/CMakeFiles/stcomp_stream.dir/stream/dead_reckoning_stream.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_stream.dir/stream/dead_reckoning_stream.cc.o.d"
+  "/root/repo/src/stcomp/stream/fleet_compressor.cc" "src/stcomp/CMakeFiles/stcomp_stream.dir/stream/fleet_compressor.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_stream.dir/stream/fleet_compressor.cc.o.d"
+  "/root/repo/src/stcomp/stream/online_compressor.cc" "src/stcomp/CMakeFiles/stcomp_stream.dir/stream/online_compressor.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_stream.dir/stream/online_compressor.cc.o.d"
+  "/root/repo/src/stcomp/stream/opening_window_stream.cc" "src/stcomp/CMakeFiles/stcomp_stream.dir/stream/opening_window_stream.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_stream.dir/stream/opening_window_stream.cc.o.d"
+  "/root/repo/src/stcomp/stream/squish_stream.cc" "src/stcomp/CMakeFiles/stcomp_stream.dir/stream/squish_stream.cc.o" "gcc" "src/stcomp/CMakeFiles/stcomp_stream.dir/stream/squish_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stcomp/CMakeFiles/stcomp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

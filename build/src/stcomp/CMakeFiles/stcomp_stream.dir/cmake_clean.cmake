@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stcomp_stream.dir/stream/batch_adapter.cc.o"
+  "CMakeFiles/stcomp_stream.dir/stream/batch_adapter.cc.o.d"
+  "CMakeFiles/stcomp_stream.dir/stream/dead_reckoning_stream.cc.o"
+  "CMakeFiles/stcomp_stream.dir/stream/dead_reckoning_stream.cc.o.d"
+  "CMakeFiles/stcomp_stream.dir/stream/fleet_compressor.cc.o"
+  "CMakeFiles/stcomp_stream.dir/stream/fleet_compressor.cc.o.d"
+  "CMakeFiles/stcomp_stream.dir/stream/online_compressor.cc.o"
+  "CMakeFiles/stcomp_stream.dir/stream/online_compressor.cc.o.d"
+  "CMakeFiles/stcomp_stream.dir/stream/opening_window_stream.cc.o"
+  "CMakeFiles/stcomp_stream.dir/stream/opening_window_stream.cc.o.d"
+  "CMakeFiles/stcomp_stream.dir/stream/squish_stream.cc.o"
+  "CMakeFiles/stcomp_stream.dir/stream/squish_stream.cc.o.d"
+  "libstcomp_stream.a"
+  "libstcomp_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stcomp_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottom_up_sliding_test.dir/bottom_up_sliding_test.cc.o"
+  "CMakeFiles/bottom_up_sliding_test.dir/bottom_up_sliding_test.cc.o.d"
+  "bottom_up_sliding_test"
+  "bottom_up_sliding_test.pdb"
+  "bottom_up_sliding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottom_up_sliding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/douglas_peucker_test.dir/douglas_peucker_test.cc.o"
+  "CMakeFiles/douglas_peucker_test.dir/douglas_peucker_test.cc.o.d"
+  "douglas_peucker_test"
+  "douglas_peucker_test.pdb"
+  "douglas_peucker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/douglas_peucker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_algos_test.dir/extended_algos_test.cc.o"
+  "CMakeFiles/extended_algos_test.dir/extended_algos_test.cc.o.d"
+  "extended_algos_test"
+  "extended_algos_test.pdb"
+  "extended_algos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_algos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

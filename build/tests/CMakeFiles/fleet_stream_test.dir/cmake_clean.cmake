@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_stream_test.dir/fleet_stream_test.cc.o"
+  "CMakeFiles/fleet_stream_test.dir/fleet_stream_test.cc.o.d"
+  "fleet_stream_test"
+  "fleet_stream_test.pdb"
+  "fleet_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmea_test.dir/nmea_test.cc.o"
+  "CMakeFiles/nmea_test.dir/nmea_test.cc.o.d"
+  "nmea_test"
+  "nmea_test.pdb"
+  "nmea_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmea_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opening_window_test.dir/opening_window_test.cc.o"
+  "CMakeFiles/opening_window_test.dir/opening_window_test.cc.o.d"
+  "opening_window_test"
+  "opening_window_test.pdb"
+  "opening_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opening_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

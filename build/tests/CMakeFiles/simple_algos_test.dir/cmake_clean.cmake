@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simple_algos_test.dir/simple_algos_test.cc.o"
+  "CMakeFiles/simple_algos_test.dir/simple_algos_test.cc.o.d"
+  "simple_algos_test"
+  "simple_algos_test.pdb"
+  "simple_algos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simple_algos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_error_test.dir/spatial_error_test.cc.o"
+  "CMakeFiles/spatial_error_test.dir/spatial_error_test.cc.o.d"
+  "spatial_error_test"
+  "spatial_error_test.pdb"
+  "spatial_error_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatiotemporal_test.dir/spatiotemporal_test.cc.o"
+  "CMakeFiles/spatiotemporal_test.dir/spatiotemporal_test.cc.o.d"
+  "spatiotemporal_test"
+  "spatiotemporal_test.pdb"
+  "spatiotemporal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatiotemporal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spline_similarity_test.dir/spline_similarity_test.cc.o"
+  "CMakeFiles/spline_similarity_test.dir/spline_similarity_test.cc.o.d"
+  "spline_similarity_test"
+  "spline_similarity_test.pdb"
+  "spline_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spline_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchronous_error_test.dir/synchronous_error_test.cc.o"
+  "CMakeFiles/synchronous_error_test.dir/synchronous_error_test.cc.o.d"
+  "synchronous_error_test"
+  "synchronous_error_test.pdb"
+  "synchronous_error_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchronous_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

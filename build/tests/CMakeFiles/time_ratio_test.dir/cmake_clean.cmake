@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_ratio_test.dir/time_ratio_test.cc.o"
+  "CMakeFiles/time_ratio_test.dir/time_ratio_test.cc.o.d"
+  "time_ratio_test"
+  "time_ratio_test.pdb"
+  "time_ratio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_ratio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/trajectory_test[1]_include.cmake")
+include("/root/repo/build/tests/simple_algos_test[1]_include.cmake")
+include("/root/repo/build/tests/douglas_peucker_test[1]_include.cmake")
+include("/root/repo/build/tests/opening_window_test[1]_include.cmake")
+include("/root/repo/build/tests/time_ratio_test[1]_include.cmake")
+include("/root/repo/build/tests/spatiotemporal_test[1]_include.cmake")
+include("/root/repo/build/tests/bottom_up_sliding_test[1]_include.cmake")
+include("/root/repo/build/tests/synchronous_error_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_error_test[1]_include.cmake")
+include("/root/repo/build/tests/projection_test[1]_include.cmake")
+include("/root/repo/build/tests/formats_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/registry_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/extended_algos_test[1]_include.cmake")
+include("/root/repo/build/tests/spline_similarity_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_index_test[1]_include.cmake")
+include("/root/repo/build/tests/nmea_test[1]_include.cmake")
+include("/root/repo/build/tests/fleet_stream_test[1]_include.cmake")
+include("/root/repo/build/tests/algorithm_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/kinematics_test[1]_include.cmake")
+include("/root/repo/build/tests/map_matching_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/clustering_store_test[1]_include.cmake")
