@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 build/test pass, then a second
+# configure+build+test pass with AddressSanitizer + UBSan instrumentation
+# (STCOMP_SANITIZE), so the property harness in tests/proptest/ doubles as
+# a fuzz-lite memory-safety sweep over algo/, error/, store/ and stream/.
+#
+# Usage: scripts/check.sh            # both passes
+#        JOBS=4 scripts/check.sh     # cap parallelism
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== Pass 1/2: tier-1 (plain RelWithDebInfo) =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== Pass 2/2: STCOMP_SANITIZE=address;undefined =="
+cmake -B build-asan -S . -DSTCOMP_SANITIZE="address;undefined"
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "All checks passed."

@@ -43,8 +43,11 @@ Status FleetCompressor::FinishObject(const std::string& object_id) {
   }
   std::vector<TimedPoint> committed;
   it->second->Finish(&committed);
+  // Drain before erasing: callers (FinishAll in particular) may pass a
+  // reference to the map key itself, which erase() would invalidate.
+  const Status status = Drain(object_id, &committed);
   compressors_.erase(it);
-  return Drain(object_id, &committed);
+  return status;
 }
 
 Status FleetCompressor::FinishAll() {

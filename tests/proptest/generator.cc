@@ -1,0 +1,264 @@
+#include "proptest/generator.h"
+
+#include <cmath>
+#include <ostream>
+
+#include "stcomp/common/check.h"
+#include "stcomp/sim/random.h"
+
+namespace stcomp::proptest {
+
+namespace {
+
+// SplitMix-style fold so (family, seed) pairs land on unrelated streams.
+uint64_t MixSeed(const std::string& family, uint64_t seed) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : family) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+  }
+  return h ^ (seed * 0x9e3779b97f4a7c15ull);
+}
+
+// Point count in [lo, hi], seed-dependent.
+int Count(Rng* rng, int lo, int hi) {
+  return lo + static_cast<int>(rng->NextBelow(
+                  static_cast<uint64_t>(hi - lo + 1)));
+}
+
+Trajectory Walk(Rng* rng, int n, double t0, double dt_lo, double dt_hi,
+                double scale) {
+  std::vector<TimedPoint> points;
+  points.reserve(static_cast<size_t>(n));
+  double t = t0;
+  Vec2 position{scale * rng->NextUniform(-1.0, 1.0),
+                scale * rng->NextUniform(-1.0, 1.0)};
+  for (int i = 0; i < n; ++i) {
+    points.emplace_back(t, position);
+    t += rng->NextUniform(dt_lo, dt_hi);
+    position += {scale * rng->NextUniform(-1.0, 1.0),
+                 scale * rng->NextUniform(-1.0, 1.0)};
+  }
+  return Trajectory::FromUnordered(std::move(points));
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllFamilies() {
+  static const std::vector<std::string>* const kFamilies =
+      new std::vector<std::string>{
+          "empty",           "single",         "two",
+          "stationary",      "collinear",      "collinear-jitter",
+          "near-dup-times",  "dup-times",      "tiny-scale",
+          "huge-scale",      "huge-epoch",     "spike",
+          "zigzag",          "walk",           "stop-and-go",
+          "backtrack",       "monotone",
+      };
+  return *kFamilies;
+}
+
+Trajectory Generate(const std::string& family, uint64_t seed) {
+  Rng rng(MixSeed(family, seed));
+  if (family == "empty") {
+    return Trajectory();
+  }
+  if (family == "single") {
+    return Trajectory::FromUnordered(
+        {{rng.NextUniform(-1e3, 1e3), rng.NextUniform(-1e4, 1e4),
+          rng.NextUniform(-1e4, 1e4)}});
+  }
+  if (family == "two") {
+    const double t0 = rng.NextUniform(0.0, 100.0);
+    return Trajectory::FromUnordered(
+        {{t0, rng.NextUniform(-100.0, 100.0), rng.NextUniform(-100.0, 100.0)},
+         {t0 + rng.NextUniform(1e-6, 100.0), rng.NextUniform(-100.0, 100.0),
+          rng.NextUniform(-100.0, 100.0)}});
+  }
+  if (family == "stationary") {
+    // Zero motion: every derived speed is 0, headings are undefined.
+    const int n = Count(&rng, 3, 80);
+    const Vec2 at{rng.NextUniform(-1e4, 1e4), rng.NextUniform(-1e4, 1e4)};
+    std::vector<TimedPoint> points;
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) {
+      points.emplace_back(t, at);
+      t += rng.NextUniform(0.1, 30.0);
+    }
+    return Trajectory::FromUnordered(std::move(points));
+  }
+  if (family == "collinear" || family == "collinear-jitter") {
+    // A straight constant-direction run at irregular speed; with jitter,
+    // deviations of ~1e-9 m exercise the zero-discriminant branches.
+    const int n = Count(&rng, 3, 120);
+    const double heading = rng.NextUniform(0.0, 6.28318530717958647692);
+    const Vec2 dir{std::cos(heading), std::sin(heading)};
+    const bool jitter = family == "collinear-jitter";
+    std::vector<TimedPoint> points;
+    double t = 0.0;
+    double s = 0.0;
+    for (int i = 0; i < n; ++i) {
+      Vec2 p = dir * s;
+      if (jitter) {
+        p += {1e-9 * rng.NextUniform(-1.0, 1.0),
+              1e-9 * rng.NextUniform(-1.0, 1.0)};
+      }
+      points.emplace_back(t, p);
+      t += rng.NextUniform(0.5, 20.0);
+      s += rng.NextUniform(0.0, 300.0);
+    }
+    return Trajectory::FromUnordered(std::move(points));
+  }
+  if (family == "near-dup-times") {
+    // Bursts of samples nanoseconds apart: huge derived speeds, near-zero
+    // segment durations.
+    const int n = Count(&rng, 4, 100);
+    std::vector<TimedPoint> points;
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) {
+      points.emplace_back(t, rng.NextUniform(-500.0, 500.0),
+                          rng.NextUniform(-500.0, 500.0));
+      t += rng.NextBool(0.4) ? rng.NextUniform(1e-9, 1e-6)
+                             : rng.NextUniform(1.0, 10.0);
+    }
+    return Trajectory::FromUnordered(std::move(points));
+  }
+  if (family == "dup-times") {
+    // Unsorted input with exact duplicate timestamps; FromUnordered's
+    // sort + dedup is part of the surface under test.
+    const int n = Count(&rng, 4, 100);
+    std::vector<TimedPoint> points;
+    for (int i = 0; i < n; ++i) {
+      const double t = std::floor(rng.NextUniform(0.0, 30.0));
+      points.emplace_back(t, rng.NextUniform(-500.0, 500.0),
+                          rng.NextUniform(-500.0, 500.0));
+    }
+    return Trajectory::FromUnordered(std::move(points));
+  }
+  if (family == "tiny-scale") {
+    // Micrometre geometry, millisecond steps.
+    return Walk(&rng, Count(&rng, 3, 100), 0.0, 1e-3, 1e-2, 1e-6);
+  }
+  if (family == "huge-scale") {
+    // Continental-scale jumps (1e6 m steps): cancellation territory for
+    // the closed-form error integrals.
+    return Walk(&rng, Count(&rng, 3, 100), 0.0, 10.0, 1000.0, 1e6);
+  }
+  if (family == "huge-epoch") {
+    // Ordinary motion stamped ~30 years after the epoch: absolute times
+    // near 1e9 s with second-scale deltas.
+    return Walk(&rng, Count(&rng, 3, 100), 1e9, 1.0, 30.0, 50.0);
+  }
+  if (family == "spike") {
+    // A calm walk with occasional 100 km teleports (GPS glitches).
+    const int n = Count(&rng, 4, 120);
+    std::vector<TimedPoint> points;
+    double t = 0.0;
+    Vec2 position{0.0, 0.0};
+    for (int i = 0; i < n; ++i) {
+      Vec2 p = position;
+      if (rng.NextBool(0.1)) {
+        p += {1e5 * rng.NextUniform(-1.0, 1.0),
+              1e5 * rng.NextUniform(-1.0, 1.0)};
+      }
+      points.emplace_back(t, p);
+      t += rng.NextUniform(1.0, 10.0);
+      position += {30.0 * rng.NextUniform(-1.0, 1.0),
+                   30.0 * rng.NextUniform(-1.0, 1.0)};
+    }
+    return Trajectory::FromUnordered(std::move(points));
+  }
+  if (family == "zigzag") {
+    // Maximal heading change at every sample.
+    const int n = Count(&rng, 3, 120);
+    const double amplitude = rng.NextUniform(1.0, 200.0);
+    std::vector<TimedPoint> points;
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) {
+      points.emplace_back(t, 10.0 * i, (i % 2 == 0) ? amplitude : -amplitude);
+      t += rng.NextUniform(0.5, 5.0);
+    }
+    return Trajectory::FromUnordered(std::move(points));
+  }
+  if (family == "walk") {
+    return Walk(&rng, Count(&rng, 3, 160), 0.0, 0.5, 15.0, 80.0);
+  }
+  if (family == "stop-and-go") {
+    // Drive, dwell (exactly repeated position), drive: the regime where
+    // spatial and spatiotemporal criteria disagree most.
+    const int legs = Count(&rng, 2, 5);
+    std::vector<TimedPoint> points;
+    double t = 0.0;
+    Vec2 position{0.0, 0.0};
+    for (int leg = 0; leg < legs; ++leg) {
+      const int n = Count(&rng, 2, 25);
+      const bool moving = leg % 2 == 0;
+      const Vec2 velocity{rng.NextUniform(-20.0, 20.0),
+                          rng.NextUniform(-20.0, 20.0)};
+      for (int i = 0; i < n; ++i) {
+        points.emplace_back(t, position);
+        const double dt = rng.NextUniform(1.0, 10.0);
+        t += dt;
+        if (moving) {
+          position += velocity * dt;
+        }
+      }
+    }
+    return Trajectory::FromUnordered(std::move(points));
+  }
+  if (family == "monotone") {
+    // Strictly x-monotone, hence simple (non-self-intersecting) and in
+    // generic position: the documented guaranteed regime for the
+    // Melkman-based path hull (path_hull.h).
+    const int n = Count(&rng, 3, 140);
+    std::vector<TimedPoint> points;
+    double t = 0.0;
+    double x = 0.0;
+    double y = 0.0;
+    for (int i = 0; i < n; ++i) {
+      points.emplace_back(t, x, y);
+      t += rng.NextUniform(0.5, 10.0);
+      x += rng.NextUniform(1.0, 50.0);
+      y += rng.NextUniform(-40.0, 40.0);
+    }
+    return Trajectory::FromUnordered(std::move(points));
+  }
+  if (family == "backtrack") {
+    // Out and back along the same polyline: self-overlapping geometry with
+    // distinct timestamps.
+    const int n = Count(&rng, 3, 60);
+    std::vector<TimedPoint> out;
+    double t = 0.0;
+    Vec2 position{0.0, 0.0};
+    for (int i = 0; i < n; ++i) {
+      out.emplace_back(t, position);
+      t += rng.NextUniform(1.0, 10.0);
+      position += {rng.NextUniform(0.0, 50.0), rng.NextUniform(-25.0, 25.0)};
+    }
+    std::vector<TimedPoint> points = out;
+    for (int i = n - 2; i >= 0; --i) {
+      points.emplace_back(t, out[static_cast<size_t>(i)].position);
+      t += rng.NextUniform(1.0, 10.0);
+    }
+    return Trajectory::FromUnordered(std::move(points));
+  }
+  STCOMP_CHECK(false);  // Unknown family; keep AllFamilies() in sync.
+  return Trajectory();
+}
+
+std::vector<CorpusCase> BuildCorpus(uint64_t base_seed, int seeds_per_family) {
+  std::vector<CorpusCase> corpus;
+  for (const std::string& family : AllFamilies()) {
+    for (int k = 0; k < seeds_per_family; ++k) {
+      const uint64_t seed = base_seed + static_cast<uint64_t>(k);
+      corpus.push_back({family, seed, Generate(family, seed)});
+    }
+  }
+  return corpus;
+}
+
+std::string Describe(const CorpusCase& c) {
+  return "family=" + c.family + " seed=" + std::to_string(c.seed);
+}
+
+void PrintTo(const CorpusCase& c, std::ostream* os) { *os << Describe(c); }
+
+}  // namespace stcomp::proptest

@@ -1,0 +1,53 @@
+// Deterministic adversarial trajectory generator for the property-based
+// differential test harness. Every trajectory is a pure function of
+// (family, seed), so any failing case is reproducible from the two values
+// printed in the failure message.
+//
+// The families target the regimes where one-pass SED simplifiers and
+// delta codecs are known to be fragile (cf. Lin et al., "One-Pass
+// Trajectory Simplification Using the Synchronous Euclidean Distance"):
+// degenerate sizes, zero-motion runs, collinearity, near-duplicate
+// timestamps, and extreme coordinate scales.
+
+#ifndef STCOMP_TESTS_PROPTEST_GENERATOR_H_
+#define STCOMP_TESTS_PROPTEST_GENERATOR_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp::proptest {
+
+// One generated input: the trajectory plus the identity needed to
+// regenerate it (`Generate(family, seed)`).
+struct CorpusCase {
+  std::string family;
+  uint64_t seed = 0;
+  Trajectory trajectory;
+};
+
+// Stable list of family names; the corpus sweep iterates this, so a new
+// family added here is automatically picked up by every property test.
+const std::vector<std::string>& AllFamilies();
+
+// The adversarial generator. Deterministic: equal (family, seed) always
+// yields an identical trajectory. Aborts (STCOMP_CHECK) on an unknown
+// family name — tests enumerate AllFamilies().
+Trajectory Generate(const std::string& family, uint64_t seed);
+
+// The full cross product AllFamilies() x {base_seed .. base_seed+seeds-1}.
+std::vector<CorpusCase> BuildCorpus(uint64_t base_seed, int seeds_per_family);
+
+// "family=spike seed=42" — the reproduction prefix for failure messages.
+std::string Describe(const CorpusCase& c);
+
+// gtest value-printer (found by ADL) so parameterised failures identify
+// the corpus case instead of dumping raw bytes.
+void PrintTo(const CorpusCase& c, std::ostream* os);
+
+}  // namespace stcomp::proptest
+
+#endif  // STCOMP_TESTS_PROPTEST_GENERATOR_H_

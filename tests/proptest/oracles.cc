@@ -1,0 +1,370 @@
+#include "proptest/oracles.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "stcomp/algo/compression.h"
+#include "stcomp/algo/opening_window.h"
+#include "stcomp/error/synchronous_error.h"
+#include "stcomp/sim/random.h"
+#include "stcomp/store/codec.h"
+#include "stcomp/store/serialization.h"
+#include "stcomp/store/varint.h"
+
+namespace stcomp::proptest {
+
+namespace {
+
+std::string IndexListSummary(const algo::IndexList& kept) {
+  std::ostringstream out;
+  out << "[";
+  const size_t limit = 20;
+  for (size_t i = 0; i < kept.size() && i < limit; ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << kept[i];
+  }
+  if (kept.size() > limit) {
+    out << ",... " << kept.size() << " total";
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace
+
+std::string FormatParams(const algo::AlgorithmParams& params) {
+  std::ostringstream out;
+  out << "epsilon_m=" << params.epsilon_m
+      << " speed_threshold_mps=" << params.speed_threshold_mps
+      << " keep_every=" << params.keep_every
+      << " interval_s=" << params.interval_s
+      << " min_heading_change_rad=" << params.min_heading_change_rad
+      << " max_window=" << params.max_window;
+  return out.str();
+}
+
+std::string CheckUniversalContracts(const Trajectory& trajectory,
+                                    const algo::IndexList& kept) {
+  const int n = static_cast<int>(trajectory.size());
+  if (kept.size() > trajectory.size()) {
+    return "output has more points than input: " +
+           std::to_string(kept.size()) + " > " + std::to_string(n);
+  }
+  int previous = -1;
+  for (int index : kept) {
+    if (index < 0 || index >= n) {
+      return "kept index " + std::to_string(index) + " out of range [0, " +
+             std::to_string(n) + "): " + IndexListSummary(kept);
+    }
+    if (index <= previous) {
+      return "kept indices not strictly increasing at " +
+             std::to_string(index) + ": " + IndexListSummary(kept);
+    }
+    previous = index;
+  }
+  if (n >= 1) {
+    if (kept.empty()) {
+      return "non-empty input compressed to an empty index list";
+    }
+    if (kept.front() != 0) {
+      return "first point dropped (kept.front()=" +
+             std::to_string(kept.front()) + ")";
+    }
+    if (kept.back() != n - 1) {
+      return "last point dropped (kept.back()=" + std::to_string(kept.back()) +
+             ", expected " + std::to_string(n - 1) + ")";
+    }
+  }
+  if (!algo::IsValidIndexList(trajectory, kept)) {
+    return "IsValidIndexList rejects the output: " + IndexListSummary(kept);
+  }
+  // Output must be an exact point subset of the input (no resampling).
+  const Trajectory approximation = trajectory.Subset(kept);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    if (!(approximation[i] ==
+          trajectory[static_cast<size_t>(kept[i])])) {
+      return "Subset point " + std::to_string(i) +
+             " differs from input point " + std::to_string(kept[i]);
+    }
+  }
+  return "";
+}
+
+DistanceContract DistanceContractFor(std::string_view algorithm_name) {
+  // Opening-window and top-down passes only discard a point after a clean
+  // window/range check against the exact segment they go on to keep, so
+  // the per-point bound transfers to the output. SQUISH-E's carry term
+  // keeps its priorities an upper bound on the true SED. ndp-hull is NOT
+  // in the class: its Melkman half-hulls are only guaranteed on simple
+  // chains (see path_hull.h), and the harness's self-intersecting corpora
+  // (spike, tiny-scale walks) do drive it past epsilon — it gets the
+  // differential simple-chain oracle in the runner instead.
+  for (const char* name : {"ndp", "nopw", "bopw", "sliding"}) {
+    if (algorithm_name == name) {
+      return DistanceContract::kPerpendicular;
+    }
+  }
+  for (const char* name : {"td-tr", "opw-tr", "opw-sp", "td-sp", "squish-e"}) {
+    if (algorithm_name == name) {
+      return DistanceContract::kSynchronized;
+    }
+  }
+  return DistanceContract::kNone;
+}
+
+bool KeptCountMonotoneInEpsilon(std::string_view algorithm_name) {
+  // Top-down splitting picks the split point independently of epsilon, so
+  // the recursion tree for a larger epsilon is a pruned prefix of the
+  // smaller one and keep-sets nest. Greedy window passes do not nest, and
+  // ndp-hull's split choice can drift with the hull's rebuild history on
+  // non-simple chains, so only the naive top-down passes are listed.
+  return algorithm_name == "ndp" || algorithm_name == "td-tr";
+}
+
+std::string CheckDiscardedWithinEpsilon(const Trajectory& trajectory,
+                                        const algo::IndexList& kept,
+                                        double epsilon,
+                                        DistanceContract contract) {
+  if (contract == DistanceContract::kNone || kept.size() < 2) {
+    return "";
+  }
+  // The algorithms and this oracle call the same distance functions with
+  // the same arguments, so the slack only absorbs accumulated-bound
+  // effects (SQUISH-E) and is otherwise untouched.
+  const double bound = epsilon + 1e-9 * (1.0 + epsilon);
+  for (size_t s = 0; s + 1 < kept.size(); ++s) {
+    const int a = kept[s];
+    const int b = kept[s + 1];
+    for (int i = a + 1; i < b; ++i) {
+      const double d =
+          contract == DistanceContract::kPerpendicular
+              ? algo::PerpendicularWindowDistance(trajectory, a, b, i)
+              : algo::SynchronizedWindowDistance(trajectory, a, b, i);
+      if (!(d <= bound)) {  // Also catches NaN.
+        std::ostringstream out;
+        out << "discarded point " << i << " is " << d
+            << " m from kept segment (" << a << ", " << b
+            << "), above epsilon=" << epsilon << " ("
+            << (contract == DistanceContract::kPerpendicular
+                    ? "perpendicular"
+                    : "synchronized")
+            << " contract)";
+        return out.str();
+      }
+    }
+  }
+  return "";
+}
+
+std::string CheckSynchronousErrorAgreement(const Trajectory& original,
+                                           const Trajectory& approximation) {
+  if (original.size() < 2 || approximation.size() < 2) {
+    return "";  // The error notion needs a time interval on both sides.
+  }
+  const Result<double> closed = SynchronousError(original, approximation);
+  if (!closed.ok()) {
+    return "SynchronousError failed: " + closed.status().ToString();
+  }
+  if (!std::isfinite(*closed) || *closed < 0.0) {
+    return "SynchronousError not finite/non-negative: " +
+           std::to_string(*closed);
+  }
+  const Result<double> max_error =
+      MaxSynchronousError(original, approximation);
+  if (!max_error.ok()) {
+    return "MaxSynchronousError failed: " + max_error.status().ToString();
+  }
+  if (!std::isfinite(*max_error)) {
+    return "MaxSynchronousError not finite: " + std::to_string(*max_error);
+  }
+  if (*max_error + 1e-9 * (1.0 + *max_error) < *closed) {
+    return "max synchronous error " + std::to_string(*max_error) +
+           " below the average " + std::to_string(*closed);
+  }
+  // Differential check against the adaptive-Simpson integrator. The
+  // per-interval tolerance scales with the integral's magnitude so huge-
+  // and tiny-scale corpora both terminate quickly and compare fairly.
+  const double tolerance =
+      1e-12 * (1.0 + *max_error * original.Duration());
+  const Result<double> numeric =
+      SynchronousErrorNumeric(original, approximation, tolerance);
+  if (!numeric.ok()) {
+    return "SynchronousErrorNumeric failed: " + numeric.status().ToString();
+  }
+  if (std::abs(*closed - *numeric) > 1e-6 * (1.0 + *numeric)) {
+    std::ostringstream out;
+    out << "closed-form/numeric disagreement: closed=" << *closed
+        << " numeric=" << *numeric;
+    return out.str();
+  }
+  return "";
+}
+
+std::string CheckStoreRoundTrip(const Trajectory& trajectory) {
+  const size_t n = trajectory.size();
+  // Raw codec: bit-exact.
+  {
+    std::string buffer;
+    const Status status = EncodePoints(trajectory, Codec::kRaw, &buffer);
+    if (!status.ok()) {
+      return "raw encode failed: " + status.ToString();
+    }
+    if (buffer.size() != 24 * n) {
+      return "raw payload is " + std::to_string(buffer.size()) +
+             " bytes, expected " + std::to_string(24 * n);
+    }
+    std::string_view cursor = buffer;
+    const auto decoded = DecodePoints(&cursor, Codec::kRaw, n);
+    if (!decoded.ok()) {
+      return "raw decode failed: " + decoded.status().ToString();
+    }
+    if (!cursor.empty()) {
+      return "raw decode left " + std::to_string(cursor.size()) +
+             " trailing bytes";
+    }
+    if (*decoded != trajectory.points()) {
+      return "raw round-trip is not bit-exact";
+    }
+  }
+  // Delta codec: within the documented quanta, idempotent after the first
+  // quantisation.
+  {
+    std::string buffer;
+    const Status status = EncodePoints(trajectory, Codec::kDelta, &buffer);
+    if (!status.ok()) {
+      return "delta encode failed: " + status.ToString();
+    }
+    std::string_view cursor = buffer;
+    const auto decoded = DecodePoints(&cursor, Codec::kDelta, n);
+    if (!decoded.ok()) {
+      return "delta decode failed: " + decoded.status().ToString();
+    }
+    if (!cursor.empty()) {
+      return "delta decode left " + std::to_string(cursor.size()) +
+             " trailing bytes";
+    }
+    for (size_t i = 0; i < n; ++i) {
+      // quantum/2 for the rounding itself plus a relative term for the
+      // float error of quantised * quantum at large magnitudes.
+      const TimedPoint& in = trajectory[i];
+      const TimedPoint& out = (*decoded)[i];
+      const double t_tol = kTimeQuantumS / 2 + 1e-12 * (1.0 + std::abs(in.t));
+      const double c_tol =
+          kCoordQuantumM / 2 +
+          1e-12 * (1.0 + std::abs(in.position.x) + std::abs(in.position.y));
+      if (std::abs(in.t - out.t) > t_tol ||
+          std::abs(in.position.x - out.position.x) > c_tol ||
+          std::abs(in.position.y - out.position.y) > c_tol) {
+        return "delta round-trip exceeded quantisation bound at point " +
+               std::to_string(i);
+      }
+    }
+    // Idempotence needs the quantised series to still be a valid
+    // trajectory; sub-millisecond steps legitimately collapse.
+    Result<Trajectory> quantised = Trajectory::FromPoints(*decoded);
+    if (quantised.ok()) {
+      std::string buffer2;
+      const Status status2 =
+          EncodePoints(*quantised, Codec::kDelta, &buffer2);
+      if (!status2.ok()) {
+        return "delta re-encode failed: " + status2.ToString();
+      }
+      if (buffer2 != buffer) {
+        return "delta re-encode of quantised data is not byte-identical";
+      }
+    }
+  }
+  // Sub-millisecond steps legitimately collapse under the delta codec's
+  // documented time quantum; the frame then must fail *cleanly* with
+  // kInvalidArgument when rebuilt, never crash or return garbage.
+  bool sub_quantum_steps = false;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (trajectory[i + 1].t - trajectory[i].t < 2 * kTimeQuantumS) {
+      sub_quantum_steps = true;
+      break;
+    }
+  }
+  // CRC-framed serialization, both codecs, with a name.
+  for (const Codec codec : {Codec::kRaw, Codec::kDelta}) {
+    Trajectory named = trajectory;
+    named.set_name("prop-object");
+    const Result<std::string> frame = SerializeTrajectory(named, codec);
+    if (!frame.ok()) {
+      return "serialize failed: " + frame.status().ToString();
+    }
+    std::string_view cursor = *frame;
+    const Result<Trajectory> decoded = DeserializeTrajectory(&cursor);
+    if (!decoded.ok()) {
+      if (codec == Codec::kDelta && sub_quantum_steps &&
+          decoded.status().code() == StatusCode::kInvalidArgument) {
+        continue;  // Documented quantisation collapse, clean failure.
+      }
+      return "deserialize failed: " + decoded.status().ToString();
+    }
+    if (!cursor.empty()) {
+      return "deserialize left " + std::to_string(cursor.size()) +
+             " trailing bytes";
+    }
+    if (decoded->name() != "prop-object") {
+      return "name lost in serialization round-trip";
+    }
+    if (decoded->size() != n) {
+      return "serialization changed point count: " +
+             std::to_string(decoded->size()) + " != " + std::to_string(n);
+    }
+    if (codec == Codec::kRaw && decoded->points() != trajectory.points()) {
+      return "raw serialization round-trip is not bit-exact";
+    }
+  }
+  return "";
+}
+
+std::string CheckVarintRoundTrip(uint64_t seed) {
+  Rng rng(seed);
+  for (int trial = 0; trial < 256; ++trial) {
+    // Shift so every byte-length class is exercised, not just 10-byte ones.
+    const int shift = static_cast<int>(rng.NextBelow(64));
+    const uint64_t value = rng.NextUint64() >> shift;
+    std::string buffer;
+    PutVarint(value, &buffer);
+    const int bits = 64 - std::countl_zero(value | 1);
+    const size_t expected_size = static_cast<size_t>((bits + 6) / 7);
+    if (buffer.size() != expected_size) {
+      return "varint for " + std::to_string(value) + " used " +
+             std::to_string(buffer.size()) + " bytes, expected " +
+             std::to_string(expected_size);
+    }
+    std::string_view cursor = buffer;
+    const Result<uint64_t> back = GetVarint(&cursor);
+    if (!back.ok() || *back != value || !cursor.empty()) {
+      return "varint round-trip failed for " + std::to_string(value);
+    }
+    std::string_view truncated(buffer.data(), buffer.size() - 1);
+    if (GetVarint(&truncated).ok()) {
+      return "varint truncation not detected for " + std::to_string(value);
+    }
+    // Signed path: zigzag must be an exact involution and stay short for
+    // small magnitudes.
+    const int64_t signed_value = static_cast<int64_t>(rng.NextUint64() >> shift) *
+                                 (rng.NextBool(0.5) ? 1 : -1);
+    if (ZigZagDecode(ZigZagEncode(signed_value)) != signed_value) {
+      return "zigzag round-trip failed for " + std::to_string(signed_value);
+    }
+    std::string signed_buffer;
+    PutSignedVarint(signed_value, &signed_buffer);
+    std::string_view signed_cursor = signed_buffer;
+    const Result<int64_t> signed_back = GetSignedVarint(&signed_cursor);
+    if (!signed_back.ok() || *signed_back != signed_value ||
+        !signed_cursor.empty()) {
+      return "signed varint round-trip failed for " +
+             std::to_string(signed_value);
+    }
+  }
+  return "";
+}
+
+}  // namespace stcomp::proptest

@@ -1,0 +1,79 @@
+// Contract oracles for the property-based differential harness. Each
+// oracle returns "" on success, or a human-readable violation description
+// (the caller prepends the generator seed / algorithm / parameters so any
+// failure is reproducible from the message alone).
+//
+// Two kinds of contract:
+//  - universal: must hold for every algorithm in the registry, including
+//    ones registered in the future (the runner enumerates AllAlgorithms()).
+//  - per-class: guaranteed only by particular algorithm families
+//    (opening-window / top-down epsilon bounds, kept-count monotonicity);
+//    membership is by registry name via the classifiers below, and unknown
+//    names conservatively get universal contracts only.
+
+#ifndef STCOMP_TESTS_PROPTEST_ORACLES_H_
+#define STCOMP_TESTS_PROPTEST_ORACLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "stcomp/algo/registry.h"
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp::proptest {
+
+// "epsilon_m=15 speed=15 keep_every=2 ..." — everything needed to rebuild
+// the AlgorithmParams of a failing run.
+std::string FormatParams(const algo::AlgorithmParams& params);
+
+// Universal contracts: kept indices strictly increasing and in range,
+// endpoints preserved (n >= 1), output never larger than input, and the
+// output trajectory is an exact subset of the input's points.
+std::string CheckUniversalContracts(const Trajectory& trajectory,
+                                    const algo::IndexList& kept);
+
+// The per-point discard bound classes. An algorithm in the perpendicular
+// class may only discard points within `epsilon` perpendicular distance of
+// the kept segment that covers them; the synchronized class bounds the
+// time-ratio (SED) distance instead (paper Eqs. 1-2).
+enum class DistanceContract {
+  kNone,           // No per-segment bound (heuristics: bottom-up, radial...)
+  kPerpendicular,  // ndp, ndp-hull, nopw, bopw, sliding
+  kSynchronized,   // td-tr, opw-tr, opw-sp, td-sp, squish-e
+};
+
+DistanceContract DistanceContractFor(std::string_view algorithm_name);
+
+// True for algorithms whose kept set provably nests as epsilon grows
+// (top-down splitting: the recursion tree for a larger epsilon is a pruned
+// prefix of the smaller one), so kept count is non-increasing in epsilon.
+bool KeptCountMonotoneInEpsilon(std::string_view algorithm_name);
+
+// Per-class bound check: every discarded point is within
+// `epsilon` (+ tiny numeric slack) of its covering kept segment, measured
+// by the contract's distance.
+std::string CheckDiscardedWithinEpsilon(const Trajectory& trajectory,
+                                        const algo::IndexList& kept,
+                                        double epsilon,
+                                        DistanceContract contract);
+
+// Error-module contracts on (original, approximation): closed-form
+// SynchronousError is finite, non-negative, bounded by MaxSynchronousError,
+// and agrees with the adaptive-Simpson SynchronousErrorNumeric to relative
+// tolerance. Requires >= 2 points and shared endpoints (the runner only
+// calls it for subsets, which preserve endpoints).
+std::string CheckSynchronousErrorAgreement(const Trajectory& original,
+                                           const Trajectory& approximation);
+
+// Storage contracts: raw codec byte-exact round-trip, delta codec
+// round-trip within the documented quanta and idempotent re-encode,
+// CRC-framed serialization round-trip for both codecs.
+std::string CheckStoreRoundTrip(const Trajectory& trajectory);
+
+// Varint/zigzag primitives: round-trip across magnitudes derived from
+// `seed`, re-encode byte equality, truncation detection.
+std::string CheckVarintRoundTrip(uint64_t seed);
+
+}  // namespace stcomp::proptest
+
+#endif  // STCOMP_TESTS_PROPTEST_ORACLES_H_

@@ -1,0 +1,170 @@
+// Registry-driven property runner: every algorithm in AllAlgorithms() is
+// swept over the adversarial corpus (generator.h) and checked against the
+// contract oracles (oracles.h). Algorithms registered in the future are
+// picked up automatically — nothing here names an algorithm except the
+// per-class contract tables in oracles.cc.
+//
+// Every assertion appends a "repro:" string carrying the generator family,
+// seed, algorithm name and full AlgorithmParams, so a failure can be
+// reproduced with one Generate() + one run() call.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "proptest/generator.h"
+#include "proptest/oracles.h"
+#include "stcomp/algo/douglas_peucker.h"
+#include "stcomp/algo/path_hull.h"
+#include "stcomp/algo/registry.h"
+
+namespace stcomp::proptest {
+namespace {
+
+constexpr uint64_t kBaseSeed = 20260805;
+constexpr int kSeedsPerFamily = 3;
+
+// Thresholds chosen to hit both degenerate regimes: epsilon 0 (only
+// exactly-redundant points may go) and a threshold far above every
+// corpus scale (everything interior may go).
+const std::vector<double>& EpsilonLadder() {
+  static const std::vector<double>* const kLadder =
+      new std::vector<double>{0.0, 1e-6, 15.0, 5000.0};
+  return *kLadder;
+}
+
+const std::vector<CorpusCase>& Corpus() {
+  static const std::vector<CorpusCase>* const kCorpus =
+      new std::vector<CorpusCase>(BuildCorpus(kBaseSeed, kSeedsPerFamily));
+  return *kCorpus;
+}
+
+std::string Repro(const CorpusCase& c, const std::string& algorithm,
+                  const algo::AlgorithmParams& params) {
+  return "repro: " + Describe(c) + " algo=" + algorithm + " " +
+         FormatParams(params);
+}
+
+class CorpusProperty : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(CorpusProperty, EveryAlgorithmSatisfiesItsContracts) {
+  const CorpusCase& c = GetParam();
+  for (const algo::AlgorithmInfo& info : algo::AllAlgorithms()) {
+    for (double epsilon : EpsilonLadder()) {
+      algo::AlgorithmParams params;
+      params.epsilon_m = epsilon;
+      const std::string repro = Repro(c, info.name, params);
+      const algo::IndexList kept = info.run(c.trajectory, params);
+      EXPECT_EQ(CheckUniversalContracts(c.trajectory, kept), "") << repro;
+      EXPECT_EQ(CheckDiscardedWithinEpsilon(c.trajectory, kept, epsilon,
+                                            DistanceContractFor(info.name)),
+                "")
+          << repro;
+    }
+  }
+}
+
+TEST_P(CorpusProperty, EveryAlgorithmIsDeterministic) {
+  const CorpusCase& c = GetParam();
+  for (const algo::AlgorithmInfo& info : algo::AllAlgorithms()) {
+    algo::AlgorithmParams params;
+    const std::string repro = Repro(c, info.name, params);
+    EXPECT_EQ(info.run(c.trajectory, params), info.run(c.trajectory, params))
+        << repro;
+  }
+}
+
+TEST_P(CorpusProperty, SynchronousErrorClosedFormMatchesQuadrature) {
+  const CorpusCase& c = GetParam();
+  if (c.trajectory.size() < 2) {
+    return;  // The error notion needs an interval.
+  }
+  for (const algo::AlgorithmInfo& info : algo::AllAlgorithms()) {
+    algo::AlgorithmParams params;
+    const std::string repro = Repro(c, info.name, params);
+    const algo::IndexList kept = info.run(c.trajectory, params);
+    ASSERT_EQ(CheckUniversalContracts(c.trajectory, kept), "") << repro;
+    EXPECT_EQ(CheckSynchronousErrorAgreement(c.trajectory,
+                                             c.trajectory.Subset(kept)),
+              "")
+        << repro;
+  }
+}
+
+TEST_P(CorpusProperty, TopDownKeptCountMonotoneInEpsilon) {
+  const CorpusCase& c = GetParam();
+  for (const algo::AlgorithmInfo& info : algo::AllAlgorithms()) {
+    if (!KeptCountMonotoneInEpsilon(info.name)) {
+      continue;
+    }
+    size_t previous_kept = c.trajectory.size() + 1;
+    for (double epsilon : EpsilonLadder()) {  // Ladder is ascending.
+      algo::AlgorithmParams params;
+      params.epsilon_m = epsilon;
+      const size_t kept = info.run(c.trajectory, params).size();
+      EXPECT_LE(kept, previous_kept)
+          << Repro(c, info.name, params)
+          << " (kept count grew when epsilon increased)";
+      previous_kept = kept;
+    }
+  }
+}
+
+TEST_P(CorpusProperty, StorePipelineRoundTrips) {
+  const CorpusCase& c = GetParam();
+  EXPECT_EQ(CheckStoreRoundTrip(c.trajectory), "") << "repro: " << Describe(c);
+}
+
+TEST(ProptestDifferential, PathHullMatchesNaiveDouglasPeuckerOnSimpleChains) {
+  // path_hull.h documents identical output to the naive scan on simple
+  // chains in generic position — exactly the monotone family. (On the
+  // self-intersecting families ndp-hull has no epsilon guarantee, which
+  // is why DistanceContractFor excludes it.)
+  for (uint64_t seed = kBaseSeed; seed < kBaseSeed + 8; ++seed) {
+    const Trajectory trajectory = Generate("monotone", seed);
+    for (double epsilon : EpsilonLadder()) {
+      EXPECT_EQ(algo::DouglasPeuckerHull(trajectory, epsilon),
+                algo::DouglasPeucker(trajectory, epsilon))
+          << "repro: family=monotone seed=" << seed << " eps=" << epsilon;
+    }
+  }
+}
+
+TEST(ProptestVarint, PrimitivesRoundTripAcrossSeeds) {
+  for (uint64_t seed = kBaseSeed; seed < kBaseSeed + 8; ++seed) {
+    EXPECT_EQ(CheckVarintRoundTrip(seed), "") << "repro: seed=" << seed;
+  }
+}
+
+TEST(ProptestGenerator, IsDeterministicPerFamilyAndSeed) {
+  for (const std::string& family : AllFamilies()) {
+    EXPECT_EQ(Generate(family, kBaseSeed), Generate(family, kBaseSeed))
+        << "family=" << family;
+  }
+}
+
+TEST(ProptestGenerator, FamiliesCoverDegenerateSizes) {
+  // The corpus must keep its edge families: empty, single-point and
+  // two-point trajectories are where index handling goes wrong first.
+  EXPECT_EQ(Generate("empty", kBaseSeed).size(), 0u);
+  EXPECT_EQ(Generate("single", kBaseSeed).size(), 1u);
+  EXPECT_EQ(Generate("two", kBaseSeed).size(), 2u);
+}
+
+std::string CaseName(const ::testing::TestParamInfo<CorpusCase>& info) {
+  std::string name =
+      info.param.family + "_seed" + std::to_string(info.param.seed);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AdversarialCorpus, CorpusProperty,
+                         ::testing::ValuesIn(Corpus()), CaseName);
+
+}  // namespace
+}  // namespace stcomp::proptest

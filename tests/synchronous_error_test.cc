@@ -174,6 +174,71 @@ TEST(SynchronousErrorTest, MaxAttainedAtGridVertex) {
   EXPECT_NEAR(reported, dense, 1e-6 + 0.01 * reported);
 }
 
+// Degenerate-input regressions: each test drives one closed-form branch of
+// the paper's case analysis through whole trajectories (not just
+// AverageLinearNorm vectors) and pins the hand-computed value against the
+// adaptive-Simpson integrator.
+
+TEST(SynchronousErrorDegenerateTest, StationaryIdenticalIsExactlyZero) {
+  const Trajectory stationary =
+      Traj({{0, 5, -3}, {7, 5, -3}, {19, 5, -3}, {40, 5, -3}});
+  EXPECT_DOUBLE_EQ(SynchronousError(stationary, stationary).value(), 0.0);
+  EXPECT_DOUBLE_EQ(MaxSynchronousError(stationary, stationary).value(), 0.0);
+  EXPECT_NEAR(SynchronousErrorNumeric(stationary, stationary, 1e-12).value(),
+              0.0, 1e-9);
+}
+
+TEST(SynchronousErrorDegenerateTest, ConstantSpeedCollinearRunIsExactlyZero) {
+  // Constant velocity sampled at irregular times: the time-ratio schedule
+  // of the two-point approximation reproduces the original exactly, so
+  // every union interval hits the zero-offset branch.
+  std::vector<TimedPoint> points;
+  for (double t : {0.0, 1.0, 2.5, 7.0, 11.25, 30.0}) {
+    points.emplace_back(t, 3.0 * t, -2.0 * t);
+  }
+  const Trajectory original = Traj(std::move(points));
+  const Trajectory approximation =
+      Traj({{0, 0, 0}, {30.0, 90.0, -60.0}});
+  EXPECT_NEAR(SynchronousError(original, approximation).value(), 0.0, 1e-12);
+  EXPECT_NEAR(MaxSynchronousError(original, approximation).value(), 0.0,
+              1e-12);
+  EXPECT_NEAR(
+      SynchronousErrorNumeric(original, approximation, 1e-12).value(), 0.0,
+      1e-9);
+}
+
+TEST(SynchronousErrorDegenerateTest, ConstantOffsetBranchPinned) {
+  // On [10, 20] the original runs parallel to the approximation at a
+  // constant (0, 4) offset — the paper's c1 = 0 branch. The flanking
+  // intervals are the shared-start / shared-end cases (average = half the
+  // extreme offset): (10*2 + 10*4 + 20*2) / 40 = 2.5.
+  const Trajectory original =
+      Traj({{0, 0, 0}, {10, 10, 4}, {20, 20, 4}, {40, 40, 0}});
+  const Trajectory approximation = Traj({{0, 0, 0}, {40, 40, 0}});
+  EXPECT_NEAR(SynchronousError(original, approximation).value(), 2.5, 1e-12);
+  EXPECT_NEAR(MaxSynchronousError(original, approximation).value(), 4.0,
+              1e-12);
+  EXPECT_NEAR(
+      SynchronousError(original, approximation).value(),
+      SynchronousErrorNumeric(original, approximation, 1e-12).value(), 1e-9);
+}
+
+TEST(SynchronousErrorDegenerateTest, ZeroDiscriminantBranchPinned) {
+  // On [5, 15] the offset runs from (0, -3) through zero to (0, 3):
+  // collinear anti-parallel deltas, the zero-discriminant branch, average
+  // (|d0| + |d1|) / 4 = 1.5. Flanks are shared-endpoint cases, also 1.5,
+  // so the time-weighted total is exactly 1.5.
+  const Trajectory original =
+      Traj({{0, 0, 0}, {5, 5, -3}, {15, 15, 3}, {20, 20, 0}});
+  const Trajectory approximation = Traj({{0, 0, 0}, {20, 20, 0}});
+  EXPECT_NEAR(SynchronousError(original, approximation).value(), 1.5, 1e-12);
+  EXPECT_NEAR(MaxSynchronousError(original, approximation).value(), 3.0,
+              1e-12);
+  EXPECT_NEAR(
+      SynchronousError(original, approximation).value(),
+      SynchronousErrorNumeric(original, approximation, 1e-12).value(), 1e-9);
+}
+
 TEST(IntegrationTest, AdaptiveSimpsonPolynomialsExact) {
   EXPECT_NEAR(AdaptiveSimpson([](double x) { return x * x; }, 0.0, 3.0, 1e-12),
               9.0, 1e-9);
