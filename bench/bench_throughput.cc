@@ -1,11 +1,22 @@
 // Microbenchmarks: throughput of every registered compression algorithm at
 // several trace lengths, the streaming compressors (per-push cost), the
 // synchronous-error evaluators, and the storage codecs.
+//
+// Besides the google-benchmark tables, the run persists the process metrics
+// registry — populated by the instrumented registry/codec layers while the
+// benchmarks execute — as machine-readable JSON (default
+// BENCH_throughput.json, override with --metrics_json=PATH, disable with
+// --metrics_json=). Schema: EXPERIMENTS.md "Bench JSON schema".
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <string>
+
 #include "stcomp/algo/registry.h"
 #include "stcomp/error/synchronous_error.h"
+#include "stcomp/obs/exposition.h"
 #include "stcomp/sim/gps_noise.h"
 #include "stcomp/sim/random.h"
 #include "stcomp/store/codec.h"
@@ -120,12 +131,48 @@ void BM_GpsNoise(benchmark::State& state) {
 }
 BENCHMARK(BM_GpsNoise)->Arg(2000);
 
+// Strips --metrics_json[=PATH] from argv (google-benchmark rejects flags it
+// does not know) and returns the requested path, "" to disable.
+std::string ExtractMetricsJsonPath(int* argc, char** argv) {
+  std::string path = "BENCH_throughput.json";
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics_json=", 15) == 0) {
+      path = argv[i] + 15;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+int WriteBenchJson(const std::string& bench_name, const std::string& path) {
+  const std::string json =
+      "{\n  \"bench\": \"" + bench_name +
+      "\",\n  \"schema_version\": 1,\n  \"metrics\": " +
+      stcomp::obs::RenderJson(stcomp::obs::MetricsRegistry::Global().Snapshot()) +
+      "}\n";
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  file << json;
+  std::fprintf(stderr, "metrics snapshot written to %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_json = ExtractMetricsJsonPath(&argc, argv);
   RegisterAlgorithmBenchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!metrics_json.empty()) {
+    return WriteBenchJson("bench_throughput", metrics_json);
+  }
   return 0;
 }

@@ -4,9 +4,14 @@
 //
 // Feeds a simulated receiver fix-by-fix through OPW-TR, OPW-SP and
 // dead-reckoning compressors side by side, reporting commits and working
-// memory as the stream progresses, then compares the final results.
+// memory as the stream progresses, then compares the final results. The
+// same fixes also flow through the server-side ingestion path (a
+// FleetCompressor into a TrajectoryStore), whose live metrics — fixes
+// in/out, buffered working set, push-latency histogram — are dumped from
+// the process registry at the end, followed by the recorded trace spans.
 //
 //   ./examples/streaming_gps_feed [--epsilon=30] [--speed-threshold=10]
+//                                 [--metrics-format=text|json|prometheus]
 
 #include <cstdio>
 #include <memory>
@@ -15,19 +20,31 @@
 #include "stcomp/common/check.h"
 #include "stcomp/common/flags.h"
 #include "stcomp/error/evaluation.h"
+#include "stcomp/obs/exposition.h"
 #include "stcomp/sim/paper_dataset.h"
+#include "stcomp/store/trajectory_store.h"
 #include "stcomp/stream/dead_reckoning_stream.h"
+#include "stcomp/stream/fleet_compressor.h"
 #include "stcomp/stream/opening_window_stream.h"
 
 int main(int argc, char** argv) {
   double epsilon = 30.0;
   double speed_threshold = 10.0;
+  std::string metrics_format = "text";
   stcomp::FlagParser flags("streaming GPS feed demo");
   flags.AddDouble("epsilon", &epsilon, "distance threshold in metres");
   flags.AddDouble("speed-threshold", &speed_threshold,
                   "speed-difference threshold in m/s (OPW-SP)");
+  flags.AddString("metrics-format", &metrics_format,
+                  "final metrics dump format: text, json or prometheus");
   if (const stcomp::Status status = flags.Parse(argc, argv); !status.ok()) {
     return status.code() == stcomp::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  const stcomp::Result<stcomp::obs::MetricsFormat> format =
+      stcomp::obs::ParseMetricsFormat(metrics_format);
+  if (!format.ok()) {
+    std::fprintf(stderr, "%s\n", format.status().ToString().c_str());
+    return 1;
   }
 
   stcomp::PaperDatasetConfig config;
@@ -57,6 +74,18 @@ int main(int argc, char** argv) {
                    {},
                    0});
 
+  // The ingestion path the lanes only simulate: the same fixes routed
+  // through a FleetCompressor into a store, which populates the metrics
+  // dumped below.
+  stcomp::TrajectoryStore store;
+  stcomp::FleetCompressor fleet(
+      [epsilon] {
+        return std::make_unique<stcomp::OpeningWindowStream>(
+            epsilon, stcomp::algo::BreakPolicy::kNormal,
+            stcomp::StreamCriterion::kSynchronized);
+      },
+      &store, "gps-feed");
+
   // Pump the stream; print a progress line every 50 fixes.
   size_t fix_count = 0;
   for (const stcomp::TimedPoint& fix : feed.points()) {
@@ -66,6 +95,7 @@ int main(int argc, char** argv) {
       lane.max_buffer =
           std::max(lane.max_buffer, lane.compressor->buffered_points());
     }
+    STCOMP_CHECK_OK(fleet.Push("vehicle-0", fix));
     if (fix_count % 50 == 0) {
       std::printf("after %4zu fixes:", fix_count);
       for (const Lane& lane : lanes) {
@@ -74,12 +104,15 @@ int main(int argc, char** argv) {
                     lane.committed.size(),
                     lane.compressor->buffered_points());
       }
+      std::printf("  fleet: %zu/%zu in/out (%zu buffered)", fleet.fixes_in(),
+                  fleet.fixes_out(), fleet.buffered_points());
       std::printf("\n");
     }
   }
   for (Lane& lane : lanes) {
     lane.compressor->Finish(&lane.committed);
   }
+  STCOMP_CHECK_OK(fleet.FinishAll());
 
   std::printf("\nfinal results (epsilon = %.0f m):\n", epsilon);
   for (const Lane& lane : lanes) {
@@ -102,5 +135,21 @@ int main(int argc, char** argv) {
         eval.original_points, eval.compression_percent,
         eval.sync_error_mean_m, lane.max_buffer);
   }
+  std::printf(
+      "  fleet ingestion    %zu fixes in -> %zu stored (%zu object(s) in "
+      "store, %zu payload bytes)\n",
+      fleet.fixes_in(), fleet.fixes_out(), store.object_count(),
+      store.StorageBytes());
+
+  std::printf("\nlive metrics registry (%s):\n", metrics_format.c_str());
+  std::fputs(stcomp::obs::RenderMetrics(
+                 stcomp::obs::MetricsRegistry::Global().Snapshot(), *format)
+                 .c_str(),
+             stdout);
+  std::printf("\ntrace spans (start, duration, name):\n");
+  std::fputs(stcomp::obs::RenderTraceText(
+                 stcomp::obs::TraceBuffer::Global().Snapshot())
+                 .c_str(),
+             stdout);
   return 0;
 }

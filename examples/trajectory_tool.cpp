@@ -1,11 +1,14 @@
 // stcomp command-line tool: compress trajectory files.
 //
 //   trajectory_tool --algorithm=td-tr --epsilon=30 in.csv out.csv
+//   trajectory_tool --stats --metrics-format=prometheus ... in.csv out.csv
 //   trajectory_tool --list
 //
 // Input format by extension: .csv (t,x,y or t,lat,lon), .gpx, .plt
 // (Geolife), .nmea/.log (RMC sentences). Output: .csv, .gpx or .nmea. The evaluation summary goes to stderr
-// so stdout stays clean for piping.
+// so stdout stays clean for piping. --stats dumps the process metrics
+// registry (per-algorithm latency/ratio histograms, codec byte counters)
+// to stdout in the --metrics-format of choice: text, json or prometheus.
 
 #include <cstdio>
 #include <fstream>
@@ -19,6 +22,7 @@
 #include "stcomp/gps/gpx.h"
 #include "stcomp/gps/nmea.h"
 #include "stcomp/gps/plt.h"
+#include "stcomp/obs/exposition.h"
 
 namespace {
 
@@ -62,6 +66,8 @@ int Run(int argc, char** argv) {
   double epsilon = 30.0;
   double speed_threshold = 10.0;
   bool list = false;
+  bool stats = false;
+  std::string metrics_format = "text";
   stcomp::FlagParser flags(
       "compress a trajectory file (CSV/GPX/PLT in, CSV/GPX out)");
   flags.AddString("algorithm", &algorithm, "compression algorithm name");
@@ -69,12 +75,22 @@ int Run(int argc, char** argv) {
   flags.AddDouble("speed-threshold", &speed_threshold,
                   "speed threshold in m/s (sp algorithms)");
   flags.AddBool("list", &list, "list available algorithms and exit");
+  flags.AddBool("stats", &stats,
+                "dump the metrics registry to stdout after the run");
+  flags.AddString("metrics-format", &metrics_format,
+                  "stats output format: text, json or prometheus");
   if (const stcomp::Status status = flags.Parse(argc, argv); !status.ok()) {
     if (status.code() == stcomp::StatusCode::kFailedPrecondition) {
       return 0;
     }
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
                  flags.UsageString().c_str());
+    return 1;
+  }
+  const stcomp::Result<stcomp::obs::MetricsFormat> format =
+      stcomp::obs::ParseMetricsFormat(metrics_format);
+  if (!format.ok()) {
+    std::fprintf(stderr, "%s\n", format.status().ToString().c_str());
     return 1;
   }
   if (list) {
@@ -123,6 +139,13 @@ int Run(int argc, char** argv) {
                  algorithm.c_str(), eval->original_points, eval->kept_points,
                  eval->compression_percent, eval->sync_error_mean_m,
                  eval->sync_error_max_m);
+  }
+  if (stats) {
+    std::fputs(
+        stcomp::obs::RenderMetrics(
+            stcomp::obs::MetricsRegistry::Global().Snapshot(), *format)
+            .c_str(),
+        stdout);
   }
   return 0;
 }

@@ -1,23 +1,30 @@
 #!/usr/bin/env bash
-# Full verification: the tier-1 build/test pass, then a second
+# Full verification: the tier-1 build/test pass, a second
 # configure+build+test pass with AddressSanitizer + UBSan instrumentation
 # (STCOMP_SANITIZE), so the property harness in tests/proptest/ doubles as
-# a fuzz-lite memory-safety sweep over algo/, error/, store/ and stream/.
+# a fuzz-lite memory-safety sweep over algo/, error/, store/ and stream/,
+# and a third pass with STCOMP_DISABLE_METRICS=ON proving the tree builds
+# and tests green with the observability macros compiled out.
 #
-# Usage: scripts/check.sh            # both passes
+# Usage: scripts/check.sh            # all passes
 #        JOBS=4 scripts/check.sh     # cap parallelism
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== Pass 1/2: tier-1 (plain RelWithDebInfo) =="
+echo "== Pass 1/3: tier-1 (plain RelWithDebInfo) =="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== Pass 2/2: STCOMP_SANITIZE=address;undefined =="
+echo "== Pass 2/3: STCOMP_SANITIZE=address;undefined =="
 cmake -B build-asan -S . -DSTCOMP_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== Pass 3/3: STCOMP_DISABLE_METRICS=ON =="
+cmake -B build-nometrics -S . -DSTCOMP_DISABLE_METRICS=ON
+cmake --build build-nometrics -j "$JOBS"
+ctest --test-dir build-nometrics --output-on-failure -j "$JOBS"
 
 echo "All checks passed."

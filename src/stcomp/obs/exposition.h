@@ -1,0 +1,52 @@
+// Renders a MetricsSnapshot (and trace events) in three formats:
+//
+//  kText       — aligned, human-first dump with derived histogram stats
+//                (mean, approximate p50/p95/p99 from the buckets).
+//  kJson       — machine-readable snapshot; the schema benches persist as
+//                BENCH_*.json (see EXPERIMENTS.md "Bench JSON schema").
+//  kPrometheus — Prometheus text exposition format 0.0.4: `# TYPE` lines,
+//                cumulative `_bucket{le=...}` series, `_sum`/`_count`.
+
+#ifndef STCOMP_OBS_EXPOSITION_H_
+#define STCOMP_OBS_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stcomp/common/result.h"
+#include "stcomp/obs/metrics.h"
+#include "stcomp/obs/trace.h"
+
+namespace stcomp::obs {
+
+enum class MetricsFormat {
+  kText = 0,
+  kJson = 1,
+  kPrometheus = 2,
+};
+
+// "text" | "json" | "prometheus" (case-insensitive); kInvalidArgument
+// otherwise, listing the valid spellings.
+Result<MetricsFormat> ParseMetricsFormat(std::string_view name);
+
+std::string RenderText(const MetricsSnapshot& snapshot);
+std::string RenderJson(const MetricsSnapshot& snapshot);
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+std::string RenderMetrics(const MetricsSnapshot& snapshot,
+                          MetricsFormat format);
+
+// Approximate quantile (q in [0, 1]) from histogram buckets by linear
+// interpolation inside the hit bucket; the +Inf bucket clamps to the last
+// finite boundary. 0 for an empty histogram. Exposed for the text renderer
+// and tests.
+double ApproximateQuantile(const HistogramSample& histogram, double q);
+
+// Trace events as human text (one line per span, oldest first).
+std::string RenderTraceText(const std::vector<TraceEvent>& events);
+// Trace events as a JSON array of {name, detail, start_us, duration_us}.
+std::string RenderTraceJson(const std::vector<TraceEvent>& events);
+
+}  // namespace stcomp::obs
+
+#endif  // STCOMP_OBS_EXPOSITION_H_

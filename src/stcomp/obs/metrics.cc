@@ -1,0 +1,165 @@
+#include "stcomp/obs/metrics.h"
+
+#include <algorithm>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp::obs {
+
+namespace {
+
+LabelSet Normalised(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+// Only consulted via STCOMP_DCHECK, which compiles away in NDEBUG builds.
+[[maybe_unused]] bool ValidMetricName(std::string_view name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) {
+      return false;
+    }
+  }
+  return name[0] < '0' || name[0] > '9';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<uint64_t>[upper_bounds_.size() + 1]) {
+  STCOMP_CHECK(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+  STCOMP_CHECK(std::adjacent_find(upper_bounds_.begin(), upper_bounds_.end()) ==
+               upper_bounds_.end());
+  for (size_t i = 0; i <= upper_bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> counts(upper_bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= upper_bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& LatencyBucketsSeconds() {
+  static const std::vector<double>* const kBuckets = new std::vector<double>{
+      1e-7,   2.5e-7, 5e-7, 1e-6,   2.5e-6, 5e-6, 1e-5,   2.5e-5, 5e-5,
+      1e-4,   2.5e-4, 5e-4, 1e-3,   2.5e-3, 5e-3, 1e-2,   2.5e-2, 5e-2,
+      1e-1,   2.5e-1, 5e-1, 1.0,    2.5};
+  return *kBuckets;
+}
+
+const std::vector<double>& RatioBuckets() {
+  static const std::vector<double>* const kBuckets = [] {
+    auto* buckets = new std::vector<double>;
+    for (int i = 1; i <= 20; ++i) {
+      buckets->push_back(0.05 * i);
+    }
+    return buckets;
+  }();
+  return *kBuckets;
+}
+
+const std::vector<double>& SizeBuckets() {
+  static const std::vector<double>* const kBuckets = [] {
+    auto* buckets = new std::vector<double>;
+    for (double bound = 1.0; bound <= 1048576.0; bound *= 4.0) {
+      buckets->push_back(bound);
+    }
+    return buckets;
+  }();
+  return *kBuckets;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: metric pointers handed to instrumented code must stay
+  // valid through static destruction.
+  static MetricsRegistry* const kGlobal = new MetricsRegistry;
+  return *kGlobal;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, LabelSet labels) {
+  STCOMP_DCHECK(ValidMetricName(name));
+  const Key key{std::string(name), Normalised(std::move(labels))};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, LabelSet labels) {
+  STCOMP_DCHECK(ValidMetricName(name));
+  const Key key{std::string(name), Normalised(std::move(labels))};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name, LabelSet labels,
+                                         std::vector<double> upper_bounds) {
+  STCOMP_DCHECK(ValidMetricName(name));
+  const Key key{std::string(name), Normalised(std::move(labels))};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) {
+    snapshot.counters.push_back({key.first, key.second, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [key, gauge] : gauges_) {
+    snapshot.gauges.push_back({key.first, key.second, gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [key, histogram] : histograms_) {
+    snapshot.histograms.push_back({key.first, key.second,
+                                   histogram->upper_bounds(),
+                                   histogram->bucket_counts(),
+                                   histogram->count(), histogram->sum()});
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, counter] : counters_) {
+    counter->Reset();
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+}  // namespace stcomp::obs

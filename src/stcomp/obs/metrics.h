@@ -1,0 +1,199 @@
+// Runtime observability primitives: lock-cheap atomic Counter/Gauge, a
+// fixed-boundary Histogram, and a process-wide MetricsRegistry addressing
+// metrics by name + label set. The hot-path operations (Increment, Set,
+// Observe) are single relaxed atomics; the registry mutex is touched only
+// at registration and snapshot time, so instrumented code pays nanoseconds,
+// not locks.
+//
+// Naming convention (DESIGN.md §10): `stcomp_<layer>_<name>_<unit>` —
+// counters end in `_total`, time histograms in `_seconds`; gauges carry a
+// unit suffix (`_points`, `_objects`). Labels distinguish instances of the
+// same series (e.g. {algorithm="td-tr"}, {compressor="fleet-1"}).
+//
+// Compile-time kill switch: defining STCOMP_DISABLE_METRICS turns the
+// instrumentation *macros* (scoped timers, trace spans, STCOMP_IF_METRICS
+// blocks — see timer.h / trace.h) into no-ops. The registry and the metric
+// value types stay compiled in every configuration because product APIs
+// (e.g. FleetCompressor::fixes_in()) are shims over registry counters; a
+// bare counter increment is a single relaxed atomic add and is kept live
+// even in the disabled build.
+
+#ifndef STCOMP_OBS_METRICS_H_
+#define STCOMP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#define STCOMP_OBS_CONCAT_INNER_(a, b) a##b
+#define STCOMP_OBS_CONCAT_(a, b) STCOMP_OBS_CONCAT_INNER_(a, b)
+
+#ifdef STCOMP_DISABLE_METRICS
+#define STCOMP_METRICS_ENABLED 0
+// Compiles `stmt` out entirely (use for instrumentation that is not part of
+// a product API contract: gauge refreshes, histogram observations, ...).
+#define STCOMP_IF_METRICS(stmt) \
+  do {                          \
+  } while (false)
+#else
+#define STCOMP_METRICS_ENABLED 1
+#define STCOMP_IF_METRICS(stmt) \
+  do {                          \
+    stmt;                       \
+  } while (false)
+#endif
+
+namespace stcomp::obs {
+
+// Sorted key/value pairs identifying one series of a metric family.
+// Registry lookups sort them, so callers may pass labels in any order.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+// A monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<uint64_t> value_{0};
+};
+
+// A value that can go up and down (working-set sizes, queue depths).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::atomic<double> value_{0.0};
+};
+
+// A distribution over fixed, strictly increasing upper boundaries. An
+// implicit +Inf bucket catches everything above the last boundary, so
+// bucket_counts() has upper_bounds().size() + 1 entries. Bucket i counts
+// observations v with v <= upper_bounds()[i] (and > the previous bound) —
+// the Prometheus `le` convention.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value) {
+    size_t i = 0;
+    const size_t n = upper_bounds_.size();
+    while (i < n && value > upper_bounds_[i]) {
+      ++i;
+    }
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double sum = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(sum, sum + value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  // Per-bucket (non-cumulative) counts; the last entry is the +Inf bucket.
+  std::vector<uint64_t> bucket_counts() const;
+
+ private:
+  friend class MetricsRegistry;
+  void Reset();
+
+  std::vector<double> upper_bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Shared boundary presets so series of the same kind are comparable.
+const std::vector<double>& LatencyBucketsSeconds();  // 100 ns .. 2.5 s, log
+const std::vector<double>& RatioBuckets();           // 0.05 .. 1.0, linear
+const std::vector<double>& SizeBuckets();            // 1 .. 4^10, powers of 4
+
+// Point-in-time copies of every registered series, sorted by (name, labels)
+// — the exposition formats (exposition.h) render these.
+struct CounterSample {
+  std::string name;
+  LabelSet labels;
+  uint64_t value = 0;
+};
+struct GaugeSample {
+  std::string name;
+  LabelSet labels;
+  double value = 0.0;
+};
+struct HistogramSample {
+  std::string name;
+  LabelSet labels;
+  std::vector<double> upper_bounds;
+  std::vector<uint64_t> buckets;  // non-cumulative; last entry is +Inf
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+// The process-wide metric directory. Get* registers on first use and
+// returns the same stable pointer for the same (name, labels) afterwards;
+// returned pointers live for the registry's lifetime (for Global(), the
+// process lifetime), so callers cache them at construction time and never
+// touch the registry mutex on hot paths.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name, LabelSet labels = {});
+  Gauge* GetGauge(std::string_view name, LabelSet labels = {});
+  // Boundaries are fixed by the first registration of a series; subsequent
+  // calls for the same (name, labels) return the existing histogram.
+  Histogram* GetHistogram(std::string_view name, LabelSet labels,
+                          std::vector<double> upper_bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every value while keeping all registered series (and therefore
+  // every cached pointer) valid. Test isolation only.
+  void ResetForTest();
+
+ private:
+  using Key = std::pair<std::string, LabelSet>;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace stcomp::obs
+
+#endif  // STCOMP_OBS_METRICS_H_

@@ -1,0 +1,96 @@
+// RAII scoped timing into latency histograms.
+//
+// ScopedTimer records every scope (two steady_clock reads, ~50 ns) — right
+// for coarse scopes: an algorithm run, a file save, a batch drain.
+// SampledScopedTimer records 1 in 64 scopes and costs ~2 ns when inactive —
+// right for per-event hot paths (a single fix push, a store append) where
+// full timing would itself dominate the measured work: on machines with a
+// slow clock source a steady_clock read alone can cost as much as the push
+// being timed. The sampled histogram's *distribution* stays representative;
+// its count is ~1/64 of the event count, so pair it with an exact event
+// counter.
+//
+// Under STCOMP_DISABLE_METRICS the STCOMP_SCOPED_TIMER* macros expand to
+// nothing, which is the compile-out path bench_obs_overhead verifies.
+
+#ifndef STCOMP_OBS_TIMER_H_
+#define STCOMP_OBS_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "stcomp/obs/metrics.h"
+
+namespace stcomp::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(ElapsedSeconds());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Records one scope in every kSamplePeriod constructions (per thread; the
+// first construction on a thread is always recorded, so short tests still
+// observe at least one sample).
+class SampledScopedTimer {
+ public:
+  static constexpr uint64_t kSamplePeriod = 64;
+
+  explicit SampledScopedTimer(Histogram* histogram) {
+    thread_local uint64_t tick = 0;
+    if ((tick++ % kSamplePeriod) == 0) {
+      histogram_ = histogram;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~SampledScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start_)
+                              .count());
+    }
+  }
+  SampledScopedTimer(const SampledScopedTimer&) = delete;
+  SampledScopedTimer& operator=(const SampledScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace stcomp::obs
+
+#if STCOMP_METRICS_ENABLED
+#define STCOMP_SCOPED_TIMER(histogram)  \
+  ::stcomp::obs::ScopedTimer STCOMP_OBS_CONCAT_(stcomp_obs_timer_, \
+                                                __LINE__)(histogram)
+#define STCOMP_SCOPED_TIMER_SAMPLED(histogram)         \
+  ::stcomp::obs::SampledScopedTimer STCOMP_OBS_CONCAT_(stcomp_obs_timer_, \
+                                                       __LINE__)(histogram)
+#else
+#define STCOMP_SCOPED_TIMER(histogram) \
+  do {                                 \
+  } while (false)
+#define STCOMP_SCOPED_TIMER_SAMPLED(histogram) \
+  do {                                         \
+  } while (false)
+#endif
+
+#endif  // STCOMP_OBS_TIMER_H_

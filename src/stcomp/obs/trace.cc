@@ -1,0 +1,61 @@
+#include "stcomp/obs/trace.h"
+
+#include "stcomp/common/check.h"
+
+namespace stcomp::obs {
+
+TraceBuffer& TraceBuffer::Global() {
+  // Leaked singleton, same rationale as MetricsRegistry::Global().
+  static TraceBuffer* const kGlobal = new TraceBuffer;
+  return *kGlobal;
+}
+
+TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity) {
+  STCOMP_CHECK(capacity_ > 0);
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  // Once wrapped, ring_[next_] is the oldest event.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    events.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return events;
+}
+
+uint64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+uint64_t TraceBuffer::NowMicros() {
+  static const std::chrono::steady_clock::time_point kEpoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - kEpoch)
+          .count());
+}
+
+}  // namespace stcomp::obs

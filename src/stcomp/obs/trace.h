@@ -1,0 +1,97 @@
+// Lightweight trace spans: named start/duration events recorded into a
+// bounded ring buffer. Spans answer "what did this process just do and how
+// long did each step take" — the per-request view the aggregate metrics in
+// metrics.h deliberately blur. Recording takes a mutex (spans mark
+// coarse-grained work: an object finish, a file load — not per-fix pushes);
+// the ring overwrites the oldest events, so the buffer is a fixed-size
+// flight recorder, never an unbounded log.
+
+#ifndef STCOMP_OBS_TRACE_H_
+#define STCOMP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stcomp/obs/metrics.h"
+
+namespace stcomp::obs {
+
+struct TraceEvent {
+  std::string name;    // span name, e.g. "fleet.finish_object"
+  std::string detail;  // free-form instance detail, e.g. the object id
+  uint64_t start_us = 0;     // microseconds since the process trace epoch
+  uint64_t duration_us = 0;  // span length in microseconds
+};
+
+class TraceBuffer {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  static TraceBuffer& Global();
+
+  explicit TraceBuffer(size_t capacity = kDefaultCapacity);
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  void Record(TraceEvent event);
+
+  // Buffered events, oldest first (at most `capacity` of them).
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Events recorded over the buffer's lifetime, including overwritten ones.
+  uint64_t total_recorded() const;
+  size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+  // Microseconds since the first call in this process (the trace epoch).
+  static uint64_t NowMicros();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;        // ring_[next_] is the oldest once wrapped
+  uint64_t total_ = 0;
+};
+
+// RAII span: captures the start time at construction and records the event
+// on destruction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, std::string detail = {},
+                     TraceBuffer* buffer = &TraceBuffer::Global())
+      : buffer_(buffer),
+        name_(std::move(name)),
+        detail_(std::move(detail)),
+        start_us_(TraceBuffer::NowMicros()) {}
+  ~TraceSpan() {
+    buffer_->Record({std::move(name_), std::move(detail_), start_us_,
+                     TraceBuffer::NowMicros() - start_us_});
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceBuffer* buffer_;
+  std::string name_;
+  std::string detail_;
+  uint64_t start_us_;
+};
+
+}  // namespace stcomp::obs
+
+#if STCOMP_METRICS_ENABLED
+#define STCOMP_TRACE_SPAN(name, detail)                             \
+  ::stcomp::obs::TraceSpan STCOMP_OBS_CONCAT_(stcomp_obs_span_,     \
+                                              __LINE__)(name, detail)
+#else
+#define STCOMP_TRACE_SPAN(name, detail) \
+  do {                                  \
+  } while (false)
+#endif
+
+#endif  // STCOMP_OBS_TRACE_H_

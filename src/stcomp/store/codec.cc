@@ -2,11 +2,51 @@
 
 #include <cmath>
 
+#include "stcomp/obs/metrics.h"
+#include "stcomp/obs/timer.h"
 #include "stcomp/store/varint.h"
 
 namespace stcomp {
 
 namespace {
+
+// Per-codec, per-direction byte/point counters and sampled timing. The
+// store's incremental append path encodes two-point suffixes, so these
+// sit on a hot path: counters are exact relaxed atomics, timing is 1/16
+// sampled (see obs/timer.h).
+struct CodecMetrics {
+  obs::Counter* calls;
+  obs::Counter* bytes;
+  obs::Counter* points;
+  obs::Histogram* seconds;
+};
+
+CodecMetrics MakeCodecMetrics(const char* direction, const char* codec) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const obs::LabelSet labels{{"codec", codec}};
+  const std::string prefix = std::string("stcomp_store_") + direction;
+  return {registry.GetCounter(prefix + "_calls_total", labels),
+          registry.GetCounter(prefix + "_bytes_total", labels),
+          registry.GetCounter(prefix + "_points_total", labels),
+          registry.GetHistogram(prefix + "_seconds", labels,
+                                obs::LatencyBucketsSeconds())};
+}
+
+const CodecMetrics& EncodeMetrics(Codec codec) {
+  static const CodecMetrics* const kRaw =
+      new CodecMetrics(MakeCodecMetrics("encode", "raw"));
+  static const CodecMetrics* const kDelta =
+      new CodecMetrics(MakeCodecMetrics("encode", "delta"));
+  return codec == Codec::kRaw ? *kRaw : *kDelta;
+}
+
+const CodecMetrics& DecodeMetrics(Codec codec) {
+  static const CodecMetrics* const kRaw =
+      new CodecMetrics(MakeCodecMetrics("decode", "raw"));
+  static const CodecMetrics* const kDelta =
+      new CodecMetrics(MakeCodecMetrics("decode", "delta"));
+  return codec == Codec::kRaw ? *kRaw : *kDelta;
+}
 
 Result<int64_t> Quantise(double value, double quantum) {
   const double scaled = std::round(value / quantum);
@@ -16,10 +56,8 @@ Result<int64_t> Quantise(double value, double quantum) {
   return static_cast<int64_t>(scaled);
 }
 
-}  // namespace
-
-Status EncodePoints(const Trajectory& trajectory, Codec codec,
-                    std::string* out) {
+Status EncodePointsImpl(const Trajectory& trajectory, Codec codec,
+                        std::string* out) {
   switch (codec) {
     case Codec::kRaw:
       for (const TimedPoint& point : trajectory.points()) {
@@ -52,8 +90,8 @@ Status EncodePoints(const Trajectory& trajectory, Codec codec,
   return InternalError("unknown codec");
 }
 
-Result<std::vector<TimedPoint>> DecodePoints(std::string_view* input,
-                                             Codec codec, size_t count) {
+Result<std::vector<TimedPoint>> DecodePointsImpl(std::string_view* input,
+                                                 Codec codec, size_t count) {
   std::vector<TimedPoint> points;
   points.reserve(count);
   switch (codec) {
@@ -84,6 +122,33 @@ Result<std::vector<TimedPoint>> DecodePoints(std::string_view* input,
     }
   }
   return InternalError("unknown codec");
+}
+
+}  // namespace
+
+Status EncodePoints(const Trajectory& trajectory, Codec codec,
+                    std::string* out) {
+  const CodecMetrics& metrics = EncodeMetrics(codec);
+  STCOMP_SCOPED_TIMER_SAMPLED(metrics.seconds);
+  const size_t before = out->size();
+  STCOMP_RETURN_IF_ERROR(EncodePointsImpl(trajectory, codec, out));
+  metrics.calls->Increment();
+  metrics.points->Increment(trajectory.size());
+  metrics.bytes->Increment(out->size() - before);
+  return Status::Ok();
+}
+
+Result<std::vector<TimedPoint>> DecodePoints(std::string_view* input,
+                                             Codec codec, size_t count) {
+  const CodecMetrics& metrics = DecodeMetrics(codec);
+  STCOMP_SCOPED_TIMER_SAMPLED(metrics.seconds);
+  const size_t before = input->size();
+  STCOMP_ASSIGN_OR_RETURN(std::vector<TimedPoint> points,
+                          DecodePointsImpl(input, codec, count));
+  metrics.calls->Increment();
+  metrics.points->Increment(points.size());
+  metrics.bytes->Increment(before - input->size());
+  return points;
 }
 
 Result<size_t> EncodedSize(const Trajectory& trajectory, Codec codec) {

@@ -4,12 +4,40 @@
 
 #include "stcomp/common/check.h"
 #include "stcomp/core/interpolation.h"
+#include "stcomp/obs/metrics.h"
+#include "stcomp/obs/timer.h"
+#include "stcomp/obs/trace.h"
 #include "stcomp/store/serialization.h"
 
 #include <fstream>
 #include <sstream>
 
 namespace stcomp {
+
+namespace {
+
+// Process-wide store-layer series (appends across all store instances are
+// one ingestion stream); append timing is 1/16 sampled — the live-tracking
+// path calls Append once per committed fix.
+struct StoreMetrics {
+  obs::Counter* appends;
+  obs::Counter* inserts;
+  obs::Histogram* append_seconds;
+};
+
+const StoreMetrics& Metrics() {
+  static const StoreMetrics* const kMetrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return new StoreMetrics{
+        registry.GetCounter("stcomp_store_append_total"),
+        registry.GetCounter("stcomp_store_insert_total"),
+        registry.GetHistogram("stcomp_store_append_seconds", {},
+                              obs::LatencyBucketsSeconds())};
+  }();
+  return *kMetrics;
+}
+
+}  // namespace
 
 Status TrajectoryStore::EncodeInto(const Trajectory& trajectory,
                                    Entry* entry) const {
@@ -29,11 +57,14 @@ Status TrajectoryStore::Insert(const std::string& object_id,
   Entry entry;
   STCOMP_RETURN_IF_ERROR(EncodeInto(trajectory, &entry));
   entries_.emplace(object_id, std::move(entry));
+  Metrics().inserts->Increment();
   return Status::Ok();
 }
 
 Status TrajectoryStore::Append(const std::string& object_id,
                                const TimedPoint& point) {
+  STCOMP_SCOPED_TIMER_SAMPLED(Metrics().append_seconds);
+  Metrics().appends->Increment();
   auto it = entries_.find(object_id);
   if (it == entries_.end()) {
     Trajectory fresh;
@@ -156,6 +187,7 @@ std::vector<std::string> TrajectoryStore::ObjectsInBox(
 }
 
 Status TrajectoryStore::SaveToFile(const std::string& path) const {
+  STCOMP_TRACE_SPAN("store.save_to_file", path);
   std::ofstream file(path, std::ios::binary);
   if (!file) {
     return IoError("cannot open " + path + " for writing");
@@ -174,6 +206,7 @@ Status TrajectoryStore::SaveToFile(const std::string& path) const {
 }
 
 Status TrajectoryStore::LoadFromFile(const std::string& path) {
+  STCOMP_TRACE_SPAN("store.load_from_file", path);
   std::ifstream file(path, std::ios::binary);
   if (!file) {
     return IoError("cannot open " + path);

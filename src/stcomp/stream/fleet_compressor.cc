@@ -1,36 +1,79 @@
 #include "stcomp/stream/fleet_compressor.h"
 
+#include <atomic>
 #include <utility>
 
 #include "stcomp/common/check.h"
+#include "stcomp/obs/timer.h"
+#include "stcomp/obs/trace.h"
 
 namespace stcomp {
 
+namespace {
+
+std::string ResolveInstance(std::string instance) {
+  if (!instance.empty()) {
+    return instance;
+  }
+  static std::atomic<uint64_t> sequence{0};
+  return "fleet-" + std::to_string(sequence.fetch_add(1));
+}
+
+}  // namespace
+
 FleetCompressor::FleetCompressor(
     std::function<std::unique_ptr<OnlineCompressor>()> factory,
-    TrajectoryStore* store)
-    : factory_(std::move(factory)), store_(store) {
+    TrajectoryStore* store, std::string instance)
+    : factory_(std::move(factory)),
+      store_(store),
+      instance_(ResolveInstance(std::move(instance))) {
   STCOMP_CHECK(factory_ != nullptr);
   STCOMP_CHECK(store_ != nullptr);
+  auto& registry = obs::MetricsRegistry::Global();
+  const obs::LabelSet labels{{"compressor", instance_}};
+  fixes_in_ = registry.GetCounter("stcomp_stream_fixes_in_total", labels);
+  fixes_out_ = registry.GetCounter("stcomp_stream_fixes_out_total", labels);
+  active_objects_gauge_ =
+      registry.GetGauge("stcomp_stream_active_objects", labels);
+  buffered_points_gauge_ =
+      registry.GetGauge("stcomp_stream_buffered_points", labels);
+  push_seconds_ = registry.GetHistogram("stcomp_stream_push_seconds", labels,
+                                        obs::LatencyBucketsSeconds());
 }
 
 Status FleetCompressor::Drain(const std::string& object_id,
                               std::vector<TimedPoint>* committed) {
+  // Error-consistent accounting: count and remove exactly the points the
+  // store accepted, so a failed Append mid-drain neither inflates fixes_out
+  // nor leaves accepted points queued for a double-append on retry. The
+  // un-appended tail stays in `committed` for the caller to inspect.
+  size_t appended = 0;
+  Status status = Status::Ok();
   for (const TimedPoint& point : *committed) {
-    STCOMP_RETURN_IF_ERROR(store_->Append(object_id, point));
-    ++fixes_out_;
+    status = store_->Append(object_id, point);
+    if (!status.ok()) {
+      break;
+    }
+    ++appended;
   }
-  committed->clear();
-  return Status::Ok();
+  if (appended > 0) {
+    fixes_out_->Increment(appended);
+  }
+  committed->erase(committed->begin(),
+                   committed->begin() + static_cast<ptrdiff_t>(appended));
+  return status;
 }
 
 Status FleetCompressor::Push(const std::string& object_id,
                              const TimedPoint& fix) {
+  STCOMP_SCOPED_TIMER_SAMPLED(push_seconds_);
   auto it = compressors_.find(object_id);
   if (it == compressors_.end()) {
     it = compressors_.emplace(object_id, factory_()).first;
+    STCOMP_IF_METRICS(active_objects_gauge_->Set(
+        static_cast<double>(compressors_.size())));
   }
-  ++fixes_in_;
+  fixes_in_->Increment();
   std::vector<TimedPoint> committed;
   STCOMP_RETURN_IF_ERROR(it->second->Push(fix, &committed));
   return Drain(object_id, &committed);
@@ -41,16 +84,23 @@ Status FleetCompressor::FinishObject(const std::string& object_id) {
   if (it == compressors_.end()) {
     return NotFoundError("no active stream for object '" + object_id + "'");
   }
+  STCOMP_TRACE_SPAN("fleet.finish_object", object_id);
   std::vector<TimedPoint> committed;
   it->second->Finish(&committed);
   // Drain before erasing: callers (FinishAll in particular) may pass a
   // reference to the map key itself, which erase() would invalidate.
   const Status status = Drain(object_id, &committed);
   compressors_.erase(it);
+  STCOMP_IF_METRICS(active_objects_gauge_->Set(
+      static_cast<double>(compressors_.size())));
+  // Finishing is coarse, so the O(objects) walk refreshing the
+  // buffered-points gauge is affordable here (Push never does it).
+  STCOMP_IF_METRICS(buffered_points());
   return status;
 }
 
 Status FleetCompressor::FinishAll() {
+  STCOMP_TRACE_SPAN("fleet.finish_all", instance_);
   while (!compressors_.empty()) {
     STCOMP_RETURN_IF_ERROR(FinishObject(compressors_.begin()->first));
   }
@@ -62,6 +112,10 @@ size_t FleetCompressor::buffered_points() const {
   for (const auto& [id, compressor] : compressors_) {
     total += compressor->buffered_points();
   }
+  // The gauge tracks working memory but is refreshed lazily, on query and
+  // at snapshot-relevant call sites, to keep Push() free of O(objects)
+  // walks.
+  STCOMP_IF_METRICS(buffered_points_gauge_->Set(static_cast<double>(total)));
   return total;
 }
 

@@ -3,6 +3,12 @@
 // object's committed points to a TrajectoryStore — the full server-side
 // ingestion path the paper's introduction motivates (many devices, one
 // database, compress on arrival).
+//
+// Observability: every instance registers its own metric series under
+// {compressor=<instance>} labels — fixes in/out counters (the public
+// fixes_in()/fixes_out() accessors are shims over them), active-object and
+// buffered-point gauges, a sampled per-push latency histogram, and a trace
+// span per object finish. See DESIGN.md §10.
 
 #ifndef STCOMP_STREAM_FLEET_COMPRESSOR_H_
 #define STCOMP_STREAM_FLEET_COMPRESSOR_H_
@@ -12,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "stcomp/obs/metrics.h"
 #include "stcomp/store/trajectory_store.h"
 #include "stcomp/stream/online_compressor.h"
 
@@ -21,9 +28,11 @@ class FleetCompressor {
  public:
   // `factory` builds a fresh compressor for every new object id; `store`
   // receives committed points (must outlive the FleetCompressor).
+  // `instance` names this compressor's metric series; empty picks a unique
+  // "fleet-<n>" so concurrent instances never share counters.
   FleetCompressor(
       std::function<std::unique_ptr<OnlineCompressor>()> factory,
-      TrajectoryStore* store);
+      TrajectoryStore* store, std::string instance = "");
 
   // Feeds one fix for `object_id`; commits flow into the store.
   // kInvalidArgument for out-of-order fixes of the same object.
@@ -39,11 +48,17 @@ class FleetCompressor {
   size_t active_objects() const { return compressors_.size(); }
 
   // Total fixes pushed and committed across all objects so far: the live
-  // compression dashboard the ingestion path exposes.
-  size_t fixes_in() const { return fixes_in_; }
-  size_t fixes_out() const { return fixes_out_; }
+  // compression dashboard the ingestion path exposes. Reads the registry
+  // counters backing this instance's metric series; only successfully
+  // appended points count as out, so fixes_out() <= fixes_in() holds even
+  // when the store rejects an append mid-drain.
+  size_t fixes_in() const { return fixes_in_->value(); }
+  size_t fixes_out() const { return fixes_out_->value(); }
   // Points currently buffered across all objects (working memory).
   size_t buffered_points() const;
+
+  // The label value under which this instance's metrics are registered.
+  const std::string& instance() const { return instance_; }
 
  private:
   Status Drain(const std::string& object_id,
@@ -51,9 +66,14 @@ class FleetCompressor {
 
   std::function<std::unique_ptr<OnlineCompressor>()> factory_;
   TrajectoryStore* store_;
+  std::string instance_;
   std::map<std::string, std::unique_ptr<OnlineCompressor>> compressors_;
-  size_t fixes_in_ = 0;
-  size_t fixes_out_ = 0;
+  // Registry-owned; valid for the process lifetime.
+  obs::Counter* fixes_in_;
+  obs::Counter* fixes_out_;
+  obs::Gauge* active_objects_gauge_;
+  obs::Gauge* buffered_points_gauge_;
+  obs::Histogram* push_seconds_;
 };
 
 }  // namespace stcomp

@@ -1,12 +1,22 @@
 #include "stcomp/stream/online_compressor.h"
 
 #include "stcomp/common/check.h"
+#include "stcomp/obs/metrics.h"
+#include "stcomp/obs/trace.h"
 
 namespace stcomp {
 
 Result<Trajectory> CompressStream(const Trajectory& trajectory,
                                   OnlineCompressor* compressor) {
   STCOMP_CHECK(compressor != nullptr);
+  // Whole-stream runs are coarse: a registry lookup and a trace span per
+  // trajectory, not per fix.
+  STCOMP_TRACE_SPAN("stream.compress", std::string(compressor->name()));
+  STCOMP_IF_METRICS(
+      obs::MetricsRegistry::Global()
+          .GetCounter("stcomp_stream_compress_runs_total",
+                      {{"compressor", std::string(compressor->name())}})
+          ->Increment());
   std::vector<TimedPoint> committed;
   for (const TimedPoint& point : trajectory.points()) {
     STCOMP_RETURN_IF_ERROR(compressor->Push(point, &committed));

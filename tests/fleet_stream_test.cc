@@ -2,6 +2,8 @@
 
 #include "stcomp/algo/squish.h"
 #include "stcomp/algo/time_ratio.h"
+#include "stcomp/obs/exposition.h"
+#include "stcomp/obs/metrics.h"
 #include "stcomp/stream/fleet_compressor.h"
 #include "stcomp/stream/opening_window_stream.h"
 #include "stcomp/stream/squish_stream.h"
@@ -92,6 +94,7 @@ TEST(FleetCompressorTest, RoutesInterleavedStreams) {
   EXPECT_EQ(fleet.fixes_out(),
             store.Get("car-a").value().size() +
                 store.Get("car-b").value().size());
+  EXPECT_LE(fleet.fixes_out(), fleet.fixes_in());
 }
 
 TEST(FleetCompressorTest, OutOfOrderFixRejectedPerObject) {
@@ -117,6 +120,76 @@ TEST(FleetCompressorTest, FinishObjectFlushesTail) {
   // Huge epsilon: only endpoints survive, but the tail IS flushed.
   EXPECT_EQ(stored.front(), a.front());
   EXPECT_EQ(stored.back(), a.back());
+  EXPECT_LE(fleet.fixes_out(), fleet.fixes_in());
+}
+
+TEST(FleetCompressorTest, DrainAccountingConsistentOnStoreError) {
+  TrajectoryStore store(Codec::kRaw);
+  FleetCompressor fleet([] { return MakeOpwTr(30.0); }, &store);
+  // The opening window commits its anchor immediately.
+  ASSERT_TRUE(fleet.Push("x", {0.0, 0.0, 0.0}).ok());
+  ASSERT_EQ(fleet.fixes_out(), 1u);
+  // Sabotage: advance the stored trajectory past the compressor's clock, so
+  // the next drained commit fails the store's monotonicity check.
+  ASSERT_TRUE(store.Append("x", {1000.0, 1.0, 1.0}).ok());
+  ASSERT_TRUE(fleet.Push("x", {10.0, 50.0, 0.0}).ok());
+  // This push breaks the window, committing the t=10 fix — whose store
+  // append fails against the sabotaged clock, so the error surfaces here.
+  EXPECT_FALSE(fleet.Push("x", {20.0, 0.0, 50.0}).ok());
+  // Failed appends must not count as committed fixes: the invariant
+  // fixes_out <= fixes_in survives mid-drain store errors, and the out
+  // count still matches what the store actually accepted (the anchor plus
+  // the sabotage point).
+  EXPECT_EQ(fleet.fixes_in(), 3u);
+  EXPECT_EQ(fleet.fixes_out(), 1u);
+  EXPECT_LE(fleet.fixes_out(), fleet.fixes_in());
+  EXPECT_EQ(store.Get("x").value().size(), 2u);
+}
+
+TEST(FleetCompressorTest, MetricsAgreeWithStoreAfterFinishAll) {
+  TrajectoryStore store(Codec::kRaw);
+  FleetCompressor fleet([] { return MakeOpwTr(25.0); }, &store, "mtest");
+  EXPECT_EQ(fleet.instance(), "mtest");
+  const Trajectory a = RandomWalk(70, 8);
+  const Trajectory b = RandomWalk(90, 9);
+  for (const TimedPoint& point : a.points()) {
+    ASSERT_TRUE(fleet.Push("truck-a", point).ok());
+  }
+  for (const TimedPoint& point : b.points()) {
+    ASSERT_TRUE(fleet.Push("truck-b", point).ok());
+  }
+  ASSERT_TRUE(fleet.FinishAll().ok());
+
+  // The accessors are shims over this instance's registry series; all three
+  // views — accessor, registry counter, store contents — must agree.
+  auto& registry = obs::MetricsRegistry::Global();
+  const obs::LabelSet labels{{"compressor", "mtest"}};
+  EXPECT_EQ(
+      registry.GetCounter("stcomp_stream_fixes_in_total", labels)->value(),
+      fleet.fixes_in());
+  EXPECT_EQ(
+      registry.GetCounter("stcomp_stream_fixes_out_total", labels)->value(),
+      fleet.fixes_out());
+  EXPECT_EQ(fleet.fixes_in(), a.size() + b.size());
+  EXPECT_EQ(fleet.fixes_out(), store.Get("truck-a").value().size() +
+                                   store.Get("truck-b").value().size());
+  EXPECT_LE(fleet.fixes_out(), fleet.fixes_in());
+
+  // And the run must be scrapeable: the instance's series appear in the
+  // Prometheus exposition with their label attached.
+  const std::string prom =
+      obs::RenderPrometheus(registry.Snapshot());
+  EXPECT_NE(prom.find("stcomp_stream_fixes_in_total{compressor=\"mtest\"} " +
+                      std::to_string(fleet.fixes_in())),
+            std::string::npos);
+  EXPECT_NE(prom.find("stcomp_stream_fixes_out_total{compressor=\"mtest\"} " +
+                      std::to_string(fleet.fixes_out())),
+            std::string::npos);
+#if STCOMP_METRICS_ENABLED
+  EXPECT_NE(
+      prom.find("stcomp_stream_push_seconds_bucket{compressor=\"mtest\",le="),
+      std::string::npos);
+#endif
 }
 
 TEST(FleetCompressorTest, ManyObjectsScale) {
@@ -138,6 +211,11 @@ TEST(FleetCompressorTest, ManyObjectsScale) {
   EXPECT_EQ(store.object_count(), 20u);
   EXPECT_EQ(fleet.fixes_in(), 1000u);
   EXPECT_LT(fleet.fixes_out(), fleet.fixes_in());
+  size_t stored = 0;
+  for (uint64_t object = 0; object < 20; ++object) {
+    stored += store.Get("obj-" + std::to_string(object)).value().size();
+  }
+  EXPECT_EQ(fleet.fixes_out(), stored);
 }
 
 }  // namespace
