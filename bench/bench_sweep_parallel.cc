@@ -1,0 +1,164 @@
+// Serial-vs-parallel sweep driver benchmark: the same (algorithm,
+// threshold) grid the figure benches run, once through the serial
+// SweepThresholds loop and once through SweepManyParallel's thread pool.
+//
+// Beyond the speedup number, this is the equality harness for the parallel
+// driver: every SweepPoint must match its serial counterpart *exactly*
+// (bitwise doubles) — the workers run the same zero-copy entry points over
+// the same shared dataset, so any divergence is a scheduling bug.
+//
+//   ./bench_sweep_parallel [--trajectories=6] [--threads=0]
+//                          [--repetitions=3] [--json-out=BENCH_sweep.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stcomp/common/check.h"
+#include "stcomp/common/flags.h"
+#include "stcomp/exp/sweep.h"
+#include "stcomp/obs/exposition.h"
+#include "stcomp/sim/paper_dataset.h"
+
+namespace {
+
+using stcomp::SweepPoint;
+using stcomp::SweepRequest;
+using stcomp::Trajectory;
+
+std::vector<SweepRequest> MakeRequests() {
+  std::vector<SweepRequest> requests;
+  for (const char* name : {"ndp", "td-tr", "nopw", "bopw", "opw-tr",
+                           "opw-sp", "td-sp", "bottom-up-tr"}) {
+    stcomp::algo::AlgorithmParams base;
+    base.speed_threshold_mps = 10.0;
+    requests.push_back({name, base, stcomp::PaperThresholds()});
+  }
+  return requests;
+}
+
+double Seconds(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool PointsEqual(const SweepPoint& a, const SweepPoint& b) {
+  return a.epsilon_m == b.epsilon_m &&
+         a.speed_threshold_mps == b.speed_threshold_mps &&
+         a.compression_percent == b.compression_percent &&
+         a.sync_error_mean_m == b.sync_error_mean_m &&
+         a.sync_error_max_m == b.sync_error_max_m &&
+         a.perp_error_mean_m == b.perp_error_mean_m &&
+         a.area_error_m == b.area_error_m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int trajectories = 6;
+  int threads = 0;
+  int repetitions = 3;
+  std::string json_out = "BENCH_sweep.json";
+  stcomp::FlagParser flags("serial vs parallel threshold-sweep driver");
+  flags.AddInt("trajectories", &trajectories, "dataset size");
+  flags.AddInt("threads", &threads,
+               "parallel workers (0 = hardware concurrency)");
+  flags.AddInt("repetitions", &repetitions, "timed repetitions (min wins)");
+  flags.AddString("json-out", &json_out,
+                  "machine-readable result path (empty disables)");
+  if (const stcomp::Status status = flags.Parse(argc, argv); !status.ok()) {
+    return status.code() == stcomp::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  STCOMP_CHECK(trajectories > 0 && repetitions > 0);
+
+  stcomp::PaperDatasetConfig config;
+  config.num_trajectories = static_cast<size_t>(trajectories);
+  const std::vector<Trajectory> dataset = stcomp::GeneratePaperDataset(config);
+  const std::vector<SweepRequest> requests = MakeRequests();
+  size_t cells = 0;
+  for (const SweepRequest& request : requests) {
+    cells += request.thresholds.size();
+  }
+  const int effective_threads =
+      threads > 0 ? threads
+                  : static_cast<int>(
+                        std::max(1u, std::thread::hardware_concurrency()));
+  std::printf("sweep: %zu algorithms x %zu thresholds = %zu cells over %d "
+              "trajectories, %d threads\n",
+              requests.size(), requests.front().thresholds.size(), cells,
+              trajectories, effective_threads);
+
+  // Warm-up (untimed): page in code, grow the thread-local workspaces.
+  std::vector<std::vector<SweepPoint>> serial;
+  for (const SweepRequest& request : requests) {
+    serial.push_back(stcomp::SweepThresholds(dataset, request.algorithm,
+                                             request.base, request.thresholds)
+                         .value());
+  }
+
+  double serial_seconds = 1e300;
+  double parallel_seconds = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    {
+      const auto start = std::chrono::steady_clock::now();
+      for (const SweepRequest& request : requests) {
+        const auto points =
+            stcomp::SweepThresholds(dataset, request.algorithm, request.base,
+                                    request.thresholds)
+                .value();
+        STCOMP_CHECK(points.size() == request.thresholds.size());
+      }
+      serial_seconds = std::min(serial_seconds, Seconds(start));
+    }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      const std::vector<std::vector<SweepPoint>> parallel =
+          stcomp::SweepManyParallel(dataset, requests, threads).value();
+      parallel_seconds = std::min(parallel_seconds, Seconds(start));
+      // Exact equality with the serial reference, every repetition.
+      STCOMP_CHECK(parallel.size() == serial.size());
+      for (size_t r = 0; r < serial.size(); ++r) {
+        STCOMP_CHECK(parallel[r].size() == serial[r].size());
+        for (size_t k = 0; k < serial[r].size(); ++k) {
+          STCOMP_CHECK(PointsEqual(parallel[r][k], serial[r][k]));
+        }
+      }
+    }
+  }
+  const double speedup = serial_seconds / parallel_seconds;
+  std::printf("  serial    %8.3f s\n", serial_seconds);
+  std::printf("  parallel  %8.3f s\n", parallel_seconds);
+  std::printf("  speedup   %8.2fx (%d threads)\n", speedup, effective_threads);
+  std::printf("  results   identical to serial (exact doubles)\n");
+
+  if (!json_out.empty()) {
+    char numbers[384];
+    std::snprintf(numbers, sizeof(numbers),
+                  "  \"threads\": %d,\n  \"cells\": %zu,\n"
+                  "  \"trajectories\": %d,\n  \"repetitions\": %d,\n"
+                  "  \"serial_seconds\": %.6f,\n"
+                  "  \"parallel_seconds\": %.6f,\n  \"speedup\": %.3f,\n",
+                  effective_threads, cells, trajectories, repetitions,
+                  serial_seconds, parallel_seconds, speedup);
+    const std::string json =
+        "{\n  \"bench\": \"bench_sweep_parallel\",\n  \"schema_version\": "
+        "1,\n" +
+        std::string(numbers) + "  \"metrics\": " +
+        stcomp::obs::RenderJson(
+            stcomp::obs::MetricsRegistry::Global().Snapshot()) +
+        "}\n";
+    std::ofstream file(json_out);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_out.c_str());
+      return 1;
+    }
+    file << json;
+    std::printf("result written to %s\n", json_out.c_str());
+  }
+  return 0;
+}

@@ -43,12 +43,21 @@ int main(int argc, char** argv) {
       error_budget, dataset.size());
   stcomp::Table table({"algorithm", "best_threshold_m", "compression_%",
                        "mean_sync_err_m"});
-  for (const char* name : {"ndp", "nopw", "bopw", "td-tr", "opw-tr",
-                           "opw-sp", "td-sp", "bottom-up-tr"}) {
+  const std::vector<const char*> names = {"ndp",    "nopw",  "bopw",
+                                          "td-tr",  "opw-tr", "opw-sp",
+                                          "td-sp",  "bottom-up-tr"};
+  // All (algorithm, threshold) cells run in one thread pool.
+  std::vector<stcomp::SweepRequest> requests;
+  for (const char* name : names) {
     stcomp::algo::AlgorithmParams base;
     base.speed_threshold_mps = 10.0;
-    const std::vector<stcomp::SweepPoint> sweep =
-        stcomp::SweepThresholds(dataset, name, base, grid).value();
+    requests.push_back({name, base, grid});
+  }
+  const std::vector<std::vector<stcomp::SweepPoint>> sweeps =
+      stcomp::SweepManyParallel(dataset, requests).value();
+  for (size_t s = 0; s < names.size(); ++s) {
+    const char* name = names[s];
+    const std::vector<stcomp::SweepPoint>& sweep = sweeps[s];
     // Errors rise (mostly) with the threshold: take the best-compressing
     // point within budget.
     std::optional<stcomp::SweepPoint> best;

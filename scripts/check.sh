@@ -3,8 +3,11 @@
 # configure+build+test pass with AddressSanitizer + UBSan instrumentation
 # (STCOMP_SANITIZE), so the property harness in tests/proptest/ doubles as
 # a fuzz-lite memory-safety sweep over algo/, error/, store/ and stream/,
-# and a third pass with STCOMP_DISABLE_METRICS=ON proving the tree builds
-# and tests green with the observability macros compiled out.
+# a third pass with STCOMP_DISABLE_METRICS=ON proving the tree builds and
+# tests green with the observability macros compiled out, and a fourth
+# pass with ThreadSanitizer (incompatible with ASan, hence its own build
+# tree) covering the parallel sweep driver, the stream fleet and every
+# other concurrent path the suite exercises.
 #
 # Usage: scripts/check.sh            # all passes
 #        JOBS=4 scripts/check.sh     # cap parallelism
@@ -12,19 +15,28 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== Pass 1/3: tier-1 (plain RelWithDebInfo) =="
+echo "== Pass 1/4: tier-1 (plain RelWithDebInfo) =="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== Pass 2/3: STCOMP_SANITIZE=address;undefined =="
+echo "== Pass 2/4: STCOMP_SANITIZE=address;undefined =="
 cmake -B build-asan -S . -DSTCOMP_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== Pass 3/3: STCOMP_DISABLE_METRICS=ON =="
+echo "== Pass 3/4: STCOMP_DISABLE_METRICS=ON =="
 cmake -B build-nometrics -S . -DSTCOMP_DISABLE_METRICS=ON
 cmake --build build-nometrics -j "$JOBS"
 ctest --test-dir build-nometrics --output-on-failure -j "$JOBS"
+
+echo "== Pass 4/4: STCOMP_SANITIZE=thread =="
+cmake -B build-tsan -S . -DSTCOMP_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+# Drive the parallel sweep under TSan beyond the unit tests: the full
+# (algorithm, threshold) grid with the serial-equality harness.
+./build-tsan/bench/bench_sweep_parallel --trajectories=2 --repetitions=1 \
+    --threads=4 --json-out=""
 
 echo "All checks passed."

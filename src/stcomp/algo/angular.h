@@ -13,7 +13,9 @@ namespace stcomp::algo {
 // (0 = straight continuation, pi = reversal) is below
 // `min_heading_change_rad`. The triple is (last kept, candidate, next
 // original point). Precondition (checked): threshold in [0, pi].
-IndexList AngularChange(const Trajectory& trajectory,
+void AngularChange(TrajectoryView trajectory, double min_heading_change_rad,
+                   IndexList& out);
+IndexList AngularChange(TrajectoryView trajectory,
                         double min_heading_change_rad);
 
 }  // namespace stcomp::algo

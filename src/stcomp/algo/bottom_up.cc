@@ -1,7 +1,7 @@
 #include "stcomp/algo/bottom_up.h"
 
+#include <algorithm>
 #include <limits>
-#include <queue>
 #include <vector>
 
 #include "stcomp/common/check.h"
@@ -11,18 +11,39 @@ namespace stcomp::algo {
 
 namespace {
 
+using detail::HeapEntry;
+
+// Min-heap order on (cost, index): std::push_heap/pop_heap with this
+// comparator pop entries cheapest-first, lowest index on ties — the same
+// order std::priority_queue<Entry, vector, greater<>> produced before the
+// workspace refactor.
+bool CostGreater(const HeapEntry& a, const HeapEntry& b) {
+  if (a.key != b.key) {
+    return a.key > b.key;
+  }
+  return a.index > b.index;  // Deterministic tie-break: lowest index.
+}
+
 // Shared greedy engine. Runs removals in increasing cost order and stops
-// when `should_stop(next_cost, kept_count)` says so.
+// when `may_remove(next_cost, kept_count)` says so. All scratch lives in
+// the caller's Workspace.
 class BottomUpEngine {
  public:
-  BottomUpEngine(const Trajectory& trajectory, BottomUpMetric metric)
+  BottomUpEngine(TrajectoryView trajectory, BottomUpMetric metric,
+                 Workspace& workspace)
       : trajectory_(trajectory),
         metric_(metric),
         n_(static_cast<int>(trajectory.size())),
-        prev_(static_cast<size_t>(n_)),
-        next_(static_cast<size_t>(n_)),
-        generation_(static_cast<size_t>(n_), 0),
-        alive_(static_cast<size_t>(n_), true) {
+        prev_(workspace.prev),
+        next_(workspace.next),
+        generation_(workspace.generation),
+        alive_(workspace.alive),
+        queue_(workspace.heap) {
+    prev_.resize(static_cast<size_t>(n_));
+    next_.resize(static_cast<size_t>(n_));
+    generation_.assign(static_cast<size_t>(n_), 0);
+    alive_.assign(static_cast<size_t>(n_), 1);
+    queue_.clear();
     for (int i = 0; i < n_; ++i) {
       prev_[static_cast<size_t>(i)] = i - 1;
       next_[static_cast<size_t>(i)] = i + 1 < n_ ? i + 1 : -1;
@@ -33,46 +54,34 @@ class BottomUpEngine {
     kept_count_ = n_;
   }
 
-  // Removes points while `may_remove(cost, kept_count)` allows. Returns the
-  // surviving indices.
+  // Removes points while `may_remove(cost, kept_count)` allows. Fills `out`
+  // with the surviving indices.
   template <typename Predicate>
-  IndexList Run(const Predicate& may_remove) {
+  void Run(const Predicate& may_remove, IndexList& out) {
     while (!queue_.empty()) {
-      const Entry top = queue_.top();
-      queue_.pop();
+      const HeapEntry top = queue_.front();
+      std::pop_heap(queue_.begin(), queue_.end(), CostGreater);
+      queue_.pop_back();
       if (!alive_[static_cast<size_t>(top.index)] ||
           top.generation != generation_[static_cast<size_t>(top.index)]) {
         continue;  // Stale entry.
       }
-      if (!may_remove(top.cost, kept_count_)) {
+      if (!may_remove(top.key, kept_count_)) {
         break;
       }
       Remove(top.index);
     }
-    IndexList kept;
-    kept.reserve(static_cast<size_t>(kept_count_));
+    out.clear();
+    out.reserve(static_cast<size_t>(kept_count_));
     for (int i = 0; i != -1 && i < n_; i = next_[static_cast<size_t>(i)]) {
-      kept.push_back(i);
+      out.push_back(i);
       if (next_[static_cast<size_t>(i)] == -1) {
         break;
       }
     }
-    return kept;
   }
 
  private:
-  struct Entry {
-    double cost;
-    int index;
-    int generation;
-    bool operator>(const Entry& other) const {
-      if (cost != other.cost) {
-        return cost > other.cost;
-      }
-      return index > other.index;  // Deterministic tie-break: lowest index.
-    }
-  };
-
   // Cost of removing the (alive, interior) point `b`: the worst distance of
   // any currently-dead-or-alive interior point of (prev(b), next(b)) from
   // the merged approximation.
@@ -99,14 +108,15 @@ class BottomUpEngine {
   }
 
   void Push(int index) {
-    queue_.push(Entry{RemovalCost(index), index,
-                      generation_[static_cast<size_t>(index)]});
+    queue_.push_back(HeapEntry{RemovalCost(index), index,
+                               generation_[static_cast<size_t>(index)]});
+    std::push_heap(queue_.begin(), queue_.end(), CostGreater);
   }
 
   void Remove(int b) {
     const int a = prev_[static_cast<size_t>(b)];
     const int c = next_[static_cast<size_t>(b)];
-    alive_[static_cast<size_t>(b)] = false;
+    alive_[static_cast<size_t>(b)] = 0;
     next_[static_cast<size_t>(a)] = c;
     prev_[static_cast<size_t>(c)] = a;
     --kept_count_;
@@ -121,40 +131,59 @@ class BottomUpEngine {
     }
   }
 
-  const Trajectory& trajectory_;
+  const TrajectoryView trajectory_;
   const BottomUpMetric metric_;
   const int n_;
-  std::vector<int> prev_;
-  std::vector<int> next_;
-  std::vector<int> generation_;
-  std::vector<bool> alive_;
+  std::vector<int>& prev_;
+  std::vector<int>& next_;
+  std::vector<int>& generation_;
+  std::vector<char>& alive_;
+  std::vector<HeapEntry>& queue_;
   int kept_count_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
 };
 
 }  // namespace
 
-IndexList BottomUp(const Trajectory& trajectory, double epsilon,
-                   BottomUpMetric metric) {
+void BottomUp(TrajectoryView trajectory, double epsilon, BottomUpMetric metric,
+              Workspace& workspace, IndexList& out) {
   STCOMP_CHECK(epsilon >= 0.0);
   if (trajectory.size() <= 2) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
-  BottomUpEngine engine(trajectory, metric);
-  return engine.Run(
-      [epsilon](double cost, int /*kept*/) { return cost <= epsilon; });
+  BottomUpEngine engine(trajectory, metric, workspace);
+  engine.Run([epsilon](double cost, int /*kept*/) { return cost <= epsilon; },
+             out);
 }
 
-IndexList BottomUpMaxPoints(const Trajectory& trajectory, int max_points,
-                            BottomUpMetric metric) {
+IndexList BottomUp(TrajectoryView trajectory, double epsilon,
+                   BottomUpMetric metric) {
+  Workspace workspace;
+  IndexList kept;
+  BottomUp(trajectory, epsilon, metric, workspace, kept);
+  return kept;
+}
+
+void BottomUpMaxPoints(TrajectoryView trajectory, int max_points,
+                       BottomUpMetric metric, Workspace& workspace,
+                       IndexList& out) {
   STCOMP_CHECK(max_points >= 2);
   if (static_cast<int>(trajectory.size()) <= max_points) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
-  BottomUpEngine engine(trajectory, metric);
-  return engine.Run([max_points](double /*cost*/, int kept) {
-    return kept > max_points;
-  });
+  BottomUpEngine engine(trajectory, metric, workspace);
+  engine.Run(
+      [max_points](double /*cost*/, int kept) { return kept > max_points; },
+      out);
+}
+
+IndexList BottomUpMaxPoints(TrajectoryView trajectory, int max_points,
+                            BottomUpMetric metric) {
+  Workspace workspace;
+  IndexList kept;
+  BottomUpMaxPoints(trajectory, max_points, metric, workspace, kept);
+  return kept;
 }
 
 }  // namespace stcomp::algo

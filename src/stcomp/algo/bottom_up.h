@@ -8,6 +8,7 @@
 #define STCOMP_ALGO_BOTTOM_UP_H_
 
 #include "stcomp/algo/compression.h"
+#include "stcomp/algo/workspace.h"
 
 namespace stcomp::algo {
 
@@ -22,12 +23,17 @@ enum class BottomUpMetric {
 // Removes points while the cheapest removal keeps every affected interior
 // point within `epsilon` of the merged segment.
 // Precondition (checked): epsilon >= 0.
-IndexList BottomUp(const Trajectory& trajectory, double epsilon,
+void BottomUp(TrajectoryView trajectory, double epsilon, BottomUpMetric metric,
+              Workspace& workspace, IndexList& out);
+IndexList BottomUp(TrajectoryView trajectory, double epsilon,
                    BottomUpMetric metric);
 
 // Same greedy order, but halts when `max_points` kept points remain
 // (endpoints always kept). Precondition (checked): max_points >= 2.
-IndexList BottomUpMaxPoints(const Trajectory& trajectory, int max_points,
+void BottomUpMaxPoints(TrajectoryView trajectory, int max_points,
+                       BottomUpMetric metric, Workspace& workspace,
+                       IndexList& out);
+IndexList BottomUpMaxPoints(TrajectoryView trajectory, int max_points,
                             BottomUpMetric metric);
 
 }  // namespace stcomp::algo

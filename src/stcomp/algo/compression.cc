@@ -4,13 +4,18 @@
 
 namespace stcomp::algo {
 
-IndexList KeepAll(const Trajectory& trajectory) {
-  IndexList all(trajectory.size());
-  std::iota(all.begin(), all.end(), 0);
+void KeepAll(TrajectoryView trajectory, IndexList& out) {
+  out.resize(trajectory.size());
+  std::iota(out.begin(), out.end(), 0);
+}
+
+IndexList KeepAll(TrajectoryView trajectory) {
+  IndexList all;
+  KeepAll(trajectory, all);
   return all;
 }
 
-bool IsValidIndexList(const Trajectory& trajectory, const IndexList& kept) {
+bool IsValidIndexList(TrajectoryView trajectory, const IndexList& kept) {
   if (trajectory.empty()) {
     return kept.empty();
   }

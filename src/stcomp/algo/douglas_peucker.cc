@@ -1,9 +1,7 @@
 #include "stcomp/algo/douglas_peucker.h"
 
 #include <algorithm>
-#include <queue>
 #include <utility>
-#include <vector>
 
 #include "stcomp/common/check.h"
 
@@ -14,7 +12,7 @@ namespace {
 // Index of the interior point of (first, last) maximising `distance`,
 // lowest index on ties, together with that maximum. Requires last >
 // first + 1.
-std::pair<int, double> FarthestInteriorPoint(const Trajectory& trajectory,
+std::pair<int, double> FarthestInteriorPoint(TrajectoryView trajectory,
                                              int first, int last,
                                              const SplitDistanceFn& distance) {
   int best_index = first + 1;
@@ -29,29 +27,57 @@ std::pair<int, double> FarthestInteriorPoint(const Trajectory& trajectory,
   return {best_index, best_distance};
 }
 
+// Max-heap order for the best-first ranges; ties break to the earlier
+// range for deterministic output (same order std::priority_queue<Range>
+// produced before the workspace refactor).
+bool RangeLess(const detail::RangeEntry& a, const detail::RangeEntry& b) {
+  if (a.key != b.key) {
+    return a.key < b.key;
+  }
+  return a.first > b.first;
+}
+
+// Copies the set-bit indices of `keep` into `out` (exact-size reserve).
+void CollectKept(const std::vector<char>& keep, int kept_count,
+                 IndexList& out) {
+  out.clear();
+  out.reserve(static_cast<size_t>(kept_count));
+  const int n = static_cast<int>(keep.size());
+  for (int i = 0; i < n; ++i) {
+    if (keep[static_cast<size_t>(i)]) {
+      out.push_back(i);
+    }
+  }
+}
+
 }  // namespace
 
-double PerpendicularSplitDistance(const Trajectory& trajectory, int first,
+double PerpendicularSplitDistance(TrajectoryView trajectory, int first,
                                   int last, int i) {
   return PointToLineDistance(trajectory[static_cast<size_t>(i)].position,
                              trajectory[static_cast<size_t>(first)].position,
                              trajectory[static_cast<size_t>(last)].position);
 }
 
-IndexList TopDown(const Trajectory& trajectory, double epsilon,
-                  const SplitDistanceFn& distance) {
+void TopDown(TrajectoryView trajectory, double epsilon,
+             const SplitDistanceFn& distance, Workspace& workspace,
+             IndexList& out) {
   STCOMP_CHECK(epsilon >= 0.0);
   const int n = static_cast<int>(trajectory.size());
   if (n <= 2) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
-  std::vector<bool> keep(static_cast<size_t>(n), false);
-  keep[0] = true;
-  keep[static_cast<size_t>(n) - 1] = true;
+  std::vector<char>& keep = workspace.keep;
+  keep.assign(static_cast<size_t>(n), 0);
+  keep[0] = 1;
+  keep[static_cast<size_t>(n) - 1] = 1;
+  int kept_count = 2;
 
   // Explicit stack instead of recursion: GPS traces can be long and
   // adversarial splits would otherwise risk stack exhaustion.
-  std::vector<std::pair<int, int>> stack;
+  std::vector<std::pair<int, int>>& stack = workspace.ranges;
+  stack.clear();
   stack.emplace_back(0, n - 1);
   while (!stack.empty()) {
     const auto [first, last] = stack.back();
@@ -62,7 +88,8 @@ IndexList TopDown(const Trajectory& trajectory, double epsilon,
     const auto [split, max_distance] =
         FarthestInteriorPoint(trajectory, first, last, distance);
     if (max_distance > epsilon) {
-      keep[static_cast<size_t>(split)] = true;
+      keep[static_cast<size_t>(split)] = 1;
+      ++kept_count;
       // Push the right half first so the left half is processed first;
       // order does not affect the result, only reproducibility of traces.
       stack.emplace_back(split, last);
@@ -70,81 +97,87 @@ IndexList TopDown(const Trajectory& trajectory, double epsilon,
     }
   }
 
+  CollectKept(keep, kept_count, out);
+}
+
+IndexList TopDown(TrajectoryView trajectory, double epsilon,
+                  const SplitDistanceFn& distance) {
+  Workspace workspace;
   IndexList kept;
-  for (int i = 0; i < n; ++i) {
-    if (keep[static_cast<size_t>(i)]) {
-      kept.push_back(i);
-    }
-  }
+  TopDown(trajectory, epsilon, distance, workspace, kept);
   return kept;
 }
 
-IndexList DouglasPeucker(const Trajectory& trajectory, double epsilon_m) {
+void DouglasPeucker(TrajectoryView trajectory, double epsilon_m,
+                    Workspace& workspace, IndexList& out) {
+  TopDown(trajectory, epsilon_m, PerpendicularSplitDistance, workspace, out);
+}
+
+IndexList DouglasPeucker(TrajectoryView trajectory, double epsilon_m) {
   return TopDown(trajectory, epsilon_m, PerpendicularSplitDistance);
 }
 
-IndexList TopDownMaxPoints(const Trajectory& trajectory, int max_points,
-                           const SplitDistanceFn& distance) {
+void TopDownMaxPoints(TrajectoryView trajectory, int max_points,
+                      const SplitDistanceFn& distance, Workspace& workspace,
+                      IndexList& out) {
   STCOMP_CHECK(max_points >= 2);
   const int n = static_cast<int>(trajectory.size());
   if (n <= 2 || n <= max_points) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
 
   // Best-first refinement: repeatedly split the pending range with the
-  // globally largest deviation until the point budget is exhausted.
-  struct Range {
-    double max_distance;
-    int first;
-    int last;
-    int split;
-    bool operator<(const Range& other) const {
-      // std::priority_queue is a max-heap; ties break to the earlier range
-      // for deterministic output.
-      if (max_distance != other.max_distance) {
-        return max_distance < other.max_distance;
-      }
-      return first > other.first;
-    }
-  };
-
+  // globally largest deviation until the point budget is exhausted. The
+  // workspace-owned binary heap replicates std::priority_queue<Range>.
   auto make_range = [&trajectory, &distance](int first, int last) {
     const auto [split, max_distance] =
         FarthestInteriorPoint(trajectory, first, last, distance);
-    return Range{max_distance, first, last, split};
+    return detail::RangeEntry{max_distance, first, last, split};
   };
 
-  std::priority_queue<Range> queue;
-  queue.push(make_range(0, n - 1));
-  std::vector<bool> keep(static_cast<size_t>(n), false);
-  keep[0] = true;
-  keep[static_cast<size_t>(n) - 1] = true;
+  std::vector<detail::RangeEntry>& queue = workspace.range_heap;
+  queue.clear();
+  queue.push_back(make_range(0, n - 1));
+  std::vector<char>& keep = workspace.keep;
+  keep.assign(static_cast<size_t>(n), 0);
+  keep[0] = 1;
+  keep[static_cast<size_t>(n) - 1] = 1;
   int kept_count = 2;
   while (kept_count < max_points && !queue.empty()) {
-    const Range range = queue.top();
-    queue.pop();
-    keep[static_cast<size_t>(range.split)] = true;
+    std::pop_heap(queue.begin(), queue.end(), RangeLess);
+    const detail::RangeEntry range = queue.back();
+    queue.pop_back();
+    keep[static_cast<size_t>(range.split)] = 1;
     ++kept_count;
     if (range.split - range.first >= 2) {
-      queue.push(make_range(range.first, range.split));
+      queue.push_back(make_range(range.first, range.split));
+      std::push_heap(queue.begin(), queue.end(), RangeLess);
     }
     if (range.last - range.split >= 2) {
-      queue.push(make_range(range.split, range.last));
+      queue.push_back(make_range(range.split, range.last));
+      std::push_heap(queue.begin(), queue.end(), RangeLess);
     }
   }
 
+  CollectKept(keep, kept_count, out);
+}
+
+IndexList TopDownMaxPoints(TrajectoryView trajectory, int max_points,
+                           const SplitDistanceFn& distance) {
+  Workspace workspace;
   IndexList kept;
-  kept.reserve(static_cast<size_t>(kept_count));
-  for (int i = 0; i < n; ++i) {
-    if (keep[static_cast<size_t>(i)]) {
-      kept.push_back(i);
-    }
-  }
+  TopDownMaxPoints(trajectory, max_points, distance, workspace, kept);
   return kept;
 }
 
-IndexList DouglasPeuckerMaxPoints(const Trajectory& trajectory,
-                                  int max_points) {
+void DouglasPeuckerMaxPoints(TrajectoryView trajectory, int max_points,
+                             Workspace& workspace, IndexList& out) {
+  TopDownMaxPoints(trajectory, max_points, PerpendicularSplitDistance,
+                   workspace, out);
+}
+
+IndexList DouglasPeuckerMaxPoints(TrajectoryView trajectory, int max_points) {
   return TopDownMaxPoints(trajectory, max_points, PerpendicularSplitDistance);
 }
 

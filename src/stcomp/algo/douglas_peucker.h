@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "stcomp/algo/compression.h"
+#include "stcomp/algo/workspace.h"
 
 namespace stcomp::algo {
 
@@ -15,34 +16,43 @@ namespace stcomp::algo {
 // range (first, last): perpendicular distance for classic DP, synchronized
 // (time-ratio) distance for TD-TR.
 using SplitDistanceFn =
-    std::function<double(const Trajectory&, int first, int last, int i)>;
+    std::function<double(TrajectoryView, int first, int last, int i)>;
 
 // Perpendicular distance from point `i` to the line through points `first`
 // and `last` (the classic DP criterion; the paper's NDP).
-double PerpendicularSplitDistance(const Trajectory& trajectory, int first,
+double PerpendicularSplitDistance(TrajectoryView trajectory, int first,
                                   int last, int i);
 
 // Generic top-down recursion: splits (iteratively, with an explicit stack)
 // at the interior point of maximum `distance` whenever that maximum exceeds
 // `epsilon`; ties break to the lowest index. Keeps both endpoints.
 // Precondition (checked): epsilon >= 0.
-IndexList TopDown(const Trajectory& trajectory, double epsilon,
+void TopDown(TrajectoryView trajectory, double epsilon,
+             const SplitDistanceFn& distance, Workspace& workspace,
+             IndexList& out);
+IndexList TopDown(TrajectoryView trajectory, double epsilon,
                   const SplitDistanceFn& distance);
 
 // Classic Douglas-Peucker with perpendicular-distance threshold `epsilon_m`
 // ("NDP" in the paper's experiments).
-IndexList DouglasPeucker(const Trajectory& trajectory, double epsilon_m);
+void DouglasPeucker(TrajectoryView trajectory, double epsilon_m,
+                    Workspace& workspace, IndexList& out);
+IndexList DouglasPeucker(TrajectoryView trajectory, double epsilon_m);
 
 // Best-first top-down refinement halting on output size instead of a
 // distance threshold (paper Sec. 2, halting condition "the number of data
 // points exceeds a user-defined value"). Always keeps the two endpoints,
 // so the effective minimum is 2. Precondition (checked): max_points >= 2.
-IndexList TopDownMaxPoints(const Trajectory& trajectory, int max_points,
+void TopDownMaxPoints(TrajectoryView trajectory, int max_points,
+                      const SplitDistanceFn& distance, Workspace& workspace,
+                      IndexList& out);
+IndexList TopDownMaxPoints(TrajectoryView trajectory, int max_points,
                            const SplitDistanceFn& distance);
 
 // The classic perpendicular-distance instance of TopDownMaxPoints.
-IndexList DouglasPeuckerMaxPoints(const Trajectory& trajectory,
-                                  int max_points);
+void DouglasPeuckerMaxPoints(TrajectoryView trajectory, int max_points,
+                             Workspace& workspace, IndexList& out);
+IndexList DouglasPeuckerMaxPoints(TrajectoryView trajectory, int max_points);
 
 }  // namespace stcomp::algo
 

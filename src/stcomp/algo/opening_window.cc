@@ -5,7 +5,7 @@
 
 namespace stcomp::algo {
 
-double PerpendicularWindowDistance(const Trajectory& trajectory, int anchor,
+double PerpendicularWindowDistance(TrajectoryView trajectory, int anchor,
                                    int float_index, int i) {
   return PointToLineDistance(
       trajectory[static_cast<size_t>(i)].position,
@@ -13,22 +13,24 @@ double PerpendicularWindowDistance(const Trajectory& trajectory, int anchor,
       trajectory[static_cast<size_t>(float_index)].position);
 }
 
-double SynchronizedWindowDistance(const Trajectory& trajectory, int anchor,
+double SynchronizedWindowDistance(TrajectoryView trajectory, int anchor,
                                   int float_index, int i) {
   return SynchronizedDistance(trajectory[static_cast<size_t>(anchor)],
                               trajectory[static_cast<size_t>(float_index)],
                               trajectory[static_cast<size_t>(i)]);
 }
 
-IndexList OpeningWindow(const Trajectory& trajectory, double epsilon,
-                        BreakPolicy policy, const WindowDistanceFn& distance) {
+void OpeningWindow(TrajectoryView trajectory, double epsilon,
+                   BreakPolicy policy, const WindowDistanceFn& distance,
+                   IndexList& out) {
   STCOMP_CHECK(epsilon >= 0.0);
   const int n = static_cast<int>(trajectory.size());
   if (n <= 2) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
-  IndexList kept;
-  kept.push_back(0);
+  out.clear();
+  out.push_back(0);
   int anchor = 0;
   int float_index = anchor + 2;
   while (float_index < n) {
@@ -51,24 +53,42 @@ IndexList OpeningWindow(const Trajectory& trajectory, double epsilon,
         policy == BreakPolicy::kNormal ? violation : float_index - 1;
     // Both choices are > anchor: violation >= anchor + 1 and
     // float_index - 1 >= anchor + 1.
-    kept.push_back(cut);
+    out.push_back(cut);
     anchor = cut;
     float_index = anchor + 2;
   }
-  if (kept.back() != n - 1) {
-    kept.push_back(n - 1);
+  if (out.back() != n - 1) {
+    out.push_back(n - 1);
   }
+}
+
+IndexList OpeningWindow(TrajectoryView trajectory, double epsilon,
+                        BreakPolicy policy, const WindowDistanceFn& distance) {
+  IndexList kept;
+  OpeningWindow(trajectory, epsilon, policy, distance, kept);
   return kept;
 }
 
-IndexList Nopw(const Trajectory& trajectory, double epsilon_m) {
-  return OpeningWindow(trajectory, epsilon_m, BreakPolicy::kNormal,
-                       PerpendicularWindowDistance);
+void Nopw(TrajectoryView trajectory, double epsilon_m, IndexList& out) {
+  OpeningWindow(trajectory, epsilon_m, BreakPolicy::kNormal,
+                PerpendicularWindowDistance, out);
 }
 
-IndexList Bopw(const Trajectory& trajectory, double epsilon_m) {
-  return OpeningWindow(trajectory, epsilon_m, BreakPolicy::kBefore,
-                       PerpendicularWindowDistance);
+IndexList Nopw(TrajectoryView trajectory, double epsilon_m) {
+  IndexList kept;
+  Nopw(trajectory, epsilon_m, kept);
+  return kept;
+}
+
+void Bopw(TrajectoryView trajectory, double epsilon_m, IndexList& out) {
+  OpeningWindow(trajectory, epsilon_m, BreakPolicy::kBefore,
+                PerpendicularWindowDistance, out);
+}
+
+IndexList Bopw(TrajectoryView trajectory, double epsilon_m) {
+  IndexList kept;
+  Bopw(trajectory, epsilon_m, kept);
+  return kept;
 }
 
 }  // namespace stcomp::algo

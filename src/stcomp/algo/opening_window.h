@@ -26,29 +26,33 @@ enum class BreakPolicy {
 // Distance of interior point `i` from the candidate window segment
 // (anchor, float_index).
 using WindowDistanceFn =
-    std::function<double(const Trajectory&, int anchor, int float_index,
-                         int i)>;
+    std::function<double(TrajectoryView, int anchor, int float_index, int i)>;
 
 // Perpendicular distance from point `i` to the line through the window
 // endpoints — the classic opening-window criterion.
-double PerpendicularWindowDistance(const Trajectory& trajectory, int anchor,
+double PerpendicularWindowDistance(TrajectoryView trajectory, int anchor,
                                    int float_index, int i);
 
 // Synchronized (time-ratio) distance of point `i` from the window segment
 // (paper Eqs. 1-2) — the OPW-TR criterion.
-double SynchronizedWindowDistance(const Trajectory& trajectory, int anchor,
+double SynchronizedWindowDistance(TrajectoryView trajectory, int anchor,
                                   int float_index, int i);
 
 // Generic opening window. A window is violated when any interior distance
 // exceeds `epsilon` (strictly). The final point is always kept (the
 // countermeasure for the "may lose the last few data points" issue the
 // paper notes). Precondition (checked): epsilon >= 0.
-IndexList OpeningWindow(const Trajectory& trajectory, double epsilon,
+void OpeningWindow(TrajectoryView trajectory, double epsilon,
+                   BreakPolicy policy, const WindowDistanceFn& distance,
+                   IndexList& out);
+IndexList OpeningWindow(TrajectoryView trajectory, double epsilon,
                         BreakPolicy policy, const WindowDistanceFn& distance);
 
 // Classic spatial variants (perpendicular distance).
-IndexList Nopw(const Trajectory& trajectory, double epsilon_m);
-IndexList Bopw(const Trajectory& trajectory, double epsilon_m);
+void Nopw(TrajectoryView trajectory, double epsilon_m, IndexList& out);
+IndexList Nopw(TrajectoryView trajectory, double epsilon_m);
+void Bopw(TrajectoryView trajectory, double epsilon_m, IndexList& out);
+IndexList Bopw(TrajectoryView trajectory, double epsilon_m);
 
 }  // namespace stcomp::algo
 

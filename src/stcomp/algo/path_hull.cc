@@ -10,16 +10,22 @@ namespace stcomp::algo {
 
 namespace {
 
+using Record = detail::HullUndo;
+
 // A Melkman convex hull of a chain of trajectory points, grown one point
 // at a time, with O(1) undo per addition. The deque holds point *indices*;
 // slot contents are never mutated by pops, and each push overwrites exactly
 // one slot per end, so saving (bot, top, two overwritten slots) per
-// addition restores any earlier state exactly.
+// addition restores any earlier state exactly. Deque and history storage
+// are borrowed from the caller's Workspace.
 class MelkmanHull {
  public:
-  // `positions` must outlive the hull; capacity is for the longest chain.
-  MelkmanHull(const std::vector<TimedPoint>* points, size_t capacity)
-      : points_(points), deque_(2 * capacity + 8, -1) {}
+  // `points` must outlive the hull; capacity is for the longest chain.
+  MelkmanHull(TrajectoryView points, std::vector<int>& deque,
+              std::vector<Record>& history, size_t capacity)
+      : points_(points), deque_(deque), history_(history) {
+    deque_.assign(2 * capacity + 8, -1);
+  }
 
   // Resets to the single-point hull {seed_index}.
   void Init(int seed_index) {
@@ -80,13 +86,15 @@ class MelkmanHull {
       history_.push_back(record);
       return;
     }
-    while (top_ - bot_ >= 2 && Cross(deque_[bot_], deque_[bot_ + 1], p) <= 0.0) {
+    while (top_ - bot_ >= 2 &&
+           Cross(deque_[bot_], deque_[bot_ + 1], p) <= 0.0) {
       ++bot_;  // Pop bottom; slot content untouched.
     }
     record.bot_written_slot = bot_ - 1;
     record.old_bot_slot = deque_[bot_ - 1];
     deque_[--bot_] = index;
-    while (top_ - bot_ >= 2 && Cross(deque_[top_ - 1], deque_[top_], p) <= 0.0) {
+    while (top_ - bot_ >= 2 &&
+           Cross(deque_[top_ - 1], deque_[top_], p) <= 0.0) {
       --top_;  // Pop top.
     }
     record.top_written_slot = top_ + 1;
@@ -100,10 +108,10 @@ class MelkmanHull {
   void SplitAt(int index) {
     while (!history_.empty() && history_.back().point != index) {
       const Record& record = history_.back();
-      if (record.old_bot_slot != kNoSlot) {
+      if (record.old_bot_slot != Record::kNoSlot) {
         deque_[record.bot_written_slot] = record.old_bot_slot;
       }
-      if (record.old_top_slot != kNoSlot) {
+      if (record.old_top_slot != Record::kNoSlot) {
         deque_[record.top_written_slot] = record.old_top_slot;
       }
       bot_ = record.bot;
@@ -122,54 +130,47 @@ class MelkmanHull {
   }
 
  private:
-  static constexpr int kNoSlot = -2;
-
-  struct Record {
-    int point;
-    size_t bot;  // Deque indices before this addition.
-    size_t top;
-    // Slot each push overwrote and its prior content (kNoSlot: no push).
-    size_t bot_written_slot = 0;
-    size_t top_written_slot = 0;
-    int old_bot_slot = kNoSlot;
-    int old_top_slot = kNoSlot;
-  };
-
   Vec2 Position(int index) const {
-    return (*points_)[static_cast<size_t>(index)].position;
+    return points_[static_cast<size_t>(index)].position;
   }
   double Cross(int a, int b, Vec2 p) const {
     const Vec2 va = Position(a);
     return (Position(b) - va).Cross(p - va);
   }
 
-  const std::vector<TimedPoint>* points_;
-  std::vector<int> deque_;
+  const TrajectoryView points_;
+  std::vector<int>& deque_;
   size_t bot_ = 0;
   size_t top_ = 0;
-  std::vector<Record> history_;
+  std::vector<Record>& history_;
 };
 
 // The DP driver holding the two half-hulls of the current range.
 class PathHullDp {
  public:
-  PathHullDp(const Trajectory& trajectory, double epsilon)
-      : points_(trajectory.points()),
+  PathHullDp(TrajectoryView trajectory, double epsilon, Workspace& workspace)
+      : points_(trajectory),
         epsilon_(epsilon),
-        left_(&points_, points_.size()),
-        right_(&points_, points_.size()),
-        keep_(points_.size(), false) {}
+        left_(points_, workspace.hull_deque[0], workspace.hull_history[0],
+              trajectory.size()),
+        right_(points_, workspace.hull_deque[1], workspace.hull_history[1],
+               trajectory.size()),
+        keep_(workspace.keep),
+        stack_(workspace.ranges) {
+    keep_.assign(trajectory.size(), 0);
+  }
 
-  IndexList Run() {
+  void Run(IndexList& out) {
     const int n = static_cast<int>(points_.size());
-    keep_[0] = true;
-    keep_[static_cast<size_t>(n) - 1] = true;
+    keep_[0] = 1;
+    keep_[static_cast<size_t>(n) - 1] = 1;
+    int kept_count = 2;
     // Ranges pending a fresh Build.
-    std::vector<std::pair<int, int>> stack;
-    stack.emplace_back(0, n - 1);
-    while (!stack.empty()) {
-      auto [i, j] = stack.back();
-      stack.pop_back();
+    stack_.clear();
+    stack_.emplace_back(0, n - 1);
+    while (!stack_.empty()) {
+      auto [i, j] = stack_.back();
+      stack_.pop_back();
       if (j - i < 2) {
         continue;
       }
@@ -181,29 +182,30 @@ class PathHullDp {
         if (max_distance <= epsilon_) {
           break;
         }
-        keep_[static_cast<size_t>(split)] = true;
+        keep_[static_cast<size_t>(split)] = 1;
+        ++kept_count;
         if (split <= tag_) {
           // Reuse hulls for [split, j]: undo left additions past split.
           left_.SplitAt(split == tag_ ? tag_ : split);
           if (split == tag_) {
             left_.Init(tag_);
           }
-          stack.emplace_back(i, split);
+          stack_.emplace_back(i, split);
           i = split;
         } else {
           right_.SplitAt(split);
-          stack.emplace_back(split, j);
+          stack_.emplace_back(split, j);
           j = split;
         }
       }
     }
-    IndexList kept;
+    out.clear();
+    out.reserve(static_cast<size_t>(kept_count));
     for (int i = 0; i < n; ++i) {
       if (keep_[static_cast<size_t>(i)]) {
-        kept.push_back(i);
+        out.push_back(i);
       }
     }
-    return kept;
   }
 
  private:
@@ -231,11 +233,9 @@ class PathHullDp {
       if (index <= i || index >= j) {
         return;  // Only interior points compete, as in the naive scan.
       }
-      const double d =
-          PointToLineDistance(points_[static_cast<size_t>(index)].position,
-                              a, b);
-      if (d > best_distance ||
-          (d == best_distance && index < best_index)) {
+      const double d = PointToLineDistance(
+          points_[static_cast<size_t>(index)].position, a, b);
+      if (d > best_distance || (d == best_distance && index < best_index)) {
         best_distance = d;
         best_index = index;
       }
@@ -251,23 +251,33 @@ class PathHullDp {
     return {best_index, best_distance};
   }
 
-  const std::vector<TimedPoint>& points_;
+  const TrajectoryView points_;
   const double epsilon_;
   MelkmanHull left_;
   MelkmanHull right_;
-  std::vector<bool> keep_;
+  std::vector<char>& keep_;
+  std::vector<std::pair<int, int>>& stack_;
   int tag_ = 0;
 };
 
 }  // namespace
 
-IndexList DouglasPeuckerHull(const Trajectory& trajectory, double epsilon_m) {
+void DouglasPeuckerHull(TrajectoryView trajectory, double epsilon_m,
+                        Workspace& workspace, IndexList& out) {
   STCOMP_CHECK(epsilon_m >= 0.0);
   if (trajectory.size() <= 2) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
-  PathHullDp dp(trajectory, epsilon_m);
-  return dp.Run();
+  PathHullDp dp(trajectory, epsilon_m, workspace);
+  dp.Run(out);
+}
+
+IndexList DouglasPeuckerHull(TrajectoryView trajectory, double epsilon_m) {
+  Workspace workspace;
+  IndexList kept;
+  DouglasPeuckerHull(trajectory, epsilon_m, workspace, kept);
+  return kept;
 }
 
 }  // namespace stcomp::algo

@@ -24,13 +24,16 @@
 #define STCOMP_ALGO_PATH_HULL_H_
 
 #include "stcomp/algo/compression.h"
+#include "stcomp/algo/workspace.h"
 
 namespace stcomp::algo {
 
 // Drop-in replacement for DouglasPeucker(trajectory, epsilon_m); output is
 // identical for simple chains in generic position.
 // Precondition (checked): epsilon_m >= 0.
-IndexList DouglasPeuckerHull(const Trajectory& trajectory, double epsilon_m);
+void DouglasPeuckerHull(TrajectoryView trajectory, double epsilon_m,
+                        Workspace& workspace, IndexList& out);
+IndexList DouglasPeuckerHull(TrajectoryView trajectory, double epsilon_m);
 
 }  // namespace stcomp::algo
 

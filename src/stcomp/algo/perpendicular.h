@@ -13,8 +13,9 @@ namespace stcomp::algo {
 // Sequential three-point test: the candidate point `i` is dropped when its
 // perpendicular distance to the line (last kept point, point i+1) is below
 // `epsilon_m`. Precondition (checked): epsilon_m >= 0.
-IndexList PerpendicularDistance(const Trajectory& trajectory,
-                                double epsilon_m);
+void PerpendicularDistance(TrajectoryView trajectory, double epsilon_m,
+                           IndexList& out);
+IndexList PerpendicularDistance(TrajectoryView trajectory, double epsilon_m);
 
 }  // namespace stcomp::algo
 

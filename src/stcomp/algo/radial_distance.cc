@@ -4,24 +4,30 @@
 
 namespace stcomp::algo {
 
-IndexList RadialDistance(const Trajectory& trajectory, double epsilon_m) {
+void RadialDistance(TrajectoryView trajectory, double epsilon_m,
+                    IndexList& out) {
   STCOMP_CHECK(epsilon_m >= 0.0);
   const int n = static_cast<int>(trajectory.size());
-  IndexList kept;
+  out.clear();
   if (n == 0) {
-    return kept;
+    return;
   }
-  kept.push_back(0);
+  out.push_back(0);
   for (int i = 1; i < n - 1; ++i) {
-    const Vec2 last = trajectory[static_cast<size_t>(kept.back())].position;
+    const Vec2 last = trajectory[static_cast<size_t>(out.back())].position;
     if (Distance(trajectory[static_cast<size_t>(i)].position, last) >=
         epsilon_m) {
-      kept.push_back(i);
+      out.push_back(i);
     }
   }
   if (n > 1) {
-    kept.push_back(n - 1);
+    out.push_back(n - 1);
   }
+}
+
+IndexList RadialDistance(TrajectoryView trajectory, double epsilon_m) {
+  IndexList kept;
+  RadialDistance(trajectory, epsilon_m, kept);
   return kept;
 }
 

@@ -11,7 +11,9 @@ namespace stcomp::algo {
 
 // Sequentially drops points closer than `epsilon_m` to the last kept point.
 // The last point is always kept. Precondition (checked): epsilon_m >= 0.
-IndexList RadialDistance(const Trajectory& trajectory, double epsilon_m);
+void RadialDistance(TrajectoryView trajectory, double epsilon_m,
+                    IndexList& out);
+IndexList RadialDistance(TrajectoryView trajectory, double epsilon_m);
 
 }  // namespace stcomp::algo
 

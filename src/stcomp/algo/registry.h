@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "stcomp/algo/compression.h"
+#include "stcomp/algo/workspace.h"
 #include "stcomp/common/result.h"
 
 namespace stcomp::algo {
@@ -29,17 +30,34 @@ struct AlgorithmParams {
   double min_heading_change_rad = 0.1;
   // Window cap (points): sliding window.
   int max_window = 32;
+
+  // kInvalidArgument (naming the offending field) when any tunable is out
+  // of its documented domain: epsilon_m < 0 or NaN, speed_threshold_mps < 0
+  // or NaN, keep_every < 1, interval_s <= 0 or NaN, min_heading_change_rad
+  // outside [0, pi], max_window < 2. Checked by the registry run wrappers
+  // and the sweep/CLI entry points, so a bad parameter fails loudly at the
+  // boundary instead of tripping a deep precondition (or silently
+  // misbehaving).
+  Status Validate() const;
 };
 
+// The legacy, allocating entry point: returns a fresh IndexList per call.
 using AlgorithmFn =
     std::function<IndexList(const Trajectory&, const AlgorithmParams&)>;
+
+// The zero-copy entry point (DESIGN.md §11): reads a non-owning view,
+// scratches in the caller's workspace and fills a caller-owned output.
+// Reusing (workspace, out) across calls makes the hot path allocation-free.
+using AlgorithmViewFn = std::function<void(
+    TrajectoryView, const AlgorithmParams&, Workspace&, IndexList&)>;
 
 struct AlgorithmInfo {
   std::string name;         // Stable identifier, e.g. "td-tr".
   std::string description;  // One line for --help output.
   bool online;              // Usable on unbounded streams.
   bool spatiotemporal;      // Uses the temporal dimension in its criterion.
-  AlgorithmFn run;
+  AlgorithmFn run;          // Thin shim over run_view (thread-local scratch).
+  AlgorithmViewFn run_view;
 };
 
 // All registered algorithms, in presentation order (spatial baselines

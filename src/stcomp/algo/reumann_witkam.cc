@@ -4,14 +4,16 @@
 
 namespace stcomp::algo {
 
-IndexList ReumannWitkam(const Trajectory& trajectory, double epsilon_m) {
+void ReumannWitkam(TrajectoryView trajectory, double epsilon_m,
+                   IndexList& out) {
   STCOMP_CHECK(epsilon_m >= 0.0);
   const int n = static_cast<int>(trajectory.size());
   if (n <= 2) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
-  IndexList kept;
-  kept.push_back(0);
+  out.clear();
+  out.push_back(0);
   int key = 0;
   int direction = 1;  // Successor defining the strip direction.
   for (int i = 2; i < n; ++i) {
@@ -21,14 +23,19 @@ IndexList ReumannWitkam(const Trajectory& trajectory, double epsilon_m) {
         trajectory[static_cast<size_t>(direction)].position);
     if (offset > epsilon_m) {
       // The previous point ends the strip and becomes the new key.
-      kept.push_back(i - 1);
+      out.push_back(i - 1);
       key = i - 1;
       direction = i;
     }
   }
-  if (kept.back() != n - 1) {
-    kept.push_back(n - 1);
+  if (out.back() != n - 1) {
+    out.push_back(n - 1);
   }
+}
+
+IndexList ReumannWitkam(TrajectoryView trajectory, double epsilon_m) {
+  IndexList kept;
+  ReumannWitkam(trajectory, epsilon_m, kept);
   return kept;
 }
 

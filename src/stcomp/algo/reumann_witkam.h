@@ -12,7 +12,9 @@ namespace stcomp::algo {
 
 // The strip direction is set by the current key point and its immediate
 // successor. Precondition (checked): epsilon_m >= 0.
-IndexList ReumannWitkam(const Trajectory& trajectory, double epsilon_m);
+void ReumannWitkam(TrajectoryView trajectory, double epsilon_m,
+                   IndexList& out);
+IndexList ReumannWitkam(TrajectoryView trajectory, double epsilon_m);
 
 }  // namespace stcomp::algo
 

@@ -11,11 +11,15 @@ namespace stcomp::algo {
 // Keeps every `keep_every`-th point (plus the last point, so the full time
 // interval stays covered). keep_every == 1 keeps everything.
 // Precondition (checked): keep_every >= 1.
-IndexList UniformSampling(const Trajectory& trajectory, int keep_every);
+void UniformSampling(TrajectoryView trajectory, int keep_every,
+                     IndexList& out);
+IndexList UniformSampling(TrajectoryView trajectory, int keep_every);
 
 // Keeps the first point of every `interval_s`-second time bucket (plus the
 // last point). Precondition (checked): interval_s > 0.
-IndexList TemporalSampling(const Trajectory& trajectory, double interval_s);
+void TemporalSampling(TrajectoryView trajectory, double interval_s,
+                      IndexList& out);
+IndexList TemporalSampling(TrajectoryView trajectory, double interval_s);
 
 }  // namespace stcomp::algo
 

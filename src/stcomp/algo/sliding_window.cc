@@ -6,16 +6,18 @@ namespace stcomp::algo {
 
 namespace {
 
-IndexList SlidingWindowImpl(const Trajectory& trajectory, double epsilon,
-                            int max_window, const WindowDistanceFn& distance) {
+void SlidingWindowImpl(TrajectoryView trajectory, double epsilon,
+                       int max_window, const WindowDistanceFn& distance,
+                       IndexList& out) {
   STCOMP_CHECK(epsilon >= 0.0);
   STCOMP_CHECK(max_window >= 2);
   const int n = static_cast<int>(trajectory.size());
   if (n <= 2) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
-  IndexList kept;
-  kept.push_back(0);
+  out.clear();
+  out.push_back(0);
   int anchor = 0;
   int float_index = anchor + 2;
   while (float_index < n) {
@@ -27,38 +29,51 @@ IndexList SlidingWindowImpl(const Trajectory& trajectory, double epsilon,
       }
     }
     if (violation >= 0) {
-      kept.push_back(violation);
+      out.push_back(violation);
       anchor = violation;
       float_index = anchor + 2;
       continue;
     }
     if (float_index - anchor >= max_window) {
       // Window cap reached without violation: commit the segment.
-      kept.push_back(float_index);
+      out.push_back(float_index);
       anchor = float_index;
       float_index = anchor + 2;
       continue;
     }
     ++float_index;
   }
-  if (kept.back() != n - 1) {
-    kept.push_back(n - 1);
+  if (out.back() != n - 1) {
+    out.push_back(n - 1);
   }
-  return kept;
 }
 
 }  // namespace
 
-IndexList SlidingWindow(const Trajectory& trajectory, double epsilon_m,
-                        int max_window) {
-  return SlidingWindowImpl(trajectory, epsilon_m, max_window,
-                           PerpendicularWindowDistance);
+void SlidingWindow(TrajectoryView trajectory, double epsilon_m,
+                   int max_window, IndexList& out) {
+  SlidingWindowImpl(trajectory, epsilon_m, max_window,
+                    PerpendicularWindowDistance, out);
 }
 
-IndexList SlidingWindowTr(const Trajectory& trajectory, double epsilon_m,
+IndexList SlidingWindow(TrajectoryView trajectory, double epsilon_m,
+                        int max_window) {
+  IndexList kept;
+  SlidingWindow(trajectory, epsilon_m, max_window, kept);
+  return kept;
+}
+
+void SlidingWindowTr(TrajectoryView trajectory, double epsilon_m,
+                     int max_window, IndexList& out) {
+  SlidingWindowImpl(trajectory, epsilon_m, max_window,
+                    SynchronizedWindowDistance, out);
+}
+
+IndexList SlidingWindowTr(TrajectoryView trajectory, double epsilon_m,
                           int max_window) {
-  return SlidingWindowImpl(trajectory, epsilon_m, max_window,
-                           SynchronizedWindowDistance);
+  IndexList kept;
+  SlidingWindowTr(trajectory, epsilon_m, max_window, kept);
+  return kept;
 }
 
 }  // namespace stcomp::algo

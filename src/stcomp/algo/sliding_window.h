@@ -15,11 +15,15 @@ namespace stcomp::algo {
 // the anchor; when the cap is hit without a violation, the algorithm cuts
 // at the capped float and re-anchors. Perpendicular-distance criterion.
 // Preconditions (checked): epsilon_m >= 0, max_window >= 2.
-IndexList SlidingWindow(const Trajectory& trajectory, double epsilon_m,
+void SlidingWindow(TrajectoryView trajectory, double epsilon_m,
+                   int max_window, IndexList& out);
+IndexList SlidingWindow(TrajectoryView trajectory, double epsilon_m,
                         int max_window);
 
 // Same, with the synchronized (time-ratio) distance criterion.
-IndexList SlidingWindowTr(const Trajectory& trajectory, double epsilon_m,
+void SlidingWindowTr(TrajectoryView trajectory, double epsilon_m,
+                     int max_window, IndexList& out);
+IndexList SlidingWindowTr(TrajectoryView trajectory, double epsilon_m,
                           int max_window);
 
 }  // namespace stcomp::algo

@@ -9,25 +9,26 @@
 
 namespace stcomp::algo {
 
-double SpeedJump(const Trajectory& trajectory, int i) {
+double SpeedJump(TrajectoryView trajectory, int i) {
   STCOMP_CHECK(i > 0 && static_cast<size_t>(i) + 1 < trajectory.size());
   const double before = trajectory.SegmentSpeed(static_cast<size_t>(i) - 1);
   const double after = trajectory.SegmentSpeed(static_cast<size_t>(i));
   return std::abs(after - before);
 }
 
-IndexList OpwSp(const Trajectory& trajectory, double max_dist_error_m,
-                double max_speed_error_mps) {
+void OpwSp(TrajectoryView trajectory, double max_dist_error_m,
+           double max_speed_error_mps, IndexList& out) {
   STCOMP_CHECK(max_dist_error_m >= 0.0);
   STCOMP_CHECK(max_speed_error_mps >= 0.0);
   const int n = static_cast<int>(trajectory.size());
   if (n <= 2) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
   // Iterative form of the paper's recursive SPT procedure: the recursion
   // SPT(s[i..]) after a violation at i is exactly "cut at i, re-anchor".
-  IndexList kept;
-  kept.push_back(0);
+  out.clear();
+  out.push_back(0);
   int anchor = 0;
   int float_index = anchor + 2;
   while (float_index < n) {
@@ -47,28 +48,38 @@ IndexList OpwSp(const Trajectory& trajectory, double max_dist_error_m,
       ++float_index;
       continue;
     }
-    kept.push_back(violation);
+    out.push_back(violation);
     anchor = violation;
     float_index = anchor + 2;
   }
-  if (kept.back() != n - 1) {
-    kept.push_back(n - 1);
+  if (out.back() != n - 1) {
+    out.push_back(n - 1);
   }
+}
+
+IndexList OpwSp(TrajectoryView trajectory, double max_dist_error_m,
+                double max_speed_error_mps) {
+  IndexList kept;
+  OpwSp(trajectory, max_dist_error_m, max_speed_error_mps, kept);
   return kept;
 }
 
-IndexList TdSp(const Trajectory& trajectory, double max_dist_error_m,
-               double max_speed_error_mps) {
+void TdSp(TrajectoryView trajectory, double max_dist_error_m,
+          double max_speed_error_mps, Workspace& workspace, IndexList& out) {
   STCOMP_CHECK(max_dist_error_m >= 0.0);
   STCOMP_CHECK(max_speed_error_mps >= 0.0);
   const int n = static_cast<int>(trajectory.size());
   if (n <= 2) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
-  std::vector<bool> keep(static_cast<size_t>(n), false);
-  keep[0] = true;
-  keep[static_cast<size_t>(n) - 1] = true;
-  std::vector<std::pair<int, int>> stack;
+  std::vector<char>& keep = workspace.keep;
+  keep.assign(static_cast<size_t>(n), 0);
+  keep[0] = 1;
+  keep[static_cast<size_t>(n) - 1] = 1;
+  int kept_count = 2;
+  std::vector<std::pair<int, int>>& stack = workspace.ranges;
+  stack.clear();
   stack.emplace_back(0, n - 1);
   while (!stack.empty()) {
     const auto [first, last] = stack.back();
@@ -104,17 +115,26 @@ IndexList TdSp(const Trajectory& trajectory, double max_dist_error_m,
       split = max_jump_index;
     }
     if (split >= 0) {
-      keep[static_cast<size_t>(split)] = true;
+      keep[static_cast<size_t>(split)] = 1;
+      ++kept_count;
       stack.emplace_back(split, last);
       stack.emplace_back(first, split);
     }
   }
-  IndexList kept;
+  out.clear();
+  out.reserve(static_cast<size_t>(kept_count));
   for (int i = 0; i < n; ++i) {
     if (keep[static_cast<size_t>(i)]) {
-      kept.push_back(i);
+      out.push_back(i);
     }
   }
+}
+
+IndexList TdSp(TrajectoryView trajectory, double max_dist_error_m,
+               double max_speed_error_mps) {
+  Workspace workspace;
+  IndexList kept;
+  TdSp(trajectory, max_dist_error_m, max_speed_error_mps, workspace, kept);
   return kept;
 }
 

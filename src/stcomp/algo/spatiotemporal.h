@@ -8,26 +8,31 @@
 #define STCOMP_ALGO_SPATIOTEMPORAL_H_
 
 #include "stcomp/algo/compression.h"
+#include "stcomp/algo/workspace.h"
 
 namespace stcomp::algo {
 
 // Derived speed difference at interior point `i`: the absolute difference
 // between the derived (distance/time) speeds of segments (i-1, i) and
 // (i, i+1). Precondition: 0 < i < size()-1.
-double SpeedJump(const Trajectory& trajectory, int i);
+double SpeedJump(TrajectoryView trajectory, int i);
 
 // OPW-SP (the paper's procedure SPT): opening window; a window is violated
 // at interior point i when SED(i) > max_dist_error_m OR
 // SpeedJump(i) > max_speed_error_mps; the cut is at the violating point.
 // Preconditions (checked): both thresholds >= 0.
-IndexList OpwSp(const Trajectory& trajectory, double max_dist_error_m,
+void OpwSp(TrajectoryView trajectory, double max_dist_error_m,
+           double max_speed_error_mps, IndexList& out);
+IndexList OpwSp(TrajectoryView trajectory, double max_dist_error_m,
                 double max_speed_error_mps);
 
 // TD-SP: top-down; a range is split when max SED > max_dist_error_m or any
 // interior speed jump > max_speed_error_mps. The split point is the max-SED
 // point when the distance criterion fired, otherwise the largest-speed-jump
 // point. Preconditions (checked): both thresholds >= 0.
-IndexList TdSp(const Trajectory& trajectory, double max_dist_error_m,
+void TdSp(TrajectoryView trajectory, double max_dist_error_m,
+          double max_speed_error_mps, Workspace& workspace, IndexList& out);
+IndexList TdSp(TrajectoryView trajectory, double max_dist_error_m,
                double max_speed_error_mps);
 
 }  // namespace stcomp::algo

@@ -112,11 +112,17 @@ void SquishBuffer::Push(int original_index, const TimedPoint& point) {
 
 IndexList SquishBuffer::Finalize() const {
   IndexList kept;
+  Finalize(kept);
+  return kept;
+}
+
+void SquishBuffer::Finalize(IndexList& out) const {
+  out.clear();
+  out.reserve(nodes_alive_);
   for (int id = head_; id >= 0;
        id = nodes_[static_cast<size_t>(id)].next) {
-    kept.push_back(nodes_[static_cast<size_t>(id)].original_index);
+    out.push_back(nodes_[static_cast<size_t>(id)].original_index);
   }
-  return kept;
 }
 
 std::vector<std::pair<int, TimedPoint>> SquishBuffer::FinalizePoints() const {
@@ -129,28 +135,43 @@ std::vector<std::pair<int, TimedPoint>> SquishBuffer::FinalizePoints() const {
   return kept;
 }
 
-IndexList Squish(const Trajectory& trajectory, size_t buffer_capacity) {
+void Squish(TrajectoryView trajectory, size_t buffer_capacity,
+            IndexList& out) {
   STCOMP_CHECK(buffer_capacity >= 2);
   if (trajectory.size() <= 2) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
   SquishBuffer buffer(buffer_capacity, 0.0);
   for (size_t i = 0; i < trajectory.size(); ++i) {
     buffer.Push(static_cast<int>(i), trajectory[i]);
   }
-  return buffer.Finalize();
+  buffer.Finalize(out);
 }
 
-IndexList SquishE(const Trajectory& trajectory, double mu_m) {
+IndexList Squish(TrajectoryView trajectory, size_t buffer_capacity) {
+  IndexList kept;
+  Squish(trajectory, buffer_capacity, kept);
+  return kept;
+}
+
+void SquishE(TrajectoryView trajectory, double mu_m, IndexList& out) {
   STCOMP_CHECK(mu_m >= 0.0);
   if (trajectory.size() <= 2) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
   SquishBuffer buffer(0, mu_m);
   for (size_t i = 0; i < trajectory.size(); ++i) {
     buffer.Push(static_cast<int>(i), trajectory[i]);
   }
-  return buffer.Finalize();
+  buffer.Finalize(out);
+}
+
+IndexList SquishE(TrajectoryView trajectory, double mu_m) {
+  IndexList kept;
+  SquishE(trajectory, mu_m, kept);
+  return kept;
 }
 
 }  // namespace stcomp::algo

@@ -41,9 +41,21 @@ class SquishBuffer {
 
   // Kept original indices (ascending). The buffer remains usable.
   IndexList Finalize() const;
+  void Finalize(IndexList& out) const;
 
   // Kept points with their original indices (for streaming adapters).
   std::vector<std::pair<int, TimedPoint>> FinalizePoints() const;
+
+  // Applies `visit(original_index, point)` to every kept point in time
+  // order, without materialising a result vector. The buffer remains
+  // usable.
+  template <typename Visitor>
+  void ForEachKept(const Visitor& visit) const {
+    for (int id = head_; id >= 0; id = nodes_[static_cast<size_t>(id)].next) {
+      const Node& node = nodes_[static_cast<size_t>(id)];
+      visit(node.original_index, node.point);
+    }
+  }
 
  private:
   struct Node {
@@ -74,11 +86,14 @@ class SquishBuffer {
 
 // Buffer-bound SQUISH: keeps at most `buffer_capacity` points (>= 2,
 // checked). The endpoints always survive.
-IndexList Squish(const Trajectory& trajectory, size_t buffer_capacity);
+void Squish(TrajectoryView trajectory, size_t buffer_capacity,
+            IndexList& out);
+IndexList Squish(TrajectoryView trajectory, size_t buffer_capacity);
 
 // Error-bound SQUISH-E(mu): removes points while the cheapest removal's
 // SED-error estimate stays <= mu_m. Precondition (checked): mu_m >= 0.
-IndexList SquishE(const Trajectory& trajectory, double mu_m);
+void SquishE(TrajectoryView trajectory, double mu_m, IndexList& out);
+IndexList SquishE(TrajectoryView trajectory, double mu_m);
 
 }  // namespace stcomp::algo
 

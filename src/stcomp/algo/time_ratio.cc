@@ -6,24 +6,41 @@
 
 namespace stcomp::algo {
 
-double SynchronizedSplitDistance(const Trajectory& trajectory, int first,
+double SynchronizedSplitDistance(TrajectoryView trajectory, int first,
                                  int last, int i) {
   return SynchronizedDistance(trajectory[static_cast<size_t>(first)],
                               trajectory[static_cast<size_t>(last)],
                               trajectory[static_cast<size_t>(i)]);
 }
 
-IndexList TdTr(const Trajectory& trajectory, double epsilon_m) {
+void TdTr(TrajectoryView trajectory, double epsilon_m, Workspace& workspace,
+          IndexList& out) {
+  TopDown(trajectory, epsilon_m, SynchronizedSplitDistance, workspace, out);
+}
+
+IndexList TdTr(TrajectoryView trajectory, double epsilon_m) {
   return TopDown(trajectory, epsilon_m, SynchronizedSplitDistance);
 }
 
-IndexList TdTrMaxPoints(const Trajectory& trajectory, int max_points) {
+void TdTrMaxPoints(TrajectoryView trajectory, int max_points,
+                   Workspace& workspace, IndexList& out) {
+  TopDownMaxPoints(trajectory, max_points, SynchronizedSplitDistance,
+                   workspace, out);
+}
+
+IndexList TdTrMaxPoints(TrajectoryView trajectory, int max_points) {
   return TopDownMaxPoints(trajectory, max_points, SynchronizedSplitDistance);
 }
 
-IndexList OpwTr(const Trajectory& trajectory, double epsilon_m) {
-  return OpeningWindow(trajectory, epsilon_m, BreakPolicy::kNormal,
-                       SynchronizedWindowDistance);
+void OpwTr(TrajectoryView trajectory, double epsilon_m, IndexList& out) {
+  OpeningWindow(trajectory, epsilon_m, BreakPolicy::kNormal,
+                SynchronizedWindowDistance, out);
+}
+
+IndexList OpwTr(TrajectoryView trajectory, double epsilon_m) {
+  IndexList kept;
+  OpwTr(trajectory, epsilon_m, kept);
+  return kept;
 }
 
 }  // namespace stcomp::algo

@@ -6,27 +6,33 @@
 #define STCOMP_ALGO_TIME_RATIO_H_
 
 #include "stcomp/algo/compression.h"
+#include "stcomp/algo/workspace.h"
 
 namespace stcomp::algo {
 
 // TD-TR: Douglas-Peucker skeleton, synchronized-distance split criterion.
 // Batch algorithm. Precondition (checked): epsilon_m >= 0.
-IndexList TdTr(const Trajectory& trajectory, double epsilon_m);
+void TdTr(TrajectoryView trajectory, double epsilon_m, Workspace& workspace,
+          IndexList& out);
+IndexList TdTr(TrajectoryView trajectory, double epsilon_m);
 
 // Synchronized split distance for reuse in registries/tests.
-double SynchronizedSplitDistance(const Trajectory& trajectory, int first,
+double SynchronizedSplitDistance(TrajectoryView trajectory, int first,
                                  int last, int i);
 
 // TD-TR under a point budget instead of a distance threshold (best-first
 // splitting on the largest synchronized deviation). Precondition
 // (checked): max_points >= 2.
-IndexList TdTrMaxPoints(const Trajectory& trajectory, int max_points);
+void TdTrMaxPoints(TrajectoryView trajectory, int max_points,
+                   Workspace& workspace, IndexList& out);
+IndexList TdTrMaxPoints(TrajectoryView trajectory, int max_points);
 
 // OPW-TR: opening window, synchronized-distance criterion, normal (break at
 // the violating point) policy, matching the SPT pseudocode's recursion at
 // the violating index. Online-capable (see stream/). Precondition
 // (checked): epsilon_m >= 0.
-IndexList OpwTr(const Trajectory& trajectory, double epsilon_m);
+void OpwTr(TrajectoryView trajectory, double epsilon_m, IndexList& out);
+IndexList OpwTr(TrajectoryView trajectory, double epsilon_m);
 
 }  // namespace stcomp::algo
 

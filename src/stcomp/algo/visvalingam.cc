@@ -1,7 +1,7 @@
 #include "stcomp/algo/visvalingam.h"
 
+#include <algorithm>
 #include <cmath>
-#include <queue>
 #include <vector>
 
 #include "stcomp/common/check.h"
@@ -10,23 +10,42 @@ namespace stcomp::algo {
 
 namespace {
 
+using detail::HeapEntry;
+
+// Min-heap order on (area, index); same pop order as the pre-workspace
+// std::priority_queue<Entry, vector, greater<>>.
+bool AreaGreater(const HeapEntry& a, const HeapEntry& b) {
+  if (a.key != b.key) {
+    return a.key > b.key;
+  }
+  return a.index > b.index;
+}
+
 // Greedy least-area removal over a doubly-linked list with a lazily
 // invalidated heap (same engine shape as bottom_up.cc, but the cost is a
-// property of the removed point's triangle, not of the merged range).
+// property of the removed point's triangle, not of the merged range). All
+// scratch lives in the caller's Workspace.
 class VisvalingamEngine {
  public:
-  using AreaFn = double (*)(const Trajectory&, int a, int b, int c,
+  using AreaFn = double (*)(TrajectoryView, int a, int b, int c,
                             double weight);
 
-  VisvalingamEngine(const Trajectory& trajectory, AreaFn area, double weight)
+  VisvalingamEngine(TrajectoryView trajectory, AreaFn area, double weight,
+                    Workspace& workspace)
       : trajectory_(trajectory),
         area_(area),
         weight_(weight),
         n_(static_cast<int>(trajectory.size())),
-        prev_(static_cast<size_t>(n_)),
-        next_(static_cast<size_t>(n_)),
-        generation_(static_cast<size_t>(n_), 0),
-        alive_(static_cast<size_t>(n_), true) {
+        prev_(workspace.prev),
+        next_(workspace.next),
+        generation_(workspace.generation),
+        alive_(workspace.alive),
+        queue_(workspace.heap) {
+    prev_.resize(static_cast<size_t>(n_));
+    next_.resize(static_cast<size_t>(n_));
+    generation_.assign(static_cast<size_t>(n_), 0);
+    alive_.assign(static_cast<size_t>(n_), 1);
+    queue_.clear();
     for (int i = 0; i < n_; ++i) {
       prev_[static_cast<size_t>(i)] = i - 1;
       next_[static_cast<size_t>(i)] = i + 1 < n_ ? i + 1 : -1;
@@ -38,61 +57,51 @@ class VisvalingamEngine {
   }
 
   template <typename Predicate>
-  IndexList Run(const Predicate& may_remove) {
+  void Run(const Predicate& may_remove, IndexList& out) {
     // Visvalingam detail: a removal can *reduce* a neighbour's area below
     // an already-removed one's; the standard fix is to clamp each removal
     // cost to be non-decreasing so the removal order is globally
     // consistent.
     double floor_area = 0.0;
     while (!queue_.empty()) {
-      const Entry top = queue_.top();
-      queue_.pop();
+      const HeapEntry top = queue_.front();
+      std::pop_heap(queue_.begin(), queue_.end(), AreaGreater);
+      queue_.pop_back();
       if (!alive_[static_cast<size_t>(top.index)] ||
           top.generation != generation_[static_cast<size_t>(top.index)]) {
         continue;
       }
-      const double effective = std::max(top.area, floor_area);
+      const double effective = std::max(top.key, floor_area);
       if (!may_remove(effective, kept_count_)) {
         break;
       }
       floor_area = effective;
       Remove(top.index);
     }
-    IndexList kept;
-    kept.reserve(static_cast<size_t>(kept_count_));
+    out.clear();
+    out.reserve(static_cast<size_t>(kept_count_));
     for (int i = 0; i != -1 && i < n_; i = next_[static_cast<size_t>(i)]) {
-      kept.push_back(i);
+      out.push_back(i);
       if (next_[static_cast<size_t>(i)] == -1) {
         break;
       }
     }
-    return kept;
   }
 
  private:
-  struct Entry {
-    double area;
-    int index;
-    int generation;
-    bool operator>(const Entry& other) const {
-      if (area != other.area) {
-        return area > other.area;
-      }
-      return index > other.index;
-    }
-  };
-
   void Push(int index) {
     const int a = prev_[static_cast<size_t>(index)];
     const int c = next_[static_cast<size_t>(index)];
-    queue_.push(Entry{area_(trajectory_, a, index, c, weight_), index,
-                      generation_[static_cast<size_t>(index)]});
+    queue_.push_back(HeapEntry{area_(trajectory_, a, index, c, weight_),
+                               index,
+                               generation_[static_cast<size_t>(index)]});
+    std::push_heap(queue_.begin(), queue_.end(), AreaGreater);
   }
 
   void Remove(int b) {
     const int a = prev_[static_cast<size_t>(b)];
     const int c = next_[static_cast<size_t>(b)];
-    alive_[static_cast<size_t>(b)] = false;
+    alive_[static_cast<size_t>(b)] = 0;
     next_[static_cast<size_t>(a)] = c;
     prev_[static_cast<size_t>(c)] = a;
     --kept_count_;
@@ -106,27 +115,26 @@ class VisvalingamEngine {
     }
   }
 
-  const Trajectory& trajectory_;
+  const TrajectoryView trajectory_;
   const AreaFn area_;
   const double weight_;
   const int n_;
-  std::vector<int> prev_;
-  std::vector<int> next_;
-  std::vector<int> generation_;
-  std::vector<bool> alive_;
+  std::vector<int>& prev_;
+  std::vector<int>& next_;
+  std::vector<int>& generation_;
+  std::vector<char>& alive_;
+  std::vector<HeapEntry>& queue_;
   int kept_count_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
 };
 
-double SpatialArea(const Trajectory& t, int a, int b, int c,
-                   double /*weight*/) {
+double SpatialArea(TrajectoryView t, int a, int b, int c, double /*weight*/) {
   const Vec2 pa = t[static_cast<size_t>(a)].position;
   const Vec2 pb = t[static_cast<size_t>(b)].position;
   const Vec2 pc = t[static_cast<size_t>(c)].position;
   return 0.5 * std::abs((pb - pa).Cross(pc - pa));
 }
 
-double SpatiotemporalArea(const Trajectory& t, int a, int b, int c,
+double SpatiotemporalArea(TrajectoryView t, int a, int b, int c,
                           double weight) {
   // Triangle area in (x, y, weight * time) space.
   const TimedPoint& qa = t[static_cast<size_t>(a)];
@@ -146,38 +154,68 @@ double SpatiotemporalArea(const Trajectory& t, int a, int b, int c,
 
 }  // namespace
 
-IndexList Visvalingam(const Trajectory& trajectory, double min_area_m2) {
+void Visvalingam(TrajectoryView trajectory, double min_area_m2,
+                 Workspace& workspace, IndexList& out) {
   STCOMP_CHECK(min_area_m2 >= 0.0);
   if (trajectory.size() <= 2) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
-  VisvalingamEngine engine(trajectory, SpatialArea, 0.0);
-  return engine.Run([min_area_m2](double area, int /*kept*/) {
-    return area < min_area_m2;
-  });
+  VisvalingamEngine engine(trajectory, SpatialArea, 0.0, workspace);
+  engine.Run(
+      [min_area_m2](double area, int /*kept*/) { return area < min_area_m2; },
+      out);
 }
 
-IndexList VisvalingamMaxPoints(const Trajectory& trajectory, int max_points) {
+IndexList Visvalingam(TrajectoryView trajectory, double min_area_m2) {
+  Workspace workspace;
+  IndexList kept;
+  Visvalingam(trajectory, min_area_m2, workspace, kept);
+  return kept;
+}
+
+void VisvalingamMaxPoints(TrajectoryView trajectory, int max_points,
+                          Workspace& workspace, IndexList& out) {
   STCOMP_CHECK(max_points >= 2);
   if (static_cast<int>(trajectory.size()) <= max_points) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
-  VisvalingamEngine engine(trajectory, SpatialArea, 0.0);
-  return engine.Run(
-      [max_points](double /*area*/, int kept) { return kept > max_points; });
+  VisvalingamEngine engine(trajectory, SpatialArea, 0.0, workspace);
+  engine.Run(
+      [max_points](double /*area*/, int kept) { return kept > max_points; },
+      out);
 }
 
-IndexList VisvalingamTr(const Trajectory& trajectory, double min_area_m2,
-                        double time_weight_mps) {
+IndexList VisvalingamMaxPoints(TrajectoryView trajectory, int max_points) {
+  Workspace workspace;
+  IndexList kept;
+  VisvalingamMaxPoints(trajectory, max_points, workspace, kept);
+  return kept;
+}
+
+void VisvalingamTr(TrajectoryView trajectory, double min_area_m2,
+                   double time_weight_mps, Workspace& workspace,
+                   IndexList& out) {
   STCOMP_CHECK(min_area_m2 >= 0.0);
   STCOMP_CHECK(time_weight_mps >= 0.0);
   if (trajectory.size() <= 2) {
-    return KeepAll(trajectory);
+    KeepAll(trajectory, out);
+    return;
   }
-  VisvalingamEngine engine(trajectory, SpatiotemporalArea, time_weight_mps);
-  return engine.Run([min_area_m2](double area, int /*kept*/) {
-    return area < min_area_m2;
-  });
+  VisvalingamEngine engine(trajectory, SpatiotemporalArea, time_weight_mps,
+                           workspace);
+  engine.Run(
+      [min_area_m2](double area, int /*kept*/) { return area < min_area_m2; },
+      out);
+}
+
+IndexList VisvalingamTr(TrajectoryView trajectory, double min_area_m2,
+                        double time_weight_mps) {
+  Workspace workspace;
+  IndexList kept;
+  VisvalingamTr(trajectory, min_area_m2, time_weight_mps, workspace, kept);
+  return kept;
 }
 
 }  // namespace stcomp::algo

@@ -9,16 +9,21 @@
 #define STCOMP_ALGO_VISVALINGAM_H_
 
 #include "stcomp/algo/compression.h"
+#include "stcomp/algo/workspace.h"
 
 namespace stcomp::algo {
 
 // Removes points while the smallest effective triangle area is below
 // `min_area_m2`. Precondition (checked): min_area_m2 >= 0.
-IndexList Visvalingam(const Trajectory& trajectory, double min_area_m2);
+void Visvalingam(TrajectoryView trajectory, double min_area_m2,
+                 Workspace& workspace, IndexList& out);
+IndexList Visvalingam(TrajectoryView trajectory, double min_area_m2);
 
 // Halts when `max_points` remain instead (endpoints always kept).
 // Precondition (checked): max_points >= 2.
-IndexList VisvalingamMaxPoints(const Trajectory& trajectory, int max_points);
+void VisvalingamMaxPoints(TrajectoryView trajectory, int max_points,
+                          Workspace& workspace, IndexList& out);
+IndexList VisvalingamMaxPoints(TrajectoryView trajectory, int max_points);
 
 // Spatiotemporal variant: the triangle is taken in the 3-D space
 // (x, y, w*t) with w = `time_weight_mps` converting seconds to metres (a
@@ -26,7 +31,10 @@ IndexList VisvalingamMaxPoints(const Trajectory& trajectory, int max_points);
 // describe constant-velocity motion (zero synchronized deviation), so
 // points that deviate only temporally — dwells — survive, unlike in the
 // plain spatial variant. Preconditions (checked): both arguments >= 0.
-IndexList VisvalingamTr(const Trajectory& trajectory, double min_area_m2,
+void VisvalingamTr(TrajectoryView trajectory, double min_area_m2,
+                   double time_weight_mps, Workspace& workspace,
+                   IndexList& out);
+IndexList VisvalingamTr(TrajectoryView trajectory, double min_area_m2,
                         double time_weight_mps);
 
 }  // namespace stcomp::algo

@@ -1,0 +1,86 @@
+// A non-owning, trivially copyable window onto a trajectory's samples:
+// the zero-copy calling convention for the algorithm, error and stream
+// layers (DESIGN.md §11). A TrajectoryView carries the same invariant as
+// Trajectory — strictly increasing timestamps — because every constructor
+// takes data that already satisfies it (a Trajectory, a Trajectory-backed
+// vector, or a subspan of another view). Views never outlive the storage
+// they point into; callers own the lifetime.
+
+#ifndef STCOMP_CORE_TRAJECTORY_VIEW_H_
+#define STCOMP_CORE_TRAJECTORY_VIEW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+class TrajectoryView {
+ public:
+  // An empty view.
+  constexpr TrajectoryView() = default;
+
+  // A view over `size` samples starting at `data`. Precondition: the range
+  // is time-monotone (callers pass trajectory-backed storage).
+  constexpr TrajectoryView(const TimedPoint* data, size_t size)
+      : data_(data), size_(size) {}
+
+  // Implicit on purpose: every `const Trajectory&` call site converts to
+  // the view-based entry points without change. The view borrows the
+  // trajectory's storage; it is invalidated by mutation (Append) or
+  // destruction of the trajectory.
+  TrajectoryView(const Trajectory& trajectory)  // NOLINT(runtime/explicit)
+      : data_(trajectory.points().data()), size_(trajectory.size()) {}
+
+  // Implicit view over a raw sample vector (stream adapters keep their
+  // internal buffers as vectors and run the batch criteria on views).
+  // Precondition: strictly increasing timestamps.
+  TrajectoryView(const std::vector<TimedPoint>& points)  // NOLINT
+      : data_(points.data()), size_(points.size()) {}
+
+  const TimedPoint* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const TimedPoint& operator[](size_t i) const { return data_[i]; }
+  const TimedPoint& front() const { return data_[0]; }
+  const TimedPoint& back() const { return data_[size_ - 1]; }
+
+  const TimedPoint* begin() const { return data_; }
+  const TimedPoint* end() const { return data_ + size_; }
+
+  // The sub-view of `count` samples starting at `offset`. Precondition
+  // (checked): offset + count <= size(). O(1), no copy.
+  TrajectoryView subspan(size_t offset, size_t count) const;
+
+  // The sub-view [first, last], inclusive — the view analogue of
+  // Trajectory::Slice. Precondition (checked): first <= last < size().
+  TrajectoryView Slice(size_t first, size_t last) const;
+
+  // Total duration in seconds (0 for < 2 points).
+  double Duration() const {
+    return size_ < 2 ? 0.0 : data_[size_ - 1].t - data_[0].t;
+  }
+
+  // Derived speed on segment i -> i+1 in m/s. Precondition: i+1 < size().
+  double SegmentSpeed(size_t i) const;
+
+  // Position at time `t`, linearly interpolated between the enclosing
+  // samples (binary search). Fails with kOutOfRange outside the interval.
+  Result<Vec2> PositionAt(double t) const;
+
+ private:
+  const TimedPoint* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+// Materialises the subset of `view` at `kept_indices` as an owning
+// Trajectory — the view analogue of Trajectory::Subset. Precondition
+// (checked): indices strictly increasing and in range.
+Trajectory Subset(TrajectoryView view, const std::vector<int>& kept_indices);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_CORE_TRAJECTORY_VIEW_H_

@@ -6,7 +6,7 @@
 
 namespace stcomp {
 
-Result<Evaluation> Evaluate(const Trajectory& original,
+Result<Evaluation> Evaluate(TrajectoryView original,
                             const algo::IndexList& kept) {
   if (!algo::IsValidIndexList(original, kept)) {
     return InvalidArgumentError("kept indices are not a valid index list");
@@ -19,15 +19,13 @@ Result<Evaluation> Evaluate(const Trajectory& original,
   if (original.size() < 2) {
     return evaluation;
   }
-  const Trajectory approximation = original.Subset(kept);
   STCOMP_ASSIGN_OR_RETURN(evaluation.sync_error_mean_m,
-                          SynchronousError(original, approximation));
+                          SynchronousError(original, kept));
   STCOMP_ASSIGN_OR_RETURN(evaluation.sync_error_max_m,
-                          MaxSynchronousError(original, approximation));
+                          MaxSynchronousError(original, kept));
   evaluation.perp_error_mean_m = MeanPerpendicularError(original, kept);
   evaluation.perp_error_max_m = MaxPerpendicularError(original, kept);
-  STCOMP_ASSIGN_OR_RETURN(evaluation.area_error_m,
-                          AreaError(original, approximation));
+  STCOMP_ASSIGN_OR_RETURN(evaluation.area_error_m, AreaError(original, kept));
   return evaluation;
 }
 

@@ -6,7 +6,7 @@
 
 #include "stcomp/algo/compression.h"
 #include "stcomp/common/result.h"
-#include "stcomp/core/trajectory.h"
+#include "stcomp/core/trajectory_view.h"
 
 namespace stcomp {
 
@@ -25,10 +25,11 @@ struct Evaluation {
   double area_error_m = 0.0;
 };
 
-// Evaluates keeping `kept` of `original`. Preconditions (checked):
-// valid index list; original needs >= 2 points for the error integrals
-// (with < 2 points all errors are 0).
-Result<Evaluation> Evaluate(const Trajectory& original,
+// Evaluates keeping `kept` of `original`, against the approximation *in
+// place* (no Subset() copy; see DESIGN.md §11). A Trajectory converts
+// implicitly. Preconditions (checked): valid index list; original needs
+// >= 2 points for the error integrals (with < 2 points all errors are 0).
+Result<Evaluation> Evaluate(TrajectoryView original,
                             const algo::IndexList& kept);
 
 }  // namespace stcomp

@@ -15,7 +15,7 @@ namespace {
 // Applies `visit(point_index, segment_first, segment_last)` to every
 // discarded original point with its covering approximation segment.
 template <typename Visitor>
-void ForEachDiscarded(const Trajectory& original, const algo::IndexList& kept,
+void ForEachDiscarded(TrajectoryView original, const algo::IndexList& kept,
                       const Visitor& visit) {
   STCOMP_CHECK(algo::IsValidIndexList(original, kept));
   for (size_t s = 1; s < kept.size(); ++s) {
@@ -27,9 +27,70 @@ void ForEachDiscarded(const Trajectory& original, const algo::IndexList& kept,
   }
 }
 
+// Walk the approximation segment by segment; within one approximation
+// segment, cut at original vertices. On each piece both motions are
+// linear, so the signed perpendicular offset to the approximation's
+// carrier line is linear in time and the average of its absolute value
+// is exact (AverageLinearAbs). Degenerate (zero-length) approximation
+// segments fall back to the distance-to-point average (AverageLinearNorm).
+// The approximation is abstracted as (size, point-at-index) so the
+// index-list overload can evaluate it in place with identical arithmetic.
+template <typename ApproximationPoint>
+double AreaErrorImpl(TrajectoryView original, size_t approximation_size,
+                     const ApproximationPoint& approximation_point) {
+  double weighted_sum = 0.0;
+  size_t original_segment = 0;
+  for (size_t s = 0; s + 1 < approximation_size; ++s) {
+    const TimedPoint& a0 = approximation_point(s);
+    const TimedPoint& a1 = approximation_point(s + 1);
+    const Vec2 carrier = a1.position - a0.position;
+    const double carrier_len = carrier.Norm();
+    double t0 = a0.t;
+    Vec2 p0;
+    {
+      while (original_segment + 2 < original.size() &&
+             original[original_segment + 1].t < t0) {
+        ++original_segment;
+      }
+      p0 = InterpolatePosition(original[original_segment],
+                               original[original_segment + 1], t0);
+    }
+    while (t0 < a1.t) {
+      while (original_segment + 2 < original.size() &&
+             original[original_segment + 1].t <= t0) {
+        ++original_segment;
+      }
+      const double t1 = std::min(a1.t, original[original_segment + 1].t);
+      const Vec2 p1 = InterpolatePosition(original[original_segment],
+                                          original[original_segment + 1], t1);
+      double piece_average;
+      if (carrier_len == 0.0) {
+        piece_average =
+            AverageLinearNorm(p0 - a0.position, p1 - a0.position);
+      } else {
+        const double s0 = carrier.Cross(p0 - a0.position) / carrier_len;
+        const double s1 = carrier.Cross(p1 - a0.position) / carrier_len;
+        piece_average = AverageLinearAbs(s0, s1);
+      }
+      weighted_sum += (t1 - t0) * piece_average;
+      t0 = t1;
+      p0 = p1;
+      if (t1 == original[original_segment + 1].t &&
+          original_segment + 2 < original.size()) {
+        ++original_segment;
+      }
+    }
+  }
+  const double duration = original.Duration();
+  if (duration <= 0.0) {
+    return 0.0;
+  }
+  return weighted_sum / duration;
+}
+
 }  // namespace
 
-double MeanPerpendicularError(const Trajectory& original,
+double MeanPerpendicularError(TrajectoryView original,
                               const algo::IndexList& kept) {
   double sum = 0.0;
   size_t count = 0;
@@ -43,7 +104,7 @@ double MeanPerpendicularError(const Trajectory& original,
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
-double MaxPerpendicularError(const Trajectory& original,
+double MaxPerpendicularError(TrajectoryView original,
                              const algo::IndexList& kept) {
   double worst = 0.0;
   ForEachDiscarded(original, kept, [&](int i, int first, int last) {
@@ -56,8 +117,8 @@ double MaxPerpendicularError(const Trajectory& original,
   return worst;
 }
 
-Result<double> AreaError(const Trajectory& original,
-                         const Trajectory& approximation) {
+Result<double> AreaError(TrajectoryView original,
+                         TrajectoryView approximation) {
   if (original.size() < 2 || approximation.size() < 2) {
     return InvalidArgumentError("area error needs >= 2 points in both");
   }
@@ -66,61 +127,22 @@ Result<double> AreaError(const Trajectory& original,
     return InvalidArgumentError(
         "trajectories must cover the same time interval");
   }
-  // Walk the approximation segment by segment; within one approximation
-  // segment, cut at original vertices. On each piece both motions are
-  // linear, so the signed perpendicular offset to the approximation's
-  // carrier line is linear in time and the average of its absolute value
-  // is exact (AverageLinearAbs). Degenerate (zero-length) approximation
-  // segments fall back to the distance-to-point average (AverageLinearNorm).
-  double weighted_sum = 0.0;
-  size_t original_segment = 0;
-  const auto& opoints = original.points();
-  for (size_t s = 0; s + 1 < approximation.size(); ++s) {
-    const TimedPoint& a0 = approximation[s];
-    const TimedPoint& a1 = approximation[s + 1];
-    const Vec2 carrier = a1.position - a0.position;
-    const double carrier_len = carrier.Norm();
-    double t0 = a0.t;
-    Vec2 p0;
-    {
-      while (original_segment + 2 < opoints.size() &&
-             opoints[original_segment + 1].t < t0) {
-        ++original_segment;
-      }
-      p0 = InterpolatePosition(opoints[original_segment],
-                               opoints[original_segment + 1], t0);
-    }
-    while (t0 < a1.t) {
-      while (original_segment + 2 < opoints.size() &&
-             opoints[original_segment + 1].t <= t0) {
-        ++original_segment;
-      }
-      const double t1 = std::min(a1.t, opoints[original_segment + 1].t);
-      const Vec2 p1 = InterpolatePosition(opoints[original_segment],
-                                          opoints[original_segment + 1], t1);
-      double piece_average;
-      if (carrier_len == 0.0) {
-        piece_average =
-            AverageLinearNorm(p0 - a0.position, p1 - a0.position);
-      } else {
-        const double s0 = carrier.Cross(p0 - a0.position) / carrier_len;
-        const double s1 = carrier.Cross(p1 - a0.position) / carrier_len;
-        piece_average = AverageLinearAbs(s0, s1);
-      }
-      weighted_sum += (t1 - t0) * piece_average;
-      t0 = t1;
-      p0 = p1;
-      if (t1 == opoints[original_segment + 1].t &&
-          original_segment + 2 < opoints.size()) {
-        ++original_segment;
-      }
-    }
+  return AreaErrorImpl(
+      original, approximation.size(),
+      [&](size_t s) -> const TimedPoint& { return approximation[s]; });
+}
+
+Result<double> AreaError(TrajectoryView original,
+                         const algo::IndexList& kept) {
+  if (!algo::IsValidIndexList(original, kept)) {
+    return InvalidArgumentError("kept indices are not a valid index list");
   }
-  const double duration = original.Duration();
-  if (duration <= 0.0) {
-    return 0.0;
+  if (original.size() < 2) {
+    return InvalidArgumentError("area error needs >= 2 points in both");
   }
-  return weighted_sum / duration;
+  return AreaErrorImpl(original, kept.size(), [&](size_t s) -> const TimedPoint& {
+    return original[static_cast<size_t>(kept[s])];
+  });
 }
 
 }  // namespace stcomp

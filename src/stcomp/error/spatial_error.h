@@ -1,13 +1,17 @@
 // Spatial (time-ignorant) error notions used by classic line
 // generalization (paper Sec. 4.1): per-point perpendicular distances and
 // the sampling-rate-insensitive area notion of Fig. 5a.
+//
+// Entry points read non-owning TrajectoryViews (a Trajectory converts
+// implicitly); the (original, kept) AreaError overload evaluates the
+// approximation in place, without a Subset() copy.
 
 #ifndef STCOMP_ERROR_SPATIAL_ERROR_H_
 #define STCOMP_ERROR_SPATIAL_ERROR_H_
 
 #include "stcomp/algo/compression.h"
 #include "stcomp/common/result.h"
-#include "stcomp/core/trajectory.h"
+#include "stcomp/core/trajectory_view.h"
 
 namespace stcomp {
 
@@ -15,11 +19,11 @@ namespace stcomp {
 // approximation segment covering its timestamp (0 when nothing was
 // discarded). Precondition (checked): `kept` is a valid index list for
 // `original` (see algo::IsValidIndexList).
-double MeanPerpendicularError(const Trajectory& original,
+double MeanPerpendicularError(TrajectoryView original,
                               const algo::IndexList& kept);
 
 // Max over discarded points of the same distance.
-double MaxPerpendicularError(const Trajectory& original,
+double MaxPerpendicularError(TrajectoryView original,
                              const algo::IndexList& kept);
 
 // Fig. 5a error: the time-weighted average perpendicular distance from the
@@ -27,8 +31,13 @@ double MaxPerpendicularError(const Trajectory& original,
 // segment — the limit of "sum of perpendicular distance chords" for
 // progressively finer sampling. Computed in closed form. Requirements as
 // SynchronousError (same time interval, >= 2 points each).
-Result<double> AreaError(const Trajectory& original,
-                         const Trajectory& approximation);
+Result<double> AreaError(TrajectoryView original, TrajectoryView approximation);
+
+// Index-list form: evaluates the approximation keeping `kept` of
+// `original` without materialising it, bit-for-bit equal to the two-view
+// form on original.Subset(kept). Requirements (else kInvalidArgument):
+// valid index list, original.size() >= 2. Allocation-free.
+Result<double> AreaError(TrajectoryView original, const algo::IndexList& kept);
 
 }  // namespace stcomp
 

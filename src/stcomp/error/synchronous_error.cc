@@ -16,27 +16,53 @@ namespace {
 // for q monotone queries instead of O(q log n) binary searches.
 class SegmentCursor {
  public:
-  explicit SegmentCursor(const Trajectory& trajectory)
+  explicit SegmentCursor(TrajectoryView trajectory)
       : trajectory_(trajectory) {}
 
   // Position at `t`; `t` must be within the trajectory interval and
   // queries must be nondecreasing.
   Vec2 At(double t) {
-    const auto& points = trajectory_.points();
-    STCOMP_DCHECK(t >= points.front().t && t <= points.back().t);
-    while (segment_ + 2 < points.size() && points[segment_ + 1].t < t) {
+    STCOMP_DCHECK(t >= trajectory_.front().t && t <= trajectory_.back().t);
+    while (segment_ + 2 < trajectory_.size() &&
+           trajectory_[segment_ + 1].t < t) {
       ++segment_;
     }
-    return InterpolatePosition(points[segment_], points[segment_ + 1], t);
+    return InterpolatePosition(trajectory_[segment_],
+                               trajectory_[segment_ + 1], t);
   }
 
  private:
-  const Trajectory& trajectory_;
+  const TrajectoryView trajectory_;
   size_t segment_ = 0;
 };
 
-Status CheckComparable(const Trajectory& original,
-                       const Trajectory& approximation) {
+// The same walk over the *implicit* approximation original.Subset(kept):
+// segment s runs from original[kept[s]] to original[kept[s + 1]]. Since the
+// subset's points are copies of the original's, this performs bit-for-bit
+// the arithmetic SegmentCursor would on the materialised subset.
+class KeptSegmentCursor {
+ public:
+  KeptSegmentCursor(TrajectoryView original, const algo::IndexList& kept)
+      : original_(original), kept_(kept) {}
+
+  Vec2 At(double t) {
+    while (segment_ + 2 < kept_.size() && Point(segment_ + 1).t < t) {
+      ++segment_;
+    }
+    return InterpolatePosition(Point(segment_), Point(segment_ + 1), t);
+  }
+
+ private:
+  const TimedPoint& Point(size_t s) const {
+    return original_[static_cast<size_t>(kept_[s])];
+  }
+
+  const TrajectoryView original_;
+  const algo::IndexList& kept_;
+  size_t segment_ = 0;
+};
+
+Status CheckComparable(TrajectoryView original, TrajectoryView approximation) {
   if (original.size() < 2 || approximation.size() < 2) {
     return InvalidArgumentError(
         "synchronous error needs >= 2 points in both trajectories");
@@ -49,9 +75,24 @@ Status CheckComparable(const Trajectory& original,
   return Status::Ok();
 }
 
+// An index list that is valid (endpoints kept, strictly increasing) makes
+// the approximation's vertex times a subset of the original's with matching
+// start/end — exactly the CheckComparable contract, with the union grid
+// collapsing to the original's own timestamps.
+Status CheckKept(TrajectoryView original, const algo::IndexList& kept) {
+  if (!algo::IsValidIndexList(original, kept)) {
+    return InvalidArgumentError("kept indices are not a valid index list");
+  }
+  if (original.size() < 2) {
+    return InvalidArgumentError(
+        "synchronous error needs >= 2 points in both trajectories");
+  }
+  return Status::Ok();
+}
+
 // Union of the two trajectories' vertex timestamps (both sorted).
-std::vector<double> UnionTimeGrid(const Trajectory& original,
-                                  const Trajectory& approximation) {
+std::vector<double> UnionTimeGrid(TrajectoryView original,
+                                  TrajectoryView approximation) {
   std::vector<double> grid;
   grid.reserve(original.size() + approximation.size());
   size_t i = 0;
@@ -134,8 +175,8 @@ double AverageLinearNorm(Vec2 d0, Vec2 d1) {
   return antiderivative(1.0, c_end) - antiderivative(0.0, c);
 }
 
-Result<double> SynchronousError(const Trajectory& original,
-                                const Trajectory& approximation) {
+Result<double> SynchronousError(TrajectoryView original,
+                                TrajectoryView approximation) {
   STCOMP_RETURN_IF_ERROR(CheckComparable(original, approximation));
   const std::vector<double> grid = UnionTimeGrid(original, approximation);
   SegmentCursor original_cursor(original);
@@ -160,16 +201,40 @@ Result<double> SynchronousError(const Trajectory& original,
   return weighted_sum / duration;
 }
 
-Result<double> SynchronousErrorNumeric(const Trajectory& original,
-                                       const Trajectory& approximation,
+Result<double> SynchronousError(TrajectoryView original,
+                                const algo::IndexList& kept) {
+  STCOMP_RETURN_IF_ERROR(CheckKept(original, kept));
+  // The union grid is the original's own (strictly increasing) timestamps,
+  // so walk the original's points directly: no grid vector, no subset copy.
+  SegmentCursor original_cursor(original);
+  KeptSegmentCursor approximation_cursor(original, kept);
+  const double t_front = original.front().t;
+  double weighted_sum = 0.0;
+  Vec2 previous_delta =
+      original_cursor.At(t_front) - approximation_cursor.At(t_front);
+  for (size_t k = 1; k < original.size(); ++k) {
+    const double t = original[k].t;
+    const Vec2 delta = original_cursor.At(t) - approximation_cursor.At(t);
+    weighted_sum +=
+        (t - original[k - 1].t) * AverageLinearNorm(previous_delta, delta);
+    previous_delta = delta;
+  }
+  const double duration = original.back().t - t_front;
+  if (duration <= 0.0) {
+    return 0.0;
+  }
+  return weighted_sum / duration;
+}
+
+Result<double> SynchronousErrorNumeric(TrajectoryView original,
+                                       TrajectoryView approximation,
                                        double tolerance) {
   STCOMP_RETURN_IF_ERROR(CheckComparable(original, approximation));
   const std::vector<double> grid = UnionTimeGrid(original, approximation);
   double weighted_sum = 0.0;
   for (size_t k = 1; k < grid.size(); ++k) {
-    // Fresh cursors per interval keep the lambda's queries monotone even
-    // though Simpson revisits interior times in non-monotone order; use
-    // PositionAt (binary search) instead.
+    // Simpson revisits interior times in non-monotone order, so cursors
+    // don't apply; use PositionAt (binary search) instead.
     const auto distance_at = [&](double t) {
       const Vec2 p = original.PositionAt(t).value();
       const Vec2 q = approximation.PositionAt(t).value();
@@ -185,14 +250,28 @@ Result<double> SynchronousErrorNumeric(const Trajectory& original,
   return weighted_sum / duration;
 }
 
-Result<double> MaxSynchronousError(const Trajectory& original,
-                                   const Trajectory& approximation) {
+Result<double> MaxSynchronousError(TrajectoryView original,
+                                   TrajectoryView approximation) {
   STCOMP_RETURN_IF_ERROR(CheckComparable(original, approximation));
   const std::vector<double> grid = UnionTimeGrid(original, approximation);
   SegmentCursor original_cursor(original);
   SegmentCursor approximation_cursor(approximation);
   double worst = 0.0;
   for (double t : grid) {
+    worst = std::max(
+        worst, Distance(original_cursor.At(t), approximation_cursor.At(t)));
+  }
+  return worst;
+}
+
+Result<double> MaxSynchronousError(TrajectoryView original,
+                                   const algo::IndexList& kept) {
+  STCOMP_RETURN_IF_ERROR(CheckKept(original, kept));
+  SegmentCursor original_cursor(original);
+  KeptSegmentCursor approximation_cursor(original, kept);
+  double worst = 0.0;
+  for (size_t k = 0; k < original.size(); ++k) {
+    const double t = original[k].t;
     worst = std::max(
         worst, Distance(original_cursor.At(t), approximation_cursor.At(t)));
   }

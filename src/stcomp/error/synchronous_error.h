@@ -7,12 +7,18 @@
 // case analysis (constant offset / zero discriminant / general asinh case).
 // Because the approximation's vertex times are a subset of the original's,
 // the union time grid gives exactly those intervals.
+//
+// Every entry point reads non-owning TrajectoryViews (DESIGN.md §11); a
+// Trajectory converts implicitly. The (original, kept) overloads evaluate
+// the approximation `original.Subset(kept)` *in place* — same arithmetic,
+// same result bit-for-bit, but no trajectory copy and no grid allocation.
 
 #ifndef STCOMP_ERROR_SYNCHRONOUS_ERROR_H_
 #define STCOMP_ERROR_SYNCHRONOUS_ERROR_H_
 
+#include "stcomp/algo/compression.h"
 #include "stcomp/common/result.h"
-#include "stcomp/core/trajectory.h"
+#include "stcomp/core/trajectory_view.h"
 
 namespace stcomp {
 
@@ -28,22 +34,34 @@ double AverageLinearAbs(double s0, double s1);
 // α(p, a), paper Eq. 3: time-weighted average synchronous distance over the
 // common time interval. Requirements (else kInvalidArgument): both
 // trajectories have >= 2 points and identical start/end timestamps.
-Result<double> SynchronousError(const Trajectory& original,
-                                const Trajectory& approximation);
+Result<double> SynchronousError(TrajectoryView original,
+                                TrajectoryView approximation);
+
+// Same quantity for the approximation that keeps `kept` of `original`,
+// computed without materialising it. Requirements (else kInvalidArgument):
+// `kept` is a valid index list for `original` (algo::IsValidIndexList) with
+// >= 2 entries, and original.size() >= 2. Allocation-free.
+Result<double> SynchronousError(TrajectoryView original,
+                                const algo::IndexList& kept);
 
 // Same quantity via adaptive Simpson on each union-grid interval; used by
 // tests/ablation to validate the closed form. `tolerance` is absolute, per
 // interval, on the time-integrated distance.
-Result<double> SynchronousErrorNumeric(const Trajectory& original,
-                                       const Trajectory& approximation,
+Result<double> SynchronousErrorNumeric(TrajectoryView original,
+                                       TrajectoryView approximation,
                                        double tolerance);
 
 // Maximum synchronous distance over the common interval. Because the
 // distance is convex on each union-grid interval, the maximum is attained
 // at a grid vertex, so this is exact. Same requirements as
 // SynchronousError.
-Result<double> MaxSynchronousError(const Trajectory& original,
-                                   const Trajectory& approximation);
+Result<double> MaxSynchronousError(TrajectoryView original,
+                                   TrajectoryView approximation);
+
+// Index-list form of the maximum; requirements and guarantees as the
+// index-list SynchronousError. Allocation-free.
+Result<double> MaxSynchronousError(TrajectoryView original,
+                                   const algo::IndexList& kept);
 
 }  // namespace stcomp
 

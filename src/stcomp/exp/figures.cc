@@ -24,12 +24,15 @@ Result<std::string> RenderPairFigure(const std::vector<Trajectory>& dataset,
                                      std::string_view left_name,
                                      std::string_view right_name) {
   const algo::AlgorithmParams base;
-  STCOMP_ASSIGN_OR_RETURN(
-      const std::vector<SweepPoint> left,
-      SweepThresholds(dataset, left_name, base, PaperThresholds()));
-  STCOMP_ASSIGN_OR_RETURN(
-      const std::vector<SweepPoint> right,
-      SweepThresholds(dataset, right_name, base, PaperThresholds()));
+  // Both algorithms' threshold grids run in one thread pool; results are
+  // identical to the serial SweepThresholds calls.
+  std::vector<SweepRequest> requests(2);
+  requests[0] = {std::string(left_name), base, PaperThresholds()};
+  requests[1] = {std::string(right_name), base, PaperThresholds()};
+  STCOMP_ASSIGN_OR_RETURN(const std::vector<std::vector<SweepPoint>> sweeps,
+                          SweepManyParallel(dataset, requests));
+  const std::vector<SweepPoint>& left = sweeps[0];
+  const std::vector<SweepPoint>& right = sweeps[1];
   Table table({"threshold_m",
                std::string(left_name) + "_compr_%",
                std::string(right_name) + "_compr_%",
@@ -111,15 +114,15 @@ Result<std::string> RenderFigure10(const std::vector<Trajectory>& dataset) {
       {"opw-sp(5)", "opw-sp", 5.0},   {"opw-sp(15)", "opw-sp", 15.0},
       {"opw-sp(25)", "opw-sp", 25.0},
   };
-  std::vector<std::vector<SweepPoint>> sweeps;
+  std::vector<SweepRequest> requests;
+  requests.reserve(series.size());
   for (const Series& s : series) {
     algo::AlgorithmParams base;
     base.speed_threshold_mps = s.speed_threshold_mps;
-    STCOMP_ASSIGN_OR_RETURN(
-        std::vector<SweepPoint> sweep,
-        SweepThresholds(dataset, s.algorithm, base, PaperThresholds()));
-    sweeps.push_back(std::move(sweep));
+    requests.push_back({s.algorithm, base, PaperThresholds()});
   }
+  STCOMP_ASSIGN_OR_RETURN(const std::vector<std::vector<SweepPoint>> sweeps,
+                          SweepManyParallel(dataset, requests));
   std::vector<std::string> error_headers = {"threshold_m"};
   std::vector<std::string> compression_headers = {"threshold_m"};
   for (const Series& s : series) {
@@ -161,15 +164,19 @@ Result<std::string> RenderFigure11(const std::vector<Trajectory>& dataset) {
       {"opw-sp(15)", "opw-sp", 15.0},
       {"opw-sp(25)", "opw-sp", 25.0},
   };
-  Table table({"algorithm", "threshold_m", "compression_%", "error_m"});
+  std::vector<SweepRequest> requests;
+  requests.reserve(series.size());
   for (const Series& s : series) {
     algo::AlgorithmParams base;
     base.speed_threshold_mps = s.speed_threshold_mps;
-    STCOMP_ASSIGN_OR_RETURN(
-        const std::vector<SweepPoint> sweep,
-        SweepThresholds(dataset, s.algorithm, base, PaperThresholds()));
-    for (const SweepPoint& point : sweep) {
-      table.AddRow({s.label, Fmt(point.epsilon_m, 0),
+    requests.push_back({s.algorithm, base, PaperThresholds()});
+  }
+  STCOMP_ASSIGN_OR_RETURN(const std::vector<std::vector<SweepPoint>> sweeps,
+                          SweepManyParallel(dataset, requests));
+  Table table({"algorithm", "threshold_m", "compression_%", "error_m"});
+  for (size_t s = 0; s < series.size(); ++s) {
+    for (const SweepPoint& point : sweeps[s]) {
+      table.AddRow({series[s].label, Fmt(point.epsilon_m, 0),
                     Fmt(point.compression_percent),
                     Fmt(point.sync_error_mean_m)});
     }

@@ -6,9 +6,19 @@
 
 namespace stcomp {
 
+BatchAdapter::BatchAdapter(const algo::AlgorithmInfo& info,
+                           algo::AlgorithmParams params)
+    : algorithm_(nullptr),
+      run_view_(&info.run_view),
+      params_(params),
+      name_(info.name + "-batch") {
+  STCOMP_CHECK(*run_view_ != nullptr);
+}
+
 BatchAdapter::BatchAdapter(algo::AlgorithmFn algorithm,
                            algo::AlgorithmParams params, std::string name)
     : algorithm_(std::move(algorithm)),
+      run_view_(nullptr),
       params_(params),
       name_(std::move(name)) {
   STCOMP_CHECK(algorithm_ != nullptr);
@@ -24,8 +34,12 @@ Status BatchAdapter::Push(const TimedPoint& point,
 void BatchAdapter::Finish(std::vector<TimedPoint>* out) {
   STCOMP_CHECK(out != nullptr);
   finished_ = true;
-  const algo::IndexList kept = algorithm_(buffer_, params_);
-  for (int index : kept) {
+  if (run_view_ != nullptr) {
+    (*run_view_)(buffer_, params_, workspace_, kept_);
+  } else {
+    kept_ = algorithm_(buffer_, params_);
+  }
+  for (int index : kept_) {
     out->push_back(buffer_[static_cast<size_t>(index)]);
   }
 }

@@ -2,9 +2,10 @@
 
 #include <cmath>
 
+#include "stcomp/algo/spatiotemporal.h"
 #include "stcomp/common/check.h"
 #include "stcomp/common/strings.h"
-#include "stcomp/core/interpolation.h"
+#include "stcomp/core/trajectory_view.h"
 
 namespace stcomp {
 
@@ -43,29 +44,26 @@ void OpeningWindowStream::Settle(std::vector<TimedPoint>* out) {
     if (size < 3) {
       return;
     }
+    // Anchor is window index 0; the criteria are the batch layer's own,
+    // evaluated over a view of the buffer.
+    const TrajectoryView window(window_.data(), size);
     const size_t first_float = need_full_replay ? 2 : size - 1;
     bool cut_made = false;
     for (size_t f = first_float; f < size && !cut_made; ++f) {
       // Violation scan for the window (anchor = 0, float = f).
-      const TimedPoint float_point = window_[f];
       for (size_t i = 1; i < f; ++i) {
         bool violated;
         if (criterion_ == StreamCriterion::kPerpendicular) {
-          violated = PointToLineDistance(window_[i].position,
-                                         window_.front().position,
-                                         float_point.position) > epsilon_m_;
+          violated = algo::PerpendicularWindowDistance(
+                         window, 0, static_cast<int>(f),
+                         static_cast<int>(i)) > epsilon_m_;
         } else {
-          violated = SynchronizedDistance(window_.front(), float_point,
-                                          window_[i]) > epsilon_m_;
+          violated = algo::SynchronizedWindowDistance(
+                         window, 0, static_cast<int>(f),
+                         static_cast<int>(i)) > epsilon_m_;
           if (!violated && criterion_ == StreamCriterion::kSpatiotemporal) {
-            const TimedPoint& before = window_[i - 1];
-            const TimedPoint& point = window_[i];
-            const TimedPoint& after = window_[i + 1];
-            const double v_before = Distance(point.position, before.position) /
-                                    (point.t - before.t);
-            const double v_after = Distance(after.position, point.position) /
-                                   (after.t - point.t);
-            violated = std::abs(v_after - v_before) > speed_threshold_mps_;
+            violated = algo::SpeedJump(window, static_cast<int>(i)) >
+                       speed_threshold_mps_;
           }
         }
         if (violated) {

@@ -2,12 +2,18 @@
 // output-equivalent to its batch counterpart in algo/ (verified by tests):
 // after a cut, the buffered tail is replayed through the window logic in
 // the same order the batch loop would re-examine it.
+//
+// The window is a contiguous vector, so the settle loop evaluates the
+// batch layer's own criteria (PerpendicularWindowDistance,
+// SynchronizedWindowDistance, SpeedJump) over a TrajectoryView of the
+// buffer — one implementation of the math, shared with algo/ (DESIGN.md
+// §11).
 
 #ifndef STCOMP_STREAM_OPENING_WINDOW_STREAM_H_
 #define STCOMP_STREAM_OPENING_WINDOW_STREAM_H_
 
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "stcomp/algo/opening_window.h"
 #include "stcomp/stream/online_compressor.h"
@@ -43,8 +49,9 @@ class OpeningWindowStream final : public OnlineCompressor {
   const StreamCriterion criterion_;
   const double speed_threshold_mps_;
   std::string name_;
-  // window_[0] is the current anchor (already committed).
-  std::deque<TimedPoint> window_;
+  // window_[0] is the current anchor (already committed). Contiguous so the
+  // settle loop can view it; capacity is retained across cuts.
+  std::vector<TimedPoint> window_;
   double last_time_ = 0.0;
   bool any_pushed_ = false;
   bool finished_ = false;

@@ -32,13 +32,13 @@ void SquishStream::Finish(std::vector<TimedPoint>* out) {
   STCOMP_CHECK(out != nullptr);
   finished_ = true;
   bool first = true;
-  for (const auto& [index, point] : buffer_.FinalizePoints()) {
+  buffer_.ForEachKept([&](int /*index*/, const TimedPoint& point) {
     if (first) {
       first = false;  // Already emitted at the initial Push.
-      continue;
+      return;
     }
     out->push_back(point);
-  }
+  });
 }
 
 }  // namespace stcomp

@@ -177,7 +177,7 @@ TEST(TopDownTest, CustomDistanceFunction) {
   const Trajectory trajectory = Line(7, 1.0, 1.0, 0.0);
   const IndexList kept = TopDown(
       trajectory, 0.5,
-      [](const Trajectory&, int, int, int i) { return i == 3 ? 1.0 : 0.0; });
+      [](TrajectoryView, int, int, int i) { return i == 3 ? 1.0 : 0.0; });
   EXPECT_EQ(kept, (IndexList{0, 3, 6}));
 }
 

@@ -126,7 +126,7 @@ TEST(OpeningWindowTest, GenericMetricInjection) {
   const Trajectory trajectory = Line(6, 1.0, 1.0, 0.0);
   const IndexList kept = OpeningWindow(
       trajectory, 0.5, BreakPolicy::kNormal,
-      [](const Trajectory&, int, int, int) { return 1.0; });
+      [](TrajectoryView, int, int, int) { return 1.0; });
   EXPECT_EQ(kept, (IndexList{0, 1, 2, 3, 4, 5}));
 }
 

@@ -75,6 +75,29 @@ TEST_P(CorpusProperty, EveryAlgorithmIsDeterministic) {
   }
 }
 
+TEST_P(CorpusProperty, ViewEntryPointMatchesLegacyShim) {
+  // Satellite 3 of the zero-copy refactor: run_view with a deliberately
+  // dirty, shared workspace must be byte-identical to the legacy run()
+  // shim AND to a fresh-workspace run, for every algorithm and threshold.
+  const CorpusCase& c = GetParam();
+  algo::Workspace dirty;  // Reused across every (algorithm, epsilon) cell.
+  algo::IndexList reused_out;
+  for (const algo::AlgorithmInfo& info : algo::AllAlgorithms()) {
+    for (double epsilon : EpsilonLadder()) {
+      algo::AlgorithmParams params;
+      params.epsilon_m = epsilon;
+      const std::string repro = Repro(c, info.name, params);
+      const algo::IndexList legacy = info.run(c.trajectory, params);
+      info.run_view(c.trajectory, params, dirty, reused_out);
+      EXPECT_EQ(reused_out, legacy) << repro << " (dirty workspace)";
+      algo::Workspace fresh;
+      algo::IndexList fresh_out;
+      info.run_view(c.trajectory, params, fresh, fresh_out);
+      EXPECT_EQ(fresh_out, legacy) << repro << " (fresh workspace)";
+    }
+  }
+}
+
 TEST_P(CorpusProperty, SynchronousErrorClosedFormMatchesQuadrature) {
   const CorpusCase& c = GetParam();
   if (c.trajectory.size() < 2) {

@@ -1,6 +1,8 @@
 #include "stcomp/algo/registry.h"
 
+#include <limits>
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -64,6 +66,76 @@ TEST(RegistryTest, EveryAlgorithmHandlesTinyInputs) {
   for (const AlgorithmInfo& info : AllAlgorithms()) {
     const IndexList kept = info.run(two, params);
     EXPECT_EQ(kept, (IndexList{0, 1})) << info.name;
+  }
+}
+
+TEST(ParamsValidateTest, DefaultsAreValid) {
+  EXPECT_TRUE(AlgorithmParams{}.Validate().ok());
+}
+
+TEST(ParamsValidateTest, BoundaryValuesAreValid) {
+  AlgorithmParams params;
+  params.epsilon_m = 0.0;
+  params.speed_threshold_mps = 0.0;
+  params.keep_every = 1;
+  params.interval_s = 1e-9;
+  params.min_heading_change_rad = 0.0;
+  params.max_window = 2;
+  EXPECT_TRUE(params.Validate().ok());
+}
+
+TEST(ParamsValidateTest, RejectsEachOutOfDomainField) {
+  const auto expect_invalid = [](const AlgorithmParams& params,
+                                 const std::string& field) {
+    const Status status = params.Validate();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << field;
+    EXPECT_NE(status.message().find(field), std::string::npos)
+        << status.ToString();
+  };
+  AlgorithmParams params;
+  params.epsilon_m = -1.0;
+  expect_invalid(params, "epsilon_m");
+  params = {};
+  params.speed_threshold_mps = -0.5;
+  expect_invalid(params, "speed_threshold_mps");
+  params = {};
+  params.keep_every = 0;
+  expect_invalid(params, "keep_every");
+  params = {};
+  params.interval_s = 0.0;
+  expect_invalid(params, "interval_s");
+  params = {};
+  params.min_heading_change_rad = -0.1;
+  expect_invalid(params, "min_heading_change_rad");
+  params = {};
+  params.min_heading_change_rad = 4.0;  // > pi
+  expect_invalid(params, "min_heading_change_rad");
+  params = {};
+  params.max_window = 1;
+  expect_invalid(params, "max_window");
+}
+
+TEST(ParamsValidateTest, RejectsNaNThresholds) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  AlgorithmParams params;
+  params.epsilon_m = nan;
+  EXPECT_EQ(params.Validate().code(), StatusCode::kInvalidArgument);
+  params = {};
+  params.speed_threshold_mps = nan;
+  EXPECT_EQ(params.Validate().code(), StatusCode::kInvalidArgument);
+  params = {};
+  params.interval_s = nan;
+  EXPECT_EQ(params.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, ViewEntryPointsRegisteredForEveryAlgorithm) {
+  Workspace workspace;
+  IndexList kept;
+  const Trajectory trajectory = testutil::RandomWalk(50, 77);
+  for (const AlgorithmInfo& info : AllAlgorithms()) {
+    ASSERT_NE(info.run_view, nullptr) << info.name;
+    info.run_view(trajectory, AlgorithmParams{}, workspace, kept);
+    EXPECT_EQ(kept, info.run(trajectory, AlgorithmParams{})) << info.name;
   }
 }
 

@@ -1,0 +1,143 @@
+#include "stcomp/core/trajectory_view.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace stcomp {
+namespace {
+
+TEST(TrajectoryViewTest, DefaultIsEmpty) {
+  const TrajectoryView view;
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_EQ(view.data(), nullptr);
+  EXPECT_EQ(view.Duration(), 0.0);
+}
+
+TEST(TrajectoryViewTest, ImplicitConversionFromTrajectoryBorrowsStorage) {
+  const Trajectory trajectory = testutil::RandomWalk(25, 7);
+  const TrajectoryView view = trajectory;  // Implicit, zero-copy.
+  EXPECT_EQ(view.size(), trajectory.size());
+  EXPECT_EQ(view.data(), trajectory.points().data());
+  for (size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view[i], trajectory[i]);
+  }
+  EXPECT_EQ(view.front(), trajectory.front());
+  EXPECT_EQ(view.back(), trajectory.back());
+}
+
+TEST(TrajectoryViewTest, ImplicitConversionFromVector) {
+  const std::vector<TimedPoint> points = {{0, 0, 0}, {1, 3, 4}, {2, 6, 8}};
+  const TrajectoryView view = points;
+  EXPECT_EQ(view.size(), points.size());
+  EXPECT_EQ(view.data(), points.data());
+  EXPECT_EQ(view[1], points[1]);
+}
+
+TEST(TrajectoryViewTest, RangeForIteratesAllPoints) {
+  const Trajectory trajectory = testutil::Line(10, 5.0, 2.0, 0.0);
+  const TrajectoryView view = trajectory;
+  size_t i = 0;
+  for (const TimedPoint& point : view) {
+    EXPECT_EQ(point, trajectory[i++]);
+  }
+  EXPECT_EQ(i, trajectory.size());
+}
+
+TEST(TrajectoryViewTest, SubspanIsZeroCopyWindow) {
+  const Trajectory trajectory = testutil::RandomWalk(20, 3);
+  const TrajectoryView view = trajectory;
+  const TrajectoryView window = view.subspan(4, 9);
+  EXPECT_EQ(window.size(), 9u);
+  EXPECT_EQ(window.data(), view.data() + 4);
+  EXPECT_EQ(window.front(), trajectory[4]);
+  EXPECT_EQ(window.back(), trajectory[12]);
+  // Degenerate but valid: empty subspan at the end.
+  EXPECT_TRUE(view.subspan(view.size(), 0).empty());
+}
+
+TEST(TrajectoryViewTest, SliceMatchesTrajectorySlice) {
+  const Trajectory trajectory = testutil::RandomWalk(20, 11);
+  const TrajectoryView view = trajectory;
+  const TrajectoryView sliced = view.Slice(3, 15);
+  const Trajectory expected = trajectory.Slice(3, 15);
+  ASSERT_EQ(sliced.size(), expected.size());
+  for (size_t i = 0; i < sliced.size(); ++i) {
+    EXPECT_EQ(sliced[i], expected[i]);
+  }
+}
+
+TEST(TrajectoryViewTest, DurationMatchesTrajectory) {
+  const Trajectory trajectory = testutil::RandomWalk(30, 5);
+  const TrajectoryView view = trajectory;
+  EXPECT_EQ(view.Duration(), trajectory.Duration());
+  const Trajectory single = testutil::Traj({{7.0, 1.0, 2.0}});
+  EXPECT_EQ(TrajectoryView(single).Duration(), 0.0);
+}
+
+TEST(TrajectoryViewTest, SegmentSpeedBitIdenticalToTrajectory) {
+  const Trajectory trajectory = testutil::RandomWalk(40, 19);
+  const TrajectoryView view = trajectory;
+  for (size_t i = 0; i + 1 < trajectory.size(); ++i) {
+    // Exact equality: the view path must run the same arithmetic.
+    EXPECT_EQ(view.SegmentSpeed(i), trajectory.SegmentSpeed(i)) << i;
+  }
+}
+
+TEST(TrajectoryViewTest, PositionAtBitIdenticalToTrajectory) {
+  const Trajectory trajectory = testutil::RandomWalk(40, 23);
+  const TrajectoryView view = trajectory;
+  // Sample timestamps, segment midpoints, and both endpoints.
+  std::vector<double> times;
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    times.push_back(trajectory[i].t);
+    if (i + 1 < trajectory.size()) {
+      times.push_back(0.5 * (trajectory[i].t + trajectory[i + 1].t));
+    }
+  }
+  for (double t : times) {
+    const Result<Vec2> from_view = view.PositionAt(t);
+    const Result<Vec2> from_trajectory = trajectory.PositionAt(t);
+    ASSERT_TRUE(from_view.ok());
+    ASSERT_TRUE(from_trajectory.ok());
+    EXPECT_EQ(from_view->x, from_trajectory->x) << t;
+    EXPECT_EQ(from_view->y, from_trajectory->y) << t;
+  }
+}
+
+TEST(TrajectoryViewTest, PositionAtOutOfRangeMatchesTrajectoryStatus) {
+  const Trajectory trajectory = testutil::Line(5, 10.0, 1.0, 0.0);
+  const TrajectoryView view = trajectory;
+  for (double t : {-1.0, trajectory.back().t + 1.0}) {
+    const Result<Vec2> from_view = view.PositionAt(t);
+    const Result<Vec2> from_trajectory = trajectory.PositionAt(t);
+    ASSERT_FALSE(from_view.ok());
+    ASSERT_FALSE(from_trajectory.ok());
+    EXPECT_EQ(from_view.status().code(), from_trajectory.status().code());
+    EXPECT_EQ(from_view.status().code(), StatusCode::kOutOfRange);
+  }
+}
+
+TEST(TrajectoryViewTest, FreeSubsetMatchesTrajectorySubset) {
+  const Trajectory trajectory = testutil::RandomWalk(30, 31);
+  const std::vector<int> kept = {0, 2, 3, 9, 17, 29};
+  const Trajectory from_view = Subset(TrajectoryView(trajectory), kept);
+  EXPECT_EQ(from_view, trajectory.Subset(kept));
+}
+
+TEST(TrajectoryViewTest, ViewOverSubspanFeedsAlgorithmsSafely) {
+  // A view over the middle of a buffer is itself a valid trajectory
+  // window: monotone timestamps, consistent accessors.
+  const Trajectory trajectory = testutil::RandomWalk(50, 41);
+  const TrajectoryView window = TrajectoryView(trajectory).subspan(10, 20);
+  for (size_t i = 0; i + 1 < window.size(); ++i) {
+    EXPECT_LT(window[i].t, window[i + 1].t);
+  }
+  EXPECT_EQ(window.Duration(), window.back().t - window.front().t);
+}
+
+}  // namespace
+}  // namespace stcomp
