@@ -9,6 +9,15 @@
 # tree) covering the parallel sweep driver, the stream fleet and every
 # other concurrent path the suite exercises.
 #
+# Fuzz coverage rides inside passes 1 and 2 automatically: the
+# fuzz_corpus_replay ctest target (tests/fuzz/) drives every structured
+# fuzz entrypoint over the checked-in seed corpus plus deterministic
+# FaultPlan mutants — so the hostile-byte sweep runs plain *and* under
+# ASan/UBSan on every invocation. A final optional pass builds the real
+# libFuzzer binaries (-DSTCOMP_FUZZ=ON) and smokes each for a few seconds;
+# it is skipped gracefully when clang is not installed, since only clang
+# ships -fsanitize=fuzzer.
+#
 # Usage: scripts/check.sh            # all passes
 #        JOBS=4 scripts/check.sh     # cap parallelism
 set -euo pipefail
@@ -38,5 +47,19 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 # (algorithm, threshold) grid with the serial-equality harness.
 ./build-tsan/bench/bench_sweep_parallel --trajectories=2 --repetitions=1 \
     --threads=4 --json-out=""
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== Optional pass: libFuzzer smoke (STCOMP_FUZZ=ON, clang) =="
+  cmake -B build-fuzz -S . -DSTCOMP_FUZZ=ON \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+    -DSTCOMP_SANITIZE="address;undefined"
+  cmake --build build-fuzz -j "$JOBS"
+  for target in nmea gpx plt csv xml varint serialization store; do
+    ./build-fuzz/tests/fuzz/fuzz_"$target" -max_total_time=5 -seed=20260805 \
+      "tests/fuzz/corpus/$target"
+  done
+else
+  echo "== Optional pass: libFuzzer smoke skipped (clang++ not installed) =="
+fi
 
 echo "All checks passed."

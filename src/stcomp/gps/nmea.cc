@@ -80,9 +80,24 @@ Result<RmcFix> ParseRmcSentence(std::string_view sentence) {
     return InvalidArgumentError("NMEA sentence missing '*hh' checksum");
   }
   const std::string_view payload = body.substr(0, star);
-  const std::string checksum_text(body.substr(star + 1));
-  const long long stated = std::strtoll(checksum_text.c_str(), nullptr, 16);
-  if (NmeaChecksum(payload) != static_cast<uint8_t>(stated)) {
+  // The checksum field must be exactly two hex digits (either case).
+  // Anything laxer (strtoll and friends) accepts garbage like "*ZZ" as 0,
+  // which collides with payloads whose XOR happens to be 0.
+  const std::string_view checksum_text = body.substr(star + 1);
+  const auto hex_digit = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  const int hi = hex_digit(checksum_text[0]);
+  const int lo = hex_digit(checksum_text[1]);
+  if (hi < 0 || lo < 0) {
+    return InvalidArgumentError(
+        "NMEA checksum must be exactly two hex digits");
+  }
+  const uint8_t stated = static_cast<uint8_t>(hi * 16 + lo);
+  if (NmeaChecksum(payload) != stated) {
     return DataLossError("NMEA checksum mismatch");
   }
   const std::vector<std::string_view> fields = Split(payload, ',');

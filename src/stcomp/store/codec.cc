@@ -92,6 +92,13 @@ Status EncodePointsImpl(const Trajectory& trajectory, Codec codec,
 
 Result<std::vector<TimedPoint>> DecodePointsImpl(std::string_view* input,
                                                  Codec codec, size_t count) {
+  // `count` comes off the wire; every point needs at least one byte per
+  // field under either codec, so a count beyond the remaining payload is
+  // corruption. Checking before reserve() keeps a flipped bit in the count
+  // varint from demanding an absurd allocation (found by tests/fuzz).
+  if (count > input->size()) {
+    return DataLossError("point count exceeds frame payload");
+  }
   std::vector<TimedPoint> points;
   points.reserve(count);
   switch (codec) {

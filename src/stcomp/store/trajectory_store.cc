@@ -214,7 +214,11 @@ Status TrajectoryStore::LoadFromFile(const std::string& path) {
   std::ostringstream buffer;
   buffer << file.rdbuf();
   const std::string content = buffer.str();
-  std::string_view cursor = content;
+  return LoadFromBuffer(content);
+}
+
+Status TrajectoryStore::LoadFromBuffer(std::string_view data) {
+  std::string_view cursor = data;
   std::map<std::string, Entry> loaded;
   while (!cursor.empty()) {
     STCOMP_ASSIGN_OR_RETURN(const Trajectory trajectory,

@@ -64,6 +64,12 @@ class TrajectoryStore {
   Status SaveToFile(const std::string& path) const;
   Status LoadFromFile(const std::string& path);
 
+  // Replaces the store's contents with the frames parsed from an in-memory
+  // image in the SaveToFile byte format (kDataLoss on any corruption; the
+  // store is left untouched on error). LoadFromFile delegates here; the
+  // fuzz harness drives this entry point directly.
+  Status LoadFromBuffer(std::string_view data);
+
  private:
   struct Entry {
     std::string encoded;   // EncodePoints payload.

@@ -28,6 +28,7 @@ Status BatchAdapter::Push(const TimedPoint& point,
                           std::vector<TimedPoint>* out) {
   STCOMP_CHECK(out != nullptr);
   STCOMP_CHECK(!finished_);
+  STCOMP_RETURN_IF_ERROR(ValidateFiniteFix(point));
   return buffer_.Append(point);
 }
 

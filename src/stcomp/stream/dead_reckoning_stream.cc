@@ -14,6 +14,7 @@ Status DeadReckoningStream::Push(const TimedPoint& point,
                                  std::vector<TimedPoint>* out) {
   STCOMP_CHECK(out != nullptr);
   STCOMP_CHECK(!finished_);
+  STCOMP_RETURN_IF_ERROR(ValidateFiniteFix(point));
   if (last_committed_.has_value() && point.t <= pending_.value_or(
                                                     *last_committed_).t) {
     return InvalidArgumentError(

@@ -24,8 +24,15 @@ std::string ResolveInstance(std::string instance) {
 FleetCompressor::FleetCompressor(
     std::function<std::unique_ptr<OnlineCompressor>()> factory,
     TrajectoryStore* store, std::string instance)
+    : FleetCompressor(std::move(factory), store, IngestPolicy{},
+                      std::move(instance)) {}
+
+FleetCompressor::FleetCompressor(
+    std::function<std::unique_ptr<OnlineCompressor>()> factory,
+    TrajectoryStore* store, const IngestPolicy& policy, std::string instance)
     : factory_(std::move(factory)),
       store_(store),
+      policy_(policy),
       instance_(ResolveInstance(std::move(instance))) {
   STCOMP_CHECK(factory_ != nullptr);
   STCOMP_CHECK(store_ != nullptr);
@@ -39,6 +46,7 @@ FleetCompressor::FleetCompressor(
       registry.GetGauge("stcomp_stream_buffered_points", labels);
   push_seconds_ = registry.GetHistogram("stcomp_stream_push_seconds", labels,
                                         obs::LatencyBucketsSeconds());
+  ingest_counters_ = IngestCounters::ForInstance(instance_);
 }
 
 Status FleetCompressor::Drain(const std::string& object_id,
@@ -69,13 +77,22 @@ Status FleetCompressor::Push(const std::string& object_id,
   STCOMP_SCOPED_TIMER_SAMPLED(push_seconds_);
   auto it = compressors_.find(object_id);
   if (it == compressors_.end()) {
-    it = compressors_.emplace(object_id, factory_()).first;
+    it = compressors_
+             .emplace(object_id,
+                      ObjectState{factory_(),
+                                  IngestGate(policy_, ingest_counters_)})
+             .first;
     STCOMP_IF_METRICS(active_objects_gauge_->Set(
         static_cast<double>(compressors_.size())));
   }
   fixes_in_->Increment();
+  admitted_.clear();
+  STCOMP_RETURN_IF_ERROR(it->second.gate.Admit(fix, &admitted_));
   std::vector<TimedPoint> committed;
-  STCOMP_RETURN_IF_ERROR(it->second->Push(fix, &committed));
+  for (const TimedPoint& admitted_fix : admitted_) {
+    STCOMP_RETURN_IF_ERROR(it->second.compressor->Push(admitted_fix,
+                                                       &committed));
+  }
   return Drain(object_id, &committed);
 }
 
@@ -86,17 +103,26 @@ Status FleetCompressor::FinishObject(const std::string& object_id) {
   }
   STCOMP_TRACE_SPAN("fleet.finish_object", object_id);
   std::vector<TimedPoint> committed;
-  it->second->Finish(&committed);
+  admitted_.clear();
+  it->second.gate.Flush(&admitted_);
+  Status status = Status::Ok();
+  for (const TimedPoint& admitted_fix : admitted_) {
+    status = it->second.compressor->Push(admitted_fix, &committed);
+    if (!status.ok()) {
+      break;  // Gate output is ordered; an inner failure is terminal.
+    }
+  }
+  it->second.compressor->Finish(&committed);
   // Drain before erasing: callers (FinishAll in particular) may pass a
   // reference to the map key itself, which erase() would invalidate.
-  const Status status = Drain(object_id, &committed);
+  const Status drain_status = Drain(object_id, &committed);
   compressors_.erase(it);
   STCOMP_IF_METRICS(active_objects_gauge_->Set(
       static_cast<double>(compressors_.size())));
   // Finishing is coarse, so the O(objects) walk refreshing the
   // buffered-points gauge is affordable here (Push never does it).
   STCOMP_IF_METRICS(buffered_points());
-  return status;
+  return status.ok() ? drain_status : status;
 }
 
 Status FleetCompressor::FinishAll() {
@@ -109,8 +135,8 @@ Status FleetCompressor::FinishAll() {
 
 size_t FleetCompressor::buffered_points() const {
   size_t total = 0;
-  for (const auto& [id, compressor] : compressors_) {
-    total += compressor->buffered_points();
+  for (const auto& [id, state] : compressors_) {
+    total += state.compressor->buffered_points() + state.gate.held_points();
   }
   // The gauge tracks working memory but is refreshed lazily, on query and
   // at snapshot-relevant call sites, to keep Push() free of O(objects)

@@ -9,6 +9,14 @@
 // fixes_in()/fixes_out() accessors are shims over them), active-object and
 // buffered-point gauges, a sampled per-push latency histogram, and a trace
 // span per object finish. See DESIGN.md §10.
+//
+// Ingest hardening (DESIGN.md §12): every fix passes a per-object
+// IngestGate before it reaches the object's compressor, so dirty feeds
+// (non-finite values, duplicates, out-of-order timestamps) surface as
+// Status or are counted/repaired per the configured IngestPolicy —
+// stcomp_ingest_{dropped,repaired,quarantined}_total under this instance's
+// labels. The default policy (kReject) preserves the historical contract:
+// faulty fixes fail with kInvalidArgument and nothing reaches the store.
 
 #ifndef STCOMP_STREAM_FLEET_COMPRESSOR_H_
 #define STCOMP_STREAM_FLEET_COMPRESSOR_H_
@@ -20,6 +28,7 @@
 
 #include "stcomp/obs/metrics.h"
 #include "stcomp/store/trajectory_store.h"
+#include "stcomp/stream/ingest_policy.h"
 #include "stcomp/stream/online_compressor.h"
 
 namespace stcomp {
@@ -34,8 +43,16 @@ class FleetCompressor {
       std::function<std::unique_ptr<OnlineCompressor>()> factory,
       TrajectoryStore* store, std::string instance = "");
 
+  // As above, with an explicit ingest policy applied per object.
+  FleetCompressor(
+      std::function<std::unique_ptr<OnlineCompressor>()> factory,
+      TrajectoryStore* store, const IngestPolicy& policy,
+      std::string instance = "");
+
   // Feeds one fix for `object_id`; commits flow into the store.
-  // kInvalidArgument for out-of-order fixes of the same object.
+  // Under the default (kReject) policy: kInvalidArgument for out-of-order
+  // or non-finite fixes of the same object; other policies absorb faults
+  // and return OK (see ingest_policy.h).
   Status Push(const std::string& object_id, const TimedPoint& fix);
 
   // Ends one object's stream (flushes its tail, removes its compressor).
@@ -60,20 +77,39 @@ class FleetCompressor {
   // The label value under which this instance's metrics are registered.
   const std::string& instance() const { return instance_; }
 
+  const IngestPolicy& policy() const { return policy_; }
+
+  // Ingest-gate decisions across all objects so far (shims over this
+  // instance's stcomp_ingest_* registry counters).
+  size_t ingest_dropped() const { return ingest_counters_.dropped->value(); }
+  size_t ingest_repaired() const { return ingest_counters_.repaired->value(); }
+  size_t ingest_quarantined() const {
+    return ingest_counters_.quarantined->value();
+  }
+
  private:
+  struct ObjectState {
+    std::unique_ptr<OnlineCompressor> compressor;
+    IngestGate gate;
+  };
+
   Status Drain(const std::string& object_id,
                std::vector<TimedPoint>* committed);
 
   std::function<std::unique_ptr<OnlineCompressor>()> factory_;
   TrajectoryStore* store_;
+  IngestPolicy policy_;
   std::string instance_;
-  std::map<std::string, std::unique_ptr<OnlineCompressor>> compressors_;
+  std::map<std::string, ObjectState> compressors_;
   // Registry-owned; valid for the process lifetime.
   obs::Counter* fixes_in_;
   obs::Counter* fixes_out_;
   obs::Gauge* active_objects_gauge_;
   obs::Gauge* buffered_points_gauge_;
   obs::Histogram* push_seconds_;
+  IngestCounters ingest_counters_;
+  // Reused gate-output scratch (Push/FinishObject are not re-entrant).
+  std::vector<TimedPoint> admitted_;
 };
 
 }  // namespace stcomp

@@ -1,0 +1,145 @@
+#include "stcomp/stream/ingest_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stcomp/common/check.h"
+#include "stcomp/common/strings.h"
+
+namespace stcomp {
+
+std::string_view IngestModeToString(IngestMode mode) {
+  switch (mode) {
+    case IngestMode::kReject:
+      return "reject";
+    case IngestMode::kDropAndCount:
+      return "drop-and-count";
+    case IngestMode::kRepair:
+      return "repair";
+  }
+  return "unknown";
+}
+
+IngestCounters IngestCounters::ForInstance(const std::string& instance) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const obs::LabelSet labels{{"compressor", instance}};
+  return IngestCounters{
+      registry.GetCounter("stcomp_ingest_dropped_total", labels),
+      registry.GetCounter("stcomp_ingest_repaired_total", labels),
+      registry.GetCounter("stcomp_ingest_quarantined_total", labels)};
+}
+
+IngestGate::IngestGate(const IngestPolicy& policy,
+                       const IngestCounters& counters)
+    : policy_(policy), counters_(counters) {
+  STCOMP_CHECK(counters_.dropped != nullptr);
+  STCOMP_CHECK(counters_.repaired != nullptr);
+  STCOMP_CHECK(counters_.quarantined != nullptr);
+  STCOMP_CHECK(policy_.reorder_window_s >= 0.0);
+  STCOMP_CHECK(policy_.quarantine_after >= 0);
+}
+
+Status IngestGate::RecordFault(obs::Counter* counter,
+                               std::string_view detail) {
+  counter->Increment();
+  ++consecutive_faults_;
+  if (policy_.quarantine_after > 0 &&
+      consecutive_faults_ >= policy_.quarantine_after) {
+    quarantined_ = true;
+  }
+  if (policy_.mode == IngestMode::kReject) {
+    return InvalidArgumentError(detail);
+  }
+  return Status::Ok();
+}
+
+Status IngestGate::Admit(const TimedPoint& fix,
+                         std::vector<TimedPoint>* admitted) {
+  STCOMP_CHECK(admitted != nullptr);
+  if (quarantined_) {
+    counters_.quarantined->Increment();
+    if (policy_.mode == IngestMode::kReject) {
+      return FailedPreconditionError("object is quarantined");
+    }
+    return Status::Ok();
+  }
+  if (!std::isfinite(fix.t) || !std::isfinite(fix.position.x) ||
+      !std::isfinite(fix.position.y)) {
+    return RecordFault(counters_.dropped,
+                       "fix has non-finite timestamp or coordinates");
+  }
+  if (policy_.mode != IngestMode::kRepair) {
+    if (any_released_ && fix.t <= last_released_t_) {
+      return RecordFault(
+          counters_.dropped,
+          StrFormat("fix at t=%.9g not after previous t=%.9g", fix.t,
+                    last_released_t_));
+    }
+    consecutive_faults_ = 0;
+    admitted->push_back(fix);
+    last_released_t_ = fix.t;
+    any_released_ = true;
+    return Status::Ok();
+  }
+  // kRepair: dedup exact-duplicate timestamps, hold and re-sort late fixes
+  // within the reorder window, drop what is beyond repair.
+  // In kRepair mode RecordFault never returns an error (that is kReject's
+  // contract), so its status is ignored below.
+  if (any_released_ && fix.t <= last_released_t_) {
+    if (fix.t == last_released_t_) {
+      RecordFault(counters_.repaired, "duplicate timestamp (dedup)");
+    } else {
+      RecordFault(counters_.dropped, "fix older than the release watermark");
+    }
+    return Status::Ok();
+  }
+  const bool late = any_seen_ && fix.t < max_seen_t_;
+  const auto at = std::lower_bound(
+      held_.begin(), held_.end(), fix.t,
+      [](const TimedPoint& held, double t) { return held.t < t; });
+  if (at != held_.end() && at->t == fix.t) {
+    RecordFault(counters_.repaired, "duplicate timestamp (dedup)");
+  } else {
+    held_.insert(at, fix);
+    if (late) {
+      RecordFault(counters_.repaired, "late fix re-sorted");
+    } else {
+      consecutive_faults_ = 0;
+    }
+  }
+  any_seen_ = true;
+  max_seen_t_ = std::max(max_seen_t_, fix.t);
+  Release(admitted);
+  return Status::Ok();
+}
+
+void IngestGate::Release(std::vector<TimedPoint>* admitted) {
+  const double watermark = max_seen_t_ - policy_.reorder_window_s;
+  size_t n = 0;
+  while (n < held_.size() && held_[n].t <= watermark) {
+    ++n;
+  }
+  if (n == 0) {
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    admitted->push_back(held_[i]);
+  }
+  last_released_t_ = held_[n - 1].t;
+  any_released_ = true;
+  held_.erase(held_.begin(), held_.begin() + static_cast<ptrdiff_t>(n));
+}
+
+void IngestGate::Flush(std::vector<TimedPoint>* admitted) {
+  STCOMP_CHECK(admitted != nullptr);
+  for (const TimedPoint& fix : held_) {
+    admitted->push_back(fix);
+  }
+  if (!held_.empty()) {
+    last_released_t_ = held_.back().t;
+    any_released_ = true;
+    held_.clear();
+  }
+}
+
+}  // namespace stcomp

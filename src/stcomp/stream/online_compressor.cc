@@ -1,10 +1,21 @@
 #include "stcomp/stream/online_compressor.h"
 
+#include <cmath>
+
 #include "stcomp/common/check.h"
 #include "stcomp/obs/metrics.h"
 #include "stcomp/obs/trace.h"
 
 namespace stcomp {
+
+Status ValidateFiniteFix(const TimedPoint& point) {
+  if (!std::isfinite(point.t) || !std::isfinite(point.position.x) ||
+      !std::isfinite(point.position.y)) {
+    return InvalidArgumentError(
+        "fix has non-finite timestamp or coordinates");
+  }
+  return Status::Ok();
+}
 
 Result<Trajectory> CompressStream(const Trajectory& trajectory,
                                   OnlineCompressor* compressor) {

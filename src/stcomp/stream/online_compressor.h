@@ -40,6 +40,12 @@ class OnlineCompressor {
   virtual std::string_view name() const = 0;
 };
 
+// Shared Push precondition for adapters: kInvalidArgument if the fix has a
+// non-finite timestamp or coordinates. NaN ordering comparisons are
+// vacuously false, so without this check a NaN timestamp slips past the
+// monotonicity guard and permanently disables it for the stream.
+Status ValidateFiniteFix(const TimedPoint& point);
+
 // Convenience driver: streams `trajectory` through `compressor` and
 // returns the compressed trajectory.
 Result<Trajectory> CompressStream(const Trajectory& trajectory,

@@ -87,6 +87,7 @@ Status OpeningWindowStream::Push(const TimedPoint& point,
                                  std::vector<TimedPoint>* out) {
   STCOMP_CHECK(out != nullptr);
   STCOMP_CHECK(!finished_);
+  STCOMP_RETURN_IF_ERROR(ValidateFiniteFix(point));
   if (any_pushed_ && point.t <= last_time_) {
     return InvalidArgumentError(
         StrFormat("stream timestamps must increase (%f after %f)", point.t,

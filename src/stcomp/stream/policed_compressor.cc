@@ -1,0 +1,51 @@
+#include "stcomp/stream/policed_compressor.h"
+
+#include <utility>
+
+#include "stcomp/common/check.h"
+
+namespace stcomp {
+
+namespace {
+
+std::string ResolveIngestInstance(const OnlineCompressor* inner,
+                                  const std::string& instance) {
+  STCOMP_CHECK(inner != nullptr);
+  return instance.empty() ? std::string(inner->name()) : instance;
+}
+
+}  // namespace
+
+PolicedCompressor::PolicedCompressor(std::unique_ptr<OnlineCompressor> inner,
+                                     const IngestPolicy& policy,
+                                     std::string instance)
+    : inner_(std::move(inner)),
+      gate_(policy, IngestCounters::ForInstance(
+                        ResolveIngestInstance(inner_.get(), instance))),
+      name_(std::string(inner_->name()) + "-policed") {}
+
+Status PolicedCompressor::Push(const TimedPoint& point,
+                               std::vector<TimedPoint>* out) {
+  STCOMP_CHECK(out != nullptr);
+  admitted_.clear();
+  STCOMP_RETURN_IF_ERROR(gate_.Admit(point, &admitted_));
+  for (const TimedPoint& fix : admitted_) {
+    STCOMP_RETURN_IF_ERROR(inner_->Push(fix, out));
+  }
+  return Status::Ok();
+}
+
+void PolicedCompressor::Finish(std::vector<TimedPoint>* out) {
+  STCOMP_CHECK(out != nullptr);
+  admitted_.clear();
+  gate_.Flush(&admitted_);
+  for (const TimedPoint& fix : admitted_) {
+    // The gate guarantees strictly increasing output, so the inner
+    // compressor cannot reject these; a failure here would be an inner
+    // contract bug, which the checked status makes loud.
+    STCOMP_CHECK_OK(inner_->Push(fix, out));
+  }
+  inner_->Finish(out);
+}
+
+}  // namespace stcomp

@@ -1,0 +1,47 @@
+// PolicedCompressor: wraps any OnlineCompressor with an IngestGate so the
+// wrapped algorithm only ever sees clean, strictly time-ordered, finite
+// fixes — the generic way to run a BatchAdapter, OpeningWindowStream,
+// SquishStream, ... against a hostile feed. FleetCompressor applies the
+// same gating per object internally; use this class for single-object
+// pipelines and for the dirty-input test matrix.
+
+#ifndef STCOMP_STREAM_POLICED_COMPRESSOR_H_
+#define STCOMP_STREAM_POLICED_COMPRESSOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stcomp/stream/ingest_policy.h"
+#include "stcomp/stream/online_compressor.h"
+
+namespace stcomp {
+
+class PolicedCompressor final : public OnlineCompressor {
+ public:
+  // `instance` names the stcomp_ingest_* metric series; empty uses the
+  // inner compressor's name.
+  PolicedCompressor(std::unique_ptr<OnlineCompressor> inner,
+                    const IngestPolicy& policy, std::string instance = "");
+
+  Status Push(const TimedPoint& point, std::vector<TimedPoint>* out) override;
+  void Finish(std::vector<TimedPoint>* out) override;
+  size_t buffered_points() const override {
+    return inner_->buffered_points() + gate_.held_points();
+  }
+  std::string_view name() const override { return name_; }
+
+  const IngestGate& gate() const { return gate_; }
+
+ private:
+  std::unique_ptr<OnlineCompressor> inner_;
+  IngestGate gate_;
+  std::string name_;
+  // Reused scratch for gate output; admitted fixes are strictly ordered,
+  // so the inner Push never fails on them.
+  std::vector<TimedPoint> admitted_;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_STREAM_POLICED_COMPRESSOR_H_

@@ -15,6 +15,7 @@ Status SquishStream::Push(const TimedPoint& point,
                           std::vector<TimedPoint>* out) {
   STCOMP_CHECK(out != nullptr);
   STCOMP_CHECK(!finished_);
+  STCOMP_RETURN_IF_ERROR(ValidateFiniteFix(point));
   if (any_pushed_ && point.t <= last_time_) {
     return InvalidArgumentError(
         StrFormat("stream timestamps must increase at t=%f", point.t));

@@ -1,0 +1,41 @@
+#include "stcomp/testing/fault_plan.h"
+
+#include "stcomp/common/strings.h"
+
+namespace stcomp::testing {
+
+FaultPlan::FaultPlan(uint64_t seed, FaultPlanOptions options)
+    : seed_(seed), options_(options), rng_(seed) {}
+
+std::string FaultPlan::CorruptBytes(std::string_view input) {
+  std::string out(input);
+  // Fixed draw order (flips, then duplication, then truncation) keeps the
+  // fault sequence a pure function of (seed, input length).
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (rng_.NextBool(options_.bit_flip_per_byte)) {
+      const int bit = static_cast<int>(rng_.NextBelow(8));
+      out[i] = static_cast<char>(out[i] ^ (1 << bit));
+      Record(StrFormat("bit-flip@%zu.%d", i, bit));
+    }
+  }
+  if (!out.empty() && rng_.NextBool(options_.duplicate_span_probability)) {
+    const size_t start = rng_.NextBelow(out.size());
+    const size_t max_len = out.size() - start;
+    const size_t len = 1 + rng_.NextBelow(max_len);
+    out.insert(start + len, out.substr(start, len));
+    Record(StrFormat("dup-span@%zu+%zu", start, len));
+  }
+  if (!out.empty() && rng_.NextBool(options_.truncate_probability)) {
+    const size_t keep = rng_.NextBelow(out.size());
+    out.resize(keep);
+    Record(StrFormat("truncate@%zu", keep));
+  }
+  return out;
+}
+
+std::string FaultPlan::Describe() const {
+  return StrFormat("FaultPlan(seed=%llu, %zu faults)",
+                   static_cast<unsigned long long>(seed_), log_.size());
+}
+
+}  // namespace stcomp::testing

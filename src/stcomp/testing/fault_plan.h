@@ -1,0 +1,81 @@
+// Deterministic fault injection for ingest hardening (DESIGN.md §12).
+//
+// A FaultPlan is a seeded stream of fault decisions: wrap a byte buffer
+// (CorruptBytes) or a fix feed (FaultyFixSource, faulty_source.h) and the
+// plan injects bit flips, truncation, record duplication, timestamp
+// regression/jitter, NaN coordinates and mid-stream I/O errors — always the
+// same faults, in the same places, for the same seed. Every injected fault
+// is appended to a human-readable log, so two runs can be proven
+// byte-identical by comparing logs, and any failure reproduces from the
+// single seed printed in the test output.
+//
+// This is test tooling (linked by tests/, tests/fuzz/ and the examples
+// demo), not part of the product `stcomp` umbrella target.
+
+#ifndef STCOMP_TESTING_FAULT_PLAN_H_
+#define STCOMP_TESTING_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stcomp/sim/random.h"
+
+namespace stcomp::testing {
+
+// Per-fault-kind injection rates; all probabilities are per opportunity
+// (per byte for flips, per record for the rest) in [0, 1]. The defaults
+// are aggressive enough that a ~100-record feed sees every fault kind.
+struct FaultPlanOptions {
+  // Byte-stream faults (CorruptBytes).
+  double bit_flip_per_byte = 0.005;
+  double truncate_probability = 0.25;
+  double duplicate_span_probability = 0.25;
+
+  // Fix-stream faults (FaultyFixSource).
+  double duplicate_fix_probability = 0.05;
+  double regress_time_probability = 0.04;
+  double jitter_time_probability = 0.06;
+  double jitter_max_s = 3.0;
+  double nan_coordinate_probability = 0.03;
+  double io_error_probability = 0.02;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed, FaultPlanOptions options = {});
+
+  uint64_t seed() const { return seed_; }
+  const FaultPlanOptions& options() const { return options_; }
+
+  // A deterministically corrupted copy of `input`: per-byte bit flips,
+  // at most one duplicated span and at most one truncation. The fuzz
+  // corpus replay driver uses this to grow every checked-in corpus file
+  // into a seed-indexed family of hostile mutants.
+  std::string CorruptBytes(std::string_view input);
+
+  // Ordered log of every fault injected so far ("bit-flip@12.3",
+  // "dup-fix#4", ...). Equal seeds + equal call sequences produce
+  // byte-identical logs; the determinism tests assert exactly that.
+  const std::vector<std::string>& log() const { return log_; }
+  size_t faults_injected() const { return log_.size(); }
+
+  // "FaultPlan(seed=42, 17 faults)" — for demo/test failure messages.
+  std::string Describe() const;
+
+ private:
+  friend class FaultyFixSource;
+
+  Rng* rng() { return &rng_; }
+  void Record(std::string entry) { log_.push_back(std::move(entry)); }
+
+  uint64_t seed_;
+  FaultPlanOptions options_;
+  Rng rng_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace stcomp::testing
+
+#endif  // STCOMP_TESTING_FAULT_PLAN_H_

@@ -1,0 +1,22 @@
+// Fuzzes the CSV trajectory reader on arbitrary bytes: header/schema
+// detection, numeric parsing, the t,lat,lon projection path.
+
+#include <string_view>
+
+#include "fuzz/fuzz_registry.h"
+#include "stcomp/gps/csv.h"
+
+namespace {
+
+int FuzzCsv(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) {
+    return 0;
+  }
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  (void)stcomp::ParseCsvTrajectory(text);
+  return 0;
+}
+
+}  // namespace
+
+STCOMP_FUZZ_TARGET(csv, FuzzCsv)

@@ -1,0 +1,23 @@
+// Fuzzes the GPX track reader (and, transitively, the XML scanner, ISO
+// 8601 parsing and the local ENU projection) on arbitrary bytes.
+
+#include <string_view>
+
+#include "fuzz/fuzz_registry.h"
+#include "stcomp/gps/gpx.h"
+
+namespace {
+
+int FuzzGpx(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) {
+    return 0;
+  }
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  (void)stcomp::ParseGpx(text);
+  (void)stcomp::ParseIso8601(text);
+  return 0;
+}
+
+}  // namespace
+
+STCOMP_FUZZ_TARGET(gpx, FuzzGpx)

@@ -1,0 +1,24 @@
+// Fuzzes the NMEA RMC sentence and multi-line document parsers on
+// arbitrary bytes: checksum handling, field splitting, angle/date parsing.
+
+#include <string_view>
+
+#include "fuzz/fuzz_registry.h"
+#include "stcomp/gps/nmea.h"
+
+namespace {
+
+int FuzzNmea(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) {
+    return 0;
+  }
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  (void)stcomp::ParseRmcSentence(text);
+  stcomp::LatLon origin;
+  (void)stcomp::ParseNmea(text, &origin);
+  return 0;
+}
+
+}  // namespace
+
+STCOMP_FUZZ_TARGET(nmea, FuzzNmea)

@@ -1,0 +1,22 @@
+// Fuzzes the Geolife .plt trace reader on arbitrary bytes: header
+// skipping, per-line field parsing, fractional-day timestamp conversion.
+
+#include <string_view>
+
+#include "fuzz/fuzz_registry.h"
+#include "stcomp/gps/plt.h"
+
+namespace {
+
+int FuzzPlt(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) {
+    return 0;
+  }
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  (void)stcomp::ParsePlt(text);
+  return 0;
+}
+
+}  // namespace
+
+STCOMP_FUZZ_TARGET(plt, FuzzPlt)

@@ -1,0 +1,22 @@
+#include "fuzz/fuzz_registry.h"
+
+namespace stcomp::fuzz {
+
+namespace {
+
+std::vector<FuzzTarget>* MutableTargets() {
+  static std::vector<FuzzTarget>* const kTargets =
+      new std::vector<FuzzTarget>();
+  return kTargets;
+}
+
+}  // namespace
+
+const std::vector<FuzzTarget>& AllTargets() { return *MutableTargets(); }
+
+int RegisterFuzzTarget(const char* name, FuzzEntry entry) {
+  MutableTargets()->push_back({name, entry});
+  return 0;
+}
+
+}  // namespace stcomp::fuzz

@@ -1,0 +1,53 @@
+// Structured fuzz entrypoints (DESIGN.md §12). Each fuzz_<name>.cc defines
+// one `LLVMFuzzerTestOneInput`-shaped function and declares it with
+// STCOMP_FUZZ_TARGET. The same translation unit serves two builds:
+//
+//  - replay build (default): the macro registers the entrypoint in a
+//    process-wide list; replay_main.cc links all entrypoints into one
+//    binary and drives each over its checked-in seed corpus plus
+//    deterministic FaultPlan mutants — the `fuzz_corpus_replay` ctest
+//    target, which therefore also runs under ASan/UBSan via check.sh.
+//
+//  - libFuzzer build (-DSTCOMP_FUZZ=ON, Clang): each file compiles
+//    standalone with STCOMP_FUZZ_STANDALONE defined, exporting the real
+//    `LLVMFuzzerTestOneInput` symbol for coverage-guided fuzzing.
+//
+// Entrypoint contract: never crash/leak/hang on arbitrary bytes; return 0.
+
+#ifndef STCOMP_TESTS_FUZZ_FUZZ_REGISTRY_H_
+#define STCOMP_TESTS_FUZZ_FUZZ_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stcomp::fuzz {
+
+using FuzzEntry = int (*)(const uint8_t* data, size_t size);
+
+struct FuzzTarget {
+  const char* name;  // Corpus directory name under tests/fuzz/corpus/.
+  FuzzEntry entry;
+};
+
+// Registration order (= file link order); stable within one binary.
+const std::vector<FuzzTarget>& AllTargets();
+
+// Called by STCOMP_FUZZ_TARGET at static-init time; returns 0.
+int RegisterFuzzTarget(const char* name, FuzzEntry entry);
+
+}  // namespace stcomp::fuzz
+
+#if defined(STCOMP_FUZZ_STANDALONE)
+#define STCOMP_FUZZ_TARGET(target_name, entry_fn)                      \
+  extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data,           \
+                                        size_t size) {                 \
+    return entry_fn(data, size);                                       \
+  }
+#else
+#define STCOMP_FUZZ_TARGET(target_name, entry_fn)                      \
+  [[maybe_unused]] static const int stcomp_fuzz_registered_##target_name = \
+      ::stcomp::fuzz::RegisterFuzzTarget(#target_name, entry_fn);
+#endif
+
+#endif  // STCOMP_TESTS_FUZZ_FUZZ_REGISTRY_H_

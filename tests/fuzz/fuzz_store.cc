@@ -1,0 +1,34 @@
+// Fuzzes the trajectory store reader: an arbitrary byte image fed to
+// LoadFromBuffer (the SaveToFile format) must yield a clean Status —
+// kDataLoss on corruption — and a usable store on success.
+
+#include <cstdlib>
+#include <string_view>
+
+#include "fuzz/fuzz_registry.h"
+#include "stcomp/store/trajectory_store.h"
+
+namespace {
+
+int FuzzStore(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) {
+    return 0;
+  }
+  const std::string_view image(reinterpret_cast<const char*>(data), size);
+  stcomp::TrajectoryStore store;
+  const stcomp::Status status = store.LoadFromBuffer(image);
+  if (status.ok()) {
+    // A store parsed from hostile bytes must still answer queries.
+    for (const std::string& id : store.ObjectIds()) {
+      if (!store.Get(id).ok()) {
+        std::abort();  // Loaded entries must decode.
+      }
+    }
+    (void)store.StorageBytes();
+  }
+  return 0;
+}
+
+}  // namespace
+
+STCOMP_FUZZ_TARGET(store, FuzzStore)

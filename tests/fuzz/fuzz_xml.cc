@@ -1,0 +1,22 @@
+// Fuzzes the dependency-free XML scanner directly (GPX rides on it):
+// tags, attributes, entities, CDATA, comments, nesting depth limits.
+
+#include <string_view>
+
+#include "fuzz/fuzz_registry.h"
+#include "stcomp/gps/xml_scanner.h"
+
+namespace {
+
+int FuzzXml(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) {
+    return 0;
+  }
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  (void)stcomp::ParseXml(text);
+  return 0;
+}
+
+}  // namespace
+
+STCOMP_FUZZ_TARGET(xml, FuzzXml)

@@ -1,0 +1,96 @@
+// Regenerates the checked-in golden store-format blob and the binary seed
+// corpora for the serialization/store fuzz targets. Run manually only when
+// the on-disk format changes *on purpose*:
+//
+//   ./golden_gen <tests/golden dir> <tests/fuzz/corpus dir>
+//
+// golden_format_test locks the emitted bytes: if it fails after a code
+// change, the change broke format compatibility — regenerating the blob is
+// the last resort, not the first fix.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "stcomp/common/check.h"
+#include "stcomp/store/serialization.h"
+#include "stcomp/store/trajectory_store.h"
+
+namespace {
+
+stcomp::Trajectory GoldenTrajectory() {
+  // Values sit on the kDelta quantisation grid (1 ms, 1 cm) so the delta
+  // frame loses nothing beyond double rounding; golden_format_test.cc
+  // rebuilds this same literal.
+  auto trajectory = stcomp::Trajectory::FromPoints({
+      {0.0, 0.0, 0.0},
+      {5.0, 12.34, -7.25},
+      {10.5, 25.0, -14.5},
+      {16.25, 40.41, -21.0},
+      {30.0, 100.0, 3.75},
+  });
+  STCOMP_CHECK_OK(trajectory.status());
+  trajectory->set_name("golden-v1");
+  return std::move(trajectory).value();
+}
+
+void WriteFile(const std::filesystem::path& path, const std::string& bytes) {
+  std::filesystem::create_directories(path.parent_path());
+  std::ofstream file(path, std::ios::binary);
+  STCOMP_CHECK(static_cast<bool>(file));
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  STCOMP_CHECK(static_cast<bool>(file));
+  std::printf("wrote %s (%zu bytes)\n", path.string().c_str(), bytes.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: golden_gen <golden_dir> <corpus_dir>\n");
+    return 1;
+  }
+  const std::filesystem::path golden_dir = argv[1];
+  const std::filesystem::path corpus_dir = argv[2];
+
+  const stcomp::Trajectory trajectory = GoldenTrajectory();
+  const std::string raw =
+      stcomp::SerializeTrajectory(trajectory, stcomp::Codec::kRaw).value();
+  const std::string delta =
+      stcomp::SerializeTrajectory(trajectory, stcomp::Codec::kDelta).value();
+  WriteFile(golden_dir / "trajectory_v1.stct", raw + delta);
+
+  WriteFile(corpus_dir / "serialization" / "raw_frame", raw);
+  WriteFile(corpus_dir / "serialization" / "delta_frame", delta);
+  WriteFile(corpus_dir / "serialization" / "two_frames", raw + delta);
+  WriteFile(corpus_dir / "serialization" / "truncated",
+            raw.substr(0, raw.size() / 2));
+  stcomp::Trajectory unnamed = trajectory;
+  unnamed.set_name("");
+  WriteFile(corpus_dir / "serialization" / "empty_name",
+            stcomp::SerializeTrajectory(unnamed, stcomp::Codec::kRaw).value());
+
+  stcomp::TrajectoryStore store(stcomp::Codec::kDelta);
+  for (const stcomp::TimedPoint& point : trajectory.points()) {
+    STCOMP_CHECK_OK(store.Append("bus-1", point));
+    STCOMP_CHECK_OK(
+        store.Append("bus-2", {point.t, point.position.y, point.position.x}));
+  }
+  const std::filesystem::path image_path = corpus_dir / "store" / "two_objects";
+  std::filesystem::create_directories(image_path.parent_path());
+  STCOMP_CHECK_OK(store.SaveToFile(image_path.string()));
+  std::printf("wrote %s\n", image_path.string().c_str());
+
+  stcomp::TrajectoryStore single(stcomp::Codec::kRaw);
+  STCOMP_CHECK_OK(single.Append("solo", {1.0, 2.0, 3.0}));
+  const std::filesystem::path single_path =
+      corpus_dir / "store" / "single_object";
+  STCOMP_CHECK_OK(single.SaveToFile(single_path.string()));
+  std::printf("wrote %s\n", single_path.string().c_str());
+
+  WriteFile(corpus_dir / "store" / "unnamed_frame",
+            stcomp::SerializeTrajectory(unnamed, stcomp::Codec::kRaw).value());
+  WriteFile(corpus_dir / "store" / "truncated", raw.substr(0, 10));
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Locks the CRC-framed on-disk trajectory format against the checked-in
+// golden blob (tests/golden/trajectory_v1.stct, written by golden_gen):
+// today's encoder must reproduce the stored bytes exactly, today's decoder
+// must read them back exactly, and any single-bit corruption anywhere in
+// the blob must surface as kDataLoss — never as silently different data.
+//
+// If this test fails after an intentional format change, bump the frame
+// version and regenerate the blob with golden_gen; see tests/golden/.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stcomp/store/serialization.h"
+#include "stcomp/store/trajectory_store.h"
+
+namespace stcomp {
+namespace {
+
+// Must match golden_gen.cc exactly; every value sits on the kDelta
+// quantisation grid (1 ms, 1 cm) so quantisation itself loses nothing.
+Trajectory GoldenTrajectory() {
+  auto trajectory = Trajectory::FromPoints({
+      {0.0, 0.0, 0.0},
+      {5.0, 12.34, -7.25},
+      {10.5, 25.0, -14.5},
+      {16.25, 40.41, -21.0},
+      {30.0, 100.0, 3.75},
+  });
+  EXPECT_TRUE(trajectory.ok());
+  trajectory->set_name("golden-v1");
+  return std::move(trajectory).value();
+}
+
+std::string ReadGoldenBlob() {
+  std::ifstream file(std::string(STCOMP_GOLDEN_DIR) + "/trajectory_v1.stct",
+                     std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(file)) << "golden blob missing";
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TEST(GoldenFormatTest, EncoderReproducesGoldenBytes) {
+  const Trajectory trajectory = GoldenTrajectory();
+  const Result<std::string> raw = SerializeTrajectory(trajectory, Codec::kRaw);
+  const Result<std::string> delta =
+      SerializeTrajectory(trajectory, Codec::kDelta);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(*raw + *delta, ReadGoldenBlob())
+      << "the serialized byte stream changed; this breaks every store file "
+         "already on disk";
+}
+
+TEST(GoldenFormatTest, DecoderReadsGoldenBytesExactly) {
+  const std::string blob = ReadGoldenBlob();
+  const Trajectory expected = GoldenTrajectory();
+  std::string_view cursor = blob;
+
+  const Result<Trajectory> raw = DeserializeTrajectory(&cursor);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_EQ(raw->name(), "golden-v1");
+  EXPECT_EQ(raw->points(), expected.points());
+
+  const size_t raw_frame_size = blob.size() - cursor.size();
+  const Result<Trajectory> delta = DeserializeTrajectory(&cursor);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_TRUE(cursor.empty());
+  EXPECT_EQ(delta->name(), "golden-v1");
+  // kDelta is quantised (1 ms, 1 cm): decoded doubles may differ from the
+  // literals by an ULP, so assert the documented tolerance value-wise and
+  // exactness byte-wise — re-encoding the decoded frame must reproduce the
+  // stored bytes, or decode/encode drifted.
+  ASSERT_EQ(delta->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(delta->points()[i].t, expected.points()[i].t, 0.5e-3) << i;
+    EXPECT_NEAR(delta->points()[i].position.x, expected.points()[i].position.x,
+                0.5e-2)
+        << i;
+    EXPECT_NEAR(delta->points()[i].position.y, expected.points()[i].position.y,
+                0.5e-2)
+        << i;
+  }
+  const Result<std::string> reencoded =
+      SerializeTrajectory(*delta, Codec::kDelta);
+  ASSERT_TRUE(reencoded.ok());
+  EXPECT_EQ(*reencoded, blob.substr(raw_frame_size));
+}
+
+TEST(GoldenFormatTest, StoreLoadsGoldenImage) {
+  TrajectoryStore store(Codec::kRaw);
+  // The golden blob holds the same object id twice (raw + delta frame),
+  // which the store must refuse as a duplicate — covering that load path —
+  // while a single frame loads fine.
+  const std::string blob = ReadGoldenBlob();
+  const Status duplicate = store.LoadFromBuffer(blob);
+  EXPECT_EQ(duplicate.code(), StatusCode::kDataLoss);
+
+  std::string_view cursor = blob;
+  ASSERT_TRUE(DeserializeTrajectory(&cursor).ok());
+  const size_t raw_frame_size = blob.size() - cursor.size();
+  ASSERT_TRUE(store.LoadFromBuffer(blob.substr(0, raw_frame_size)).ok());
+  const Result<Trajectory> loaded = store.Get("golden-v1");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->points(), GoldenTrajectory().points());
+}
+
+TEST(GoldenFormatTest, EveryBitFlipIsDataLoss) {
+  const std::string blob = ReadGoldenBlob();
+  ASSERT_FALSE(blob.empty());
+  for (size_t byte = 0; byte < blob.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = blob;
+      corrupted[byte] = static_cast<char>(corrupted[byte] ^ (1 << bit));
+      std::string_view cursor = corrupted;
+      Status failure = Status::Ok();
+      while (failure.ok() && !cursor.empty()) {
+        failure = DeserializeTrajectory(&cursor).status();
+      }
+      ASSERT_FALSE(failure.ok())
+          << "bit flip at byte " << byte << " bit " << bit
+          << " went unnoticed";
+      ASSERT_EQ(failure.code(), StatusCode::kDataLoss)
+          << "byte " << byte << " bit " << bit << ": "
+          << failure.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stcomp

@@ -58,6 +58,35 @@ TEST(RmcParseTest, RejectsMalformed) {
   EXPECT_FALSE(ParseRmcSentence("$GPRMC,225446,A*00").ok());
 }
 
+TEST(RmcParseTest, ChecksumFieldMustBeTwoHexDigits) {
+  // "$AA" has payload XOR 0, so a parser that turns garbage hex into 0
+  // (strtoll) would accept "*ZZ" as a *matching* checksum. It must be
+  // kInvalidArgument (malformed field), not kDataLoss (mismatch) and
+  // certainly not success.
+  EXPECT_EQ(NmeaChecksum("AA"), 0);
+  EXPECT_EQ(ParseRmcSentence("$AA*ZZ").status().code(),
+            StatusCode::kInvalidArgument);
+  // One valid digit is not enough.
+  EXPECT_EQ(ParseRmcSentence("$AA*5G").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRmcSentence("$AA*G5").status().code(),
+            StatusCode::kInvalidArgument);
+  // Whitespace or sign tricks that strtoll would tolerate.
+  EXPECT_FALSE(ParseRmcSentence("$AA* 0").ok());
+  EXPECT_FALSE(ParseRmcSentence("$AA*+0").ok());
+}
+
+TEST(RmcParseTest, AcceptsLowercaseChecksumDigits) {
+  const std::string payload =
+      "GPRMC,225446,A,4916.45,N,12311.12,W,000.5,054.7,191194,020.3,E";
+  char upper[8];
+  std::snprintf(upper, sizeof(upper), "*%02X", NmeaChecksum(payload));
+  char lower[8];
+  std::snprintf(lower, sizeof(lower), "*%02x", NmeaChecksum(payload));
+  ASSERT_TRUE(ParseRmcSentence("$" + payload + upper).ok());
+  EXPECT_TRUE(ParseRmcSentence("$" + payload + lower).ok());
+}
+
 TEST(NmeaLogTest, ParsesMixedLogSkippingOtherSentences) {
   const Trajectory source = testutil::Line(5, 10.0, 12.0, 3.0, 0.0, 0.0);
   const LatLon origin{52.22, 6.89};

@@ -1,6 +1,7 @@
 #include "proptest/generator.h"
 
 #include <cmath>
+#include <limits>
 #include <ostream>
 
 #include "stcomp/common/check.h"
@@ -242,6 +243,74 @@ Trajectory Generate(const std::string& family, uint64_t seed) {
   }
   STCOMP_CHECK(false);  // Unknown family; keep AllFamilies() in sync.
   return Trajectory();
+}
+
+const std::vector<std::string>& DirtyFamilies() {
+  static const std::vector<std::string>* const kFamilies =
+      new std::vector<std::string>{
+          "dirty-single",       "dirty-all-dup-times", "dirty-nonmonotonic",
+          "dirty-nan-coord",    "dirty-nan-time",      "dirty-mixed",
+      };
+  return *kFamilies;
+}
+
+std::vector<TimedPoint> GenerateDirty(const std::string& family,
+                                      uint64_t seed) {
+  Rng rng(MixSeed(family, seed));
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  if (family == "dirty-single") {
+    return {{rng.NextUniform(-1e3, 1e3), rng.NextUniform(-1e4, 1e4),
+             rng.NextUniform(-1e4, 1e4)}};
+  }
+  if (family == "dirty-all-dup-times") {
+    // Every fix carries the same timestamp; only one may survive.
+    const int n = Count(&rng, 2, 60);
+    const double t = std::floor(rng.NextUniform(0.0, 1e4));
+    std::vector<TimedPoint> points;
+    for (int i = 0; i < n; ++i) {
+      points.emplace_back(t, rng.NextUniform(-500.0, 500.0),
+                          rng.NextUniform(-500.0, 500.0));
+    }
+    return points;
+  }
+  if (family == "dirty-nonmonotonic") {
+    // Ordered walk with frequent backwards jumps.
+    const int n = Count(&rng, 4, 100);
+    std::vector<TimedPoint> points;
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) {
+      points.emplace_back(t, rng.NextUniform(-500.0, 500.0),
+                          rng.NextUniform(-500.0, 500.0));
+      t += rng.NextBool(0.3) ? -rng.NextUniform(0.0, 20.0)
+                             : rng.NextUniform(0.1, 10.0);
+    }
+    return points;
+  }
+  if (family == "dirty-nan-coord" || family == "dirty-nan-time" ||
+      family == "dirty-mixed") {
+    const bool nan_coord = family != "dirty-nan-time";
+    const bool nan_time = family != "dirty-nan-coord";
+    const bool shuffle_time = family == "dirty-mixed";
+    const int n = Count(&rng, 4, 100);
+    std::vector<TimedPoint> points;
+    double t = 0.0;
+    for (int i = 0; i < n; ++i) {
+      TimedPoint point{t, rng.NextUniform(-500.0, 500.0),
+                       rng.NextUniform(-500.0, 500.0)};
+      if (nan_coord && rng.NextBool(0.15)) {
+        (rng.NextBool(0.5) ? point.position.x : point.position.y) = kNan;
+      }
+      if (nan_time && rng.NextBool(0.1)) {
+        point.t = kNan;
+      }
+      points.push_back(point);
+      t += shuffle_time && rng.NextBool(0.25) ? -rng.NextUniform(0.0, 15.0)
+                                              : rng.NextUniform(0.1, 10.0);
+    }
+    return points;
+  }
+  STCOMP_CHECK(false);  // Unknown family; keep DirtyFamilies() in sync.
+  return {};
 }
 
 std::vector<CorpusCase> BuildCorpus(uint64_t base_seed, int seeds_per_family) {

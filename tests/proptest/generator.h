@@ -41,6 +41,17 @@ Trajectory Generate(const std::string& family, uint64_t seed);
 // The full cross product AllFamilies() x {base_seed .. base_seed+seeds-1}.
 std::vector<CorpusCase> BuildCorpus(uint64_t base_seed, int seeds_per_family);
 
+// Dirty mode: raw fix vectors that violate the Trajectory invariant —
+// duplicate and non-monotonic timestamps, NaN coordinates, NaN times.
+// Returned as plain vectors because Trajectory refuses them (and sorting
+// NaN timestamps is outright UB); they feed the ingest-hardening matrix,
+// where every adapter and gate must answer with a clean Status, never a
+// crash or out-of-order output. Deterministic in (family, seed), like
+// Generate().
+const std::vector<std::string>& DirtyFamilies();
+std::vector<TimedPoint> GenerateDirty(const std::string& family,
+                                      uint64_t seed);
+
 // "family=spike seed=42" — the reproduction prefix for failure messages.
 std::string Describe(const CorpusCase& c);
 

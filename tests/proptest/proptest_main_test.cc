@@ -8,6 +8,10 @@
 // seed, algorithm name and full AlgorithmParams, so a failure can be
 // reproduced with one Generate() + one run() call.
 
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +22,11 @@
 #include "stcomp/algo/douglas_peucker.h"
 #include "stcomp/algo/path_hull.h"
 #include "stcomp/algo/registry.h"
+#include "stcomp/stream/batch_adapter.h"
+#include "stcomp/stream/dead_reckoning_stream.h"
+#include "stcomp/stream/opening_window_stream.h"
+#include "stcomp/stream/policed_compressor.h"
+#include "stcomp/stream/squish_stream.h"
 
 namespace stcomp::proptest {
 namespace {
@@ -173,6 +182,169 @@ TEST(ProptestGenerator, FamiliesCoverDegenerateSizes) {
   EXPECT_EQ(Generate("empty", kBaseSeed).size(), 0u);
   EXPECT_EQ(Generate("single", kBaseSeed).size(), 1u);
   EXPECT_EQ(Generate("two", kBaseSeed).size(), 2u);
+}
+
+// --- Dirty-input matrix (ingest hardening, DESIGN.md §12) ---------------
+//
+// Every stream adapter — including a BatchAdapter over every registered
+// algorithm — is fed the dirty families (duplicate/non-monotonic/NaN
+// timestamps, NaN coordinates) and must answer each Push with a clean
+// Status and emit strictly ordered, finite output. The same feeds wrapped
+// in a PolicedCompressor must additionally never fail a Push at all.
+
+struct AdapterFactory {
+  std::string name;
+  std::function<std::unique_ptr<OnlineCompressor>()> make;
+};
+
+std::vector<AdapterFactory> AllAdapterFactories() {
+  std::vector<AdapterFactory> factories = {
+      {"nopw-stream",
+       [] {
+         return std::make_unique<OpeningWindowStream>(
+             15.0, algo::BreakPolicy::kNormal, StreamCriterion::kPerpendicular);
+       }},
+      {"opw-tr-stream",
+       [] {
+         return std::make_unique<OpeningWindowStream>(
+             15.0, algo::BreakPolicy::kNormal, StreamCriterion::kSynchronized);
+       }},
+      {"opw-sp-stream",
+       [] {
+         return std::make_unique<OpeningWindowStream>(
+             15.0, algo::BreakPolicy::kNormal, StreamCriterion::kSpatiotemporal,
+             10.0);
+       }},
+      {"dead-reckoning",
+       [] { return std::make_unique<DeadReckoningStream>(15.0); }},
+      {"squish-capacity", [] { return std::make_unique<SquishStream>(8, 0.0); }},
+      {"squish-error", [] { return std::make_unique<SquishStream>(0, 25.0); }},
+  };
+  for (const algo::AlgorithmInfo& info : algo::AllAlgorithms()) {
+    algo::AlgorithmParams params;
+    params.epsilon_m = 15.0;
+    factories.push_back({"batch-" + info.name, [&info, params] {
+                           return std::make_unique<BatchAdapter>(info, params);
+                         }});
+  }
+  return factories;
+}
+
+void ExpectCleanOrderedOutput(const std::vector<TimedPoint>& out,
+                              const std::string& repro) {
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out[i].t) && std::isfinite(out[i].position.x) &&
+                std::isfinite(out[i].position.y))
+        << repro << " emitted a non-finite point at " << i;
+    if (i > 0) {
+      EXPECT_LT(out[i - 1].t, out[i].t)
+          << repro << " emitted out-of-order output at " << i;
+    }
+  }
+}
+
+TEST(DirtyMatrix, BareAdaptersAnswerWithStatusAndStayOrdered) {
+  for (const AdapterFactory& factory : AllAdapterFactories()) {
+    for (const std::string& family : DirtyFamilies()) {
+      for (uint64_t seed = kBaseSeed; seed < kBaseSeed + 3; ++seed) {
+        const std::string repro =
+            "repro: family=" + family + " seed=" + std::to_string(seed) +
+            " adapter=" + factory.name;
+        const std::unique_ptr<OnlineCompressor> adapter = factory.make();
+        std::vector<TimedPoint> out;
+        for (const TimedPoint& fix : GenerateDirty(family, seed)) {
+          // The Status itself is the contract: faulty fixes fail, clean
+          // fixes succeed, nothing crashes or hangs either way.
+          (void)adapter->Push(fix, &out);
+        }
+        adapter->Finish(&out);
+        ExpectCleanOrderedOutput(out, repro);
+      }
+    }
+  }
+}
+
+TEST(DirtyMatrix, PolicedAdaptersAbsorbEveryFault) {
+  for (const IngestMode mode : {IngestMode::kDropAndCount, IngestMode::kRepair}) {
+    IngestPolicy policy;
+    policy.mode = mode;
+    policy.reorder_window_s = mode == IngestMode::kRepair ? 30.0 : 0.0;
+    for (const AdapterFactory& factory : AllAdapterFactories()) {
+      for (const std::string& family : DirtyFamilies()) {
+        for (uint64_t seed = kBaseSeed; seed < kBaseSeed + 3; ++seed) {
+          const std::string repro =
+              "repro: family=" + family + " seed=" + std::to_string(seed) +
+              " adapter=" + factory.name +
+              " mode=" + std::string(IngestModeToString(mode));
+          PolicedCompressor adapter(factory.make(), policy,
+                                    "dirty-matrix-" + factory.name);
+          std::vector<TimedPoint> out;
+          for (const TimedPoint& fix : GenerateDirty(family, seed)) {
+            EXPECT_TRUE(adapter.Push(fix, &out).ok()) << repro;
+          }
+          adapter.Finish(&out);
+          ExpectCleanOrderedOutput(out, repro);
+        }
+      }
+    }
+  }
+}
+
+TEST(DirtyMatrix, NanCoordinateTrajectoriesDontCrashAlgorithms) {
+  // FromPoints only validates time order, so NaN *coordinates* can reach
+  // the batch entry points on a "valid" trajectory. Algorithms may keep
+  // anything they like under NaN geometry, but they must not crash and
+  // must return valid, strictly increasing indices.
+  for (uint64_t seed = kBaseSeed; seed < kBaseSeed + 3; ++seed) {
+    std::vector<TimedPoint> dirty = GenerateDirty("dirty-nan-coord", seed);
+    for (size_t i = 0; i < dirty.size(); ++i) {
+      dirty[i].t = static_cast<double>(i);  // Clean times, dirty geometry.
+    }
+    const Result<Trajectory> trajectory = Trajectory::FromPoints(dirty);
+    ASSERT_TRUE(trajectory.ok());
+    for (const algo::AlgorithmInfo& info : algo::AllAlgorithms()) {
+      for (double epsilon : EpsilonLadder()) {
+        algo::AlgorithmParams params;
+        params.epsilon_m = epsilon;
+        const algo::IndexList kept = info.run(*trajectory, params);
+        const std::string repro = "repro: family=dirty-nan-coord seed=" +
+                                  std::to_string(seed) + " algo=" + info.name;
+        for (size_t i = 0; i < kept.size(); ++i) {
+          ASSERT_LT(kept[i], trajectory->size()) << repro;
+          if (i > 0) {
+            ASSERT_LT(kept[i - 1], kept[i]) << repro;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DirtyGenerator, IsDeterministicAndActuallyDirty) {
+  for (const std::string& family : DirtyFamilies()) {
+    const std::vector<TimedPoint> a = GenerateDirty(family, kBaseSeed);
+    const std::vector<TimedPoint> b = GenerateDirty(family, kBaseSeed);
+    ASSERT_EQ(a.size(), b.size()) << family;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(TimedPoint)), 0)
+          << family << " index " << i;
+    }
+    if (family == "dirty-single") {
+      EXPECT_EQ(a.size(), 1u);
+      continue;
+    }
+    // Every other family must violate the clean-trajectory invariant
+    // somewhere: non-increasing or non-finite values.
+    bool violates = false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      violates |= !std::isfinite(a[i].t) || !std::isfinite(a[i].position.x) ||
+                  !std::isfinite(a[i].position.y);
+      if (i > 0) {
+        violates |= !(a[i].t > a[i - 1].t);
+      }
+    }
+    EXPECT_TRUE(violates) << family << " generated a clean feed";
+  }
 }
 
 std::string CaseName(const ::testing::TestParamInfo<CorpusCase>& info) {
