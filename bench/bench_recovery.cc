@@ -1,0 +1,172 @@
+// Recovery microbenchmark: how long SegmentStore::Open takes to bring a
+// crashed store back, as a function of the WAL left behind — the number
+// EXPERIMENTS.md's "Recovery bench" section documents.
+//
+// Build phase (not timed): populate a store directory with `--commits`
+// committed batches of one fix per object (`--objects`), checkpointing
+// every `--checkpoint-every` commits (0 = never, so the whole history
+// replays from the log). With `--corrupt` one byte in the middle of the
+// WAL is flipped afterwards, turning the timed runs into salvage
+// recoveries that skip exactly one frame.
+//
+// Measure phase: `--repetitions` fresh SegmentStore instances Open() the
+// same directory; recovery does not mutate the files, so every repetition
+// replays identical bytes. Reported recovery_seconds is the same value
+// the stcomp_wal_recovery_seconds histogram observes.
+//
+//   ./bench_recovery [--objects=8] [--commits=400] [--checkpoint-every=0]
+//                    [--corrupt] [--repetitions=5]
+//                    [--json-out=BENCH_recovery.json]
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "stcomp/common/check.h"
+#include "stcomp/common/flags.h"
+#include "stcomp/obs/exposition.h"
+#include "stcomp/store/durable_file.h"
+#include "stcomp/store/segment_store.h"
+
+namespace {
+
+using stcomp::SegmentStore;
+using stcomp::TimedPoint;
+
+SegmentStore::Options StoreOptions() {
+  SegmentStore::Options options;
+  options.codec = stcomp::Codec::kRaw;
+  return options;
+}
+
+// Writes the workload into `dir` and returns the WAL size in bytes.
+size_t BuildStore(const std::string& dir, int objects, int commits,
+                  int checkpoint_every) {
+  SegmentStore store(StoreOptions());
+  STCOMP_CHECK_OK(store.Open(dir));
+  for (int commit = 0; commit < commits; ++commit) {
+    const double t = 10.0 * commit;
+    for (int object = 0; object < objects; ++object) {
+      STCOMP_CHECK_OK(store.Append(
+          "veh-" + std::to_string(object),
+          TimedPoint{t, {25.0 * commit, 3.0 * object - 0.5 * commit}}));
+    }
+    STCOMP_CHECK_OK(store.Commit());
+    // Never checkpoint after the final batch: the timed recovery should
+    // always have a non-empty log tail to replay (and to corrupt).
+    if (checkpoint_every > 0 && (commit + 1) % checkpoint_every == 0 &&
+        commit + 1 < commits) {
+      STCOMP_CHECK_OK(store.Checkpoint());
+    }
+  }
+  return static_cast<size_t>(
+      std::filesystem::file_size(std::filesystem::path(dir) / "wal.stwal"));
+}
+
+void CorruptWalMiddleByte(const std::string& dir) {
+  const std::string path =
+      (std::filesystem::path(dir) / "wal.stwal").string();
+  auto bytes = stcomp::ReadFileToString(path);
+  STCOMP_CHECK_OK(bytes.status());
+  STCOMP_CHECK(bytes->size() > 2);
+  (*bytes)[bytes->size() / 2] ^= 0x5a;
+  STCOMP_CHECK_OK(stcomp::AtomicWriteFile(path, *bytes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int objects = 8;
+  int commits = 400;
+  int checkpoint_every = 0;
+  bool corrupt = false;
+  int repetitions = 5;
+  std::string json_out = "BENCH_recovery.json";
+  stcomp::FlagParser flags("SegmentStore recovery latency vs WAL size");
+  flags.AddInt("objects", &objects, "objects appended per commit batch");
+  flags.AddInt("commits", &commits, "committed batches in the log");
+  flags.AddInt("checkpoint-every", &checkpoint_every,
+               "checkpoint period in commits (0 = replay everything)");
+  flags.AddBool("corrupt", &corrupt,
+                "flip one mid-WAL byte so recovery must salvage");
+  flags.AddInt("repetitions", &repetitions, "timed Open() repetitions");
+  flags.AddString("json-out", &json_out,
+                  "machine-readable result path (empty disables)");
+  if (const stcomp::Status status = flags.Parse(argc, argv); !status.ok()) {
+    return status.code() == stcomp::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  STCOMP_CHECK(objects > 0 && commits > 0 && repetitions > 0);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bench_recovery_store")
+          .string();
+  std::filesystem::remove_all(dir);
+  const size_t wal_bytes =
+      BuildStore(dir, objects, commits, checkpoint_every);
+  if (corrupt) {
+    CorruptWalMiddleByte(dir);
+  }
+  std::printf(
+      "workload: %d objects x %d commits, checkpoint-every=%d, "
+      "wal=%zu bytes%s\n",
+      objects, commits, checkpoint_every, wal_bytes,
+      corrupt ? ", one byte corrupted" : "");
+
+  std::vector<double> seconds;
+  stcomp::RecoveryReport last;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    SegmentStore store(StoreOptions());
+    STCOMP_CHECK_OK(store.Open(dir));
+    last = store.last_recovery();
+    seconds.push_back(last.recovery_seconds);
+  }
+  std::sort(seconds.begin(), seconds.end());
+  const double min_s = seconds.front();
+  const double median_s = seconds[seconds.size() / 2];
+  const double replayed_per_second =
+      min_s > 0.0 ? static_cast<double>(last.wal_records_replayed) / min_s
+                  : 0.0;
+
+  std::printf("  recovery       %9.3f ms min, %9.3f ms median\n",
+              1e3 * min_s, 1e3 * median_s);
+  std::printf("  replayed       %zu records (%.0f records/s)\n",
+              last.wal_records_replayed, replayed_per_second);
+  std::printf("  salvaged       %zu frames, torn tail: %s, clean: %s\n",
+              last.wal_frames_salvaged, last.wal_torn_tail ? "yes" : "no",
+              last.clean() ? "yes" : "no");
+
+  if (!json_out.empty()) {
+    char numbers[512];
+    std::snprintf(
+        numbers, sizeof(numbers),
+        "  \"objects\": %d,\n  \"commits\": %d,\n"
+        "  \"checkpoint_every\": %d,\n  \"corrupt\": %s,\n"
+        "  \"repetitions\": %d,\n  \"wal_bytes\": %zu,\n"
+        "  \"recovery_seconds_min\": %.6f,\n"
+        "  \"recovery_seconds_median\": %.6f,\n"
+        "  \"wal_records_replayed\": %zu,\n"
+        "  \"wal_frames_salvaged\": %zu,\n"
+        "  \"replayed_records_per_second\": %.0f,\n",
+        objects, commits, checkpoint_every, corrupt ? "true" : "false",
+        repetitions, wal_bytes, min_s, median_s, last.wal_records_replayed,
+        last.wal_frames_salvaged, replayed_per_second);
+    const std::string json =
+        "{\n  \"bench\": \"bench_recovery\",\n  \"schema_version\": 1,\n" +
+        std::string(numbers) + "  \"metrics\": " +
+        stcomp::obs::RenderJson(
+            stcomp::obs::MetricsRegistry::Global().Snapshot()) +
+        "}\n";
+    std::ofstream file(json_out);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_out.c_str());
+      return 1;
+    }
+    file << json;
+    std::printf("result written to %s\n", json_out.c_str());
+  }
+  std::filesystem::remove_all(dir);
+  return 0;
+}

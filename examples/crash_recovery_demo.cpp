@@ -1,0 +1,201 @@
+// Crash-safe persistence end to end (DESIGN.md §13): ingest a fleet feed
+// into a SegmentStore, kill the process mid-write with a seeded CrashPlan
+// (a torn write, the nastiest fate), then reopen the directory and show
+// salvage recovery bringing back every committed batch. A second act
+// checkpoints a live streaming compressor and resumes it in a "new
+// process", proving the resumed output is bit-identical.
+//
+//   ./crash_recovery_demo [--seed=N] [--fixes=N] [--dir=path]
+//
+// Exits nonzero if the crash does not fire, recovery loses a committed
+// batch, or the resumed stream diverges.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "stcomp/store/segment_store.h"
+#include "stcomp/stream/opening_window_stream.h"
+#include "stcomp/testing/crash_plan.h"
+
+namespace {
+
+using stcomp::Codec;
+using stcomp::SegmentStore;
+using stcomp::Status;
+using stcomp::TimedPoint;
+using stcomp::testing::CrashFate;
+using stcomp::testing::CrashPlan;
+using stcomp::testing::CrashPoint;
+
+int Fail(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+TimedPoint Fix(int tick, int object) {
+  return TimedPoint(1.0 * tick, 3.0 * tick + 100.0 * object,
+                    -0.5 * tick + 10.0 * object);
+}
+
+// Feeds `fixes` batches into the store, committing every batch; stops at
+// the first error (the injected crash) and returns how many batches were
+// acknowledged as committed.
+size_t Ingest(SegmentStore* store, int fixes, Status* error) {
+  size_t committed = 0;
+  for (int tick = 1; tick <= fixes; ++tick) {
+    for (int object = 0; object < 2; ++object) {
+      *error = store->Append("bus-" + std::to_string(object),
+                             Fix(tick, object));
+      if (!error->ok()) {
+        return committed;
+      }
+    }
+    *error = store->Commit();
+    if (!error->ok()) {
+      return committed;
+    }
+    ++committed;
+  }
+  return committed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 20260805;
+  int fixes = 50;
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "crash_recovery_demo")
+          .string();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--fixes=", 0) == 0) {
+      fixes = std::stoi(arg.substr(8));
+    } else if (arg.rfind("--dir=", 0) == 0) {
+      dir = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  std::filesystem::remove_all(dir);
+
+  // Act 1 — the doomed process: commit batches until a torn write kills it
+  // somewhere in the middle of the ingest.
+  CrashPlan plan(seed, CrashPoint{static_cast<size_t>(3 * fixes) / 2,
+                                  CrashFate::kTornWrite});
+  size_t committed = 0;
+  {
+    SegmentStore::Options options;
+    options.codec = Codec::kRaw;
+    options.write_hook = plan.Hook();
+    SegmentStore store(options);
+    if (const Status status = store.Open(dir); !status.ok()) {
+      return Fail("open", status);
+    }
+    Status error;
+    committed = Ingest(&store, fixes, &error);
+    if (error.ok() || !plan.fired()) {
+      std::fprintf(stderr, "crash never fired (%s)\n",
+                   plan.Describe().c_str());
+      return 1;
+    }
+    std::printf("process died: %s\n  after %zu acknowledged commits: %s\n",
+                plan.Describe().c_str(), committed,
+                error.ToString().c_str());
+  }
+
+  // Act 2 — the fresh process: reopen, salvage, verify nothing committed
+  // was lost.
+  {
+    SegmentStore::Options options;
+    options.codec = Codec::kRaw;
+    SegmentStore store(options);
+    if (const Status status = store.Open(dir); !status.ok()) {
+      return Fail("recovery open", status);
+    }
+    std::printf("%s\n", store.last_recovery().Describe().c_str());
+    const size_t replayed = store.last_recovery().wal_records_replayed;
+    if (replayed < 2 * committed) {
+      std::fprintf(stderr,
+                   "LOST COMMITTED DATA: %zu records recovered, %zu "
+                   "acknowledged\n",
+                   replayed, 2 * committed);
+      return 1;
+    }
+    if (const Status status = store.Checkpoint(); !status.ok()) {
+      return Fail("checkpoint", status);
+    }
+    std::printf("recovered %zu objects, checkpointed clean\n",
+                store.store().object_count());
+  }
+  const stcomp::Result<stcomp::FsckReport> fsck = SegmentStore::Fsck(dir);
+  if (!fsck.ok()) {
+    return Fail("fsck", fsck.status());
+  }
+  std::printf("%s\n", fsck->Describe().c_str());
+
+  // Act 3 — checkpointed streaming state: save a live compressor, resume
+  // it in a "new process", and compare against the uninterrupted run.
+  std::vector<TimedPoint> reference;
+  {
+    stcomp::OpeningWindowStream stream(25.0, stcomp::algo::BreakPolicy::kNormal,
+                                       stcomp::StreamCriterion::kSynchronized);
+    for (int tick = 1; tick <= fixes; ++tick) {
+      if (const Status status = stream.Push(Fix(tick, 0), &reference);
+          !status.ok()) {
+        return Fail("reference push", status);
+      }
+    }
+    stream.Finish(&reference);
+  }
+  std::vector<TimedPoint> resumed;
+  std::string state;
+  {
+    stcomp::OpeningWindowStream stream(25.0, stcomp::algo::BreakPolicy::kNormal,
+                                       stcomp::StreamCriterion::kSynchronized);
+    for (int tick = 1; tick <= fixes / 2; ++tick) {
+      if (const Status status = stream.Push(Fix(tick, 0), &resumed);
+          !status.ok()) {
+        return Fail("first-half push", status);
+      }
+    }
+    if (const Status status = stream.SaveState(&state); !status.ok()) {
+      return Fail("save state", status);
+    }
+  }
+  {
+    stcomp::OpeningWindowStream stream(25.0, stcomp::algo::BreakPolicy::kNormal,
+                                       stcomp::StreamCriterion::kSynchronized);
+    if (const Status status = stream.RestoreState(state); !status.ok()) {
+      return Fail("restore state", status);
+    }
+    for (int tick = fixes / 2 + 1; tick <= fixes; ++tick) {
+      if (const Status status = stream.Push(Fix(tick, 0), &resumed);
+          !status.ok()) {
+        return Fail("second-half push", status);
+      }
+    }
+    stream.Finish(&resumed);
+  }
+  if (reference.size() != resumed.size() ||
+      (!reference.empty() &&
+       std::memcmp(reference.data(), resumed.data(),
+                   reference.size() * sizeof(TimedPoint)) != 0)) {
+    std::fprintf(stderr, "resumed stream diverged from the reference run\n");
+    return 1;
+  }
+  std::printf(
+      "streaming checkpoint resumed bit-identical: %zu committed points "
+      "(%d-byte state blob)\n",
+      resumed.size(), static_cast<int>(state.size()));
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
   FaultyFeedEvent event;
   size_t transient_errors = 0;
   while (source.Next(&event)) {
-    if (event.kind == FaultyFeedEvent::Kind::kIoError) {
+    if (event.kind == FaultyFeedEvent::Kind::kTransientError) {
       ++transient_errors;  // The source redelivers the fix afterwards.
       continue;
     }

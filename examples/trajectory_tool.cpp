@@ -4,6 +4,8 @@
 //   trajectory_tool --stats --metrics-format=prometheus ... in.csv out.csv
 //   trajectory_tool --sweep --algorithm=opw-tr --threads=4 in.csv
 //   trajectory_tool --list
+//   trajectory_tool --fsck=store_dir
+//   trajectory_tool --recover=store_dir
 //
 // Input format by extension: .csv (t,x,y or t,lat,lon), .gpx, .plt
 // (Geolife), .nmea/.log (RMC sentences). Output: .csv, .gpx or .nmea. The evaluation summary goes to stderr
@@ -28,6 +30,7 @@
 #include "stcomp/gps/nmea.h"
 #include "stcomp/gps/plt.h"
 #include "stcomp/obs/exposition.h"
+#include "stcomp/store/segment_store.h"
 
 namespace {
 
@@ -91,6 +94,14 @@ int Run(int argc, char** argv) {
                "worker threads for --sweep (0 = hardware concurrency)");
   flags.AddString("metrics-format", &metrics_format,
                   "stats output format: text, json or prometheus");
+  std::string fsck_dir;
+  std::string recover_dir;
+  flags.AddString("fsck", &fsck_dir,
+                  "read-only integrity scan of a segment-store directory "
+                  "(exit 0 clean, 2 corrupt)");
+  flags.AddString("recover", &recover_dir,
+                  "recover a segment-store directory (salvage + replay), "
+                  "print the report and checkpoint the recovered state");
   if (const stcomp::Status status = flags.Parse(argc, argv); !status.ok()) {
     if (status.code() == stcomp::StatusCode::kFailedPrecondition) {
       return 0;
@@ -111,6 +122,35 @@ int Run(int argc, char** argv) {
       std::printf("%-14s %s%s\n", info.name.c_str(),
                   info.description.c_str(), info.online ? " [online]" : "");
     }
+    return 0;
+  }
+  if (!fsck_dir.empty()) {
+    const stcomp::Result<stcomp::FsckReport> report =
+        stcomp::SegmentStore::Fsck(fsck_dir);
+    if (!report.ok()) {
+      std::fprintf(stderr, "fsck failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", report->Describe().c_str());
+    return report->clean() ? 0 : 2;
+  }
+  if (!recover_dir.empty()) {
+    stcomp::SegmentStore store;
+    if (const stcomp::Status status = store.Open(recover_dir); !status.ok()) {
+      std::fprintf(stderr, "recover failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", store.last_recovery().Describe().c_str());
+    // Persist the recovered state as a fresh clean segment so the salvage
+    // does not have to be repeated on the next open.
+    if (const stcomp::Status status = store.Checkpoint(); !status.ok()) {
+      std::fprintf(stderr, "checkpoint after recovery failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("recovered %zu objects; checkpointed into %s\n",
+                store.store().object_count(), recover_dir.c_str());
     return 0;
   }
   if (flags.positional().size() != (sweep ? 1u : 2u)) {

@@ -28,6 +28,12 @@ echo "== Pass 1/4: tier-1 (plain RelWithDebInfo) =="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+# Extended crash–recover–verify sweep (tests/crash_matrix_test.cc): the
+# tier-1 run already covers one seed; exercise two more so the seeded
+# short/torn-write prefixes land at different offsets.
+STCOMP_CRASH_MATRIX_SEEDS=7,991 \
+    ./build/tests/crash_matrix_test \
+    --gtest_filter='CrashMatrixTest.EveryBoundaryEveryFateRecoversToACommitPoint'
 
 echo "== Pass 2/4: STCOMP_SANITIZE=address;undefined =="
 cmake -B build-asan -S . -DSTCOMP_SANITIZE="address;undefined"
@@ -54,7 +60,7 @@ if command -v clang++ >/dev/null 2>&1; then
     -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
     -DSTCOMP_SANITIZE="address;undefined"
   cmake --build build-fuzz -j "$JOBS"
-  for target in nmea gpx plt csv xml varint serialization store; do
+  for target in nmea gpx plt csv xml varint serialization store wal; do
     ./build-fuzz/tests/fuzz/fuzz_"$target" -max_total_time=5 -seed=20260805 \
       "tests/fuzz/corpus/$target"
   done

@@ -110,6 +110,61 @@ void SquishBuffer::Push(int original_index, const TimedPoint& point) {
   }
 }
 
+SquishBufferState SquishBuffer::ExportState() const {
+  SquishBufferState state;
+  state.capacity = capacity_;
+  state.mu = mu_;
+  state.nodes.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    state.nodes.push_back({node.point, node.original_index, node.priority,
+                           node.carry, node.prev, node.next, node.alive});
+  }
+  state.free_ids = free_ids_;
+  state.head = head_;
+  state.tail = tail_;
+  return state;
+}
+
+Status SquishBuffer::ImportState(const SquishBufferState& state) {
+  if (state.capacity != capacity_ || state.mu != mu_) {
+    return InvalidArgumentError(
+        "squish checkpoint was taken with a different capacity/mu");
+  }
+  const int size = static_cast<int>(state.nodes.size());
+  const auto valid_id = [size](int id) { return id >= -1 && id < size; };
+  if (!valid_id(state.head) || !valid_id(state.tail)) {
+    return DataLossError("squish checkpoint has out-of-range list ends");
+  }
+  for (const SquishBufferState::Node& node : state.nodes) {
+    if (!valid_id(node.prev) || !valid_id(node.next)) {
+      return DataLossError("squish checkpoint has out-of-range node links");
+    }
+  }
+  for (int id : state.free_ids) {
+    if (id < 0 || id >= size || state.nodes[static_cast<size_t>(id)].alive) {
+      return DataLossError("squish checkpoint free list is inconsistent");
+    }
+  }
+  nodes_.clear();
+  nodes_.reserve(state.nodes.size());
+  queue_.clear();
+  nodes_alive_ = 0;
+  for (int id = 0; id < size; ++id) {
+    const SquishBufferState::Node& node = state.nodes[static_cast<size_t>(id)];
+    nodes_.push_back({node.point, node.original_index, node.priority,
+                      node.carry, node.prev, node.next, node.alive});
+    if (node.alive) {
+      ++nodes_alive_;
+      // Exactly the live entries Push/Reprioritise maintain.
+      queue_.insert({node.priority, id});
+    }
+  }
+  free_ids_ = state.free_ids;
+  head_ = state.head;
+  tail_ = state.tail;
+  return Status::Ok();
+}
+
 IndexList SquishBuffer::Finalize() const {
   IndexList kept;
   Finalize(kept);

@@ -21,8 +21,31 @@
 #include <vector>
 
 #include "stcomp/algo/compression.h"
+#include "stcomp/common/status.h"
 
 namespace stcomp::algo {
+
+// Plain-struct snapshot of a SquishBuffer (stream checkpointing, DESIGN.md
+// §13). The byte encoding lives in the stream layer; algo/ only exports
+// and re-imports the in-memory structure. The priority queue is derived
+// state and is rebuilt on import.
+struct SquishBufferState {
+  struct Node {
+    TimedPoint point;
+    int original_index = 0;
+    double priority = 0.0;
+    double carry = 0.0;
+    int prev = -1;
+    int next = -1;
+    bool alive = false;
+  };
+  size_t capacity = 0;  // Config echo; ImportState validates both.
+  double mu = 0.0;
+  std::vector<Node> nodes;
+  std::vector<int> free_ids;
+  int head = -1;
+  int tail = -1;
+};
 
 // The incremental engine, also used by stream/squish_stream.h. Feed points
 // in time order with their original indices; Finalize() returns the kept
@@ -56,6 +79,14 @@ class SquishBuffer {
       visit(node.original_index, node.point);
     }
   }
+
+  // Checkpointing: a full snapshot of the working set, and its inverse.
+  // ImportState replaces the buffer contents; it fails with
+  // kInvalidArgument on a capacity/mu config mismatch and kDataLoss on
+  // malformed links (out-of-range ids), leaving the buffer unspecified
+  // only on the latter.
+  SquishBufferState ExportState() const;
+  Status ImportState(const SquishBufferState& state);
 
  private:
   struct Node {

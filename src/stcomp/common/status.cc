@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -87,6 +89,10 @@ Status UnimplementedError(std::string_view message) {
 Status InternalError(std::string_view message) {
   return Status(StatusCode::kInternal, message);
 }
+Status UnavailableError(std::string_view message) {
+  return Status(StatusCode::kUnavailable, message);
+}
+
 Status IoError(std::string_view message) {
   return Status(StatusCode::kIoError, message);
 }

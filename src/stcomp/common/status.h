@@ -28,6 +28,9 @@ enum class StatusCode : int {
   kUnimplemented = 7,
   kInternal = 8,
   kIoError = 9,
+  // A transient failure: the same operation may succeed if retried (used
+  // by faulty feed sources and by the crash-injected durability layer).
+  kUnavailable = 10,
 };
 
 // Human-readable name of a code ("OK", "INVALID_ARGUMENT", ...).
@@ -82,6 +85,7 @@ Status DataLossError(std::string_view message);
 Status UnimplementedError(std::string_view message);
 Status InternalError(std::string_view message);
 Status IoError(std::string_view message);
+Status UnavailableError(std::string_view message);
 
 }  // namespace stcomp
 

@@ -1,0 +1,79 @@
+// Crash-safe file primitives for the durability layer (DESIGN.md §13).
+//
+// AtomicWriteFile implements the classic commit protocol: write the full
+// image to `<path>.tmp`, fsync the file, rename it over `path`, fsync the
+// containing directory. A crash at any step leaves either the old file or
+// the new one — never a torn mixture — so readers see only committed
+// images.
+//
+// Every durable write funnels through a *write boundary*: one physical
+// write/rename/truncate step at which a crash could interrupt the process.
+// The optional WriteFaultHook is the deterministic crash-injection seam
+// the testing::CrashPlan harness drives: consulted once per boundary, it
+// can let the write proceed, kill the writer before the write, or leave a
+// short/torn prefix behind — exactly the states a real power cut produces.
+// Production code never sets a hook; the seam costs one null check.
+
+#ifndef STCOMP_STORE_DURABLE_FILE_H_
+#define STCOMP_STORE_DURABLE_FILE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "stcomp/common/result.h"
+
+namespace stcomp {
+
+// What the injected fault does to the bytes of one write boundary.
+struct WriteFault {
+  enum class Action {
+    kProceed,     // No fault: the write happens in full.
+    kCrash,       // Process dies before the write: no bytes land.
+    kShortWrite,  // Only the first `keep_bytes` land, then the process dies.
+    kTornWrite,   // `keep_bytes` land intact, then `garbage`, then death.
+  };
+  Action action = Action::kProceed;
+  size_t keep_bytes = 0;
+  std::string garbage;
+};
+
+// Consulted once per write boundary with the bytes about to be written
+// (empty for non-byte boundaries such as rename or truncate, where any
+// non-kProceed action crashes before the step). `boundary` is the caller's
+// running boundary index, so a plan can target "the k-th durable step".
+using WriteFaultHook =
+    std::function<WriteFault(size_t boundary, std::string_view bytes)>;
+
+// Writes `contents` to `path` via temp file + fsync + rename + directory
+// fsync. On any error the previous file at `path` is left untouched.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+// As above with the crash-injection seam: `*boundary` is incremented once
+// per durable step; a firing hook aborts the protocol mid-flight and
+// returns kUnavailable (the "process died here" signal — the caller must
+// treat the writer as gone). `hook` may be null.
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       const WriteFaultHook& hook, size_t* boundary);
+
+// Reads the whole file; kIoError if it cannot be opened or read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Low-level boundary helpers shared with the WAL writer.
+//
+// Writes all of `bytes` to `fd`, honouring an injected fault at this
+// boundary: on kShortWrite/kTornWrite the decided prefix lands before the
+// kUnavailable "process died here" status is returned. `path` is for
+// error messages only.
+Status FaultableWriteFd(int fd, std::string_view bytes,
+                        const WriteFaultHook& hook, size_t* boundary,
+                        const std::string& path);
+
+// A non-byte boundary (rename, truncate, fsync): any injected fault means
+// the process died before the step; returns kUnavailable then.
+Status FaultPoint(const WriteFaultHook& hook, size_t* boundary,
+                  std::string_view what);
+
+}  // namespace stcomp
+
+#endif  // STCOMP_STORE_DURABLE_FILE_H_

@@ -100,6 +100,42 @@ Result<Trajectory> DeserializeTrajectory(std::string_view* input) {
   return trajectory;
 }
 
+std::vector<Trajectory> ScanTrajectoryFrames(std::string_view image,
+                                             FrameScanStats* stats) {
+  FrameScanStats local;
+  if (stats == nullptr) {
+    stats = &local;
+  }
+  std::vector<Trajectory> frames;
+  const std::string_view magic(kMagic, sizeof(kMagic));
+  std::string_view cursor = image;
+  while (!cursor.empty()) {
+    const size_t offset = static_cast<size_t>(cursor.data() - image.data());
+    std::string_view attempt = cursor;
+    Result<Trajectory> frame = DeserializeTrajectory(&attempt);
+    if (frame.ok()) {
+      frames.push_back(*std::move(frame));
+      ++stats->frames_good;
+      cursor = attempt;
+      continue;
+    }
+    // Resync: skip at least one byte, then hunt for the next magic. No
+    // later magic means the failure is the interrupted final write.
+    const size_t next = cursor.substr(1).find(magic);
+    if (next == std::string_view::npos) {
+      stats->torn_tail = true;
+      stats->log.push_back("torn-tail@" + std::to_string(offset) + ": " +
+                           frame.status().ToString());
+      break;
+    }
+    ++stats->frames_salvaged_past;
+    stats->log.push_back("salvaged-past@" + std::to_string(offset) + ": " +
+                         frame.status().ToString());
+    cursor.remove_prefix(next + 1);
+  }
+  return frames;
+}
+
 Status WriteTrajectoryFile(const Trajectory& trajectory, Codec codec,
                            const std::string& path) {
   STCOMP_ASSIGN_OR_RETURN(const std::string frame,

@@ -11,6 +11,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "stcomp/common/result.h"
 #include "stcomp/core/trajectory.h"
@@ -27,6 +28,23 @@ Result<std::string> SerializeTrajectory(const Trajectory& trajectory,
 // Parses one framed trajectory from the front of `*input`, advancing it
 // (multiple frames may be concatenated in one buffer/file).
 Result<Trajectory> DeserializeTrajectory(std::string_view* input);
+
+// Salvaging frame scan (DESIGN.md §13). Strict decoding (above) turns one
+// flipped bit into kDataLoss for the whole image; the scanner instead
+// recovers every intact frame: a frame that fails to decode is skipped and
+// the scan resynchronises at the next magic. A trailing failure with no
+// later resync point is a torn tail (an interrupted final write), counted
+// separately from mid-image corruption.
+struct FrameScanStats {
+  size_t frames_good = 0;
+  size_t frames_salvaged_past = 0;  // Corrupted frames skipped via resync.
+  bool torn_tail = false;
+  std::vector<std::string> log;  // One human-readable line per skip.
+};
+
+// Returns every decodable frame in order. `stats` may be null.
+std::vector<Trajectory> ScanTrajectoryFrames(std::string_view image,
+                                             FrameScanStats* stats);
 
 Status WriteTrajectoryFile(const Trajectory& trajectory, Codec codec,
                            const std::string& path);

@@ -7,10 +7,8 @@
 #include "stcomp/obs/metrics.h"
 #include "stcomp/obs/timer.h"
 #include "stcomp/obs/trace.h"
+#include "stcomp/store/durable_file.h"
 #include "stcomp/store/serialization.h"
-
-#include <fstream>
-#include <sstream>
 
 namespace stcomp {
 
@@ -186,34 +184,27 @@ std::vector<std::string> TrajectoryStore::ObjectsInBox(
   return hits;
 }
 
-Status TrajectoryStore::SaveToFile(const std::string& path) const {
-  STCOMP_TRACE_SPAN("store.save_to_file", path);
-  std::ofstream file(path, std::ios::binary);
-  if (!file) {
-    return IoError("cannot open " + path + " for writing");
-  }
+Result<std::string> TrajectoryStore::SerializeToString() const {
+  std::string image;
   for (const auto& [id, entry] : entries_) {
     Trajectory named = entry.decoded;
     named.set_name(id);
     STCOMP_ASSIGN_OR_RETURN(const std::string frame,
                             SerializeTrajectory(named, codec_));
-    file.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    image += frame;
   }
-  if (!file) {
-    return IoError("write failed for " + path);
-  }
-  return Status::Ok();
+  return image;
+}
+
+Status TrajectoryStore::SaveToFile(const std::string& path) const {
+  STCOMP_TRACE_SPAN("store.save_to_file", path);
+  STCOMP_ASSIGN_OR_RETURN(const std::string image, SerializeToString());
+  return AtomicWriteFile(path, image);
 }
 
 Status TrajectoryStore::LoadFromFile(const std::string& path) {
   STCOMP_TRACE_SPAN("store.load_from_file", path);
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    return IoError("cannot open " + path);
-  }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  const std::string content = buffer.str();
+  STCOMP_ASSIGN_OR_RETURN(const std::string content, ReadFileToString(path));
   return LoadFromBuffer(content);
 }
 
@@ -231,6 +222,29 @@ Status TrajectoryStore::LoadFromBuffer(std::string_view data) {
     if (!loaded.emplace(trajectory.name(), std::move(entry)).second) {
       return DataLossError("duplicate object id '" + trajectory.name() +
                            "' in store file");
+    }
+  }
+  entries_ = std::move(loaded);
+  return Status::Ok();
+}
+
+Status TrajectoryStore::SalvageFromBuffer(std::string_view data,
+                                          FrameScanStats* stats) {
+  FrameScanStats local;
+  if (stats == nullptr) {
+    stats = &local;
+  }
+  std::map<std::string, Entry> loaded;
+  for (Trajectory& trajectory : ScanTrajectoryFrames(data, stats)) {
+    if (trajectory.name().empty()) {
+      stats->log.push_back("dropped frame without an object id");
+      continue;
+    }
+    Entry entry;
+    STCOMP_RETURN_IF_ERROR(EncodeInto(trajectory, &entry));
+    if (!loaded.emplace(trajectory.name(), std::move(entry)).second) {
+      stats->log.push_back("dropped duplicate object id '" +
+                           trajectory.name() + "'");
     }
   }
   entries_ = std::move(loaded);

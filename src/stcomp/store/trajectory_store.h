@@ -15,6 +15,7 @@
 #include "stcomp/common/result.h"
 #include "stcomp/core/trajectory.h"
 #include "stcomp/store/codec.h"
+#include "stcomp/store/serialization.h"
 
 namespace stcomp {
 
@@ -60,15 +61,28 @@ class TrajectoryStore {
 
   // Persists every object as a concatenation of CRC-framed trajectory
   // records (serialization.h); Load replaces the store's contents with the
-  // file's. Object ids are the stored trajectory names.
+  // file's. Object ids are the stored trajectory names. SaveToFile commits
+  // atomically (temp file + fsync + rename, durable_file.h): a crash or a
+  // failed write never destroys the previous good file.
   Status SaveToFile(const std::string& path) const;
   Status LoadFromFile(const std::string& path);
+
+  // The SaveToFile byte image, without touching the filesystem (the
+  // segment store snapshots through this).
+  Result<std::string> SerializeToString() const;
 
   // Replaces the store's contents with the frames parsed from an in-memory
   // image in the SaveToFile byte format (kDataLoss on any corruption; the
   // store is left untouched on error). LoadFromFile delegates here; the
   // fuzz harness drives this entry point directly.
   Status LoadFromBuffer(std::string_view data);
+
+  // Lenient counterpart for recovery (DESIGN.md §13): loads every intact
+  // frame of a possibly corrupted image, skipping bad frames and a torn
+  // tail instead of failing the whole load. Later duplicates of an object
+  // id are dropped (a resync artefact). Always replaces the contents;
+  // `stats` (may be null) reports what was skipped.
+  Status SalvageFromBuffer(std::string_view data, FrameScanStats* stats);
 
  private:
   struct Entry {

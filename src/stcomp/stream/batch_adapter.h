@@ -32,6 +32,12 @@ class BatchAdapter final : public OnlineCompressor {
   size_t buffered_points() const override { return buffer_.size(); }
   std::string_view name() const override { return name_; }
 
+  // Checkpointing (DESIGN.md §13): the whole buffered stream, behind a
+  // name config echo. Algorithm params are identified by name_ (registry
+  // entries are immutable), so only the buffer travels.
+  Status SaveState(std::string* out) const override;
+  Status RestoreState(std::string_view state) override;
+
  private:
   const algo::AlgorithmFn algorithm_;            // Legacy path (may be null).
   const algo::AlgorithmViewFn* const run_view_;  // Registry path (may be null).

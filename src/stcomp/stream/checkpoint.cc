@@ -1,0 +1,128 @@
+#include "stcomp/stream/checkpoint.h"
+
+#include "stcomp/store/varint.h"
+
+namespace stcomp {
+
+namespace {
+constexpr char kCheckpointMagic[4] = {'S', 'T', 'C', 'K'};
+constexpr uint8_t kCheckpointVersion = 1;
+}  // namespace
+
+void PutString(std::string_view value, std::string* out) {
+  PutVarint(value.size(), out);
+  out->append(value);
+}
+
+Result<std::string_view> GetString(std::string_view* input) {
+  STCOMP_ASSIGN_OR_RETURN(const uint64_t size, GetVarint(input));
+  if (input->size() < size) {
+    return DataLossError("checkpoint string truncated");
+  }
+  const std::string_view value = input->substr(0, size);
+  input->remove_prefix(size);
+  return value;
+}
+
+void PutBool(bool value, std::string* out) {
+  out->push_back(value ? '\1' : '\0');
+}
+
+Result<bool> GetBool(std::string_view* input) {
+  if (input->empty()) {
+    return DataLossError("checkpoint bool truncated");
+  }
+  const char byte = input->front();
+  input->remove_prefix(1);
+  if (byte != '\0' && byte != '\1') {
+    return DataLossError("checkpoint bool out of range");
+  }
+  return byte == '\1';
+}
+
+void PutTimedPoint(const TimedPoint& point, std::string* out) {
+  PutDouble(point.t, out);
+  PutDouble(point.position.x, out);
+  PutDouble(point.position.y, out);
+}
+
+Result<TimedPoint> GetTimedPoint(std::string_view* input) {
+  TimedPoint point;
+  STCOMP_ASSIGN_OR_RETURN(point.t, GetDouble(input));
+  STCOMP_ASSIGN_OR_RETURN(point.position.x, GetDouble(input));
+  STCOMP_ASSIGN_OR_RETURN(point.position.y, GetDouble(input));
+  return point;
+}
+
+void PutPointVector(const std::vector<TimedPoint>& points, std::string* out) {
+  PutVarint(points.size(), out);
+  for (const TimedPoint& point : points) {
+    PutTimedPoint(point, out);
+  }
+}
+
+Status GetPointVector(std::string_view* input, std::vector<TimedPoint>* out) {
+  STCOMP_ASSIGN_OR_RETURN(const uint64_t count, GetVarint(input));
+  out->reserve(out->size() + count);
+  for (uint64_t i = 0; i < count; ++i) {
+    STCOMP_ASSIGN_OR_RETURN(const TimedPoint point, GetTimedPoint(input));
+    out->push_back(point);
+  }
+  return Status::Ok();
+}
+
+void CheckpointWriter::AddSection(std::string_view tag,
+                                  std::string_view body) {
+  PutString(tag, &sections_);
+  PutString(body, &sections_);
+}
+
+std::string CheckpointWriter::Finish() const {
+  std::string image(kCheckpointMagic, sizeof(kCheckpointMagic));
+  image.push_back(static_cast<char>(kCheckpointVersion));
+  image += sections_;
+  return image;
+}
+
+Status CheckpointReader::Parse(std::string_view image) {
+  sections_.clear();
+  if (image.size() < sizeof(kCheckpointMagic) + 1 ||
+      image.substr(0, 4) != std::string_view(kCheckpointMagic, 4)) {
+    return DataLossError("not a checkpoint: bad magic");
+  }
+  image.remove_prefix(4);
+  const uint8_t version = static_cast<uint8_t>(image.front());
+  image.remove_prefix(1);
+  if (version != kCheckpointVersion) {
+    return DataLossError("unsupported checkpoint version " +
+                         std::to_string(version));
+  }
+  while (!image.empty()) {
+    Section section;
+    STCOMP_ASSIGN_OR_RETURN(section.tag, GetString(&image));
+    STCOMP_ASSIGN_OR_RETURN(section.body, GetString(&image));
+    sections_.push_back(section);
+  }
+  return Status::Ok();
+}
+
+Result<std::string_view> CheckpointReader::Find(std::string_view tag) const {
+  const Section* found = nullptr;
+  for (const Section& section : sections_) {
+    if (section.tag != tag) {
+      continue;
+    }
+    if (found != nullptr) {
+      return DataLossError("checkpoint section '" + std::string(tag) +
+                           "' repeated");
+    }
+    found = &section;
+  }
+  if (found == nullptr) {
+    return NotFoundError("checkpoint has no section '" + std::string(tag) +
+                         "'");
+  }
+  return found->body;
+}
+
+}  // namespace stcomp

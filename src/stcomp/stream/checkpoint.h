@@ -1,0 +1,78 @@
+// Checkpoint encoding for streaming state (DESIGN.md §13).
+//
+// A checkpoint is a "STCK" blob of tagged, length-prefixed sections:
+//
+//   magic "STCK" | version u8 | section*
+//   section = tag (len varint + bytes) | body (len varint + bytes)
+//
+// Each OnlineCompressor::SaveState body is an opaque field sequence built
+// from the primitives below; every implementation leads with a
+// configuration echo (name + the constructor parameters) that
+// RestoreState validates, so a checkpoint can only be loaded into a
+// compressor constructed the same way — restoring into the wrong shape
+// fails loudly with kInvalidArgument instead of resuming garbage.
+//
+// Doubles travel as raw little-endian bit patterns (store/varint.h
+// PutDouble), so a restored stream continues bitwise-identical to the
+// uninterrupted run — the property the crash-matrix test asserts.
+
+#ifndef STCOMP_STREAM_CHECKPOINT_H_
+#define STCOMP_STREAM_CHECKPOINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stcomp/common/result.h"
+#include "stcomp/core/trajectory.h"
+
+namespace stcomp {
+
+// Field primitives shared by the SaveState/RestoreState implementations.
+// Readers take the cursor by pointer and advance it; all failures are
+// kDataLoss.
+void PutString(std::string_view value, std::string* out);
+Result<std::string_view> GetString(std::string_view* input);
+void PutBool(bool value, std::string* out);
+Result<bool> GetBool(std::string_view* input);
+void PutTimedPoint(const TimedPoint& point, std::string* out);
+Result<TimedPoint> GetTimedPoint(std::string_view* input);
+void PutPointVector(const std::vector<TimedPoint>& points, std::string* out);
+Status GetPointVector(std::string_view* input, std::vector<TimedPoint>* out);
+
+class CheckpointWriter {
+ public:
+  void AddSection(std::string_view tag, std::string_view body);
+  // The full "STCK" image (header + every section added so far).
+  std::string Finish() const;
+
+ private:
+  std::string sections_;
+};
+
+// Non-owning parser; the parsed image must outlive the reader.
+class CheckpointReader {
+ public:
+  struct Section {
+    std::string_view tag;
+    std::string_view body;
+  };
+
+  // Validates the header and splits the sections. kDataLoss on a
+  // malformed image.
+  Status Parse(std::string_view image);
+
+  // Sections in file order; tags may repeat (one per fleet object).
+  const std::vector<Section>& sections() const { return sections_; }
+
+  // The single section tagged `tag`: kNotFound if absent,
+  // kDataLoss if repeated.
+  Result<std::string_view> Find(std::string_view tag) const;
+
+ private:
+  std::vector<Section> sections_;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_STREAM_CHECKPOINT_H_

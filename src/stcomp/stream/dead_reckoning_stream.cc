@@ -2,6 +2,8 @@
 
 #include "stcomp/common/check.h"
 #include "stcomp/common/strings.h"
+#include "stcomp/store/varint.h"
+#include "stcomp/stream/checkpoint.h"
 
 namespace stcomp {
 
@@ -42,6 +44,57 @@ Status DeadReckoningStream::Push(const TimedPoint& point,
     out->push_back(point);
   } else {
     pending_ = point;
+  }
+  return Status::Ok();
+}
+
+Status DeadReckoningStream::SaveState(std::string* out) const {
+  STCOMP_CHECK(out != nullptr);
+  PutDouble(epsilon_m_, out);
+  PutBool(finished_, out);
+  PutBool(last_committed_.has_value(), out);
+  if (last_committed_.has_value()) {
+    PutTimedPoint(*last_committed_, out);
+  }
+  PutBool(velocity_mps_.has_value(), out);
+  if (velocity_mps_.has_value()) {
+    PutDouble(velocity_mps_->x, out);
+    PutDouble(velocity_mps_->y, out);
+  }
+  PutBool(pending_.has_value(), out);
+  if (pending_.has_value()) {
+    PutTimedPoint(*pending_, out);
+  }
+  return Status::Ok();
+}
+
+Status DeadReckoningStream::RestoreState(std::string_view state) {
+  STCOMP_ASSIGN_OR_RETURN(const double epsilon, GetDouble(&state));
+  if (epsilon != epsilon_m_) {
+    return InvalidArgumentError(
+        "checkpoint was taken by a differently configured compressor");
+  }
+  STCOMP_ASSIGN_OR_RETURN(finished_, GetBool(&state));
+  STCOMP_ASSIGN_OR_RETURN(bool present, GetBool(&state));
+  last_committed_.reset();
+  if (present) {
+    STCOMP_ASSIGN_OR_RETURN(last_committed_, GetTimedPoint(&state));
+  }
+  STCOMP_ASSIGN_OR_RETURN(present, GetBool(&state));
+  velocity_mps_.reset();
+  if (present) {
+    Vec2 velocity;
+    STCOMP_ASSIGN_OR_RETURN(velocity.x, GetDouble(&state));
+    STCOMP_ASSIGN_OR_RETURN(velocity.y, GetDouble(&state));
+    velocity_mps_ = velocity;
+  }
+  STCOMP_ASSIGN_OR_RETURN(present, GetBool(&state));
+  pending_.reset();
+  if (present) {
+    STCOMP_ASSIGN_OR_RETURN(pending_, GetTimedPoint(&state));
+  }
+  if (!state.empty()) {
+    return DataLossError("trailing bytes in compressor checkpoint");
   }
   return Status::Ok();
 }

@@ -23,6 +23,11 @@ class DeadReckoningStream final : public OnlineCompressor {
   size_t buffered_points() const override { return pending_ ? 1 : 0; }
   std::string_view name() const override { return "dead-reckoning"; }
 
+  // Checkpointing (DESIGN.md §13): last commit, velocity estimate and the
+  // pending fix, behind an epsilon config echo.
+  Status SaveState(std::string* out) const override;
+  Status RestoreState(std::string_view state) override;
+
  private:
   const double epsilon_m_;
   std::optional<TimedPoint> last_committed_;

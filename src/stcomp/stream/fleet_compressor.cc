@@ -6,6 +6,8 @@
 #include "stcomp/common/check.h"
 #include "stcomp/obs/timer.h"
 #include "stcomp/obs/trace.h"
+#include "stcomp/store/varint.h"
+#include "stcomp/stream/checkpoint.h"
 
 namespace stcomp {
 
@@ -130,6 +132,87 @@ Status FleetCompressor::FinishAll() {
   while (!compressors_.empty()) {
     STCOMP_RETURN_IF_ERROR(FinishObject(compressors_.begin()->first));
   }
+  return Status::Ok();
+}
+
+namespace {
+constexpr std::string_view kFleetSection = "fleet";
+constexpr std::string_view kObjectSection = "object";
+}  // namespace
+
+Status FleetCompressor::SaveState(std::string* out) const {
+  STCOMP_CHECK(out != nullptr);
+  STCOMP_TRACE_SPAN("fleet.save_state", instance_);
+  CheckpointWriter writer;
+  std::string meta;
+  meta.push_back(static_cast<char>(policy_.mode));
+  PutDouble(policy_.reorder_window_s, &meta);
+  PutSignedVarint(policy_.quarantine_after, &meta);
+  writer.AddSection(kFleetSection, meta);
+  for (const auto& [object_id, state] : compressors_) {
+    std::string body;
+    PutString(object_id, &body);
+    std::string gate_state;
+    STCOMP_RETURN_IF_ERROR(state.gate.SaveState(&gate_state));
+    PutString(gate_state, &body);
+    std::string compressor_state;
+    STCOMP_RETURN_IF_ERROR(state.compressor->SaveState(&compressor_state));
+    PutString(compressor_state, &body);
+    writer.AddSection(kObjectSection, body);
+  }
+  *out += writer.Finish();
+  return Status::Ok();
+}
+
+Status FleetCompressor::RestoreState(std::string_view image) {
+  if (!compressors_.empty()) {
+    return FailedPreconditionError(
+        "restore requires an empty fleet (objects are already active)");
+  }
+  STCOMP_TRACE_SPAN("fleet.restore_state", instance_);
+  CheckpointReader reader;
+  STCOMP_RETURN_IF_ERROR(reader.Parse(image));
+  STCOMP_ASSIGN_OR_RETURN(std::string_view meta,
+                          reader.Find(kFleetSection));
+  if (meta.empty()) {
+    return DataLossError("fleet checkpoint meta truncated");
+  }
+  const auto mode = static_cast<IngestMode>(meta.front());
+  meta.remove_prefix(1);
+  STCOMP_ASSIGN_OR_RETURN(const double reorder_window, GetDouble(&meta));
+  STCOMP_ASSIGN_OR_RETURN(const int64_t quarantine_after,
+                          GetSignedVarint(&meta));
+  if (mode != policy_.mode || reorder_window != policy_.reorder_window_s ||
+      quarantine_after != policy_.quarantine_after) {
+    return InvalidArgumentError(
+        "checkpoint was taken under a different ingest policy");
+  }
+  for (const CheckpointReader::Section& section : reader.sections()) {
+    if (section.tag != kObjectSection) {
+      continue;
+    }
+    std::string_view body = section.body;
+    STCOMP_ASSIGN_OR_RETURN(const std::string_view object_id,
+                            GetString(&body));
+    STCOMP_ASSIGN_OR_RETURN(const std::string_view gate_state,
+                            GetString(&body));
+    STCOMP_ASSIGN_OR_RETURN(const std::string_view compressor_state,
+                            GetString(&body));
+    if (!body.empty()) {
+      return DataLossError("trailing bytes in fleet object section");
+    }
+    ObjectState state{factory_(), IngestGate(policy_, ingest_counters_)};
+    STCOMP_RETURN_IF_ERROR(state.gate.RestoreState(gate_state));
+    STCOMP_RETURN_IF_ERROR(state.compressor->RestoreState(compressor_state));
+    if (!compressors_.emplace(std::string(object_id), std::move(state))
+             .second) {
+      return DataLossError("duplicate object '" + std::string(object_id) +
+                           "' in fleet checkpoint");
+    }
+  }
+  STCOMP_IF_METRICS(active_objects_gauge_->Set(
+      static_cast<double>(compressors_.size())));
+  STCOMP_IF_METRICS(buffered_points());
   return Status::Ok();
 }
 

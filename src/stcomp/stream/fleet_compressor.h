@@ -87,6 +87,17 @@ class FleetCompressor {
     return ingest_counters_.quarantined->value();
   }
 
+  // Checkpoint/restore (DESIGN.md §13): one "STCK" image holding every
+  // open object stream (its gate + compressor state). RestoreState
+  // requires an empty fleet (no objects pushed yet), rebuilds each
+  // object's compressor through the factory and loads its state — a
+  // restarted ingestion process resumes exactly where the checkpoint was
+  // taken. The store is durable separately (SegmentStore); it is not part
+  // of this image. Fails with kUnimplemented if the factory's compressor
+  // does not checkpoint, kInvalidArgument on a policy mismatch.
+  Status SaveState(std::string* out) const;
+  Status RestoreState(std::string_view image);
+
  private:
   struct ObjectState {
     std::unique_ptr<OnlineCompressor> compressor;

@@ -5,6 +5,8 @@
 
 #include "stcomp/common/check.h"
 #include "stcomp/common/strings.h"
+#include "stcomp/store/varint.h"
+#include "stcomp/stream/checkpoint.h"
 
 namespace stcomp {
 
@@ -26,7 +28,8 @@ IngestCounters IngestCounters::ForInstance(const std::string& instance) {
   return IngestCounters{
       registry.GetCounter("stcomp_ingest_dropped_total", labels),
       registry.GetCounter("stcomp_ingest_repaired_total", labels),
-      registry.GetCounter("stcomp_ingest_quarantined_total", labels)};
+      registry.GetCounter("stcomp_ingest_quarantined_total", labels),
+      registry.GetCounter("stcomp_ingest_retries_total", labels)};
 }
 
 IngestGate::IngestGate(const IngestPolicy& policy,
@@ -128,6 +131,50 @@ void IngestGate::Release(std::vector<TimedPoint>* admitted) {
   last_released_t_ = held_[n - 1].t;
   any_released_ = true;
   held_.erase(held_.begin(), held_.begin() + static_cast<ptrdiff_t>(n));
+}
+
+Status IngestGate::SaveState(std::string* out) const {
+  STCOMP_CHECK(out != nullptr);
+  out->push_back(static_cast<char>(policy_.mode));
+  PutDouble(policy_.reorder_window_s, out);
+  PutSignedVarint(policy_.quarantine_after, out);
+  PutPointVector(held_, out);
+  PutDouble(last_released_t_, out);
+  PutDouble(max_seen_t_, out);
+  PutBool(any_released_, out);
+  PutBool(any_seen_, out);
+  PutSignedVarint(consecutive_faults_, out);
+  PutBool(quarantined_, out);
+  return Status::Ok();
+}
+
+Status IngestGate::RestoreState(std::string_view state) {
+  if (state.empty()) {
+    return DataLossError("ingest gate checkpoint truncated");
+  }
+  const auto mode = static_cast<IngestMode>(state.front());
+  state.remove_prefix(1);
+  STCOMP_ASSIGN_OR_RETURN(const double reorder_window, GetDouble(&state));
+  STCOMP_ASSIGN_OR_RETURN(const int64_t quarantine_after,
+                          GetSignedVarint(&state));
+  if (mode != policy_.mode || reorder_window != policy_.reorder_window_s ||
+      quarantine_after != policy_.quarantine_after) {
+    return InvalidArgumentError(
+        "checkpoint was taken under a different ingest policy");
+  }
+  held_.clear();
+  STCOMP_RETURN_IF_ERROR(GetPointVector(&state, &held_));
+  STCOMP_ASSIGN_OR_RETURN(last_released_t_, GetDouble(&state));
+  STCOMP_ASSIGN_OR_RETURN(max_seen_t_, GetDouble(&state));
+  STCOMP_ASSIGN_OR_RETURN(any_released_, GetBool(&state));
+  STCOMP_ASSIGN_OR_RETURN(any_seen_, GetBool(&state));
+  STCOMP_ASSIGN_OR_RETURN(const int64_t faults, GetSignedVarint(&state));
+  consecutive_faults_ = static_cast<int>(faults);
+  STCOMP_ASSIGN_OR_RETURN(quarantined_, GetBool(&state));
+  if (!state.empty()) {
+    return DataLossError("trailing bytes in ingest gate checkpoint");
+  }
+  return Status::Ok();
 }
 
 void IngestGate::Flush(std::vector<TimedPoint>* admitted) {

@@ -65,6 +65,9 @@ struct IngestCounters {
   obs::Counter* dropped = nullptr;
   obs::Counter* repaired = nullptr;
   obs::Counter* quarantined = nullptr;
+  // Transient-source retries (stcomp_ingest_retries_total): incremented by
+  // PolicedCompressor::DrainSource for every kUnavailable it retries.
+  obs::Counter* retries = nullptr;
 
   // The stcomp_ingest_* series labelled {compressor=instance}.
   static IngestCounters ForInstance(const std::string& instance);
@@ -90,6 +93,13 @@ class IngestGate {
   bool quarantined() const { return quarantined_; }
   // Fixes currently held for reordering (kRepair working memory).
   size_t held_points() const { return held_.size(); }
+
+  // Checkpoint/restore (DESIGN.md §13): the reorder buffer, watermarks and
+  // quarantine/fault counters, behind a policy config echo — a restarted
+  // pipeline resumes with the same admission decisions. Counters are
+  // process-wide registry series and are not part of the state.
+  Status SaveState(std::string* out) const;
+  Status RestoreState(std::string_view state);
 
  private:
   Status RecordFault(obs::Counter* counter, std::string_view detail);

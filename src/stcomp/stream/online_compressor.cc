@@ -8,6 +8,16 @@
 
 namespace stcomp {
 
+Status OnlineCompressor::SaveState(std::string* /*out*/) const {
+  return UnimplementedError(std::string(name()) +
+                            " does not support checkpointing");
+}
+
+Status OnlineCompressor::RestoreState(std::string_view /*state*/) {
+  return UnimplementedError(std::string(name()) +
+                            " does not support checkpointing");
+}
+
 Status ValidateFiniteFix(const TimedPoint& point) {
   if (!std::isfinite(point.t) || !std::isfinite(point.position.x) ||
       !std::isfinite(point.position.y)) {

@@ -11,10 +11,12 @@
 #define STCOMP_STREAM_ONLINE_COMPRESSOR_H_
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
-#include "stcomp/common/status.h"
+#include "stcomp/common/result.h"
 #include "stcomp/core/trajectory.h"
 
 namespace stcomp {
@@ -38,6 +40,27 @@ class OnlineCompressor {
   virtual size_t buffered_points() const = 0;
 
   virtual std::string_view name() const = 0;
+
+  // Checkpoint/restore (DESIGN.md §13). SaveState appends a byte
+  // serialization of every field a bitwise-identical resume needs;
+  // RestoreState loads it into a compressor constructed with the same
+  // configuration (validated via an embedded config echo —
+  // kInvalidArgument on mismatch, kDataLoss on a malformed blob). The
+  // default is kUnimplemented: adapters opt in.
+  virtual Status SaveState(std::string* out) const;
+  virtual Status RestoreState(std::string_view state);
+};
+
+// Pull-based fix feed for drain loops (PolicedCompressor::DrainSource).
+// Next() yields the next fix, nullopt once the feed is exhausted, or a
+// non-OK status: kUnavailable marks a *transient* failure — the same call
+// may succeed if retried — anything else is terminal. Interface-only so
+// test fakes (testing/faulty_source.h) implement it without linking the
+// stream library.
+class FixSource {
+ public:
+  virtual ~FixSource() = default;
+  virtual Result<std::optional<TimedPoint>> Next() = 0;
 };
 
 // Shared Push precondition for adapters: kInvalidArgument if the fix has a

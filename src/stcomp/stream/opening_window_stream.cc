@@ -6,6 +6,8 @@
 #include "stcomp/common/check.h"
 #include "stcomp/common/strings.h"
 #include "stcomp/core/trajectory_view.h"
+#include "stcomp/store/varint.h"
+#include "stcomp/stream/checkpoint.h"
 
 namespace stcomp {
 
@@ -102,6 +104,40 @@ Status OpeningWindowStream::Push(const TimedPoint& point,
   }
   window_.push_back(point);
   Settle(out);
+  return Status::Ok();
+}
+
+Status OpeningWindowStream::SaveState(std::string* out) const {
+  STCOMP_CHECK(out != nullptr);
+  PutString(name_, out);
+  PutDouble(epsilon_m_, out);
+  PutDouble(speed_threshold_mps_, out);
+  PutDouble(last_time_, out);
+  PutBool(any_pushed_, out);
+  PutBool(finished_, out);
+  PutPointVector(window_, out);
+  return Status::Ok();
+}
+
+Status OpeningWindowStream::RestoreState(std::string_view state) {
+  STCOMP_ASSIGN_OR_RETURN(const std::string_view saved_name,
+                          GetString(&state));
+  STCOMP_ASSIGN_OR_RETURN(const double epsilon, GetDouble(&state));
+  STCOMP_ASSIGN_OR_RETURN(const double speed, GetDouble(&state));
+  if (saved_name != name_ || epsilon != epsilon_m_ ||
+      speed != speed_threshold_mps_) {
+    return InvalidArgumentError(
+        "checkpoint was taken by a differently configured compressor (" +
+        std::string(saved_name) + ")");
+  }
+  STCOMP_ASSIGN_OR_RETURN(last_time_, GetDouble(&state));
+  STCOMP_ASSIGN_OR_RETURN(any_pushed_, GetBool(&state));
+  STCOMP_ASSIGN_OR_RETURN(finished_, GetBool(&state));
+  window_.clear();
+  STCOMP_RETURN_IF_ERROR(GetPointVector(&state, &window_));
+  if (!state.empty()) {
+    return DataLossError("trailing bytes in compressor checkpoint");
+  }
   return Status::Ok();
 }
 

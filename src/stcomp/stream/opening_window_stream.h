@@ -39,6 +39,11 @@ class OpeningWindowStream final : public OnlineCompressor {
   size_t buffered_points() const override { return window_.size(); }
   std::string_view name() const override { return name_; }
 
+  // Checkpointing (DESIGN.md §13): the open window plus the monotonicity
+  // guard, behind a name/epsilon/speed config echo.
+  Status SaveState(std::string* out) const override;
+  Status RestoreState(std::string_view state) override;
+
  private:
   // Processes the newest point in `window_` (window_.back()); commits cuts
   // and replays tails until the window is stable.

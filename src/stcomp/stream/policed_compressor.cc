@@ -1,8 +1,11 @@
 #include "stcomp/stream/policed_compressor.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "stcomp/common/check.h"
+#include "stcomp/stream/checkpoint.h"
 
 namespace stcomp {
 
@@ -20,8 +23,9 @@ PolicedCompressor::PolicedCompressor(std::unique_ptr<OnlineCompressor> inner,
                                      const IngestPolicy& policy,
                                      std::string instance)
     : inner_(std::move(inner)),
-      gate_(policy, IngestCounters::ForInstance(
-                        ResolveIngestInstance(inner_.get(), instance))),
+      counters_(IngestCounters::ForInstance(
+          ResolveIngestInstance(inner_.get(), instance))),
+      gate_(policy, counters_),
       name_(std::string(inner_->name()) + "-policed") {}
 
 Status PolicedCompressor::Push(const TimedPoint& point,
@@ -33,6 +37,70 @@ Status PolicedCompressor::Push(const TimedPoint& point,
     STCOMP_RETURN_IF_ERROR(inner_->Push(fix, out));
   }
   return Status::Ok();
+}
+
+Status PolicedCompressor::DrainSource(FixSource* source,
+                                      const RetryPolicy& retry,
+                                      std::vector<TimedPoint>* out) {
+  STCOMP_CHECK(source != nullptr);
+  STCOMP_CHECK(out != nullptr);
+  STCOMP_CHECK(retry.max_attempts >= 1);
+  const auto sleep = retry.sleep ? retry.sleep : [](double seconds) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  };
+  while (true) {
+    Result<std::optional<TimedPoint>> next = source->Next();
+    double backoff_s = retry.initial_backoff_s;
+    for (int attempt = 1;
+         !next.ok() && next.status().code() == StatusCode::kUnavailable;
+         ++attempt) {
+      if (attempt >= retry.max_attempts) {
+        return next.status();  // Attempts exhausted: the outage is real.
+      }
+      counters_.retries->Increment();
+      sleep(backoff_s);
+      backoff_s *= retry.backoff_multiplier;
+      next = source->Next();
+    }
+    if (!next.ok()) {
+      return next.status();
+    }
+    if (!next->has_value()) {
+      return Status::Ok();  // Feed exhausted.
+    }
+    STCOMP_RETURN_IF_ERROR(Push(**next, out));
+  }
+}
+
+Status PolicedCompressor::SaveState(std::string* out) const {
+  STCOMP_CHECK(out != nullptr);
+  PutString(name_, out);
+  std::string gate_state;
+  STCOMP_RETURN_IF_ERROR(gate_.SaveState(&gate_state));
+  PutString(gate_state, out);
+  std::string inner_state;
+  STCOMP_RETURN_IF_ERROR(inner_->SaveState(&inner_state));
+  PutString(inner_state, out);
+  return Status::Ok();
+}
+
+Status PolicedCompressor::RestoreState(std::string_view state) {
+  STCOMP_ASSIGN_OR_RETURN(const std::string_view saved_name,
+                          GetString(&state));
+  if (saved_name != name_) {
+    return InvalidArgumentError(
+        "checkpoint was taken by a differently configured compressor (" +
+        std::string(saved_name) + ")");
+  }
+  STCOMP_ASSIGN_OR_RETURN(const std::string_view gate_state,
+                          GetString(&state));
+  STCOMP_ASSIGN_OR_RETURN(const std::string_view inner_state,
+                          GetString(&state));
+  if (!state.empty()) {
+    return DataLossError("trailing bytes in compressor checkpoint");
+  }
+  STCOMP_RETURN_IF_ERROR(gate_.RestoreState(gate_state));
+  return inner_->RestoreState(inner_state);
 }
 
 void PolicedCompressor::Finish(std::vector<TimedPoint>* out) {

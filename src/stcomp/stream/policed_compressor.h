@@ -8,6 +8,7 @@
 #ifndef STCOMP_STREAM_POLICED_COMPRESSOR_H_
 #define STCOMP_STREAM_POLICED_COMPRESSOR_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +17,18 @@
 #include "stcomp/stream/online_compressor.h"
 
 namespace stcomp {
+
+// How DrainSource handles transient (kUnavailable) source failures: retry
+// with exponential backoff, up to `max_attempts` tries per fix position.
+// Anything else — attempts exhausted, a non-transient error — aborts the
+// drain with that status.
+struct RetryPolicy {
+  int max_attempts = 5;  // Including the first try; >= 1 (checked).
+  double initial_backoff_s = 0.010;
+  double backoff_multiplier = 2.0;
+  // Injectable for tests; null sleeps for real (std::this_thread).
+  std::function<void(double seconds)> sleep;
+};
 
 class PolicedCompressor final : public OnlineCompressor {
  public:
@@ -33,8 +46,23 @@ class PolicedCompressor final : public OnlineCompressor {
 
   const IngestGate& gate() const { return gate_; }
 
+  // Pulls `source` dry through Push. Every kUnavailable from Next() is
+  // retried per `retry` and counted in stcomp_ingest_retries_total; the
+  // feed position is preserved across retries (the source decides whether
+  // a retried call re-delivers or skips). Returns the first terminal
+  // error, or OK when the source reports exhaustion.
+  Status DrainSource(FixSource* source, const RetryPolicy& retry,
+                     std::vector<TimedPoint>* out);
+
+  // Checkpointing (DESIGN.md §13): gate state + the inner compressor's
+  // own SaveState, behind a name config echo. Fails with kUnimplemented
+  // if the inner compressor does not checkpoint.
+  Status SaveState(std::string* out) const override;
+  Status RestoreState(std::string_view state) override;
+
  private:
   std::unique_ptr<OnlineCompressor> inner_;
+  IngestCounters counters_;  // Shared with gate_; declared first.
   IngestGate gate_;
   std::string name_;
   // Reused scratch for gate output; admitted fixes are strictly ordered,

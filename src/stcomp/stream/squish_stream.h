@@ -25,6 +25,12 @@ class SquishStream final : public OnlineCompressor {
   size_t buffered_points() const override { return buffer_.size(); }
   std::string_view name() const override { return name_; }
 
+  // Checkpointing (DESIGN.md §13): the full SquishBuffer snapshot
+  // (SquishBufferState) plus the adapter's own cursor, behind a
+  // name/capacity/mu config echo.
+  Status SaveState(std::string* out) const override;
+  Status RestoreState(std::string_view state) override;
+
  private:
   algo::SquishBuffer buffer_;
   std::string name_;

@@ -1,0 +1,86 @@
+#include "stcomp/testing/crash_plan.h"
+
+#include "stcomp/common/strings.h"
+
+namespace stcomp::testing {
+
+std::string_view CrashFateToString(CrashFate fate) {
+  switch (fate) {
+    case CrashFate::kKill:
+      return "kill";
+    case CrashFate::kShortWrite:
+      return "short-write";
+    case CrashFate::kTornWrite:
+      return "torn-write";
+  }
+  return "unknown";
+}
+
+CrashPlan::CrashPlan(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+CrashPlan::CrashPlan(uint64_t seed, CrashPoint point)
+    : seed_(seed), point_(point), rng_(seed) {}
+
+WriteFault CrashPlan::Decide(size_t boundary, std::string_view bytes) {
+  ++boundaries_seen_;
+  if (fired_) {
+    // The process died at the planned boundary; anything after is a bug in
+    // the writer's death handling, and killing again keeps it from
+    // silently writing on.
+    log_.push_back(StrFormat("post-mortem write at boundary %zu", boundary));
+    return WriteFault{WriteFault::Action::kCrash, 0, ""};
+  }
+  if (!point_.has_value() || boundary != point_->boundary) {
+    return WriteFault{};
+  }
+  fired_ = true;
+  WriteFault fault;
+  switch (point_->fate) {
+    case CrashFate::kKill:
+      fault.action = WriteFault::Action::kCrash;
+      break;
+    case CrashFate::kShortWrite:
+      fault.action = WriteFault::Action::kShortWrite;
+      // Non-byte boundaries (rename/truncate/fsync) pass empty bytes and
+      // treat any non-proceed action as a pre-step crash.
+      fault.keep_bytes =
+          bytes.empty() ? 0 : static_cast<size_t>(rng_.NextBelow(bytes.size()));
+      break;
+    case CrashFate::kTornWrite: {
+      fault.action = WriteFault::Action::kTornWrite;
+      fault.keep_bytes =
+          bytes.empty() ? 0 : static_cast<size_t>(rng_.NextBelow(bytes.size()));
+      const size_t garbage_len = 1 + static_cast<size_t>(rng_.NextBelow(16));
+      fault.garbage.reserve(garbage_len);
+      for (size_t i = 0; i < garbage_len; ++i) {
+        fault.garbage.push_back(
+            static_cast<char>(rng_.NextBelow(256)));
+      }
+      break;
+    }
+  }
+  log_.push_back(StrFormat("fired %s at boundary %zu (keep %zu of %zu)",
+                           std::string(CrashFateToString(point_->fate)).c_str(),
+                           boundary, fault.keep_bytes, bytes.size()));
+  return fault;
+}
+
+WriteFaultHook CrashPlan::Hook() {
+  return [this](size_t boundary, std::string_view bytes) {
+    return Decide(boundary, bytes);
+  };
+}
+
+std::string CrashPlan::Describe() const {
+  if (!point_.has_value()) {
+    return StrFormat("CrashPlan(seed=%llu, dry-run, %zu boundaries)",
+                     static_cast<unsigned long long>(seed_),
+                     boundaries_seen_);
+  }
+  return StrFormat("CrashPlan(seed=%llu, boundary %zu, %s, %s)",
+                   static_cast<unsigned long long>(seed_), point_->boundary,
+                   std::string(CrashFateToString(point_->fate)).c_str(),
+                   fired_ ? "fired" : "not fired");
+}
+
+}  // namespace stcomp::testing

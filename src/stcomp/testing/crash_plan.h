@@ -1,0 +1,74 @@
+// Deterministic crash-point injection for the durability layer (DESIGN.md
+// §13), riding the FaultPlan style: a CrashPlan is a seeded decision about
+// WHERE the process dies (which durable-write boundary) and HOW (clean
+// kill, short write, torn write). Installed as a SegmentStore/WalWriter
+// WriteFaultHook it fires exactly once; the crash-matrix test enumerates
+// every boundary of a reference workload times every fate and asserts
+// recovery loses at most the last uncommitted batch.
+//
+// Like FaultPlan, everything is a pure function of the seed: the short
+// prefix length and torn-write garbage come from the plan's own Rng, and
+// every decision lands in a human-readable log for reproduction.
+
+#ifndef STCOMP_TESTING_CRASH_PLAN_H_
+#define STCOMP_TESTING_CRASH_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stcomp/sim/random.h"
+#include "stcomp/store/durable_file.h"
+
+namespace stcomp::testing {
+
+// How the injected crash mangles the boundary it fires at.
+enum class CrashFate {
+  kKill,        // Process dies before the write: nothing lands.
+  kShortWrite,  // A seeded prefix lands, then death.
+  kTornWrite,   // A seeded prefix plus seeded garbage lands, then death.
+};
+
+std::string_view CrashFateToString(CrashFate fate);
+
+struct CrashPoint {
+  size_t boundary = 0;  // Global boundary index the crash fires at.
+  CrashFate fate = CrashFate::kKill;
+};
+
+class CrashPlan {
+ public:
+  // Dry-run plan: never fires, only counts boundaries — run the workload
+  // once with this to learn how many crash points it has.
+  explicit CrashPlan(uint64_t seed);
+  CrashPlan(uint64_t seed, CrashPoint point);
+
+  // The hook to install (SegmentStore::Options::write_hook). Captures
+  // `this`; the plan must outlive every writer using it. After firing,
+  // every later boundary also dies (a dead process stays dead).
+  WriteFaultHook Hook();
+
+  bool fired() const { return fired_; }
+  // Boundaries consulted so far (dry run: the total crash-point count).
+  size_t boundaries_seen() const { return boundaries_seen_; }
+  const std::vector<std::string>& log() const { return log_; }
+
+  // "CrashPlan(seed=7, boundary 3, torn-write, fired)" — for test output.
+  std::string Describe() const;
+
+ private:
+  WriteFault Decide(size_t boundary, std::string_view bytes);
+
+  uint64_t seed_;
+  std::optional<CrashPoint> point_;
+  Rng rng_;
+  size_t boundaries_seen_ = 0;
+  bool fired_ = false;
+  std::vector<std::string> log_;
+};
+
+}  // namespace stcomp::testing
+
+#endif  // STCOMP_TESTING_CRASH_PLAN_H_

@@ -34,8 +34,9 @@ bool FaultyFixSource::Next(FaultyFeedEvent* event) {
     // Transient read failure: the fix itself is delivered on the next
     // pull, like a retried socket read.
     plan_->Record(StrFormat("io-error#%zu", i));
-    event->kind = FaultyFeedEvent::Kind::kIoError;
-    event->error = IoError(StrFormat("injected read failure before fix %zu", i));
+    event->kind = FaultyFeedEvent::Kind::kTransientError;
+    event->error =
+        UnavailableError(StrFormat("injected read failure before fix %zu", i));
   } else {
     event->kind = FaultyFeedEvent::Kind::kFix;
     event->error = Status::Ok();
@@ -64,7 +65,7 @@ bool FaultyFixSource::Next(FaultyFeedEvent* event) {
         std::numeric_limits<double>::quiet_NaN();
     plan_->Record(StrFormat("nan#%zu.%c", i, x_axis ? 'x' : 'y'));
   }
-  if (event->kind == FaultyFeedEvent::Kind::kIoError) {
+  if (event->kind == FaultyFeedEvent::Kind::kTransientError) {
     // Deliver the (possibly corrupted) fix after the error event.
     FaultyFeedEvent retry;
     retry.kind = FaultyFeedEvent::Kind::kFix;
@@ -75,6 +76,22 @@ bool FaultyFixSource::Next(FaultyFeedEvent* event) {
   }
   ++events_emitted_;
   return true;
+}
+
+FaultyFeedFixSource::FaultyFeedFixSource(FaultyFixSource* source)
+    : source_(source) {
+  STCOMP_CHECK(source_ != nullptr);
+}
+
+Result<std::optional<TimedPoint>> FaultyFeedFixSource::Next() {
+  FaultyFeedEvent event;
+  if (!source_->Next(&event)) {
+    return std::optional<TimedPoint>();
+  }
+  if (event.kind == FaultyFeedEvent::Kind::kTransientError) {
+    return event.error;
+  }
+  return std::optional<TimedPoint>(event.fix.fix);
 }
 
 }  // namespace stcomp::testing

@@ -16,6 +16,7 @@
 
 #include "stcomp/common/status.h"
 #include "stcomp/core/trajectory.h"
+#include "stcomp/stream/online_compressor.h"
 #include "stcomp/testing/fault_plan.h"
 
 namespace stcomp::testing {
@@ -27,12 +28,12 @@ struct FleetFix {
 };
 
 // One event out of the faulty feed: either a (possibly corrupted) fix or a
-// transient read failure the consumer is expected to survive.
+// transient (kUnavailable) read failure the consumer is expected to retry.
 struct FaultyFeedEvent {
-  enum class Kind { kFix, kIoError };
+  enum class Kind { kFix, kTransientError };
   Kind kind = Kind::kFix;
   FleetFix fix;  // Valid when kind == kFix.
-  Status error;  // Non-OK when kind == kIoError.
+  Status error;  // Non-OK when kind == kTransientError.
 };
 
 class FaultyFixSource {
@@ -53,6 +54,22 @@ class FaultyFixSource {
   size_t index_ = 0;
   size_t events_emitted_ = 0;
   std::deque<FaultyFeedEvent> pending_;
+};
+
+// Adapts a single-object faulty feed to the stream layer's pull-based
+// FixSource: kFix events yield the fix, kTransientError events surface
+// their kUnavailable status (the fix itself arrives on the retried call),
+// exhaustion yields nullopt. The standard harness for
+// PolicedCompressor::DrainSource retry tests.
+class FaultyFeedFixSource final : public FixSource {
+ public:
+  // `source` must outlive the adapter.
+  explicit FaultyFeedFixSource(FaultyFixSource* source);
+
+  Result<std::optional<TimedPoint>> Next() override;
+
+ private:
+  FaultyFixSource* source_;
 };
 
 }  // namespace stcomp::testing

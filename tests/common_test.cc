@@ -44,11 +44,13 @@ TEST(StatusTest, AllFactoriesProduceTheirCode) {
   EXPECT_EQ(UnimplementedError("").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
   EXPECT_EQ(IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(UnavailableError("").code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "UNAVAILABLE");
 }
 
 Result<int> ParsePositive(int value) {

@@ -1,0 +1,236 @@
+// Crash–recover–verify matrix (DESIGN.md §13): a deterministic SegmentStore
+// workload is killed at EVERY durable-write boundary, under every crash
+// fate (clean kill, short write, torn write), and recovery must come back
+// to a bit-identical prefix of the reference run — the state after the
+// last acknowledged commit, or one batch later when the crash hit after
+// the commit marker already reached the file. Nothing else is acceptable:
+// recovery loses at most the last uncommitted batch.
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stcomp/store/segment_store.h"
+#include "stcomp/testing/crash_plan.h"
+#include "test_util.h"
+
+namespace stcomp {
+namespace {
+
+using testing::CrashFate;
+using testing::CrashFateToString;
+using testing::CrashPlan;
+using testing::CrashPoint;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "crash_matrix_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+SegmentStore::Options MatrixOptions(WriteFaultHook hook) {
+  SegmentStore::Options options;
+  options.codec = Codec::kRaw;  // Bit-exact image comparison.
+  options.write_hook = std::move(hook);
+  return options;
+}
+
+Trajectory WalkTrajectory() {
+  Trajectory trajectory =
+      testutil::Traj({{0.5, -1.0, -1.0}, {1.5, -2.0, -2.0}, {2.5, -3.0, 1.0}});
+  trajectory.set_name("walk");
+  return trajectory;
+}
+
+// What the workload left behind: one store image per acknowledged
+// durability point (Commit or Checkpoint that returned OK), and the first
+// error that stopped it (OK when it ran to completion).
+struct WorkloadTrace {
+  std::vector<std::string> images;
+  Status error;
+};
+
+// The reference workload: batched appends on two objects, a whole-
+// trajectory insert, a checkpoint mid-way, and a remove — every mutation
+// kind crosses every durability mechanism. Stops at the first failure
+// (the injected crash); deterministic in its ops, so every crashed run is
+// a prefix of the uncrashed one.
+WorkloadTrace RunWorkload(SegmentStore* store) {
+  WorkloadTrace trace;
+  const auto snapshot = [&]() -> bool {
+    const Result<std::string> image = store->store().SerializeToString();
+    if (!image.ok()) {
+      trace.error = image.status();
+      return false;
+    }
+    trace.images.push_back(*image);
+    return true;
+  };
+  const auto run = [&](const Status& status) {
+    if (!status.ok()) {
+      trace.error = status;
+      return false;
+    }
+    return true;
+  };
+
+  int tick = 0;
+  const auto append_batch = [&]() -> bool {
+    for (int i = 0; i < 2; ++i) {
+      ++tick;
+      if (!run(store->Append(
+              "bus-1", TimedPoint(1.0 * tick, 2.0 * tick, -1.0 * tick))) ||
+          !run(store->Append(
+              "bus-2", TimedPoint(1.0 * tick, -3.0 * tick, 0.5 * tick)))) {
+        return false;
+      }
+    }
+    return run(store->Commit()) && snapshot();
+  };
+
+  if (!append_batch()) return trace;
+  if (!append_batch()) return trace;
+  if (!run(store->Insert("walk", WalkTrajectory())) || !run(store->Commit()) ||
+      !snapshot()) {
+    return trace;
+  }
+  if (!run(store->Checkpoint()) || !snapshot()) return trace;
+  if (!append_batch()) return trace;
+  if (!run(store->Remove("walk")) || !run(store->Commit()) || !snapshot()) {
+    return trace;
+  }
+  if (!append_batch()) return trace;
+  return trace;
+}
+
+std::vector<uint64_t> MatrixSeeds() {
+  std::vector<uint64_t> seeds;
+  if (const char* env = std::getenv("STCOMP_CRASH_MATRIX_SEEDS")) {
+    std::string list(env);
+    size_t start = 0;
+    while (start < list.size()) {
+      const size_t comma = list.find(',', start);
+      const std::string token =
+          list.substr(start, comma == std::string::npos ? comma : comma - start);
+      if (!token.empty()) {
+        seeds.push_back(std::strtoull(token.c_str(), nullptr, 10));
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  if (seeds.empty()) {
+    seeds.push_back(20260805);
+  }
+  return seeds;
+}
+
+TEST(CrashMatrixTest, EveryBoundaryEveryFateRecoversToACommitPoint) {
+  for (const uint64_t seed : MatrixSeeds()) {
+    // Reference run: a dry-run plan never fires, but counts how many
+    // durable-write boundaries the workload crosses.
+    CrashPlan reference_plan(seed);
+    const std::string reference_dir = FreshDir("reference");
+    WorkloadTrace reference;
+    {
+      SegmentStore store(MatrixOptions(reference_plan.Hook()));
+      ASSERT_TRUE(store.Open(reference_dir).ok());
+      reference = RunWorkload(&store);
+      ASSERT_TRUE(reference.error.ok()) << reference.error;
+    }
+    const size_t boundaries = reference_plan.boundaries_seen();
+    ASSERT_GT(boundaries, 0u);
+    ASSERT_FALSE(reference_plan.fired());
+    std::string empty_image;
+    {
+      const TrajectoryStore empty(Codec::kRaw);
+      empty_image = empty.SerializeToString().value();
+    }
+
+    for (size_t boundary = 0; boundary < boundaries; ++boundary) {
+      for (const CrashFate fate :
+           {CrashFate::kKill, CrashFate::kShortWrite, CrashFate::kTornWrite}) {
+        SCOPED_TRACE(testing::CrashFateToString(fate));
+        SCOPED_TRACE("boundary " + std::to_string(boundary) + ", seed " +
+                     std::to_string(seed));
+        CrashPlan plan(seed ^ (boundary * 31 + static_cast<uint64_t>(fate)),
+                       CrashPoint{boundary, fate});
+        const std::string dir = FreshDir("run");
+        WorkloadTrace crashed;
+        {
+          SegmentStore store(MatrixOptions(plan.Hook()));
+          ASSERT_TRUE(store.Open(dir).ok());
+          crashed = RunWorkload(&store);
+        }
+        ASSERT_TRUE(plan.fired()) << plan.Describe();
+        ASSERT_EQ(crashed.error.code(), StatusCode::kUnavailable)
+            << crashed.error;
+        const size_t commits = crashed.images.size();
+
+        // Recover with no hook: a fresh process on the same directory.
+        SegmentStore recovered(MatrixOptions(nullptr));
+        ASSERT_TRUE(recovered.Open(dir).ok());
+        const Result<std::string> image =
+            recovered.store().SerializeToString();
+        ASSERT_TRUE(image.ok());
+
+        // The recovered state must be exactly a commit point: the last
+        // acknowledged one, or — when the crash landed after the commit
+        // marker bytes reached the file (e.g. at the fsync) — the batch
+        // that was in flight. Never anything in between, never older.
+        std::vector<const std::string*> acceptable;
+        acceptable.push_back(commits == 0 ? &empty_image
+                                          : &reference.images[commits - 1]);
+        if (commits < reference.images.size()) {
+          acceptable.push_back(&reference.images[commits]);
+        }
+        bool matched = false;
+        for (const std::string* candidate : acceptable) {
+          matched |= (*image == *candidate);
+        }
+        EXPECT_TRUE(matched)
+            << plan.Describe() << "\nacked commits: " << commits
+            << "\nrecovery: " << recovered.last_recovery().Describe();
+      }
+    }
+  }
+}
+
+// The end-to-end salvage criterion: corrupt one frame of a committed WAL
+// on disk, reopen, and exactly that one record is lost.
+TEST(CrashMatrixTest, SingleWalCorruptionCostsOneRecord) {
+  const std::string dir = FreshDir("salvage");
+  constexpr int kRecords = 10;
+  {
+    SegmentStore store(MatrixOptions(nullptr));
+    ASSERT_TRUE(store.Open(dir).ok());
+    for (int i = 0; i < kRecords; ++i) {
+      ASSERT_TRUE(store
+                      .Append("obj-" + std::to_string(i),
+                              TimedPoint(1.0, 1.0 * i, 2.0 * i))
+                      .ok());
+    }
+    ASSERT_TRUE(store.Commit().ok());
+  }
+  // Flip one byte around the middle of the log.
+  const std::string wal_path = dir + "/wal.stwal";
+  {
+    std::string bytes = ReadFileToString(wal_path).value();
+    bytes[bytes.size() / 2] ^= 0x08;
+    ASSERT_TRUE(AtomicWriteFile(wal_path, bytes).ok());
+  }
+  SegmentStore recovered(MatrixOptions(nullptr));
+  ASSERT_TRUE(recovered.Open(dir).ok());
+  const RecoveryReport& report = recovered.last_recovery();
+  EXPECT_EQ(recovered.store().object_count(),
+            static_cast<size_t>(kRecords - 1))
+      << report.Describe();
+  EXPECT_EQ(report.wal_records_replayed, static_cast<size_t>(kRecords - 1));
+  EXPECT_GE(report.wal_frames_salvaged, 1u);
+}
+
+}  // namespace
+}  // namespace stcomp

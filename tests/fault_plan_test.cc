@@ -170,7 +170,7 @@ TEST(IngestHardeningTest, FleetSurvivesFaultyFeedUnderRepair) {
   FaultyFeedEvent event;
   size_t transient_errors = 0;
   while (source.Next(&event)) {
-    if (event.kind == FaultyFeedEvent::Kind::kIoError) {
+    if (event.kind == FaultyFeedEvent::Kind::kTransientError) {
       ++transient_errors;  // A real consumer would retry; the source does.
       continue;
     }

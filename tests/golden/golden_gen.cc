@@ -16,6 +16,7 @@
 #include "stcomp/common/check.h"
 #include "stcomp/store/serialization.h"
 #include "stcomp/store/trajectory_store.h"
+#include "stcomp/store/wal.h"
 
 namespace {
 
@@ -92,5 +93,24 @@ int main(int argc, char** argv) {
   WriteFile(corpus_dir / "store" / "unnamed_frame",
             stcomp::SerializeTrajectory(unnamed, stcomp::Codec::kRaw).value());
   WriteFile(corpus_dir / "store" / "truncated", raw.substr(0, 10));
+
+  // WAL seed corpus (fuzz_wal.cc): a committed batch covering every record
+  // type, an uncommitted tail, and a torn final frame.
+  std::string wal_batch;
+  wal_batch += stcomp::EncodeWalFrame(
+      stcomp::WalRecord::Append("bus-1", {1.0, 2.0, 3.0}));
+  wal_batch += stcomp::EncodeWalFrame(
+      stcomp::WalRecord::Append("bus-1", {2.0, 4.0, 5.0}));
+  wal_batch +=
+      stcomp::EncodeWalFrame(stcomp::WalRecord::Insert("bus-2", raw));
+  wal_batch +=
+      stcomp::EncodeWalFrame(stcomp::WalRecord::Remove("bus-2"));
+  wal_batch += stcomp::EncodeWalFrame(stcomp::WalRecord::Commit());
+  WriteFile(corpus_dir / "wal" / "committed_batch", wal_batch);
+  const std::string uncommitted = stcomp::EncodeWalFrame(
+      stcomp::WalRecord::Append("bus-3", {9.0, -1.0, -2.0}));
+  WriteFile(corpus_dir / "wal" / "uncommitted_tail", wal_batch + uncommitted);
+  WriteFile(corpus_dir / "wal" / "torn_tail",
+            wal_batch + uncommitted.substr(0, uncommitted.size() / 2));
   return 0;
 }
