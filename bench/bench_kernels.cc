@@ -1,0 +1,267 @@
+// Scalar-vs-vector kernel microbenchmark plus a whole-algorithm macro
+// check (DESIGN.md §14). Each batched kernel runs over the same arrays
+// under the scalar reference and under the dispatched vector backend
+// (min-of-repetitions wall time), with the outputs compared bitwise — the
+// bench doubles as a large-n differential check. The macro section pins
+// each backend process-wide and reruns registry algorithms on the paper
+// dataset, asserting identical kept lists.
+//
+//   ./bench_kernels [--points=200000] [--repetitions=5]
+//                   [--json-out=BENCH_kernels.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "stcomp/algo/registry.h"
+#include "stcomp/common/check.h"
+#include "stcomp/common/flags.h"
+#include "stcomp/geom/kernels.h"
+#include "stcomp/obs/exposition.h"
+#include "stcomp/sim/paper_dataset.h"
+#include "stcomp/sim/random.h"
+
+namespace {
+
+using stcomp::Trajectory;
+using stcomp::kernels::Backend;
+using stcomp::kernels::KernelDispatch;
+using stcomp::kernels::KernelOps;
+using stcomp::kernels::LineSegment;
+using stcomp::kernels::SedSegment;
+
+double Seconds(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool BitEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+struct KernelTiming {
+  std::string name;
+  double scalar_seconds = 0.0;
+  double vector_seconds = 0.0;
+  double Speedup() const { return scalar_seconds / vector_seconds; }
+};
+
+// Times `fn` (one full pass over the arrays) as the minimum of
+// `repetitions` runs.
+template <typename Fn>
+double TimeMin(int repetitions, Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, Seconds(start));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int points = 200000;
+  int repetitions = 5;
+  std::string json_out = "BENCH_kernels.json";
+  stcomp::FlagParser flags("scalar vs vector kernel benchmark");
+  flags.AddInt("points", &points, "array length per kernel call");
+  flags.AddInt("repetitions", &repetitions, "timed repetitions (min wins)");
+  flags.AddString("json-out", &json_out,
+                  "machine-readable result path (empty disables)");
+  if (const stcomp::Status status = flags.Parse(argc, argv); !status.ok()) {
+    return status.code() == stcomp::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  STCOMP_CHECK(points > 1 && repetitions > 0);
+  const size_t n = static_cast<size_t>(points);
+
+  const KernelOps& scalar = stcomp::kernels::ScalarKernels();
+  const Backend best = stcomp::kernels::DetectBestBackend();
+  const KernelOps& vec = *stcomp::kernels::KernelsFor(best);
+  std::printf("kernels: %zu points, scalar vs %s (detected best backend)\n",
+              n, vec.name);
+
+  stcomp::Rng rng(2024);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  std::vector<double> t(n);
+  double clock = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.NextUniform(-5000.0, 5000.0);
+    y[i] = rng.NextUniform(-5000.0, 5000.0);
+    clock += rng.NextUniform(0.1, 2.0);
+    t[i] = clock;
+  }
+  const SedSegment sed_seg{x[0], y[0], t[0], x[n - 1], y[n - 1], t[n - 1]};
+  const LineSegment line_seg{x[0], y[0], x[n - 1], y[n - 1]};
+  std::vector<double> out_scalar(n);
+  std::vector<double> out_vector(n);
+
+  std::vector<KernelTiming> timings;
+  const auto add = [&](std::string name, auto scalar_fn, auto vector_fn) {
+    KernelTiming timing;
+    timing.name = std::move(name);
+    scalar_fn();  // Warm-up + reference output.
+    out_scalar.swap(out_vector);
+    vector_fn();
+    STCOMP_CHECK(BitEqual(out_scalar, out_vector));  // Differential gate.
+    timing.scalar_seconds = TimeMin(repetitions, scalar_fn);
+    timing.vector_seconds = TimeMin(repetitions, vector_fn);
+    timings.push_back(std::move(timing));
+  };
+
+  add(
+      "sed_distances",
+      [&] { scalar.sed_distances(x.data(), y.data(), t.data(), n, sed_seg,
+                                 out_vector.data()); },
+      [&] { vec.sed_distances(x.data(), y.data(), t.data(), n, sed_seg,
+                              out_vector.data()); });
+  add(
+      "sed_max",
+      [&] {
+        const auto r = scalar.sed_max(x.data(), y.data(), t.data(), n,
+                                      sed_seg);
+        out_vector[0] = r.value;
+        out_vector[1] = static_cast<double>(r.index);
+      },
+      [&] {
+        const auto r = vec.sed_max(x.data(), y.data(), t.data(), n, sed_seg);
+        out_vector[0] = r.value;
+        out_vector[1] = static_cast<double>(r.index);
+      });
+  add(
+      "sed_first_above",
+      [&] {
+        // Unreachable threshold: the scan covers the full array.
+        out_vector[0] = static_cast<double>(scalar.sed_first_above(
+            x.data(), y.data(), t.data(), n, sed_seg, 1e300));
+      },
+      [&] {
+        out_vector[0] = static_cast<double>(vec.sed_first_above(
+            x.data(), y.data(), t.data(), n, sed_seg, 1e300));
+      });
+  add(
+      "perp_distances",
+      [&] { scalar.perp_distances(x.data(), y.data(), n, line_seg,
+                                  out_vector.data()); },
+      [&] { vec.perp_distances(x.data(), y.data(), n, line_seg,
+                               out_vector.data()); });
+  add(
+      "radial_distances",
+      [&] { scalar.radial_distances(x.data(), y.data(), n, x[0], y[0],
+                                    out_vector.data()); },
+      [&] { vec.radial_distances(x.data(), y.data(), n, x[0], y[0],
+                                 out_vector.data()); });
+
+  std::printf("  %-18s %12s %12s %9s\n", "kernel", "scalar", vec.name,
+              "speedup");
+  for (const KernelTiming& timing : timings) {
+    std::printf("  %-18s %9.3f ms %9.3f ms %8.2fx\n", timing.name.c_str(),
+                1e3 * timing.scalar_seconds, 1e3 * timing.vector_seconds,
+                timing.Speedup());
+  }
+
+  // Macro: registry algorithms on the paper dataset under each pinned
+  // backend; kept lists must be identical.
+  stcomp::PaperDatasetConfig config;
+  const std::vector<Trajectory> dataset = stcomp::GeneratePaperDataset(config);
+  stcomp::algo::AlgorithmParams params;
+  params.epsilon_m = 30.0;
+  params.speed_threshold_mps = 10.0;
+  struct MacroTiming {
+    std::string name;
+    double scalar_seconds = 0.0;
+    double vector_seconds = 0.0;
+  };
+  std::vector<MacroTiming> macros;
+  for (const char* name : {"opw-tr", "td-tr", "opw-sp", "td-sp", "radial"}) {
+    const stcomp::algo::AlgorithmInfo& info =
+        *stcomp::algo::FindAlgorithm(name).value();
+    stcomp::algo::Workspace workspace;
+    stcomp::algo::IndexList kept;
+    std::vector<stcomp::algo::IndexList> reference;
+    MacroTiming macro;
+    macro.name = name;
+    for (const bool use_vector : {false, true}) {
+      const Backend previous = KernelDispatch::SetForTest(
+          use_vector ? best : Backend::kScalar);
+      for (const Trajectory& trajectory : dataset) {  // Warm-up + equality.
+        info.run_view(trajectory, params, workspace, kept);
+        if (!use_vector) {
+          reference.push_back(kept);
+        } else {
+          STCOMP_CHECK(kept == reference[&trajectory - dataset.data()]);
+        }
+      }
+      const double seconds = TimeMin(repetitions, [&] {
+        for (const Trajectory& trajectory : dataset) {
+          info.run_view(trajectory, params, workspace, kept);
+        }
+      });
+      (use_vector ? macro.vector_seconds : macro.scalar_seconds) = seconds;
+      KernelDispatch::SetForTest(previous);
+    }
+    macros.push_back(std::move(macro));
+  }
+  std::printf("  macro (paper dataset, kept lists identical):\n");
+  for (const MacroTiming& macro : macros) {
+    std::printf("  %-18s %9.3f ms %9.3f ms %8.2fx\n", macro.name.c_str(),
+                1e3 * macro.scalar_seconds, 1e3 * macro.vector_seconds,
+                macro.scalar_seconds / macro.vector_seconds);
+  }
+
+  if (!json_out.empty()) {
+    std::string entries;
+    char line[256];
+    for (const KernelTiming& timing : timings) {
+      std::snprintf(line, sizeof(line),
+                    "    {\"kernel\": \"%s\", \"scalar_seconds\": %.9f, "
+                    "\"vector_seconds\": %.9f, \"speedup\": %.3f},\n",
+                    timing.name.c_str(), timing.scalar_seconds,
+                    timing.vector_seconds, timing.Speedup());
+      entries += line;
+    }
+    for (const MacroTiming& macro : macros) {
+      std::snprintf(line, sizeof(line),
+                    "    {\"algorithm\": \"%s\", \"scalar_seconds\": %.9f, "
+                    "\"vector_seconds\": %.9f, \"speedup\": %.3f},\n",
+                    macro.name.c_str(), macro.scalar_seconds,
+                    macro.vector_seconds,
+                    macro.scalar_seconds / macro.vector_seconds);
+      entries += line;
+    }
+    if (!entries.empty()) {
+      entries.erase(entries.size() - 2, 1);  // Trailing comma.
+    }
+    char header[256];
+    std::snprintf(header, sizeof(header),
+                  "  \"points\": %zu,\n  \"repetitions\": %d,\n"
+                  "  \"scalar_backend\": \"%s\",\n"
+                  "  \"vector_backend\": \"%s\",\n",
+                  n, repetitions, scalar.name, vec.name);
+    const std::string json =
+        "{\n  \"bench\": \"bench_kernels\",\n  \"schema_version\": 1,\n" +
+        std::string(header) + "  \"kernels\": [\n" + entries + "  ],\n" +
+        "  \"metrics\": " +
+        stcomp::obs::RenderJson(
+            stcomp::obs::MetricsRegistry::Global().Snapshot()) +
+        "}\n";
+    std::ofstream file(json_out);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_out.c_str());
+      return 1;
+    }
+    file << json;
+    std::printf("result written to %s\n", json_out.c_str());
+  }
+  return 0;
+}

@@ -18,13 +18,20 @@
 # it is skipped gracefully when clang is not installed, since only clang
 # ships -fsanitize=fuzzer.
 #
+# Pass 2 reruns the tier-1 test suite with STCOMP_FORCE_SCALAR_KERNELS=1:
+# kernel backend selection is a runtime switch (DESIGN.md §14), so the
+# same binaries prove every algorithm green under the scalar reference
+# kernels as well as under the auto-dispatched SIMD ones, and the
+# bench_kernels run doubles as a large-n scalar-vs-vector differential
+# check whose JSON snapshot the validator then parses.
+#
 # Usage: scripts/check.sh            # all passes
 #        JOBS=4 scripts/check.sh     # cap parallelism
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== Pass 1/4: tier-1 (plain RelWithDebInfo) =="
+echo "== Pass 1/5: tier-1 (plain RelWithDebInfo) =="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
@@ -35,17 +42,26 @@ STCOMP_CRASH_MATRIX_SEEDS=7,991 \
     ./build/tests/crash_matrix_test \
     --gtest_filter='CrashMatrixTest.EveryBoundaryEveryFateRecoversToACommitPoint'
 
-echo "== Pass 2/4: STCOMP_SANITIZE=address;undefined =="
+echo "== Pass 2/5: scalar-forced kernels (runtime dispatch leg) =="
+STCOMP_FORCE_SCALAR_KERNELS=1 \
+    ctest --test-dir build --output-on-failure -j "$JOBS"
+# Scalar-vs-vector kernel bench: asserts bitwise-identical outputs at
+# large n, records the SIMD speedups, and feeds the snapshot validator.
+./build/bench/bench_kernels --points=100000 --repetitions=3 \
+    --json-out=BENCH_kernels.json
+python3 scripts/validate_bench.py BENCH_*.json
+
+echo "== Pass 3/5: STCOMP_SANITIZE=address;undefined =="
 cmake -B build-asan -S . -DSTCOMP_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== Pass 3/4: STCOMP_DISABLE_METRICS=ON =="
+echo "== Pass 4/5: STCOMP_DISABLE_METRICS=ON =="
 cmake -B build-nometrics -S . -DSTCOMP_DISABLE_METRICS=ON
 cmake --build build-nometrics -j "$JOBS"
 ctest --test-dir build-nometrics --output-on-failure -j "$JOBS"
 
-echo "== Pass 4/4: STCOMP_SANITIZE=thread =="
+echo "== Pass 5/5: STCOMP_SANITIZE=thread =="
 cmake -B build-tsan -S . -DSTCOMP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS"

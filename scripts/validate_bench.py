@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Validates emitted BENCH_*.json snapshots.
+
+Every bench binary that takes --json-out (and bench_throughput's
+--metrics_json) writes a self-describing result file; this script is the
+schema gate check.sh and CI run over whatever snapshots exist, so a bench
+that silently emits malformed or incomplete JSON fails the build instead
+of poisoning downstream dashboards.
+
+Usage: validate_bench.py BENCH_a.json [BENCH_b.json ...]
+Missing operands are an error; shells expand the BENCH_*.json glob only
+when at least one snapshot exists.
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"validate_bench: {path}: {message}", file=sys.stderr)
+    return 1
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(path, f"unreadable or invalid JSON: {err}")
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        return fail(path, "missing or empty 'bench' name")
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        return fail(path, "missing or non-positive integer 'schema_version'")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return fail(path, "missing 'metrics' object")
+    # Bench-specific shape checks.
+    if bench == "bench_kernels":
+        kernels = doc.get("kernels")
+        if not isinstance(kernels, list) or not kernels:
+            return fail(path, "bench_kernels: missing 'kernels' entries")
+        for entry in kernels:
+            if not isinstance(entry, dict):
+                return fail(path, "bench_kernels: non-object kernel entry")
+            label = entry.get("kernel", entry.get("algorithm"))
+            if not isinstance(label, str) or not label:
+                return fail(path, "bench_kernels: entry without a label")
+            for key in ("scalar_seconds", "vector_seconds", "speedup"):
+                value = entry.get(key)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    return fail(
+                        path, f"bench_kernels: {label}: bad '{key}': {value!r}"
+                    )
+        for key in ("scalar_backend", "vector_backend"):
+            if not isinstance(doc.get(key), str) or not doc[key]:
+                return fail(path, f"bench_kernels: missing '{key}'")
+    print(f"validate_bench: {path}: ok ({bench}, schema v{version})")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: validate_bench.py BENCH_a.json [...]", file=sys.stderr)
+        return 2
+    return max(validate(path) for path in argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

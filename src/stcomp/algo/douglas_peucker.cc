@@ -1,9 +1,12 @@
 #include "stcomp/algo/douglas_peucker.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <utility>
 
 #include "stcomp/common/check.h"
+#include "stcomp/core/trajectory_view_soa.h"
+#include "stcomp/geom/kernels.h"
 
 namespace stcomp::algo {
 
@@ -26,6 +29,33 @@ std::pair<int, double> FarthestInteriorPoint(TrajectoryView trajectory,
   }
   return {best_index, best_distance};
 }
+
+// The same query via one batched kernel argmax over the SoA repack. The
+// kernel scan (strict >, earliest index, -1.0 initial best) replicates
+// FarthestInteriorPoint exactly, so both forms return identical pairs.
+struct KernelFarthest {
+  const double* x;
+  const double* y;
+  const double* t;
+  const kernels::KernelOps* ops;
+  SplitCriterion criterion;
+
+  std::pair<int, double> operator()(int first, int last) const {
+    const size_t base = static_cast<size_t>(first) + 1;
+    const size_t count = static_cast<size_t>(last - first - 1);
+    const size_t a = static_cast<size_t>(first);
+    const size_t b = static_cast<size_t>(last);
+    kernels::MaxResult r;
+    if (criterion == SplitCriterion::kSynchronized) {
+      const kernels::SedSegment seg{x[a], y[a], t[a], x[b], y[b], t[b]};
+      r = ops->sed_max(x + base, y + base, t + base, count, seg);
+    } else {
+      const kernels::LineSegment seg{x[a], y[a], x[b], y[b]};
+      r = ops->perp_max(x + base, y + base, count, seg);
+    }
+    return {first + 1 + static_cast<int>(r.index), r.value};
+  }
+};
 
 // Max-heap order for the best-first ranges; ties break to the earlier
 // range for deterministic output (same order std::priority_queue<Range>
@@ -50,24 +80,15 @@ void CollectKept(const std::vector<char>& keep, int kept_count,
   }
 }
 
-}  // namespace
-
-double PerpendicularSplitDistance(TrajectoryView trajectory, int first,
-                                  int last, int i) {
-  return PointToLineDistance(trajectory[static_cast<size_t>(i)].position,
-                             trajectory[static_cast<size_t>(first)].position,
-                             trajectory[static_cast<size_t>(last)].position);
-}
-
-void TopDown(TrajectoryView trajectory, double epsilon,
-             const SplitDistanceFn& distance, Workspace& workspace,
-             IndexList& out) {
-  STCOMP_CHECK(epsilon >= 0.0);
+// The top-down skeleton, parameterised over the farthest-interior query
+// ((first, last) -> (split index, max distance)) so the generic
+// SplitDistanceFn path and the kernelised criterion path share one
+// control flow.
+template <typename FarthestFn>
+void TopDownImpl(TrajectoryView trajectory, double epsilon,
+                 const FarthestFn& farthest, Workspace& workspace,
+                 IndexList& out) {
   const int n = static_cast<int>(trajectory.size());
-  if (n <= 2) {
-    KeepAll(trajectory, out);
-    return;
-  }
   std::vector<char>& keep = workspace.keep;
   keep.assign(static_cast<size_t>(n), 0);
   keep[0] = 1;
@@ -85,8 +106,7 @@ void TopDown(TrajectoryView trajectory, double epsilon,
     if (last - first < 2) {
       continue;
     }
-    const auto [split, max_distance] =
-        FarthestInteriorPoint(trajectory, first, last, distance);
+    const auto [split, max_distance] = farthest(first, last);
     if (max_distance > epsilon) {
       keep[static_cast<size_t>(split)] = 1;
       ++kept_count;
@@ -100,39 +120,16 @@ void TopDown(TrajectoryView trajectory, double epsilon,
   CollectKept(keep, kept_count, out);
 }
 
-IndexList TopDown(TrajectoryView trajectory, double epsilon,
-                  const SplitDistanceFn& distance) {
-  Workspace workspace;
-  IndexList kept;
-  TopDown(trajectory, epsilon, distance, workspace, kept);
-  return kept;
-}
-
-void DouglasPeucker(TrajectoryView trajectory, double epsilon_m,
-                    Workspace& workspace, IndexList& out) {
-  TopDown(trajectory, epsilon_m, PerpendicularSplitDistance, workspace, out);
-}
-
-IndexList DouglasPeucker(TrajectoryView trajectory, double epsilon_m) {
-  return TopDown(trajectory, epsilon_m, PerpendicularSplitDistance);
-}
-
-void TopDownMaxPoints(TrajectoryView trajectory, int max_points,
-                      const SplitDistanceFn& distance, Workspace& workspace,
-                      IndexList& out) {
-  STCOMP_CHECK(max_points >= 2);
+template <typename FarthestFn>
+void TopDownMaxPointsImpl(TrajectoryView trajectory, int max_points,
+                          const FarthestFn& farthest, Workspace& workspace,
+                          IndexList& out) {
   const int n = static_cast<int>(trajectory.size());
-  if (n <= 2 || n <= max_points) {
-    KeepAll(trajectory, out);
-    return;
-  }
-
   // Best-first refinement: repeatedly split the pending range with the
   // globally largest deviation until the point budget is exhausted. The
   // workspace-owned binary heap replicates std::priority_queue<Range>.
-  auto make_range = [&trajectory, &distance](int first, int last) {
-    const auto [split, max_distance] =
-        FarthestInteriorPoint(trajectory, first, last, distance);
+  auto make_range = [&farthest](int first, int last) {
+    const auto [split, max_distance] = farthest(first, last);
     return detail::RangeEntry{max_distance, first, last, split};
   };
 
@@ -163,6 +160,84 @@ void TopDownMaxPoints(TrajectoryView trajectory, int max_points,
   CollectKept(keep, kept_count, out);
 }
 
+KernelFarthest MakeKernelFarthest(const TrajectoryViewSoA& soa,
+                                  SplitCriterion criterion) {
+  return KernelFarthest{soa.x(), soa.y(), soa.t(),
+                        &kernels::KernelDispatch::Get(), criterion};
+}
+
+}  // namespace
+
+double PerpendicularSplitDistance(TrajectoryView trajectory, int first,
+                                  int last, int i) {
+  return PointToLineDistance(trajectory[static_cast<size_t>(i)].position,
+                             trajectory[static_cast<size_t>(first)].position,
+                             trajectory[static_cast<size_t>(last)].position);
+}
+
+void TopDown(TrajectoryView trajectory, double epsilon,
+             const SplitDistanceFn& distance, Workspace& workspace,
+             IndexList& out) {
+  STCOMP_CHECK(epsilon >= 0.0);
+  if (trajectory.size() <= 2) {
+    KeepAll(trajectory, out);
+    return;
+  }
+  const auto farthest = [&trajectory, &distance](int first, int last) {
+    return FarthestInteriorPoint(trajectory, first, last, distance);
+  };
+  TopDownImpl(trajectory, epsilon, farthest, workspace, out);
+}
+
+IndexList TopDown(TrajectoryView trajectory, double epsilon,
+                  const SplitDistanceFn& distance) {
+  Workspace workspace;
+  IndexList kept;
+  TopDown(trajectory, epsilon, distance, workspace, kept);
+  return kept;
+}
+
+void TopDown(TrajectoryView trajectory, double epsilon,
+             SplitCriterion criterion, Workspace& workspace, IndexList& out) {
+  STCOMP_CHECK(epsilon >= 0.0);
+  if (trajectory.size() <= 2) {
+    KeepAll(trajectory, out);
+    return;
+  }
+  const TrajectoryViewSoA soa =
+      TrajectoryViewSoA::Repack(trajectory, workspace.soa);
+  TopDownImpl(trajectory, epsilon, MakeKernelFarthest(soa, criterion),
+              workspace, out);
+}
+
+void DouglasPeucker(TrajectoryView trajectory, double epsilon_m,
+                    Workspace& workspace, IndexList& out) {
+  TopDown(trajectory, epsilon_m, SplitCriterion::kPerpendicular, workspace,
+          out);
+}
+
+IndexList DouglasPeucker(TrajectoryView trajectory, double epsilon_m) {
+  Workspace workspace;
+  IndexList kept;
+  DouglasPeucker(trajectory, epsilon_m, workspace, kept);
+  return kept;
+}
+
+void TopDownMaxPoints(TrajectoryView trajectory, int max_points,
+                      const SplitDistanceFn& distance, Workspace& workspace,
+                      IndexList& out) {
+  STCOMP_CHECK(max_points >= 2);
+  const int n = static_cast<int>(trajectory.size());
+  if (n <= 2 || n <= max_points) {
+    KeepAll(trajectory, out);
+    return;
+  }
+  const auto farthest = [&trajectory, &distance](int first, int last) {
+    return FarthestInteriorPoint(trajectory, first, last, distance);
+  };
+  TopDownMaxPointsImpl(trajectory, max_points, farthest, workspace, out);
+}
+
 IndexList TopDownMaxPoints(TrajectoryView trajectory, int max_points,
                            const SplitDistanceFn& distance) {
   Workspace workspace;
@@ -171,14 +246,32 @@ IndexList TopDownMaxPoints(TrajectoryView trajectory, int max_points,
   return kept;
 }
 
+void TopDownMaxPoints(TrajectoryView trajectory, int max_points,
+                      SplitCriterion criterion, Workspace& workspace,
+                      IndexList& out) {
+  STCOMP_CHECK(max_points >= 2);
+  const int n = static_cast<int>(trajectory.size());
+  if (n <= 2 || n <= max_points) {
+    KeepAll(trajectory, out);
+    return;
+  }
+  const TrajectoryViewSoA soa =
+      TrajectoryViewSoA::Repack(trajectory, workspace.soa);
+  TopDownMaxPointsImpl(trajectory, max_points, MakeKernelFarthest(soa, criterion),
+                       workspace, out);
+}
+
 void DouglasPeuckerMaxPoints(TrajectoryView trajectory, int max_points,
                              Workspace& workspace, IndexList& out) {
-  TopDownMaxPoints(trajectory, max_points, PerpendicularSplitDistance,
+  TopDownMaxPoints(trajectory, max_points, SplitCriterion::kPerpendicular,
                    workspace, out);
 }
 
 IndexList DouglasPeuckerMaxPoints(TrajectoryView trajectory, int max_points) {
-  return TopDownMaxPoints(trajectory, max_points, PerpendicularSplitDistance);
+  Workspace workspace;
+  IndexList kept;
+  DouglasPeuckerMaxPoints(trajectory, max_points, workspace, kept);
+  return kept;
 }
 
 }  // namespace stcomp::algo

@@ -23,6 +23,15 @@ using SplitDistanceFn =
 double PerpendicularSplitDistance(TrajectoryView trajectory, int first,
                                   int last, int i);
 
+// The built-in split criteria as an enum: these take the kernel-dispatched
+// whole-range path (geom/kernels.h) — one batched argmax per range over
+// the workspace's SoA repack — and produce bit-identical output to the
+// per-point SplitDistanceFn forms.
+enum class SplitCriterion {
+  kPerpendicular,  // NDP (classic Douglas-Peucker)
+  kSynchronized,   // TD-TR
+};
+
 // Generic top-down recursion: splits (iteratively, with an explicit stack)
 // at the interior point of maximum `distance` whenever that maximum exceeds
 // `epsilon`; ties break to the lowest index. Keeps both endpoints.
@@ -32,6 +41,11 @@ void TopDown(TrajectoryView trajectory, double epsilon,
              IndexList& out);
 IndexList TopDown(TrajectoryView trajectory, double epsilon,
                   const SplitDistanceFn& distance);
+
+// Kernel-dispatched fast path for the built-in criteria. Allocation-free
+// on a warmed workspace.
+void TopDown(TrajectoryView trajectory, double epsilon,
+             SplitCriterion criterion, Workspace& workspace, IndexList& out);
 
 // Classic Douglas-Peucker with perpendicular-distance threshold `epsilon_m`
 // ("NDP" in the paper's experiments).
@@ -48,6 +62,11 @@ void TopDownMaxPoints(TrajectoryView trajectory, int max_points,
                       IndexList& out);
 IndexList TopDownMaxPoints(TrajectoryView trajectory, int max_points,
                            const SplitDistanceFn& distance);
+
+// Kernel-dispatched fast path for the built-in criteria.
+void TopDownMaxPoints(TrajectoryView trajectory, int max_points,
+                      SplitCriterion criterion, Workspace& workspace,
+                      IndexList& out);
 
 // The classic perpendicular-distance instance of TopDownMaxPoints.
 void DouglasPeuckerMaxPoints(TrajectoryView trajectory, int max_points,

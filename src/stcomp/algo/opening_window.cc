@@ -1,7 +1,11 @@
 #include "stcomp/algo/opening_window.h"
 
+#include <cstddef>
+
 #include "stcomp/common/check.h"
 #include "stcomp/core/interpolation.h"
+#include "stcomp/core/trajectory_view_soa.h"
+#include "stcomp/geom/kernels.h"
 
 namespace stcomp::algo {
 
@@ -69,9 +73,71 @@ IndexList OpeningWindow(TrajectoryView trajectory, double epsilon,
   return kept;
 }
 
-void Nopw(TrajectoryView trajectory, double epsilon_m, IndexList& out) {
+void OpeningWindow(TrajectoryView trajectory, double epsilon,
+                   BreakPolicy policy, WindowCriterion criterion,
+                   Workspace& workspace, IndexList& out) {
+  STCOMP_CHECK(epsilon >= 0.0);
+  const int n = static_cast<int>(trajectory.size());
+  if (n <= 2) {
+    KeepAll(trajectory, out);
+    return;
+  }
+  // Kernelised form of the generic loop above: the whole interior of the
+  // current window is scanned by one batched first-violation call per
+  // float advance. Same O(N^2) scan structure (every interior point must
+  // be re-examined whenever the float moves), but each scan runs at
+  // vector width. The per-point formulas in geom/kernels.h are the ones
+  // PerpendicularWindowDistance / SynchronizedWindowDistance route
+  // through, so the kept set is bit-identical to the generic path.
+  const TrajectoryViewSoA soa =
+      TrajectoryViewSoA::Repack(trajectory, workspace.soa);
+  const kernels::KernelOps& ops = kernels::KernelDispatch::Get();
+  const double* x = soa.x();
+  const double* y = soa.y();
+  const double* t = soa.t();
+  out.clear();
+  out.push_back(0);
+  int anchor = 0;
+  int float_index = anchor + 2;
+  while (float_index < n) {
+    const size_t base = static_cast<size_t>(anchor) + 1;
+    const size_t count = static_cast<size_t>(float_index - anchor - 1);
+    const size_t f = static_cast<size_t>(float_index);
+    const size_t a = static_cast<size_t>(anchor);
+    std::ptrdiff_t hit;
+    if (criterion == WindowCriterion::kSynchronized) {
+      const kernels::SedSegment seg{x[a], y[a], t[a], x[f], y[f], t[f]};
+      hit = ops.sed_first_above(x + base, y + base, t + base, count, seg,
+                                epsilon);
+    } else {
+      const kernels::LineSegment seg{x[a], y[a], x[f], y[f]};
+      hit = ops.perp_first_above(x + base, y + base, count, seg, epsilon);
+    }
+    if (hit < 0) {
+      ++float_index;
+      continue;
+    }
+    const int violation = anchor + 1 + static_cast<int>(hit);
+    const int cut =
+        policy == BreakPolicy::kNormal ? violation : float_index - 1;
+    out.push_back(cut);
+    anchor = cut;
+    float_index = anchor + 2;
+  }
+  if (out.back() != n - 1) {
+    out.push_back(n - 1);
+  }
+}
+
+void Nopw(TrajectoryView trajectory, double epsilon_m, Workspace& workspace,
+          IndexList& out) {
   OpeningWindow(trajectory, epsilon_m, BreakPolicy::kNormal,
-                PerpendicularWindowDistance, out);
+                WindowCriterion::kPerpendicular, workspace, out);
+}
+
+void Nopw(TrajectoryView trajectory, double epsilon_m, IndexList& out) {
+  Workspace workspace;
+  Nopw(trajectory, epsilon_m, workspace, out);
 }
 
 IndexList Nopw(TrajectoryView trajectory, double epsilon_m) {
@@ -80,9 +146,15 @@ IndexList Nopw(TrajectoryView trajectory, double epsilon_m) {
   return kept;
 }
 
-void Bopw(TrajectoryView trajectory, double epsilon_m, IndexList& out) {
+void Bopw(TrajectoryView trajectory, double epsilon_m, Workspace& workspace,
+          IndexList& out) {
   OpeningWindow(trajectory, epsilon_m, BreakPolicy::kBefore,
-                PerpendicularWindowDistance, out);
+                WindowCriterion::kPerpendicular, workspace, out);
+}
+
+void Bopw(TrajectoryView trajectory, double epsilon_m, IndexList& out) {
+  Workspace workspace;
+  Bopw(trajectory, epsilon_m, workspace, out);
 }
 
 IndexList Bopw(TrajectoryView trajectory, double epsilon_m) {

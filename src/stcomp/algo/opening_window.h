@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "stcomp/algo/compression.h"
+#include "stcomp/algo/workspace.h"
 
 namespace stcomp::algo {
 
@@ -38,6 +39,15 @@ double PerpendicularWindowDistance(TrajectoryView trajectory, int anchor,
 double SynchronizedWindowDistance(TrajectoryView trajectory, int anchor,
                                   int float_index, int i);
 
+// The two batch criteria as an enum: these take the kernel-dispatched
+// whole-window path (geom/kernels.h) — one batched first-violation scan
+// per float advance over the workspace's SoA repack — and produce
+// bit-identical output to the per-point WindowDistanceFn forms below.
+enum class WindowCriterion {
+  kPerpendicular,  // NOPW / BOPW
+  kSynchronized,   // OPW-TR
+};
+
 // Generic opening window. A window is violated when any interior distance
 // exceeds `epsilon` (strictly). The final point is always kept (the
 // countermeasure for the "may lose the last few data points" issue the
@@ -48,9 +58,20 @@ void OpeningWindow(TrajectoryView trajectory, double epsilon,
 IndexList OpeningWindow(TrajectoryView trajectory, double epsilon,
                         BreakPolicy policy, const WindowDistanceFn& distance);
 
-// Classic spatial variants (perpendicular distance).
+// Kernel-dispatched fast path for the built-in criteria. Allocation-free
+// on a warmed workspace.
+void OpeningWindow(TrajectoryView trajectory, double epsilon,
+                   BreakPolicy policy, WindowCriterion criterion,
+                   Workspace& workspace, IndexList& out);
+
+// Classic spatial variants (perpendicular distance). The Workspace
+// overloads are the hot path; the others allocate a throwaway workspace.
+void Nopw(TrajectoryView trajectory, double epsilon_m, Workspace& workspace,
+          IndexList& out);
 void Nopw(TrajectoryView trajectory, double epsilon_m, IndexList& out);
 IndexList Nopw(TrajectoryView trajectory, double epsilon_m);
+void Bopw(TrajectoryView trajectory, double epsilon_m, Workspace& workspace,
+          IndexList& out);
 void Bopw(TrajectoryView trajectory, double epsilon_m, IndexList& out);
 IndexList Bopw(TrajectoryView trajectory, double epsilon_m);
 

@@ -1,28 +1,52 @@
 #include "stcomp/algo/radial_distance.h"
 
+#include <cstddef>
+
 #include "stcomp/common/check.h"
+#include "stcomp/core/trajectory_view_soa.h"
+#include "stcomp/geom/kernels.h"
 
 namespace stcomp::algo {
 
 void RadialDistance(TrajectoryView trajectory, double epsilon_m,
-                    IndexList& out) {
+                    Workspace& workspace, IndexList& out) {
   STCOMP_CHECK(epsilon_m >= 0.0);
   const int n = static_cast<int>(trajectory.size());
   out.clear();
   if (n == 0) {
     return;
   }
+  // Batched scan: from each kept anchor, one kernel call finds the first
+  // point at least epsilon away (the keep rule is >=, not >); that point
+  // becomes the next anchor. Identical to the per-point scan, one call
+  // per kept point instead of one norm per input point.
+  const TrajectoryViewSoA soa =
+      TrajectoryViewSoA::Repack(trajectory, workspace.soa);
+  const kernels::KernelOps& ops = kernels::KernelDispatch::Get();
+  const double* x = soa.x();
+  const double* y = soa.y();
   out.push_back(0);
-  for (int i = 1; i < n - 1; ++i) {
-    const Vec2 last = trajectory[static_cast<size_t>(out.back())].position;
-    if (Distance(trajectory[static_cast<size_t>(i)].position, last) >=
-        epsilon_m) {
-      out.push_back(i);
+  int pos = 1;
+  while (pos < n - 1) {
+    const size_t anchor = static_cast<size_t>(out.back());
+    const std::ptrdiff_t hit = ops.radial_first_reaching(
+        x + pos, y + pos, static_cast<size_t>(n - 1 - pos), x[anchor],
+        y[anchor], epsilon_m);
+    if (hit < 0) {
+      break;
     }
+    out.push_back(pos + static_cast<int>(hit));
+    pos = out.back() + 1;
   }
   if (n > 1) {
     out.push_back(n - 1);
   }
+}
+
+void RadialDistance(TrajectoryView trajectory, double epsilon_m,
+                    IndexList& out) {
+  Workspace workspace;
+  RadialDistance(trajectory, epsilon_m, workspace, out);
 }
 
 IndexList RadialDistance(TrajectoryView trajectory, double epsilon_m) {

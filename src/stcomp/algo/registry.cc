@@ -140,8 +140,8 @@ std::vector<AlgorithmInfo> MakeRegistry() {
       [](TrajectoryView t, const AlgorithmParams& p, Workspace&,
          IndexList& out) { TemporalSampling(t, p.interval_s, out); });
   add("radial", "drop neighbours closer than epsilon", true, false,
-      [](TrajectoryView t, const AlgorithmParams& p, Workspace&,
-         IndexList& out) { RadialDistance(t, p.epsilon_m, out); });
+      [](TrajectoryView t, const AlgorithmParams& p, Workspace& ws,
+         IndexList& out) { RadialDistance(t, p.epsilon_m, ws, out); });
   add("perpendicular", "Jenks three-point perpendicular test", true, false,
       [](TrajectoryView t, const AlgorithmParams& p, Workspace&,
          IndexList& out) { PerpendicularDistance(t, p.epsilon_m, out); });
@@ -179,22 +179,22 @@ std::vector<AlgorithmInfo> MakeRegistry() {
         BottomUp(t, p.epsilon_m, BottomUpMetric::kPerpendicular, ws, out);
       });
   add("nopw", "opening window, break at violating point", true, false,
-      [](TrajectoryView t, const AlgorithmParams& p, Workspace&,
-         IndexList& out) { Nopw(t, p.epsilon_m, out); });
+      [](TrajectoryView t, const AlgorithmParams& p, Workspace& ws,
+         IndexList& out) { Nopw(t, p.epsilon_m, ws, out); });
   add("bopw", "opening window, break before the float", true, false,
-      [](TrajectoryView t, const AlgorithmParams& p, Workspace&,
-         IndexList& out) { Bopw(t, p.epsilon_m, out); });
+      [](TrajectoryView t, const AlgorithmParams& p, Workspace& ws,
+         IndexList& out) { Bopw(t, p.epsilon_m, ws, out); });
   add("td-tr", "top-down time-ratio (paper Sec. 3.2, batch)", false, true,
       [](TrajectoryView t, const AlgorithmParams& p, Workspace& ws,
          IndexList& out) { TdTr(t, p.epsilon_m, ws, out); });
   add("opw-tr", "opening-window time-ratio (paper Sec. 3.2)", true, true,
-      [](TrajectoryView t, const AlgorithmParams& p, Workspace&,
-         IndexList& out) { OpwTr(t, p.epsilon_m, out); });
+      [](TrajectoryView t, const AlgorithmParams& p, Workspace& ws,
+         IndexList& out) { OpwTr(t, p.epsilon_m, ws, out); });
   add("opw-sp", "opening-window spatiotemporal, SED + speed (paper SPT)",
       true, true,
-      [](TrajectoryView t, const AlgorithmParams& p, Workspace&,
+      [](TrajectoryView t, const AlgorithmParams& p, Workspace& ws,
          IndexList& out) {
-        OpwSp(t, p.epsilon_m, p.speed_threshold_mps, out);
+        OpwSp(t, p.epsilon_m, p.speed_threshold_mps, ws, out);
       });
   add("td-sp", "top-down spatiotemporal, SED + speed (batch)", false, true,
       [](TrajectoryView t, const AlgorithmParams& p, Workspace& ws,

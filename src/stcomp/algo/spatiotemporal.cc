@@ -1,13 +1,33 @@
 #include "stcomp/algo/spatiotemporal.h"
 
 #include <cmath>
+#include <cstddef>
 #include <utility>
 #include <vector>
 
 #include "stcomp/common/check.h"
 #include "stcomp/core/interpolation.h"
+#include "stcomp/core/trajectory_view_soa.h"
+#include "stcomp/geom/kernels.h"
 
 namespace stcomp::algo {
+
+namespace {
+
+// Fills workspace.speeds / workspace.jumps from the SoA repack: speeds[i]
+// is the derived speed of segment (i, i+1), jumps[i] == SpeedJump(i) for
+// interior i (0 at the endpoints, which the criteria never test). The SP
+// criteria then read O(1) per candidate instead of recomputing two norms.
+void PrecomputeSpeedJumps(const TrajectoryViewSoA& soa, Workspace& workspace) {
+  const size_t n = soa.size();
+  workspace.speeds.resize(n > 0 ? n - 1 : 0);
+  workspace.jumps.resize(n);
+  kernels::SegmentSpeeds(soa.x(), soa.y(), soa.t(), n,
+                         workspace.speeds.data());
+  kernels::SpeedJumps(workspace.speeds.data(), n, workspace.jumps.data());
+}
+
+}  // namespace
 
 double SpeedJump(TrajectoryView trajectory, int i) {
   STCOMP_CHECK(i > 0 && static_cast<size_t>(i) + 1 < trajectory.size());
@@ -17,7 +37,7 @@ double SpeedJump(TrajectoryView trajectory, int i) {
 }
 
 void OpwSp(TrajectoryView trajectory, double max_dist_error_m,
-           double max_speed_error_mps, IndexList& out) {
+           double max_speed_error_mps, Workspace& workspace, IndexList& out) {
   STCOMP_CHECK(max_dist_error_m >= 0.0);
   STCOMP_CHECK(max_speed_error_mps >= 0.0);
   const int n = static_cast<int>(trajectory.size());
@@ -27,27 +47,45 @@ void OpwSp(TrajectoryView trajectory, double max_dist_error_m,
   }
   // Iterative form of the paper's recursive SPT procedure: the recursion
   // SPT(s[i..]) after a violation at i is exactly "cut at i, re-anchor".
+  // The per-window scan is kernelised: the first SED violation and the
+  // first speed-jump violation are each found by one batched call, and the
+  // earlier of the two is the window's violation — identical to the
+  // point-at-a-time OR of the two criteria.
+  const TrajectoryViewSoA soa =
+      TrajectoryViewSoA::Repack(trajectory, workspace.soa);
+  PrecomputeSpeedJumps(soa, workspace);
+  const kernels::KernelOps& ops = kernels::KernelDispatch::Get();
+  const double* x = soa.x();
+  const double* y = soa.y();
+  const double* t = soa.t();
+  const double* jumps = workspace.jumps.data();
   out.clear();
   out.push_back(0);
   int anchor = 0;
   int float_index = anchor + 2;
   while (float_index < n) {
-    int violation = -1;
-    for (int i = anchor + 1; i < float_index; ++i) {
-      const double sed =
-          SynchronizedDistance(trajectory[static_cast<size_t>(anchor)],
-                               trajectory[static_cast<size_t>(float_index)],
-                               trajectory[static_cast<size_t>(i)]);
-      if (sed > max_dist_error_m ||
-          SpeedJump(trajectory, i) > max_speed_error_mps) {
-        violation = i;
-        break;
-      }
+    const size_t base = static_cast<size_t>(anchor) + 1;
+    const size_t count = static_cast<size_t>(float_index - anchor - 1);
+    const size_t a = static_cast<size_t>(anchor);
+    const size_t f = static_cast<size_t>(float_index);
+    const kernels::SedSegment seg{x[a], y[a], t[a], x[f], y[f], t[f]};
+    const std::ptrdiff_t sed_hit = ops.sed_first_above(
+        x + base, y + base, t + base, count, seg, max_dist_error_m);
+    // Only the window up to the SED violation matters for the jump scan:
+    // the earliest violation of either kind wins.
+    const size_t jump_count =
+        sed_hit < 0 ? count : static_cast<size_t>(sed_hit) + 1;
+    const std::ptrdiff_t jump_hit = ops.array_first_above(
+        jumps + base, jump_count, max_speed_error_mps);
+    std::ptrdiff_t hit = sed_hit;
+    if (jump_hit >= 0 && (hit < 0 || jump_hit < hit)) {
+      hit = jump_hit;
     }
-    if (violation < 0) {
+    if (hit < 0) {
       ++float_index;
       continue;
     }
+    const int violation = anchor + 1 + static_cast<int>(hit);
     out.push_back(violation);
     anchor = violation;
     float_index = anchor + 2;
@@ -55,6 +93,12 @@ void OpwSp(TrajectoryView trajectory, double max_dist_error_m,
   if (out.back() != n - 1) {
     out.push_back(n - 1);
   }
+}
+
+void OpwSp(TrajectoryView trajectory, double max_dist_error_m,
+           double max_speed_error_mps, IndexList& out) {
+  Workspace workspace;
+  OpwSp(trajectory, max_dist_error_m, max_speed_error_mps, workspace, out);
 }
 
 IndexList OpwSp(TrajectoryView trajectory, double max_dist_error_m,
@@ -73,6 +117,14 @@ void TdSp(TrajectoryView trajectory, double max_dist_error_m,
     KeepAll(trajectory, out);
     return;
   }
+  const TrajectoryViewSoA soa =
+      TrajectoryViewSoA::Repack(trajectory, workspace.soa);
+  PrecomputeSpeedJumps(soa, workspace);
+  const kernels::KernelOps& ops = kernels::KernelDispatch::Get();
+  const double* x = soa.x();
+  const double* y = soa.y();
+  const double* t = soa.t();
+  const double* jumps = workspace.jumps.data();
   std::vector<char>& keep = workspace.keep;
   keep.assign(static_cast<size_t>(n), 0);
   keep[0] = 1;
@@ -87,32 +139,25 @@ void TdSp(TrajectoryView trajectory, double max_dist_error_m,
     if (last - first < 2) {
       continue;
     }
-    int max_sed_index = first + 1;
-    double max_sed = -1.0;
-    int max_jump_index = -1;
-    double max_jump = -1.0;
-    for (int i = first + 1; i < last; ++i) {
-      const double sed =
-          SynchronizedDistance(trajectory[static_cast<size_t>(first)],
-                               trajectory[static_cast<size_t>(last)],
-                               trajectory[static_cast<size_t>(i)]);
-      if (sed > max_sed) {
-        max_sed = sed;
-        max_sed_index = i;
-      }
-      // The speed jump needs a predecessor and successor sample in the full
-      // trajectory; interior points of any range always have both.
-      const double jump = SpeedJump(trajectory, i);
-      if (jump > max_jump) {
-        max_jump = jump;
-        max_jump_index = i;
-      }
-    }
+    // One batched argmax per criterion over the interior of the range
+    // (both maxima were previously accumulated in a single scalar loop;
+    // the running maxima are independent, so two kernel scans produce the
+    // same two results). The speed jump needs a predecessor and successor
+    // sample in the full trajectory; interior points of any range always
+    // have both.
+    const size_t base = static_cast<size_t>(first) + 1;
+    const size_t count = static_cast<size_t>(last - first - 1);
+    const size_t a = static_cast<size_t>(first);
+    const size_t b = static_cast<size_t>(last);
+    const kernels::SedSegment seg{x[a], y[a], t[a], x[b], y[b], t[b]};
+    const kernels::MaxResult max_sed =
+        ops.sed_max(x + base, y + base, t + base, count, seg);
+    const kernels::MaxResult max_jump = ops.array_max(jumps + base, count);
     int split = -1;
-    if (max_sed > max_dist_error_m) {
-      split = max_sed_index;
-    } else if (max_jump > max_speed_error_mps) {
-      split = max_jump_index;
+    if (max_sed.value > max_dist_error_m) {
+      split = first + 1 + static_cast<int>(max_sed.index);
+    } else if (max_jump.value > max_speed_error_mps) {
+      split = first + 1 + static_cast<int>(max_jump.index);
     }
     if (split >= 0) {
       keep[static_cast<size_t>(split)] = 1;

@@ -22,6 +22,8 @@ double SpeedJump(TrajectoryView trajectory, int i);
 // SpeedJump(i) > max_speed_error_mps; the cut is at the violating point.
 // Preconditions (checked): both thresholds >= 0.
 void OpwSp(TrajectoryView trajectory, double max_dist_error_m,
+           double max_speed_error_mps, Workspace& workspace, IndexList& out);
+void OpwSp(TrajectoryView trajectory, double max_dist_error_m,
            double max_speed_error_mps, IndexList& out);
 IndexList OpwSp(TrajectoryView trajectory, double max_dist_error_m,
                 double max_speed_error_mps);

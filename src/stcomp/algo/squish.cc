@@ -4,6 +4,7 @@
 
 #include "stcomp/common/check.h"
 #include "stcomp/core/interpolation.h"
+#include "stcomp/geom/kernels.h"
 
 namespace stcomp::algo {
 
@@ -21,10 +22,17 @@ double SquishBuffer::SedPriority(const Node& node) const {
   if (node.prev < 0 || node.next < 0) {
     return kInfinity;  // Endpoints are never removed.
   }
+  // Inherently point-at-a-time (one neighbour pair per priority update),
+  // so this rides the kernel layer's per-point SED helper — the same
+  // formula the batched kernels use, keeping SQUISH priorities consistent
+  // with the window/range algorithms under either backend.
   const Node& before = nodes_[static_cast<size_t>(node.prev)];
   const Node& after = nodes_[static_cast<size_t>(node.next)];
   return node.carry +
-         SynchronizedDistance(before.point, after.point, node.point);
+         kernels::SedDistancePoint(
+             node.point.position.x, node.point.position.y, node.point.t,
+             {before.point.position.x, before.point.position.y, before.point.t,
+              after.point.position.x, after.point.position.y, after.point.t});
 }
 
 void SquishBuffer::Reprioritise(int node_id) {

@@ -15,26 +15,39 @@ double SynchronizedSplitDistance(TrajectoryView trajectory, int first,
 
 void TdTr(TrajectoryView trajectory, double epsilon_m, Workspace& workspace,
           IndexList& out) {
-  TopDown(trajectory, epsilon_m, SynchronizedSplitDistance, workspace, out);
+  TopDown(trajectory, epsilon_m, SplitCriterion::kSynchronized, workspace,
+          out);
 }
 
 IndexList TdTr(TrajectoryView trajectory, double epsilon_m) {
-  return TopDown(trajectory, epsilon_m, SynchronizedSplitDistance);
+  Workspace workspace;
+  IndexList kept;
+  TdTr(trajectory, epsilon_m, workspace, kept);
+  return kept;
 }
 
 void TdTrMaxPoints(TrajectoryView trajectory, int max_points,
                    Workspace& workspace, IndexList& out) {
-  TopDownMaxPoints(trajectory, max_points, SynchronizedSplitDistance,
+  TopDownMaxPoints(trajectory, max_points, SplitCriterion::kSynchronized,
                    workspace, out);
 }
 
 IndexList TdTrMaxPoints(TrajectoryView trajectory, int max_points) {
-  return TopDownMaxPoints(trajectory, max_points, SynchronizedSplitDistance);
+  Workspace workspace;
+  IndexList kept;
+  TdTrMaxPoints(trajectory, max_points, workspace, kept);
+  return kept;
+}
+
+void OpwTr(TrajectoryView trajectory, double epsilon_m, Workspace& workspace,
+           IndexList& out) {
+  OpeningWindow(trajectory, epsilon_m, BreakPolicy::kNormal,
+                WindowCriterion::kSynchronized, workspace, out);
 }
 
 void OpwTr(TrajectoryView trajectory, double epsilon_m, IndexList& out) {
-  OpeningWindow(trajectory, epsilon_m, BreakPolicy::kNormal,
-                SynchronizedWindowDistance, out);
+  Workspace workspace;
+  OpwTr(trajectory, epsilon_m, workspace, out);
 }
 
 IndexList OpwTr(TrajectoryView trajectory, double epsilon_m) {

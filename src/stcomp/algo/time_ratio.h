@@ -31,6 +31,8 @@ IndexList TdTrMaxPoints(TrajectoryView trajectory, int max_points);
 // the violating point) policy, matching the SPT pseudocode's recursion at
 // the violating index. Online-capable (see stream/). Precondition
 // (checked): epsilon_m >= 0.
+void OpwTr(TrajectoryView trajectory, double epsilon_m, Workspace& workspace,
+           IndexList& out);
 void OpwTr(TrajectoryView trajectory, double epsilon_m, IndexList& out);
 IndexList OpwTr(TrajectoryView trajectory, double epsilon_m);
 

@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "stcomp/core/trajectory_view_soa.h"
+
 namespace stcomp::algo {
 
 namespace detail {
@@ -81,6 +83,13 @@ struct Workspace {
 
   // General-purpose index scratch (e.g. SQUISH finalisation).
   std::vector<int> scratch_indices;
+
+  // SoA repack destination for the batched distance kernels (DESIGN.md
+  // §14) plus the SP family's precomputed per-segment speeds and
+  // per-point speed jumps.
+  SoAScratch soa;
+  std::vector<double> speeds;
+  std::vector<double> jumps;
 };
 
 }  // namespace stcomp::algo

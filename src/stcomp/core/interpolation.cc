@@ -1,6 +1,7 @@
 #include "stcomp/core/interpolation.h"
 
 #include "stcomp/common/check.h"
+#include "stcomp/geom/kernels.h"
 
 namespace stcomp {
 
@@ -24,7 +25,13 @@ Vec2 TimeRatioPosition(const TimedPoint& anchor, const TimedPoint& probe_end,
 double SynchronizedDistance(const TimedPoint& anchor,
                             const TimedPoint& probe_end,
                             const TimedPoint& point) {
-  return Distance(point.position, TimeRatioPosition(anchor, probe_end, point));
+  // Routed through the kernel layer's per-point helper (same lerp, same
+  // degenerate rule, sqrt-based norm) so this AoS path stays bit-identical
+  // to the batched SED kernels the window/range algorithms use.
+  return kernels::SedDistancePoint(
+      point.position.x, point.position.y, point.t,
+      {anchor.position.x, anchor.position.y, anchor.t, probe_end.position.x,
+       probe_end.position.y, probe_end.t});
 }
 
 }  // namespace stcomp

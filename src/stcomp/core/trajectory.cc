@@ -5,6 +5,7 @@
 #include "stcomp/common/check.h"
 #include "stcomp/common/strings.h"
 #include "stcomp/core/interpolation.h"
+#include "stcomp/geom/kernels.h"
 
 namespace stcomp {
 
@@ -126,7 +127,11 @@ double Trajectory::SegmentSpeed(size_t i) const {
   STCOMP_CHECK(i + 1 < points_.size());
   const double dt = points_[i + 1].t - points_[i].t;
   STCOMP_DCHECK(dt > 0.0);
-  return Distance(points_[i].position, points_[i + 1].position) / dt;
+  // Kernel norm (sqrt, not hypot), matching TrajectoryView::SegmentSpeed
+  // bit for bit.
+  return kernels::Norm2(points_[i + 1].position.x - points_[i].position.x,
+                        points_[i + 1].position.y - points_[i].position.y) /
+         dt;
 }
 
 std::vector<double> Trajectory::SegmentSpeeds() const {

@@ -5,6 +5,7 @@
 #include "stcomp/common/check.h"
 #include "stcomp/common/strings.h"
 #include "stcomp/core/interpolation.h"
+#include "stcomp/geom/kernels.h"
 
 namespace stcomp {
 
@@ -22,7 +23,11 @@ double TrajectoryView::SegmentSpeed(size_t i) const {
   STCOMP_CHECK(i + 1 < size_);
   const double dt = data_[i + 1].t - data_[i].t;
   STCOMP_DCHECK(dt > 0.0);
-  return Distance(data_[i].position, data_[i + 1].position) / dt;
+  // Kernel norm (sqrt, not hypot) so per-point speed jumps match the
+  // precomputed kernels::SegmentSpeeds arrays bit-for-bit.
+  return kernels::Norm2(data_[i + 1].position.x - data_[i].position.x,
+                        data_[i + 1].position.y - data_[i].position.y) /
+         dt;
 }
 
 Result<Vec2> TrajectoryView::PositionAt(double t) const {

@@ -1,0 +1,21 @@
+#include "stcomp/core/trajectory_view_soa.h"
+
+namespace stcomp {
+
+TrajectoryViewSoA TrajectoryViewSoA::Repack(TrajectoryView view,
+                                            SoAScratch& scratch) {
+  const size_t n = view.size();
+  scratch.x.resize(n);
+  scratch.y.resize(n);
+  scratch.t.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const TimedPoint& point = view[i];
+    scratch.x[i] = point.position.x;
+    scratch.y[i] = point.position.y;
+    scratch.t[i] = point.t;
+  }
+  return TrajectoryViewSoA(scratch.x.data(), scratch.y.data(),
+                           scratch.t.data(), n);
+}
+
+}  // namespace stcomp

@@ -1,0 +1,62 @@
+// Structure-of-arrays view of a trajectory (DESIGN.md §14): separate
+// contiguous x / y / t double arrays, the layout the geom/kernels.h
+// batched kernels consume. Built from an AoS TrajectoryView by repacking
+// into caller-owned scratch (workspace-owned in the algo layer), so a
+// warmed workspace makes the repack allocation-free: the scratch vectors
+// only grow, like every other Workspace buffer.
+
+#ifndef STCOMP_CORE_TRAJECTORY_VIEW_SOA_H_
+#define STCOMP_CORE_TRAJECTORY_VIEW_SOA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stcomp/core/trajectory_view.h"
+
+namespace stcomp {
+
+// The backing storage for a repack. Reusable across calls; capacity only
+// grows. Default-constructed scratch is valid (empty repack).
+struct SoAScratch {
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> t;
+};
+
+// Non-owning SoA view over a repacked trajectory. Like TrajectoryView it
+// never outlives its storage — here the SoAScratch it was repacked into.
+class TrajectoryViewSoA {
+ public:
+  TrajectoryViewSoA() = default;
+
+  // Copies `view` into `scratch` (resizing it, which never shrinks
+  // capacity) and returns a view over the repacked arrays. The repack is
+  // lossless: the doubles are copied bit-for-bit, NaNs and signed zeros
+  // included.
+  static TrajectoryViewSoA Repack(TrajectoryView view, SoAScratch& scratch);
+
+  const double* x() const { return x_; }
+  const double* y() const { return y_; }
+  const double* t() const { return t_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Reassembles point `i` (bounds unchecked like TrajectoryView::data()).
+  TimedPoint operator[](size_t i) const {
+    return TimedPoint{t_[i], {x_[i], y_[i]}};
+  }
+
+ private:
+  TrajectoryViewSoA(const double* x, const double* y, const double* t,
+                    size_t size)
+      : x_(x), y_(y), t_(t), size_(size) {}
+
+  const double* x_ = nullptr;
+  const double* y_ = nullptr;
+  const double* t_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace stcomp
+
+#endif  // STCOMP_CORE_TRAJECTORY_VIEW_SOA_H_

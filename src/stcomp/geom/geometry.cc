@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "stcomp/geom/kernels.h"
+
 namespace stcomp {
 
 namespace {
@@ -9,12 +11,10 @@ constexpr double kPi = 3.14159265358979323846;
 }  // namespace
 
 double PointToLineDistance(Vec2 p, Vec2 a, Vec2 b) {
-  const Vec2 ab = b - a;
-  const double len = ab.Norm();
-  if (len == 0.0) {
-    return Distance(p, a);
-  }
-  return std::abs(ab.Cross(p - a)) / len;
+  // Routed through the kernel layer's per-point helper so this AoS path is
+  // bit-identical to the batched perp kernels (DESIGN.md §14). Note the
+  // helper's norm is sqrt(dx*dx + dy*dy), not std::hypot.
+  return kernels::PerpDistancePoint(p.x, p.y, {a.x, a.y, b.x, b.y});
 }
 
 double ProjectOntoSegment(Vec2 p, Vec2 a, Vec2 b) {

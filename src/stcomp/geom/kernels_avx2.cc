@@ -1,0 +1,433 @@
+// AVX2 backend: 4-wide double lanes, unaligned loads (the SoA scratch has
+// no alignment guarantee), scalar tails via the shared per-point helpers.
+// Compiled with -mavx2 (and only -mavx2: no -mfma — the bit-exactness
+// contract in kernels.h forbids fused multiply-add) on x86 targets; on
+// other architectures this TU degrades to the nullptr factory.
+//
+// Every vector expression mirrors the scalar helper operation-for-
+// operation: mul/add/sub/div/sqrt are correctly rounded per lane, so the
+// lanes are bit-identical to the scalar reference. Comparisons use the
+// ordered non-signalling predicates (_CMP_GT_OQ / _CMP_GE_OQ), which agree
+// with scalar > / >= on NaN (both false).
+
+#include "stcomp/geom/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace stcomp::kernels {
+
+namespace {
+
+inline __m256d Norm2V(__m256d dx, __m256d dy) {
+  return _mm256_sqrt_pd(
+      _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+}
+
+inline __m256d AbsV(__m256d v) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  return _mm256_andnot_pd(sign_mask, v);
+}
+
+// Per-call constants of the SED formula, hoisted once (the hoisted values
+// equal what the per-point helper recomputes, so hoisting is value-safe).
+struct SedConsts {
+  bool degenerate;
+  __m256d ax, ay, at, abx, aby, dt;
+};
+
+inline SedConsts MakeSedConsts(const SedSegment& seg) {
+  SedConsts c;
+  const double dt = seg.bt - seg.at;
+  c.degenerate = !(dt > 0.0);
+  c.ax = _mm256_set1_pd(seg.ax);
+  c.ay = _mm256_set1_pd(seg.ay);
+  c.at = _mm256_set1_pd(seg.at);
+  c.abx = _mm256_set1_pd(seg.bx - seg.ax);
+  c.aby = _mm256_set1_pd(seg.by - seg.ay);
+  c.dt = _mm256_set1_pd(dt);
+  return c;
+}
+
+// SED of 4 points; caller handles the degenerate branch (it is per-call,
+// not per-point: dt is a segment constant).
+inline __m256d Sed4(const SedConsts& c, __m256d xv, __m256d yv, __m256d tv) {
+  const __m256d u = _mm256_div_pd(_mm256_sub_pd(tv, c.at), c.dt);
+  const __m256d ix = _mm256_add_pd(c.ax, _mm256_mul_pd(c.abx, u));
+  const __m256d iy = _mm256_add_pd(c.ay, _mm256_mul_pd(c.aby, u));
+  return Norm2V(_mm256_sub_pd(xv, ix), _mm256_sub_pd(yv, iy));
+}
+
+inline __m256d Radial4(__m256d xv, __m256d yv, __m256d ax, __m256d ay) {
+  return Norm2V(_mm256_sub_pd(xv, ax), _mm256_sub_pd(yv, ay));
+}
+
+// ---- radial ----------------------------------------------------------
+
+void RadialDistancesAvx2(const double* x, const double* y, size_t n,
+                         double ax, double ay, double* out) {
+  const __m256d axv = _mm256_set1_pd(ax);
+  const __m256d ayv = _mm256_set1_pd(ay);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = Radial4(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i),
+                              axv, ayv);
+    _mm256_storeu_pd(out + i, d);
+  }
+  for (; i < n; ++i) {
+    out[i] = RadialDistancePoint(x[i], y[i], ax, ay);
+  }
+}
+
+std::ptrdiff_t RadialFirstReachingAvx2(const double* x, const double* y,
+                                       size_t n, double ax, double ay,
+                                       double threshold) {
+  const __m256d axv = _mm256_set1_pd(ax);
+  const __m256d ayv = _mm256_set1_pd(ay);
+  const __m256d thr = _mm256_set1_pd(threshold);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = Radial4(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i),
+                              axv, ayv);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(d, thr, _CMP_GE_OQ));
+    if (mask != 0) {
+      return static_cast<std::ptrdiff_t>(i) + __builtin_ctz(mask);
+    }
+  }
+  for (; i < n; ++i) {
+    if (RadialDistancePoint(x[i], y[i], ax, ay) >= threshold) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+// ---- sed -------------------------------------------------------------
+
+void SedDistancesAvx2(const double* x, const double* y, const double* t,
+                      size_t n, const SedSegment& seg, double* out) {
+  const SedConsts c = MakeSedConsts(seg);
+  if (c.degenerate) {
+    RadialDistancesAvx2(x, y, n, seg.ax, seg.ay, out);
+    return;
+  }
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = Sed4(c, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i),
+                           _mm256_loadu_pd(t + i));
+    _mm256_storeu_pd(out + i, d);
+  }
+  for (; i < n; ++i) {
+    out[i] = SedDistancePoint(x[i], y[i], t[i], seg);
+  }
+}
+
+std::ptrdiff_t SedFirstAboveAvx2(const double* x, const double* y,
+                                 const double* t, size_t n,
+                                 const SedSegment& seg, double threshold) {
+  const SedConsts c = MakeSedConsts(seg);
+  if (c.degenerate) {
+    // d >= threshold is not d > threshold; inline the strict variant.
+    const __m256d thr = _mm256_set1_pd(threshold);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d d = Radial4(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i),
+                                c.ax, c.ay);
+      const int mask = _mm256_movemask_pd(_mm256_cmp_pd(d, thr, _CMP_GT_OQ));
+      if (mask != 0) {
+        return static_cast<std::ptrdiff_t>(i) + __builtin_ctz(mask);
+      }
+    }
+    for (; i < n; ++i) {
+      if (SedDistancePoint(x[i], y[i], t[i], seg) > threshold) {
+        return static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    return -1;
+  }
+  const __m256d thr = _mm256_set1_pd(threshold);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = Sed4(c, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i),
+                           _mm256_loadu_pd(t + i));
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(d, thr, _CMP_GT_OQ));
+    if (mask != 0) {
+      return static_cast<std::ptrdiff_t>(i) + __builtin_ctz(mask);
+    }
+  }
+  for (; i < n; ++i) {
+    if (SedDistancePoint(x[i], y[i], t[i], seg) > threshold) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+// Horizontal reduce for the blockwise argmax: each lane holds the earliest
+// maximum among the indices it visited; the earliest global strict
+// maximum therefore lives in exactly one lane and wins the
+// (greater value, then lower index) comparison.
+inline MaxResult ReduceMax(__m256d bestv, __m256d besti) {
+  double values[4];
+  double indices[4];
+  _mm256_storeu_pd(values, bestv);
+  _mm256_storeu_pd(indices, besti);
+  MaxResult best{static_cast<std::ptrdiff_t>(indices[0]), values[0]};
+  for (int lane = 1; lane < 4; ++lane) {
+    const std::ptrdiff_t index = static_cast<std::ptrdiff_t>(indices[lane]);
+    if (values[lane] > best.value ||
+        (values[lane] == best.value && index < best.index)) {
+      best = {index, values[lane]};
+    }
+  }
+  return best;
+}
+
+MaxResult SedMaxAvx2(const double* x, const double* y, const double* t,
+                     size_t n, const SedSegment& seg) {
+  if (n == 0) {
+    return {-1, -1.0};
+  }
+  const SedConsts c = MakeSedConsts(seg);
+  MaxResult best{0, -1.0};
+  size_t i = 0;
+  if (n >= 4) {
+    __m256d bestv = _mm256_set1_pd(-1.0);
+    __m256d besti = _mm256_setr_pd(0.0, 1.0, 2.0, 3.0);
+    __m256d curi = besti;
+    const __m256d four = _mm256_set1_pd(4.0);
+    for (; i + 4 <= n; i += 4) {
+      const __m256d xv = _mm256_loadu_pd(x + i);
+      const __m256d yv = _mm256_loadu_pd(y + i);
+      const __m256d d = c.degenerate
+                            ? Radial4(xv, yv, c.ax, c.ay)
+                            : Sed4(c, xv, yv, _mm256_loadu_pd(t + i));
+      const __m256d gt = _mm256_cmp_pd(d, bestv, _CMP_GT_OQ);
+      bestv = _mm256_blendv_pd(bestv, d, gt);
+      besti = _mm256_blendv_pd(besti, curi, gt);
+      curi = _mm256_add_pd(curi, four);
+    }
+    best = ReduceMax(bestv, besti);
+  }
+  for (; i < n; ++i) {
+    const double d = SedDistancePoint(x[i], y[i], t[i], seg);
+    if (d > best.value) {
+      best = {static_cast<std::ptrdiff_t>(i), d};
+    }
+  }
+  return best;
+}
+
+// ---- perpendicular ---------------------------------------------------
+
+struct PerpConsts {
+  bool degenerate;  // a == b: fall back to radial distance to a.
+  double abx, aby, len;
+};
+
+inline PerpConsts MakePerpConsts(const LineSegment& seg) {
+  PerpConsts c;
+  c.abx = seg.bx - seg.ax;
+  c.aby = seg.by - seg.ay;
+  c.len = Norm2(c.abx, c.aby);
+  c.degenerate = (c.len == 0.0);
+  return c;
+}
+
+inline __m256d Perp4(const PerpConsts& c, __m256d xv, __m256d yv, __m256d ax,
+                     __m256d ay) {
+  const __m256d abx = _mm256_set1_pd(c.abx);
+  const __m256d aby = _mm256_set1_pd(c.aby);
+  const __m256d len = _mm256_set1_pd(c.len);
+  const __m256d cross =
+      _mm256_sub_pd(_mm256_mul_pd(abx, _mm256_sub_pd(yv, ay)),
+                    _mm256_mul_pd(aby, _mm256_sub_pd(xv, ax)));
+  return _mm256_div_pd(AbsV(cross), len);
+}
+
+void PerpDistancesAvx2(const double* x, const double* y, size_t n,
+                       const LineSegment& seg, double* out) {
+  const PerpConsts c = MakePerpConsts(seg);
+  if (c.degenerate) {
+    RadialDistancesAvx2(x, y, n, seg.ax, seg.ay, out);
+    return;
+  }
+  const __m256d ax = _mm256_set1_pd(seg.ax);
+  const __m256d ay = _mm256_set1_pd(seg.ay);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        Perp4(c, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), ax, ay);
+    _mm256_storeu_pd(out + i, d);
+  }
+  for (; i < n; ++i) {
+    out[i] = PerpDistancePoint(x[i], y[i], seg);
+  }
+}
+
+std::ptrdiff_t PerpFirstAboveAvx2(const double* x, const double* y, size_t n,
+                                  const LineSegment& seg, double threshold) {
+  const PerpConsts c = MakePerpConsts(seg);
+  const __m256d ax = _mm256_set1_pd(seg.ax);
+  const __m256d ay = _mm256_set1_pd(seg.ay);
+  const __m256d thr = _mm256_set1_pd(threshold);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xv = _mm256_loadu_pd(x + i);
+    const __m256d yv = _mm256_loadu_pd(y + i);
+    const __m256d d =
+        c.degenerate ? Radial4(xv, yv, ax, ay) : Perp4(c, xv, yv, ax, ay);
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(d, thr, _CMP_GT_OQ));
+    if (mask != 0) {
+      return static_cast<std::ptrdiff_t>(i) + __builtin_ctz(mask);
+    }
+  }
+  for (; i < n; ++i) {
+    if (PerpDistancePoint(x[i], y[i], seg) > threshold) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+MaxResult PerpMaxAvx2(const double* x, const double* y, size_t n,
+                      const LineSegment& seg) {
+  if (n == 0) {
+    return {-1, -1.0};
+  }
+  const PerpConsts c = MakePerpConsts(seg);
+  const __m256d ax = _mm256_set1_pd(seg.ax);
+  const __m256d ay = _mm256_set1_pd(seg.ay);
+  MaxResult best{0, -1.0};
+  size_t i = 0;
+  if (n >= 4) {
+    __m256d bestv = _mm256_set1_pd(-1.0);
+    __m256d besti = _mm256_setr_pd(0.0, 1.0, 2.0, 3.0);
+    __m256d curi = besti;
+    const __m256d four = _mm256_set1_pd(4.0);
+    for (; i + 4 <= n; i += 4) {
+      const __m256d xv = _mm256_loadu_pd(x + i);
+      const __m256d yv = _mm256_loadu_pd(y + i);
+      const __m256d d =
+          c.degenerate ? Radial4(xv, yv, ax, ay) : Perp4(c, xv, yv, ax, ay);
+      const __m256d gt = _mm256_cmp_pd(d, bestv, _CMP_GT_OQ);
+      bestv = _mm256_blendv_pd(bestv, d, gt);
+      besti = _mm256_blendv_pd(besti, curi, gt);
+      curi = _mm256_add_pd(curi, four);
+    }
+    best = ReduceMax(bestv, besti);
+  }
+  for (; i < n; ++i) {
+    const double d = PerpDistancePoint(x[i], y[i], seg);
+    if (d > best.value) {
+      best = {static_cast<std::ptrdiff_t>(i), d};
+    }
+  }
+  return best;
+}
+
+// ---- plain arrays ----------------------------------------------------
+
+std::ptrdiff_t ArrayFirstAboveAvx2(const double* v, size_t n,
+                                   double threshold) {
+  const __m256d thr = _mm256_set1_pd(threshold);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int mask = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(v + i), thr, _CMP_GT_OQ));
+    if (mask != 0) {
+      return static_cast<std::ptrdiff_t>(i) + __builtin_ctz(mask);
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] > threshold) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+MaxResult ArrayMaxAvx2(const double* v, size_t n) {
+  if (n == 0) {
+    return {-1, -1.0};
+  }
+  MaxResult best{0, -1.0};
+  size_t i = 0;
+  if (n >= 4) {
+    __m256d bestv = _mm256_set1_pd(-1.0);
+    __m256d besti = _mm256_setr_pd(0.0, 1.0, 2.0, 3.0);
+    __m256d curi = besti;
+    const __m256d four = _mm256_set1_pd(4.0);
+    for (; i + 4 <= n; i += 4) {
+      const __m256d d = _mm256_loadu_pd(v + i);
+      const __m256d gt = _mm256_cmp_pd(d, bestv, _CMP_GT_OQ);
+      bestv = _mm256_blendv_pd(bestv, d, gt);
+      besti = _mm256_blendv_pd(besti, curi, gt);
+      curi = _mm256_add_pd(curi, four);
+    }
+    best = ReduceMax(bestv, besti);
+  }
+  for (; i < n; ++i) {
+    if (v[i] > best.value) {
+      best = {static_cast<std::ptrdiff_t>(i), v[i]};
+    }
+  }
+  return best;
+}
+
+// ---- error-module deltas ---------------------------------------------
+
+void SyncDeltasAvx2(const double* x, const double* y, const double* t,
+                    const double* xp, const double* yp, size_t n,
+                    const SedSegment& seg, double* dx, double* dy) {
+  const SedConsts c = MakeSedConsts(seg);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xv = _mm256_loadu_pd(x + i);
+    const __m256d yv = _mm256_loadu_pd(y + i);
+    const __m256d xpv = _mm256_loadu_pd(xp + i);
+    const __m256d ypv = _mm256_loadu_pd(yp + i);
+    const __m256d ox = _mm256_add_pd(xpv, _mm256_sub_pd(xv, xpv));
+    const __m256d oy = _mm256_add_pd(ypv, _mm256_sub_pd(yv, ypv));
+    const __m256d u =
+        _mm256_div_pd(_mm256_sub_pd(_mm256_loadu_pd(t + i), c.at), c.dt);
+    const __m256d px = _mm256_add_pd(c.ax, _mm256_mul_pd(c.abx, u));
+    const __m256d py = _mm256_add_pd(c.ay, _mm256_mul_pd(c.aby, u));
+    _mm256_storeu_pd(dx + i, _mm256_sub_pd(ox, px));
+    _mm256_storeu_pd(dy + i, _mm256_sub_pd(oy, py));
+  }
+  for (; i < n; ++i) {
+    SyncDeltaPoint(x[i], y[i], t[i], xp[i], yp[i], seg, &dx[i], &dy[i]);
+  }
+}
+
+constexpr KernelOps kAvx2Ops = {
+    Backend::kAvx2,
+    "avx2",
+    SedDistancesAvx2,
+    SedFirstAboveAvx2,
+    SedMaxAvx2,
+    PerpDistancesAvx2,
+    PerpFirstAboveAvx2,
+    PerpMaxAvx2,
+    RadialDistancesAvx2,
+    RadialFirstReachingAvx2,
+    ArrayFirstAboveAvx2,
+    ArrayMaxAvx2,
+    SyncDeltasAvx2,
+};
+
+}  // namespace
+
+const KernelOps* Avx2KernelOps() { return &kAvx2Ops; }
+
+}  // namespace stcomp::kernels
+
+#else  // !defined(__AVX2__)
+
+namespace stcomp::kernels {
+const KernelOps* Avx2KernelOps() { return nullptr; }
+}  // namespace stcomp::kernels
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,401 @@
+// NEON (aarch64) backend: 2-wide double lanes, mirroring the scalar
+// helpers operation-for-operation (see kernels.h for the bit-exactness
+// contract; -ffp-contract=off keeps the scalar reference FMA-free so the
+// mul+add intrinsic sequences here match it bit-for-bit). AdvSIMD double
+// support is baseline on aarch64, so no extra compile flags are needed.
+
+#include "stcomp/geom/kernels.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace stcomp::kernels {
+
+namespace {
+
+inline float64x2_t Norm2V(float64x2_t dx, float64x2_t dy) {
+  return vsqrtq_f64(vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy)));
+}
+
+struct SedConsts {
+  bool degenerate;
+  float64x2_t ax, ay, at, abx, aby, dt;
+};
+
+inline SedConsts MakeSedConsts(const SedSegment& seg) {
+  SedConsts c;
+  const double dt = seg.bt - seg.at;
+  c.degenerate = !(dt > 0.0);
+  c.ax = vdupq_n_f64(seg.ax);
+  c.ay = vdupq_n_f64(seg.ay);
+  c.at = vdupq_n_f64(seg.at);
+  c.abx = vdupq_n_f64(seg.bx - seg.ax);
+  c.aby = vdupq_n_f64(seg.by - seg.ay);
+  c.dt = vdupq_n_f64(dt);
+  return c;
+}
+
+inline float64x2_t Sed2(const SedConsts& c, float64x2_t xv, float64x2_t yv,
+                        float64x2_t tv) {
+  const float64x2_t u = vdivq_f64(vsubq_f64(tv, c.at), c.dt);
+  const float64x2_t ix = vaddq_f64(c.ax, vmulq_f64(c.abx, u));
+  const float64x2_t iy = vaddq_f64(c.ay, vmulq_f64(c.aby, u));
+  return Norm2V(vsubq_f64(xv, ix), vsubq_f64(yv, iy));
+}
+
+inline float64x2_t Radial2(float64x2_t xv, float64x2_t yv, float64x2_t ax,
+                           float64x2_t ay) {
+  return Norm2V(vsubq_f64(xv, ax), vsubq_f64(yv, ay));
+}
+
+// Lane index (0 or 1) of the first set comparison lane, or -1. vcgtq/vcgeq
+// on NaN input yield all-zero lanes, matching scalar > / >= on NaN.
+inline int FirstLane(uint64x2_t mask) {
+  if (vgetq_lane_u64(mask, 0) != 0) {
+    return 0;
+  }
+  if (vgetq_lane_u64(mask, 1) != 0) {
+    return 1;
+  }
+  return -1;
+}
+
+inline MaxResult ReduceMax(float64x2_t bestv, float64x2_t besti) {
+  const double v0 = vgetq_lane_f64(bestv, 0);
+  const double v1 = vgetq_lane_f64(bestv, 1);
+  const std::ptrdiff_t i0 =
+      static_cast<std::ptrdiff_t>(vgetq_lane_f64(besti, 0));
+  const std::ptrdiff_t i1 =
+      static_cast<std::ptrdiff_t>(vgetq_lane_f64(besti, 1));
+  MaxResult best{i0, v0};
+  if (v1 > best.value || (v1 == best.value && i1 < best.index)) {
+    best = {i1, v1};
+  }
+  return best;
+}
+
+// ---- radial ----------------------------------------------------------
+
+void RadialDistancesNeon(const double* x, const double* y, size_t n,
+                         double ax, double ay, double* out) {
+  const float64x2_t axv = vdupq_n_f64(ax);
+  const float64x2_t ayv = vdupq_n_f64(ay);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, Radial2(vld1q_f64(x + i), vld1q_f64(y + i), axv, ayv));
+  }
+  for (; i < n; ++i) {
+    out[i] = RadialDistancePoint(x[i], y[i], ax, ay);
+  }
+}
+
+std::ptrdiff_t RadialFirstReachingNeon(const double* x, const double* y,
+                                       size_t n, double ax, double ay,
+                                       double threshold) {
+  const float64x2_t axv = vdupq_n_f64(ax);
+  const float64x2_t ayv = vdupq_n_f64(ay);
+  const float64x2_t thr = vdupq_n_f64(threshold);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t d =
+        Radial2(vld1q_f64(x + i), vld1q_f64(y + i), axv, ayv);
+    const int lane = FirstLane(vcgeq_f64(d, thr));
+    if (lane >= 0) {
+      return static_cast<std::ptrdiff_t>(i) + lane;
+    }
+  }
+  for (; i < n; ++i) {
+    if (RadialDistancePoint(x[i], y[i], ax, ay) >= threshold) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+// ---- sed -------------------------------------------------------------
+
+void SedDistancesNeon(const double* x, const double* y, const double* t,
+                      size_t n, const SedSegment& seg, double* out) {
+  const SedConsts c = MakeSedConsts(seg);
+  if (c.degenerate) {
+    RadialDistancesNeon(x, y, n, seg.ax, seg.ay, out);
+    return;
+  }
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, Sed2(c, vld1q_f64(x + i), vld1q_f64(y + i),
+                            vld1q_f64(t + i)));
+  }
+  for (; i < n; ++i) {
+    out[i] = SedDistancePoint(x[i], y[i], t[i], seg);
+  }
+}
+
+std::ptrdiff_t SedFirstAboveNeon(const double* x, const double* y,
+                                 const double* t, size_t n,
+                                 const SedSegment& seg, double threshold) {
+  const SedConsts c = MakeSedConsts(seg);
+  const float64x2_t thr = vdupq_n_f64(threshold);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t xv = vld1q_f64(x + i);
+    const float64x2_t yv = vld1q_f64(y + i);
+    const float64x2_t d = c.degenerate
+                              ? Radial2(xv, yv, c.ax, c.ay)
+                              : Sed2(c, xv, yv, vld1q_f64(t + i));
+    const int lane = FirstLane(vcgtq_f64(d, thr));
+    if (lane >= 0) {
+      return static_cast<std::ptrdiff_t>(i) + lane;
+    }
+  }
+  for (; i < n; ++i) {
+    if (SedDistancePoint(x[i], y[i], t[i], seg) > threshold) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+MaxResult SedMaxNeon(const double* x, const double* y, const double* t,
+                     size_t n, const SedSegment& seg) {
+  if (n == 0) {
+    return {-1, -1.0};
+  }
+  const SedConsts c = MakeSedConsts(seg);
+  MaxResult best{0, -1.0};
+  size_t i = 0;
+  if (n >= 2) {
+    float64x2_t bestv = vdupq_n_f64(-1.0);
+    const double init_idx[2] = {0.0, 1.0};
+    float64x2_t besti = vld1q_f64(init_idx);
+    float64x2_t curi = besti;
+    const float64x2_t two = vdupq_n_f64(2.0);
+    for (; i + 2 <= n; i += 2) {
+      const float64x2_t xv = vld1q_f64(x + i);
+      const float64x2_t yv = vld1q_f64(y + i);
+      const float64x2_t d = c.degenerate
+                                ? Radial2(xv, yv, c.ax, c.ay)
+                                : Sed2(c, xv, yv, vld1q_f64(t + i));
+      const uint64x2_t gt = vcgtq_f64(d, bestv);
+      bestv = vbslq_f64(gt, d, bestv);
+      besti = vbslq_f64(gt, curi, besti);
+      curi = vaddq_f64(curi, two);
+    }
+    best = ReduceMax(bestv, besti);
+  }
+  for (; i < n; ++i) {
+    const double d = SedDistancePoint(x[i], y[i], t[i], seg);
+    if (d > best.value) {
+      best = {static_cast<std::ptrdiff_t>(i), d};
+    }
+  }
+  return best;
+}
+
+// ---- perpendicular ---------------------------------------------------
+
+struct PerpConsts {
+  bool degenerate;
+  float64x2_t abx, aby, len, ax, ay;
+};
+
+inline PerpConsts MakePerpConsts(const LineSegment& seg) {
+  PerpConsts c;
+  const double abx = seg.bx - seg.ax;
+  const double aby = seg.by - seg.ay;
+  const double len = Norm2(abx, aby);
+  c.degenerate = (len == 0.0);
+  c.abx = vdupq_n_f64(abx);
+  c.aby = vdupq_n_f64(aby);
+  c.len = vdupq_n_f64(len);
+  c.ax = vdupq_n_f64(seg.ax);
+  c.ay = vdupq_n_f64(seg.ay);
+  return c;
+}
+
+inline float64x2_t Perp2(const PerpConsts& c, float64x2_t xv, float64x2_t yv) {
+  const float64x2_t cross =
+      vsubq_f64(vmulq_f64(c.abx, vsubq_f64(yv, c.ay)),
+                vmulq_f64(c.aby, vsubq_f64(xv, c.ax)));
+  return vdivq_f64(vabsq_f64(cross), c.len);
+}
+
+void PerpDistancesNeon(const double* x, const double* y, size_t n,
+                       const LineSegment& seg, double* out) {
+  const PerpConsts c = MakePerpConsts(seg);
+  if (c.degenerate) {
+    RadialDistancesNeon(x, y, n, seg.ax, seg.ay, out);
+    return;
+  }
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, Perp2(c, vld1q_f64(x + i), vld1q_f64(y + i)));
+  }
+  for (; i < n; ++i) {
+    out[i] = PerpDistancePoint(x[i], y[i], seg);
+  }
+}
+
+std::ptrdiff_t PerpFirstAboveNeon(const double* x, const double* y, size_t n,
+                                  const LineSegment& seg, double threshold) {
+  const PerpConsts c = MakePerpConsts(seg);
+  const float64x2_t thr = vdupq_n_f64(threshold);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t xv = vld1q_f64(x + i);
+    const float64x2_t yv = vld1q_f64(y + i);
+    const float64x2_t d =
+        c.degenerate ? Radial2(xv, yv, c.ax, c.ay) : Perp2(c, xv, yv);
+    const int lane = FirstLane(vcgtq_f64(d, thr));
+    if (lane >= 0) {
+      return static_cast<std::ptrdiff_t>(i) + lane;
+    }
+  }
+  for (; i < n; ++i) {
+    if (PerpDistancePoint(x[i], y[i], seg) > threshold) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+MaxResult PerpMaxNeon(const double* x, const double* y, size_t n,
+                      const LineSegment& seg) {
+  if (n == 0) {
+    return {-1, -1.0};
+  }
+  const PerpConsts c = MakePerpConsts(seg);
+  MaxResult best{0, -1.0};
+  size_t i = 0;
+  if (n >= 2) {
+    float64x2_t bestv = vdupq_n_f64(-1.0);
+    const double init_idx[2] = {0.0, 1.0};
+    float64x2_t besti = vld1q_f64(init_idx);
+    float64x2_t curi = besti;
+    const float64x2_t two = vdupq_n_f64(2.0);
+    for (; i + 2 <= n; i += 2) {
+      const float64x2_t xv = vld1q_f64(x + i);
+      const float64x2_t yv = vld1q_f64(y + i);
+      const float64x2_t d =
+          c.degenerate ? Radial2(xv, yv, c.ax, c.ay) : Perp2(c, xv, yv);
+      const uint64x2_t gt = vcgtq_f64(d, bestv);
+      bestv = vbslq_f64(gt, d, bestv);
+      besti = vbslq_f64(gt, curi, besti);
+      curi = vaddq_f64(curi, two);
+    }
+    best = ReduceMax(bestv, besti);
+  }
+  for (; i < n; ++i) {
+    const double d = PerpDistancePoint(x[i], y[i], seg);
+    if (d > best.value) {
+      best = {static_cast<std::ptrdiff_t>(i), d};
+    }
+  }
+  return best;
+}
+
+// ---- plain arrays ----------------------------------------------------
+
+std::ptrdiff_t ArrayFirstAboveNeon(const double* v, size_t n,
+                                   double threshold) {
+  const float64x2_t thr = vdupq_n_f64(threshold);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int lane = FirstLane(vcgtq_f64(vld1q_f64(v + i), thr));
+    if (lane >= 0) {
+      return static_cast<std::ptrdiff_t>(i) + lane;
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] > threshold) {
+      return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
+}
+
+MaxResult ArrayMaxNeon(const double* v, size_t n) {
+  if (n == 0) {
+    return {-1, -1.0};
+  }
+  MaxResult best{0, -1.0};
+  size_t i = 0;
+  if (n >= 2) {
+    float64x2_t bestv = vdupq_n_f64(-1.0);
+    const double init_idx[2] = {0.0, 1.0};
+    float64x2_t besti = vld1q_f64(init_idx);
+    float64x2_t curi = besti;
+    const float64x2_t two = vdupq_n_f64(2.0);
+    for (; i + 2 <= n; i += 2) {
+      const float64x2_t d = vld1q_f64(v + i);
+      const uint64x2_t gt = vcgtq_f64(d, bestv);
+      bestv = vbslq_f64(gt, d, bestv);
+      besti = vbslq_f64(gt, curi, besti);
+      curi = vaddq_f64(curi, two);
+    }
+    best = ReduceMax(bestv, besti);
+  }
+  for (; i < n; ++i) {
+    if (v[i] > best.value) {
+      best = {static_cast<std::ptrdiff_t>(i), v[i]};
+    }
+  }
+  return best;
+}
+
+// ---- error-module deltas ---------------------------------------------
+
+void SyncDeltasNeon(const double* x, const double* y, const double* t,
+                    const double* xp, const double* yp, size_t n,
+                    const SedSegment& seg, double* dx, double* dy) {
+  const SedConsts c = MakeSedConsts(seg);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t xv = vld1q_f64(x + i);
+    const float64x2_t yv = vld1q_f64(y + i);
+    const float64x2_t xpv = vld1q_f64(xp + i);
+    const float64x2_t ypv = vld1q_f64(yp + i);
+    const float64x2_t ox = vaddq_f64(xpv, vsubq_f64(xv, xpv));
+    const float64x2_t oy = vaddq_f64(ypv, vsubq_f64(yv, ypv));
+    const float64x2_t u =
+        vdivq_f64(vsubq_f64(vld1q_f64(t + i), c.at), c.dt);
+    const float64x2_t px = vaddq_f64(c.ax, vmulq_f64(c.abx, u));
+    const float64x2_t py = vaddq_f64(c.ay, vmulq_f64(c.aby, u));
+    vst1q_f64(dx + i, vsubq_f64(ox, px));
+    vst1q_f64(dy + i, vsubq_f64(oy, py));
+  }
+  for (; i < n; ++i) {
+    SyncDeltaPoint(x[i], y[i], t[i], xp[i], yp[i], seg, &dx[i], &dy[i]);
+  }
+}
+
+constexpr KernelOps kNeonOps = {
+    Backend::kNeon,
+    "neon",
+    SedDistancesNeon,
+    SedFirstAboveNeon,
+    SedMaxNeon,
+    PerpDistancesNeon,
+    PerpFirstAboveNeon,
+    PerpMaxNeon,
+    RadialDistancesNeon,
+    RadialFirstReachingNeon,
+    ArrayFirstAboveNeon,
+    ArrayMaxNeon,
+    SyncDeltasNeon,
+};
+
+}  // namespace
+
+const KernelOps* NeonKernelOps() { return &kNeonOps; }
+
+}  // namespace stcomp::kernels
+
+#else  // !defined(__aarch64__)
+
+namespace stcomp::kernels {
+const KernelOps* NeonKernelOps() { return nullptr; }
+}  // namespace stcomp::kernels
+
+#endif  // defined(__aarch64__)

@@ -1,0 +1,378 @@
+// The scalar-vs-vector differential oracle for the batched kernels
+// (DESIGN.md §14). Two layers:
+//
+//  - Raw kernels: every KernelOps entry point of every available vector
+//    backend is compared against the always-built scalar reference,
+//    bitwise, across unaligned pointer offsets, tail lengths 0..vector
+//    width, random data at several coordinate scales, the adversarial
+//    generator corpus, NaN/Inf-stripped dirty fix streams, and explicit
+//    NaN payloads (predicates must treat NaN as "never fires" in both
+//    backends).
+//
+//  - Whole algorithms: every registered algorithm, run under the pinned
+//    scalar backend and under the dispatched vector backend, must keep the
+//    identical index list, and the synchronous error metrics of the result
+//    must agree within the documented 4-ULP budget (in practice 0 ULP on
+//    the supported backends; the budget is headroom for future ones).
+
+#include "stcomp/geom/kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "proptest/generator.h"
+#include "stcomp/algo/registry.h"
+#include "stcomp/core/trajectory_view_soa.h"
+#include "stcomp/error/synchronous_error.h"
+#include "stcomp/sim/random.h"
+#include "test_util.h"
+
+namespace stcomp::kernels {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+uint64_t Bits(double v) {
+  uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+bool BitEq(double a, double b) { return Bits(a) == Bits(b); }
+
+// Distance in ULPs between two finite doubles (monotone unsigned mapping);
+// 0 for bitwise-equal values of any class, "infinite" when exactly one
+// side is NaN.
+uint64_t UlpDiff(double a, double b) {
+  if (BitEq(a, b)) {
+    return 0;
+  }
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  const auto key = [](double v) {
+    const uint64_t u = Bits(v);
+    return (u & 0x8000000000000000ull) ? ~u : (u | 0x8000000000000000ull);
+  };
+  const uint64_t ka = key(a);
+  const uint64_t kb = key(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+// One differential input: SoA arrays plus the label to print on failure.
+struct Arrays {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> t;
+};
+
+Arrays RandomArrays(const std::string& label, size_t n, uint64_t seed,
+                    double scale) {
+  Rng rng(seed);
+  Arrays a;
+  a.label = label;
+  double t = rng.NextUniform(-scale, scale);
+  for (size_t i = 0; i < n; ++i) {
+    a.x.push_back(rng.NextUniform(-scale, scale));
+    a.y.push_back(rng.NextUniform(-scale, scale));
+    t += rng.NextUniform(0.001, 2.0);
+    a.t.push_back(t);
+  }
+  return a;
+}
+
+Arrays FromTrajectory(const std::string& label, const Trajectory& trajectory) {
+  Arrays a;
+  a.label = label;
+  for (const TimedPoint& p : trajectory.points()) {
+    a.x.push_back(p.position.x);
+    a.y.push_back(p.position.y);
+    a.t.push_back(p.t);
+  }
+  return a;
+}
+
+// Dirty fix streams with every non-finite coordinate stripped: the dirty
+// families' duplicate/retrograde timestamps and extreme scales survive,
+// which the raw kernels must still evaluate identically (no trajectory
+// invariant at this layer).
+Arrays FromDirty(const std::string& family, uint64_t seed) {
+  Arrays a;
+  a.label = "dirty:" + family;
+  for (const TimedPoint& p : proptest::GenerateDirty(family, seed)) {
+    if (std::isfinite(p.position.x) && std::isfinite(p.position.y) &&
+        std::isfinite(p.t)) {
+      a.x.push_back(p.position.x);
+      a.y.push_back(p.position.y);
+      a.t.push_back(p.t);
+    }
+  }
+  return a;
+}
+
+std::vector<Arrays> DifferentialInputs() {
+  std::vector<Arrays> inputs;
+  for (const double scale : {1.0, 1e6, 1e-6}) {
+    inputs.push_back(RandomArrays("random scale " + std::to_string(scale), 67,
+                                  0xC0FFEE + static_cast<uint64_t>(scale),
+                                  scale));
+  }
+  for (const proptest::CorpusCase& c : proptest::BuildCorpus(1234, 2)) {
+    if (!c.trajectory.empty()) {
+      inputs.push_back(FromTrajectory(proptest::Describe(c), c.trajectory));
+    }
+  }
+  for (const std::string& family : proptest::DirtyFamilies()) {
+    Arrays a = FromDirty(family, 99);
+    if (!a.x.empty()) {
+      inputs.push_back(std::move(a));
+    }
+  }
+  // Explicit NaN payloads: comparisons must never fire on NaN distances in
+  // either backend, and the argmax must ignore NaN lanes.
+  Arrays nan = RandomArrays("nan payload", 23, 0xBAD, 10.0);
+  for (size_t i = 0; i < nan.x.size(); i += 3) {
+    nan.x[i] = kNaN;
+  }
+  nan.y[7] = kNaN;
+  inputs.push_back(std::move(nan));
+  return inputs;
+}
+
+std::vector<Backend> VectorBackends() {
+  std::vector<Backend> backends;
+  for (const Backend b : {Backend::kAvx2, Backend::kNeon}) {
+    if (KernelsFor(b) != nullptr) {
+      backends.push_back(b);
+    }
+  }
+  return backends;
+}
+
+// Compares every KernelOps entry point of `ops` against the scalar
+// reference on the subarray [offset, offset + n) of `a`, bitwise.
+void ExpectOpsAgree(const KernelOps& ops, const Arrays& a, size_t offset,
+                    size_t n) {
+  const KernelOps& ref = ScalarKernels();
+  const std::string where = a.label + " offset " + std::to_string(offset) +
+                            " n " + std::to_string(n) + " backend " +
+                            ops.name;
+  const double* x = a.x.data() + offset;
+  const double* y = a.y.data() + offset;
+  const double* t = a.t.data() + offset;
+  const size_t total = a.x.size();
+
+  // Segments: a real one spanning the full input, a zero-duration one and
+  // a zero-length line (degenerate paths), and a reversed-time one.
+  std::vector<SedSegment> sed_segments = {
+      {a.x[0], a.y[0], a.t[0], a.x[total - 1], a.y[total - 1], a.t[total - 1]},
+      {a.x[0], a.y[0], 5.0, a.x[total - 1], a.y[total - 1], 5.0},
+      {a.x[0], a.y[0], a.t[total - 1], a.x[total - 1], a.y[total - 1],
+       a.t[0]}};
+  std::vector<LineSegment> line_segments = {
+      {a.x[0], a.y[0], a.x[total - 1], a.y[total - 1]},
+      {a.x[0], a.y[0], a.x[0], a.y[0]}};
+
+  std::vector<double> want(n);
+  std::vector<double> got(n);
+  const auto expect_same_array = [&](const char* op) {
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(BitEq(want[i], got[i]))
+          << where << " " << op << " index " << i << ": " << want[i]
+          << " vs " << got[i];
+    }
+  };
+  const auto thresholds = [&] {
+    std::vector<double> list = {-1.0, 0.0, kInf};
+    for (const double d : want) {
+      if (std::isfinite(d)) {
+        list.push_back(d);  // Boundary: strict-vs-inclusive must match.
+        break;
+      }
+    }
+    return list;
+  };
+
+  for (const SedSegment& seg : sed_segments) {
+    ref.sed_distances(x, y, t, n, seg, want.data());
+    ops.sed_distances(x, y, t, n, seg, got.data());
+    expect_same_array("sed_distances");
+    for (const double threshold : thresholds()) {
+      EXPECT_EQ(ref.sed_first_above(x, y, t, n, seg, threshold),
+                ops.sed_first_above(x, y, t, n, seg, threshold))
+          << where << " sed_first_above threshold " << threshold;
+    }
+    const MaxResult rw = ref.sed_max(x, y, t, n, seg);
+    const MaxResult rg = ops.sed_max(x, y, t, n, seg);
+    EXPECT_EQ(rw.index, rg.index) << where << " sed_max";
+    EXPECT_TRUE(BitEq(rw.value, rg.value)) << where << " sed_max value";
+  }
+
+  for (const LineSegment& seg : line_segments) {
+    ref.perp_distances(x, y, n, seg, want.data());
+    ops.perp_distances(x, y, n, seg, got.data());
+    expect_same_array("perp_distances");
+    for (const double threshold : thresholds()) {
+      EXPECT_EQ(ref.perp_first_above(x, y, n, seg, threshold),
+                ops.perp_first_above(x, y, n, seg, threshold))
+          << where << " perp_first_above threshold " << threshold;
+    }
+    const MaxResult rw = ref.perp_max(x, y, n, seg);
+    const MaxResult rg = ops.perp_max(x, y, n, seg);
+    EXPECT_EQ(rw.index, rg.index) << where << " perp_max";
+    EXPECT_TRUE(BitEq(rw.value, rg.value)) << where << " perp_max value";
+  }
+
+  ref.radial_distances(x, y, n, a.x[0], a.y[0], want.data());
+  ops.radial_distances(x, y, n, a.x[0], a.y[0], got.data());
+  expect_same_array("radial_distances");
+  for (const double threshold : thresholds()) {
+    EXPECT_EQ(ref.radial_first_reaching(x, y, n, a.x[0], a.y[0], threshold),
+              ops.radial_first_reaching(x, y, n, a.x[0], a.y[0], threshold))
+        << where << " radial_first_reaching threshold " << threshold;
+  }
+
+  for (const double threshold : thresholds()) {
+    EXPECT_EQ(ref.array_first_above(x, n, threshold),
+              ops.array_first_above(x, n, threshold))
+        << where << " array_first_above threshold " << threshold;
+  }
+  const MaxResult aw = ref.array_max(x, n);
+  const MaxResult ag = ops.array_max(x, n);
+  EXPECT_EQ(aw.index, ag.index) << where << " array_max";
+  EXPECT_TRUE(BitEq(aw.value, ag.value)) << where << " array_max value";
+
+  if (offset >= 1) {
+    // Monotone-time segment (sync_deltas divides by bt - at).
+    const SedSegment seg{a.x[0], a.y[0], a.t[0] - 1.0, a.x[total - 1],
+                         a.y[total - 1], a.t[0] + 1e9};
+    std::vector<double> want_dy(n);
+    std::vector<double> got_dy(n);
+    ref.sync_deltas(x, y, t, x - 1, y - 1, n, seg, want.data(),
+                    want_dy.data());
+    ops.sync_deltas(x, y, t, x - 1, y - 1, n, seg, got.data(), got_dy.data());
+    expect_same_array("sync_deltas dx");
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(BitEq(want_dy[i], got_dy[i]))
+          << where << " sync_deltas dy index " << i;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, VectorBackendsMatchScalarBitwise) {
+  const std::vector<Backend> backends = VectorBackends();
+  if (backends.empty()) {
+    GTEST_SKIP() << "no vector backend available on this host";
+  }
+  const std::vector<Arrays> inputs = DifferentialInputs();
+  ASSERT_FALSE(inputs.empty());
+  for (const Backend backend : backends) {
+    const KernelOps& ops = *KernelsFor(backend);
+    for (const Arrays& a : inputs) {
+      const size_t total = a.x.size();
+      // Unaligned starts x tail lengths straddling the widest vector
+      // width: exercises the pure-tail, one-block and block+tail paths.
+      for (size_t offset = 0; offset < 4 && offset < total; ++offset) {
+        for (const size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                               size_t{4}, size_t{5}, size_t{7}, size_t{8},
+                               size_t{9}, size_t{16}, size_t{17},
+                               total - offset}) {
+          if (offset + n <= total) {
+            ExpectOpsAgree(ops, a, offset, n);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, DispatchSeamPinsAndRestores) {
+  const Backend original = KernelDispatch::Active();
+  const Backend previous = KernelDispatch::SetForTest(Backend::kScalar);
+  EXPECT_EQ(previous, original);
+  EXPECT_EQ(KernelDispatch::Active(), Backend::kScalar);
+  EXPECT_EQ(KernelDispatch::Get().backend, Backend::kScalar);
+  KernelDispatch::SetForTest(original);
+  EXPECT_EQ(KernelDispatch::Active(), original);
+}
+
+TEST(KernelDifferentialTest, DetectedBackendIsAvailable) {
+  EXPECT_NE(KernelsFor(DetectBestBackend()), nullptr);
+  EXPECT_STRNE(BackendName(KernelDispatch::Active()), "unknown");
+}
+
+// Pins a kept list and both synchronous error metrics for one algorithm
+// run under one backend.
+struct AlgoOutcome {
+  algo::IndexList kept;
+  double sync_mean = 0.0;
+  double sync_max = 0.0;
+};
+
+AlgoOutcome RunUnder(Backend backend, const algo::AlgorithmInfo& info,
+                     const Trajectory& trajectory,
+                     const algo::AlgorithmParams& params) {
+  const Backend previous = KernelDispatch::SetForTest(backend);
+  AlgoOutcome outcome;
+  algo::Workspace workspace;
+  info.run_view(trajectory, params, workspace, outcome.kept);
+  if (trajectory.size() >= 2 &&
+      algo::IsValidIndexList(trajectory, outcome.kept)) {
+    outcome.sync_mean = SynchronousError(trajectory, outcome.kept).value();
+    outcome.sync_max = MaxSynchronousError(trajectory, outcome.kept).value();
+  }
+  KernelDispatch::SetForTest(previous);
+  return outcome;
+}
+
+TEST(KernelDifferentialTest, EveryAlgorithmAgreesAcrossBackends) {
+  const Backend best = DetectBestBackend();
+  if (best == Backend::kScalar) {
+    GTEST_SKIP() << "no vector backend available on this host";
+  }
+  algo::AlgorithmParams params;
+  params.epsilon_m = 15.0;
+  params.speed_threshold_mps = 4.0;
+  for (const proptest::CorpusCase& c : proptest::BuildCorpus(4242, 2)) {
+    for (const algo::AlgorithmInfo& info : algo::AllAlgorithms()) {
+      const AlgoOutcome scalar =
+          RunUnder(Backend::kScalar, info, c.trajectory, params);
+      const AlgoOutcome vector = RunUnder(best, info, c.trajectory, params);
+      EXPECT_EQ(scalar.kept, vector.kept)
+          << proptest::Describe(c) << " algorithm " << info.name;
+      EXPECT_LE(UlpDiff(scalar.sync_mean, vector.sync_mean), 4u)
+          << proptest::Describe(c) << " algorithm " << info.name
+          << " sync mean " << scalar.sync_mean << " vs " << vector.sync_mean;
+      EXPECT_LE(UlpDiff(scalar.sync_max, vector.sync_max), 4u)
+          << proptest::Describe(c) << " algorithm " << info.name
+          << " sync max " << scalar.sync_max << " vs " << vector.sync_max;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, SoARepackRoundTripsLosslessly) {
+  const Trajectory trajectory = testutil::RandomWalk(257, 31);
+  SoAScratch scratch;
+  const TrajectoryViewSoA soa =
+      TrajectoryViewSoA::Repack(trajectory, scratch);
+  ASSERT_EQ(soa.size(), trajectory.size());
+  for (size_t i = 0; i < soa.size(); ++i) {
+    const TimedPoint& p = trajectory.points()[i];
+    EXPECT_TRUE(BitEq(soa.x()[i], p.position.x)) << i;
+    EXPECT_TRUE(BitEq(soa.y()[i], p.position.y)) << i;
+    EXPECT_TRUE(BitEq(soa.t()[i], p.t)) << i;
+    EXPECT_TRUE(BitEq(soa[i].t, p.t)) << i;
+    EXPECT_TRUE(BitEq(soa[i].position.x, p.position.x)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace stcomp::kernels
