@@ -17,8 +17,16 @@
 // exact enabled-vs-compiled-out delta (scripts/check.sh's third pass builds
 // that configuration).
 //
+// The instrumented side now includes the PR-7 span-context and
+// flight-recorder hot path: every FleetCompressor::Push opens a
+// head-sampled root span, and flight events fire at pipeline transitions
+// (object arrival, each committed batch), so the reported overhead covers
+// tracing + flight recording, not just metrics. Primitive timings break
+// the budget down further: a flight-recorder Record, an inactive sampled
+// span (the 63-in-64 case) and an active one.
+//
 //   ./bench_obs_overhead [--objects=16] [--fixes=2000] [--repetitions=7]
-//                        [--json-out=BENCH_obs_overhead.json]
+//                        [--json-out=BENCH_obs.json]
 
 #include <algorithm>
 #include <chrono>
@@ -34,6 +42,7 @@
 #include "stcomp/common/flags.h"
 #include "stcomp/common/status.h"
 #include "stcomp/obs/exposition.h"
+#include "stcomp/obs/flight_recorder.h"
 #include "stcomp/obs/timer.h"
 #include "stcomp/obs/trace.h"
 #include "stcomp/sim/random.h"
@@ -236,7 +245,7 @@ int main(int argc, char** argv) {
   int objects = 16;
   int fixes = 2000;
   int repetitions = 7;
-  std::string json_out = "BENCH_obs_overhead.json";
+  std::string json_out = "BENCH_obs.json";
   stcomp::FlagParser flags(
       "obs-layer overhead on the fleet ingestion hot path");
   flags.AddInt("objects", &objects, "concurrently streaming objects");
@@ -290,6 +299,27 @@ int main(int argc, char** argv) {
   const double trace_span_ns = TimePrimitive(kIterations / 16, [&](size_t) {
     stcomp::obs::TraceSpan span("bench.primitive", {}, &trace_buffer);
   });
+  // PR-7 hot-path primitives: a lock-free flight-recorder Record, and the
+  // two faces of a head-sampled root span — the common not-sampled branch
+  // (a thread-local counter bump, no allocation) and the sampled one.
+  stcomp::obs::FlightRecorder flight(4096, 8);
+  const double flight_record_ns = TimePrimitive(kIterations, [&](size_t i) {
+    flight.Record(stcomp::obs::FlightCode::kProbe, "bench-object-id", i, 0);
+  });
+  const uint64_t saved_period =
+      stcomp::obs::TraceBuffer::SetSampledRootPeriod(uint64_t{1} << 40);
+  const double span_inactive_ns = TimePrimitive(kIterations, [&](size_t) {
+    stcomp::obs::TraceSpan span("bench.sampled", "obj", &trace_buffer,
+                                /*sampled_root=*/true);
+    DoNotOptimize(span);
+  });
+  stcomp::obs::TraceBuffer::SetSampledRootPeriod(1);
+  const double span_active_ns = TimePrimitive(kIterations / 16, [&](size_t) {
+    stcomp::obs::TraceSpan span("bench.sampled", "obj", &trace_buffer,
+                                /*sampled_root=*/true);
+    DoNotOptimize(span);
+  });
+  stcomp::obs::TraceBuffer::SetSampledRootPeriod(saved_period);
   std::printf("primitives (ns/op):\n");
   std::printf("  counter increment      %7.2f\n", counter_ns);
   std::printf("  histogram observe      %7.2f\n", observe_ns);
@@ -299,9 +329,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   stcomp::obs::SampledScopedTimer::kSamplePeriod));
   std::printf("  trace span             %7.2f\n", trace_span_ns);
+  std::printf("  flight record          %7.2f (%llu dropped)\n",
+              flight_record_ns,
+              static_cast<unsigned long long>(flight.dropped()));
+  std::printf("  sampled span, skipped  %7.2f\n", span_inactive_ns);
+  std::printf("  sampled span, recorded %7.2f\n", span_active_ns);
 
   if (!json_out.empty()) {
-    char numbers[512];
+    char numbers[768];
     std::snprintf(
         numbers, sizeof(numbers),
         "  \"metrics_enabled\": %s,\n  \"objects\": %d,\n"
@@ -309,15 +344,18 @@ int main(int argc, char** argv) {
         "  \"baseline_ns_per_push\": %.2f,\n"
         "  \"instrumented_ns_per_push\": %.2f,\n"
         "  \"overhead_percent\": %.3f,\n"
+        "  \"overhead_budget_percent\": 5.0,\n"
         "  \"primitives_ns\": {\"counter_increment\": %.3f, "
         "\"histogram_observe\": %.3f, \"scoped_timer\": %.3f, "
-        "\"sampled_scoped_timer\": %.3f, \"trace_span\": %.3f},\n",
+        "\"sampled_scoped_timer\": %.3f, \"trace_span\": %.3f, "
+        "\"flight_record\": %.3f, \"sampled_span_skipped\": %.3f, "
+        "\"sampled_span_recorded\": %.3f},\n",
         STCOMP_METRICS_ENABLED ? "true" : "false", objects, fixes,
         repetitions, baseline_ns, instrumented_ns, overhead_percent,
         counter_ns, observe_ns, scoped_timer_ns, sampled_timer_ns,
-        trace_span_ns);
+        trace_span_ns, flight_record_ns, span_inactive_ns, span_active_ns);
     const std::string json =
-        "{\n  \"bench\": \"bench_obs_overhead\",\n  \"schema_version\": 1,\n" +
+        "{\n  \"bench\": \"bench_obs_overhead\",\n  \"schema_version\": 2,\n" +
         std::string(numbers) + "  \"metrics\": " +
         stcomp::obs::RenderJson(registry.Snapshot()) + "}\n";
     std::ofstream file(json_out);

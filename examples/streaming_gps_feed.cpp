@@ -13,13 +13,17 @@
 //   ./examples/streaming_gps_feed [--epsilon=30] [--speed-threshold=10]
 //                                 [--metrics-format=text|json|prometheus]
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "stcomp/common/check.h"
 #include "stcomp/common/flags.h"
 #include "stcomp/error/evaluation.h"
+#include "stcomp/obs/admin_server.h"
 #include "stcomp/obs/exposition.h"
 #include "stcomp/sim/paper_dataset.h"
 #include "stcomp/store/trajectory_store.h"
@@ -31,12 +35,21 @@ int main(int argc, char** argv) {
   double epsilon = 30.0;
   double speed_threshold = 10.0;
   std::string metrics_format = "text";
+  int admin_port = -1;
+  double serve_seconds = 0.0;
   stcomp::FlagParser flags("streaming GPS feed demo");
   flags.AddDouble("epsilon", &epsilon, "distance threshold in metres");
   flags.AddDouble("speed-threshold", &speed_threshold,
                   "speed-difference threshold in m/s (OPW-SP)");
   flags.AddString("metrics-format", &metrics_format,
                   "final metrics dump format: text, json or prometheus");
+  flags.AddInt("admin-port", &admin_port,
+               "serve /metrics, /healthz, /tracez, /objectz and /flightz on "
+               "127.0.0.1:<port> (0 = ephemeral, printed; -1 = off)");
+  flags.AddDouble("serve-seconds", &serve_seconds,
+                  "keep the admin server up this long after the feed ends "
+                  "(0 with --admin-port waits for Ctrl-C-less smoke: one "
+                  "second)");
   if (const stcomp::Status status = flags.Parse(argc, argv); !status.ok()) {
     return status.code() == stcomp::StatusCode::kFailedPrecondition ? 0 : 1;
   }
@@ -86,6 +99,33 @@ int main(int argc, char** argv) {
       },
       &store, "gps-feed");
 
+  // Live introspection: the admin server reads the fleet's per-object
+  // state from its own thread, so it serves while this thread is idle
+  // (between the pump below and FinishAll) — the fleet itself is not
+  // thread-safe.
+  stcomp::obs::AdminServer admin;
+  std::atomic<bool> pump_done{false};
+  if (admin_port >= 0) {
+    // The fleet is single-threaded; /objectz only reads it once this
+    // thread has gone idle (pump finished), and reports empty before.
+    stcomp::obs::RegisterStandardEndpoints(
+        admin, [&fleet, &pump_done]() -> std::string {
+          if (!pump_done.load(std::memory_order_acquire)) {
+            return "{\"objects\":[],\"note\":\"feed still pumping\"}\n";
+          }
+          return fleet.RenderObjectsJson();
+        });
+    const stcomp::Status started =
+        admin.Start(static_cast<uint16_t>(admin_port));
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    // Parsed by scripts/admin_smoke.py; keep the format stable.
+    std::printf("admin server listening on 127.0.0.1:%u\n", admin.port());
+    std::fflush(stdout);
+  }
+
   // Pump the stream; print a progress line every 50 fixes.
   size_t fix_count = 0;
   for (const stcomp::TimedPoint& fix : feed.points()) {
@@ -108,6 +148,16 @@ int main(int argc, char** argv) {
                   fleet.fixes_out(), fleet.buffered_points());
       std::printf("\n");
     }
+  }
+  pump_done.store(true, std::memory_order_release);
+  if (admin_port >= 0) {
+    // Serve with the objects still live so /objectz shows them; the app
+    // thread only sleeps here, so the server thread's reads are safe.
+    const double window = serve_seconds > 0.0 ? serve_seconds : 1.0;
+    std::printf("serving admin endpoints for %.1f s...\n", window);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(window));
+    admin.Stop();
   }
   for (Lane& lane : lanes) {
     lane.compressor->Finish(&lane.committed);
@@ -146,8 +196,8 @@ int main(int argc, char** argv) {
                  stcomp::obs::MetricsRegistry::Global().Snapshot(), *format)
                  .c_str(),
              stdout);
-  std::printf("\ntrace spans (start, duration, name):\n");
-  std::fputs(stcomp::obs::RenderTraceText(
+  std::printf("\ntrace span tree (start, duration, thread, name):\n");
+  std::fputs(stcomp::obs::RenderTraceTree(
                  stcomp::obs::TraceBuffer::Global().Snapshot())
                  .c_str(),
              stdout);

@@ -31,6 +31,8 @@
 #include "stcomp/gps/plt.h"
 #include "stcomp/geom/kernels.h"
 #include "stcomp/obs/exposition.h"
+#include "stcomp/obs/flight_recorder.h"
+#include "stcomp/obs/trace.h"
 #include "stcomp/store/segment_store.h"
 
 namespace {
@@ -80,6 +82,11 @@ stcomp::Status WriteAny(const stcomp::Trajectory& trajectory,
   return stcomp::WriteCsvTrajectoryFile(trajectory, path);
 }
 
+// Epilogue dumps requested via flags; main() runs them after Run() so
+// every exit path (including early errors) still produces them.
+bool g_flight_dump = false;
+std::string g_perfetto_out;
+
 int Run(int argc, char** argv) {
   std::string algorithm = "td-tr";
   double epsilon = 30.0;
@@ -113,6 +120,11 @@ int Run(int argc, char** argv) {
   flags.AddString("recover", &recover_dir,
                   "recover a segment-store directory (salvage + replay), "
                   "print the report and checkpoint the recovered state");
+  flags.AddBool("flight-dump", &g_flight_dump,
+                "dump the flight recorder to stderr when the run ends");
+  flags.AddString("perfetto-out", &g_perfetto_out,
+                  "write the run's trace spans as Perfetto/Chrome "
+                  "trace_event JSON to this file (load in chrome://tracing)");
   if (const stcomp::Status status = flags.Parse(argc, argv); !status.ok()) {
     if (status.code() == stcomp::StatusCode::kFailedPrecondition) {
       return 0;
@@ -255,4 +267,25 @@ int Run(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) { return Run(argc, argv); }
+int main(int argc, char** argv) {
+  const int rc = Run(argc, argv);
+  if (g_flight_dump) {
+    std::fputs(stcomp::obs::RenderFlightText(
+                   stcomp::obs::FlightRecorder::Global().Snapshot())
+                   .c_str(),
+               stderr);
+  }
+  if (!g_perfetto_out.empty()) {
+    std::ofstream file(g_perfetto_out);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   g_perfetto_out.c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    file << stcomp::obs::RenderTracePerfetto(
+        stcomp::obs::TraceBuffer::Global().Snapshot());
+    std::fprintf(stderr, "perfetto trace written to %s\n",
+                 g_perfetto_out.c_str());
+  }
+  return rc;
+}

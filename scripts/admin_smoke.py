@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the admin server over a real feed.
+
+Launches `streaming_gps_feed --admin-port=0 --serve-seconds=N` (port 0 =
+kernel-assigned, so parallel CI jobs never collide), parses the bound
+port from its stdout, fetches every standard endpoint while the example
+is serving, and checks each response:
+
+  /healthz              -> exactly "ok\n"
+  /metrics              -> valid Prometheus 0.0.4 (check_prometheus.py)
+  /objectz              -> JSON with the fleet's "objects" array
+  /tracez (+json,
+     +perfetto formats) -> span tree text / one-event-per-line JSON /
+                           a Chrome trace_event envelope
+  /flightz (+json)      -> flight-recorder event log
+  unknown path          -> 404
+
+Then waits for the example to exit cleanly. Usage:
+
+  admin_smoke.py /path/to/streaming_gps_feed [serve_seconds]
+"""
+
+import json
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import check_prometheus
+
+LISTEN_PREFIX = "admin server listening on 127.0.0.1:"
+
+
+def fail(message):
+    print(f"admin_smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def fetch(port, target):
+    url = f"http://127.0.0.1:{port}{target}"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as err:  # non-2xx still has a body
+        return err.code, err.read().decode("utf-8")
+
+
+def wait_for_port(process, deadline_s=30.0):
+    """Reads stdout lines until the listen line appears; returns the port."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            return None  # stdout closed: the example died early
+        sys.stdout.write(line)
+        if line.startswith(LISTEN_PREFIX):
+            return int(line[len(LISTEN_PREFIX):].strip())
+    return None
+
+
+def run(binary, serve_seconds):
+    process = subprocess.Popen(
+        [binary, "--admin-port=0", f"--serve-seconds={serve_seconds}"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        port = wait_for_port(process)
+        if port is None:
+            process.kill()
+            return fail("never printed the listen line")
+
+        status, body = fetch(port, "/healthz")
+        if status != 200 or body != "ok\n":
+            return fail(f"/healthz: status {status}, body {body!r}")
+
+        status, body = fetch(port, "/metrics")
+        if status != 200:
+            return fail(f"/metrics: status {status}")
+        checker = check_prometheus.check_text(body)
+        if checker.errors:
+            for message in checker.errors:
+                print(f"admin_smoke: /metrics: {message}", file=sys.stderr)
+            return fail("/metrics is not valid Prometheus 0.0.4")
+        if "stcomp_stream_fixes_in_total" not in body:
+            return fail("/metrics lacks the fleet ingestion counters")
+
+        status, body = fetch(port, "/objectz")
+        if status != 200:
+            return fail(f"/objectz: status {status}")
+        objects = json.loads(body).get("objects")
+        if not isinstance(objects, list) or not objects:
+            return fail(f"/objectz has no objects: {body[:200]!r}")
+        if not all("fixes_in" in entry for entry in objects):
+            return fail("/objectz entries lack fixes_in")
+
+        status, body = fetch(port, "/tracez")
+        if status != 200 or "fleet.push" not in body:
+            return fail(f"/tracez: status {status}, no fleet.push span")
+        status, body = fetch(port, "/tracez?format=json")
+        if status != 200 or '"span_id":' not in body:
+            return fail("/tracez?format=json lacks span ids")
+        status, body = fetch(port, "/tracez?format=perfetto")
+        if status != 200:
+            return fail(f"/tracez?format=perfetto: status {status}")
+        perfetto = json.loads(body)
+        if not isinstance(perfetto.get("traceEvents"), list):
+            return fail("/tracez?format=perfetto lacks traceEvents")
+
+        status, body = fetch(port, "/flightz")
+        if status != 200 or "flight recorder:" not in body:
+            return fail(f"/flightz: status {status}, body {body[:120]!r}")
+        status, body = fetch(port, "/flightz?format=json")
+        if status != 200 or not isinstance(json.loads(body), list):
+            return fail("/flightz?format=json is not a JSON array")
+
+        status, _ = fetch(port, "/no-such-endpoint")
+        if status != 404:
+            return fail(f"unknown path: status {status}, want 404")
+
+        remaining = process.stdout.read()
+        if remaining:
+            sys.stdout.write(remaining)
+        code = process.wait(timeout=60)
+        if code != 0:
+            return fail(f"example exited with status {code}")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+    print("admin_smoke: PASS (all five endpoints answered over HTTP)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(
+            "usage: admin_smoke.py /path/to/streaming_gps_feed "
+            "[serve_seconds]",
+            file=sys.stderr,
+        )
+        return 2
+    serve_seconds = float(argv[2]) if len(argv) == 3 else 8.0
+    return run(argv[1], serve_seconds)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

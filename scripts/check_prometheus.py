@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition format 0.0.4.
+
+Reads an exposition (a /metrics response body) from a file argument or
+stdin and checks the structural rules a scraper relies on:
+
+  * sample lines parse as `name{labels} value` with a legal metric name,
+    legal label names, properly quoted label values and a float value;
+  * `# TYPE` declares a known type and precedes that family's samples;
+  * a family is declared at most once and its samples are contiguous;
+  * histograms expose `_bucket` (with an `le` label), `_sum` and
+    `_count` series, include the `le="+Inf"` bucket, and bucket counts
+    are monotonically non-decreasing in `le`.
+
+Used by scripts/admin_smoke.py against the live admin server and usable
+standalone: `curl -s localhost:PORT/metrics | check_prometheus.py`.
+Exit status 0 when the exposition is well-formed, 1 otherwise.
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>-?\d+))?$"
+)
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class Checker:
+    def __init__(self):
+        self.errors = []
+        self.types = {}  # family -> declared type
+        self.declared_after_samples = set()
+        self.seen_families = []  # in first-seen order, for contiguity
+        self.histogram_buckets = {}  # family -> {labels-sans-le: [(le, count)]}
+        self.histogram_series = {}  # family -> set of suffixes seen
+
+    def error(self, lineno, message):
+        self.errors.append(f"line {lineno}: {message}")
+
+    def family_of(self, name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            family = name[: -len(suffix)] if name.endswith(suffix) else None
+            if family and self.types.get(family) in ("histogram", "summary"):
+                return family, suffix
+        return name, ""
+
+    def parse_value(self, lineno, raw):
+        if raw in ("+Inf", "-Inf", "NaN"):
+            return {"+Inf": math.inf, "-Inf": -math.inf, "NaN": math.nan}[raw]
+        try:
+            return float(raw)
+        except ValueError:
+            self.error(lineno, f"unparseable sample value {raw!r}")
+            return None
+
+    def check_line(self, lineno, line):
+        if not line.strip():
+            return
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                return  # free-form comment: legal, ignored
+            if len(parts) < 3 or not METRIC_NAME.match(parts[2]):
+                self.error(lineno, f"# {parts[1]} without a legal metric name")
+                return
+            if parts[1] == "TYPE":
+                family = parts[2]
+                declared = parts[3].strip() if len(parts) > 3 else ""
+                if declared not in TYPES:
+                    self.error(lineno, f"unknown TYPE {declared!r}")
+                if family in self.types:
+                    self.error(lineno, f"duplicate TYPE for {family}")
+                if family in self.seen_families:
+                    self.error(lineno, f"TYPE for {family} after its samples")
+                self.types[family] = declared
+            return
+        match = SAMPLE.match(line)
+        if not match:
+            self.error(lineno, f"unparseable sample line {line!r}")
+            return
+        name = match.group("name")
+        value = self.parse_value(lineno, match.group("value"))
+        labels = {}
+        raw_labels = match.group("labels")
+        if raw_labels is not None and raw_labels.strip():
+            # Pairs must tile the brace contents exactly (comma-separated,
+            # trailing comma legal) — a finditer sweep would silently skip
+            # malformed text between matches.
+            pos = 0
+            while pos < len(raw_labels):
+                pair = LABEL_PAIR.match(raw_labels, pos)
+                if not pair:
+                    self.error(
+                        lineno,
+                        f"unparseable label text {raw_labels[pos:]!r}",
+                    )
+                    break
+                labels[pair.group(1)] = pair.group(2)
+                pos = pair.end()
+                if pos < len(raw_labels):
+                    if raw_labels[pos] != ",":
+                        self.error(
+                            lineno,
+                            f"expected ',' between labels, got "
+                            f"{raw_labels[pos:]!r}",
+                        )
+                        break
+                    pos += 1
+        family, suffix = self.family_of(name)
+        if family not in self.seen_families:
+            self.seen_families.append(family)
+        elif self.seen_families[-1] != family:
+            self.error(lineno, f"samples of {family} are not contiguous")
+            self.seen_families.append(family)
+        if self.types.get(family) == "histogram":
+            self.histogram_series.setdefault(family, set()).add(suffix)
+            if suffix == "_bucket":
+                if "le" not in labels:
+                    self.error(lineno, f"{name} bucket without an 'le' label")
+                elif value is not None:
+                    key = tuple(
+                        sorted((k, v) for k, v in labels.items() if k != "le")
+                    )
+                    series = self.histogram_buckets.setdefault(family, {})
+                    series.setdefault(key, []).append(
+                        (self.parse_value(lineno, labels["le"]), value)
+                    )
+        elif self.types.get(family) == "counter" and value is not None:
+            if value < 0:
+                self.error(lineno, f"counter {name} has negative value")
+
+    def finish(self):
+        for family, suffixes in self.histogram_series.items():
+            for required in ("_bucket", "_sum", "_count"):
+                if required not in suffixes:
+                    self.errors.append(
+                        f"histogram {family} is missing {family}{required}"
+                    )
+        for family, series in self.histogram_buckets.items():
+            for key, buckets in series.items():
+                if not any(math.isinf(le) and le > 0 for le, _ in buckets):
+                    self.errors.append(
+                        f'histogram {family}{dict(key)} lacks le="+Inf"'
+                    )
+                ordered = sorted(buckets, key=lambda b: b[0])
+                counts = [count for _, count in ordered]
+                if counts != sorted(counts):
+                    self.errors.append(
+                        f"histogram {family}{dict(key)} bucket counts "
+                        f"decrease with le: {counts}"
+                    )
+
+
+def check_text(text):
+    checker = Checker()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        checker.check_line(lineno, line)
+    checker.finish()
+    return checker
+
+
+def main(argv):
+    if len(argv) > 2:
+        print("usage: check_prometheus.py [metrics.txt]", file=sys.stderr)
+        return 2
+    if len(argv) == 2:
+        with open(argv[1], "r", encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = sys.stdin.read()
+    checker = check_text(text)
+    for message in checker.errors:
+        print(f"check_prometheus: {message}", file=sys.stderr)
+    if checker.errors:
+        return 1
+    families = len(checker.seen_families)
+    print(f"check_prometheus: ok ({families} metric families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -58,6 +58,39 @@ def validate(path):
         for key in ("scalar_backend", "vector_backend"):
             if not isinstance(doc.get(key), str) or not doc[key]:
                 return fail(path, f"bench_kernels: missing '{key}'")
+    if bench == "bench_obs_overhead" and version >= 2:
+        if not isinstance(doc.get("metrics_enabled"), bool):
+            return fail(path, "bench_obs_overhead: missing 'metrics_enabled'")
+        for key in (
+            "baseline_ns_per_push",
+            "instrumented_ns_per_push",
+            "overhead_budget_percent",
+        ):
+            value = doc.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                return fail(path, f"bench_obs_overhead: bad '{key}': {value!r}")
+        # overhead_percent may legitimately be negative (noise); it just
+        # has to be a number.
+        if not isinstance(doc.get("overhead_percent"), (int, float)):
+            return fail(path, "bench_obs_overhead: bad 'overhead_percent'")
+        primitives = doc.get("primitives_ns")
+        if not isinstance(primitives, dict):
+            return fail(path, "bench_obs_overhead: missing 'primitives_ns'")
+        for key in (
+            "counter_increment",
+            "histogram_observe",
+            "scoped_timer",
+            "sampled_scoped_timer",
+            "trace_span",
+            "flight_record",
+            "sampled_span_skipped",
+            "sampled_span_recorded",
+        ):
+            value = primitives.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                return fail(
+                    path, f"bench_obs_overhead: primitives_ns: bad '{key}'"
+                )
     print(f"validate_bench: {path}: ok ({bench}, schema v{version})")
     return 0
 

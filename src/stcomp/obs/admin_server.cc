@@ -1,0 +1,261 @@
+#include "stcomp/obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "stcomp/common/strings.h"
+#include "stcomp/obs/exposition.h"
+#include "stcomp/obs/flight_recorder.h"
+#include "stcomp/obs/metrics.h"
+#include "stcomp/obs/trace.h"
+
+namespace stcomp::obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+void WriteAll(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // client went away; nothing useful to do
+    }
+    written += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string AdminRequest::QueryParam(std::string_view key) const {
+  for (std::string_view pair : Split(query, '&')) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      if (pair == key) return "";
+      continue;
+    }
+    if (pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+  }
+  return "";
+}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status AdminServer::Start(uint16_t port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("admin server already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return UnavailableError(
+        StrFormat("socket() failed: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  // Loopback only — the admin surface has no auth (see header comment).
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return UnavailableError(StrFormat("bind(127.0.0.1:%u) failed: %s",
+                                      static_cast<unsigned>(port),
+                                      std::strerror(err)));
+  }
+  if (::listen(fd, 16) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return UnavailableError(
+        StrFormat("listen() failed: %s", std::strerror(err)));
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return UnavailableError(
+        StrFormat("getsockname() failed: %s", std::strerror(err)));
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::Ok();
+}
+
+void AdminServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+}
+
+void AdminServer::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    // Poll with a short timeout so Stop() is observed without needing to
+    // kick the blocked accept from another thread.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) {
+      continue;
+    }
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      continue;
+    }
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void AdminServer::HandleConnection(int client_fd) {
+  // Read until the end of the request head; everything we need is in the
+  // request line. Cap the head so a misbehaving client cannot balloon us.
+  std::string head;
+  char buf[1024];
+  while (head.size() < 16 * 1024 &&
+         head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    pollfd pfd{client_fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/2000) <= 0) {
+      break;
+    }
+    const ssize_t n = ::read(client_fd, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    head.append(buf, static_cast<size_t>(n));
+  }
+
+  AdminResponse response;
+  const size_t line_end = head.find_first_of("\r\n");
+  const std::string request_line = head.substr(0, line_end);
+  const std::vector<std::string_view> parts =
+      Split(std::string_view(request_line), ' ');
+  if (parts.size() < 2 || request_line.empty()) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (parts[0] != "GET") {
+    response = {405, "text/plain; charset=utf-8", "only GET is supported\n"};
+  } else {
+    AdminRequest request;
+    const std::string_view target = parts[1];
+    const size_t q = target.find('?');
+    request.path = std::string(target.substr(0, q));
+    if (q != std::string_view::npos) {
+      request.query = std::string(target.substr(q + 1));
+    }
+    const auto it = handlers_.find(request.path);
+    if (it == handlers_.end()) {
+      response = {404, "text/plain; charset=utf-8",
+                  "not found: " + request.path + "\n"};
+    } else {
+      response = it->second(request);
+    }
+  }
+
+  std::string out = StrFormat(
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, StatusText(response.status),
+      response.content_type.c_str(), response.body.size());
+  out += response.body;
+  WriteAll(client_fd, out);
+}
+
+void RegisterStandardEndpoints(AdminServer& server,
+                               std::function<std::string()> objectz_json) {
+  server.Handle("/healthz", [](const AdminRequest&) {
+    return AdminResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+  server.Handle("/metrics", [](const AdminRequest&) {
+    return AdminResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                         RenderPrometheus(MetricsRegistry::Global().Snapshot())};
+  });
+  server.Handle("/tracez", [](const AdminRequest& request) {
+    std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
+    const std::string object = request.QueryParam("object");
+    if (!object.empty()) {
+      std::vector<TraceEvent> filtered;
+      for (TraceEvent& event : events) {
+        if (event.detail == object) {
+          filtered.push_back(std::move(event));
+        }
+      }
+      events = std::move(filtered);
+    }
+    const std::string format = request.QueryParam("format");
+    if (format == "json") {
+      return AdminResponse{200, "application/json", RenderTraceJson(events)};
+    }
+    if (format == "perfetto") {
+      return AdminResponse{200, "application/json",
+                           RenderTracePerfetto(events)};
+    }
+    if (format == "text") {
+      return AdminResponse{200, "text/plain; charset=utf-8",
+                           RenderTraceText(events)};
+    }
+    return AdminResponse{200, "text/plain; charset=utf-8",
+                         RenderTraceTree(events)};
+  });
+  server.Handle("/flightz", [](const AdminRequest& request) {
+    const std::vector<FlightEvent> events = FlightRecorder::Global().Snapshot();
+    if (request.QueryParam("format") == "json") {
+      return AdminResponse{200, "application/json", RenderFlightJson(events)};
+    }
+    std::string body = RenderFlightText(events);
+    body += StrFormat("total_recorded=%llu dropped=%llu\n",
+                      static_cast<unsigned long long>(
+                          FlightRecorder::Global().total_recorded()),
+                      static_cast<unsigned long long>(
+                          FlightRecorder::Global().dropped()));
+    return AdminResponse{200, "text/plain; charset=utf-8", std::move(body)};
+  });
+  server.Handle("/objectz",
+                [provider = std::move(objectz_json)](const AdminRequest&) {
+                  return AdminResponse{
+                      200, "application/json",
+                      provider ? provider() : std::string("{\"objects\":[]}\n")};
+                });
+}
+
+}  // namespace stcomp::obs

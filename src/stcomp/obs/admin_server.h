@@ -1,0 +1,95 @@
+// Minimal blocking-accept HTTP/1.0 admin server — the process's live
+// introspection surface and the repo's first network listener.
+//
+// Scope is deliberately tiny: GET only, one request per connection
+// (Connection: close), one accept thread handling requests serially, no
+// TLS, no auth. It binds 127.0.0.1 ONLY — the endpoints expose object
+// ids, file paths and timing internals, so never forward the port off a
+// trusted host (DESIGN.md §15 lists the caveats). This is an operator
+// tool, not a production ingest path; the wire-protocol roadmap item
+// gets its own hardened server.
+//
+// Standard endpoints (RegisterStandardEndpoints):
+//   /metrics  Prometheus text exposition 0.0.4 of the global registry
+//   /healthz  "ok\n" — liveness probe
+//   /tracez   span tree from the global TraceBuffer
+//             (?format=text|tree|json|perfetto, ?object= filters by the
+//             span detail tag)
+//   /objectz  per-object fixes in/out, ratio and policy state (JSON),
+//             from the caller-supplied provider
+//   /flightz  flight-recorder snapshot (?format=text|json)
+
+#ifndef STCOMP_OBS_ADMIN_SERVER_H_
+#define STCOMP_OBS_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "stcomp/common/status.h"
+
+namespace stcomp::obs {
+
+struct AdminRequest {
+  std::string path;   // decoded path, e.g. "/tracez"
+  std::string query;  // raw query string after '?', may be empty
+
+  // Value of `key` in the query string ("" when absent). Handles
+  // k1=v1&k2=v2; no percent-decoding (admin values are plain tokens).
+  std::string QueryParam(std::string_view key) const;
+};
+
+struct AdminResponse {
+  int status = 200;  // 200, 404, ...
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class AdminServer {
+ public:
+  using Handler = std::function<AdminResponse(const AdminRequest&)>;
+
+  AdminServer() = default;
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  // Registers `handler` for exact path `path`. Must be called before
+  // Start(); later registrations race the accept thread.
+  void Handle(std::string path, Handler handler);
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port — read it back via
+  // port()) and starts the accept thread. kUnavailable on bind failure.
+  Status Start(uint16_t port);
+
+  // The bound port; 0 before Start() succeeds.
+  uint16_t port() const { return port_; }
+
+  // Stops accepting, joins the thread. Idempotent; also run by ~AdminServer.
+  void Stop();
+
+ private:
+  void Serve();
+  void HandleConnection(int client_fd);
+
+  std::map<std::string, Handler> handlers_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// Wires the five standard endpoints into `server`. `objectz_json` is
+// called per /objectz request and must return a JSON document (e.g.
+// FleetCompressor::RenderObjectsJson); pass nullptr to serve an empty
+// object list. The caller must ensure the provider is safe to call from
+// the server thread for as long as the server runs.
+void RegisterStandardEndpoints(AdminServer& server,
+                               std::function<std::string()> objectz_json);
+
+}  // namespace stcomp::obs
+
+#endif  // STCOMP_OBS_ADMIN_SERVER_H_

@@ -1,8 +1,10 @@
 #include "stcomp/obs/exposition.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <unordered_map>
 
 #include "stcomp/common/strings.h"
 
@@ -330,10 +332,14 @@ std::string RenderMetrics(const MetricsSnapshot& snapshot,
 std::string RenderTraceText(const std::vector<TraceEvent>& events) {
   std::string out;
   for (const TraceEvent& event : events) {
-    char line[256];
-    std::snprintf(line, sizeof(line), "%12.3f ms  +%10.3f ms  %s%s%s\n",
+    char line[320];
+    std::snprintf(line, sizeof(line),
+                  "%12.3f ms  +%10.3f ms  t%02u  #%-6llu<#%-6llu %s%s%s\n",
                   static_cast<double>(event.start_us) / 1000.0,
                   static_cast<double>(event.duration_us) / 1000.0,
+                  event.thread_id,
+                  static_cast<unsigned long long>(event.span_id),
+                  static_cast<unsigned long long>(event.parent_id),
                   event.name.c_str(), event.detail.empty() ? "" : " ",
                   event.detail.c_str());
     out += line;
@@ -353,9 +359,95 @@ std::string RenderTraceJson(const std::vector<TraceEvent>& events) {
     out += "  {\"name\":\"" + JsonEscape(event.name) + "\",\"detail\":\"" +
            JsonEscape(event.detail) +
            "\",\"start_us\":" + std::to_string(event.start_us) +
-           ",\"duration_us\":" + std::to_string(event.duration_us) + "}";
+           ",\"duration_us\":" + std::to_string(event.duration_us) +
+           ",\"span_id\":" + std::to_string(event.span_id) +
+           ",\"parent_id\":" + std::to_string(event.parent_id) +
+           ",\"thread_id\":" + std::to_string(event.thread_id) + "}";
   }
   out += first ? "]\n" : "\n]\n";
+  return out;
+}
+
+namespace {
+
+void AppendTreeNode(const std::vector<TraceEvent>& events, size_t index,
+                    const std::vector<std::vector<size_t>>& children,
+                    int depth, std::string* out) {
+  const TraceEvent& event = events[index];
+  char line[320];
+  std::snprintf(line, sizeof(line), "%12.3f ms  +%10.3f ms  t%02u  %*s%s%s%s\n",
+                static_cast<double>(event.start_us) / 1000.0,
+                static_cast<double>(event.duration_us) / 1000.0,
+                event.thread_id, depth * 2, "", event.name.c_str(),
+                event.detail.empty() ? "" : " ", event.detail.c_str());
+  *out += line;
+  for (size_t child : children[index]) {
+    AppendTreeNode(events, child, children, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderTraceTree(const std::vector<TraceEvent>& events) {
+  // Index spans by id, then hang each span off its parent. A parent whose
+  // event was overwritten in the ring (or is still open) leaves its
+  // children promoted to roots — the forest stays renderable.
+  std::unordered_map<uint64_t, size_t> by_id;
+  by_id.reserve(events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].span_id != 0) {
+      by_id[events[i].span_id] = i;
+    }
+  }
+  std::vector<std::vector<size_t>> children(events.size());
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const auto parent = by_id.find(events[i].parent_id);
+    if (events[i].parent_id != 0 && parent != by_id.end() &&
+        parent->second != i) {
+      children[parent->second].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  // Children recorded oldest-finished first; order each sibling list (and
+  // the roots) by start time so the tree reads chronologically.
+  const auto by_start = [&events](size_t a, size_t b) {
+    return events[a].start_us < events[b].start_us;
+  };
+  for (auto& list : children) {
+    std::sort(list.begin(), list.end(), by_start);
+  }
+  std::sort(roots.begin(), roots.end(), by_start);
+  std::string out;
+  for (size_t root : roots) {
+    AppendTreeNode(events, root, children, 0, &out);
+  }
+  if (out.empty()) {
+    out = "(no trace spans recorded)\n";
+  }
+  return out;
+}
+
+std::string RenderTracePerfetto(const std::vector<TraceEvent>& events) {
+  // Chrome/Perfetto trace_event JSON: one complete ("ph":"X") event per
+  // span, microsecond timestamps, thread id as tid so each pipeline
+  // thread gets its own track in chrome://tracing.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"name\":\"" + JsonEscape(event.name) +
+           "\",\"cat\":\"stcomp\",\"ph\":\"X\",\"ts\":" +
+           std::to_string(event.start_us) +
+           ",\"dur\":" + std::to_string(event.duration_us) +
+           ",\"pid\":1,\"tid\":" + std::to_string(event.thread_id) +
+           ",\"args\":{\"detail\":\"" + JsonEscape(event.detail) +
+           "\",\"span_id\":" + std::to_string(event.span_id) +
+           ",\"parent_id\":" + std::to_string(event.parent_id) + "}}";
+  }
+  out += first ? "]}\n" : "\n]}\n";
   return out;
 }
 

@@ -42,10 +42,20 @@ std::string RenderMetrics(const MetricsSnapshot& snapshot,
 // and tests.
 double ApproximateQuantile(const HistogramSample& histogram, double q);
 
-// Trace events as human text (one line per span, oldest first).
+// Trace events as human text (one line per span, oldest first), with the
+// recording thread and "#span<#parent" ids on each line.
 std::string RenderTraceText(const std::vector<TraceEvent>& events);
-// Trace events as a JSON array of {name, detail, start_us, duration_us}.
+// Trace events as a JSON array of {name, detail, start_us, duration_us,
+// span_id, parent_id, thread_id}.
 std::string RenderTraceJson(const std::vector<TraceEvent>& events);
+// Reconstructs the span forest from parent ids and renders it as indented
+// text, siblings in start-time order. Spans whose parent is missing from
+// `events` (overwritten or still open) are promoted to roots.
+std::string RenderTraceTree(const std::vector<TraceEvent>& events);
+// Chrome/Perfetto trace_event JSON ("ph":"X" complete events, ts/dur in
+// microseconds, tid = recording thread) — loads in chrome://tracing and
+// ui.perfetto.dev as-is.
+std::string RenderTracePerfetto(const std::vector<TraceEvent>& events);
 
 }  // namespace stcomp::obs
 

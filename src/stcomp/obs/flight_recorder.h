@@ -1,0 +1,202 @@
+// Lock-free per-thread flight recorder: the last-moments evidence trail
+// the mutexed trace buffer cannot be (DESIGN.md §15).
+//
+// Record() is wait-free on the hot path — a handful of relaxed atomic
+// stores into the calling thread's own fixed-size ring, no mutex, no
+// allocation, no string construction — so pipeline transitions (object
+// arrival, gate decisions, batch appends, WAL commits) can leave
+// structured events unconditionally, not sampled. Transitions, not
+// steady-state traffic: a per-fix event stream would lap the ring in
+// milliseconds and erase the history a post-mortem dump exists to keep. Memory is bounded by
+// capacity_per_thread × max_threads entries of sizeof(Entry); the ring
+// overwrites its oldest events and every overwritten or otherwise lost
+// event is accounted in dropped(), so
+//
+//   delivered-by-Drain + dropped() + still-buffered == total_recorded()
+//
+// holds exactly even while writers race a drainer (the TSan suite in
+// tests/flight_recorder_test.cc asserts it).
+//
+// Dumps: DumpGlobal(reason) renders the global recorder's snapshot and
+// hands it to the dump sink (stderr by default). The store and stream
+// layers call it automatically on WAL sticky death, Fsck corruption and
+// ingest quarantine transitions — the crash report writes itself. A
+// per-process dump budget keeps pathological loops (a fuzzer feeding
+// corrupt stores) from flooding stderr.
+
+#ifndef STCOMP_OBS_FLIGHT_RECORDER_H_
+#define STCOMP_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stcomp/obs/metrics.h"
+
+namespace stcomp::obs {
+
+// What happened, at a pipeline boundary. Codes are stable identifiers
+// (events carry them as u16); add at the end.
+enum class FlightCode : uint16_t {
+  kNone = 0,
+  // Stream layer.
+  kFleetPush = 1,         // object's first fix arrived; arg0 = fixes_in (1)
+  kFleetFinishObject = 2,  // arg0 = fixes_out for the object
+  kGateDrop = 3,          // arg0 = consecutive faults
+  kGateRepair = 4,
+  kGateQuarantine = 5,    // the transition, once per object
+  kGateRejected = 6,      // kReject surfaced an error to the caller
+  // Store layer.
+  kStoreAppend = 7,       // SegmentStore::Append accepted; arg0 = boundary
+  kWalCommit = 8,         // arg0 = records in batch, arg1 = boundary
+  kWalTruncate = 9,       // arg0 = boundary
+  kWalDeath = 10,         // sticky death; arg0 = boundary
+  kCheckpoint = 11,       // arg0 = segment sequence
+  kRecovery = 12,         // arg0 = records replayed, arg1 = frames salvaged
+  kFsckCorrupt = 13,      // arg0 = files flagged
+  // Free-form probe for tests/benches.
+  kProbe = 14,
+};
+
+// Stable lowercase name for rendering ("wal_commit", ...).
+std::string_view FlightCodeName(FlightCode code);
+
+// One recorded event, as returned by Snapshot()/Drain().
+struct FlightEvent {
+  uint64_t seq = 0;       // per-thread sequence number (dense from 0)
+  uint64_t t_us = 0;      // coarse NowMicros clock: exact on every 64th
+                          // record per thread, last-refreshed in between
+                          // (per-thread order stays exact via seq)
+  uint32_t thread_id = 0;  // CurrentThreadId() of the writer
+  FlightCode code = FlightCode::kNone;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  char tag[24] = {};      // truncated, NUL-terminated object id / detail
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kTagCapacity = sizeof(FlightEvent::tag);
+  static constexpr size_t kDefaultCapacityPerThread = 2048;
+  static constexpr size_t kDefaultMaxThreads = 64;
+
+  static FlightRecorder& Global();
+
+  // `capacity_per_thread` is rounded up to a power of two so the ring
+  // index is a mask, not a division, on the Record() hot path.
+  explicit FlightRecorder(size_t capacity_per_thread = kDefaultCapacityPerThread,
+                          size_t max_threads = kDefaultMaxThreads);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Wait-free, allocation-free structured event write into the calling
+  // thread's ring. `tag` is truncated to kTagCapacity - 1 bytes. If every
+  // thread slot is taken the event is counted dropped instead of recorded.
+  void Record(FlightCode code, std::string_view tag, uint64_t arg0 = 0,
+              uint64_t arg1 = 0);
+
+  // Non-destructive merged view of every thread's buffered events, sorted
+  // by (t_us, thread, seq). Events overwritten mid-read are skipped (a
+  // later Drain accounts for them). Safe against concurrent writers.
+  std::vector<FlightEvent> Snapshot() const;
+
+  // Destructive read: returns every event recorded since the previous
+  // Drain that still survives in its ring, advances the per-thread
+  // cursors, and adds everything lost (ring overwrite, torn read) to the
+  // drop counter — each sequence number is either delivered or counted
+  // dropped, exactly once. Single drainer at a time; writers may race.
+  std::vector<FlightEvent> Drain();
+
+  // Record() calls over the recorder's lifetime (including dropped ones).
+  uint64_t total_recorded() const;
+  // Events lost: ring overwrites beyond a drain cursor, torn reads, and
+  // records refused because max_threads slots were taken.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  size_t capacity_per_thread() const { return capacity_; }
+  size_t max_threads() const { return max_threads_; }
+
+  // --- Automatic dumps ------------------------------------------------
+  // The sink receives the reason and the RenderFlightText'd snapshot of
+  // the *global* recorder. Default writes both to stderr. Returns the
+  // previous sink. Process-global; tests install a capturing sink.
+  using DumpSink =
+      std::function<void(std::string_view reason, const std::string& text)>;
+  static DumpSink SetDumpSink(DumpSink sink);
+
+  // Renders Global().Snapshot() and hands it to the sink — called by the
+  // WAL sticky-death, Fsck-corruption and quarantine-transition paths,
+  // and by `trajectory_tool --flight-dump`. At most `budget` automatic
+  // dumps fire per process (default 8) so corrupt-input loops cannot
+  // flood stderr; suppressed dumps are counted silently.
+  static void DumpGlobal(std::string_view reason);
+  static void SetDumpBudgetForTest(uint64_t budget);
+
+ private:
+  // One ring entry. Payload fields are relaxed atomics so a reader racing
+  // the overwriting writer is a data-race-free torn read, detected (and
+  // discarded) via the seq stamp around it: the writer invalidates seq,
+  // stores the payload, then publishes the new seq with release order.
+  // Exactly one cache line, and aligned to it: a Record() touches a
+  // single line, never straddles two.
+  struct alignas(64) Entry {
+    static constexpr uint64_t kInvalidSeq = ~uint64_t{0};
+    std::atomic<uint64_t> seq{kInvalidSeq};
+    std::atomic<uint64_t> t_us{0};
+    std::atomic<uint64_t> code_thread{0};  // code in low 16, thread << 16
+    std::atomic<uint64_t> arg0{0};
+    std::atomic<uint64_t> arg1{0};
+    std::atomic<uint64_t> tag_words[kTagCapacity / 8];
+  };
+  static_assert(sizeof(Entry) == 64, "one entry per cache line");
+
+  // One per writer thread; `head` is single-writer (the owner), read by
+  // the drainer with acquire order. `cursor` is drainer-owned. A claimant
+  // wins `owner` by CAS (so only one thread ever writes `ring`), then
+  // publishes the allocated ring via `ready`; readers skip non-ready
+  // slots.
+  struct Slot {
+    std::atomic<uint32_t> owner{0};  // CurrentThreadId() of the claimant
+    std::atomic<bool> ready{false};  // ring allocated and visible
+    std::atomic<uint64_t> head{0};   // next sequence number to write
+    uint64_t cursor = 0;             // first undrained sequence number
+    uint64_t thread_bits = 0;        // owner << 16, precomputed at claim
+    std::unique_ptr<Entry[]> ring;
+  };
+
+  Slot* AcquireSlot();
+  // Reads ring entry `seq` of `slot`; false if torn/overwritten.
+  bool ReadEntry(const Slot& slot, uint64_t seq, FlightEvent* out) const;
+
+  const size_t capacity_;  // power of two
+  const uint64_t ring_mask_;  // capacity_ - 1
+  const size_t max_threads_;
+  const uint64_t instance_id_;  // never-reused key for the TLS slot cache
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<size_t> claimed_slots_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> no_slot_records_{0};
+};
+
+// Human text, one line per event, oldest first.
+std::string RenderFlightText(const std::vector<FlightEvent>& events);
+// JSON array of {seq, t_us, thread_id, code, tag, arg0, arg1}.
+std::string RenderFlightJson(const std::vector<FlightEvent>& events);
+
+}  // namespace stcomp::obs
+
+#if STCOMP_METRICS_ENABLED
+#define STCOMP_FLIGHT_EVENT(code, tag, arg0, arg1)            \
+  ::stcomp::obs::FlightRecorder::Global().Record(             \
+      ::stcomp::obs::FlightCode::code, tag, arg0, arg1)
+#else
+#define STCOMP_FLIGHT_EVENT(code, tag, arg0, arg1) \
+  do {                                             \
+  } while (false)
+#endif
+
+#endif  // STCOMP_OBS_FLIGHT_RECORDER_H_

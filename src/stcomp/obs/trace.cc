@@ -1,8 +1,76 @@
 #include "stcomp/obs/trace.h"
 
+#include <atomic>
+#include <cstdlib>
+
 #include "stcomp/common/check.h"
 
 namespace stcomp::obs {
+
+namespace {
+
+// Per-thread span stack: only the active flag and span id of each open
+// span are needed to wire children to parents; spans are strictly nested
+// by construction (RAII). A fixed POD array instead of a vector keeps the
+// not-sampled hot path to a TLS access plus two plain stores — no
+// thread_local init guard, no allocation, no capacity check on pop.
+// Nesting deeper than the array (never happens in practice — the pipeline
+// is ~4 levels) records nothing for the overflowing spans.
+struct SpanFrame {
+  uint64_t span_id;
+  bool active;
+};
+
+constexpr size_t kMaxSpanDepth = 64;
+
+struct SpanStack {
+  uint32_t depth = 0;
+  SpanFrame frames[kMaxSpanDepth] = {};
+};
+
+// The `= {}` on frames makes the whole struct constant-initializable, so
+// the TLS access below is a plain address computation — no per-access
+// dynamic-init guard on the hot path.
+thread_local constinit SpanStack tls_span_stack;
+
+std::atomic<uint64_t> g_next_span_id{1};
+
+uint64_t InitialSampledRootPeriod() {
+  const char* env = std::getenv("STCOMP_TRACE_SAMPLE_EVERY");
+  if (env != nullptr && env[0] != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) {
+      return static_cast<uint64_t>(parsed);
+    }
+  }
+  return TraceBuffer::kDefaultSampledRootPeriod;
+}
+
+// 0 means "not initialized yet" (valid periods are >= 1), so the common
+// read is one relaxed load + branch with no magic-static guard. The CAS
+// makes first-read/first-write races converge on a single value.
+constinit std::atomic<uint64_t> g_sampled_root_period{0};
+
+uint64_t EnsureSampledRootPeriod() {
+  uint64_t period = g_sampled_root_period.load(std::memory_order_relaxed);
+  if (period == 0) {
+    uint64_t expected = 0;
+    period = InitialSampledRootPeriod();
+    if (!g_sampled_root_period.compare_exchange_strong(
+            expected, period, std::memory_order_relaxed)) {
+      period = expected;
+    }
+  }
+  return period;
+}
+
+}  // namespace
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id = next.fetch_add(1);
+  return id;
+}
 
 TraceBuffer& TraceBuffer::Global() {
   // Leaked singleton, same rationale as MetricsRegistry::Global().
@@ -56,6 +124,71 @@ uint64_t TraceBuffer::NowMicros() {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - kEpoch)
           .count());
+}
+
+uint64_t TraceBuffer::SetSampledRootPeriod(uint64_t period) {
+  STCOMP_CHECK(period >= 1);
+  // Initialize first so the returned "previous" is the effective period
+  // (default or env), never the internal 0 sentinel.
+  EnsureSampledRootPeriod();
+  return g_sampled_root_period.exchange(period, std::memory_order_relaxed);
+}
+
+uint64_t TraceBuffer::SampledRootPeriod() {
+  return EnsureSampledRootPeriod();
+}
+
+TraceSpan::TraceSpan(std::string_view name, std::string_view detail,
+                     TraceBuffer* buffer, bool sampled_root)
+    : buffer_(buffer) {
+  SpanStack& stack = tls_span_stack;
+  if (stack.depth > 0) {
+    // A descendant inherits the root's record-or-not decision wholesale:
+    // a recorded tree is complete, an unrecorded one costs nothing.
+    const SpanFrame& top = stack.frames[stack.depth - 1];
+    active_ = top.active;
+    parent_id_ = top.span_id;
+  } else if (sampled_root) {
+    const uint64_t period = TraceBuffer::SampledRootPeriod();
+    thread_local uint64_t tick = 0;
+    active_ = (tick++ % period) == 0;
+  } else {
+    active_ = true;
+  }
+  if (stack.depth >= kMaxSpanDepth) {
+    // Overflow: give up on recording this span but keep the destructor's
+    // pop balanced by not pushing (buffer_ == nullptr marks it).
+    active_ = false;
+    buffer_ = nullptr;
+    return;
+  }
+  if (active_) {
+    span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    name_.assign(name);
+    detail_.assign(detail);
+    start_us_ = TraceBuffer::NowMicros();
+  }
+  stack.frames[stack.depth] = SpanFrame{span_id_, active_};
+  ++stack.depth;
+}
+
+TraceSpan::~TraceSpan() {
+  if (buffer_ == nullptr) {
+    return;  // overflow span: never pushed a frame
+  }
+  --tls_span_stack.depth;
+  if (!active_) {
+    return;
+  }
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.detail = std::move(detail_);
+  event.start_us = start_us_;
+  event.duration_us = TraceBuffer::NowMicros() - start_us_;
+  event.span_id = span_id_;
+  event.parent_id = parent_id_;
+  event.thread_id = CurrentThreadId();
+  buffer_->Record(std::move(event));
 }
 
 }  // namespace stcomp::obs

@@ -7,6 +7,7 @@
 
 #include "stcomp/common/check.h"
 #include "stcomp/common/strings.h"
+#include "stcomp/obs/flight_recorder.h"
 #include "stcomp/obs/metrics.h"
 #include "stcomp/obs/trace.h"
 #include "stcomp/store/durable_file.h"
@@ -142,6 +143,7 @@ Status SegmentStore::Open(const std::string& dir) {
 }
 
 Status SegmentStore::Recover() {
+  STCOMP_TRACE_SPAN("segment_store.recover", dir_);
   const auto started = std::chrono::steady_clock::now();
   recovery_ = RecoveryReport();
 
@@ -228,6 +230,9 @@ Status SegmentStore::Recover() {
   }
   STCOMP_IF_METRICS(
       Metrics().recovery_seconds->Observe(recovery_.recovery_seconds));
+  STCOMP_FLIGHT_EVENT(kRecovery, dir_, recovery_.wal_records_replayed,
+                      recovery_.segment_frames_salvaged +
+                          recovery_.wal_frames_salvaged);
   return Status::Ok();
 }
 
@@ -242,9 +247,13 @@ Status SegmentStore::StageAndMaybeCommit(const WalRecord& record) {
 Status SegmentStore::Append(const std::string& object_id,
                             const TimedPoint& point) {
   STCOMP_CHECK(open_);
+  // Head-sampled when it is itself the root; inherits the decision when a
+  // pipeline push span is already open on this thread.
+  STCOMP_TRACE_SPAN_SAMPLED("segment_store.append", object_id);
   // Memory first: the store's own validation (monotonic time, finite
   // values) decides what is worth logging.
   STCOMP_RETURN_IF_ERROR(store_.Append(object_id, point));
+  STCOMP_FLIGHT_EVENT(kStoreAppend, object_id, boundary_, 0);
   return StageAndMaybeCommit(WalRecord::Append(object_id, point));
 }
 
@@ -291,6 +300,7 @@ Status SegmentStore::Checkpoint() {
       std::filesystem::remove(dir_ + "/" + name, ec);
     }
   }
+  STCOMP_FLIGHT_EVENT(kCheckpoint, dir_, sequence, 0);
   return Status::Ok();
 }
 
@@ -321,6 +331,17 @@ Result<FsckReport> SegmentStore::Fsck(const std::string& dir) {
         std::string(kWalFileName), image.size(),
         stats.records_replayed + stats.records_dropped_uncommitted,
         stats.frames_salvaged_past, stats.torn_tail});
+  }
+  if (!report.clean()) {
+    size_t flagged = 0;
+    for (const FsckFileReport& file : report.files) {
+      if (file.frames_salvaged > 0 || file.torn_tail) {
+        ++flagged;
+      }
+    }
+    STCOMP_FLIGHT_EVENT(kFsckCorrupt, dir, flagged, report.files.size());
+    STCOMP_IF_METRICS(
+        obs::FlightRecorder::DumpGlobal("fsck found corruption in " + dir));
   }
   return report;
 }

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "stcomp/common/check.h"
+#include "stcomp/obs/flight_recorder.h"
+#include "stcomp/obs/trace.h"
 #include "stcomp/store/serialization.h"
 #include "stcomp/store/varint.h"
 
@@ -16,6 +18,12 @@ namespace stcomp {
 namespace {
 
 constexpr char kWalMagic[4] = {'S', 'T', 'W', 'L'};
+
+// Flight-recorder tags carry 23 bytes; the file name is the useful part.
+[[maybe_unused]] std::string_view PathTail(std::string_view path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
 
 void AppendCrc(std::string* frame) {
   const uint32_t crc = Crc32(*frame);
@@ -209,6 +217,14 @@ WalWriter::~WalWriter() {
   }
 }
 
+Status WalWriter::Die(Status status) {
+  death_ = std::move(status);
+  STCOMP_FLIGHT_EVENT(kWalDeath, PathTail(path_), *boundary_, 0);
+  STCOMP_IF_METRICS(obs::FlightRecorder::DumpGlobal("wal sticky death: " +
+                                                    death_.ToString()));
+  return death_;
+}
+
 Status WalWriter::CheckAlive() const {
   if (!death_.ok()) {
     return death_;
@@ -241,26 +257,28 @@ Status WalWriter::Commit() {
   if (staged_.empty()) {
     return Status::Ok();
   }
+  // Records as a child of whatever pipeline span is open (e.g. a sampled
+  // fleet.push) so the durable-write leg shows up in the object's tree.
+  STCOMP_TRACE_SPAN("wal.commit", PathTail(path_));
+  [[maybe_unused]] const size_t batch_records = staged_.size();
   staged_.push_back(EncodeWalFrame(WalRecord::Commit()));
   for (const std::string& frame : staged_) {
     const Status status =
         FaultableWriteFd(fd_, frame, hook_, boundary_, path_);
     if (!status.ok()) {
-      death_ = status;
-      return status;
+      return Die(status);
     }
   }
   const Status synced = FaultPoint(hook_, boundary_, "fsync of " + path_);
   if (!synced.ok()) {
-    death_ = synced;
-    return synced;
+    return Die(synced);
   }
   if (::fsync(fd_) != 0) {
-    death_ = IoError("fsync failed for " + path_ + ": " +
-                     std::strerror(errno));
-    return death_;
+    return Die(IoError("fsync failed for " + path_ + ": " +
+                       std::strerror(errno)));
   }
   staged_.clear();
+  STCOMP_FLIGHT_EVENT(kWalCommit, PathTail(path_), batch_records, *boundary_);
   return Status::Ok();
 }
 
@@ -268,20 +286,18 @@ Status WalWriter::Truncate() {
   STCOMP_RETURN_IF_ERROR(CheckAlive());
   const Status point = FaultPoint(hook_, boundary_, "truncate of " + path_);
   if (!point.ok()) {
-    death_ = point;
-    return point;
+    return Die(point);
   }
   if (::ftruncate(fd_, 0) != 0) {
-    death_ = IoError("truncate failed for " + path_ + ": " +
-                     std::strerror(errno));
-    return death_;
+    return Die(IoError("truncate failed for " + path_ + ": " +
+                       std::strerror(errno)));
   }
   if (::fsync(fd_) != 0) {
-    death_ = IoError("fsync failed for " + path_ + ": " +
-                     std::strerror(errno));
-    return death_;
+    return Die(IoError("fsync failed for " + path_ + ": " +
+                       std::strerror(errno)));
   }
   staged_.clear();
+  STCOMP_FLIGHT_EVENT(kWalTruncate, PathTail(path_), *boundary_, 0);
   return Status::Ok();
 }
 

@@ -108,6 +108,10 @@ class WalWriter {
 
  private:
   Status CheckAlive() const;
+  // Marks the writer dead with `status`, leaves a kWalDeath flight event
+  // and triggers an automatic flight dump — the recorder holds the last
+  // moments before the failure.
+  Status Die(Status status);
 
   int fd_ = -1;
   std::string path_;

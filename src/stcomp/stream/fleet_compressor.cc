@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "stcomp/common/check.h"
+#include "stcomp/common/strings.h"
+#include "stcomp/obs/flight_recorder.h"
 #include "stcomp/obs/timer.h"
 #include "stcomp/obs/trace.h"
 #include "stcomp/store/varint.h"
@@ -52,6 +54,7 @@ FleetCompressor::FleetCompressor(
 }
 
 Status FleetCompressor::Drain(const std::string& object_id,
+                              ObjectState* state,
                               std::vector<TimedPoint>* committed) {
   // Error-consistent accounting: count and remove exactly the points the
   // store accepted, so a failed Append mid-drain neither inflates fixes_out
@@ -68,6 +71,8 @@ Status FleetCompressor::Drain(const std::string& object_id,
   }
   if (appended > 0) {
     fixes_out_->Increment(appended);
+    state->fixes_out += appended;
+    STCOMP_FLIGHT_EVENT(kStoreAppend, object_id, appended, state->fixes_out);
   }
   committed->erase(committed->begin(),
                    committed->begin() + static_cast<ptrdiff_t>(appended));
@@ -77,17 +82,30 @@ Status FleetCompressor::Drain(const std::string& object_id,
 Status FleetCompressor::Push(const std::string& object_id,
                              const TimedPoint& fix) {
   STCOMP_SCOPED_TIMER_SAMPLED(push_seconds_);
+  // Head-sampled root: one in TraceBuffer::SampledRootPeriod() pushes
+  // records its whole gate → compressor → store span tree.
+  STCOMP_TRACE_SPAN_SAMPLED("fleet.push", object_id);
   auto it = compressors_.find(object_id);
   if (it == compressors_.end()) {
     it = compressors_
              .emplace(object_id,
                       ObjectState{factory_(),
-                                  IngestGate(policy_, ingest_counters_)})
+                                  IngestGate(policy_, ingest_counters_,
+                                             object_id)})
              .first;
     STCOMP_IF_METRICS(active_objects_gauge_->Set(
         static_cast<double>(compressors_.size())));
   }
   fixes_in_->Increment();
+  ++it->second.fixes_in;
+  if (it->second.fixes_in == 1) {
+    // Flight events mark transitions, not steady-state traffic: recording
+    // every fix would lap the ring in milliseconds at fleet rates and
+    // erase the history a post-mortem dump needs. The object's arrival
+    // plus the per-batch kStoreAppend / gate-fault / WAL events below it
+    // reconstruct the steady state.
+    STCOMP_FLIGHT_EVENT(kFleetPush, object_id, 1, 0);
+  }
   admitted_.clear();
   STCOMP_RETURN_IF_ERROR(it->second.gate.Admit(fix, &admitted_));
   std::vector<TimedPoint> committed;
@@ -95,7 +113,7 @@ Status FleetCompressor::Push(const std::string& object_id,
     STCOMP_RETURN_IF_ERROR(it->second.compressor->Push(admitted_fix,
                                                        &committed));
   }
-  return Drain(object_id, &committed);
+  return Drain(object_id, &it->second, &committed);
 }
 
 Status FleetCompressor::FinishObject(const std::string& object_id) {
@@ -117,7 +135,9 @@ Status FleetCompressor::FinishObject(const std::string& object_id) {
   it->second.compressor->Finish(&committed);
   // Drain before erasing: callers (FinishAll in particular) may pass a
   // reference to the map key itself, which erase() would invalidate.
-  const Status drain_status = Drain(object_id, &committed);
+  const Status drain_status = Drain(object_id, &it->second, &committed);
+  STCOMP_FLIGHT_EVENT(kFleetFinishObject, object_id, it->second.fixes_out,
+                      it->second.fixes_in);
   compressors_.erase(it);
   STCOMP_IF_METRICS(active_objects_gauge_->Set(
       static_cast<double>(compressors_.size())));
@@ -201,7 +221,9 @@ Status FleetCompressor::RestoreState(std::string_view image) {
     if (!body.empty()) {
       return DataLossError("trailing bytes in fleet object section");
     }
-    ObjectState state{factory_(), IngestGate(policy_, ingest_counters_)};
+    ObjectState state{factory_(),
+                      IngestGate(policy_, ingest_counters_,
+                                 std::string(object_id))};
     STCOMP_RETURN_IF_ERROR(state.gate.RestoreState(gate_state));
     STCOMP_RETURN_IF_ERROR(state.compressor->RestoreState(compressor_state));
     if (!compressors_.emplace(std::string(object_id), std::move(state))
@@ -214,6 +236,59 @@ Status FleetCompressor::RestoreState(std::string_view image) {
       static_cast<double>(compressors_.size())));
   STCOMP_IF_METRICS(buffered_points());
   return Status::Ok();
+}
+
+std::vector<FleetCompressor::ObjectInfo> FleetCompressor::ObjectsSnapshot()
+    const {
+  std::vector<ObjectInfo> objects;
+  objects.reserve(compressors_.size());
+  for (const auto& [object_id, state] : compressors_) {
+    ObjectInfo info;
+    info.object_id = object_id;
+    info.fixes_in = state.fixes_in;
+    info.fixes_out = state.fixes_out;
+    info.buffered_points =
+        state.compressor->buffered_points() + state.gate.held_points();
+    info.dropped = state.gate.dropped();
+    info.repaired = state.gate.repaired();
+    info.quarantined = state.gate.quarantined();
+    objects.push_back(std::move(info));
+  }
+  return objects;
+}
+
+std::string FleetCompressor::RenderObjectsJson() const {
+  std::string out = "{\"instance\":\"" + instance_ + "\",\"policy\":\"" +
+                    std::string(IngestModeToString(policy_.mode)) +
+                    "\",\"objects\":[";
+  bool first = true;
+  for (const ObjectInfo& info : ObjectsSnapshot()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    // Object ids come from feed identifiers; escape the JSON-hostile
+    // characters a pathological feed could smuggle in.
+    std::string id;
+    for (const char c : info.object_id) {
+      if (c == '"' || c == '\\') id += '\\';
+      if (static_cast<unsigned char>(c) >= 0x20) id += c;
+    }
+    const double ratio =
+        info.fixes_in > 0
+            ? static_cast<double>(info.fixes_out) /
+                  static_cast<double>(info.fixes_in)
+            : 0.0;
+    out += StrFormat(
+        "  {\"object_id\":\"%s\",\"fixes_in\":%llu,\"fixes_out\":%llu,"
+        "\"ratio\":%.6f,\"buffered_points\":%zu,\"dropped\":%llu,"
+        "\"repaired\":%llu,\"quarantined\":%s}",
+        id.c_str(), static_cast<unsigned long long>(info.fixes_in),
+        static_cast<unsigned long long>(info.fixes_out), ratio,
+        info.buffered_points, static_cast<unsigned long long>(info.dropped),
+        static_cast<unsigned long long>(info.repaired),
+        info.quarantined ? "true" : "false");
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
 }
 
 size_t FleetCompressor::buffered_points() const {

@@ -77,6 +77,23 @@ class FleetCompressor {
   // The label value under which this instance's metrics are registered.
   const std::string& instance() const { return instance_; }
 
+  // Per-object live view for /objectz: fixes in/out, compression ratio,
+  // working memory and ingest-policy state of every active stream.
+  // Synchronization is the caller's (same contract as Push/FinishObject).
+  struct ObjectInfo {
+    std::string object_id;
+    uint64_t fixes_in = 0;
+    uint64_t fixes_out = 0;  // committed to the store
+    size_t buffered_points = 0;
+    uint64_t dropped = 0;
+    uint64_t repaired = 0;
+    bool quarantined = false;
+  };
+  std::vector<ObjectInfo> ObjectsSnapshot() const;
+  // {"instance":..., "policy":..., "objects":[{...,"ratio":...}, ...]} —
+  // what the admin server's /objectz endpoint serves.
+  std::string RenderObjectsJson() const;
+
   const IngestPolicy& policy() const { return policy_; }
 
   // Ingest-gate decisions across all objects so far (shims over this
@@ -102,9 +119,11 @@ class FleetCompressor {
   struct ObjectState {
     std::unique_ptr<OnlineCompressor> compressor;
     IngestGate gate;
+    uint64_t fixes_in = 0;
+    uint64_t fixes_out = 0;
   };
 
-  Status Drain(const std::string& object_id,
+  Status Drain(const std::string& object_id, ObjectState* state,
                std::vector<TimedPoint>* committed);
 
   std::function<std::unique_ptr<OnlineCompressor>()> factory_;

@@ -5,6 +5,7 @@
 
 #include "stcomp/common/check.h"
 #include "stcomp/common/strings.h"
+#include "stcomp/obs/flight_recorder.h"
 #include "stcomp/store/varint.h"
 #include "stcomp/stream/checkpoint.h"
 
@@ -33,8 +34,8 @@ IngestCounters IngestCounters::ForInstance(const std::string& instance) {
 }
 
 IngestGate::IngestGate(const IngestPolicy& policy,
-                       const IngestCounters& counters)
-    : policy_(policy), counters_(counters) {
+                       const IngestCounters& counters, std::string tag)
+    : policy_(policy), counters_(counters), tag_(std::move(tag)) {
   STCOMP_CHECK(counters_.dropped != nullptr);
   STCOMP_CHECK(counters_.repaired != nullptr);
   STCOMP_CHECK(counters_.quarantined != nullptr);
@@ -45,10 +46,25 @@ IngestGate::IngestGate(const IngestPolicy& policy,
 Status IngestGate::RecordFault(obs::Counter* counter,
                                std::string_view detail) {
   counter->Increment();
+  if (counter == counters_.repaired) {
+    ++repaired_;
+    STCOMP_FLIGHT_EVENT(kGateRepair, tag_,
+                        static_cast<uint64_t>(consecutive_faults_ + 1), 0);
+  } else {
+    ++dropped_;
+    STCOMP_FLIGHT_EVENT(kGateDrop, tag_,
+                        static_cast<uint64_t>(consecutive_faults_ + 1), 0);
+  }
   ++consecutive_faults_;
-  if (policy_.quarantine_after > 0 &&
+  if (policy_.quarantine_after > 0 && !quarantined_ &&
       consecutive_faults_ >= policy_.quarantine_after) {
     quarantined_ = true;
+    STCOMP_FLIGHT_EVENT(kGateQuarantine, tag_,
+                        static_cast<uint64_t>(consecutive_faults_), 0);
+    // The quarantine transition is the stream layer's "something is badly
+    // wrong with this feed" moment — preserve the evidence.
+    STCOMP_IF_METRICS(obs::FlightRecorder::DumpGlobal(
+        "ingest quarantine: " + (tag_.empty() ? "<untagged>" : tag_)));
   }
   if (policy_.mode == IngestMode::kReject) {
     return InvalidArgumentError(detail);
@@ -62,6 +78,7 @@ Status IngestGate::Admit(const TimedPoint& fix,
   if (quarantined_) {
     counters_.quarantined->Increment();
     if (policy_.mode == IngestMode::kReject) {
+      STCOMP_FLIGHT_EVENT(kGateRejected, tag_, 0, 0);
       return FailedPreconditionError("object is quarantined");
     }
     return Status::Ok();

@@ -78,7 +78,10 @@ struct IngestCounters {
 // order, each exactly once across the gate's lifetime — to `admitted`.
 class IngestGate {
  public:
-  IngestGate(const IngestPolicy& policy, const IngestCounters& counters);
+  // `tag` names the guarded stream in flight-recorder events (typically
+  // the object id); empty leaves the events untagged.
+  IngestGate(const IngestPolicy& policy, const IngestCounters& counters,
+             std::string tag = "");
 
   // Returns non-OK only in kReject mode (kInvalidArgument for a faulty
   // fix, kFailedPrecondition once quarantined); the other modes always
@@ -94,6 +97,11 @@ class IngestGate {
   // Fixes currently held for reordering (kRepair working memory).
   size_t held_points() const { return held_.size(); }
 
+  // This gate's own fault tallies (the registry counters aggregate every
+  // gate of an instance; /objectz needs them per object).
+  uint64_t dropped() const { return dropped_; }
+  uint64_t repaired() const { return repaired_; }
+
   // Checkpoint/restore (DESIGN.md §13): the reorder buffer, watermarks and
   // quarantine/fault counters, behind a policy config echo — a restarted
   // pipeline resumes with the same admission decisions. Counters are
@@ -107,6 +115,9 @@ class IngestGate {
 
   const IngestPolicy policy_;
   const IngestCounters counters_;
+  const std::string tag_;
+  uint64_t dropped_ = 0;
+  uint64_t repaired_ = 0;
   // Reorder buffer, sorted by strictly increasing t (kRepair only).
   std::vector<TimedPoint> held_;
   double last_released_t_ = 0.0;

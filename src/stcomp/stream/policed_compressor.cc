@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "stcomp/common/check.h"
+#include "stcomp/obs/trace.h"
 #include "stcomp/stream/checkpoint.h"
 
 namespace stcomp {
@@ -25,12 +26,16 @@ PolicedCompressor::PolicedCompressor(std::unique_ptr<OnlineCompressor> inner,
     : inner_(std::move(inner)),
       counters_(IngestCounters::ForInstance(
           ResolveIngestInstance(inner_.get(), instance))),
-      gate_(policy, counters_),
+      gate_(policy, counters_, ResolveIngestInstance(inner_.get(), instance)),
       name_(std::string(inner_->name()) + "-policed") {}
 
 Status PolicedCompressor::Push(const TimedPoint& point,
                                std::vector<TimedPoint>* out) {
   STCOMP_CHECK(out != nullptr);
+  // Hot-path root span (head-sampled): descendants — the gate, the inner
+  // adapter, and any store appends the caller makes in the same call
+  // stack — attach to it, so a sampled push is a complete tree.
+  STCOMP_TRACE_SPAN_SAMPLED("policed.push", name_);
   admitted_.clear();
   STCOMP_RETURN_IF_ERROR(gate_.Admit(point, &admitted_));
   for (const TimedPoint& fix : admitted_) {

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "stcomp/algo/registry.h"
+#include "stcomp/common/strings.h"
 #include "stcomp/obs/exposition.h"
 #include "stcomp/obs/metrics.h"
 #include "stcomp/obs/timer.h"
@@ -235,6 +236,47 @@ TEST(QuantileTest, InterpolatesWithinBuckets) {
   EXPECT_DOUBLE_EQ(ApproximateQuantile(sample, 0.5), 0.0);
 }
 
+TEST(QuantileTest, EmptyHistogramIsZeroForEveryQuantile) {
+  HistogramSample sample;  // no bounds, no buckets, count 0
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(ApproximateQuantile(sample, q), 0.0) << "q=" << q;
+  }
+  // Bounds present but nothing observed must behave the same.
+  sample.upper_bounds = {1.0, 10.0};
+  sample.buckets = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(ApproximateQuantile(sample, 0.5), 0.0);
+}
+
+TEST(QuantileTest, SingleBucketMassInterpolatesWithinThatBucket) {
+  HistogramSample sample;
+  sample.upper_bounds = {1.0, 2.0, 4.0};
+  sample.buckets = {0, 8, 0, 0};  // all mass in (1, 2]
+  sample.count = 8;
+  // Every quantile lands in the same bucket; interpolation walks its width.
+  EXPECT_DOUBLE_EQ(ApproximateQuantile(sample, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(ApproximateQuantile(sample, 0.25), 1.25);
+  EXPECT_DOUBLE_EQ(ApproximateQuantile(sample, 1.0), 2.0);
+  // Mass in the first bucket interpolates from an implicit lower bound 0.
+  sample.buckets = {8, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(ApproximateQuantile(sample, 0.5), 0.5);
+}
+
+TEST(QuantileTest, AllObservationsInInfBucketClampToLastFiniteBound) {
+  HistogramSample sample;
+  sample.upper_bounds = {1.0, 2.0};
+  sample.buckets = {0, 0, 7};  // everything overflowed past the last bound
+  sample.count = 7;
+  for (const double q : {0.01, 0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(ApproximateQuantile(sample, q), 2.0) << "q=" << q;
+  }
+  // Degenerate histogram with only a +Inf bucket has no finite bound to
+  // clamp to; the answer decays to 0 rather than inventing a value.
+  HistogramSample inf_only;
+  inf_only.buckets = {5};
+  inf_only.count = 5;
+  EXPECT_DOUBLE_EQ(ApproximateQuantile(inf_only, 0.5), 0.0);
+}
+
 TEST(ScopedTimerTest, RecordsExactlyOneObservationPerScope) {
   Histogram histogram(LatencyBucketsSeconds());
   {
@@ -286,6 +328,39 @@ TEST(TraceSpanTest, RecordsOnDestruction) {
             std::string::npos);
   EXPECT_NE(RenderTraceJson(events).find("\"name\":\"unit.test\""),
             std::string::npos);
+}
+
+TEST(TraceSpanTest, EventsCarryThreadIdAndRenderersShowIt) {
+  TraceBuffer buffer(8);
+  { TraceSpan span("tid.test", "here", &buffer); }
+  uint32_t worker_tid = 0;
+  std::thread worker([&buffer, &worker_tid] {
+    worker_tid = CurrentThreadId();
+    TraceSpan span("tid.test", "there", &buffer);
+  });
+  worker.join();
+  const std::vector<TraceEvent> events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].thread_id, CurrentThreadId());
+  EXPECT_EQ(events[1].thread_id, worker_tid);
+  EXPECT_NE(events[0].thread_id, events[1].thread_id);
+  EXPECT_NE(events[0].span_id, 0u);
+  EXPECT_NE(events[0].span_id, events[1].span_id);
+  // Both renderers surface the recording thread.
+  const std::string text = RenderTraceText(events);
+  EXPECT_NE(text.find(StrFormat("t%02u", events[0].thread_id)),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find(StrFormat("t%02u", events[1].thread_id)),
+            std::string::npos)
+      << text;
+  const std::string json = RenderTraceJson(events);
+  EXPECT_NE(json.find("\"thread_id\":" + std::to_string(events[1].thread_id)),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"span_id\":" + std::to_string(events[0].span_id)),
+            std::string::npos)
+      << json;
 }
 
 #if STCOMP_METRICS_ENABLED

@@ -1,0 +1,244 @@
+// Span-context tests: the thread-local span stack that wires parent ids,
+// head sampling at hot-path roots, the tree renderer, and structural
+// verification of the Perfetto/Chrome trace_event export.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stcomp/obs/exposition.h"
+#include "stcomp/obs/trace.h"
+
+namespace stcomp::obs {
+namespace {
+
+// Restores the sampling period on scope exit so tests cannot leak their
+// setting into each other.
+class ScopedSamplePeriod {
+ public:
+  explicit ScopedSamplePeriod(uint64_t period)
+      : previous_(TraceBuffer::SetSampledRootPeriod(period)) {}
+  ~ScopedSamplePeriod() { TraceBuffer::SetSampledRootPeriod(previous_); }
+
+ private:
+  const uint64_t previous_;
+};
+
+TEST(SpanStackTest, NestedSpansLinkParentIds) {
+  TraceBuffer buffer(16);
+  // A fresh thread guarantees an empty span stack underneath the roots.
+  std::thread worker([&buffer] {
+    TraceSpan root("root", "obj-1", &buffer);
+    {
+      TraceSpan child_a("child-a", "", &buffer);
+      TraceSpan grand("grand", "", &buffer);
+    }
+    TraceSpan child_b("child-b", "", &buffer);
+  });
+  worker.join();
+  const std::vector<TraceEvent> events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);  // destruction order: grand, a, b, root
+  std::map<std::string, TraceEvent> by_name;
+  for (const TraceEvent& event : events) {
+    EXPECT_NE(event.span_id, 0u);
+    by_name[event.name] = event;
+  }
+  ASSERT_EQ(by_name.size(), 4u);
+  EXPECT_EQ(by_name["root"].parent_id, 0u);
+  EXPECT_EQ(by_name["child-a"].parent_id, by_name["root"].span_id);
+  EXPECT_EQ(by_name["child-b"].parent_id, by_name["root"].span_id);
+  EXPECT_EQ(by_name["grand"].parent_id, by_name["child-a"].span_id);
+  // All on one thread, all distinct span ids.
+  for (const auto& [name, event] : by_name) {
+    EXPECT_EQ(event.thread_id, by_name["root"].thread_id) << name;
+  }
+  EXPECT_NE(by_name["child-a"].span_id, by_name["child-b"].span_id);
+}
+
+TEST(SpanStackTest, SampledRootDecisionIsInheritedBySubtree) {
+  TraceBuffer buffer(64);
+  ScopedSamplePeriod period(3);
+  // Fresh thread: its per-thread sampling tick starts at 0, so roots
+  // 0 and 3 of six record, the rest do not — each recorded root brings
+  // its child with it (complete trees, never torn ones).
+  std::thread worker([&buffer] {
+    for (int i = 0; i < 6; ++i) {
+      TraceSpan root("push", "obj-" + std::to_string(i), &buffer,
+                     /*sampled_root=*/true);
+      TraceSpan child("inner", "", &buffer);
+      EXPECT_EQ(child.active(), root.active()) << "iteration " << i;
+      EXPECT_EQ(root.active(), i % 3 == 0) << "iteration " << i;
+    }
+  });
+  worker.join();
+  const std::vector<TraceEvent> events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Every recorded child links to a recorded root.
+  for (const TraceEvent& event : events) {
+    if (event.name != "inner") {
+      continue;
+    }
+    bool parent_found = false;
+    for (const TraceEvent& candidate : events) {
+      parent_found |= candidate.span_id == event.parent_id;
+    }
+    EXPECT_TRUE(parent_found);
+  }
+}
+
+TEST(SpanStackTest, UnsampledSpanNeverTouchesTheBuffer) {
+  TraceBuffer buffer(16);
+  ScopedSamplePeriod period(1000000);
+  std::thread worker([&buffer] {
+    {
+      // Tick 0 records even under a huge period (1 in N includes the
+      // first); burn it so the next root is the interesting one.
+      TraceSpan first("first", "", &buffer, true);
+    }
+    TraceSpan skipped("skipped", "", &buffer, true);
+    EXPECT_FALSE(skipped.active());
+    EXPECT_EQ(skipped.span_id(), 0u);
+  });
+  worker.join();
+  const std::vector<TraceEvent> events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "first");
+}
+
+TraceEvent MakeEvent(std::string name, uint64_t span_id, uint64_t parent_id,
+                     uint64_t start_us, uint64_t duration_us,
+                     uint32_t thread_id = 1) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.start_us = start_us;
+  event.duration_us = duration_us;
+  event.span_id = span_id;
+  event.parent_id = parent_id;
+  event.thread_id = thread_id;
+  return event;
+}
+
+TEST(TraceTreeTest, IndentsChildrenAndPromotesOrphans) {
+  std::vector<TraceEvent> events;
+  events.push_back(MakeEvent("child", 2, 1, 10, 5));
+  events.push_back(MakeEvent("root", 1, 0, 5, 20));
+  events.push_back(MakeEvent("orphan", 3, 99, 30, 1));  // parent missing
+  const std::string tree = RenderTraceTree(events);
+  // Root renders unindented, its child two spaces deeper, and the orphan
+  // is promoted to a root rather than dropped.
+  EXPECT_NE(tree.find("  root\n"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("    child\n"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("  orphan\n"), std::string::npos) << tree;
+  // Chronological: root line precedes child line precedes orphan line.
+  EXPECT_LT(tree.find("root"), tree.find("child"));
+  EXPECT_LT(tree.find("child"), tree.find("orphan"));
+  EXPECT_EQ(RenderTraceTree({}), "(no trace spans recorded)\n");
+}
+
+// --- Minimal trace_event JSON scanner for structural verification -------
+// The exporter's output is machine-generated and flat, so a targeted
+// scanner is enough: split the traceEvents array into objects and pull
+// the numeric fields out of each.
+
+struct PerfettoEvent {
+  std::string name;
+  uint64_t ts = 0;
+  uint64_t dur = 0;
+  uint64_t tid = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+};
+
+uint64_t NumberAfter(const std::string& object, const std::string& key) {
+  const size_t at = object.find("\"" + key + "\":");
+  EXPECT_NE(at, std::string::npos) << key << " missing in " << object;
+  if (at == std::string::npos) {
+    return 0;
+  }
+  return std::stoull(object.substr(at + key.size() + 3));
+}
+
+std::vector<PerfettoEvent> ParsePerfetto(const std::string& json) {
+  std::vector<PerfettoEvent> events;
+  const size_t array = json.find("\"traceEvents\":[");
+  EXPECT_NE(array, std::string::npos);
+  size_t cursor = array;
+  while (true) {
+    const size_t open = json.find('{', cursor + 1);
+    if (open == std::string::npos) {
+      break;
+    }
+    const size_t close = json.find('}', open);  // args is the last field
+    const size_t inner_close = json.find("}}", open);
+    const size_t end = inner_close != std::string::npos ? inner_close + 2
+                                                        : close + 1;
+    const std::string object = json.substr(open, end - open);
+    PerfettoEvent event;
+    const size_t name_at = object.find("\"name\":\"");
+    if (name_at != std::string::npos) {
+      const size_t name_end = object.find('"', name_at + 8);
+      event.name = object.substr(name_at + 8, name_end - name_at - 8);
+    }
+    event.ts = NumberAfter(object, "ts");
+    event.dur = NumberAfter(object, "dur");
+    event.tid = NumberAfter(object, "tid");
+    event.span_id = NumberAfter(object, "span_id");
+    event.parent_id = NumberAfter(object, "parent_id");
+    events.push_back(std::move(event));
+    cursor = end;
+  }
+  return events;
+}
+
+TEST(PerfettoExportTest, RealSpanTreeParentsResolveAndTimestampsNest) {
+  TraceBuffer buffer(32);
+  std::thread worker([&buffer] {
+    TraceSpan root("push", "obj-9", &buffer);
+    {
+      TraceSpan compress("compress", "", &buffer);
+      TraceSpan append("wal.append", "", &buffer);
+    }
+    TraceSpan checkpoint("checkpoint", "", &buffer);
+  });
+  worker.join();
+
+  const std::string json = RenderTracePerfetto(buffer.Snapshot());
+  // Envelope basics chrome://tracing expects.
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\"", 0), 0u) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"stcomp\""), std::string::npos);
+
+  const std::vector<PerfettoEvent> events = ParsePerfetto(json);
+  ASSERT_EQ(events.size(), 4u);
+  std::map<uint64_t, const PerfettoEvent*> by_id;
+  for (const PerfettoEvent& event : events) {
+    ASSERT_NE(event.span_id, 0u);
+    by_id[event.span_id] = &event;
+  }
+  size_t roots = 0;
+  for (const PerfettoEvent& event : events) {
+    if (event.parent_id == 0) {
+      ++roots;
+      continue;
+    }
+    // Every parent id resolves to an exported span...
+    const auto parent = by_id.find(event.parent_id);
+    ASSERT_NE(parent, by_id.end()) << event.name;
+    // ...on the same thread, and the child's interval nests within it.
+    EXPECT_EQ(event.tid, parent->second->tid) << event.name;
+    EXPECT_GE(event.ts, parent->second->ts) << event.name;
+    EXPECT_LE(event.ts + event.dur,
+              parent->second->ts + parent->second->dur)
+        << event.name;
+  }
+  EXPECT_EQ(roots, 1u);
+  EXPECT_EQ(RenderTracePerfetto({}),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+}
+
+}  // namespace
+}  // namespace stcomp::obs
