@@ -6,7 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "stcomp/common/strings.h"
@@ -37,10 +39,14 @@ const char* StatusText(int status) {
 void WriteAll(int fd, std::string_view data) {
   size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    // MSG_NOSIGNAL: a client that disconnects mid-response (curl ^C during
+    // a large /tracez body) must surface as EPIPE here, not as a SIGPIPE
+    // whose default action kills the whole embedding process.
+    const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return;  // client went away; nothing useful to do
+      return;  // client went away (EPIPE/ECONNRESET); nothing useful to do
     }
     written += static_cast<size_t>(n);
   }
@@ -148,15 +154,32 @@ void AdminServer::Serve() {
 
 void AdminServer::HandleConnection(int client_fd) {
   // Read until the end of the request head; everything we need is in the
-  // request line. Cap the head so a misbehaving client cannot balloon us.
+  // request line. Cap the head so a misbehaving client cannot balloon us,
+  // and bound the whole read by a wall-clock deadline — a per-read timeout
+  // alone would let a client trickling one byte every <2s pin the single
+  // accept thread (and block Stop()) for hours.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
   std::string head;
   char buf[1024];
   while (head.size() < 16 * 1024 &&
          head.find("\r\n\r\n") == std::string::npos &&
-         head.find("\n\n") == std::string::npos) {
-    pollfd pfd{client_fd, POLLIN, 0};
-    if (::poll(&pfd, 1, /*timeout_ms=*/2000) <= 0) {
+         head.find("\n\n") == std::string::npos &&
+         running_.load(std::memory_order_acquire)) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
       break;
+    }
+    pollfd pfd{client_fd, POLLIN, 0};
+    const int timeout_ms =
+        static_cast<int>(std::min<long long>(remaining.count(), 100));
+    if (::poll(&pfd, 1, timeout_ms) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (!(pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
+      continue;  // poll timed out; re-check deadline and running_
     }
     const ssize_t n = ::read(client_fd, buf, sizeof(buf));
     if (n <= 0) {

@@ -131,6 +131,8 @@ std::string_view FlightCodeName(FlightCode code) {
       return "fsck_corrupt";
     case FlightCode::kProbe:
       return "probe";
+    case FlightCode::kFleetDrain:
+      return "fleet_drain";
   }
   return "unknown";
 }

@@ -60,6 +60,9 @@ enum class FlightCode : uint16_t {
   kFsckCorrupt = 13,      // arg0 = files flagged
   // Free-form probe for tests/benches.
   kProbe = 14,
+  // Stream layer (continued; codes are append-only).
+  kFleetDrain = 15,       // fleet batch reached the store; arg0 = points
+                          // appended, arg1 = object's cumulative fixes_out
 };
 
 // Stable lowercase name for rendering ("wal_commit", ...).

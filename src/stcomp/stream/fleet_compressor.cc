@@ -72,7 +72,10 @@ Status FleetCompressor::Drain(const std::string& object_id,
   if (appended > 0) {
     fixes_out_->Increment(appended);
     state->fixes_out += appended;
-    STCOMP_FLIGHT_EVENT(kStoreAppend, object_id, appended, state->fixes_out);
+    // kFleetDrain, not kStoreAppend: the store emits its own kStoreAppend
+    // (arg0 = boundary) per accepted point; this is the fleet-level batch
+    // summary with different args, so it needs its own code.
+    STCOMP_FLIGHT_EVENT(kFleetDrain, object_id, appended, state->fixes_out);
   }
   committed->erase(committed->begin(),
                    committed->begin() + static_cast<ptrdiff_t>(appended));
@@ -102,7 +105,7 @@ Status FleetCompressor::Push(const std::string& object_id,
     // Flight events mark transitions, not steady-state traffic: recording
     // every fix would lap the ring in milliseconds at fleet rates and
     // erase the history a post-mortem dump needs. The object's arrival
-    // plus the per-batch kStoreAppend / gate-fault / WAL events below it
+    // plus the per-batch kFleetDrain / gate-fault / WAL events below it
     // reconstruct the steady state.
     STCOMP_FLIGHT_EVENT(kFleetPush, object_id, 1, 0);
   }
@@ -178,6 +181,10 @@ Status FleetCompressor::SaveState(std::string* out) const {
     std::string compressor_state;
     STCOMP_RETURN_IF_ERROR(state.compressor->SaveState(&compressor_state));
     PutString(compressor_state, &body);
+    // Per-object lifetime counters: without them a restored fleet reports
+    // fixes_in=0 / ratio 0 on /objectz for objects that have long histories.
+    PutVarint(state.fixes_in, &body);
+    PutVarint(state.fixes_out, &body);
     writer.AddSection(kObjectSection, body);
   }
   *out += writer.Finish();
@@ -218,12 +225,21 @@ Status FleetCompressor::RestoreState(std::string_view image) {
                             GetString(&body));
     STCOMP_ASSIGN_OR_RETURN(const std::string_view compressor_state,
                             GetString(&body));
-    if (!body.empty()) {
-      return DataLossError("trailing bytes in fleet object section");
-    }
     ObjectState state{factory_(),
                       IngestGate(policy_, ingest_counters_,
                                  std::string(object_id))};
+    // Counters were appended to the section after the first release of the
+    // format; accept their absence so pre-counter images still restore
+    // (those objects then report since-restore counts).
+    if (!body.empty()) {
+      STCOMP_ASSIGN_OR_RETURN(const uint64_t fixes_in, GetVarint(&body));
+      STCOMP_ASSIGN_OR_RETURN(const uint64_t fixes_out, GetVarint(&body));
+      state.fixes_in = fixes_in;
+      state.fixes_out = fixes_out;
+    }
+    if (!body.empty()) {
+      return DataLossError("trailing bytes in fleet object section");
+    }
     STCOMP_RETURN_IF_ERROR(state.gate.RestoreState(gate_state));
     STCOMP_RETURN_IF_ERROR(state.compressor->RestoreState(compressor_state));
     if (!compressors_.emplace(std::string(object_id), std::move(state))

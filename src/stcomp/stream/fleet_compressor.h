@@ -105,7 +105,8 @@ class FleetCompressor {
   }
 
   // Checkpoint/restore (DESIGN.md §13): one "STCK" image holding every
-  // open object stream (its gate + compressor state). RestoreState
+  // open object stream (its gate + compressor state plus its lifetime
+  // fixes in/out counters, so /objectz ratios survive a restart). RestoreState
   // requires an empty fleet (no objects pushed yet), rebuilds each
   // object's compressor through the factory and loads its state — a
   // restarted ingestion process resumes exactly where the checkpoint was

@@ -152,6 +152,47 @@ TEST(AdminServerTest, StandardEndpointsAllAnswer) {
   server.Stop();
 }
 
+TEST(AdminServerTest, ClientDisconnectMidResponseDoesNotKillProcess) {
+  AdminServer server;
+  server.Handle("/big", [](const AdminRequest&) {
+    return AdminResponse{200, "text/plain; charset=utf-8",
+                         std::string(8 * 1024 * 1024, 'x')};
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Request a multi-megabyte body, read just the head, then slam the
+  // connection shut abortively (SO_LINGER 0 → RST). The server is still
+  // mid-WriteAll with megabytes pending; its next send must fail with
+  // EPIPE/ECONNRESET, not raise a process-killing SIGPIPE.
+  for (int i = 0; i < 3; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0);
+    const std::string request = "GET /big HTTP/1.0\r\n\r\n";
+    ASSERT_EQ(::write(fd, request.data(), request.size()),
+              static_cast<ssize_t>(request.size()));
+    char buf[1024];
+    ASSERT_GT(::read(fd, buf, sizeof(buf)), 0);  // server is now writing
+    const linger abort_on_close{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &abort_on_close,
+                 sizeof(abort_on_close));
+    ::close(fd);
+  }
+
+  // The accept thread survived and still serves.
+  const HttpResponse after = Get(server.port(), "/big");
+  EXPECT_EQ(after.status, 200);
+  EXPECT_EQ(after.body.size(), 8u * 1024 * 1024);
+  server.Stop();
+}
+
 TEST(AdminServerTest, NullObjectzProviderServesEmptyList) {
   AdminServer server;
   RegisterStandardEndpoints(server, nullptr);

@@ -257,6 +257,7 @@ TEST(CheckpointTest, FleetCompressorResumesBitIdenticalStore) {
   TrajectoryStore store_resumed(Codec::kRaw);
   std::string image;
   const size_t split = feed.size() / 2;
+  std::vector<FleetCompressor::ObjectInfo> saved_objects;
   {
     FleetCompressor fleet(factory, &store_resumed, policy, "ckpt-fleet-1");
     for (size_t i = 0; i < split; ++i) {
@@ -264,12 +265,24 @@ TEST(CheckpointTest, FleetCompressorResumesBitIdenticalStore) {
     }
     ASSERT_TRUE(fleet.SaveState(&image).ok());
     EXPECT_EQ(fleet.active_objects(), 2u);
+    saved_objects = fleet.ObjectsSnapshot();
     // Fleet destroyed without FinishAll: the process died here.
   }
   {
     FleetCompressor fleet(factory, &store_resumed, policy, "ckpt-fleet-2");
     ASSERT_TRUE(fleet.RestoreState(image).ok());
     EXPECT_EQ(fleet.active_objects(), 2u);
+    // The per-object lifetime counters ride in the image: /objectz after a
+    // restart must report the same fixes_in/fixes_out, not zeros.
+    const std::vector<FleetCompressor::ObjectInfo> restored_objects =
+        fleet.ObjectsSnapshot();
+    ASSERT_EQ(restored_objects.size(), saved_objects.size());
+    for (size_t i = 0; i < saved_objects.size(); ++i) {
+      EXPECT_EQ(restored_objects[i].object_id, saved_objects[i].object_id);
+      EXPECT_EQ(restored_objects[i].fixes_in, saved_objects[i].fixes_in);
+      EXPECT_GT(restored_objects[i].fixes_in, 0u);
+      EXPECT_EQ(restored_objects[i].fixes_out, saved_objects[i].fixes_out);
+    }
     for (size_t i = split; i < feed.size(); ++i) {
       ASSERT_TRUE(fleet.Push(feed[i].id, feed[i].point).ok());
     }

@@ -31,6 +31,7 @@ TEST(FlightCodeTest, NamesAreStableIdentifiers) {
   EXPECT_EQ(FlightCodeName(FlightCode::kWalDeath), "wal_death");
   EXPECT_EQ(FlightCodeName(FlightCode::kFsckCorrupt), "fsck_corrupt");
   EXPECT_EQ(FlightCodeName(FlightCode::kProbe), "probe");
+  EXPECT_EQ(FlightCodeName(FlightCode::kFleetDrain), "fleet_drain");
 }
 
 TEST(FlightRecorderTest, RecordSnapshotDrainRoundTrip) {
