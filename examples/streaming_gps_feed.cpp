@@ -109,11 +109,11 @@ int main(int argc, char** argv) {
     // The fleet is single-threaded; /objectz only reads it once this
     // thread has gone idle (pump finished), and reports empty before.
     stcomp::obs::RegisterStandardEndpoints(
-        admin, [&fleet, &pump_done]() -> std::string {
+        admin, [&fleet, &pump_done](size_t limit) -> std::string {
           if (!pump_done.load(std::memory_order_acquire)) {
             return "{\"objects\":[],\"note\":\"feed still pumping\"}\n";
           }
-          return fleet.RenderObjectsJson();
+          return fleet.RenderObjectsJson(limit);
         });
     const stcomp::Status started =
         admin.Start(static_cast<uint16_t>(admin_port));

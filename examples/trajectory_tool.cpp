@@ -34,6 +34,8 @@
 #include "stcomp/obs/flight_recorder.h"
 #include "stcomp/obs/trace.h"
 #include "stcomp/store/segment_store.h"
+#include "stcomp/stream/batch_adapter.h"
+#include "stcomp/stream/sharded_fleet.h"
 
 namespace {
 
@@ -110,6 +112,12 @@ int Run(int argc, char** argv) {
                 "compressing (table to stdout; no output file)");
   flags.AddInt("threads", &threads,
                "worker threads for --sweep (0 = hardware concurrency)");
+  int shards = 0;
+  flags.AddInt("shards", &shards,
+               "route the compression through the sharded fleet engine "
+               "with this many shards (0 = direct path); output is read "
+               "back from the engine's delta-codec store (ms/cm "
+               "quantised); --stats adds per-shard queue stats");
   flags.AddString("metrics-format", &metrics_format,
                   "stats output format: text, json or prometheus");
   std::string fsck_dir;
@@ -228,6 +236,77 @@ int Run(int argc, char** argv) {
     std::printf("%s: paper threshold sweep over %s\n%s", algorithm.c_str(),
                 flags.positional()[0].c_str(), table.ToString().c_str());
     if (stats) {
+      PrintKernelBackend();
+      std::fputs(
+          stcomp::obs::RenderMetrics(
+              stcomp::obs::MetricsRegistry::Global().Snapshot(), *format)
+              .c_str(),
+          stdout);
+    }
+    return 0;
+  }
+  if (shards > 0) {
+    // Fleet-pipeline path: the file is one object pushed fix-by-fix
+    // through a ShardedFleetCompressor (DESIGN.md §16), the algorithm
+    // wrapped in a BatchAdapter so batch entries work too.
+    stcomp::ShardedFleetOptions options;
+    options.num_shards = static_cast<size_t>(shards);
+    options.instance = "tool";
+    stcomp::ShardedFleetCompressor fleet(
+        [&info, &params] {
+          return std::make_unique<stcomp::BatchAdapter>(**info, params);
+        },
+        options);
+    const std::string& object_id = flags.positional()[0];
+    for (const stcomp::TimedPoint& point : input->points()) {
+      if (const stcomp::Status status = fleet.Push(object_id, point);
+          !status.ok()) {
+        std::fprintf(stderr, "push failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+    if (const stcomp::Status status = fleet.FinishAll(); !status.ok()) {
+      std::fprintf(stderr, "finish failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    const stcomp::Result<stcomp::Trajectory> compressed =
+        fleet.Get(object_id);
+    if (!compressed.ok()) {
+      std::fprintf(stderr, "read-back failed: %s\n",
+                   compressed.status().ToString().c_str());
+      return 1;
+    }
+    if (const stcomp::Status status =
+            WriteAny(*compressed, flags.positional()[1]);
+        !status.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "%s via sharded fleet (%zu shards): %zu -> %zu points "
+                 "(%.1f%% compression)\n",
+                 algorithm.c_str(), fleet.num_shards(),
+                 input->points().size(), compressed->size(),
+                 input->points().empty()
+                     ? 0.0
+                     : 100.0 * (1.0 - static_cast<double>(compressed->size()) /
+                                          input->points().size()));
+    if (stats) {
+      std::printf("sharded fleet: %zu shards\n", fleet.num_shards());
+      for (const stcomp::ShardedFleetCompressor::ShardStats& shard :
+           fleet.StatsSnapshot()) {
+        std::printf(
+            "  shard %03zu: queue_depth=%zu enqueued=%llu batches=%llu "
+            "backpressure_waits=%llu active_objects=%zu fixes_in=%llu "
+            "fixes_out=%llu\n",
+            shard.shard, shard.queue_depth,
+            static_cast<unsigned long long>(shard.enqueued),
+            static_cast<unsigned long long>(shard.batches),
+            static_cast<unsigned long long>(shard.backpressure_waits),
+            shard.active_objects,
+            static_cast<unsigned long long>(shard.fixes_in),
+            static_cast<unsigned long long>(shard.fixes_out));
+      }
       PrintKernelBackend();
       std::fputs(
           stcomp::obs::RenderMetrics(

@@ -37,10 +37,16 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 # Extended crash–recover–verify sweep (tests/crash_matrix_test.cc): the
 # tier-1 run already covers one seed; exercise two more so the seeded
-# short/torn-write prefixes land at different offsets.
+# short/torn-write prefixes land at different offsets. The sharded leg
+# rides the same seeds (one faulted partition, bit-exact survivors).
 STCOMP_CRASH_MATRIX_SEEDS=7,991 \
     ./build/tests/crash_matrix_test \
-    --gtest_filter='CrashMatrixTest.EveryBoundaryEveryFateRecoversToACommitPoint'
+    --gtest_filter='CrashMatrixTest.EveryBoundaryEveryFateRecoversToACommitPoint:CrashMatrixTest.ShardedOneShardCrashLeavesOthersBitExact'
+# Sharded fleet scaling bench: times 1..max-shards on uniform + Zipf
+# fleets and feeds the snapshot validator (acceptance numbers are only
+# meaningful on multi-core hosts; the schema gate runs everywhere).
+./build/bench/bench_fleet_scale --objects=128 --fixes-per-object=100 \
+    --max-shards=4 --json-out=BENCH_fleet_scale.json
 
 echo "== Pass 2/5: scalar-forced kernels (runtime dispatch leg) =="
 STCOMP_FORCE_SCALAR_KERNELS=1 \
@@ -69,6 +75,12 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 # (algorithm, threshold) grid with the serial-equality harness.
 ./build-tsan/bench/bench_sweep_parallel --trajectories=2 --repetitions=1 \
     --threads=4 --json-out=""
+# Sharded fleet under TSan at bench concurrency: multi-producer ingest,
+# batch handoff, backpressure and group commit all racing for real (the
+# sharded_fleet/partitioned_store/crash-matrix unit tests already ran in
+# the ctest pass above; this adds the N-producer bench-shaped load).
+./build-tsan/bench/bench_fleet_scale --objects=64 --fixes-per-object=50 \
+    --max-shards=4 --queue-capacity=128 --json-out=""
 
 if command -v clang++ >/dev/null 2>&1; then
   echo "== Optional pass: libFuzzer smoke (STCOMP_FUZZ=ON, clang) =="

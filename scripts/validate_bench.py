@@ -91,6 +91,53 @@ def validate(path):
                 return fail(
                     path, f"bench_obs_overhead: primitives_ns: bad '{key}'"
                 )
+    if bench == "bench_fleet_scale":
+        runs = doc.get("runs")
+        if not isinstance(runs, list) or not runs:
+            return fail(path, "bench_fleet_scale: missing 'runs' entries")
+        for entry in runs:
+            if not isinstance(entry, dict):
+                return fail(path, "bench_fleet_scale: non-object run entry")
+            fleet = entry.get("fleet")
+            if fleet not in ("uniform", "zipf"):
+                return fail(
+                    path, f"bench_fleet_scale: bad run 'fleet': {fleet!r}"
+                )
+            for key in ("shards", "producers", "fixes"):
+                value = entry.get(key)
+                if not isinstance(value, int) or value <= 0:
+                    return fail(
+                        path,
+                        f"bench_fleet_scale: {fleet}: bad '{key}': {value!r}",
+                    )
+            for key in ("seconds", "fixes_per_second", "speedup_vs_1"):
+                value = entry.get(key)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    return fail(
+                        path,
+                        f"bench_fleet_scale: {fleet}: bad '{key}': {value!r}",
+                    )
+            waits = entry.get("backpressure_waits")
+            if not isinstance(waits, int) or waits < 0:
+                return fail(
+                    path,
+                    f"bench_fleet_scale: {fleet}: bad 'backpressure_waits'",
+                )
+        # Both fleets must be timed at shards=1 (the speedup baselines).
+        baselines = {e["fleet"] for e in runs if e.get("shards") == 1}
+        if baselines != {"uniform", "zipf"}:
+            return fail(
+                path, "bench_fleet_scale: missing 1-shard baseline runs"
+            )
+        for key in (
+            "hardware_threads",
+            "max_shards",
+            "uniform_speedup_at_max",
+            "skew_ratio_at_max",
+        ):
+            value = doc.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                return fail(path, f"bench_fleet_scale: bad '{key}': {value!r}")
     print(f"validate_bench: {path}: ok ({bench}, schema v{version})")
     return 0
 

@@ -224,8 +224,9 @@ void AdminServer::HandleConnection(int client_fd) {
   WriteAll(client_fd, out);
 }
 
-void RegisterStandardEndpoints(AdminServer& server,
-                               std::function<std::string()> objectz_json) {
+void RegisterStandardEndpoints(
+    AdminServer& server,
+    std::function<std::string(size_t limit)> objectz_json) {
   server.Handle("/healthz", [](const AdminRequest&) {
     return AdminResponse{200, "text/plain; charset=utf-8", "ok\n"};
   });
@@ -273,12 +274,31 @@ void RegisterStandardEndpoints(AdminServer& server,
                           FlightRecorder::Global().dropped()));
     return AdminResponse{200, "text/plain; charset=utf-8", std::move(body)};
   });
-  server.Handle("/objectz",
-                [provider = std::move(objectz_json)](const AdminRequest&) {
-                  return AdminResponse{
-                      200, "application/json",
-                      provider ? provider() : std::string("{\"objects\":[]}\n")};
-                });
+  server.Handle(
+      "/objectz",
+      [provider = std::move(objectz_json)](const AdminRequest& request) {
+        size_t limit = kDefaultObjectzLimit;
+        const std::string raw = request.QueryParam("limit");
+        if (!raw.empty()) {
+          // Digits only; anything else (including negatives) keeps the
+          // default rather than surprising the caller with "unlimited".
+          size_t parsed = 0;
+          bool valid = true;
+          for (const char c : raw) {
+            if (c < '0' || c > '9') {
+              valid = false;
+              break;
+            }
+            parsed = parsed * 10 + static_cast<size_t>(c - '0');
+          }
+          if (valid) {
+            limit = parsed;  // 0 = unlimited, by request.
+          }
+        }
+        return AdminResponse{
+            200, "application/json",
+            provider ? provider(limit) : std::string("{\"objects\":[]}\n")};
+      });
 }
 
 }  // namespace stcomp::obs

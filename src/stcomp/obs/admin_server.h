@@ -82,13 +82,20 @@ class AdminServer {
   uint16_t port_ = 0;
 };
 
+// /objectz renders at most this many objects unless the request says
+// otherwise (?limit=N; 0 = unlimited) — a million-object fleet must not
+// turn a dashboard poll into a hundred-megabyte response.
+inline constexpr size_t kDefaultObjectzLimit = 1000;
+
 // Wires the five standard endpoints into `server`. `objectz_json` is
-// called per /objectz request and must return a JSON document (e.g.
-// FleetCompressor::RenderObjectsJson); pass nullptr to serve an empty
-// object list. The caller must ensure the provider is safe to call from
-// the server thread for as long as the server runs.
-void RegisterStandardEndpoints(AdminServer& server,
-                               std::function<std::string()> objectz_json);
+// called per /objectz request with the resolved entry limit (0 =
+// unlimited) and must return a JSON document honoring it (e.g.
+// FleetCompressor::RenderObjectsJson or the sharded engine's aggregate);
+// pass nullptr to serve an empty object list. The caller must ensure the
+// provider is safe to call from the server thread for as long as the
+// server runs.
+void RegisterStandardEndpoints(
+    AdminServer& server, std::function<std::string(size_t limit)> objectz_json);
 
 }  // namespace stcomp::obs
 

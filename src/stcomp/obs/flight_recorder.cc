@@ -133,6 +133,10 @@ std::string_view FlightCodeName(FlightCode code) {
       return "probe";
     case FlightCode::kFleetDrain:
       return "fleet_drain";
+    case FlightCode::kShardBackpressure:
+      return "shard_backpressure";
+    case FlightCode::kShardError:
+      return "shard_error";
   }
   return "unknown";
 }

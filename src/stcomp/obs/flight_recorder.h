@@ -63,6 +63,11 @@ enum class FlightCode : uint16_t {
   // Stream layer (continued; codes are append-only).
   kFleetDrain = 15,       // fleet batch reached the store; arg0 = points
                           // appended, arg1 = object's cumulative fixes_out
+  kShardBackpressure = 16,  // producer blocked on a full shard queue;
+                            // arg0 = queue depth, arg1 = shard's lifetime
+                            // backpressure waits
+  kShardError = 17,       // first async error recorded on a shard;
+                          // arg0 = status code, arg1 = shard index
 };
 
 // Stable lowercase name for rendering ("wal_commit", ...).

@@ -71,6 +71,54 @@ Status GetPointVector(std::string_view* input, std::vector<TimedPoint>* out) {
   return Status::Ok();
 }
 
+namespace {
+constexpr char kShardManifestMagic[4] = {'S', 'T', 'S', 'M'};
+constexpr uint8_t kShardManifestVersion = 1;
+}  // namespace
+
+std::string WriteShardManifest(uint8_t hash_scheme,
+                               const std::vector<std::string>& shard_images) {
+  std::string image(kShardManifestMagic, sizeof(kShardManifestMagic));
+  image.push_back(static_cast<char>(kShardManifestVersion));
+  PutVarint(shard_images.size(), &image);
+  image.push_back(static_cast<char>(hash_scheme));
+  for (const std::string& shard_image : shard_images) {
+    PutString(shard_image, &image);
+  }
+  return image;
+}
+
+Result<ShardManifestView> ParseShardManifest(std::string_view image) {
+  if (image.size() < sizeof(kShardManifestMagic) + 1 ||
+      image.substr(0, 4) != std::string_view(kShardManifestMagic, 4)) {
+    return DataLossError("not a sharded manifest: bad magic");
+  }
+  image.remove_prefix(4);
+  const uint8_t version = static_cast<uint8_t>(image.front());
+  image.remove_prefix(1);
+  if (version != kShardManifestVersion) {
+    return DataLossError("unsupported sharded manifest version " +
+                         std::to_string(version));
+  }
+  ShardManifestView view;
+  STCOMP_ASSIGN_OR_RETURN(view.shard_count, GetVarint(&image));
+  if (image.empty()) {
+    return DataLossError("sharded manifest truncated before hash scheme");
+  }
+  view.hash_scheme = static_cast<uint8_t>(image.front());
+  image.remove_prefix(1);
+  view.shard_images.reserve(view.shard_count);
+  for (uint64_t i = 0; i < view.shard_count; ++i) {
+    STCOMP_ASSIGN_OR_RETURN(const std::string_view shard_image,
+                            GetString(&image));
+    view.shard_images.push_back(shard_image);
+  }
+  if (!image.empty()) {
+    return DataLossError("trailing bytes after sharded manifest images");
+  }
+  return view;
+}
+
 void CheckpointWriter::AddSection(std::string_view tag,
                                   std::string_view body) {
   PutString(tag, &sections_);

@@ -50,6 +50,33 @@ class CheckpointWriter {
   std::string sections_;
 };
 
+// Sharded checkpoint manifest (DESIGN.md §16): the ShardedFleetCompressor
+// image. Wraps one "STCK" image per shard in an outer envelope that echoes
+// the shard layout, so restore can refuse a resharded reopen instead of
+// silently misrouting objects:
+//
+//   magic "STSM" | version u8 | shard_count varint | hash_scheme u8 |
+//   shard_count × (len varint + "STCK" bytes)
+//
+// `hash_scheme` names the id→shard mapping the images were taken under
+// (kShardHashFnv1a64 is the only scheme today; the byte exists so a future
+// scheme change fails loudly instead of scattering restored objects).
+inline constexpr uint8_t kShardHashFnv1a64 = 1;
+
+std::string WriteShardManifest(uint8_t hash_scheme,
+                               const std::vector<std::string>& shard_images);
+
+// Non-owning view into a parsed manifest; the image must outlive it.
+struct ShardManifestView {
+  uint64_t shard_count = 0;
+  uint8_t hash_scheme = 0;
+  std::vector<std::string_view> shard_images;
+};
+
+// kDataLoss on a malformed envelope. Per-shard images are not validated
+// here — each shard's CheckpointReader does that on restore.
+Result<ShardManifestView> ParseShardManifest(std::string_view image);
+
 // Non-owning parser; the parsed image must outlive the reader.
 class CheckpointReader {
  public:

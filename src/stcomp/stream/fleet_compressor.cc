@@ -23,23 +23,36 @@ std::string ResolveInstance(std::string instance) {
   return "fleet-" + std::to_string(sequence.fetch_add(1));
 }
 
+FleetCompressor::AppendSink StoreSink(TrajectoryStore* store) {
+  STCOMP_CHECK(store != nullptr);
+  return [store](const std::string& object_id, const TimedPoint& point) {
+    return store->Append(object_id, point);
+  };
+}
+
 }  // namespace
 
 FleetCompressor::FleetCompressor(
     std::function<std::unique_ptr<OnlineCompressor>()> factory,
     TrajectoryStore* store, std::string instance)
-    : FleetCompressor(std::move(factory), store, IngestPolicy{},
+    : FleetCompressor(std::move(factory), StoreSink(store), IngestPolicy{},
                       std::move(instance)) {}
 
 FleetCompressor::FleetCompressor(
     std::function<std::unique_ptr<OnlineCompressor>()> factory,
     TrajectoryStore* store, const IngestPolicy& policy, std::string instance)
+    : FleetCompressor(std::move(factory), StoreSink(store), policy,
+                      std::move(instance)) {}
+
+FleetCompressor::FleetCompressor(
+    std::function<std::unique_ptr<OnlineCompressor>()> factory,
+    AppendSink sink, const IngestPolicy& policy, std::string instance)
     : factory_(std::move(factory)),
-      store_(store),
+      sink_(std::move(sink)),
       policy_(policy),
       instance_(ResolveInstance(std::move(instance))) {
   STCOMP_CHECK(factory_ != nullptr);
-  STCOMP_CHECK(store_ != nullptr);
+  STCOMP_CHECK(sink_ != nullptr);
   auto& registry = obs::MetricsRegistry::Global();
   const obs::LabelSet labels{{"compressor", instance_}};
   fixes_in_ = registry.GetCounter("stcomp_stream_fixes_in_total", labels);
@@ -53,7 +66,7 @@ FleetCompressor::FleetCompressor(
   ingest_counters_ = IngestCounters::ForInstance(instance_);
 }
 
-Status FleetCompressor::Drain(const std::string& object_id,
+Status FleetCompressor::Drain(std::string_view object_id,
                               ObjectState* state,
                               std::vector<TimedPoint>* committed) {
   // Error-consistent accounting: count and remove exactly the points the
@@ -62,12 +75,17 @@ Status FleetCompressor::Drain(const std::string& object_id,
   // un-appended tail stays in `committed` for the caller to inspect.
   size_t appended = 0;
   Status status = Status::Ok();
-  for (const TimedPoint& point : *committed) {
-    status = store_->Append(object_id, point);
-    if (!status.ok()) {
-      break;
+  if (!committed->empty()) {
+    // The sink takes const std::string& (store API); one key string per
+    // non-empty batch, never one per fix.
+    const std::string id(object_id);
+    for (const TimedPoint& point : *committed) {
+      status = sink_(id, point);
+      if (!status.ok()) {
+        break;
+      }
+      ++appended;
     }
-    ++appended;
   }
   if (appended > 0) {
     fixes_out_->Increment(appended);
@@ -82,7 +100,7 @@ Status FleetCompressor::Drain(const std::string& object_id,
   return status;
 }
 
-Status FleetCompressor::Push(const std::string& object_id,
+Status FleetCompressor::Push(std::string_view object_id,
                              const TimedPoint& fix) {
   STCOMP_SCOPED_TIMER_SAMPLED(push_seconds_);
   // Head-sampled root: one in TraceBuffer::SampledRootPeriod() pushes
@@ -90,11 +108,13 @@ Status FleetCompressor::Push(const std::string& object_id,
   STCOMP_TRACE_SPAN_SAMPLED("fleet.push", object_id);
   auto it = compressors_.find(object_id);
   if (it == compressors_.end()) {
+    // Only a brand-new object pays for key materialization; steady-state
+    // pushes resolve heterogeneously through std::less<>.
     it = compressors_
-             .emplace(object_id,
+             .emplace(std::string(object_id),
                       ObjectState{factory_(),
                                   IngestGate(policy_, ingest_counters_,
-                                             object_id)})
+                                             std::string(object_id))})
              .first;
     STCOMP_IF_METRICS(active_objects_gauge_->Set(
         static_cast<double>(compressors_.size())));
@@ -119,10 +139,11 @@ Status FleetCompressor::Push(const std::string& object_id,
   return Drain(object_id, &it->second, &committed);
 }
 
-Status FleetCompressor::FinishObject(const std::string& object_id) {
+Status FleetCompressor::FinishObject(std::string_view object_id) {
   const auto it = compressors_.find(object_id);
   if (it == compressors_.end()) {
-    return NotFoundError("no active stream for object '" + object_id + "'");
+    return NotFoundError("no active stream for object '" +
+                         std::string(object_id) + "'");
   }
   STCOMP_TRACE_SPAN("fleet.finish_object", object_id);
   std::vector<TimedPoint> committed;
@@ -137,7 +158,7 @@ Status FleetCompressor::FinishObject(const std::string& object_id) {
   }
   it->second.compressor->Finish(&committed);
   // Drain before erasing: callers (FinishAll in particular) may pass a
-  // reference to the map key itself, which erase() would invalidate.
+  // view of the map key itself, which erase() would invalidate.
   const Status drain_status = Drain(object_id, &it->second, &committed);
   STCOMP_FLIGHT_EVENT(kFleetFinishObject, object_id, it->second.fixes_out,
                       it->second.fixes_in);
@@ -273,12 +294,40 @@ std::vector<FleetCompressor::ObjectInfo> FleetCompressor::ObjectsSnapshot()
   return objects;
 }
 
-std::string FleetCompressor::RenderObjectsJson() const {
-  std::string out = "{\"instance\":\"" + instance_ + "\",\"policy\":\"" +
-                    std::string(IngestModeToString(policy_.mode)) +
-                    "\",\"objects\":[";
+std::optional<FleetCompressor::ObjectInfo> FleetCompressor::ObjectStats(
+    std::string_view object_id) const {
+  const auto it = compressors_.find(object_id);
+  if (it == compressors_.end()) {
+    return std::nullopt;
+  }
+  ObjectInfo info;
+  info.object_id = it->first;
+  info.fixes_in = it->second.fixes_in;
+  info.fixes_out = it->second.fixes_out;
+  info.buffered_points = it->second.compressor->buffered_points() +
+                         it->second.gate.held_points();
+  info.dropped = it->second.gate.dropped();
+  info.repaired = it->second.gate.repaired();
+  info.quarantined = it->second.gate.quarantined();
+  return info;
+}
+
+std::string FleetCompressor::RenderObjectsJson(size_t limit) const {
+  const size_t total = compressors_.size();
+  const bool truncated = limit > 0 && total > limit;
+  std::string out = StrFormat(
+      "{\"instance\":\"%s\",\"policy\":\"%s\",\"objects_total\":%zu,"
+      "\"truncated\":%s,\"objects\":[",
+      instance_.c_str(),
+      std::string(IngestModeToString(policy_.mode)).c_str(), total,
+      truncated ? "true" : "false");
   bool first = true;
+  size_t rendered = 0;
   for (const ObjectInfo& info : ObjectsSnapshot()) {
+    if (truncated && rendered >= limit) {
+      break;
+    }
+    ++rendered;
     out += first ? "\n" : ",\n";
     first = false;
     // Object ids come from feed identifiers; escape the JSON-hostile

@@ -17,6 +17,13 @@
 // stcomp_ingest_{dropped,repaired,quarantined}_total under this instance's
 // labels. The default policy (kReject) preserves the historical contract:
 // faulty fixes fail with kInvalidArgument and nothing reaches the store.
+//
+// Sharding (DESIGN.md §16): a FleetCompressor is the per-shard engine of
+// ShardedFleetCompressor (stream/sharded_fleet.h). The sink constructor
+// lets committed points flow into any durability layer (a per-shard
+// SegmentStore partition, a network forwarder); the TrajectoryStore
+// constructors remain the single-shard in-memory case. Synchronization is
+// the caller's — the sharded engine serializes all access per shard.
 
 #ifndef STCOMP_STREAM_FLEET_COMPRESSOR_H_
 #define STCOMP_STREAM_FLEET_COMPRESSOR_H_
@@ -24,7 +31,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "stcomp/obs/metrics.h"
 #include "stcomp/store/trajectory_store.h"
@@ -35,6 +44,12 @@ namespace stcomp {
 
 class FleetCompressor {
  public:
+  // Receives every committed point, in per-object time order. Must not
+  // re-enter the FleetCompressor.
+  using AppendSink =
+      std::function<Status(const std::string& object_id,
+                           const TimedPoint& point)>;
+
   // `factory` builds a fresh compressor for every new object id; `store`
   // receives committed points (must outlive the FleetCompressor).
   // `instance` names this compressor's metric series; empty picks a unique
@@ -49,15 +64,25 @@ class FleetCompressor {
       TrajectoryStore* store, const IngestPolicy& policy,
       std::string instance = "");
 
+  // Generic-sink form: committed points go to `sink` instead of a
+  // TrajectoryStore (the sharded engine passes its shard's SegmentStore
+  // partition here). A failing sink is handled exactly like a failing
+  // store append: accounting stays consistent, the error surfaces.
+  FleetCompressor(
+      std::function<std::unique_ptr<OnlineCompressor>()> factory,
+      AppendSink sink, const IngestPolicy& policy, std::string instance = "");
+
   // Feeds one fix for `object_id`; commits flow into the store.
   // Under the default (kReject) policy: kInvalidArgument for out-of-order
   // or non-finite fixes of the same object; other policies absorb faults
-  // and return OK (see ingest_policy.h).
-  Status Push(const std::string& object_id, const TimedPoint& fix);
+  // and return OK (see ingest_policy.h). Takes a string_view and looks the
+  // object up heterogeneously, so callers holding string_views push
+  // without materializing a std::string per fix.
+  Status Push(std::string_view object_id, const TimedPoint& fix);
 
   // Ends one object's stream (flushes its tail, removes its compressor).
   // kNotFound for unknown ids.
-  Status FinishObject(const std::string& object_id);
+  Status FinishObject(std::string_view object_id);
 
   // Ends all remaining streams.
   Status FinishAll();
@@ -90,9 +115,16 @@ class FleetCompressor {
     bool quarantined = false;
   };
   std::vector<ObjectInfo> ObjectsSnapshot() const;
-  // {"instance":..., "policy":..., "objects":[{...,"ratio":...}, ...]} —
-  // what the admin server's /objectz endpoint serves.
-  std::string RenderObjectsJson() const;
+  // One active object's stats without building the full snapshot
+  // (heterogeneous lookup; no allocation on the miss path). nullopt for
+  // unknown ids.
+  std::optional<ObjectInfo> ObjectStats(std::string_view object_id) const;
+  // {"instance":..., "policy":..., "objects_total":N, "truncated":...,
+  //  "objects":[{...,"ratio":...}, ...]} — what the admin server's
+  // /objectz endpoint serves. `limit` bounds the rendered entries (0 =
+  // unlimited); when objects are cut, "truncated" is true and
+  // "objects_total" still reports the full count.
+  std::string RenderObjectsJson(size_t limit = 0) const;
 
   const IngestPolicy& policy() const { return policy_; }
 
@@ -124,14 +156,18 @@ class FleetCompressor {
     uint64_t fixes_out = 0;
   };
 
-  Status Drain(const std::string& object_id, ObjectState* state,
+  Status Drain(std::string_view object_id, ObjectState* state,
                std::vector<TimedPoint>* committed);
 
   std::function<std::unique_ptr<OnlineCompressor>()> factory_;
-  TrajectoryStore* store_;
+  AppendSink sink_;
   IngestPolicy policy_;
   std::string instance_;
-  std::map<std::string, ObjectState> compressors_;
+  // Transparent comparator: Push/FinishObject/ObjectStats look up by
+  // string_view without constructing a key string (the hot-path
+  // allocation fix — a std::string is built only when a new object is
+  // first seen).
+  std::map<std::string, ObjectState, std::less<>> compressors_;
   // Registry-owned; valid for the process lifetime.
   obs::Counter* fixes_in_;
   obs::Counter* fixes_out_;

@@ -23,6 +23,8 @@
 #include "stcomp/obs/metrics.h"
 #include "stcomp/obs/trace.h"
 #include "stcomp/store/segment_store.h"
+#include "stcomp/store/trajectory_store.h"
+#include "stcomp/stream/fleet_compressor.h"
 #include "stcomp/stream/opening_window_stream.h"
 #include "stcomp/stream/policed_compressor.h"
 
@@ -119,7 +121,7 @@ TEST(AdminServerTest, StartWhileRunningFailsAndStopIsIdempotent) {
 
 TEST(AdminServerTest, StandardEndpointsAllAnswer) {
   AdminServer server;
-  RegisterStandardEndpoints(server, [] {
+  RegisterStandardEndpoints(server, [](size_t) {
     return std::string("{\"objects\":[{\"object_id\":\"o-1\"}]}\n");
   });
   ASSERT_TRUE(server.Start(0).ok());
@@ -299,6 +301,67 @@ TEST(AdminServerTest, ObjectJourneySpanTreeRetrievableViaTracez) {
   std::filesystem::remove_all(dir);
 }
 #endif  // STCOMP_METRICS_ENABLED
+
+// Satellite regression (ISSUE 8): /objectz must stay bounded on huge
+// fleets — ?limit=N caps the rendered entries and flags the cut with
+// "truncated", the bare endpoint defaults to kDefaultObjectzLimit, and
+// garbage limits fall back to the default instead of "unlimited".
+TEST(AdminServerTest, ObjectzHonorsLimitQueryParam) {
+  TrajectoryStore store;
+  FleetCompressor fleet(
+      [] {
+        return std::make_unique<OpeningWindowStream>(
+            5.0, algo::BreakPolicy::kNormal, StreamCriterion::kSynchronized);
+      },
+      &store, "objectz-limit");
+  for (int object = 0; object < 5; ++object) {
+    const std::string id = "veh-" + std::to_string(object);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          fleet.Push(id, {static_cast<double>(i), {i * 10.0, 0.0}}).ok());
+    }
+  }
+
+  AdminServer server;
+  // The fleet is idle for the rest of the test, so serving reads from the
+  // server thread is safe (same contract as the streaming example).
+  RegisterStandardEndpoints(
+      server, [&fleet](size_t limit) { return fleet.RenderObjectsJson(limit); });
+  ASSERT_TRUE(server.Start(0).ok());
+  const uint16_t port = server.port();
+
+  const auto count_entries = [](const std::string& body) {
+    size_t count = 0;
+    for (size_t pos = body.find("\"object_id\""); pos != std::string::npos;
+         pos = body.find("\"object_id\"", pos + 1)) {
+      ++count;
+    }
+    return count;
+  };
+
+  const HttpResponse limited = Get(port, "/objectz?limit=2");
+  EXPECT_EQ(limited.status, 200);
+  EXPECT_EQ(count_entries(limited.body), 2u);
+  EXPECT_NE(limited.body.find("\"truncated\":true"), std::string::npos);
+  EXPECT_NE(limited.body.find("\"objects_total\":5"), std::string::npos);
+
+  // 5 objects < default limit of 1000: everything renders, no truncation.
+  const HttpResponse all = Get(port, "/objectz");
+  EXPECT_EQ(count_entries(all.body), 5u);
+  EXPECT_NE(all.body.find("\"truncated\":false"), std::string::npos);
+
+  // ?limit=0 is the explicit "unlimited" escape hatch.
+  const HttpResponse unlimited = Get(port, "/objectz?limit=0");
+  EXPECT_EQ(count_entries(unlimited.body), 5u);
+
+  // Malformed limits keep the default instead of dropping the bound.
+  const HttpResponse garbage = Get(port, "/objectz?limit=-1");
+  EXPECT_EQ(count_entries(garbage.body), 5u);
+  EXPECT_NE(garbage.body.find("\"truncated\":false"), std::string::npos);
+
+  server.Stop();
+  ASSERT_TRUE(fleet.FinishAll().ok());
+}
 
 }  // namespace
 }  // namespace stcomp::obs

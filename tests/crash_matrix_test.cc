@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "stcomp/store/partitioned_store.h"
 #include "stcomp/store/segment_store.h"
 #include "stcomp/testing/crash_plan.h"
 #include "test_util.h"
@@ -194,6 +195,159 @@ TEST(CrashMatrixTest, EveryBoundaryEveryFateRecoversToACommitPoint) {
         EXPECT_TRUE(matched)
             << plan.Describe() << "\nacked commits: " << commits
             << "\nrecovery: " << recovered.last_recovery().Describe();
+      }
+    }
+  }
+}
+
+// Sharded crash matrix (DESIGN.md §16): the same discipline applied to a
+// PartitionedSegmentStore, with the fault hook wired into exactly ONE
+// shard's durable writes while the others commit clean. After every
+// boundary × fate, parallel recovery must land the crashed shard on a
+// commit point (last acked, or the in-flight batch when the marker
+// already hit the file) and every other shard bit-exactly on its own last
+// acknowledged commit — shard independence is the whole point of the
+// partitioned layout.
+
+constexpr size_t kShardedShards = 3;
+constexpr size_t kFaultShard = 1;
+
+PartitionedSegmentStore::Options ShardedMatrixOptions(WriteFaultHook hook) {
+  PartitionedSegmentStore::Options options;
+  options.num_shards = kShardedShards;
+  options.shard_options.codec = Codec::kRaw;  // Bit-exact comparison.
+  options.per_shard_hook = [hook = std::move(hook)](size_t shard) {
+    return shard == kFaultShard ? hook : WriteFaultHook();
+  };
+  return options;
+}
+
+// Per-shard acked durability points: images[s] holds shard s's store
+// image after each acknowledged Commit/Checkpoint, acked[s] their count.
+struct ShardedTrace {
+  std::vector<std::vector<std::string>> images;
+  std::vector<size_t> acked;
+  Status error;
+};
+
+// Deterministic multi-shard workload: every round appends one fix for
+// each of 8 objects (spanning all shards by hash), then commits shard by
+// shard — round 2 checkpoints instead, so segment-snapshot boundaries get
+// crossed on every shard too. Stops at the first failure; per-shard ack
+// counts make every crashed run a per-shard prefix of the reference.
+ShardedTrace RunShardedWorkload(PartitionedSegmentStore* store) {
+  constexpr int kRounds = 5;
+  constexpr int kObjects = 8;
+  ShardedTrace trace;
+  trace.images.assign(store->num_shards(), {});
+  trace.acked.assign(store->num_shards(), 0);
+  for (int round = 0; round < kRounds; ++round) {
+    for (int object = 0; object < kObjects; ++object) {
+      const Status status = store->Append(
+          "veh-" + std::to_string(object),
+          TimedPoint(round + 1.0, 2.0 * object + round, -1.0 * round));
+      if (!status.ok()) {
+        trace.error = status;
+        return trace;
+      }
+    }
+    for (size_t shard = 0; shard < store->num_shards(); ++shard) {
+      const Status status = round == 2 ? store->shard(shard).Checkpoint()
+                                       : store->shard(shard).Commit();
+      if (!status.ok()) {
+        trace.error = status;
+        return trace;
+      }
+      const Result<std::string> image =
+          store->shard(shard).store().SerializeToString();
+      if (!image.ok()) {
+        trace.error = image.status();
+        return trace;
+      }
+      ++trace.acked[shard];
+      trace.images[shard].push_back(*image);
+    }
+  }
+  return trace;
+}
+
+TEST(CrashMatrixTest, ShardedOneShardCrashLeavesOthersBitExact) {
+  std::string empty_image;
+  {
+    const TrajectoryStore empty(Codec::kRaw);
+    empty_image = empty.SerializeToString().value();
+  }
+  for (const uint64_t seed : MatrixSeeds()) {
+    // Dry run: counts the fault shard's durable-write boundaries.
+    CrashPlan reference_plan(seed);
+    ShardedTrace reference;
+    {
+      PartitionedSegmentStore store(
+          ShardedMatrixOptions(reference_plan.Hook()));
+      ASSERT_TRUE(store.Open(FreshDir("sharded_reference")).ok());
+      reference = RunShardedWorkload(&store);
+      ASSERT_TRUE(reference.error.ok()) << reference.error;
+    }
+    const size_t boundaries = reference_plan.boundaries_seen();
+    ASSERT_GT(boundaries, 0u);
+    ASSERT_FALSE(reference_plan.fired());
+
+    for (size_t boundary = 0; boundary < boundaries; ++boundary) {
+      for (const CrashFate fate :
+           {CrashFate::kKill, CrashFate::kShortWrite, CrashFate::kTornWrite}) {
+        SCOPED_TRACE(testing::CrashFateToString(fate));
+        SCOPED_TRACE("boundary " + std::to_string(boundary) + ", seed " +
+                     std::to_string(seed));
+        CrashPlan plan(seed ^ (boundary * 131 + static_cast<uint64_t>(fate)),
+                       CrashPoint{boundary, fate});
+        const std::string dir = FreshDir("sharded_run");
+        ShardedTrace crashed;
+        {
+          PartitionedSegmentStore store(ShardedMatrixOptions(plan.Hook()));
+          ASSERT_TRUE(store.Open(dir).ok());
+          crashed = RunShardedWorkload(&store);
+        }
+        ASSERT_TRUE(plan.fired()) << plan.Describe();
+        ASSERT_EQ(crashed.error.code(), StatusCode::kUnavailable)
+            << crashed.error;
+
+        // Fresh process: adopt the layout, recover all shards in
+        // parallel, no fault hooks.
+        PartitionedSegmentStore::Options recover_options;
+        recover_options.shard_options.codec = Codec::kRaw;
+        PartitionedSegmentStore recovered(recover_options);
+        ASSERT_TRUE(recovered.Open(dir).ok());
+        ASSERT_EQ(recovered.num_shards(), kShardedShards);
+
+        for (size_t shard = 0; shard < kShardedShards; ++shard) {
+          const Result<std::string> image =
+              recovered.shard(shard).store().SerializeToString();
+          ASSERT_TRUE(image.ok());
+          const size_t acked = crashed.acked[shard];
+          const std::string* last_acked =
+              acked == 0 ? &empty_image : &reference.images[shard][acked - 1];
+          if (shard != kFaultShard) {
+            // Untouched shards: staged-but-uncommitted appends from the
+            // aborted round vanish; everything acked survives, exactly.
+            EXPECT_EQ(*image, *last_acked)
+                << "shard " << shard << "\n"
+                << plan.Describe() << "\nrecovery: "
+                << recovered.shard(shard).last_recovery().Describe();
+            continue;
+          }
+          std::vector<const std::string*> acceptable{last_acked};
+          if (acked < reference.images[shard].size()) {
+            acceptable.push_back(&reference.images[shard][acked]);
+          }
+          bool matched = false;
+          for (const std::string* candidate : acceptable) {
+            matched |= (*image == *candidate);
+          }
+          EXPECT_TRUE(matched)
+              << "fault shard, acked " << acked << "\n"
+              << plan.Describe() << "\nrecovery: "
+              << recovered.shard(shard).last_recovery().Describe();
+        }
       }
     }
   }
