@@ -26,6 +26,7 @@
 #include "stcomp/obs/admin_server.h"
 #include "stcomp/obs/exposition.h"
 #include "stcomp/sim/paper_dataset.h"
+#include "stcomp/store/query.h"
 #include "stcomp/store/trajectory_store.h"
 #include "stcomp/stream/dead_reckoning_stream.h"
 #include "stcomp/stream/fleet_compressor.h"
@@ -114,7 +115,8 @@ int main(int argc, char** argv) {
             return "{\"objects\":[],\"note\":\"feed still pumping\"}\n";
           }
           return fleet.RenderObjectsJson(limit);
-        });
+        },
+        [] { return stcomp::RenderQueryzJson(); });
     const stcomp::Status started =
         admin.Start(static_cast<uint16_t>(admin_port));
     if (!started.ok()) {

@@ -6,6 +6,7 @@
 //   trajectory_tool --list
 //   trajectory_tool --fsck=store_dir
 //   trajectory_tool --recover=store_dir
+//   trajectory_tool --store=store_dir --query="range:0:600:-100:-100:100:100"
 //
 // Input format by extension: .csv (t,x,y or t,lat,lon), .gpx, .plt
 // (Geolife), .nmea/.log (RMC sentences). Output: .csv, .gpx or .nmea. The evaluation summary goes to stderr
@@ -14,6 +15,7 @@
 // to stdout in the --metrics-format of choice: text, json or prometheus.
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -33,6 +35,8 @@
 #include "stcomp/obs/exposition.h"
 #include "stcomp/obs/flight_recorder.h"
 #include "stcomp/obs/trace.h"
+#include "stcomp/store/partitioned_store.h"
+#include "stcomp/store/query.h"
 #include "stcomp/store/segment_store.h"
 #include "stcomp/stream/batch_adapter.h"
 #include "stcomp/stream/sharded_fleet.h"
@@ -120,6 +124,25 @@ int Run(int argc, char** argv) {
                "quantised); --stats adds per-shard queue stats");
   flags.AddString("metrics-format", &metrics_format,
                   "stats output format: text, json or prometheus");
+  std::string store_dir;
+  std::string query_spec;
+  double declared_error = 0.0;
+  bool oracle = false;
+  flags.AddString("store", &store_dir,
+                  "segment-store directory (plain or shard-NNN partitioned) "
+                  "for --query");
+  flags.AddString("query", &query_spec,
+                  "run a query against --store and print the JSON answer; "
+                  "spec: window:T0:T1 | "
+                  "range:T0:T1:MIN_X:MIN_Y:MAX_X:MAX_Y | "
+                  "corridor:T0:T1:RADIUS:X0,Y0;X1,Y1;... | "
+                  "nearest:T0:T1:K:X:Y (T0/T1 '-' = unbounded)");
+  flags.AddDouble("declared-error", &declared_error,
+                  "SED tolerance (m) the stored data was simplified with; "
+                  "widens --query match predicates");
+  flags.AddBool("oracle", &oracle,
+                "answer --query by brute-force full decode instead of the "
+                "index (plain store layout only; differential debugging)");
   std::string fsck_dir;
   std::string recover_dir;
   flags.AddString("fsck", &fsck_dir,
@@ -182,6 +205,54 @@ int Run(int argc, char** argv) {
     }
     std::printf("recovered %zu objects; checkpointed into %s\n",
                 store.store().object_count(), recover_dir.c_str());
+    return 0;
+  }
+  if (!query_spec.empty()) {
+    if (store_dir.empty()) {
+      std::fprintf(stderr, "--query needs --store=<dir>\n");
+      return 1;
+    }
+    stcomp::Result<stcomp::QueryRequest> request =
+        stcomp::ParseQuerySpec(query_spec);
+    if (!request.ok()) {
+      std::fprintf(stderr, "%s\n", request.status().ToString().c_str());
+      return 1;
+    }
+    request->declared_error_m = declared_error;
+    stcomp::Result<stcomp::QueryAnswer> answer =
+        stcomp::InternalError("query not run");
+    if (std::filesystem::is_directory(store_dir + "/shard-000")) {
+      if (oracle) {
+        std::fprintf(stderr,
+                     "--oracle only supports the plain store layout\n");
+        return 1;
+      }
+      stcomp::PartitionedSegmentStore partitioned;
+      if (const stcomp::Status status = partitioned.Open(store_dir);
+          !status.ok()) {
+        std::fprintf(stderr, "open failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      answer = partitioned.Query(*request);
+    } else {
+      stcomp::SegmentStore store;
+      if (const stcomp::Status status = store.Open(store_dir); !status.ok()) {
+        std::fprintf(stderr, "open failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      answer = oracle ? stcomp::BruteForceQuery(store.store(), *request)
+                      : store.Query(*request);
+    }
+    if (!answer.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   answer.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n",
+                stcomp::RenderQueryAnswerJson(*request, *answer).c_str());
+    if (stats) {
+      std::printf("%s\n", stcomp::RenderQueryzJson().c_str());
+    }
     return 0;
   }
   if (flags.positional().size() != (sweep ? 1u : 2u)) {

@@ -13,6 +13,7 @@ is serving, and checks each response:
      +perfetto formats) -> span tree text / one-event-per-line JSON /
                            a Chrome trace_event envelope
   /flightz (+json)      -> flight-recorder event log
+  /queryz               -> JSON query-engine counters ("queries" object)
   unknown path          -> 404
 
 Then waits for the example to exit cleanly. Usage:
@@ -116,6 +117,13 @@ def run(binary, serve_seconds):
         if status != 200 or not isinstance(json.loads(body), list):
             return fail("/flightz?format=json is not a JSON array")
 
+        status, body = fetch(port, "/queryz")
+        if status != 200:
+            return fail(f"/queryz: status {status}")
+        queryz = json.loads(body)
+        if not isinstance(queryz.get("queries"), dict):
+            return fail(f"/queryz lacks the queries object: {body[:200]!r}")
+
         status, _ = fetch(port, "/no-such-endpoint")
         if status != 404:
             return fail(f"unknown path: status {status}, want 404")
@@ -130,7 +138,7 @@ def run(binary, serve_seconds):
         if process.poll() is None:
             process.kill()
             process.wait()
-    print("admin_smoke: PASS (all five endpoints answered over HTTP)")
+    print("admin_smoke: PASS (all six endpoints answered over HTTP)")
     return 0
 
 

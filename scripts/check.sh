@@ -47,6 +47,12 @@ STCOMP_CRASH_MATRIX_SEEDS=7,991 \
 # meaningful on multi-core hosts; the schema gate runs everywhere).
 ./build/bench/bench_fleet_scale --objects=128 --fixes-per-object=100 \
     --max-shards=4 --json-out=BENCH_fleet_scale.json
+# Query selectivity sweep (DESIGN.md §17): indexed engine vs the
+# decompress-everything oracle; every timed query is first checked for
+# bitwise answer equality, and the validator enforces the acceptance
+# headline (block skipping beats full decode on low-selectivity queries).
+./build/bench/bench_queries --objects=64 --queries=40 \
+    --json-out=BENCH_queries.json
 
 echo "== Pass 2/5: scalar-forced kernels (runtime dispatch leg) =="
 STCOMP_FORCE_SCALAR_KERNELS=1 \
@@ -88,7 +94,8 @@ if command -v clang++ >/dev/null 2>&1; then
     -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
     -DSTCOMP_SANITIZE="address;undefined"
   cmake --build build-fuzz -j "$JOBS"
-  for target in nmea gpx plt csv xml varint serialization store wal; do
+  for target in nmea gpx plt csv xml varint serialization store wal \
+      query_index; do
     ./build-fuzz/tests/fuzz/fuzz_"$target" -max_total_time=5 -seed=20260805 \
       "tests/fuzz/corpus/$target"
   done

@@ -91,6 +91,60 @@ def validate(path):
                 return fail(
                     path, f"bench_obs_overhead: primitives_ns: bad '{key}'"
                 )
+    if bench == "bench_queries":
+        cells = doc.get("cells")
+        if not isinstance(cells, list) or not cells:
+            return fail(path, "bench_queries: missing 'cells' entries")
+        labels = set()
+        for entry in cells:
+            if not isinstance(entry, dict):
+                return fail(path, "bench_queries: non-object cell entry")
+            selectivity = entry.get("selectivity")
+            if selectivity not in ("low", "mid", "high"):
+                return fail(
+                    path,
+                    f"bench_queries: bad cell 'selectivity': {selectivity!r}",
+                )
+            labels.add(selectivity)
+            for key in ("objects", "queries"):
+                value = entry.get(key)
+                if not isinstance(value, int) or value <= 0:
+                    return fail(
+                        path, f"bench_queries: bad cell '{key}': {value!r}"
+                    )
+            hits = entry.get("hits")
+            if not isinstance(hits, int) or hits < 0:
+                return fail(path, f"bench_queries: bad cell 'hits': {hits!r}")
+            for key in ("engine_us", "oracle_us", "speedup"):
+                value = entry.get(key)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    return fail(
+                        path, f"bench_queries: bad cell '{key}': {value!r}"
+                    )
+            fraction = entry.get("decoded_block_fraction")
+            if (
+                not isinstance(fraction, (int, float))
+                or fraction < 0
+                or fraction > 1
+            ):
+                return fail(
+                    path,
+                    "bench_queries: bad cell 'decoded_block_fraction': "
+                    f"{fraction!r}",
+                )
+        if labels != {"low", "mid", "high"}:
+            return fail(
+                path, f"bench_queries: selectivity tiers missing: {labels!r}"
+            )
+        # The acceptance headline: block skipping must beat the full-decode
+        # oracle on low-selectivity queries.
+        headline = doc.get("low_selectivity_speedup")
+        if not isinstance(headline, (int, float)) or headline <= 1.0:
+            return fail(
+                path,
+                "bench_queries: 'low_selectivity_speedup' must exceed 1.0, "
+                f"got {headline!r}",
+            )
     if bench == "bench_fleet_scale":
         runs = doc.get("runs")
         if not isinstance(runs, list) or not runs:

@@ -55,4 +55,94 @@ double Heading(Vec2 a, Vec2 b) {
   return std::atan2(d.y, d.x);
 }
 
+double PointToBoxDistance(Vec2 p, const BoundingBox& box) {
+  const double dx = std::max({box.min.x - p.x, 0.0, p.x - box.max.x});
+  const double dy = std::max({box.min.y - p.y, 0.0, p.y - box.max.y});
+  return std::hypot(dx, dy);
+}
+
+namespace {
+
+// Sign of the turn a->b->c: +1 counterclockwise, -1 clockwise, 0 collinear.
+int Orientation(Vec2 a, Vec2 b, Vec2 c) {
+  const double cross = (b - a).Cross(c - a);
+  if (cross > 0.0) {
+    return 1;
+  }
+  if (cross < 0.0) {
+    return -1;
+  }
+  return 0;
+}
+
+// Whether `p` (known collinear with [a, b]) lies within the segment's
+// coordinate ranges.
+bool CollinearOnSegment(Vec2 a, Vec2 b, Vec2 p) {
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  const int o1 = Orientation(a, b, c);
+  const int o2 = Orientation(a, b, d);
+  const int o3 = Orientation(c, d, a);
+  const int o4 = Orientation(c, d, b);
+  if (o1 != o2 && o3 != o4) {
+    return true;
+  }
+  if (o1 == 0 && CollinearOnSegment(a, b, c)) {
+    return true;
+  }
+  if (o2 == 0 && CollinearOnSegment(a, b, d)) {
+    return true;
+  }
+  if (o3 == 0 && CollinearOnSegment(c, d, a)) {
+    return true;
+  }
+  if (o4 == 0 && CollinearOnSegment(c, d, b)) {
+    return true;
+  }
+  return false;
+}
+
+double SegmentToSegmentDistance(Vec2 a, Vec2 b, Vec2 c, Vec2 d) {
+  if (SegmentsIntersect(a, b, c, d)) {
+    return 0.0;
+  }
+  // Disjoint convex sets: the minimum is attained at an endpoint of one
+  // segment against the other.
+  return std::min(
+      std::min(PointToSegmentDistance(c, a, b), PointToSegmentDistance(d, a, b)),
+      std::min(PointToSegmentDistance(a, c, d),
+               PointToSegmentDistance(b, c, d)));
+}
+
+bool SegmentIntersectsBox(Vec2 a, Vec2 b, const BoundingBox& box) {
+  if (box.Contains(a) || box.Contains(b)) {
+    return true;
+  }
+  const Vec2 c00 = box.min;
+  const Vec2 c10{box.max.x, box.min.y};
+  const Vec2 c11 = box.max;
+  const Vec2 c01{box.min.x, box.max.y};
+  return SegmentsIntersect(a, b, c00, c10) || SegmentsIntersect(a, b, c10, c11) ||
+         SegmentsIntersect(a, b, c11, c01) || SegmentsIntersect(a, b, c01, c00);
+}
+
+double SegmentToBoxDistance(Vec2 a, Vec2 b, const BoundingBox& box) {
+  if (SegmentIntersectsBox(a, b, box)) {
+    return 0.0;
+  }
+  const Vec2 c00 = box.min;
+  const Vec2 c10{box.max.x, box.min.y};
+  const Vec2 c11 = box.max;
+  const Vec2 c01{box.min.x, box.max.y};
+  return std::min(std::min(SegmentToSegmentDistance(a, b, c00, c10),
+                           SegmentToSegmentDistance(a, b, c10, c11)),
+                  std::min(SegmentToSegmentDistance(a, b, c11, c01),
+                           SegmentToSegmentDistance(a, b, c01, c00)));
+}
+
 }  // namespace stcomp

@@ -76,6 +76,38 @@ double Heading(Vec2 a, Vec2 b);
 // Linear interpolation: a + u * (b - a).
 inline Vec2 Lerp(Vec2 a, Vec2 b, double u) { return a + (b - a) * u; }
 
+// Axis-aligned bounding box (closed on all sides).
+struct BoundingBox {
+  Vec2 min;
+  Vec2 max;
+  bool Contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  bool Intersects(const BoundingBox& o) const {
+    return min.x <= o.max.x && max.x >= o.min.x && min.y <= o.max.y &&
+           max.y >= o.min.y;
+  }
+};
+
+// Distance from `p` to `box` (0 when p is inside or on the boundary).
+double PointToBoxDistance(Vec2 p, const BoundingBox& box);
+
+// True when the closed segments [a, b] and [c, d] share at least one
+// point (touching endpoints and collinear overlap count).
+bool SegmentsIntersect(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
+
+// Minimum distance between the closed segments [a, b] and [c, d]
+// (0 when they intersect). Degenerate segments collapse to points.
+double SegmentToSegmentDistance(Vec2 a, Vec2 b, Vec2 c, Vec2 d);
+
+// True when the closed segment [a, b] has at least one point inside or on
+// the boundary of `box`.
+bool SegmentIntersectsBox(Vec2 a, Vec2 b, const BoundingBox& box);
+
+// Minimum distance between the closed segment [a, b] and `box`
+// (0 when the segment enters or touches the box).
+double SegmentToBoxDistance(Vec2 a, Vec2 b, const BoundingBox& box);
+
 }  // namespace stcomp
 
 #endif  // STCOMP_GEOM_GEOMETRY_H_

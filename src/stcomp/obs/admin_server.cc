@@ -226,7 +226,8 @@ void AdminServer::HandleConnection(int client_fd) {
 
 void RegisterStandardEndpoints(
     AdminServer& server,
-    std::function<std::string(size_t limit)> objectz_json) {
+    std::function<std::string(size_t limit)> objectz_json,
+    std::function<std::string()> queryz_json) {
   server.Handle("/healthz", [](const AdminRequest&) {
     return AdminResponse{200, "text/plain; charset=utf-8", "ok\n"};
   });
@@ -299,6 +300,13 @@ void RegisterStandardEndpoints(
             200, "application/json",
             provider ? provider(limit) : std::string("{\"objects\":[]}\n")};
       });
+  server.Handle("/queryz",
+                [provider = std::move(queryz_json)](const AdminRequest&) {
+                  return AdminResponse{
+                      200, "application/json",
+                      provider ? provider()
+                               : std::string("{\"queries\":{}}\n")};
+                });
 }
 
 }  // namespace stcomp::obs

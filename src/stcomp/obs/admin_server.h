@@ -18,6 +18,8 @@
 //   /objectz  per-object fixes in/out, ratio and policy state (JSON),
 //             from the caller-supplied provider
 //   /flightz  flight-recorder snapshot (?format=text|json)
+//   /queryz   query-layer counters and latency summary (JSON), from the
+//             caller-supplied provider (store/query.h RenderQueryzJson)
 
 #ifndef STCOMP_OBS_ADMIN_SERVER_H_
 #define STCOMP_OBS_ADMIN_SERVER_H_
@@ -87,15 +89,17 @@ class AdminServer {
 // turn a dashboard poll into a hundred-megabyte response.
 inline constexpr size_t kDefaultObjectzLimit = 1000;
 
-// Wires the five standard endpoints into `server`. `objectz_json` is
-// called per /objectz request with the resolved entry limit (0 =
-// unlimited) and must return a JSON document honoring it (e.g.
+// Wires the standard endpoints into `server`. `objectz_json` is called
+// per /objectz request with the resolved entry limit (0 = unlimited) and
+// must return a JSON document honoring it (e.g.
 // FleetCompressor::RenderObjectsJson or the sharded engine's aggregate);
-// pass nullptr to serve an empty object list. The caller must ensure the
-// provider is safe to call from the server thread for as long as the
-// server runs.
+// pass nullptr to serve an empty object list. `queryz_json` is called per
+// /queryz request (typically stcomp::RenderQueryzJson); pass nullptr to
+// serve an empty document. The caller must ensure the providers are safe
+// to call from the server thread for as long as the server runs.
 void RegisterStandardEndpoints(
-    AdminServer& server, std::function<std::string(size_t limit)> objectz_json);
+    AdminServer& server, std::function<std::string(size_t limit)> objectz_json,
+    std::function<std::string()> queryz_json = nullptr);
 
 }  // namespace stcomp::obs
 

@@ -75,6 +75,8 @@ std::string LabelString(const LabelSet& labels) {
   return out;
 }
 
+}  // namespace
+
 std::string JsonEscape(std::string_view value) {
   std::string out;
   out.reserve(value.size());
@@ -107,6 +109,8 @@ std::string JsonEscape(std::string_view value) {
   }
   return out;
 }
+
+namespace {
 
 std::string JsonLabels(const LabelSet& labels) {
   std::string out = "{";

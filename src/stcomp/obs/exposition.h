@@ -30,6 +30,12 @@ enum class MetricsFormat {
 // otherwise, listing the valid spellings.
 Result<MetricsFormat> ParseMetricsFormat(std::string_view name);
 
+// Escapes `s` for inclusion inside a JSON string literal: backslash,
+// quote, and control characters (\n, \r, \t, \u00XX). The one escaping
+// routine every JSON producer in the tree shares — /objectz, /queryz and
+// the renderers below all go through here.
+std::string JsonEscape(std::string_view s);
+
 std::string RenderText(const MetricsSnapshot& snapshot);
 std::string RenderJson(const MetricsSnapshot& snapshot);
 std::string RenderPrometheus(const MetricsSnapshot& snapshot);

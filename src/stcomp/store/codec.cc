@@ -56,21 +56,22 @@ Result<int64_t> Quantise(double value, double quantum) {
   return static_cast<int64_t>(scaled);
 }
 
-Status EncodePointsImpl(const Trajectory& trajectory, Codec codec,
+Status EncodePointsImpl(const TimedPoint* points, size_t count, Codec codec,
                         std::string* out) {
   switch (codec) {
     case Codec::kRaw:
-      for (const TimedPoint& point : trajectory.points()) {
-        PutDouble(point.t, out);
-        PutDouble(point.position.x, out);
-        PutDouble(point.position.y, out);
+      for (size_t i = 0; i < count; ++i) {
+        PutDouble(points[i].t, out);
+        PutDouble(points[i].position.x, out);
+        PutDouble(points[i].position.y, out);
       }
       return Status::Ok();
     case Codec::kDelta: {
       int64_t previous_t = 0;
       int64_t previous_x = 0;
       int64_t previous_y = 0;
-      for (const TimedPoint& point : trajectory.points()) {
+      for (size_t i = 0; i < count; ++i) {
+        const TimedPoint& point = points[i];
         STCOMP_ASSIGN_OR_RETURN(const int64_t t,
                                 Quantise(point.t, kTimeQuantumS));
         STCOMP_ASSIGN_OR_RETURN(const int64_t x,
@@ -135,14 +136,64 @@ Result<std::vector<TimedPoint>> DecodePointsImpl(std::string_view* input,
 
 Status EncodePoints(const Trajectory& trajectory, Codec codec,
                     std::string* out) {
+  return EncodePointSpan(trajectory.points().data(), trajectory.size(), codec,
+                         out);
+}
+
+Status EncodePointSpan(const TimedPoint* points, size_t count, Codec codec,
+                       std::string* out) {
   const CodecMetrics& metrics = EncodeMetrics(codec);
   STCOMP_SCOPED_TIMER_SAMPLED(metrics.seconds);
   const size_t before = out->size();
-  STCOMP_RETURN_IF_ERROR(EncodePointsImpl(trajectory, codec, out));
+  STCOMP_RETURN_IF_ERROR(EncodePointsImpl(points, count, codec, out));
   metrics.calls->Increment();
-  metrics.points->Increment(trajectory.size());
+  metrics.points->Increment(count);
   metrics.bytes->Increment(out->size() - before);
   return Status::Ok();
+}
+
+Status EncodeNextPoint(const TimedPoint* previous, const TimedPoint& point,
+                       Codec codec, std::string* out) {
+  switch (codec) {
+    case Codec::kRaw:
+      PutDouble(point.t, out);
+      PutDouble(point.position.x, out);
+      PutDouble(point.position.y, out);
+      return Status::Ok();
+    case Codec::kDelta: {
+      int64_t previous_t = 0;
+      int64_t previous_x = 0;
+      int64_t previous_y = 0;
+      if (previous != nullptr) {
+        STCOMP_ASSIGN_OR_RETURN(previous_t,
+                                Quantise(previous->t, kTimeQuantumS));
+        STCOMP_ASSIGN_OR_RETURN(
+            previous_x, Quantise(previous->position.x, kCoordQuantumM));
+        STCOMP_ASSIGN_OR_RETURN(
+            previous_y, Quantise(previous->position.y, kCoordQuantumM));
+      }
+      STCOMP_ASSIGN_OR_RETURN(const int64_t t, Quantise(point.t, kTimeQuantumS));
+      STCOMP_ASSIGN_OR_RETURN(const int64_t x,
+                              Quantise(point.position.x, kCoordQuantumM));
+      STCOMP_ASSIGN_OR_RETURN(const int64_t y,
+                              Quantise(point.position.y, kCoordQuantumM));
+      PutSignedVarint(t - previous_t, out);
+      PutSignedVarint(x - previous_x, out);
+      PutSignedVarint(y - previous_y, out);
+      return Status::Ok();
+    }
+  }
+  return InternalError("unknown codec");
+}
+
+TimedPoint StorageValue(const TimedPoint& point, Codec codec) {
+  if (codec == Codec::kRaw) {
+    return point;
+  }
+  return TimedPoint(
+      std::round(point.t / kTimeQuantumS) * kTimeQuantumS,
+      std::round(point.position.x / kCoordQuantumM) * kCoordQuantumM,
+      std::round(point.position.y / kCoordQuantumM) * kCoordQuantumM);
 }
 
 Result<std::vector<TimedPoint>> DecodePoints(std::string_view* input,

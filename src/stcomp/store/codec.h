@@ -36,6 +36,27 @@ inline constexpr double kCoordQuantumM = 1e-2;  // 1 cm
 Status EncodePoints(const Trajectory& trajectory, Codec codec,
                     std::string* out);
 
+// Appends the encoding of `count` points starting at `points` with a
+// fresh delta chain (the first point is coded absolute). EncodePoints is
+// the whole-trajectory special case; the blocked store format encodes
+// each block through this so blocks decode independently.
+Status EncodePointSpan(const TimedPoint* points, size_t count, Codec codec,
+                       std::string* out);
+
+// Appends the encoding of `point` as the successor of `*previous` in an
+// existing chain (`previous == nullptr` restarts the chain, i.e. codes
+// the point absolute). Byte-identical to the corresponding slice of
+// EncodePointSpan over the same sequence — the store's O(1) append path
+// relies on that.
+Status EncodeNextPoint(const TimedPoint* previous, const TimedPoint& point,
+                       Codec codec, std::string* out);
+
+// The value the decoder will reconstruct for `point`: identity for kRaw,
+// the quantisation round-trip (1 ms / 1 cm grid) for kDelta. Block
+// summaries are computed over storage values so decoded points can never
+// escape their block's declared bounds.
+TimedPoint StorageValue(const TimedPoint& point, Codec codec);
+
 // Decodes exactly `count` points from the front of `*input`, advancing it.
 Result<std::vector<TimedPoint>> DecodePoints(std::string_view* input,
                                              Codec codec, size_t count);

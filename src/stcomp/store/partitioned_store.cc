@@ -181,6 +181,44 @@ Result<Trajectory> PartitionedSegmentStore::Get(
   return shard(ShardOf(object_id)).store().Get(object_id);
 }
 
+Result<QueryAnswer> PartitionedSegmentStore::Query(
+    const QueryRequest& request) const {
+  STCOMP_CHECK(open_);
+  QueryAnswer merged;
+  for (const auto& shard : shards_) {
+    STCOMP_ASSIGN_OR_RETURN(const QueryAnswer answer,
+                            shard->Query(request));
+    merged.error_bound_m = std::max(merged.error_bound_m,
+                                    answer.error_bound_m);
+    merged.stats.objects_considered += answer.stats.objects_considered;
+    merged.stats.blocks_total += answer.stats.blocks_total;
+    merged.stats.blocks_considered += answer.stats.blocks_considered;
+    merged.stats.blocks_decoded += answer.stats.blocks_decoded;
+    merged.hits.insert(merged.hits.end(), answer.hits.begin(),
+                       answer.hits.end());
+  }
+  if (request.type == QueryType::kNearest) {
+    // Each shard returned its own top k; the global top k is within their
+    // union. Ties break to the lower id, as in the single-store engine.
+    std::sort(merged.hits.begin(), merged.hits.end(),
+              [](const QueryHit& a, const QueryHit& b) {
+                if (a.distance_m != b.distance_m) {
+                  return a.distance_m < b.distance_m;
+                }
+                return a.id < b.id;
+              });
+    if (merged.hits.size() > request.k) {
+      merged.hits.resize(request.k);
+    }
+  } else {
+    std::sort(merged.hits.begin(), merged.hits.end(),
+              [](const QueryHit& a, const QueryHit& b) {
+                return a.id < b.id;
+              });
+  }
+  return merged;
+}
+
 Status PartitionedSegmentStore::Commit() {
   Status first = Status::Ok();
   for (const auto& shard : shards_) {

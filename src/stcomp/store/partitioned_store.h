@@ -89,6 +89,14 @@ class PartitionedSegmentStore {
   Status Remove(const std::string& object_id);
   Result<Trajectory> Get(const std::string& object_id) const;
 
+  // Cross-shard query fan-out (query.h): runs `request` against every
+  // partition's index and merges the answers — object ids are disjoint
+  // across shards, so set queries concatenate and re-sort by id, and
+  // kNearest keeps the global top k by (distance, id). Stats and the
+  // error bound aggregate across partitions. Answers are identical to
+  // running the same query on an unsharded store with the same contents.
+  Result<QueryAnswer> Query(const QueryRequest& request) const;
+
   // Whole-store orchestration: applies the operation to every partition,
   // returning the first error (remaining partitions are still attempted,
   // so one dead shard doesn't leave others uncommitted).

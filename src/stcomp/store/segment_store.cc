@@ -18,6 +18,7 @@ namespace stcomp {
 namespace {
 
 constexpr std::string_view kWalFileName = "wal.stwal";
+constexpr std::string_view kIndexFileName = "index.stidx";
 constexpr std::string_view kSegmentPrefix = "seg-";
 constexpr std::string_view kSegmentSuffix = ".stseg";
 
@@ -96,6 +97,9 @@ std::string RecoveryReport::Describe() const {
       segment_torn_tail ? ", torn tail" : "", wal_records_replayed,
       wal_frames_salvaged, wal_records_dropped_uncommitted,
       wal_torn_tail ? ", torn tail" : "", replay_records_skipped);
+  if (index_loaded || index_rebuilt) {
+    out += index_loaded ? ", index loaded" : ", index rebuilt";
+  }
   for (const std::string& line : log) {
     out += "\n  " + line;
   }
@@ -123,6 +127,24 @@ std::string SegmentStore::SegmentPath(uint64_t sequence) const {
   return dir_ + "/" + std::string(kSegmentPrefix) +
          StrFormat("%08llu", static_cast<unsigned long long>(sequence)) +
          std::string(kSegmentSuffix);
+}
+
+std::string SegmentStore::IndexPath() const {
+  return dir_ + "/" + std::string(kIndexFileName);
+}
+
+const SpatioTemporalIndex& SegmentStore::Index() const {
+  if (!index_fresh_ || index_ == nullptr) {
+    index_ = std::make_unique<SpatioTemporalIndex>(
+        SpatioTemporalIndex::BuildFromStore(store_,
+                                            options_.index_cell_size_m));
+    index_fresh_ = true;
+  }
+  return *index_;
+}
+
+Result<QueryAnswer> SegmentStore::Query(const QueryRequest& request) const {
+  return RunQuery(store_, Index(), request);
 }
 
 Status SegmentStore::Open(const std::string& dir) {
@@ -218,6 +240,40 @@ Status SegmentStore::Recover() {
     }
   }
 
+  // 3. Spatio-temporal index: adopt the persisted one if it still
+  //    describes the recovered contents (same ids, counts and payload
+  //    CRCs); anything else — absent, corrupt, stale — triggers a rebuild
+  //    from the store. Queries never see a wrong index either way.
+  const std::string index_path = IndexPath();
+  if (std::filesystem::exists(index_path)) {
+    const Result<std::string> image = ReadFileToString(index_path);
+    if (image.ok()) {
+      Result<SpatioTemporalIndex> loaded =
+          SpatioTemporalIndex::LoadFromBuffer(*image);
+      if (loaded.ok() && loaded->Matches(store_)) {
+        index_ = std::make_unique<SpatioTemporalIndex>(*std::move(loaded));
+        index_fresh_ = true;
+        recovery_.index_loaded = true;
+      } else {
+        recovery_.log.push_back(
+            std::string(kIndexFileName) + ": " +
+            (loaded.ok() ? std::string("stale (does not match the "
+                                       "recovered store); rebuilding")
+                         : loaded.status().ToString() + "; rebuilding"));
+      }
+    } else {
+      recovery_.log.push_back(std::string(kIndexFileName) + ": " +
+                              image.status().ToString() + "; rebuilding");
+    }
+  }
+  if (!recovery_.index_loaded) {
+    index_ = std::make_unique<SpatioTemporalIndex>(
+        SpatioTemporalIndex::BuildFromStore(store_,
+                                            options_.index_cell_size_m));
+    index_fresh_ = true;
+    recovery_.index_rebuilt = true;
+  }
+
   recovery_.recovery_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started)
@@ -253,6 +309,7 @@ Status SegmentStore::Append(const std::string& object_id,
   // Memory first: the store's own validation (monotonic time, finite
   // values) decides what is worth logging.
   STCOMP_RETURN_IF_ERROR(store_.Append(object_id, point));
+  index_fresh_ = false;
   STCOMP_FLIGHT_EVENT(kStoreAppend, object_id, boundary_, 0);
   return StageAndMaybeCommit(WalRecord::Append(object_id, point));
 }
@@ -263,12 +320,14 @@ Status SegmentStore::Insert(const std::string& object_id,
   STCOMP_ASSIGN_OR_RETURN(std::string frame,
                           SerializeTrajectory(trajectory, options_.codec));
   STCOMP_RETURN_IF_ERROR(store_.Insert(object_id, trajectory));
+  index_fresh_ = false;
   return StageAndMaybeCommit(WalRecord::Insert(object_id, std::move(frame)));
 }
 
 Status SegmentStore::Remove(const std::string& object_id) {
   STCOMP_CHECK(open_);
   STCOMP_RETURN_IF_ERROR(store_.Remove(object_id));
+  index_fresh_ = false;
   return StageAndMaybeCommit(WalRecord::Remove(object_id));
 }
 
@@ -289,6 +348,15 @@ Status SegmentStore::Checkpoint() {
   STCOMP_RETURN_IF_ERROR(AtomicWriteFile(SegmentPath(sequence), image,
                                          options_.write_hook, &boundary_));
   ++next_segment_;
+  // Persist the index next to the snapshot it describes. A crash at
+  // either durable boundary is safe: the atomic rename leaves the old
+  // index (or none), and recovery detects a stale one via Matches() and
+  // rebuilds.
+  if (options_.persist_index) {
+    STCOMP_RETURN_IF_ERROR(AtomicWriteFile(IndexPath(),
+                                           Index().SerializeToString(),
+                                           options_.write_hook, &boundary_));
+  }
   // The snapshot now owns the log's contents. A crash before the truncate
   // re-replays the log over the snapshot at the next Open — idempotent,
   // surfaced as replay conflicts.
@@ -331,6 +399,20 @@ Result<FsckReport> SegmentStore::Fsck(const std::string& dir) {
         std::string(kWalFileName), image.size(),
         stats.records_replayed + stats.records_dropped_uncommitted,
         stats.frames_salvaged_past, stats.torn_tail});
+  }
+  const std::string index_path = dir + "/" + std::string(kIndexFileName);
+  if (std::filesystem::exists(index_path)) {
+    STCOMP_ASSIGN_OR_RETURN(const std::string image,
+                            ReadFileToString(index_path));
+    // The index is one CRC-framed document: it either validates whole
+    // (frames_good = indexed objects) or is corrupt (flagged; recovery
+    // rebuilds it from the store, so this is never data loss).
+    const Result<SpatioTemporalIndex> index =
+        SpatioTemporalIndex::LoadFromBuffer(image);
+    report.files.push_back(FsckFileReport{
+        std::string(kIndexFileName), image.size(),
+        index.ok() ? index->objects().size() : 0, index.ok() ? 0u : 1u,
+        false});
   }
   if (!report.clean()) {
     size_t flagged = 0;

@@ -25,10 +25,13 @@
 #ifndef STCOMP_STORE_SEGMENT_STORE_H_
 #define STCOMP_STORE_SEGMENT_STORE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "stcomp/common/result.h"
+#include "stcomp/store/query.h"
+#include "stcomp/store/st_index.h"
 #include "stcomp/store/trajectory_store.h"
 #include "stcomp/store/wal.h"
 
@@ -46,6 +49,13 @@ struct RecoveryReport {
   size_t wal_records_dropped_uncommitted = 0;
   bool wal_torn_tail = false;
   size_t replay_records_skipped = 0;  // Replayed records the store refused.
+  // Spatio-temporal index outcome (DESIGN.md §17): loaded means the
+  // persisted index.stidx validated against the recovered store; rebuilt
+  // means it was absent, corrupt or stale and was reconstructed from the
+  // store. Neither affects clean() — a rebuilt index is a performance
+  // event, not data loss.
+  bool index_loaded = false;
+  bool index_rebuilt = false;
   double recovery_seconds = 0.0;
   std::vector<std::string> log;
 
@@ -90,6 +100,12 @@ class SegmentStore {
     // Crash-injection seam (testing::CrashPlan): consulted at every
     // durable write boundary of the WAL *and* of checkpoint snapshots.
     WriteFaultHook write_hook;
+    // Persist the spatio-temporal index (index.stidx) at every
+    // checkpoint so the next Open() can serve queries without a rebuild
+    // scan. Queries work either way — recovery rebuilds a missing or
+    // stale index from the store.
+    bool persist_index = true;
+    double index_cell_size_m = kDefaultIndexCellSizeM;
   };
 
   SegmentStore();
@@ -121,6 +137,13 @@ class SegmentStore {
   // mutation, committed or not).
   const TrajectoryStore& store() const { return store_; }
 
+  // The spatio-temporal index over the current contents, rebuilt lazily
+  // after mutations. The reference stays valid until the next mutation.
+  const SpatioTemporalIndex& Index() const;
+
+  // Index-accelerated query over the current contents (query.h).
+  Result<QueryAnswer> Query(const QueryRequest& request) const;
+
   const RecoveryReport& last_recovery() const { return recovery_; }
   const std::string& directory() const { return dir_; }
   size_t staged_records() const { return wal_.staged_records(); }
@@ -132,6 +155,7 @@ class SegmentStore {
  private:
   Status Recover();
   std::string SegmentPath(uint64_t sequence) const;
+  std::string IndexPath() const;
   Status StageAndMaybeCommit(const WalRecord& record);
 
   Options options_;
@@ -142,6 +166,10 @@ class SegmentStore {
   size_t boundary_ = 0;  // Global durable-write boundary counter.
   RecoveryReport recovery_;
   bool open_ = false;
+  // Lazily refreshed after mutations (index_fresh_ flips false on every
+  // mutation, and Index() rebuilds on demand).
+  mutable std::unique_ptr<SpatioTemporalIndex> index_;
+  mutable bool index_fresh_ = false;
 };
 
 }  // namespace stcomp

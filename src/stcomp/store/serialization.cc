@@ -12,6 +12,7 @@ namespace {
 
 constexpr char kMagic[4] = {'S', 'T', 'C', 'T'};
 constexpr uint8_t kVersion = 1;
+constexpr uint8_t kVersionBlocked = 2;
 
 std::array<uint32_t, 256> BuildCrcTable() {
   std::array<uint32_t, 256> table{};
@@ -52,6 +53,46 @@ Result<std::string> SerializeTrajectory(const Trajectory& trajectory,
   return out;
 }
 
+Result<std::string> SerializeBlockedFrame(
+    std::string_view name, Codec codec,
+    const std::vector<BlockSummary>& blocks, std::string_view payload) {
+  uint64_t points = 0;
+  uint64_t bytes = 0;
+  for (const BlockSummary& block : blocks) {
+    points += block.count;
+    bytes += block.byte_length;
+  }
+  if (bytes != payload.size()) {
+    return InvalidArgumentError(
+        "block summary byte lengths disagree with the payload");
+  }
+  std::string out(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(kVersionBlocked));
+  out.push_back(static_cast<char>(codec));
+  PutVarint(name.size(), &out);
+  out += name;
+  PutVarint(points, &out);
+  PutVarint(blocks.size(), &out);
+  AppendSummaryTable(blocks, &out);
+  out += payload;
+  const uint32_t crc = Crc32(out);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+  return out;
+}
+
+Result<std::string> SerializeTrajectoryBlocked(const Trajectory& trajectory,
+                                               Codec codec,
+                                               size_t block_points) {
+  std::string payload;
+  STCOMP_ASSIGN_OR_RETURN(
+      const std::vector<BlockSummary> blocks,
+      EncodeBlocked(trajectory.points().data(), trajectory.size(), codec,
+                    block_points, &payload));
+  return SerializeBlockedFrame(trajectory.name(), codec, blocks, payload);
+}
+
 Result<Trajectory> DeserializeTrajectory(std::string_view* input) {
   const std::string_view frame_start = *input;
   if (input->size() < 6) {
@@ -64,7 +105,7 @@ Result<Trajectory> DeserializeTrajectory(std::string_view* input) {
   const uint8_t version = static_cast<uint8_t>((*input)[0]);
   const uint8_t codec_byte = static_cast<uint8_t>((*input)[1]);
   input->remove_prefix(2);
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionBlocked) {
     return DataLossError("unsupported trajectory frame version");
   }
   if (codec_byte > static_cast<uint8_t>(Codec::kDelta)) {
@@ -78,8 +119,31 @@ Result<Trajectory> DeserializeTrajectory(std::string_view* input) {
   std::string name(input->substr(0, name_size));
   input->remove_prefix(name_size);
   STCOMP_ASSIGN_OR_RETURN(const uint64_t count, GetVarint(input));
-  STCOMP_ASSIGN_OR_RETURN(std::vector<TimedPoint> points,
-                          DecodePoints(input, codec, count));
+  std::vector<TimedPoint> points;
+  if (version == kVersion) {
+    STCOMP_ASSIGN_OR_RETURN(points, DecodePoints(input, codec, count));
+  } else {
+    STCOMP_ASSIGN_OR_RETURN(const uint64_t block_count, GetVarint(input));
+    STCOMP_ASSIGN_OR_RETURN(const std::vector<BlockSummary> blocks,
+                            ParseSummaryTable(input, block_count, count));
+    if (count > input->size()) {
+      return DataLossError("point count exceeds frame payload");
+    }
+    points.reserve(count);
+    for (const BlockSummary& block : blocks) {
+      if (block.byte_length > input->size()) {
+        return DataLossError("block payload exceeds frame payload");
+      }
+      std::string_view slice = input->substr(0, block.byte_length);
+      STCOMP_ASSIGN_OR_RETURN(std::vector<TimedPoint> decoded,
+                              DecodePoints(&slice, codec, block.count));
+      if (!slice.empty()) {
+        return DataLossError("block payload longer than its coded points");
+      }
+      points.insert(points.end(), decoded.begin(), decoded.end());
+      input->remove_prefix(block.byte_length);
+    }
+  }
   if (input->size() < 4) {
     return DataLossError("trajectory frame truncated before CRC");
   }

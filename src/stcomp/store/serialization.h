@@ -1,10 +1,22 @@
-// Framed binary serialisation of trajectories:
+// Framed binary serialisation of trajectories.
 //
-//   magic "STCT" | version u8 | codec u8 | name len varint | name bytes
+// Version 1 (one continuous codec chain):
+//
+//   magic "STCT" | version u8=1 | codec u8 | name len varint | name bytes
 //   | point count varint | payload | crc32 (4 bytes, LE, over everything
 //   before it)
 //
-// The CRC turns silent truncation/corruption into kDataLoss.
+// Version 2 (blocked, DESIGN.md §17) inserts a block-summary table so
+// readers can skip whole blocks without decoding them:
+//
+//   magic "STCT" | version u8=2 | codec u8 | name len varint | name bytes
+//   | point count varint | block count varint | summary table
+//   (block_summary.h) | concatenated block payloads | crc32
+//
+// The delta chain restarts at every v2 block. Writers emit v1 for single
+// chains (SerializeTrajectory, unchanged bytes — the golden lock) and v2
+// for blocked stores; the reader accepts both. The CRC turns silent
+// truncation/corruption into kDataLoss.
 
 #ifndef STCOMP_STORE_SERIALIZATION_H_
 #define STCOMP_STORE_SERIALIZATION_H_
@@ -15,6 +27,7 @@
 
 #include "stcomp/common/result.h"
 #include "stcomp/core/trajectory.h"
+#include "stcomp/store/block_summary.h"
 #include "stcomp/store/codec.h"
 
 namespace stcomp {
@@ -25,8 +38,24 @@ uint32_t Crc32(std::string_view data);
 Result<std::string> SerializeTrajectory(const Trajectory& trajectory,
                                         Codec codec);
 
-// Parses one framed trajectory from the front of `*input`, advancing it
-// (multiple frames may be concatenated in one buffer/file).
+// v2 blocked frame from pre-encoded state: `payload` must be the
+// concatenation of the blocks' independently-coded payloads and `blocks`
+// their summary table (the store passes its entries through without
+// re-encoding). kInvalidArgument when the table disagrees with the
+// payload length.
+Result<std::string> SerializeBlockedFrame(
+    std::string_view name, Codec codec,
+    const std::vector<BlockSummary>& blocks, std::string_view payload);
+
+// Convenience: encode `trajectory` into blocks of `block_points` and
+// frame it as v2.
+Result<std::string> SerializeTrajectoryBlocked(
+    const Trajectory& trajectory, Codec codec,
+    size_t block_points = kDefaultBlockPoints);
+
+// Parses one framed trajectory (either version) from the front of
+// `*input`, advancing it (multiple frames may be concatenated in one
+// buffer/file).
 Result<Trajectory> DeserializeTrajectory(std::string_view* input);
 
 // Salvaging frame scan (DESIGN.md §13). Strict decoding (above) turns one

@@ -1,0 +1,218 @@
+#include "stcomp/store/st_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stcomp/common/check.h"
+#include "stcomp/store/serialization.h"
+#include "stcomp/store/varint.h"
+
+namespace stcomp {
+
+namespace {
+
+constexpr char kIndexMagic[4] = {'S', 'T', 'I', 'X'};
+constexpr uint8_t kIndexVersion = 1;
+
+void PutCrc(uint32_t crc, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+SpatioTemporalIndex::SpatioTemporalIndex(double cell_size_m)
+    : cell_size_m_(cell_size_m) {
+  STCOMP_CHECK(std::isfinite(cell_size_m) && cell_size_m > 0.0);
+}
+
+SpatioTemporalIndex::CellKey SpatioTemporalIndex::KeyFor(
+    Vec2 position) const {
+  return {static_cast<int64_t>(std::floor(position.x / cell_size_m_)),
+          static_cast<int64_t>(std::floor(position.y / cell_size_m_))};
+}
+
+void SpatioTemporalIndex::InsertPostings(uint32_t object_ordinal) {
+  const ObjectEntry& entry = objects_[object_ordinal];
+  for (uint32_t b = 0; b < entry.blocks.size(); ++b) {
+    const BlockSummary& block = entry.blocks[b];
+    const Posting posting{object_ordinal, b};
+    const CellKey lo = KeyFor(block.bounds.min);
+    const CellKey hi = KeyFor(block.bounds.max);
+    const uint64_t span_x = static_cast<uint64_t>(hi.first - lo.first) + 1;
+    const uint64_t span_y = static_cast<uint64_t>(hi.second - lo.second) + 1;
+    if (span_x > kMaxCellsPerBlock || span_y > kMaxCellsPerBlock ||
+        span_x * span_y > kMaxCellsPerBlock) {
+      oversize_.push_back(posting);
+      ++total_postings_;
+      continue;
+    }
+    for (int64_t cx = lo.first; cx <= hi.first; ++cx) {
+      for (int64_t cy = lo.second; cy <= hi.second; ++cy) {
+        cells_[{cx, cy}].push_back(posting);
+        ++total_postings_;
+      }
+    }
+  }
+}
+
+SpatioTemporalIndex SpatioTemporalIndex::BuildFromStore(
+    const TrajectoryStore& store, double cell_size_m) {
+  SpatioTemporalIndex index(cell_size_m);
+  store.VisitBlocks([&index](const std::string& id, size_t num_points,
+                             const std::vector<BlockSummary>& blocks,
+                             std::string_view payload) {
+    ObjectEntry entry;
+    entry.id = id;
+    entry.num_points = num_points;
+    entry.payload_crc = Crc32(payload);
+    entry.blocks = blocks;
+    index.objects_.push_back(std::move(entry));
+  });
+  for (uint32_t i = 0; i < index.objects_.size(); ++i) {
+    index.InsertPostings(i);
+  }
+  return index;
+}
+
+std::vector<SpatioTemporalIndex::Posting>
+SpatioTemporalIndex::CandidateBlocks(const BoundingBox& box, double t0,
+                                     double t1) const {
+  std::vector<Posting> candidates;
+  const CellKey lo = KeyFor(box.min);
+  const CellKey hi = KeyFor(box.max);
+  // Walk covered cells through the ordered map: one lower_bound per row.
+  for (int64_t cx = lo.first; cx <= hi.first; ++cx) {
+    for (auto it = cells_.lower_bound({cx, lo.second});
+         it != cells_.end() && it->first.first == cx &&
+         it->first.second <= hi.second;
+         ++it) {
+      candidates.insert(candidates.end(), it->second.begin(),
+                        it->second.end());
+    }
+  }
+  candidates.insert(candidates.end(), oversize_.begin(), oversize_.end());
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  // Exact summary-level filter: the grid may over-approximate (a block's
+  // box and the query box can share a cell without intersecting).
+  std::erase_if(candidates, [&](const Posting& p) {
+    const BlockSummary& block = objects_[p.object].blocks[p.block];
+    return !block.OverlapsTime(t0, t1) || !block.bounds.Intersects(box);
+  });
+  return candidates;
+}
+
+std::string SpatioTemporalIndex::SerializeToString() const {
+  std::string out(kIndexMagic, sizeof(kIndexMagic));
+  out.push_back(static_cast<char>(kIndexVersion));
+  PutDouble(cell_size_m_, &out);
+  PutVarint(objects_.size(), &out);
+  for (const ObjectEntry& entry : objects_) {
+    PutVarint(entry.id.size(), &out);
+    out += entry.id;
+    PutVarint(entry.num_points, &out);
+    PutCrc(entry.payload_crc, &out);
+    PutVarint(entry.blocks.size(), &out);
+    AppendSummaryTable(entry.blocks, &out);
+  }
+  PutCrc(Crc32(out), &out);
+  return out;
+}
+
+Result<SpatioTemporalIndex> SpatioTemporalIndex::LoadFromBuffer(
+    std::string_view data) {
+  if (data.size() < sizeof(kIndexMagic) + 1 + 8 + 4) {
+    return DataLossError("index image truncated");
+  }
+  if (data.substr(0, 4) != std::string_view(kIndexMagic, 4)) {
+    return DataLossError("bad magic; not an index image");
+  }
+  // Whole-image CRC first: everything after this parses trusted bytes.
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(
+                      static_cast<uint8_t>(data[data.size() - 4 + i]))
+                  << (8 * i);
+  }
+  if (Crc32(data.substr(0, data.size() - 4)) != stored_crc) {
+    return DataLossError("index image CRC mismatch");
+  }
+  std::string_view cursor = data.substr(4, data.size() - 8);
+  const uint8_t version = static_cast<uint8_t>(cursor[0]);
+  cursor.remove_prefix(1);
+  if (version != kIndexVersion) {
+    return DataLossError("unsupported index version");
+  }
+  STCOMP_ASSIGN_OR_RETURN(const double cell_size, GetDouble(&cursor));
+  if (!std::isfinite(cell_size) || cell_size <= 0.0) {
+    return DataLossError("index with non-positive cell size");
+  }
+  SpatioTemporalIndex index(cell_size);
+  STCOMP_ASSIGN_OR_RETURN(const uint64_t object_count, GetVarint(&cursor));
+  if (object_count > cursor.size()) {
+    return DataLossError("index object count exceeds image");
+  }
+  index.objects_.reserve(object_count);
+  for (uint64_t i = 0; i < object_count; ++i) {
+    ObjectEntry entry;
+    STCOMP_ASSIGN_OR_RETURN(const uint64_t id_size, GetVarint(&cursor));
+    if (cursor.size() < id_size) {
+      return DataLossError("index truncated in object id");
+    }
+    entry.id.assign(cursor.substr(0, id_size));
+    cursor.remove_prefix(id_size);
+    if (entry.id.empty()) {
+      return DataLossError("index object without an id");
+    }
+    if (!index.objects_.empty() && index.objects_.back().id >= entry.id) {
+      return DataLossError("index object ids out of order");
+    }
+    STCOMP_ASSIGN_OR_RETURN(entry.num_points, GetVarint(&cursor));
+    if (cursor.size() < 4) {
+      return DataLossError("index truncated in payload CRC");
+    }
+    entry.payload_crc = 0;
+    for (int b = 0; b < 4; ++b) {
+      entry.payload_crc |=
+          static_cast<uint32_t>(static_cast<uint8_t>(cursor[b])) << (8 * b);
+    }
+    cursor.remove_prefix(4);
+    STCOMP_ASSIGN_OR_RETURN(const uint64_t block_count, GetVarint(&cursor));
+    STCOMP_ASSIGN_OR_RETURN(
+        entry.blocks, ParseSummaryTable(&cursor, block_count,
+                                        entry.num_points));
+    index.objects_.push_back(std::move(entry));
+  }
+  if (!cursor.empty()) {
+    return DataLossError("index image has trailing bytes");
+  }
+  for (uint32_t i = 0; i < index.objects_.size(); ++i) {
+    index.InsertPostings(i);
+  }
+  return index;
+}
+
+bool SpatioTemporalIndex::Matches(const TrajectoryStore& store) const {
+  size_t next = 0;
+  bool ok = true;
+  store.VisitBlocks([&](const std::string& id, size_t num_points,
+                        const std::vector<BlockSummary>& blocks,
+                        std::string_view payload) {
+    (void)blocks;
+    if (!ok || next >= objects_.size()) {
+      ok = false;
+      return;
+    }
+    const ObjectEntry& entry = objects_[next++];
+    if (entry.id != id || entry.num_points != num_points ||
+        entry.payload_crc != Crc32(payload)) {
+      ok = false;
+    }
+  });
+  return ok && next == objects_.size();
+}
+
+}  // namespace stcomp

@@ -40,11 +40,20 @@ const StoreMetrics& Metrics() {
 Status TrajectoryStore::EncodeInto(const Trajectory& trajectory,
                                    Entry* entry) const {
   entry->encoded.clear();
-  STCOMP_RETURN_IF_ERROR(EncodePoints(trajectory, codec_, &entry->encoded));
+  STCOMP_ASSIGN_OR_RETURN(
+      entry->blocks,
+      EncodeBlocked(trajectory.points().data(), trajectory.size(), codec_,
+                    kDefaultBlockPoints, &entry->encoded));
   entry->num_points = trajectory.size();
   entry->name = trajectory.name();
   entry->decoded = trajectory;
   return Status::Ok();
+}
+
+const TrajectoryStore::Entry* TrajectoryStore::FindEntry(
+    std::string_view object_id) const {
+  const auto it = entries_.find(object_id);
+  return it == entries_.end() ? nullptr : &it->second;
 }
 
 Status TrajectoryStore::Insert(const std::string& object_id,
@@ -75,42 +84,111 @@ Status TrajectoryStore::Append(const std::string& object_id,
   }
   Entry& entry = it->second;
   STCOMP_RETURN_IF_ERROR(entry.decoded.Append(point));
-  // Delta codec appends are incremental: only the new point's deltas are
-  // encoded, so live tracking is O(1) per fix.
+  // Appends are incremental: only the new point's bytes are encoded, so
+  // live tracking is O(1) per fix. When the tail block is full, a new
+  // block starts with a fresh chain — byte- and summary-identical to a
+  // bulk EncodeInto of the whole point sequence.
   const Trajectory& decoded = entry.decoded;
   const size_t n = decoded.size();
-  if (codec_ == Codec::kDelta && n >= 2) {
-    Trajectory tail;
-    // Re-encode the delta of the final point against its predecessor by
-    // encoding the two-point suffix and dropping the first point's bytes.
-    STCOMP_CHECK_OK(tail.Append(decoded[n - 2]));
-    STCOMP_CHECK_OK(tail.Append(decoded[n - 1]));
-    std::string suffix;
-    STCOMP_RETURN_IF_ERROR(EncodePoints(tail, codec_, &suffix));
-    std::string first_only;
-    Trajectory head;
-    STCOMP_CHECK_OK(head.Append(decoded[n - 2]));
-    STCOMP_RETURN_IF_ERROR(EncodePoints(head, codec_, &first_only));
-    entry.encoded += suffix.substr(first_only.size());
-    entry.num_points = n;
-    return Status::Ok();
+  const TimedPoint storage = StorageValue(point, codec_);
+  const size_t before = entry.encoded.size();
+  if (entry.blocks.empty() || entry.blocks.back().count >= kDefaultBlockPoints) {
+    if (!entry.blocks.empty()) {
+      // The new point is the previous block's junction: its last segment
+      // ends here.
+      ExtendBlockSummary(&entry.blocks.back(), storage);
+    }
+    BlockSummary block = MakeBlockSummary(storage);
+    block.first_point = n - 1;
+    block.byte_offset = before;
+    STCOMP_RETURN_IF_ERROR(
+        EncodeNextPoint(nullptr, point, codec_, &entry.encoded));
+    block.count = 1;
+    block.byte_length = static_cast<uint32_t>(entry.encoded.size() - before);
+    entry.blocks.push_back(block);
+  } else {
+    STCOMP_RETURN_IF_ERROR(
+        EncodeNextPoint(&decoded[n - 2], point, codec_, &entry.encoded));
+    BlockSummary& block = entry.blocks.back();
+    ++block.count;
+    block.byte_length += static_cast<uint32_t>(entry.encoded.size() - before);
+    ExtendBlockSummary(&block, storage);
   }
-  return EncodeInto(decoded, &entry);
+  entry.num_points = n;
+  return Status::Ok();
 }
 
 Result<Trajectory> TrajectoryStore::Get(const std::string& object_id) const {
-  const auto it = entries_.find(object_id);
-  if (it == entries_.end()) {
+  const Entry* entry = FindEntry(object_id);
+  if (entry == nullptr) {
     return NotFoundError("object '" + object_id + "' not in store");
   }
-  std::string_view cursor = it->second.encoded;
-  STCOMP_ASSIGN_OR_RETURN(
-      std::vector<TimedPoint> points,
-      DecodePoints(&cursor, codec_, it->second.num_points));
+  std::vector<TimedPoint> points;
+  points.reserve(entry->num_points);
+  std::string_view cursor = entry->encoded;
+  // Each block is its own chain; decode block by block.
+  for (const BlockSummary& block : entry->blocks) {
+    STCOMP_ASSIGN_OR_RETURN(std::vector<TimedPoint> decoded,
+                            DecodePoints(&cursor, codec_, block.count));
+    points.insert(points.end(), decoded.begin(), decoded.end());
+  }
   STCOMP_ASSIGN_OR_RETURN(Trajectory trajectory,
                           Trajectory::FromPoints(std::move(points)));
-  trajectory.set_name(it->second.name.empty() ? object_id : it->second.name);
+  trajectory.set_name(entry->name.empty() ? object_id : entry->name);
   return trajectory;
+}
+
+Result<const std::vector<BlockSummary>*> TrajectoryStore::BlockSummariesOf(
+    std::string_view object_id) const {
+  const Entry* entry = FindEntry(object_id);
+  if (entry == nullptr) {
+    return NotFoundError("object '" + std::string(object_id) +
+                         "' not in store");
+  }
+  return &entry->blocks;
+}
+
+Result<std::vector<TimedPoint>> TrajectoryStore::DecodeBlock(
+    std::string_view object_id, size_t block_index) const {
+  const Entry* entry = FindEntry(object_id);
+  if (entry == nullptr) {
+    return NotFoundError("object '" + std::string(object_id) +
+                         "' not in store");
+  }
+  if (block_index >= entry->blocks.size()) {
+    return OutOfRangeError("block index past the object's block count");
+  }
+  const BlockSummary& block = entry->blocks[block_index];
+  std::string_view slice = std::string_view(entry->encoded)
+                               .substr(block.byte_offset, block.byte_length);
+  return DecodePoints(&slice, codec_, block.count);
+}
+
+Result<TimedPoint> TrajectoryStore::DecodeBlockFirstPoint(
+    std::string_view object_id, size_t block_index) const {
+  const Entry* entry = FindEntry(object_id);
+  if (entry == nullptr) {
+    return NotFoundError("object '" + std::string(object_id) +
+                         "' not in store");
+  }
+  if (block_index >= entry->blocks.size()) {
+    return OutOfRangeError("block index past the object's block count");
+  }
+  const BlockSummary& block = entry->blocks[block_index];
+  std::string_view slice = std::string_view(entry->encoded)
+                               .substr(block.byte_offset, block.byte_length);
+  STCOMP_ASSIGN_OR_RETURN(const std::vector<TimedPoint> points,
+                          DecodePoints(&slice, codec_, 1));
+  return points.front();
+}
+
+void TrajectoryStore::VisitBlocks(
+    const std::function<void(const std::string& id, size_t num_points,
+                             const std::vector<BlockSummary>& blocks,
+                             std::string_view payload)>& fn) const {
+  for (const auto& [id, entry] : entries_) {
+    fn(id, entry.num_points, entry.blocks, entry.encoded);
+  }
 }
 
 Status TrajectoryStore::Remove(const std::string& object_id) {
@@ -187,10 +265,10 @@ std::vector<std::string> TrajectoryStore::ObjectsInBox(
 Result<std::string> TrajectoryStore::SerializeToString() const {
   std::string image;
   for (const auto& [id, entry] : entries_) {
-    Trajectory named = entry.decoded;
-    named.set_name(id);
-    STCOMP_ASSIGN_OR_RETURN(const std::string frame,
-                            SerializeTrajectory(named, codec_));
+    // v2 blocked frames, straight from the stored payload — no re-encode.
+    STCOMP_ASSIGN_OR_RETURN(
+        const std::string frame,
+        SerializeBlockedFrame(id, codec_, entry.blocks, entry.encoded));
     image += frame;
   }
   return image;
@@ -210,7 +288,7 @@ Status TrajectoryStore::LoadFromFile(const std::string& path) {
 
 Status TrajectoryStore::LoadFromBuffer(std::string_view data) {
   std::string_view cursor = data;
-  std::map<std::string, Entry> loaded;
+  std::map<std::string, Entry, std::less<>> loaded;
   while (!cursor.empty()) {
     STCOMP_ASSIGN_OR_RETURN(const Trajectory trajectory,
                             DeserializeTrajectory(&cursor));
@@ -234,7 +312,7 @@ Status TrajectoryStore::SalvageFromBuffer(std::string_view data,
   if (stats == nullptr) {
     stats = &local;
   }
-  std::map<std::string, Entry> loaded;
+  std::map<std::string, Entry, std::less<>> loaded;
   for (Trajectory& trajectory : ScanTrajectoryFrames(data, stats)) {
     if (trajectory.name().empty()) {
       stats->log.push_back("dropped frame without an object id");

@@ -8,28 +8,26 @@
 #ifndef STCOMP_STORE_TRAJECTORY_STORE_H_
 #define STCOMP_STORE_TRAJECTORY_STORE_H_
 
+#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "stcomp/common/result.h"
 #include "stcomp/core/trajectory.h"
+#include "stcomp/geom/geometry.h"
+#include "stcomp/store/block_summary.h"
 #include "stcomp/store/codec.h"
 #include "stcomp/store/serialization.h"
 
 namespace stcomp {
 
-struct BoundingBox {
-  Vec2 min;
-  Vec2 max;
-  bool Contains(Vec2 p) const {
-    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
-  }
-};
-
 class TrajectoryStore {
  public:
   explicit TrajectoryStore(Codec codec = Codec::kDelta) : codec_(codec) {}
+
+  Codec codec() const { return codec_; }
 
   // Inserts a whole trajectory under `object_id`; kAlreadyExists if the id
   // is taken.
@@ -55,6 +53,32 @@ class TrajectoryStore {
 
   // Ids of objects that enter `box` at any sample point.
   std::vector<std::string> ObjectsInBox(const BoundingBox& box) const;
+
+  // Block-level access for the query layer (DESIGN.md §17). Payloads are
+  // stored as independently-decodable blocks of at most
+  // kDefaultBlockPoints coded points with per-block summaries; queries
+  // consult summaries first and decode only candidate blocks.
+
+  // The object's block summaries, ordered by first_point; kNotFound for
+  // unknown ids. The pointer stays valid until the next mutation.
+  Result<const std::vector<BlockSummary>*> BlockSummariesOf(
+      std::string_view object_id) const;
+
+  // Decodes one block's coded points (storage values; no junction point).
+  Result<std::vector<TimedPoint>> DecodeBlock(std::string_view object_id,
+                                              size_t block_index) const;
+
+  // Decodes only the first point of a block — the cheap junction lookup
+  // (a block's last segment ends at the next block's first point).
+  Result<TimedPoint> DecodeBlockFirstPoint(std::string_view object_id,
+                                           size_t block_index) const;
+
+  // Visits every object's id, point count, summary table and encoded
+  // payload in id order (the index builder's scan).
+  void VisitBlocks(
+      const std::function<void(const std::string& id, size_t num_points,
+                               const std::vector<BlockSummary>& blocks,
+                               std::string_view payload)>& fn) const;
 
   // Total encoded payload bytes across objects (the store's memory story).
   size_t StorageBytes() const;
@@ -86,7 +110,8 @@ class TrajectoryStore {
 
  private:
   struct Entry {
-    std::string encoded;   // EncodePoints payload.
+    std::string encoded;  // Concatenated independently-coded block payloads.
+    std::vector<BlockSummary> blocks;  // Parallel summary table.
     size_t num_points = 0;
     std::string name;
     // Decode cache for the append path (kept in sync with `encoded`).
@@ -94,9 +119,10 @@ class TrajectoryStore {
   };
 
   Status EncodeInto(const Trajectory& trajectory, Entry* entry) const;
+  const Entry* FindEntry(std::string_view object_id) const;
 
   Codec codec_;
-  std::map<std::string, Entry> entries_;
+  std::map<std::string, Entry, std::less<>> entries_;
 };
 
 }  // namespace stcomp

@@ -5,6 +5,7 @@
 
 #include "stcomp/common/check.h"
 #include "stcomp/common/strings.h"
+#include "stcomp/obs/exposition.h"
 #include "stcomp/obs/flight_recorder.h"
 #include "stcomp/obs/timer.h"
 #include "stcomp/obs/trace.h"
@@ -332,11 +333,7 @@ std::string FleetCompressor::RenderObjectsJson(size_t limit) const {
     first = false;
     // Object ids come from feed identifiers; escape the JSON-hostile
     // characters a pathological feed could smuggle in.
-    std::string id;
-    for (const char c : info.object_id) {
-      if (c == '"' || c == '\\') id += '\\';
-      if (static_cast<unsigned char>(c) >= 0x20) id += c;
-    }
+    const std::string id = obs::JsonEscape(info.object_id);
     const double ratio =
         info.fixes_in > 0
             ? static_cast<double>(info.fixes_out) /

@@ -6,6 +6,7 @@
 
 #include "stcomp/common/check.h"
 #include "stcomp/common/strings.h"
+#include "stcomp/obs/exposition.h"
 #include "stcomp/obs/flight_recorder.h"
 #include "stcomp/obs/trace.h"
 #include "stcomp/stream/checkpoint.h"
@@ -421,11 +422,7 @@ std::string ShardedFleetCompressor::RenderObjectsJson(size_t limit) const {
   for (size_t i = 0; i < rendered; ++i) {
     const FleetCompressor::ObjectInfo& info = objects[i];
     out += i == 0 ? "\n" : ",\n";
-    std::string id;
-    for (const char c : info.object_id) {
-      if (c == '"' || c == '\\') id += '\\';
-      if (static_cast<unsigned char>(c) >= 0x20) id += c;
-    }
+    const std::string id = obs::JsonEscape(info.object_id);
     const double ratio =
         info.fixes_in > 0
             ? static_cast<double>(info.fixes_out) /

@@ -1,4 +1,4 @@
-// Admin-server tests: HTTP plumbing over a real loopback socket, the five
+// Admin-server tests: HTTP plumbing over a real loopback socket, the six
 // standard endpoints, and the PR's end-to-end acceptance path — one
 // object's fixes pushed through the policed compressor into a segment
 // store with tracing at period 1, its connected span tree then retrieved
@@ -22,7 +22,9 @@
 #include "stcomp/obs/flight_recorder.h"
 #include "stcomp/obs/metrics.h"
 #include "stcomp/obs/trace.h"
+#include "stcomp/store/query.h"
 #include "stcomp/store/segment_store.h"
+#include "stcomp/store/st_index.h"
 #include "stcomp/store/trajectory_store.h"
 #include "stcomp/stream/fleet_compressor.h"
 #include "stcomp/stream/opening_window_stream.h"
@@ -151,7 +153,80 @@ TEST(AdminServerTest, StandardEndpointsAllAnswer) {
   EXPECT_EQ(trace.status, 200);
   const HttpResponse trace_json = Get(port, "/tracez?format=json");
   EXPECT_EQ(trace_json.content_type, "application/json");
+
+  // No queryz provider: the endpoint still answers with an empty document.
+  const HttpResponse queries = Get(port, "/queryz");
+  EXPECT_EQ(queries.status, 200);
+  EXPECT_EQ(queries.content_type, "application/json");
+  EXPECT_EQ(queries.body, "{\"queries\":{}}\n");
   server.Stop();
+}
+
+// /queryz wired to the real query layer: after an index-accelerated query
+// runs, the document reports per-type counts and block/latency counters.
+TEST(AdminServerTest, QueryzReportsQueryCounters) {
+  TrajectoryStore store;
+  std::vector<TimedPoint> points;
+  for (int i = 0; i < 80; ++i) {
+    points.emplace_back(1.0 * i, 10.0 * i, 5.0 * i);
+  }
+  ASSERT_TRUE(
+      store.Insert("veh-1", Trajectory::FromPoints(std::move(points)).value())
+          .ok());
+  const SpatioTemporalIndex index = SpatioTemporalIndex::BuildFromStore(store);
+  QueryRequest request;
+  request.type = QueryType::kRange;
+  request.box = {{0.0, 0.0}, {500.0, 500.0}};
+  ASSERT_TRUE(RunQuery(store, index, request).ok());
+
+  AdminServer server;
+  RegisterStandardEndpoints(server, nullptr,
+                            [] { return stcomp::RenderQueryzJson(); });
+  ASSERT_TRUE(server.Start(0).ok());
+  const HttpResponse response = Get(server.port(), "/queryz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "application/json");
+  EXPECT_NE(response.body.find("\"queries\""), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"range\""), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"blocks_considered\""), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"latency_seconds\""), std::string::npos)
+      << response.body;
+  server.Stop();
+}
+
+// Satellite regression (ISSUE 9): /objectz and /queryz share one JSON
+// string-escaping helper — object ids with quotes, backslashes, control
+// characters and non-ASCII bytes must come out as valid JSON, not as raw
+// structure-breaking bytes.
+TEST(AdminServerTest, ObjectzEscapesHostileObjectIds) {
+  TrajectoryStore store;
+  FleetCompressor fleet(
+      [] {
+        return std::make_unique<OpeningWindowStream>(
+            5.0, algo::BreakPolicy::kNormal, StreamCriterion::kSynchronized);
+      },
+      &store, "objectz-escape");
+  const std::string hostile = "veh-\"x\\y\n\xc3\xa9";
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        fleet.Push(hostile, {static_cast<double>(i), {i * 10.0, 0.0}}).ok());
+  }
+  AdminServer server;
+  RegisterStandardEndpoints(
+      server, [&fleet](size_t limit) { return fleet.RenderObjectsJson(limit); });
+  ASSERT_TRUE(server.Start(0).ok());
+  const HttpResponse response = Get(server.port(), "/objectz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("veh-\\\"x\\\\y\\n\xc3\xa9"),
+            std::string::npos)
+      << response.body;
+  // The raw unescaped quote sequence must not appear inside the id.
+  EXPECT_EQ(response.body.find(hostile), std::string::npos) << response.body;
+  server.Stop();
+  ASSERT_TRUE(fleet.FinishAll().ok());
 }
 
 TEST(AdminServerTest, ClientDisconnectMidResponseDoesNotKillProcess) {

@@ -14,7 +14,9 @@
 #include <gtest/gtest.h>
 
 #include "stcomp/store/partitioned_store.h"
+#include "stcomp/store/query.h"
 #include "stcomp/store/segment_store.h"
+#include "stcomp/store/st_index.h"
 #include "stcomp/testing/crash_plan.h"
 #include "test_util.h"
 
@@ -30,6 +32,32 @@ std::string FreshDir(const std::string& name) {
   const std::string dir = ::testing::TempDir() + "crash_matrix_" + name;
   std::filesystem::remove_all(dir);
   return dir;
+}
+
+// Post-recovery query discipline (DESIGN.md §17): whatever the crash did
+// to index.stidx, recovery must end with a usable index (loaded when the
+// persisted one still matches, rebuilt otherwise — never neither), and
+// index-accelerated answers must equal the brute-force oracle bit for bit
+// on the recovered contents.
+void ExpectQueryableAfterRecovery(SegmentStore* store) {
+  const RecoveryReport& report = store->last_recovery();
+  EXPECT_TRUE(report.index_loaded || report.index_rebuilt)
+      << report.Describe();
+  EXPECT_FALSE(report.index_loaded && report.index_rebuilt)
+      << report.Describe();
+  EXPECT_TRUE(store->Index().Matches(store->store()));
+  QueryRequest request;
+  request.type = QueryType::kRange;
+  request.box = {{-1e7, -1e7}, {1e7, 1e7}};
+  const Result<QueryAnswer> engine = store->Query(request);
+  const Result<QueryAnswer> oracle = BruteForceQuery(store->store(), request);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  ASSERT_EQ(engine->hits.size(), oracle->hits.size());
+  for (size_t i = 0; i < engine->hits.size(); ++i) {
+    EXPECT_EQ(engine->hits[i].id, oracle->hits[i].id);
+    EXPECT_EQ(engine->hits[i].first_hit_t, oracle->hits[i].first_hit_t);
+  }
 }
 
 SegmentStore::Options MatrixOptions(WriteFaultHook hook) {
@@ -195,8 +223,82 @@ TEST(CrashMatrixTest, EveryBoundaryEveryFateRecoversToACommitPoint) {
         EXPECT_TRUE(matched)
             << plan.Describe() << "\nacked commits: " << commits
             << "\nrecovery: " << recovered.last_recovery().Describe();
+        ExpectQueryableAfterRecovery(&recovered);
       }
     }
+  }
+}
+
+// Index-persistence boundaries specifically: a checkpointed store whose
+// index.stidx is deleted or corrupted out from under it must recover by
+// rebuilding (never by trusting the bad file), and a matching index must
+// be adopted as-is — with identical query answers either way.
+TEST(CrashMatrixTest, IndexLossOrCorruptionRebuildsOnRecovery) {
+  const std::string dir = FreshDir("index_fate");
+  {
+    SegmentStore store(MatrixOptions(nullptr));
+    ASSERT_TRUE(store.Open(dir).ok());
+    ASSERT_TRUE(store.Insert("walk", WalkTrajectory()).ok());
+    for (int i = 1; i <= 150; ++i) {
+      ASSERT_TRUE(
+          store.Append("bus-1", TimedPoint(1.0 * i, 2.0 * i, -1.0 * i)).ok());
+    }
+    ASSERT_TRUE(store.Checkpoint().ok());
+  }
+  const std::string index_path = dir + "/index.stidx";
+  ASSERT_TRUE(std::filesystem::exists(index_path));
+
+  // Clean reopen: the persisted index matches and is adopted.
+  {
+    SegmentStore store(MatrixOptions(nullptr));
+    ASSERT_TRUE(store.Open(dir).ok());
+    EXPECT_TRUE(store.last_recovery().index_loaded)
+        << store.last_recovery().Describe();
+    ExpectQueryableAfterRecovery(&store);
+  }
+
+  // Deleted index (crash between segment write and index write of the
+  // very first checkpoint looks like this): rebuild.
+  ASSERT_TRUE(std::filesystem::remove(index_path));
+  {
+    SegmentStore store(MatrixOptions(nullptr));
+    ASSERT_TRUE(store.Open(dir).ok());
+    EXPECT_TRUE(store.last_recovery().index_rebuilt)
+        << store.last_recovery().Describe();
+    ExpectQueryableAfterRecovery(&store);
+    ASSERT_TRUE(store.Checkpoint().ok());  // Re-persist for the next leg.
+  }
+
+  // Corrupted index file: rejected by its CRC, rebuilt.
+  {
+    std::string bytes = ReadFileToString(index_path).value();
+    bytes[bytes.size() / 2] ^= 0x10;
+    ASSERT_TRUE(AtomicWriteFile(index_path, bytes).ok());
+  }
+  {
+    SegmentStore store(MatrixOptions(nullptr));
+    ASSERT_TRUE(store.Open(dir).ok());
+    EXPECT_TRUE(store.last_recovery().index_rebuilt)
+        << store.last_recovery().Describe();
+    ExpectQueryableAfterRecovery(&store);
+    ASSERT_TRUE(store.Checkpoint().ok());
+  }
+
+  // Stale index: valid bytes describing older contents (mutations landed
+  // in the WAL after the checkpoint). Matches() must veto it.
+  {
+    SegmentStore store(MatrixOptions(nullptr));
+    ASSERT_TRUE(store.Open(dir).ok());
+    ASSERT_TRUE(
+        store.Append("bus-1", TimedPoint(1000.0, 5.0, 5.0)).ok());
+    ASSERT_TRUE(store.Commit().ok());  // WAL only; index.stidx now stale.
+  }
+  {
+    SegmentStore store(MatrixOptions(nullptr));
+    ASSERT_TRUE(store.Open(dir).ok());
+    EXPECT_TRUE(store.last_recovery().index_rebuilt)
+        << store.last_recovery().Describe();
+    ExpectQueryableAfterRecovery(&store);
   }
 }
 

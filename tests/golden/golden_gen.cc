@@ -15,6 +15,7 @@
 
 #include "stcomp/common/check.h"
 #include "stcomp/store/serialization.h"
+#include "stcomp/store/st_index.h"
 #include "stcomp/store/trajectory_store.h"
 #include "stcomp/store/wal.h"
 
@@ -62,6 +63,17 @@ int main(int argc, char** argv) {
       stcomp::SerializeTrajectory(trajectory, stcomp::Codec::kDelta).value();
   WriteFile(golden_dir / "trajectory_v1.stct", raw + delta);
 
+  // v2 blocked frames (DESIGN.md §17): block_points=2 forces three blocks
+  // over the five golden points, so the summary table, junction extents
+  // and per-block chain restarts are all locked by golden_format_test.
+  const std::string raw_blocked =
+      stcomp::SerializeTrajectoryBlocked(trajectory, stcomp::Codec::kRaw, 2)
+          .value();
+  const std::string delta_blocked =
+      stcomp::SerializeTrajectoryBlocked(trajectory, stcomp::Codec::kDelta, 2)
+          .value();
+  WriteFile(golden_dir / "trajectory_v2.stct", raw_blocked + delta_blocked);
+
   WriteFile(corpus_dir / "serialization" / "raw_frame", raw);
   WriteFile(corpus_dir / "serialization" / "delta_frame", delta);
   WriteFile(corpus_dir / "serialization" / "two_frames", raw + delta);
@@ -93,6 +105,23 @@ int main(int argc, char** argv) {
   WriteFile(corpus_dir / "store" / "unnamed_frame",
             stcomp::SerializeTrajectory(unnamed, stcomp::Codec::kRaw).value());
   WriteFile(corpus_dir / "store" / "truncated", raw.substr(0, 10));
+
+  // Spatio-temporal index seed corpus (fuzz_query_index.cc): STIX images
+  // built from real stores, the empty index, and a torn prefix. The replay
+  // driver's mutant pass then bit-flips these, which must always come back
+  // as kDataLoss (whole-image CRC).
+  const std::string two_objects_index =
+      stcomp::SpatioTemporalIndex::BuildFromStore(store).SerializeToString();
+  WriteFile(corpus_dir / "query_index" / "two_objects", two_objects_index);
+  WriteFile(corpus_dir / "query_index" / "single_object",
+            stcomp::SpatioTemporalIndex::BuildFromStore(single)
+                .SerializeToString());
+  WriteFile(corpus_dir / "query_index" / "empty",
+            stcomp::SpatioTemporalIndex::BuildFromStore(
+                stcomp::TrajectoryStore())
+                .SerializeToString());
+  WriteFile(corpus_dir / "query_index" / "truncated",
+            two_objects_index.substr(0, two_objects_index.size() / 2));
 
   // WAL seed corpus (fuzz_wal.cc): a committed batch covering every record
   // type, an uncommitted tail, and a torn final frame.

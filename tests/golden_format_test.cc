@@ -35,14 +35,16 @@ Trajectory GoldenTrajectory() {
   return std::move(trajectory).value();
 }
 
-std::string ReadGoldenBlob() {
-  std::ifstream file(std::string(STCOMP_GOLDEN_DIR) + "/trajectory_v1.stct",
+std::string ReadGoldenFile(const std::string& name) {
+  std::ifstream file(std::string(STCOMP_GOLDEN_DIR) + "/" + name,
                      std::ios::binary);
-  EXPECT_TRUE(static_cast<bool>(file)) << "golden blob missing";
+  EXPECT_TRUE(static_cast<bool>(file)) << "golden blob missing: " << name;
   std::ostringstream buffer;
   buffer << file.rdbuf();
   return buffer.str();
 }
+
+std::string ReadGoldenBlob() { return ReadGoldenFile("trajectory_v1.stct"); }
 
 TEST(GoldenFormatTest, EncoderReproducesGoldenBytes) {
   const Trajectory trajectory = GoldenTrajectory();
@@ -107,6 +109,70 @@ TEST(GoldenFormatTest, StoreLoadsGoldenImage) {
   const Result<Trajectory> loaded = store.Get("golden-v1");
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->points(), GoldenTrajectory().points());
+}
+
+// The v2 blocked frame (DESIGN.md §17): trajectory_v2.stct holds the same
+// golden points framed with block_points=2 (three blocks, per-block chain
+// restarts, summary table). Same locks as v1: byte-exact encode, exact
+// decode, and single-bit corruption is always kDataLoss.
+TEST(GoldenFormatTest, BlockedEncoderReproducesGoldenV2Bytes) {
+  const Trajectory trajectory = GoldenTrajectory();
+  const Result<std::string> raw =
+      SerializeTrajectoryBlocked(trajectory, Codec::kRaw, 2);
+  const Result<std::string> delta =
+      SerializeTrajectoryBlocked(trajectory, Codec::kDelta, 2);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(*raw + *delta, ReadGoldenFile("trajectory_v2.stct"))
+      << "the v2 blocked byte stream changed; this breaks every blocked "
+         "store file already on disk";
+}
+
+TEST(GoldenFormatTest, DecoderReadsGoldenV2Bytes) {
+  const std::string blob = ReadGoldenFile("trajectory_v2.stct");
+  const Trajectory expected = GoldenTrajectory();
+  std::string_view cursor = blob;
+
+  const Result<Trajectory> raw = DeserializeTrajectory(&cursor);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_EQ(raw->name(), "golden-v1");
+  EXPECT_EQ(raw->points(), expected.points());
+
+  const Result<Trajectory> delta = DeserializeTrajectory(&cursor);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_TRUE(cursor.empty());
+  ASSERT_EQ(delta->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(delta->points()[i].t, expected.points()[i].t, 0.5e-3) << i;
+    EXPECT_NEAR(delta->points()[i].position.x, expected.points()[i].position.x,
+                0.5e-2)
+        << i;
+    EXPECT_NEAR(delta->points()[i].position.y, expected.points()[i].position.y,
+                0.5e-2)
+        << i;
+  }
+}
+
+TEST(GoldenFormatTest, EveryBitFlipInV2IsDataLoss) {
+  const std::string blob = ReadGoldenFile("trajectory_v2.stct");
+  ASSERT_FALSE(blob.empty());
+  for (size_t byte = 0; byte < blob.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = blob;
+      corrupted[byte] = static_cast<char>(corrupted[byte] ^ (1 << bit));
+      std::string_view cursor = corrupted;
+      Status failure = Status::Ok();
+      while (failure.ok() && !cursor.empty()) {
+        failure = DeserializeTrajectory(&cursor).status();
+      }
+      ASSERT_FALSE(failure.ok())
+          << "bit flip at byte " << byte << " bit " << bit
+          << " went unnoticed";
+      ASSERT_EQ(failure.code(), StatusCode::kDataLoss)
+          << "byte " << byte << " bit " << bit << ": "
+          << failure.ToString();
+    }
+  }
 }
 
 TEST(GoldenFormatTest, EveryBitFlipIsDataLoss) {

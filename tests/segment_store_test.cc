@@ -178,7 +178,8 @@ TEST(SegmentStoreTest, FsckReportsFrameHealth) {
   const Result<FsckReport> report = SegmentStore::Fsck(dir);
   ASSERT_TRUE(report.ok()) << report.status();
   EXPECT_TRUE(report->clean()) << report->Describe();
-  ASSERT_EQ(report->files.size(), 2u);  // One segment + the WAL.
+  // One segment + the WAL + the checkpointed spatio-temporal index.
+  ASSERT_EQ(report->files.size(), 3u);
   for (const FsckFileReport& file : report->files) {
     EXPECT_GT(file.frames_good, 0u) << file.file;
     EXPECT_EQ(file.frames_salvaged, 0u) << file.file;

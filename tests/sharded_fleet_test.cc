@@ -322,6 +322,21 @@ TEST(ShardedFleetTest, ObjectsJsonAggregatesAcrossShardsAndLimits) {
   ASSERT_TRUE(engine.FinishAll().ok());
 }
 
+// Satellite regression (ISSUE 9): the cross-shard aggregate goes through
+// the shared obs::JsonEscape helper — hostile object ids (quotes,
+// newlines, non-ASCII) must render as valid JSON.
+TEST(ShardedFleetTest, ObjectsJsonEscapesHostileIds) {
+  ShardedFleetCompressor engine(MakeOpw, FourShards("objectz-escape"));
+  const std::string hostile = "veh-\"q\"\n\xc3\xa9";
+  ASSERT_TRUE(engine.Push(hostile, {1.0, {0.0, 0.0}}).ok());
+  ASSERT_TRUE(engine.Push(hostile, {2.0, {5.0, 0.0}}).ok());
+  ASSERT_TRUE(engine.Flush().ok());
+  const std::string json = engine.RenderObjectsJson();
+  EXPECT_NE(json.find("veh-\\\"q\\\"\\n\xc3\xa9"), std::string::npos) << json;
+  EXPECT_EQ(json.find(hostile), std::string::npos) << json;
+  ASSERT_TRUE(engine.FinishAll().ok());
+}
+
 TEST(ShardedFleetTest, CheckpointRoundTripResumesIdentically) {
   const std::vector<Trajectory> walks = ObjectWalks(12, 40, 303);
   const Feed feed = UniformFeed(walks);
