@@ -1,0 +1,238 @@
+// Network-ingest throughput (DESIGN.md §18): fixes/second through the
+// full STNI path — FleetClient batching, loopback TCP, the poll-thread
+// IngestServer, a ShardedFleetCompressor — as the concurrent-connection
+// count grows. The single-connection run is the protocol-overhead
+// baseline; the scaling curve shows where the one-poll-thread server
+// saturates (by design it is the fan-in bottleneck, the engine behind it
+// shards per core — see bench_fleet_scale for the engine's own curve).
+//
+//   ./bench/bench_ingest_net [--fixes-per-client=20000]
+//                            [--objects-per-client=4] [--batch=64]
+//                            [--max-conns=8] [--epsilon=25]
+//                            [--json-out=BENCH_ingest_net.json]
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stcomp/common/check.h"
+#include "stcomp/common/flags.h"
+#include "stcomp/common/strings.h"
+#include "stcomp/core/trajectory.h"
+#include "stcomp/net/fleet_client.h"
+#include "stcomp/net/ingest_server.h"
+#include "stcomp/obs/exposition.h"
+#include "stcomp/obs/metrics.h"
+#include "stcomp/stream/opening_window_stream.h"
+#include "stcomp/stream/sharded_fleet.h"
+
+namespace {
+
+// Deterministic walk (SplitMix64): the bench pushes realistic doubles,
+// not constants, so delta encoding and the compressor do real work.
+stcomp::Trajectory MakeWalk(int fixes, uint64_t seed) {
+  auto next = [state = seed]() mutable {
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  auto uniform = [&next] {
+    return static_cast<double>(next() >> 11) * 0x1p-53;
+  };
+  std::vector<stcomp::TimedPoint> points;
+  points.reserve(static_cast<size_t>(fixes));
+  double x = 0.0, y = 0.0, t = 0.0;
+  for (int i = 0; i < fixes; ++i) {
+    points.push_back({t, x, y});
+    t += 1.0 + 9.0 * uniform();
+    x += 40.0 * (uniform() - 0.5);
+    y += 40.0 * (uniform() - 0.5);
+  }
+  return stcomp::Trajectory::FromPoints(std::move(points)).value();
+}
+
+struct RunResult {
+  size_t connections = 0;
+  size_t fixes = 0;
+  double seconds = 0.0;
+  double fixes_per_second = 0.0;
+  uint64_t batches_acked = 0;
+  double speedup_vs_1 = 0.0;
+};
+
+RunResult TimeRun(size_t connections, int fixes_per_client,
+                  int objects_per_client, int batch, double epsilon,
+                  uint64_t seed) {
+  stcomp::ShardedFleetOptions engine_options;
+  engine_options.instance =
+      stcomp::StrFormat("bench-net-%zu", connections);
+  stcomp::ShardedFleetCompressor engine(
+      [epsilon] {
+        return std::make_unique<stcomp::OpeningWindowStream>(
+            epsilon, stcomp::algo::BreakPolicy::kNormal,
+            stcomp::StreamCriterion::kSynchronized);
+      },
+      engine_options);
+  stcomp::net::IngestServerOptions server_options;
+  server_options.instance = engine_options.instance;
+  stcomp::net::IngestServer server(
+      [&engine](std::string_view id, const stcomp::TimedPoint& fix) {
+        return engine.Push(id, fix);
+      },
+      server_options);
+  STCOMP_CHECK_OK(server.Start(0));
+
+  // Walks are generated (and clients constructed + connected) outside
+  // the timed window: this measures the wire path, not setup.
+  std::vector<std::vector<stcomp::Trajectory>> walks(connections);
+  std::vector<std::unique_ptr<stcomp::net::FleetClient>> clients;
+  for (size_t c = 0; c < connections; ++c) {
+    for (int o = 0; o < objects_per_client; ++o) {
+      walks[c].push_back(MakeWalk(
+          fixes_per_client,
+          seed + c * static_cast<uint64_t>(objects_per_client) +
+              static_cast<uint64_t>(o)));
+    }
+    stcomp::net::FleetClientOptions client_options;
+    client_options.port = server.port();
+    client_options.client_id = stcomp::StrFormat("bench-%zu-%zu",
+                                                 connections, c);
+    client_options.batch_size = static_cast<size_t>(batch);
+    clients.push_back(std::make_unique<stcomp::net::FleetClient>(
+        std::move(client_options)));
+    STCOMP_CHECK_OK(clients.back()->Connect());
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      stcomp::net::FleetClient& client = *clients[c];
+      for (int i = 0; i < fixes_per_client; ++i) {
+        for (int o = 0; o < objects_per_client; ++o) {
+          STCOMP_CHECK_OK(client.Push(
+              stcomp::StrFormat("veh-%zu-%d", c, o), walks[c][o][i]));
+        }
+      }
+      STCOMP_CHECK_OK(client.Flush());
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (auto& client : clients) {
+    STCOMP_CHECK_OK(client->Bye());
+  }
+  server.Stop();
+  STCOMP_CHECK_OK(engine.FinishAll());
+
+  RunResult run;
+  run.connections = connections;
+  run.fixes = connections * static_cast<size_t>(fixes_per_client) *
+              static_cast<size_t>(objects_per_client);
+  STCOMP_CHECK(server.fixes_in() == run.fixes);
+  run.seconds = seconds;
+  run.fixes_per_second = seconds > 0.0 ? run.fixes / seconds : 0.0;
+  run.batches_acked = server.batches_acked();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int fixes_per_client = 20000;
+  int objects_per_client = 4;
+  int batch = 64;
+  int max_conns = 8;
+  double epsilon = 25.0;
+  int seed = 20260807;
+  std::string json_out;
+  stcomp::FlagParser flags("STNI network-ingest throughput");
+  flags.AddInt("fixes-per-client", &fixes_per_client,
+               "fixes pushed per object per connection");
+  flags.AddInt("objects-per-client", &objects_per_client,
+               "objects multiplexed on each connection");
+  flags.AddInt("batch", &batch, "fixes per wire batch");
+  flags.AddInt("max-conns", &max_conns,
+               "largest concurrent-connection count timed");
+  flags.AddDouble("epsilon", &epsilon,
+                  "opening-window tolerance in metres (per-fix work)");
+  flags.AddInt("seed", &seed, "walk generation seed");
+  flags.AddString("json-out", &json_out,
+                  "machine-readable result path (empty disables)");
+  if (const stcomp::Status status = flags.Parse(argc, argv); !status.ok()) {
+    return status.code() == stcomp::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  STCOMP_CHECK(fixes_per_client > 0 && objects_per_client > 0 && batch > 0 &&
+               max_conns > 0);
+
+  std::vector<size_t> counts;
+  for (size_t n = 1; n < static_cast<size_t>(max_conns); n *= 2) {
+    counts.push_back(n);
+  }
+  counts.push_back(static_cast<size_t>(max_conns));
+
+  std::printf("ingest over loopback TCP: %d objects x %d fixes per "
+              "connection, batch=%d, epsilon=%.1f\n",
+              objects_per_client, fixes_per_client, batch, epsilon);
+  std::vector<RunResult> runs;
+  double base = 0.0;
+  for (const size_t connections : counts) {
+    RunResult run = TimeRun(connections, fixes_per_client, objects_per_client,
+                            batch, epsilon, static_cast<uint64_t>(seed));
+    if (connections == 1) {
+      base = run.fixes_per_second;
+    }
+    run.speedup_vs_1 = base > 0.0 ? run.fixes_per_second / base : 0.0;
+    std::printf("  %2zu connection(s): %10.0f fixes/s  (%5.2fx vs 1, "
+                "%llu batches acked)\n",
+                run.connections, run.fixes_per_second, run.speedup_vs_1,
+                static_cast<unsigned long long>(run.batches_acked));
+    runs.push_back(run);
+  }
+
+  if (!json_out.empty()) {
+    std::string runs_json = "[";
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const RunResult& run = runs[i];
+      runs_json += stcomp::StrFormat(
+          "%s\n    {\"connections\": %zu, \"fixes\": %zu, "
+          "\"seconds\": %.6f, \"fixes_per_second\": %.0f, "
+          "\"batches_acked\": %llu, \"speedup_vs_1\": %.4f}",
+          i == 0 ? "" : ",", run.connections, run.fixes, run.seconds,
+          run.fixes_per_second,
+          static_cast<unsigned long long>(run.batches_acked),
+          run.speedup_vs_1);
+    }
+    runs_json += "\n  ]";
+    const std::string json = stcomp::StrFormat(
+        "{\n  \"bench\": \"bench_ingest_net\",\n  \"schema_version\": 1,\n"
+        "  \"fixes_per_client\": %d,\n  \"objects_per_client\": %d,\n"
+        "  \"batch\": %d,\n  \"max_conns\": %d,\n  \"epsilon_m\": %.3f,\n"
+        "  \"seed\": %d,\n  \"runs\": %s,\n  \"metrics\": %s}\n",
+        fixes_per_client, objects_per_client, batch, max_conns, epsilon, seed,
+        runs_json.c_str(),
+        stcomp::obs::RenderJson(
+            stcomp::obs::MetricsRegistry::Global().Snapshot())
+            .c_str());
+    std::ofstream file(json_out);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_out.c_str());
+      return 1;
+    }
+    file << json;
+    std::printf("result written to %s\n", json_out.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,293 @@
+// Fleet ingest simulator for the STNI network path (DESIGN.md §18): N
+// device threads, each a net::FleetClient with a stable client id,
+// batching fixes over real TCP into an ingest server.
+//
+// Two modes:
+//
+//   --connect=PORT   drive an already-running server (e.g.
+//                    `streaming_gps_feed --ingest-port=0`) and report
+//                    per-client ack/reconnect stats.
+//
+//   --loopback-demo  self-contained: boots an in-process IngestServer
+//                    backed by a ShardedFleetCompressor, runs the same
+//                    client fleet against it — optionally through seeded
+//                    wire chaos (--chaos) — then proves the compressed
+//                    output is bitwise identical to feeding the same
+//                    fixes in-process (no network). Prints PASS/FAIL;
+//                    this mode is the `example_fleet_client` ctest.
+//
+//   ./examples/fleet_client --loopback-demo [--clients=3] [--objects=2]
+//                           [--fixes=120] [--batch=32] [--chaos]
+//   ./examples/fleet_client --connect=PORT [--clients=3] ...
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stcomp/common/flags.h"
+#include "stcomp/common/strings.h"
+#include "stcomp/core/trajectory.h"
+#include "stcomp/net/fleet_client.h"
+#include "stcomp/net/ingest_server.h"
+#include "stcomp/stream/opening_window_stream.h"
+#include "stcomp/stream/sharded_fleet.h"
+#include "stcomp/testing/fault_plan.h"
+
+namespace {
+
+// Deterministic per-object random walk (SplitMix64 steps); the loopback
+// verification regenerates the same walk on the far side, so the doubles
+// must come out bit-identical — which a fixed seed guarantees.
+stcomp::Trajectory MakeWalk(int fixes, uint64_t seed) {
+  auto next = [state = seed]() mutable {
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  auto uniform = [&next] {
+    return static_cast<double>(next() >> 11) * 0x1p-53;
+  };
+  std::vector<stcomp::TimedPoint> points;
+  points.reserve(static_cast<size_t>(fixes));
+  double x = 0.0, y = 0.0, t = 0.0;
+  for (int i = 0; i < fixes; ++i) {
+    points.push_back({t, x, y});
+    t += 1.0 + 9.0 * uniform();
+    x += 40.0 * (uniform() - 0.5);
+    y += 40.0 * (uniform() - 0.5);
+  }
+  return stcomp::Trajectory::FromPoints(std::move(points)).value();
+}
+
+std::string ObjectId(int client, int object) {
+  return stcomp::StrFormat("sim-%d-%d", client, object);
+}
+
+struct ClientReport {
+  stcomp::Status status = stcomp::Status::Ok();
+  uint64_t fixes = 0;
+  uint64_t batches = 0;
+  uint64_t reconnects = 0;
+};
+
+// One device thread: interleaves its objects' walks fix-by-fix through a
+// FleetClient, then flushes and says goodbye.
+ClientReport RunClient(uint16_t port, int client, int objects, int fixes,
+                       int batch, uint64_t seed,
+                       stcomp::testing::FaultPlan* chaos) {
+  stcomp::net::FleetClientOptions options;
+  options.port = port;
+  options.client_id = stcomp::StrFormat("device-%d", client);
+  options.batch_size = static_cast<size_t>(batch);
+  options.max_reconnects = 500;
+  if (chaos != nullptr) {
+    options.fault_hook = [chaos](size_t write_size) {
+      return chaos->NextWireFault(write_size);
+    };
+  }
+  stcomp::net::FleetClient device(std::move(options));
+
+  std::vector<stcomp::Trajectory> walks;
+  for (int o = 0; o < objects; ++o) {
+    walks.push_back(MakeWalk(
+        fixes, seed + static_cast<uint64_t>(client * objects + o)));
+  }
+  ClientReport report;
+  for (int i = 0; i < fixes && report.status.ok(); ++i) {
+    for (int o = 0; o < objects; ++o) {
+      report.status = device.Push(ObjectId(client, o), walks[o][i]);
+      if (!report.status.ok()) {
+        break;
+      }
+    }
+  }
+  if (report.status.ok()) {
+    report.status = device.Bye();
+  }
+  report.fixes = device.fixes_pushed();
+  report.batches = device.batches_acked();
+  report.reconnects = device.reconnects();
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int connect_port = -1;
+  bool loopback_demo = false;
+  int clients = 3;
+  int objects = 2;
+  int fixes = 120;
+  int batch = 32;
+  bool chaos = false;
+  int seed = 20260807;
+  stcomp::FlagParser flags("fleet ingest client simulator");
+  flags.AddInt("connect", &connect_port,
+               "port of a running ingest server (-1 = off)");
+  flags.AddBool("loopback-demo", &loopback_demo,
+                "boot an in-process server and verify stored bytes");
+  flags.AddInt("clients", &clients, "device threads");
+  flags.AddInt("objects", &objects, "objects per device");
+  flags.AddInt("fixes", &fixes, "fixes per object");
+  flags.AddInt("batch", &batch, "fixes per wire batch");
+  flags.AddBool("chaos", &chaos,
+                "route every socket write through seeded wire faults");
+  flags.AddInt("seed", &seed, "walk + chaos seed");
+  if (const stcomp::Status status = flags.Parse(argc, argv); !status.ok()) {
+    return status.code() == stcomp::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  if ((connect_port < 0) == !loopback_demo) {
+    std::fprintf(stderr,
+                 "pick exactly one of --connect=PORT or --loopback-demo\n");
+    return 1;
+  }
+
+  // Loopback mode owns the whole pipeline: engine, server, fleet, proof.
+  std::unique_ptr<stcomp::ShardedFleetCompressor> engine;
+  std::unique_ptr<stcomp::net::IngestServer> server;
+  uint16_t port = static_cast<uint16_t>(connect_port);
+  if (loopback_demo) {
+    stcomp::ShardedFleetOptions engine_options;
+    engine_options.num_shards = 2;
+    engine_options.instance = "fleet-client-demo";
+    engine = std::make_unique<stcomp::ShardedFleetCompressor>(
+        [] {
+          return std::make_unique<stcomp::OpeningWindowStream>(
+              25.0, stcomp::algo::BreakPolicy::kNormal,
+              stcomp::StreamCriterion::kSynchronized);
+        },
+        engine_options);
+    stcomp::net::IngestServerOptions server_options;
+    server_options.instance = "fleet-client-demo";
+    server = std::make_unique<stcomp::net::IngestServer>(
+        [&engine](std::string_view id, const stcomp::TimedPoint& fix) {
+          return engine->Push(id, fix);
+        },
+        server_options);
+    if (const stcomp::Status started = server->Start(0); !started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    port = server->port();
+    std::printf("loopback ingest server on 127.0.0.1:%u (%s)\n", port,
+                chaos ? "seeded wire chaos ON" : "clean wire");
+  }
+
+  std::vector<std::unique_ptr<stcomp::testing::FaultPlan>> plans(
+      static_cast<size_t>(clients));
+  if (chaos) {
+    for (int c = 0; c < clients; ++c) {
+      stcomp::testing::FaultPlanOptions plan_options;
+      plans[static_cast<size_t>(c)] =
+          std::make_unique<stcomp::testing::FaultPlan>(
+              static_cast<uint64_t>(seed) * 1000 + static_cast<uint64_t>(c),
+              plan_options);
+    }
+  }
+
+  std::vector<ClientReport> reports(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      reports[static_cast<size_t>(c)] =
+          RunClient(port, c, objects, fixes, batch,
+                    static_cast<uint64_t>(seed),
+                    plans[static_cast<size_t>(c)].get());
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  bool ok = true;
+  for (int c = 0; c < clients; ++c) {
+    const ClientReport& report = reports[static_cast<size_t>(c)];
+    std::printf(
+        "device-%d: %llu fixes, %llu batches acked, %llu reconnects  %s\n", c,
+        static_cast<unsigned long long>(report.fixes),
+        static_cast<unsigned long long>(report.batches),
+        static_cast<unsigned long long>(report.reconnects),
+        report.status.ok() ? "ok" : report.status.ToString().c_str());
+    ok = ok && report.status.ok();
+  }
+
+  if (loopback_demo) {
+    server->Stop();
+    if (const stcomp::Status finished = engine->FinishAll(); !finished.ok()) {
+      std::fprintf(stderr, "engine: %s\n", finished.ToString().c_str());
+      ok = false;
+    }
+    // The proof: a reference engine fed the same fixes in-process (no
+    // network, no chaos) must hold bitwise-identical compressed output.
+    // Acked batches survive chaos; Bye() flushes the rest; the wire
+    // carries raw doubles — so TCP must be invisible to compression.
+    stcomp::ShardedFleetOptions reference_options;
+    reference_options.num_shards = 2;
+    reference_options.instance = "fleet-client-ref";
+    stcomp::ShardedFleetCompressor reference(
+        [] {
+          return std::make_unique<stcomp::OpeningWindowStream>(
+              25.0, stcomp::algo::BreakPolicy::kNormal,
+              stcomp::StreamCriterion::kSynchronized);
+        },
+        reference_options);
+    for (int c = 0; c < clients && ok; ++c) {
+      for (int o = 0; o < objects && ok; ++o) {
+        const stcomp::Trajectory walk = MakeWalk(
+            fixes, static_cast<uint64_t>(seed) +
+                       static_cast<uint64_t>(c * objects + o));
+        for (const stcomp::TimedPoint& fix : walk.points()) {
+          if (!reference.Push(ObjectId(c, o), fix).ok()) {
+            ok = false;
+            break;
+          }
+        }
+      }
+    }
+    if (ok && !reference.FinishAll().ok()) {
+      ok = false;
+    }
+    size_t verified = 0;
+    for (int c = 0; c < clients && ok; ++c) {
+      for (int o = 0; o < objects && ok; ++o) {
+        const stcomp::Result<stcomp::Trajectory> want =
+            reference.Get(ObjectId(c, o));
+        const stcomp::Result<stcomp::Trajectory> got =
+            engine->Get(ObjectId(c, o));
+        if (!want.ok() || !got.ok() || got->size() != want->size()) {
+          std::fprintf(stderr, "%s: wrong size or missing\n",
+                       ObjectId(c, o).c_str());
+          ok = false;
+          break;
+        }
+        for (size_t i = 0; i < want->size(); ++i) {
+          if ((*want)[i].t != (*got)[i].t ||
+              (*want)[i].position.x != (*got)[i].position.x ||
+              (*want)[i].position.y != (*got)[i].position.y) {
+            std::fprintf(stderr, "%s: point %zu differs\n",
+                         ObjectId(c, o).c_str(), i);
+            ok = false;
+            break;
+          }
+        }
+        ++verified;
+      }
+    }
+    std::printf("verified %zu objects bitwise against in-process ingest\n",
+                verified);
+    std::printf("server: %llu sessions, %llu fixes, %llu protocol errors\n",
+                static_cast<unsigned long long>(server->sessions_accepted()),
+                static_cast<unsigned long long>(server->fixes_in()),
+                static_cast<unsigned long long>(server->protocol_errors()));
+  }
+
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

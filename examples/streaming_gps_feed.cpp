@@ -23,6 +23,7 @@
 #include "stcomp/common/check.h"
 #include "stcomp/common/flags.h"
 #include "stcomp/error/evaluation.h"
+#include "stcomp/net/ingest_server.h"
 #include "stcomp/obs/admin_server.h"
 #include "stcomp/obs/exposition.h"
 #include "stcomp/sim/paper_dataset.h"
@@ -31,6 +32,7 @@
 #include "stcomp/stream/dead_reckoning_stream.h"
 #include "stcomp/stream/fleet_compressor.h"
 #include "stcomp/stream/opening_window_stream.h"
+#include "stcomp/stream/sharded_fleet.h"
 
 int main(int argc, char** argv) {
   double epsilon = 30.0;
@@ -44,9 +46,14 @@ int main(int argc, char** argv) {
                   "speed-difference threshold in m/s (OPW-SP)");
   flags.AddString("metrics-format", &metrics_format,
                   "final metrics dump format: text, json or prometheus");
+  int ingest_port = -1;
   flags.AddInt("admin-port", &admin_port,
                "serve /metrics, /healthz, /tracez, /objectz and /flightz on "
                "127.0.0.1:<port> (0 = ephemeral, printed; -1 = off)");
+  flags.AddInt("ingest-port", &ingest_port,
+               "accept STNI wire-protocol clients (examples/fleet_client) on "
+               "127.0.0.1:<port> during the serve window "
+               "(0 = ephemeral, printed; -1 = off)");
   flags.AddDouble("serve-seconds", &serve_seconds,
                   "keep the admin server up this long after the feed ends "
                   "(0 with --admin-port waits for Ctrl-C-less smoke: one "
@@ -100,6 +107,40 @@ int main(int argc, char** argv) {
       },
       &store, "gps-feed");
 
+  // Network ingest: fleet_client devices land in a thread-safe sharded
+  // engine (the single-threaded FleetCompressor above belongs to this
+  // thread; the ingest server pushes from its poll thread).
+  std::unique_ptr<stcomp::ShardedFleetCompressor> net_engine;
+  std::unique_ptr<stcomp::net::IngestServer> ingest;
+  if (ingest_port >= 0) {
+    stcomp::ShardedFleetOptions engine_options;
+    engine_options.num_shards = 2;
+    engine_options.instance = "gps-feed-net";
+    net_engine = std::make_unique<stcomp::ShardedFleetCompressor>(
+        [epsilon] {
+          return std::make_unique<stcomp::OpeningWindowStream>(
+              epsilon, stcomp::algo::BreakPolicy::kNormal,
+              stcomp::StreamCriterion::kSynchronized);
+        },
+        engine_options);
+    stcomp::net::IngestServerOptions server_options;
+    server_options.instance = "gps-feed";
+    ingest = std::make_unique<stcomp::net::IngestServer>(
+        [&net_engine](std::string_view id, const stcomp::TimedPoint& fix) {
+          return net_engine->Push(id, fix);
+        },
+        server_options);
+    const stcomp::Status started =
+        ingest->Start(static_cast<uint16_t>(ingest_port));
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    // Parsed by scripts/ingest_smoke.py; keep the format stable.
+    std::printf("ingest server listening on 127.0.0.1:%u\n", ingest->port());
+    std::fflush(stdout);
+  }
+
   // Live introspection: the admin server reads the fleet's per-object
   // state from its own thread, so it serves while this thread is idle
   // (between the pump below and FinishAll) — the fleet itself is not
@@ -116,7 +157,13 @@ int main(int argc, char** argv) {
           }
           return fleet.RenderObjectsJson(limit);
         },
-        [] { return stcomp::RenderQueryzJson(); });
+        [] { return stcomp::RenderQueryzJson(); },
+        [&ingest]() -> std::string {
+          if (ingest == nullptr) {
+            return "{\"server\":null,\"sessions\":[]}\n";
+          }
+          return ingest->RenderIngestzJson();
+        });
     const stcomp::Status started =
         admin.Start(static_cast<uint16_t>(admin_port));
     if (!started.ok()) {
@@ -152,14 +199,23 @@ int main(int argc, char** argv) {
     }
   }
   pump_done.store(true, std::memory_order_release);
-  if (admin_port >= 0) {
+  if (admin_port >= 0 || ingest_port >= 0) {
     // Serve with the objects still live so /objectz shows them; the app
-    // thread only sleeps here, so the server thread's reads are safe.
+    // thread only sleeps here, so the server threads' reads are safe.
     const double window = serve_seconds > 0.0 ? serve_seconds : 1.0;
-    std::printf("serving admin endpoints for %.1f s...\n", window);
+    std::printf("serving for %.1f s...\n", window);
     std::fflush(stdout);
     std::this_thread::sleep_for(std::chrono::duration<double>(window));
     admin.Stop();
+  }
+  if (ingest != nullptr) {
+    ingest->Stop();
+    STCOMP_CHECK_OK(net_engine->FinishAll());
+    std::printf(
+        "network ingest: %llu sessions, %llu fixes acked into the sharded "
+        "engine\n",
+        static_cast<unsigned long long>(ingest->sessions_accepted()),
+        static_cast<unsigned long long>(ingest->fixes_in()));
   }
   for (Lane& lane : lanes) {
     lane.compressor->Finish(&lane.committed);

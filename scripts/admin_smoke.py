@@ -14,6 +14,10 @@ is serving, and checks each response:
                            a Chrome trace_event envelope
   /flightz (+json)      -> flight-recorder event log
   /queryz               -> JSON query-engine counters ("queries" object)
+  /ingestz              -> JSON ingest-server state (null server + empty
+                           sessions here: the feed runs without
+                           --ingest-port; ingest_smoke.py covers the
+                           live-server shape)
   unknown path          -> 404
 
 Then waits for the example to exit cleanly. Usage:
@@ -124,6 +128,13 @@ def run(binary, serve_seconds):
         if not isinstance(queryz.get("queries"), dict):
             return fail(f"/queryz lacks the queries object: {body[:200]!r}")
 
+        status, body = fetch(port, "/ingestz")
+        if status != 200:
+            return fail(f"/ingestz: status {status}")
+        ingestz = json.loads(body)
+        if "sessions" not in ingestz:
+            return fail(f"/ingestz lacks the sessions key: {body[:200]!r}")
+
         status, _ = fetch(port, "/no-such-endpoint")
         if status != 404:
             return fail(f"unknown path: status {status}, want 404")
@@ -138,7 +149,7 @@ def run(binary, serve_seconds):
         if process.poll() is None:
             process.kill()
             process.wait()
-    print("admin_smoke: PASS (all six endpoints answered over HTTP)")
+    print("admin_smoke: PASS (all seven endpoints answered over HTTP)")
     return 0
 
 

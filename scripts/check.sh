@@ -53,6 +53,11 @@ STCOMP_CRASH_MATRIX_SEEDS=7,991 \
 # headline (block skipping beats full decode on low-selectivity queries).
 ./build/bench/bench_queries --objects=64 --queries=40 \
     --json-out=BENCH_queries.json
+# Network-ingest throughput (DESIGN.md §18): the full FleetClient ->
+# loopback TCP -> IngestServer -> sharded engine path at 1..4
+# connections; the schema gate checks the 1-connection baseline exists.
+./build/bench/bench_ingest_net --fixes-per-client=2000 \
+    --objects-per-client=2 --max-conns=4 --json-out=BENCH_ingest_net.json
 
 echo "== Pass 2/5: scalar-forced kernels (runtime dispatch leg) =="
 STCOMP_FORCE_SCALAR_KERNELS=1 \
@@ -95,7 +100,7 @@ if command -v clang++ >/dev/null 2>&1; then
     -DSTCOMP_SANITIZE="address;undefined"
   cmake --build build-fuzz -j "$JOBS"
   for target in nmea gpx plt csv xml varint serialization store wal \
-      query_index; do
+      query_index ingest_frame; do
     ./build-fuzz/tests/fuzz/fuzz_"$target" -max_total_time=5 -seed=20260805 \
       "tests/fuzz/corpus/$target"
   done

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Two-process end-to-end smoke for the STNI network-ingest path.
+
+Launches `streaming_gps_feed --ingest-port=0 --admin-port=0` (port 0 =
+kernel-assigned, so parallel CI jobs never collide), parses both bound
+ports from its stdout, then drives the server with a separate
+`fleet_client --connect=<port>` process over real TCP. Checks:
+
+  - the fleet_client process exits 0 and prints PASS,
+  - /ingestz on the admin port reports a live server object whose
+    accepted-session and fix counters cover what the client pushed,
+  - the server process exits 0 after its serve window (clean drain).
+
+Usage:
+
+  ingest_smoke.py /path/to/streaming_gps_feed /path/to/fleet_client
+"""
+
+import json
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+INGEST_PREFIX = "ingest server listening on 127.0.0.1:"
+ADMIN_PREFIX = "admin server listening on 127.0.0.1:"
+
+CLIENTS = 2
+OBJECTS = 2
+FIXES = 60
+
+
+def fail(message):
+    print(f"ingest_smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def fetch(port, target):
+    url = f"http://127.0.0.1:{port}{target}"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as err:  # non-2xx still has a body
+        return err.code, err.read().decode("utf-8")
+
+
+def wait_for_ports(process, deadline_s=30.0):
+    """Reads stdout until both listen lines appear; returns (ingest, admin)."""
+    ingest_port = None
+    admin_port = None
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            return None, None  # stdout closed: the server died early
+        sys.stdout.write(line)
+        if line.startswith(INGEST_PREFIX):
+            ingest_port = int(line[len(INGEST_PREFIX):].strip())
+        elif line.startswith(ADMIN_PREFIX):
+            admin_port = int(line[len(ADMIN_PREFIX):].strip())
+        if ingest_port is not None and admin_port is not None:
+            return ingest_port, admin_port
+    return None, None
+
+
+def run(server_binary, client_binary):
+    server = subprocess.Popen(
+        [
+            server_binary,
+            "--ingest-port=0",
+            "--admin-port=0",
+            "--serve-seconds=20",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        ingest_port, admin_port = wait_for_ports(server)
+        if ingest_port is None or admin_port is None:
+            server.kill()
+            return fail("server never printed both listen lines")
+
+        client = subprocess.run(
+            [
+                client_binary,
+                f"--connect={ingest_port}",
+                f"--clients={CLIENTS}",
+                f"--objects={OBJECTS}",
+                f"--fixes={FIXES}",
+                "--batch=16",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        sys.stdout.write(client.stdout)
+        if client.returncode != 0:
+            sys.stderr.write(client.stderr)
+            return fail(f"fleet_client exited with {client.returncode}")
+        if "PASS" not in client.stdout:
+            return fail("fleet_client did not print PASS")
+
+        status, body = fetch(admin_port, "/ingestz")
+        if status != 200:
+            return fail(f"/ingestz: status {status}")
+        ingestz = json.loads(body)
+        stats = ingestz.get("server")
+        if not isinstance(stats, dict):
+            return fail(f"/ingestz has no live server object: {body[:200]!r}")
+        want_fixes = CLIENTS * OBJECTS * FIXES
+        if stats.get("accepted", 0) < CLIENTS:
+            return fail(f"/ingestz accepted {stats.get('accepted')} sessions, "
+                        f"want >= {CLIENTS}")
+        if stats.get("fixes", 0) != want_fixes:
+            return fail(f"/ingestz counted {stats.get('fixes')} fixes, "
+                        f"want {want_fixes}")
+        if "sessions" not in ingestz:
+            return fail("/ingestz lacks the sessions array")
+
+        remaining = server.stdout.read()
+        if remaining:
+            sys.stdout.write(remaining)
+        code = server.wait(timeout=60)
+        if code != 0:
+            return fail(f"server exited with status {code}")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+    print("ingest_smoke: PASS (TCP ingest + /ingestz accounting + clean exit)")
+    return 0
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(
+            "usage: ingest_smoke.py /path/to/streaming_gps_feed "
+            "/path/to/fleet_client",
+            file=sys.stderr,
+        )
+        return 2
+    return run(argv[1], argv[2])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -192,6 +192,45 @@ def validate(path):
             value = doc.get(key)
             if not isinstance(value, (int, float)) or value <= 0:
                 return fail(path, f"bench_fleet_scale: bad '{key}': {value!r}")
+    if bench == "bench_ingest_net":
+        runs = doc.get("runs")
+        if not isinstance(runs, list) or not runs:
+            return fail(path, "bench_ingest_net: missing 'runs' entries")
+        connections = set()
+        for entry in runs:
+            if not isinstance(entry, dict):
+                return fail(path, "bench_ingest_net: non-object run entry")
+            conns = entry.get("connections")
+            if not isinstance(conns, int) or conns <= 0:
+                return fail(
+                    path, f"bench_ingest_net: bad 'connections': {conns!r}"
+                )
+            connections.add(conns)
+            for key in ("fixes",):
+                value = entry.get(key)
+                if not isinstance(value, int) or value <= 0:
+                    return fail(
+                        path,
+                        f"bench_ingest_net: conns={conns}: bad '{key}': "
+                        f"{value!r}",
+                    )
+            for key in ("seconds", "fixes_per_second", "speedup_vs_1"):
+                value = entry.get(key)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    return fail(
+                        path,
+                        f"bench_ingest_net: conns={conns}: bad '{key}': "
+                        f"{value!r}",
+                    )
+            acked = entry.get("batches_acked")
+            if not isinstance(acked, int) or acked <= 0:
+                return fail(
+                    path,
+                    f"bench_ingest_net: conns={conns}: bad 'batches_acked'",
+                )
+        # The single-connection baseline anchors every speedup figure.
+        if 1 not in connections:
+            return fail(path, "bench_ingest_net: missing 1-connection run")
     print(f"validate_bench: {path}: ok ({bench}, schema v{version})")
     return 0
 

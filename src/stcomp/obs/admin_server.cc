@@ -1,17 +1,13 @@
 #include "stcomp/obs/admin_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <algorithm>
-#include <cerrno>
 #include <chrono>
-#include <cstring>
 
 #include "stcomp/common/strings.h"
+#include "stcomp/net/socket_util.h"
 #include "stcomp/obs/exposition.h"
 #include "stcomp/obs/flight_recorder.h"
 #include "stcomp/obs/metrics.h"
@@ -33,22 +29,6 @@ const char* StatusText(int status) {
       return "Method Not Allowed";
     default:
       return "Internal Server Error";
-  }
-}
-
-void WriteAll(int fd, std::string_view data) {
-  size_t written = 0;
-  while (written < data.size()) {
-    // MSG_NOSIGNAL: a client that disconnects mid-response (curl ^C during
-    // a large /tracez body) must surface as EPIPE here, not as a SIGPIPE
-    // whose default action kills the whole embedding process.
-    const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
-                             MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return;  // client went away (EPIPE/ECONNRESET); nothing useful to do
-    }
-    written += static_cast<size_t>(n);
   }
 }
 
@@ -78,43 +58,11 @@ Status AdminServer::Start(uint16_t port) {
   if (running_.load(std::memory_order_acquire)) {
     return FailedPreconditionError("admin server already running");
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return UnavailableError(
-        StrFormat("socket() failed: %s", std::strerror(errno)));
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
   // Loopback only — the admin surface has no auth (see header comment).
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const int err = errno;
-    ::close(fd);
-    return UnavailableError(StrFormat("bind(127.0.0.1:%u) failed: %s",
-                                      static_cast<unsigned>(port),
-                                      std::strerror(err)));
-  }
-  if (::listen(fd, 16) < 0) {
-    const int err = errno;
-    ::close(fd);
-    return UnavailableError(
-        StrFormat("listen() failed: %s", std::strerror(err)));
-  }
-  sockaddr_in bound;
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
-    const int err = errno;
-    ::close(fd);
-    return UnavailableError(
-        StrFormat("getsockname() failed: %s", std::strerror(err)));
-  }
-  listen_fd_ = fd;
-  port_ = ntohs(bound.sin_port);
+  Result<net::Listener> listener = net::ListenLoopback(port, /*backlog=*/16);
+  if (!listener.ok()) return listener.status();
+  listen_fd_ = listener->fd;
+  port_ = listener->port;
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Serve(); });
   return Status::Ok();
@@ -154,40 +102,20 @@ void AdminServer::Serve() {
 
 void AdminServer::HandleConnection(int client_fd) {
   // Read until the end of the request head; everything we need is in the
-  // request line. Cap the head so a misbehaving client cannot balloon us,
-  // and bound the whole read by a wall-clock deadline — a per-read timeout
-  // alone would let a client trickling one byte every <2s pin the single
-  // accept thread (and block Stop()) for hours.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  // request line. ReadUntil (net/socket_util.h) supplies the slow-loris
+  // defenses this loop used to hand-roll: a 16 KB head cap, a wall-clock
+  // deadline (a per-read timeout alone would let a client trickling one
+  // byte every <2s pin the single accept thread and block Stop() for
+  // hours), and prompt observation of running_.
   std::string head;
-  char buf[1024];
-  while (head.size() < 16 * 1024 &&
-         head.find("\r\n\r\n") == std::string::npos &&
-         head.find("\n\n") == std::string::npos &&
-         running_.load(std::memory_order_acquire)) {
-    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-        deadline - std::chrono::steady_clock::now());
-    if (remaining.count() <= 0) {
-      break;
-    }
-    pollfd pfd{client_fd, POLLIN, 0};
-    const int timeout_ms =
-        static_cast<int>(std::min<long long>(remaining.count(), 100));
-    if (::poll(&pfd, 1, timeout_ms) < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (!(pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
-      continue;  // poll timed out; re-check deadline and running_
-    }
-    const ssize_t n = ::read(client_fd, buf, sizeof(buf));
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      break;
-    }
-    head.append(buf, static_cast<size_t>(n));
-  }
+  net::ReadUntil(
+      client_fd, /*max_bytes=*/16 * 1024,
+      std::chrono::steady_clock::now() + std::chrono::seconds(5), &running_,
+      [](std::string_view buffer) {
+        return buffer.find("\r\n\r\n") != std::string_view::npos ||
+               buffer.find("\n\n") != std::string_view::npos;
+      },
+      &head);
 
   AdminResponse response;
   const size_t line_end = head.find_first_of("\r\n");
@@ -221,13 +149,16 @@ void AdminServer::HandleConnection(int client_fd) {
       response.status, StatusText(response.status),
       response.content_type.c_str(), response.body.size());
   out += response.body;
-  WriteAll(client_fd, out);
+  // Best-effort: a client that disconnected mid-response (curl ^C during
+  // a large /tracez body) is not an error worth reporting.
+  net::SendAll(client_fd, out).ok();
 }
 
 void RegisterStandardEndpoints(
     AdminServer& server,
     std::function<std::string(size_t limit)> objectz_json,
-    std::function<std::string()> queryz_json) {
+    std::function<std::string()> queryz_json,
+    std::function<std::string()> ingestz_json) {
   server.Handle("/healthz", [](const AdminRequest&) {
     return AdminResponse{200, "text/plain; charset=utf-8", "ok\n"};
   });
@@ -307,6 +238,13 @@ void RegisterStandardEndpoints(
                       provider ? provider()
                                : std::string("{\"queries\":{}}\n")};
                 });
+  server.Handle(
+      "/ingestz", [provider = std::move(ingestz_json)](const AdminRequest&) {
+        return AdminResponse{
+            200, "application/json",
+            provider ? provider()
+                     : std::string("{\"server\":null,\"sessions\":[]}\n")};
+      });
 }
 
 }  // namespace stcomp::obs

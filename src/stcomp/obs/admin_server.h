@@ -6,8 +6,8 @@
 // TLS, no auth. It binds 127.0.0.1 ONLY — the endpoints expose object
 // ids, file paths and timing internals, so never forward the port off a
 // trusted host (DESIGN.md §15 lists the caveats). This is an operator
-// tool, not a production ingest path; the wire-protocol roadmap item
-// gets its own hardened server.
+// tool, not a production ingest path — that is net/ingest_server.h; the
+// two share socket plumbing via net/socket_util.h.
 //
 // Standard endpoints (RegisterStandardEndpoints):
 //   /metrics  Prometheus text exposition 0.0.4 of the global registry
@@ -20,6 +20,9 @@
 //   /flightz  flight-recorder snapshot (?format=text|json)
 //   /queryz   query-layer counters and latency summary (JSON), from the
 //             caller-supplied provider (store/query.h RenderQueryzJson)
+//   /ingestz  network-ingest server and per-session state (JSON), from
+//             the caller-supplied provider
+//             (net/ingest_server.h RenderIngestzJson)
 
 #ifndef STCOMP_OBS_ADMIN_SERVER_H_
 #define STCOMP_OBS_ADMIN_SERVER_H_
@@ -94,12 +97,15 @@ inline constexpr size_t kDefaultObjectzLimit = 1000;
 // must return a JSON document honoring it (e.g.
 // FleetCompressor::RenderObjectsJson or the sharded engine's aggregate);
 // pass nullptr to serve an empty object list. `queryz_json` is called per
-// /queryz request (typically stcomp::RenderQueryzJson); pass nullptr to
-// serve an empty document. The caller must ensure the providers are safe
-// to call from the server thread for as long as the server runs.
+// /queryz request (typically stcomp::RenderQueryzJson) and `ingestz_json`
+// per /ingestz request (typically net::IngestServer::RenderIngestzJson);
+// pass nullptr to serve an empty document. The caller must ensure the
+// providers are safe to call from the server thread for as long as the
+// server runs.
 void RegisterStandardEndpoints(
     AdminServer& server, std::function<std::string(size_t limit)> objectz_json,
-    std::function<std::string()> queryz_json = nullptr);
+    std::function<std::string()> queryz_json = nullptr,
+    std::function<std::string()> ingestz_json = nullptr);
 
 }  // namespace stcomp::obs
 

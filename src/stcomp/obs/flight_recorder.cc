@@ -137,6 +137,14 @@ std::string_view FlightCodeName(FlightCode code) {
       return "shard_backpressure";
     case FlightCode::kShardError:
       return "shard_error";
+    case FlightCode::kNetAccept:
+      return "net_accept";
+    case FlightCode::kNetShed:
+      return "net_shed";
+    case FlightCode::kNetProtocolError:
+      return "net_protocol_error";
+    case FlightCode::kNetDrain:
+      return "net_drain";
   }
   return "unknown";
 }

@@ -68,6 +68,16 @@ enum class FlightCode : uint16_t {
                             // backpressure waits
   kShardError = 17,       // first async error recorded on a shard;
                           // arg0 = status code, arg1 = shard index
+  // Network ingest layer (net/ingest_server.*).
+  kNetAccept = 18,        // session accepted; arg0 = session id,
+                          // arg1 = active sessions after the accept
+  kNetShed = 19,          // session shed with GOAWAY; arg0 = session id,
+                          // arg1 = GoAwayReason
+  kNetProtocolError = 20,  // malformed/out-of-state frame ⇒ typed error
+                           // frame + close; arg0 = session id,
+                           // arg1 = NetErrorCode
+  kNetDrain = 21,         // graceful Stop() drain; arg0 = sessions
+                          // drained, arg1 = batches acked lifetime
 };
 
 // Stable lowercase name for rendering ("wal_commit", ...).

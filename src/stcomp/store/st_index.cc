@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "stcomp/common/check.h"
 #include "stcomp/store/serialization.h"
@@ -29,8 +30,23 @@ SpatioTemporalIndex::SpatioTemporalIndex(double cell_size_m)
 
 SpatioTemporalIndex::CellKey SpatioTemporalIndex::KeyFor(
     Vec2 position) const {
-  return {static_cast<int64_t>(std::floor(position.x / cell_size_m_)),
-          static_cast<int64_t>(std::floor(position.y / cell_size_m_))};
+  // Saturate before the cast: a fuzz-sized coordinate over a small cell
+  // produces a quotient outside int64 range, and that conversion is UB.
+  // Saturated keys stay ordered, which is all the grid walk needs.
+  const auto coord = [&](double value) -> int64_t {
+    const double cell = std::floor(value / cell_size_m_);
+    if (std::isnan(cell)) {
+      return 0;
+    }
+    if (cell <= -9.2e18) {
+      return std::numeric_limits<int64_t>::min();
+    }
+    if (cell >= 9.2e18) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    return static_cast<int64_t>(cell);
+  };
+  return {coord(position.x), coord(position.y)};
 }
 
 void SpatioTemporalIndex::InsertPostings(uint32_t object_ordinal) {
@@ -40,10 +56,16 @@ void SpatioTemporalIndex::InsertPostings(uint32_t object_ordinal) {
     const Posting posting{object_ordinal, b};
     const CellKey lo = KeyFor(block.bounds.min);
     const CellKey hi = KeyFor(block.bounds.max);
-    const uint64_t span_x = static_cast<uint64_t>(hi.first - lo.first) + 1;
-    const uint64_t span_y = static_cast<uint64_t>(hi.second - lo.second) + 1;
-    if (span_x > kMaxCellsPerBlock || span_y > kMaxCellsPerBlock ||
-        span_x * span_y > kMaxCellsPerBlock) {
+    // Subtract as unsigned: with saturated keys the signed difference of
+    // int64 extremes overflows. Compare the gap itself (span - 1) so the
+    // full-int64 gap of 2^64-1 cannot wrap span back to zero and sneak a
+    // saturated block past the oversize cut.
+    const uint64_t gap_x =
+        static_cast<uint64_t>(hi.first) - static_cast<uint64_t>(lo.first);
+    const uint64_t gap_y =
+        static_cast<uint64_t>(hi.second) - static_cast<uint64_t>(lo.second);
+    if (gap_x >= kMaxCellsPerBlock || gap_y >= kMaxCellsPerBlock ||
+        (gap_x + 1) * (gap_y + 1) > kMaxCellsPerBlock) {
       oversize_.push_back(posting);
       ++total_postings_;
       continue;
@@ -82,14 +104,24 @@ SpatioTemporalIndex::CandidateBlocks(const BoundingBox& box, double t0,
   std::vector<Posting> candidates;
   const CellKey lo = KeyFor(box.min);
   const CellKey hi = KeyFor(box.max);
-  // Walk covered cells through the ordered map: one lower_bound per row.
-  for (int64_t cx = lo.first; cx <= hi.first; ++cx) {
-    for (auto it = cells_.lower_bound({cx, lo.second});
-         it != cells_.end() && it->first.first == cx &&
-         it->first.second <= hi.second;
-         ++it) {
+  // Walk only populated cells, jumping over empty key ranges with
+  // lower_bound. Iterating the integer cell range of the box instead
+  // (one probe per x-column) stalls for hours on a planet-sized query
+  // box over a metres-sized grid: cost must scale with the number of
+  // occupied cells, never with the area of the question.
+  for (auto it = cells_.lower_bound({lo.first, lo.second});
+       it != cells_.end() && it->first.first <= hi.first;) {
+    if (it->first.second < lo.second) {
+      it = cells_.lower_bound({it->first.first, lo.second});
+    } else if (it->first.second > hi.second) {
+      if (it->first.first == std::numeric_limits<int64_t>::max()) {
+        break;  // No next column to jump to.
+      }
+      it = cells_.lower_bound({it->first.first + 1, lo.second});
+    } else {
       candidates.insert(candidates.end(), it->second.begin(),
                         it->second.end());
+      ++it;
     }
   }
   candidates.insert(candidates.end(), oversize_.begin(), oversize_.end());

@@ -33,6 +33,43 @@ std::string FaultPlan::CorruptBytes(std::string_view input) {
   return out;
 }
 
+net::WireFault FaultPlan::NextWireFault(size_t write_size) {
+  net::WireFault fault;
+  if (write_size == 0) return fault;
+  // Fixed draw order (disconnect, corrupt, split, stall), at most one
+  // fault per write — the decision stream is a pure function of (seed,
+  // write-size sequence), so a failing soak replays from its seed alone.
+  if (rng_.NextBool(options_.wire_disconnect_probability)) {
+    fault.kind = net::WireFault::Kind::kDisconnect;
+    fault.offset = rng_.NextBelow(write_size);
+    Record(StrFormat("wire-disconnect@%zu", fault.offset));
+    return fault;
+  }
+  if (rng_.NextBool(options_.wire_corrupt_probability)) {
+    fault.kind = net::WireFault::Kind::kCorruptSpan;
+    fault.offset = rng_.NextBelow(write_size);
+    fault.length = 1 + rng_.NextBelow(8);
+    Record(StrFormat("wire-corrupt@%zu+%zu", fault.offset, fault.length));
+    return fault;
+  }
+  if (write_size > 1 && rng_.NextBool(options_.wire_split_probability)) {
+    fault.kind = net::WireFault::Kind::kSplitWrite;
+    fault.offset = 1 + rng_.NextBelow(write_size - 1);
+    Record(StrFormat("wire-split@%zu", fault.offset));
+    return fault;
+  }
+  if (rng_.NextBool(options_.wire_stall_probability)) {
+    fault.kind = net::WireFault::Kind::kStall;
+    fault.stall_ms = 1 + rng_.NextBelow(
+                             static_cast<uint64_t>(options_.wire_stall_max_ms));
+    Record(StrFormat("wire-stall#%llu(%llums)",
+                     static_cast<unsigned long long>(++stall_count_),
+                     static_cast<unsigned long long>(fault.stall_ms)));
+    return fault;
+  }
+  return fault;
+}
+
 std::string FaultPlan::Describe() const {
   return StrFormat("FaultPlan(seed=%llu, %zu faults)",
                    static_cast<unsigned long long>(seed_), log_.size());

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "stcomp/net/socket_util.h"
 #include "stcomp/sim/random.h"
 
 namespace stcomp::testing {
@@ -40,6 +41,17 @@ struct FaultPlanOptions {
   double jitter_max_s = 3.0;
   double nan_coordinate_probability = 0.03;
   double io_error_probability = 0.02;
+
+  // Wire faults (NextWireFault; per socket write). The defaults make a
+  // ~500-write chaos-soak client see several disconnects, many split
+  // writes and an occasional stall — corruption is kept rare because a
+  // corrupted frame rightly kills the connection (protocol quarantine)
+  // and costs a full reconnect/resume round trip.
+  double wire_disconnect_probability = 0.02;
+  double wire_stall_probability = 0.03;
+  double wire_stall_max_ms = 20.0;
+  double wire_split_probability = 0.25;
+  double wire_corrupt_probability = 0.02;
 };
 
 class FaultPlan {
@@ -54,6 +66,16 @@ class FaultPlan {
   // corpus replay driver uses this to grow every checked-in corpus file
   // into a seed-indexed family of hostile mutants.
   std::string CorruptBytes(std::string_view input);
+
+  // One wire-fault decision for a socket write of `write_size` bytes —
+  // plug into a net::WireFaultHook to chaos-test a client/server link:
+  //
+  //   net::WireFaultHook hook = [&](size_t n) { return plan.NextWireFault(n); };
+  //
+  // At most one fault per write, drawn in fixed order (disconnect,
+  // corrupt, split, stall) so the sequence is a pure function of (seed,
+  // write sizes). Injected faults land in log() like every other kind.
+  net::WireFault NextWireFault(size_t write_size);
 
   // Ordered log of every fault injected so far ("bit-flip@12.3",
   // "dup-fix#4", ...). Equal seeds + equal call sequences produce
@@ -74,6 +96,7 @@ class FaultPlan {
   FaultPlanOptions options_;
   Rng rng_;
   std::vector<std::string> log_;
+  uint64_t stall_count_ = 0;
 };
 
 }  // namespace stcomp::testing

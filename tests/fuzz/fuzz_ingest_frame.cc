@@ -1,0 +1,97 @@
+// Fuzzes the STNI wire-protocol codec (DESIGN.md §18): arbitrary bytes
+// through the incremental scan, the strict decoder, and the FrameReader
+// must never crash, and every frame that survives the strict decode must
+// re-encode byte-identically — the property the exactly-once resume
+// story leans on (clients resend *encoded bytes*, servers compare
+// decoded state).
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_registry.h"
+#include "stcomp/net/frame.h"
+
+namespace {
+
+int FuzzIngestFrame(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) {
+    return 0;
+  }
+  const std::string_view image(reinterpret_cast<const char*>(data), size);
+
+  // The incremental scan on hostile bytes: one of the three verdicts,
+  // never a crash, and a kFrame verdict must be strictly decodable or
+  // cleanly rejected (a scan only validates framing, not the CRC).
+  size_t frame_size = 0;
+  stcomp::Status scan_error;
+  const stcomp::net::FrameScan scan = stcomp::net::ScanNetFrame(
+      image, stcomp::net::kNetMaxPayloadBytes, &frame_size, &scan_error);
+  if (scan == stcomp::net::FrameScan::kFrame) {
+    if (frame_size == 0 || frame_size > image.size()) {
+      std::abort();  // A complete frame must lie within the buffer.
+    }
+  }
+  if (scan == stcomp::net::FrameScan::kError && scan_error.ok()) {
+    std::abort();  // Errors always carry a reason.
+  }
+
+  // The strict decoder: clean Status or a frame that round-trips.
+  std::string_view cursor = image;
+  while (!cursor.empty()) {
+    const size_t before = cursor.size();
+    stcomp::Result<stcomp::net::NetFrame> decoded =
+        stcomp::net::DecodeNetFrame(&cursor);
+    if (!decoded.ok()) {
+      break;
+    }
+    if (cursor.size() >= before) {
+      std::abort();  // Forward progress on success.
+    }
+    // Round trip. Not byte-identity with the *input* (GetVarint accepts
+    // overlong varints the canonical encoder never emits), but encode ∘
+    // decode must be a fixed point on codec-produced bytes.
+    const std::string reencoded = stcomp::net::EncodeNetFrame(*decoded);
+    std::string_view again = reencoded;
+    stcomp::Result<stcomp::net::NetFrame> redecoded =
+        stcomp::net::DecodeNetFrame(&again);
+    if (!redecoded.ok() || !again.empty() ||
+        stcomp::net::EncodeNetFrame(*redecoded) != reencoded) {
+      std::abort();
+    }
+  }
+
+  // The FrameReader over the same bytes, fed in two torn halves: every
+  // yielded frame is complete, and after the first error it stays
+  // poisoned (no resync).
+  stcomp::net::FrameReader reader;
+  reader.Append(image.substr(0, size / 2));
+  reader.Append(image.substr(size / 2));
+  bool poisoned = false;
+  while (true) {
+    stcomp::net::NetFrame frame;
+    stcomp::Status error;
+    const stcomp::net::FrameScan verdict = reader.Next(&frame, &error);
+    if (verdict == stcomp::net::FrameScan::kNeedMore) {
+      if (poisoned) {
+        std::abort();  // Poison is permanent; kNeedMore must not follow.
+      }
+      break;
+    }
+    if (verdict == stcomp::net::FrameScan::kError) {
+      if (error.ok()) {
+        std::abort();
+      }
+      if (poisoned) {
+        break;  // Same error again, as promised; done.
+      }
+      poisoned = true;
+      continue;  // One more turn to check the poison sticks.
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+STCOMP_FUZZ_TARGET(ingest_frame, FuzzIngestFrame)

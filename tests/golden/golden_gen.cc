@@ -12,8 +12,10 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "stcomp/common/check.h"
+#include "stcomp/net/frame.h"
 #include "stcomp/store/serialization.h"
 #include "stcomp/store/st_index.h"
 #include "stcomp/store/trajectory_store.h"
@@ -141,5 +143,43 @@ int main(int argc, char** argv) {
   WriteFile(corpus_dir / "wal" / "uncommitted_tail", wal_batch + uncommitted);
   WriteFile(corpus_dir / "wal" / "torn_tail",
             wal_batch + uncommitted.substr(0, uncommitted.size() / 2));
+
+  // STNI wire-protocol seed corpus (fuzz_ingest_frame.cc): one of every
+  // frame type, a whole handshake-plus-batch conversation, and a torn
+  // tail, so the replay driver's mutants start from frames that actually
+  // pass the CRC instead of dying at the magic check.
+  using stcomp::net::EncodeNetFrame;
+  using stcomp::net::NetFrame;
+  const std::vector<stcomp::net::NetFix> fixes = {
+      {"bus-1", {0.0, 1.5, -2.5}},
+      {"bus-1", {10.0, 3.25, -4.75}},
+      {"tram-7", {5.5, -0.125, 1e9}},
+  };
+  WriteFile(corpus_dir / "ingest_frame" / "hello",
+            EncodeNetFrame(NetFrame::Hello("device-42")));
+  WriteFile(corpus_dir / "ingest_frame" / "hello_ack",
+            EncodeNetFrame(NetFrame::HelloAck(7, 19)));
+  WriteFile(corpus_dir / "ingest_frame" / "batch",
+            EncodeNetFrame(NetFrame::Batch(20, fixes)));
+  WriteFile(corpus_dir / "ingest_frame" / "batch_ack",
+            EncodeNetFrame(NetFrame::BatchAck(20)));
+  WriteFile(corpus_dir / "ingest_frame" / "error",
+            EncodeNetFrame(NetFrame::Error(stcomp::net::NetErrorCode::kProtocol,
+                                           "batch before hello")));
+  WriteFile(corpus_dir / "ingest_frame" / "goaway",
+            EncodeNetFrame(NetFrame::GoAway(
+                stcomp::net::GoAwayReason::kOverloaded, "shedding")));
+  WriteFile(corpus_dir / "ingest_frame" / "bye",
+            EncodeNetFrame(NetFrame::Bye()));
+  std::string conversation = EncodeNetFrame(NetFrame::Hello("device-42"));
+  conversation += EncodeNetFrame(NetFrame::HelloAck(1, 0));
+  conversation += EncodeNetFrame(NetFrame::Batch(1, fixes));
+  conversation += EncodeNetFrame(NetFrame::BatchAck(1));
+  conversation += EncodeNetFrame(NetFrame::Bye());
+  WriteFile(corpus_dir / "ingest_frame" / "conversation", conversation);
+  WriteFile(corpus_dir / "ingest_frame" / "torn_tail",
+            conversation.substr(0, conversation.size() - 7));
+  WriteFile(corpus_dir / "ingest_frame" / "empty_batch",
+            EncodeNetFrame(NetFrame::Batch(1, {})));
   return 0;
 }
