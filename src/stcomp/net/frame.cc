@@ -84,6 +84,8 @@ std::string_view GoAwayReasonName(GoAwayReason reason) {
       return "draining";
     case GoAwayReason::kIdleTimeout:
       return "idle_timeout";
+    case GoAwayReason::kSuperseded:
+      return "superseded";
   }
   return "unknown";
 }
@@ -196,7 +198,10 @@ Result<NetFrame> DecodeNetFrame(std::string_view* input) {
   const uint8_t type_byte = static_cast<uint8_t>((*input)[5]);
   input->remove_prefix(6);
   STCOMP_ASSIGN_OR_RETURN(const uint64_t payload_size, GetVarint(input));
-  if (input->size() < payload_size + 4) {
+  // Overflow-safe form of `size < payload_size + 4`: a hostile varint
+  // declaring ~2^64 bytes must read as truncation, not wrap the sum and
+  // sail past the bounds check into out-of-range reads.
+  if (input->size() < 4 || input->size() - 4 < payload_size) {
     return DataLossError("net frame truncated in payload");
   }
   std::string_view payload = input->substr(0, payload_size);
@@ -315,7 +320,9 @@ FrameScan ScanNetFrame(std::string_view buffer, size_t max_payload,
     }
   }
   if (payload_size > max_payload) {
-    *error = DataLossError(
+    // kOutOfRange, not kDataLoss: the server maps this code to the typed
+    // kOversizedFrame error (no message sniffing).
+    *error = OutOfRangeError(
         StrFormat("declared payload of %llu bytes exceeds the %zu-byte cap",
                   static_cast<unsigned long long>(payload_size), max_payload));
     return FrameScan::kError;

@@ -30,6 +30,9 @@
 // applying, and treats gaps as protocol errors. After a disconnect the
 // client reconnects, drops everything the kHelloAck says was acked and
 // resends the rest — acked fixes are never lost and never duplicated.
+// A kHello also fences any still-open session speaking for the same
+// client id (kGoAway(kSuperseded) + close): one client id, one live
+// connection, one seq space.
 //
 // Fix coordinates travel as raw doubles (not the quantising delta codec)
 // for the same reason the WAL's do: the server-side compressed output
@@ -81,6 +84,7 @@ enum class GoAwayReason : uint8_t {
   kOverloaded = 1,   // session/buffer budgets exhausted; shed-newest
   kDraining = 2,     // server Stop(): finish up, reconnect elsewhere/later
   kIdleTimeout = 3,  // no bytes within the idle deadline
+  kSuperseded = 4,   // a newer connection hello'd with the same client id
 };
 
 std::string_view NetMessageTypeName(NetMessageType type);
@@ -140,7 +144,9 @@ enum class FrameScan {
 // length of the complete leading frame (decode it with DecodeNetFrame).
 // On kError, *error explains (bad magic, oversize, overlong varint...).
 // `max_payload` bounds the *declared* payload length, so a hostile
-// 4 GB length prefix is rejected before any buffering happens.
+// 4 GB length prefix is rejected before any buffering happens; that
+// rejection carries kOutOfRange (every other framing error is
+// kDataLoss) so callers can report a typed oversized-frame verdict.
 FrameScan ScanNetFrame(std::string_view buffer, size_t max_payload,
                        size_t* frame_size, Status* error);
 

@@ -238,8 +238,9 @@ void IngestServer::ProcessFrames(Session* session) {
       NetErrorCode code = NetErrorCode::kMalformedFrame;
       if (error.code() == StatusCode::kUnimplemented) {
         code = NetErrorCode::kBadVersion;
-      } else if (error.message().find("exceeds the") !=
-                 std::string_view::npos) {
+      } else if (error.code() == StatusCode::kOutOfRange) {
+        // ScanNetFrame's typed verdict for a declared payload over the
+        // cap; every other framing error arrives as kDataLoss.
         code = NetErrorCode::kOversizedFrame;
       }
       ProtocolError(session, code, std::string(error.message()));
@@ -271,6 +272,7 @@ void IngestServer::HandleFrame(Session* session, const NetFrame& frame) {
       }
       uint64_t last_acked = 0;
       bool resumed = false;
+      std::vector<Session*> stale;
       {
         std::lock_guard<std::mutex> lock(mu_);
         session->client_id = frame.client_id;
@@ -279,6 +281,21 @@ void IngestServer::HandleFrame(Session* session, const NetFrame& frame) {
           last_acked = it->second;
           resumed = true;
         }
+        for (const auto& [id, other] : sessions_) {
+          if (other.get() != session && other->hello_done &&
+              !other->closing && other->client_id == frame.client_id) {
+            stale.push_back(other.get());
+          }
+        }
+      }
+      // A still-open session speaking for this client id is a zombie —
+      // its device reconnected. Fence it now so frames it already wrote
+      // to its socket can never be applied alongside the new
+      // connection's (one client id, one live connection, one seq
+      // space).
+      for (Session* zombie : stale) {
+        GoAwaySession(zombie, GoAwayReason::kSuperseded,
+                      "client reconnected on a new connection");
       }
       session->hello_done = true;
       session->last_acked.store(last_acked, std::memory_order_relaxed);
@@ -308,7 +325,19 @@ void IngestServer::HandleFrame(Session* session, const NetFrame& frame) {
 }
 
 void IngestServer::HandleBatch(Session* session, const NetFrame& frame) {
-  const uint64_t last = session->last_acked.load(std::memory_order_relaxed);
+  // Gate against the per-client high-water mark in acked_, never a
+  // session-local snapshot: if two sessions ever share a client id (a
+  // zombie connection racing its replacement past the hello fence),
+  // each session's own snapshot would pass its own `last + 1` check and
+  // the same batch would apply twice. All batch handling runs on the
+  // single poll thread, so this read and the store below cannot
+  // interleave with another session's.
+  uint64_t last = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = acked_.find(session->client_id);
+    if (it != acked_.end()) last = it->second;
+  }
   if (frame.batch_seq <= last) {
     // A resend of something already applied (the client missed our ack,
     // or rewound conservatively after reconnect): re-ack, never re-apply
@@ -413,7 +442,12 @@ void IngestServer::CloseSession(uint64_t session_id) {
     active = sessions_.size();
   }
   ::close(session->fd);
+  total_buffered_.fetch_sub(
+      session->buffered_bytes.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   active_sessions_gauge_->Set(static_cast<double>(active));
+  STCOMP_IF_METRICS(
+      buffered_bytes_gauge_->Set(static_cast<double>(TotalBufferedBytes())));
 }
 
 void IngestServer::EnforceDeadlines() {
@@ -500,18 +534,18 @@ void IngestServer::DrainAndCloseAll() {
 }
 
 size_t IngestServer::TotalBufferedBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  size_t total = 0;
-  for (const auto& [id, session] : sessions_) {
-    total += session->buffered_bytes.load(std::memory_order_relaxed);
-  }
-  return total;
+  return total_buffered_.load(std::memory_order_relaxed);
 }
 
 void IngestServer::RefreshBufferGauge(Session* session) {
-  session->buffered_bytes.store(
-      session->reader->buffered_bytes() + session->outbound.size(),
-      std::memory_order_relaxed);
+  const size_t now =
+      session->reader->buffered_bytes() + session->outbound.size();
+  const size_t before =
+      session->buffered_bytes.exchange(now, std::memory_order_relaxed);
+  // Unsigned wraparound makes the delta exact even when now < before,
+  // keeping the running total in lockstep without iterating sessions —
+  // the global budget check runs per read chunk and must stay O(1).
+  total_buffered_.fetch_add(now - before, std::memory_order_relaxed);
   STCOMP_IF_METRICS(
       buffered_bytes_gauge_->Set(static_cast<double>(TotalBufferedBytes())));
 }

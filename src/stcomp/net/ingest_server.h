@@ -29,9 +29,12 @@
 //   Counted and flight-recorded per NetErrorCode.
 //
 //   Acked batches, exactly-once.  Batches apply only at seq ==
-//   last_acked + 1 for the session's client id; duplicates (a client
-//   resending after a lost ack) are re-acked without applying, gaps are
-//   protocol errors. The per-client ack high-water mark survives the
+//   last_acked + 1, gated against the per-client high-water mark (not a
+//   per-session snapshot); duplicates (a client resending after a lost
+//   ack) are re-acked without applying, gaps are protocol errors. A
+//   kHello fences any still-open session with the same client id
+//   (GOAWAY(superseded) + close) so a zombie connection can never race
+//   its replacement's seq space. The high-water mark survives the
 //   session, so a device that reconnects resumes from its kHelloAck
 //   without losing or duplicating a single acked fix.
 //
@@ -146,7 +149,7 @@ class IngestServer {
     std::string outbound;              // poll thread only
     std::atomic<uint64_t> fixes{0};
     std::atomic<uint64_t> batches_acked{0};
-    std::atomic<uint64_t> last_acked{0};
+    std::atomic<uint64_t> last_acked{0};  // /ingestz mirror of acked_[id]
     std::atomic<size_t> buffered_bytes{0};  // inbound+outbound, for /ingestz
     std::chrono::steady_clock::time_point accepted_at;
     std::chrono::steady_clock::time_point last_activity;
@@ -173,6 +176,8 @@ class IngestServer {
   void CloseSession(uint64_t session_id);
   void EnforceDeadlines();
   void DrainAndCloseAll();
+  // O(1): reads the running total, maintained by RefreshBufferGauge /
+  // CloseSession (the global budget check runs per read chunk).
   size_t TotalBufferedBytes() const;
   void RefreshBufferGauge(Session* session);
 
@@ -193,6 +198,9 @@ class IngestServer {
   // Per-client ack high-water marks; survive sessions (resume-on-
   // reconnect) for the server's lifetime.
   std::map<std::string, uint64_t, std::less<>> acked_;
+  // Sum of every session's buffered_bytes, kept in lockstep by
+  // RefreshBufferGauge (delta on exchange) and CloseSession (subtract).
+  std::atomic<size_t> total_buffered_{0};
 
   // Registry-owned; valid for the process lifetime.
   obs::Counter* accepted_;

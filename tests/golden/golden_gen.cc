@@ -181,5 +181,16 @@ int main(int argc, char** argv) {
             conversation.substr(0, conversation.size() - 7));
   WriteFile(corpus_dir / "ingest_frame" / "empty_batch",
             EncodeNetFrame(NetFrame::Batch(1, {})));
+  // A 10-byte length varint declaring a ~2^64 payload plus a few bytes
+  // of tail: regression seed for the decoder's `payload_size + 4`
+  // overflow — the bounds check must read this as truncation, not wrap.
+  std::string overflow(stcomp::net::kNetMagic,
+                       sizeof(stcomp::net::kNetMagic));
+  overflow.push_back(static_cast<char>(stcomp::net::kNetProtocolVersion));
+  overflow.push_back(static_cast<char>(stcomp::net::NetMessageType::kBatch));
+  overflow.append(9, static_cast<char>(0xff));
+  overflow.push_back(0x01);
+  overflow += "junk";
+  WriteFile(corpus_dir / "ingest_frame" / "overflow_len", overflow);
   return 0;
 }

@@ -84,6 +84,12 @@ class RawConn {
     ASSERT_TRUE(SendAll(fd_, bytes).ok());
   }
 
+  // Best-effort write for sends the server may race with a close of
+  // this socket (e.g. after fencing the session); failure is fine.
+  void SendBestEffort(std::string_view bytes) {
+    (void)::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  }
+
   // Blocks up to `timeout_ms` for the next complete frame.
   Result<NetFrame> ReadFrame(int timeout_ms = 2000) {
     const auto deadline = std::chrono::steady_clock::now() +
@@ -313,6 +319,55 @@ TEST(IngestServer, ResumeAfterDisconnectReportsAckHighWaterMark) {
   ASSERT_TRUE(ack.ok());
   EXPECT_EQ(ack->type, NetMessageType::kBatchAck);
   EXPECT_EQ(sink.Get("veh-r").size(), 1u);
+  server.Stop();
+}
+
+TEST(IngestServer, HelloFencesZombieSessionSharingClientId) {
+  RecordingSink sink;
+  IngestServer server(sink.AsPushFn(), FastOptions("t-fence"));
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // The session that will become the zombie: hello, batch 1, ack — then
+  // it leaves HALF of batch 2 in the server's reassembly buffer.
+  RawConn zombie(server.port());
+  ASSERT_TRUE(zombie.connected());
+  zombie.Send(EncodeNetFrame(NetFrame::Hello("veh-fence")));
+  ASSERT_TRUE(zombie.ReadFrame().ok());
+  std::vector<NetFix> fixes = {{"veh-fence", TimedPoint(1.0, 2.0, 3.0)}};
+  zombie.Send(EncodeNetFrame(NetFrame::Batch(1, fixes)));
+  ASSERT_TRUE(zombie.ReadFrame().ok());
+  const std::string batch2 = EncodeNetFrame(NetFrame::Batch(2, fixes));
+  zombie.Send(std::string_view(batch2).substr(0, batch2.size() / 2));
+
+  // The device reconnects: same client id, fresh socket. The hello must
+  // fence the zombie with a typed GOAWAY(superseded)...
+  RawConn fresh(server.port());
+  ASSERT_TRUE(fresh.connected());
+  fresh.Send(EncodeNetFrame(NetFrame::Hello("veh-fence")));
+  Result<NetFrame> hello_ack = fresh.ReadFrame();
+  ASSERT_TRUE(hello_ack.ok()) << hello_ack.status();
+  ASSERT_EQ(hello_ack->type, NetMessageType::kHelloAck);
+  EXPECT_EQ(hello_ack->last_acked, 1u);
+
+  Result<NetFrame> goaway = zombie.ReadFrame();
+  ASSERT_TRUE(goaway.ok()) << goaway.status();
+  EXPECT_EQ(goaway->type, NetMessageType::kGoAway);
+  EXPECT_EQ(static_cast<GoAwayReason>(goaway->code),
+            GoAwayReason::kSuperseded);
+
+  // ...and completing batch 2 on the fenced socket must go nowhere.
+  // Without the fence and the shared seq gate, both connections would
+  // pass their own session-local `seq == last + 1` check and the batch
+  // would apply twice; the replacement replays it and the sink must see
+  // it exactly once.
+  zombie.SendBestEffort(std::string_view(batch2).substr(batch2.size() / 2));
+  EXPECT_TRUE(zombie.WaitForClose());
+  fresh.Send(batch2);
+  Result<NetFrame> ack = fresh.ReadFrame();
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  EXPECT_EQ(ack->type, NetMessageType::kBatchAck);
+  EXPECT_EQ(ack->batch_seq, 2u);
+  EXPECT_EQ(sink.Get("veh-fence").size(), 2u);
   server.Stop();
 }
 

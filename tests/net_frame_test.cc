@@ -173,8 +173,34 @@ TEST(NetFrameScan, OversizedDeclaredPayloadRejectedBeforeBuffering) {
   Status error;
   EXPECT_EQ(ScanNetFrame(hostile, kNetMaxPayloadBytes, &frame_size, &error),
             FrameScan::kError);
-  EXPECT_NE(error.message().find("exceeds the"), std::string_view::npos)
-      << error.ToString();
+  // Typed: kOutOfRange is what the server maps to kOversizedFrame (the
+  // message is for humans, never for classification).
+  EXPECT_EQ(error.code(), StatusCode::kOutOfRange) << error.ToString();
+}
+
+TEST(NetFrameCodec, HugeDeclaredPayloadIsTruncationNotOverflow) {
+  // A 10-byte varint declaring a ~2^64 payload once wrapped the
+  // `payload_size + 4` bounds check and walked DecodeNetFrame off the
+  // end of the buffer. DecodeNetFrame is public (the fuzz target and
+  // any direct caller hit it without ScanNetFrame's payload cap), so it
+  // must reject this from its own arithmetic.
+  for (const uint64_t declared :
+       {~0ull, ~0ull - 3, ~0ull - 4, 1ull << 63}) {
+    std::string hostile(kNetMagic, sizeof(kNetMagic));
+    hostile.push_back(static_cast<char>(kNetProtocolVersion));
+    hostile.push_back(static_cast<char>(NetMessageType::kBatch));
+    uint64_t huge = declared;
+    while (huge >= 0x80) {
+      hostile.push_back(static_cast<char>(huge | 0x80));
+      huge >>= 7;
+    }
+    hostile.push_back(static_cast<char>(huge));
+    hostile += "junk";  // enough trailing bytes that a wrapped sum "fits"
+    std::string_view input = hostile;
+    Result<NetFrame> decoded = DecodeNetFrame(&input);
+    ASSERT_FALSE(decoded.ok()) << "declared " << declared;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+  }
 }
 
 TEST(NetFrameReader, ReassemblesTornDelivery) {
